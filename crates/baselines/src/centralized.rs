@@ -1,0 +1,165 @@
+//! The original Courtois–Heymans–Parnas reader-writer solution (1971).
+
+use rmr_core::raw::RawRwLock;
+use rmr_core::registry::Pid;
+use rmr_mutex::{RawMutex, TtasLock};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The classic "first readers-writers problem" solution of Courtois,
+/// Heymans & Parnas \[1\]: a reader count protected by a mutex, with the
+/// first reader in / last reader out acquiring and releasing the resource
+/// mutex that writers take directly.
+///
+/// Reader-preference semantics: once readers occupy the critical section,
+/// a steady stream of them starves writers. Every reader entry **and**
+/// exit goes through the count mutex, so readers serialize on the lock
+/// word — concurrent entering (P5) fails under contention and the RMR
+/// complexity is O(n) per batch in the CC model. This is the paper's
+/// negative baseline from the 1971 starting point of the literature.
+///
+/// # Example
+///
+/// ```
+/// use rmr_baselines::CentralizedRwLock;
+/// use rmr_core::raw::RawRwLock;
+/// use rmr_core::registry::Pid;
+///
+/// let lock = CentralizedRwLock::new(4);
+/// let t = lock.read_lock(Pid::from_index(0));
+/// lock.read_unlock(Pid::from_index(0), t);
+/// ```
+pub struct CentralizedRwLock {
+    /// Protects `read_count` (the paper's semaphore `mutex`).
+    count_mutex: TtasLock,
+    /// Number of readers currently inside.
+    read_count: AtomicU64,
+    /// Held by the writer, or by the reader group while any reader is in
+    /// (the paper's semaphore `w`).
+    resource: TtasLock,
+    max_processes: usize,
+}
+
+impl CentralizedRwLock {
+    /// Creates the lock for up to `max_processes` processes (the bound is
+    /// nominal — this algorithm has no per-process state — but kept for
+    /// interface parity).
+    pub fn new(max_processes: usize) -> Self {
+        assert!(max_processes > 0, "max_processes must be positive");
+        Self {
+            count_mutex: TtasLock::new(),
+            read_count: AtomicU64::new(0),
+            resource: TtasLock::new(),
+            max_processes,
+        }
+    }
+
+    /// Number of readers currently in the critical section (diagnostic).
+    pub fn readers_inside(&self) -> u64 {
+        self.read_count.load(Ordering::SeqCst)
+    }
+}
+
+impl RawRwLock for CentralizedRwLock {
+    type ReadToken = ();
+    type WriteToken = ();
+
+    fn read_lock(&self, _pid: Pid) {
+        let m = self.count_mutex.lock();
+        if self.read_count.fetch_add(1, Ordering::SeqCst) == 0 {
+            // First reader locks the resource on behalf of the group.
+            let r = self.resource.lock();
+            // TtasLock tokens are zero-sized; ownership transfers to the
+            // group and is released by the last reader out.
+            let () = r;
+        }
+        self.count_mutex.unlock(m);
+    }
+
+    fn read_unlock(&self, _pid: Pid, (): ()) {
+        let m = self.count_mutex.lock();
+        if self.read_count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last reader out releases the resource.
+            self.resource.unlock(());
+        }
+        self.count_mutex.unlock(m);
+    }
+
+    fn write_lock(&self, _pid: Pid) {
+        self.resource.lock();
+    }
+
+    fn write_unlock(&self, _pid: Pid, (): ()) {
+        self.resource.unlock(());
+    }
+
+    fn max_processes(&self) -> usize {
+        self.max_processes
+    }
+}
+
+impl fmt::Debug for CentralizedRwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CentralizedRwLock")
+            .field("readers_inside", &self.readers_inside())
+            .field("max_processes", &self.max_processes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::rw_exclusion_stress;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn pid(i: usize) -> Pid {
+        Pid::from_index(i)
+    }
+
+    #[test]
+    fn read_write_cycles() {
+        let lock = CentralizedRwLock::new(2);
+        for _ in 0..100 {
+            let t = lock.read_lock(pid(0));
+            lock.read_unlock(pid(0), t);
+            let t = lock.write_lock(pid(0));
+            lock.write_unlock(pid(0), t);
+        }
+        assert_eq!(lock.readers_inside(), 0);
+    }
+
+    #[test]
+    fn readers_overlap() {
+        let lock = CentralizedRwLock::new(4);
+        let a = lock.read_lock(pid(0));
+        let b = lock.read_lock(pid(1));
+        assert_eq!(lock.readers_inside(), 2);
+        lock.read_unlock(pid(0), a);
+        lock.read_unlock(pid(1), b);
+    }
+
+    #[test]
+    fn writer_excluded_while_reader_inside() {
+        let lock = Arc::new(CentralizedRwLock::new(4));
+        let r = lock.read_lock(pid(0));
+        let lw = Arc::clone(&lock);
+        let entered = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let e2 = Arc::clone(&entered);
+        let w = std::thread::spawn(move || {
+            let t = lw.write_lock(pid(1));
+            e2.store(true, Ordering::SeqCst);
+            lw.write_unlock(pid(1), t);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!entered.load(Ordering::SeqCst));
+        lock.read_unlock(pid(0), r);
+        w.join().unwrap();
+    }
+
+    #[test]
+    fn exclusion_stress() {
+        rw_exclusion_stress(CentralizedRwLock::new(8), 2, 4, 100);
+    }
+}

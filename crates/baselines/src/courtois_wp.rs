@@ -1,0 +1,215 @@
+//! Courtois, Heymans & Parnas's *second* readers-writers problem (1971):
+//! the classic writer-preference construction.
+
+use rmr_core::raw::RawRwLock;
+use rmr_core::registry::Pid;
+use rmr_mutex::{RawMutex, TtasLock};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The 1971 writer-preference solution, transcribed from the original
+/// five-semaphore construction (semaphores modeled as TTAS mutexes, which
+/// is how it is deployed on spinning shared-memory systems):
+///
+/// * writers raise a write-request count; the first writer in locks out
+///   new readers via `read_gate`, the last writer out reopens it;
+/// * readers pass through `entry_gate` + `read_gate` one at a time, so a
+///   waiting writer blocks the *entire* future reader stream (writer
+///   preference), and reader entries serialize — no concurrent entering,
+///   O(n) RMRs per batch.
+///
+/// This is the historical counterpart to [`crate::CentralizedRwLock`]
+/// (which is the first problem / reader preference), completing the 1971
+/// baseline pair the paper's introduction starts from.
+///
+/// # Example
+///
+/// ```
+/// use rmr_baselines::CourtoisWriterPrefRwLock;
+/// use rmr_core::raw::RawRwLock;
+/// use rmr_core::registry::Pid;
+///
+/// let lock = CourtoisWriterPrefRwLock::new(4);
+/// let t = lock.write_lock(Pid::from_index(0));
+/// lock.write_unlock(Pid::from_index(0), t);
+/// ```
+pub struct CourtoisWriterPrefRwLock {
+    /// Protects `read_count` (the paper's `mutex 1`).
+    read_count_mutex: TtasLock,
+    read_count: AtomicU64,
+    /// Protects `write_count` (the paper's `mutex 2`).
+    write_count_mutex: TtasLock,
+    write_count: AtomicU64,
+    /// Serializes readers through the entry protocol (the paper's
+    /// `mutex 3`) so a writer's arrival cannot be outrun by a reader
+    /// convoy.
+    entry_gate: TtasLock,
+    /// Blocks new readers while any writer waits or works (the paper's
+    /// semaphore `r`).
+    read_gate: TtasLock,
+    /// The resource itself (the paper's semaphore `w`).
+    resource: TtasLock,
+    max_processes: usize,
+}
+
+impl CourtoisWriterPrefRwLock {
+    /// Creates the lock (capacity is nominal; kept for interface parity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_processes == 0`.
+    pub fn new(max_processes: usize) -> Self {
+        assert!(max_processes > 0, "max_processes must be positive");
+        Self {
+            read_count_mutex: TtasLock::new(),
+            read_count: AtomicU64::new(0),
+            write_count_mutex: TtasLock::new(),
+            write_count: AtomicU64::new(0),
+            entry_gate: TtasLock::new(),
+            read_gate: TtasLock::new(),
+            resource: TtasLock::new(),
+            max_processes,
+        }
+    }
+
+    /// Number of writers waiting or writing (diagnostic).
+    pub fn writers_interested(&self) -> u64 {
+        self.write_count.load(Ordering::SeqCst)
+    }
+}
+
+impl RawRwLock for CourtoisWriterPrefRwLock {
+    type ReadToken = ();
+    type WriteToken = ();
+
+    fn read_lock(&self, _pid: Pid) {
+        self.entry_gate.lock();
+        self.read_gate.lock();
+        self.read_count_mutex.lock();
+        if self.read_count.fetch_add(1, Ordering::SeqCst) == 0 {
+            self.resource.lock();
+        }
+        self.read_count_mutex.unlock(());
+        self.read_gate.unlock(());
+        self.entry_gate.unlock(());
+    }
+
+    fn read_unlock(&self, _pid: Pid, (): ()) {
+        self.read_count_mutex.lock();
+        if self.read_count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.resource.unlock(());
+        }
+        self.read_count_mutex.unlock(());
+    }
+
+    fn write_lock(&self, _pid: Pid) {
+        self.write_count_mutex.lock();
+        if self.write_count.fetch_add(1, Ordering::SeqCst) == 0 {
+            // First interested writer shuts the reader gate.
+            self.read_gate.lock();
+        }
+        self.write_count_mutex.unlock(());
+        self.resource.lock();
+    }
+
+    fn write_unlock(&self, _pid: Pid, (): ()) {
+        self.resource.unlock(());
+        self.write_count_mutex.lock();
+        if self.write_count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last interested writer reopens the reader gate.
+            self.read_gate.unlock(());
+        }
+        self.write_count_mutex.unlock(());
+    }
+
+    fn max_processes(&self) -> usize {
+        self.max_processes
+    }
+}
+
+impl fmt::Debug for CourtoisWriterPrefRwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CourtoisWriterPrefRwLock")
+            .field("readers_inside", &self.read_count.load(Ordering::SeqCst))
+            .field("writers_interested", &self.writers_interested())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::rw_exclusion_stress;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn pid(i: usize) -> Pid {
+        Pid::from_index(i)
+    }
+
+    #[test]
+    fn cycles_single_thread() {
+        let lock = CourtoisWriterPrefRwLock::new(2);
+        for _ in 0..100 {
+            let t = lock.read_lock(pid(0));
+            lock.read_unlock(pid(0), t);
+            let t = lock.write_lock(pid(0));
+            lock.write_unlock(pid(0), t);
+        }
+        assert_eq!(lock.writers_interested(), 0);
+    }
+
+    #[test]
+    fn readers_overlap() {
+        let lock = CourtoisWriterPrefRwLock::new(4);
+        let a = lock.read_lock(pid(0));
+        let b = lock.read_lock(pid(1));
+        lock.read_unlock(pid(0), a);
+        lock.read_unlock(pid(1), b);
+    }
+
+    #[test]
+    fn waiting_writer_blocks_new_readers() {
+        // Writer preference: once a writer waits, a brand-new reader must
+        // queue behind it even though a reader currently holds the lock.
+        let lock = Arc::new(CourtoisWriterPrefRwLock::new(4));
+        let r1 = lock.read_lock(pid(0));
+
+        let w_in = Arc::new(AtomicBool::new(false));
+        let lw = Arc::clone(&lock);
+        let w_in2 = Arc::clone(&w_in);
+        let writer = std::thread::spawn(move || {
+            let t = lw.write_lock(pid(1));
+            w_in2.store(true, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(30));
+            lw.write_unlock(pid(1), t);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!w_in.load(Ordering::SeqCst), "writer entered over a live reader");
+
+        let r2_in = Arc::new(AtomicBool::new(false));
+        let lr = Arc::clone(&lock);
+        let r2_in2 = Arc::clone(&r2_in);
+        let reader2 = std::thread::spawn(move || {
+            let t = lr.read_lock(pid(2));
+            r2_in2.store(true, Ordering::SeqCst);
+            lr.read_unlock(pid(2), t);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !r2_in.load(Ordering::SeqCst),
+            "reader overtook a waiting writer (writer preference violated)"
+        );
+
+        lock.read_unlock(pid(0), r1);
+        writer.join().unwrap();
+        reader2.join().unwrap();
+        assert!(r2_in.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn exclusion_stress() {
+        rw_exclusion_stress(CourtoisWriterPrefRwLock::new(8), 2, 4, 100);
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-reader-flag reader-writer lock (the "distributed reader indicator"
+//! class of Lev–Luchangco–Olszewski \[24\] and Krieger et al. \[25\]).
+
+use crossbeam_utils::CachePadded;
+use rmr_core::raw::RawRwLock;
+use rmr_core::registry::Pid;
+use rmr_mutex::{spin_until, RawMutex, TtasLock};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A reader-writer lock with one flag per reader slot: readers raise their
+/// own cache-padded flag (one RMR) and check for a writer; writers raise a
+/// global flag and then **scan all n reader flags**, waiting for each to
+/// drop.
+///
+/// This reproduces the cost profile of the scalable read-mostly designs the
+/// paper cites as prior art \[24, 25\]: reads are cheap and truly concurrent
+/// (O(1) RMRs while no writer is active), but the writer pays **O(n)
+/// RMRs** per attempt — exactly the asymmetry Bhatt & Jayanti remove.
+/// Writer preference: a raised writer flag makes arriving readers retreat
+/// (lower their flag and park), so the scan terminates.
+///
+/// # Example
+///
+/// ```
+/// use rmr_baselines::DistributedFlagRwLock;
+/// use rmr_core::raw::RawRwLock;
+/// use rmr_core::registry::Pid;
+///
+/// let lock = DistributedFlagRwLock::new(8);
+/// let t = lock.read_lock(Pid::from_index(3));
+/// lock.read_unlock(Pid::from_index(3), t);
+/// ```
+pub struct DistributedFlagRwLock {
+    /// One presence flag per reader slot, cache padded so raising one is a
+    /// single line transfer.
+    reader_flags: Box<[CachePadded<AtomicBool>]>,
+    /// Serializes writers.
+    writer_mutex: TtasLock,
+    /// Raised while a writer is draining readers or in the CS.
+    writer_present: AtomicBool,
+}
+
+impl DistributedFlagRwLock {
+    /// Creates the lock with `max_processes` reader slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_processes == 0`.
+    pub fn new(max_processes: usize) -> Self {
+        assert!(max_processes > 0, "max_processes must be positive");
+        Self {
+            reader_flags: (0..max_processes)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            writer_mutex: TtasLock::new(),
+            writer_present: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of raised reader flags (diagnostic; O(n) scan).
+    pub fn readers_visible(&self) -> usize {
+        self.reader_flags.iter().filter(|f| f.load(Ordering::SeqCst)).count()
+    }
+}
+
+impl RawRwLock for DistributedFlagRwLock {
+    type ReadToken = ();
+    type WriteToken = ();
+
+    fn read_lock(&self, pid: Pid) {
+        let flag = &self.reader_flags[pid.index()];
+        loop {
+            flag.store(true, Ordering::SeqCst);
+            if !self.writer_present.load(Ordering::SeqCst) {
+                // Flag-then-check: the writer's check-then-scan order
+                // guarantees one of us observes the other.
+                return;
+            }
+            // Retreat so the writer's scan can finish, then wait it out.
+            flag.store(false, Ordering::SeqCst);
+            spin_until(|| !self.writer_present.load(Ordering::SeqCst));
+        }
+    }
+
+    fn read_unlock(&self, pid: Pid, (): ()) {
+        self.reader_flags[pid.index()].store(false, Ordering::SeqCst);
+    }
+
+    fn write_lock(&self, _pid: Pid) {
+        self.writer_mutex.lock();
+        self.writer_present.store(true, Ordering::SeqCst);
+        // O(n): drain every reader slot.
+        for flag in self.reader_flags.iter() {
+            spin_until(|| !flag.load(Ordering::SeqCst));
+        }
+    }
+
+    fn write_unlock(&self, _pid: Pid, (): ()) {
+        self.writer_present.store(false, Ordering::SeqCst);
+        self.writer_mutex.unlock(());
+    }
+
+    fn max_processes(&self) -> usize {
+        self.reader_flags.len()
+    }
+}
+
+impl fmt::Debug for DistributedFlagRwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DistributedFlagRwLock")
+            .field("slots", &self.reader_flags.len())
+            .field("readers_visible", &self.readers_visible())
+            .field("writer_present", &self.writer_present.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::rw_exclusion_stress;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn pid(i: usize) -> Pid {
+        Pid::from_index(i)
+    }
+
+    #[test]
+    fn reader_alone_is_wait_free() {
+        let lock = DistributedFlagRwLock::new(4);
+        for _ in 0..100 {
+            let t = lock.read_lock(pid(2));
+            lock.read_unlock(pid(2), t);
+        }
+        assert_eq!(lock.readers_visible(), 0);
+    }
+
+    #[test]
+    fn readers_overlap() {
+        let lock = DistributedFlagRwLock::new(4);
+        let a = lock.read_lock(pid(0));
+        let b = lock.read_lock(pid(1));
+        assert_eq!(lock.readers_visible(), 2);
+        lock.read_unlock(pid(0), a);
+        lock.read_unlock(pid(1), b);
+    }
+
+    #[test]
+    fn writer_waits_for_reader() {
+        let lock = Arc::new(DistributedFlagRwLock::new(4));
+        let r = lock.read_lock(pid(0));
+        let entered = Arc::new(AtomicBool::new(false));
+        let lw = Arc::clone(&lock);
+        let e2 = Arc::clone(&entered);
+        let w = std::thread::spawn(move || {
+            let t = lw.write_lock(pid(1));
+            e2.store(true, Ordering::SeqCst);
+            lw.write_unlock(pid(1), t);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!entered.load(Ordering::SeqCst));
+        lock.read_unlock(pid(0), r);
+        w.join().unwrap();
+        assert!(entered.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn exclusion_stress() {
+        rw_exclusion_stress(DistributedFlagRwLock::new(8), 2, 4, 100);
+    }
+}

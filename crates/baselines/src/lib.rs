@@ -1,0 +1,102 @@
+//! Baseline reader-writer locks the paper's algorithms are compared
+//! against.
+//!
+//! Bhatt & Jayanti position their result against two families of prior
+//! reader-writer locks: those that *fail concurrent entering* (readers
+//! serialize through a mutex — Courtois et al. \[1\], Mellor-Crummey & Scott
+//! \[9\], and the ticket-style locks) and those with *non-constant RMR
+//! complexity* (O(log n) for Danek–Hadzilacos \[5\], O(n) for the
+//! distributed-flag designs \[24, 25\]). This crate implements a
+//! representative of each class behind the same
+//! [`RawRwLock`](rmr_core::raw::RawRwLock) trait as the paper's locks, so
+//! the experiment harness can sweep them side by side:
+//!
+//! | Type | Stands in for | RMR complexity (CC) |
+//! |---|---|---|
+//! | [`CentralizedRwLock`] | Courtois et al. 1971, problem 1 (reader pref.) \[1\] | O(n) (mutex on every reader entry/exit) |
+//! | [`CourtoisWriterPrefRwLock`] | Courtois et al. 1971, problem 2 (writer pref.) \[1\] | O(n), readers fully serialized |
+//! | [`TicketRwLock`] | task-fair ticket/queue RW locks \[9, 10\] | O(n) per handoff (shared grant word) |
+//! | [`DistributedFlagRwLock`] | per-reader-flag designs \[24, 25\] | reader O(1)*, writer O(n) |
+//! | [`TournamentRwLock`] | Danek–Hadzilacos-style tree locks \[5\] | Θ(log n) readers |
+//! | [`StdRwLock`], [`ParkingLotRwLock`] | production OS-backed locks | n/a (throughput benches only) |
+//!
+//! `*` readers of [`DistributedFlagRwLock`] pay O(1) RMRs only while no
+//! writer is active.
+//!
+//! All types here are **comparators**: correct (mutual exclusion holds, and
+//! the test suite stresses it) but intentionally representative of their
+//! class's weaknesses — e.g. [`CentralizedRwLock`] has no concurrent
+//! entering under contention, and [`TournamentRwLock`] trades reader
+//! concurrency bookkeeping for Θ(log n) remote references.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+// Several baselines have zero-sized lock tokens; binding them keeps call
+// sites uniform with the token-carrying locks.
+#![allow(clippy::let_unit_value)]
+
+mod centralized;
+mod courtois_wp;
+mod flags;
+mod ticket_rw;
+mod tournament;
+mod wrappers;
+
+pub use centralized::CentralizedRwLock;
+pub use courtois_wp::CourtoisWriterPrefRwLock;
+pub use flags::DistributedFlagRwLock;
+pub use ticket_rw::TicketRwLock;
+pub use tournament::TournamentRwLock;
+pub use wrappers::{ParkingLotRwLock, StdRwLock};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use rmr_core::raw::RawRwLock;
+    use rmr_core::registry::Pid;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Shared exclusion stress: readers overlap freely, writers exclude all.
+    pub(crate) fn rw_exclusion_stress<L>(lock: L, writers: usize, readers: usize, iters: usize)
+    where
+        L: RawRwLock + 'static,
+    {
+        let lock = Arc::new(lock);
+        let readers_in = Arc::new(AtomicUsize::new(0));
+        let writers_in = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..writers {
+            let lock = Arc::clone(&lock);
+            let readers_in = Arc::clone(&readers_in);
+            let writers_in = Arc::clone(&writers_in);
+            handles.push(std::thread::spawn(move || {
+                let pid = Pid::from_index(i);
+                for _ in 0..iters {
+                    let t = lock.write_lock(pid);
+                    assert_eq!(writers_in.fetch_add(1, Ordering::SeqCst), 0, "two writers in CS");
+                    assert_eq!(readers_in.load(Ordering::SeqCst), 0, "reader with writer");
+                    writers_in.fetch_sub(1, Ordering::SeqCst);
+                    lock.write_unlock(pid, t);
+                }
+            }));
+        }
+        for i in writers..writers + readers {
+            let lock = Arc::clone(&lock);
+            let readers_in = Arc::clone(&readers_in);
+            let writers_in = Arc::clone(&writers_in);
+            handles.push(std::thread::spawn(move || {
+                let pid = Pid::from_index(i);
+                for _ in 0..iters {
+                    let t = lock.read_lock(pid);
+                    readers_in.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(writers_in.load(Ordering::SeqCst), 0, "writer with reader");
+                    readers_in.fetch_sub(1, Ordering::SeqCst);
+                    lock.read_unlock(pid, t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! A task-fair (FIFO) ticket reader-writer lock.
+
+use rmr_core::raw::RawRwLock;
+use rmr_core::registry::Pid;
+use rmr_mutex::spin_until;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Grant-word layout: `read_grant` in the high 32 bits (its carry falls off
+/// the top of the u64), `write_grant` in the low 32 bits.
+const READ_GRANT_UNIT: u64 = 1 << 32;
+
+fn read_grant(grants: u64) -> u32 {
+    (grants >> 32) as u32
+}
+
+fn write_grant(grants: u64) -> u32 {
+    grants as u32
+}
+
+/// A task-fair ticket reader-writer lock in the style popularized by the
+/// queue-based locks of Mellor-Crummey & Scott \[9\] and the Linux `rwlock`
+/// ticket variants: every arrival (reader or writer) draws a ticket, and
+/// service is strictly FIFO, with consecutive readers overlapping.
+///
+/// * `users` dispenses tickets (one fetch&add per arrival).
+/// * A writer with ticket `t` enters when `write_grant == t` (all earlier
+///   arrivals have exited) and on exit bumps both grants.
+/// * A reader with ticket `t` enters when `read_grant == t` (all earlier
+///   arrivals have exited **or entered as readers**), immediately bumps
+///   `read_grant` so the next queued reader can follow it in, and on exit
+///   bumps `write_grant`.
+///
+/// Both classes spin on the single shared grant word, so in the CC model
+/// every exit invalidates every waiter's cached copy: **O(n) RMRs per
+/// handoff** — the contrast class for the paper's O(1) designs. Readers
+/// arriving while a reader batch is being granted still pass one at a time
+/// through the grant word, so concurrent entering holds only in the
+/// absence of waiting writers.
+///
+/// Tickets are 32-bit wrapping counters: the lock supports arbitrarily
+/// long runs as long as fewer than 2³² processes wait simultaneously.
+///
+/// # Example
+///
+/// ```
+/// use rmr_baselines::TicketRwLock;
+/// use rmr_core::raw::RawRwLock;
+/// use rmr_core::registry::Pid;
+///
+/// let lock = TicketRwLock::new(4);
+/// let t = lock.write_lock(Pid::from_index(0));
+/// lock.write_unlock(Pid::from_index(0), t);
+/// ```
+pub struct TicketRwLock {
+    /// Ticket dispenser.
+    users: AtomicU64,
+    /// `[read_grant : 32 | write_grant : 32]`.
+    grants: AtomicU64,
+    max_processes: usize,
+}
+
+impl TicketRwLock {
+    /// Creates the lock (capacity is nominal; kept for interface parity).
+    pub fn new(max_processes: usize) -> Self {
+        assert!(max_processes > 0, "max_processes must be positive");
+        Self {
+            users: AtomicU64::new(0),
+            grants: AtomicU64::new(0),
+            max_processes,
+        }
+    }
+
+    fn take_ticket(&self) -> u32 {
+        self.users.fetch_add(1, Ordering::SeqCst) as u32
+    }
+}
+
+impl RawRwLock for TicketRwLock {
+    type ReadToken = ();
+    type WriteToken = ();
+
+    fn read_lock(&self, _pid: Pid) {
+        let ticket = self.take_ticket();
+        spin_until(|| read_grant(self.grants.load(Ordering::SeqCst)) == ticket);
+        // Let the next queued reader in right behind us.
+        self.grants.fetch_add(READ_GRANT_UNIT, Ordering::SeqCst);
+    }
+
+    fn read_unlock(&self, _pid: Pid, (): ()) {
+        self.grants.fetch_add(1, Ordering::SeqCst); // write_grant += 1
+    }
+
+    fn write_lock(&self, _pid: Pid) {
+        let ticket = self.take_ticket();
+        spin_until(|| write_grant(self.grants.load(Ordering::SeqCst)) == ticket);
+    }
+
+    fn write_unlock(&self, _pid: Pid, (): ()) {
+        // Both grants advance past this writer's ticket.
+        self.grants.fetch_add(READ_GRANT_UNIT + 1, Ordering::SeqCst);
+    }
+
+    fn max_processes(&self) -> usize {
+        self.max_processes
+    }
+}
+
+impl fmt::Debug for TicketRwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.grants.load(Ordering::SeqCst);
+        f.debug_struct("TicketRwLock")
+            .field("users", &(self.users.load(Ordering::SeqCst) as u32))
+            .field("read_grant", &read_grant(g))
+            .field("write_grant", &write_grant(g))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::rw_exclusion_stress;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn pid(i: usize) -> Pid {
+        Pid::from_index(i)
+    }
+
+    #[test]
+    fn cycles_single_thread() {
+        let lock = TicketRwLock::new(2);
+        for _ in 0..100 {
+            let t = lock.read_lock(pid(0));
+            lock.read_unlock(pid(0), t);
+            let t = lock.write_lock(pid(0));
+            lock.write_unlock(pid(0), t);
+        }
+    }
+
+    #[test]
+    fn consecutive_readers_overlap() {
+        let lock = TicketRwLock::new(4);
+        let a = lock.read_lock(pid(0));
+        let b = lock.read_lock(pid(1)); // must not block behind `a`
+        lock.read_unlock(pid(1), b);
+        lock.read_unlock(pid(0), a);
+    }
+
+    #[test]
+    fn fifo_blocks_reader_behind_waiting_writer() {
+        // Task fairness: R1 in CS, W waiting, new R2 must queue behind W.
+        let lock = Arc::new(TicketRwLock::new(4));
+        let r1 = lock.read_lock(pid(0));
+
+        let w_in = Arc::new(AtomicBool::new(false));
+        let lw = Arc::clone(&lock);
+        let w_in2 = Arc::clone(&w_in);
+        let w = std::thread::spawn(move || {
+            let t = lw.write_lock(pid(1));
+            w_in2.store(true, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(30));
+            lw.write_unlock(pid(1), t);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+
+        let r2_in = Arc::new(AtomicBool::new(false));
+        let lr = Arc::clone(&lock);
+        let r2_in2 = Arc::clone(&r2_in);
+        let r2 = std::thread::spawn(move || {
+            let t = lr.read_lock(pid(2));
+            r2_in2.store(true, Ordering::SeqCst);
+            lr.read_unlock(pid(2), t);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!w_in.load(Ordering::SeqCst), "writer entered over reader");
+        assert!(!r2_in.load(Ordering::SeqCst), "reader jumped the writer queue");
+
+        lock.read_unlock(pid(0), r1);
+        w.join().unwrap();
+        r2.join().unwrap();
+        assert!(r2_in.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn exclusion_stress() {
+        rw_exclusion_stress(TicketRwLock::new(8), 2, 4, 100);
+    }
+}

@@ -1,0 +1,209 @@
+//! Production-lock adapters for the throughput benchmarks.
+
+use rmr_core::raw::RawRwLock;
+use rmr_core::registry::Pid;
+use std::fmt;
+
+/// [`parking_lot::RwLock`]-backed adapter (via its raw lock), so the
+/// benchmark harness can sweep a production OS-grade lock alongside the
+/// paper's algorithms. RMR accounting does not apply (it parks threads);
+/// this type exists for wall-clock throughput comparison only (E11).
+///
+/// # Example
+///
+/// ```
+/// use rmr_baselines::ParkingLotRwLock;
+/// use rmr_core::raw::RawRwLock;
+/// use rmr_core::registry::Pid;
+///
+/// let lock = ParkingLotRwLock::new(4);
+/// let t = lock.read_lock(Pid::from_index(0));
+/// lock.read_unlock(Pid::from_index(0), t);
+/// ```
+pub struct ParkingLotRwLock {
+    raw: parking_lot::RawRwLock,
+    max_processes: usize,
+}
+
+impl ParkingLotRwLock {
+    /// Creates the lock (capacity is nominal; kept for interface parity).
+    pub fn new(max_processes: usize) -> Self {
+        use parking_lot::lock_api::RawRwLock as _;
+        assert!(max_processes > 0, "max_processes must be positive");
+        Self { raw: parking_lot::RawRwLock::INIT, max_processes }
+    }
+}
+
+impl RawRwLock for ParkingLotRwLock {
+    type ReadToken = ();
+    type WriteToken = ();
+
+    fn read_lock(&self, _pid: Pid) {
+        use parking_lot::lock_api::RawRwLock as _;
+        self.raw.lock_shared();
+    }
+
+    fn read_unlock(&self, _pid: Pid, (): ()) {
+        use parking_lot::lock_api::RawRwLock as _;
+        // SAFETY: paired with the `lock_shared` in `read_lock`; the
+        // RawRwLock contract requires callers to match lock/unlock.
+        unsafe { self.raw.unlock_shared() };
+    }
+
+    fn write_lock(&self, _pid: Pid) {
+        use parking_lot::lock_api::RawRwLock as _;
+        self.raw.lock_exclusive();
+    }
+
+    fn write_unlock(&self, _pid: Pid, (): ()) {
+        use parking_lot::lock_api::RawRwLock as _;
+        // SAFETY: paired with the `lock_exclusive` in `write_lock`.
+        unsafe { self.raw.unlock_exclusive() };
+    }
+
+    fn max_processes(&self) -> usize {
+        self.max_processes
+    }
+}
+
+impl fmt::Debug for ParkingLotRwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParkingLotRwLock")
+            .field("max_processes", &self.max_processes)
+            .finish()
+    }
+}
+
+/// [`std::sync::RwLock`]-backed adapter for the throughput benchmarks
+/// (E11).
+///
+/// The token smuggles the guard with an erased lifetime; this is sound
+/// because [`RawRwLock`]'s contract already requires every token to be
+/// returned to the lock it came from before the lock is dropped.
+pub struct StdRwLock {
+    inner: std::sync::RwLock<()>,
+    max_processes: usize,
+}
+
+/// Proof of a held `std` read lock.
+pub struct StdReadToken {
+    _guard: std::sync::RwLockReadGuard<'static, ()>,
+}
+
+/// Proof of a held `std` write lock.
+pub struct StdWriteToken {
+    _guard: std::sync::RwLockWriteGuard<'static, ()>,
+}
+
+impl fmt::Debug for StdReadToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StdReadToken")
+    }
+}
+
+impl fmt::Debug for StdWriteToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StdWriteToken")
+    }
+}
+
+impl StdRwLock {
+    /// Creates the lock (capacity is nominal; kept for interface parity).
+    pub fn new(max_processes: usize) -> Self {
+        assert!(max_processes > 0, "max_processes must be positive");
+        Self { inner: std::sync::RwLock::new(()), max_processes }
+    }
+}
+
+impl RawRwLock for StdRwLock {
+    type ReadToken = StdReadToken;
+    type WriteToken = StdWriteToken;
+
+    fn read_lock(&self, _pid: Pid) -> StdReadToken {
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: lifetime erasure only; the RawRwLock contract guarantees
+        // the token is consumed by `read_unlock` on this same lock, which
+        // the caller keeps alive until then.
+        StdReadToken {
+            _guard: unsafe {
+                std::mem::transmute::<
+                    std::sync::RwLockReadGuard<'_, ()>,
+                    std::sync::RwLockReadGuard<'static, ()>,
+                >(guard)
+            },
+        }
+    }
+
+    fn read_unlock(&self, _pid: Pid, token: StdReadToken) {
+        drop(token);
+    }
+
+    fn write_lock(&self, _pid: Pid) -> StdWriteToken {
+        let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: as in `read_lock`.
+        StdWriteToken {
+            _guard: unsafe {
+                std::mem::transmute::<
+                    std::sync::RwLockWriteGuard<'_, ()>,
+                    std::sync::RwLockWriteGuard<'static, ()>,
+                >(guard)
+            },
+        }
+    }
+
+    fn write_unlock(&self, _pid: Pid, token: StdWriteToken) {
+        drop(token);
+    }
+
+    fn max_processes(&self) -> usize {
+        self.max_processes
+    }
+}
+
+impl fmt::Debug for StdRwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StdRwLock").field("max_processes", &self.max_processes).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::rw_exclusion_stress;
+
+    fn pid(i: usize) -> Pid {
+        Pid::from_index(i)
+    }
+
+    #[test]
+    fn parking_lot_cycles() {
+        let lock = ParkingLotRwLock::new(2);
+        let a = lock.read_lock(pid(0));
+        let b = lock.read_lock(pid(1));
+        lock.read_unlock(pid(0), a);
+        lock.read_unlock(pid(1), b);
+        let w = lock.write_lock(pid(0));
+        lock.write_unlock(pid(0), w);
+    }
+
+    #[test]
+    fn std_cycles() {
+        let lock = StdRwLock::new(2);
+        let a = lock.read_lock(pid(0));
+        let b = lock.read_lock(pid(1));
+        lock.read_unlock(pid(0), a);
+        lock.read_unlock(pid(1), b);
+        let w = lock.write_lock(pid(0));
+        lock.write_unlock(pid(0), w);
+    }
+
+    #[test]
+    fn parking_lot_exclusion_stress() {
+        rw_exclusion_stress(ParkingLotRwLock::new(8), 2, 4, 200);
+    }
+
+    #[test]
+    fn std_exclusion_stress() {
+        rw_exclusion_stress(StdRwLock::new(8), 2, 4, 200);
+    }
+}

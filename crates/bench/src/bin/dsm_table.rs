@@ -1,0 +1,36 @@
+//! E8 — the DSM contrast: under the distributed-shared-memory cost model
+//! the same algorithms are **not** constant-RMR (readers poll gates that
+//! live in another process's memory module), matching the
+//! Danek–Hadzilacos lower-bound discussion in the paper's §1.
+//!
+//! ```text
+//! cargo run --release -p rmr-bench --bin dsm_table [--json]
+//! ```
+
+use rmr_bench::tables::{markdown_table, rmr_row, Model, RmrRow, SimAlgo};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut rows: Vec<RmrRow> = Vec::new();
+
+    for algo in [SimAlgo::Fig1, SimAlgo::Fig2] {
+        for readers in [1usize, 2, 4, 8, 16] {
+            // CC row for side-by-side comparison, then the DSM row.
+            rows.push(rmr_row(algo, 1, readers, Model::Cc, 2, 3));
+            rows.push(rmr_row(algo, 1, readers, Model::Dsm, 2, 3));
+        }
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize rows"));
+        return;
+    }
+
+    println!("# E8 — CC vs. DSM RMRs per attempt (Figures 1 and 2)\n");
+    println!(
+        "Under DSM every poll of a remotely-homed gate costs an RMR, so the\n\
+         per-attempt cost is schedule-dependent and grows with contention —\n\
+         the paper's constant-RMR result is CC-only, as Theorem 1/2 state.\n"
+    );
+    println!("{}", markdown_table(&rows));
+}

@@ -1,0 +1,92 @@
+//! E12 — fairness profile: how the three policies divide a fixed budget of
+//! machine steps between the reader and writer classes.
+//!
+//! Same population (2 writers + 6 readers), same fair random scheduler,
+//! same step budget; the only variable is the policy. Attempts completed
+//! per class plus Jain's fairness index over per-process completions make
+//! the priority disciplines quantitative:
+//!
+//! * starvation-free: every process completes work (index near 1);
+//! * reader-priority: writers complete markedly less under load;
+//! * writer-priority: writers dominate; readers trail.
+//!
+//! ```text
+//! cargo run --release -p rmr-bench --bin fairness_table
+//! ```
+
+use rmr_sim::algos::{Fig3Rp, Fig3Sf, Fig4};
+use rmr_sim::cost::FreeModel;
+use rmr_sim::runner::{RandomSched, Runner};
+use rmr_sim::Algorithm;
+
+const WRITERS: usize = 2;
+const READERS: usize = 6;
+const STEPS: usize = 400_000;
+const SEEDS: u64 = 5;
+
+struct Row {
+    name: &'static str,
+    writer_attempts: u64,
+    reader_attempts: u64,
+    min_per_proc: u64,
+    max_per_proc: u64,
+    jain: f64,
+}
+
+fn jain_index(counts: &[u64]) -> f64 {
+    let n = counts.len() as f64;
+    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    if sum_sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (n * sum_sq)
+}
+
+fn measure<A: Algorithm>(name: &'static str, make: impl Fn() -> A) -> Row {
+    let mut per_proc = vec![0u64; WRITERS + READERS];
+    for seed in 0..SEEDS {
+        let alg = make();
+        // Unbounded attempts: the step budget is the resource being shared.
+        let mut r = Runner::new(alg, FreeModel, u32::MAX);
+        let mut sched = RandomSched::new(0xFA1&u64::MAX ^ seed);
+        r.run(&mut sched, STEPS);
+        assert!(r.violations().is_empty(), "{name}: {:?}", r.violations());
+        for a in r.finished_attempts() {
+            per_proc[a.pid] += 1;
+        }
+    }
+    let writer_attempts: u64 = per_proc[..WRITERS].iter().sum();
+    let reader_attempts: u64 = per_proc[WRITERS..].iter().sum();
+    Row {
+        name,
+        writer_attempts,
+        reader_attempts,
+        min_per_proc: *per_proc.iter().min().expect("non-empty"),
+        max_per_proc: *per_proc.iter().max().expect("non-empty"),
+        jain: jain_index(&per_proc),
+    }
+}
+
+fn main() {
+    println!("# E12 — fairness profile ({WRITERS} writers + {READERS} readers, {STEPS} steps × {SEEDS} seeds)\n");
+    println!("| policy | writer attempts | reader attempts | min/proc | max/proc | Jain index |");
+    println!("|---|---|---|---|---|---|");
+    for row in [
+        measure("fig3-starvation-free", || Fig3Sf::new(WRITERS, READERS)),
+        measure("fig3-reader-priority", || Fig3Rp::new(WRITERS, READERS)),
+        measure("fig4-writer-priority", || Fig4::new(WRITERS, READERS)),
+    ] {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.3} |",
+            row.name,
+            row.writer_attempts,
+            row.reader_attempts,
+            row.min_per_proc,
+            row.max_per_proc,
+            row.jain
+        );
+    }
+    println!("\nJain index 1.0 = perfectly equal per-process completions; lower =");
+    println!("one class is deliberately favored (the priority disciplines at work).");
+}

@@ -1,0 +1,218 @@
+//! E1–E5, E10 — the property matrix: every property the paper claims for
+//! every algorithm, verified by exhaustive exploration (small instances)
+//! plus a randomized schedule battery, with the §3.3/§4.3 mutants run as
+//! checker-sensitivity controls.
+//!
+//! ```text
+//! cargo run --release -p rmr-bench --bin property_matrix
+//! ```
+
+use rmr_sim::algos::mutants::{Fig1NoExitWait, Fig2Break, Fig2Mutant};
+use rmr_sim::algos::{Fig1, Fig2, Fig3Rp, Fig3Sf, Fig4};
+use rmr_sim::cost::FreeModel;
+use rmr_sim::explore::{explore, StateCheck};
+use rmr_sim::invariants::{fig1_invariants, fig2_invariants};
+use rmr_sim::props;
+use rmr_sim::runner::{RandomSched, Runner};
+use rmr_sim::Algorithm;
+
+const SEEDS: u64 = 20;
+
+fn verdict(r: Result<(), String>) -> &'static str {
+    match r {
+        Ok(()) => "PASS",
+        Err(e) => {
+            eprintln!("  FAIL detail: {e}");
+            "FAIL"
+        }
+    }
+}
+
+fn battery<A: Algorithm>(
+    make: impl Fn() -> A,
+    fcfs: bool,
+    fife: bool,
+    rp1: bool,
+    wp1: bool,
+) -> Vec<(&'static str, &'static str)> {
+    let mut out = Vec::new();
+    let mut p1 = Ok(());
+    let mut p2 = Ok(());
+    let mut live = Ok(());
+    let mut fcfs_res = Ok(());
+    let mut fife_res = Ok(());
+    let mut rp1_res = Ok(());
+    let mut wp1_res = Ok(());
+    for seed in 0..SEEDS {
+        let mut r = Runner::new(make(), FreeModel, 3);
+        r.snapshot_cs_entries(fife);
+        let mut sched = RandomSched::new(seed);
+        r.run(&mut sched, 5_000_000);
+        if let Some(v) = r.violations().first() {
+            p1 = p1.and(Err(format!("seed {seed}: {}", v.message)));
+        }
+        live = live.and(props::check_all_complete(r.finished_attempts(), &r.inflight_attempts()));
+        p2 = p2.and(props::check_bounded_exit(r.finished_attempts(), 12));
+        if fcfs {
+            fcfs_res = fcfs_res.and(props::check_fcfs_writers(r.finished_attempts()));
+        }
+        if fife {
+            fife_res = fife_res.and(props::check_fife_readers(
+                r.algorithm(),
+                r.finished_attempts(),
+                r.snapshots(),
+                64,
+            ));
+        }
+        if rp1 {
+            rp1_res = rp1_res.and(props::check_reader_priority(r.finished_attempts()));
+        }
+        if wp1 {
+            wp1_res = wp1_res.and(props::check_writer_priority(r.finished_attempts()));
+        }
+    }
+    out.push(("P1 mutual exclusion (random)", verdict(p1)));
+    out.push(("P2 bounded exit", verdict(p2)));
+    out.push(("P6/P7 liveness (fair runs quiesce)", verdict(live)));
+    if fcfs {
+        out.push(("P3 FCFS writers", verdict(fcfs_res)));
+    }
+    if fife {
+        out.push(("P4 FIFE readers", verdict(fife_res)));
+    }
+    if rp1 {
+        out.push(("RP1 reader priority", verdict(rp1_res)));
+    }
+    if wp1 {
+        out.push(("WP1 writer priority", verdict(wp1_res)));
+    }
+    out
+}
+
+fn print_block(title: &str, rows: &[(&str, &str)]) {
+    println!("\n## {title}\n");
+    println!("| property | verdict |");
+    println!("|---|---|");
+    for (p, v) in rows {
+        println!("| {p} | {v} |");
+    }
+}
+
+fn main() {
+    println!("# Property matrix (E1–E5, E10)\n");
+    println!("Exhaustive = every interleaving of the stated instance; random = {SEEDS} seeded schedules.");
+
+    // ---- E1: Figure 1 ----
+    {
+        let alg = Fig1::new(2);
+        let checks: [StateCheck<'_, Fig1>; 1] = [&fig1_invariants];
+        let report = explore(&alg, &[2, 2, 2], 40_000_000, &checks);
+        let mut rows = vec![(
+            "P1 + Appendix A invariants + no deadlock (exhaustive, 1w+2r×2)",
+            if report.clean() { "PASS" } else { "FAIL" },
+        )];
+        rows.extend(battery(|| Fig1::new(3), false, true, false, true));
+        // Lemma 15 (Waiting Reader Enabled) via snapshots.
+        let mut l15 = Ok(());
+        for seed in 0..SEEDS {
+            let mut r = Runner::new(Fig1::new(3), FreeModel, 3);
+            r.snapshot_cs_entries(true);
+            let mut sched = RandomSched::new(seed);
+            r.run(&mut sched, 5_000_000);
+            l15 = l15.and(props::check_waiting_reader_enabled(
+                r.algorithm(),
+                r.finished_attempts(),
+                r.snapshots(),
+                64,
+            ));
+        }
+        rows.push(("Lemma 15 waiting-reader-enabled", verdict(l15)));
+        print_block("E1 — Figure 1 (SWMR, writer priority + starvation freedom, Theorem 1)", &rows);
+        println!("\nexploration: {report}");
+    }
+
+    // ---- E2: Figure 2 ----
+    {
+        let alg = Fig2::new(2);
+        let checks: [StateCheck<'_, Fig2>; 1] = [&fig2_invariants];
+        let report = explore(&alg, &[2, 2, 2], 40_000_000, &checks);
+        let mut rows = vec![(
+            "P1 + Figure 5 invariants + no deadlock (exhaustive, 1w+2r×2)",
+            if report.clean() { "PASS" } else { "FAIL" },
+        )];
+        rows.extend(battery(|| Fig2::new(3), false, true, true, false));
+        // RP2 part 1 via snapshots.
+        let mut rp2 = Ok(());
+        for seed in 0..SEEDS {
+            let mut r = Runner::new(Fig2::new(3), FreeModel, 3);
+            r.snapshot_cs_entries(true);
+            let mut sched = RandomSched::new(seed);
+            r.run(&mut sched, 5_000_000);
+            rp2 = rp2.and(props::check_unstoppable_readers(r.algorithm(), r.snapshots(), 64));
+        }
+        rows.push(("RP2(1) unstoppable readers", verdict(rp2)));
+        print_block("E2 — Figure 2 (SWMR, reader priority, Theorem 2)", &rows);
+        println!("\nexploration: {report}");
+    }
+
+    // ---- E3: Figure 3 ∘ Figure 1 ----
+    {
+        let alg = Fig3Sf::new(2, 1);
+        let report = explore(&alg, &[2, 2, 2], 40_000_000, &[]);
+        let mut rows = vec![(
+            "P1 + no deadlock (exhaustive, 2w+1r×2)",
+            if report.clean() { "PASS" } else { "FAIL" },
+        )];
+        rows.extend(battery(|| Fig3Sf::new(2, 3), true, false, false, false));
+        print_block("E3 — Figure 3 over Figure 1 (MWMR, starvation free, Theorem 3)", &rows);
+        println!("\nexploration: {report}");
+    }
+
+    // ---- E4: Figure 3 ∘ Figure 2 ----
+    {
+        let alg = Fig3Rp::new(2, 1);
+        let report = explore(&alg, &[2, 2, 2], 40_000_000, &[]);
+        let mut rows = vec![(
+            "P1 + no deadlock (exhaustive, 2w+1r×2)",
+            if report.clean() { "PASS" } else { "FAIL" },
+        )];
+        rows.extend(battery(|| Fig3Rp::new(2, 3), true, false, true, false));
+        print_block("E4 — Figure 3 over Figure 2 (MWMR, reader priority, Theorem 4)", &rows);
+        println!("\nexploration: {report}");
+    }
+
+    // ---- E5: Figure 4 ----
+    {
+        let alg = Fig4::new(2, 1);
+        let report = explore(&alg, &[2, 2, 2], 40_000_000, &[]);
+        let mut rows = vec![(
+            "P1 + no deadlock (exhaustive, 2w+1r×2)",
+            if report.clean() { "PASS" } else { "FAIL" },
+        )];
+        rows.extend(battery(|| Fig4::new(2, 3), true, false, false, true));
+        print_block("E5 — Figure 4 (MWMR, writer priority, Theorem 5)", &rows);
+        println!("\nexploration: {report}");
+    }
+
+    // ---- Checker-sensitivity controls: the §3.3/§4.3 mutants ----
+    {
+        println!("\n## Controls — broken variants must FAIL (checker sensitivity)\n");
+        println!("| mutant | expected | observed |");
+        println!("|---|---|---|");
+        let r = explore(&Fig1NoExitWait::new(2), &[3, 2, 2], 60_000_000, &[]);
+        println!(
+            "| fig1 without exit wait (§3.3) | P1 violation | {} |",
+            if r.violations.is_empty() { "none (BAD)" } else { "P1 violation found" }
+        );
+        let r = explore(&Fig2Mutant::new(2, Fig2Break::NoFeatureA), &[2, 2, 2], 60_000_000, &[]);
+        println!(
+            "| fig2 without feature A (§4.3) | P1 violation | {} |",
+            if r.violations.is_empty() { "none (BAD)" } else { "P1 violation found" }
+        );
+        let r = explore(&Fig2Mutant::new(2, Fig2Break::NoFeatureB), &[3, 3, 3], 80_000_000, &[]);
+        println!(
+            "| fig2 without feature B (§4.3) | P1 violation | {} |",
+            if r.violations.is_empty() { "none (BAD)" } else { "P1 violation found" }
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Shared measurement harness for the experiment binaries and criterion
+//! benches. See EXPERIMENTS.md at the workspace root for the experiment
+//! index (E1–E11) and the recorded results.
+
+#![warn(missing_docs)]
+
+pub mod tables;
+pub mod workloads;

@@ -1,0 +1,220 @@
+//! Simulator sweeps behind the RMR tables (experiments E6–E8).
+
+use rmr_sim::algos::{Centralized, Fig1, Fig2, Fig3Rp, Fig3Sf, Fig4, TicketRw, Tournament};
+use rmr_sim::cost::{CcModel, CostModel, DsmModel};
+use rmr_sim::machine::Algorithm;
+use rmr_sim::runner::{RandomSched, Runner};
+use serde::Serialize;
+
+/// The algorithms the RMR sweeps cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimAlgo {
+    /// Figure 1 (SWMR writer priority). Forces `writers = 1`.
+    Fig1,
+    /// Figure 2 (SWMR reader priority). Forces `writers = 1`.
+    Fig2,
+    /// Figure 3 over Figure 1 (MWMR starvation free).
+    Fig3Sf,
+    /// Figure 3 over Figure 2 (MWMR reader priority).
+    Fig3Rp,
+    /// Figure 4 (MWMR writer priority).
+    Fig4,
+    /// Courtois et al. centralized baseline.
+    Centralized,
+    /// Task-fair ticket RW baseline.
+    TicketRw,
+    /// Counting-tree (Θ(log n)) baseline.
+    Tournament,
+}
+
+impl SimAlgo {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimAlgo::Fig1 => "fig1-swmr-wp",
+            SimAlgo::Fig2 => "fig2-swmr-rp",
+            SimAlgo::Fig3Sf => "fig3-mwmr-sf",
+            SimAlgo::Fig3Rp => "fig3-mwmr-rp",
+            SimAlgo::Fig4 => "fig4-mwmr-wp",
+            SimAlgo::Centralized => "centralized-1971",
+            SimAlgo::TicketRw => "ticket-rw",
+            SimAlgo::Tournament => "tournament-tree",
+        }
+    }
+
+    /// All paper algorithms.
+    pub const PAPER: [SimAlgo; 5] =
+        [SimAlgo::Fig1, SimAlgo::Fig2, SimAlgo::Fig3Sf, SimAlgo::Fig3Rp, SimAlgo::Fig4];
+
+    /// All baselines.
+    pub const BASELINES: [SimAlgo; 3] =
+        [SimAlgo::Centralized, SimAlgo::TicketRw, SimAlgo::Tournament];
+
+    /// Whether this algorithm supports only a single writer.
+    pub fn single_writer(self) -> bool {
+        matches!(self, SimAlgo::Fig1 | SimAlgo::Fig2)
+    }
+}
+
+/// Which cost model a sweep uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Cache-coherent write-invalidate (the model of Theorems 1–5).
+    Cc,
+    /// Distributed shared memory, all variables homed at process 0.
+    Dsm,
+}
+
+/// One row of an RMR table.
+#[derive(Debug, Clone, Serialize)]
+pub struct RmrRow {
+    /// Algorithm name.
+    pub algo: String,
+    /// Cost model ("cc"/"dsm").
+    pub model: String,
+    /// Number of writer processes.
+    pub writers: usize,
+    /// Number of reader processes.
+    pub readers: usize,
+    /// Worst RMRs charged to any single completed attempt.
+    pub max_rmr: u64,
+    /// Mean RMRs per completed attempt.
+    pub mean_rmr: f64,
+    /// Worst RMRs over reader attempts only.
+    pub max_reader_rmr: u64,
+    /// Worst RMRs over writer attempts only.
+    pub max_writer_rmr: u64,
+    /// Completed attempts measured.
+    pub attempts: usize,
+}
+
+fn measure<A: Algorithm>(
+    make: impl Fn() -> A,
+    model: Model,
+    attempts_per_proc: u32,
+    seeds: u64,
+) -> (u64, f64, u64, u64, usize) {
+    let mut max_rmr = 0u64;
+    let mut max_reader = 0u64;
+    let mut max_writer = 0u64;
+    let mut sum = 0u64;
+    let mut count = 0usize;
+    for seed in 0..seeds {
+        let alg = make();
+        let procs = alg.processes();
+        let vars = alg.layout().len();
+        let cost: Box<dyn CostModel> = match model {
+            Model::Cc => Box::new(CcModel::new(procs.min(64), vars)),
+            Model::Dsm => Box::new(DsmModel::all_at(0, vars)),
+        };
+        let mut runner = Runner::new(alg, cost, attempts_per_proc);
+        let mut sched = RandomSched::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(seed));
+        runner.run(&mut sched, 20_000_000);
+        assert!(
+            runner.violations().is_empty(),
+            "safety violation during measurement: {:?}",
+            runner.violations()
+        );
+        assert!(runner.quiescent(), "measurement run did not quiesce (seed {seed})");
+        for a in runner.finished_attempts() {
+            max_rmr = max_rmr.max(a.rmrs);
+            if a.role_writer {
+                max_writer = max_writer.max(a.rmrs);
+            } else {
+                max_reader = max_reader.max(a.rmrs);
+            }
+            sum += a.rmrs;
+            count += 1;
+        }
+    }
+    (max_rmr, sum as f64 / count.max(1) as f64, max_reader, max_writer, count)
+}
+
+/// Runs the RMR sweep for one algorithm/population/model point.
+pub fn rmr_row(
+    algo: SimAlgo,
+    writers: usize,
+    readers: usize,
+    model: Model,
+    attempts_per_proc: u32,
+    seeds: u64,
+) -> RmrRow {
+    let writers = if algo.single_writer() { 1 } else { writers };
+    let (max_rmr, mean_rmr, max_reader_rmr, max_writer_rmr, attempts) = match algo {
+        SimAlgo::Fig1 => measure(|| Fig1::new(readers), model, attempts_per_proc, seeds),
+        SimAlgo::Fig2 => measure(|| Fig2::new(readers), model, attempts_per_proc, seeds),
+        SimAlgo::Fig3Sf => measure(|| Fig3Sf::new(writers, readers), model, attempts_per_proc, seeds),
+        SimAlgo::Fig3Rp => measure(|| Fig3Rp::new(writers, readers), model, attempts_per_proc, seeds),
+        SimAlgo::Fig4 => measure(|| Fig4::new(writers, readers), model, attempts_per_proc, seeds),
+        SimAlgo::Centralized => {
+            measure(|| Centralized::new(writers, readers), model, attempts_per_proc, seeds)
+        }
+        SimAlgo::TicketRw => {
+            measure(|| TicketRw::new(writers, readers), model, attempts_per_proc, seeds)
+        }
+        SimAlgo::Tournament => {
+            measure(|| Tournament::new(writers, readers), model, attempts_per_proc, seeds)
+        }
+    };
+    RmrRow {
+        algo: algo.name().to_string(),
+        model: match model {
+            Model::Cc => "cc".into(),
+            Model::Dsm => "dsm".into(),
+        },
+        writers,
+        readers,
+        max_rmr,
+        mean_rmr,
+        max_reader_rmr,
+        max_writer_rmr,
+        attempts,
+    }
+}
+
+/// Renders rows as a GitHub-flavored markdown table.
+pub fn markdown_table(rows: &[RmrRow]) -> String {
+    let mut out = String::from(
+        "| algorithm | model | writers | readers | max RMR | mean RMR | max reader RMR | max writer RMR |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:.2} | {} | {} |\n",
+            r.algo, r.model, r.writers, r.readers, r.max_rmr, r.mean_rmr, r.max_reader_rmr,
+            r.max_writer_rmr
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_row_is_constant_and_small() {
+        let row = rmr_row(SimAlgo::Fig1, 1, 4, Model::Cc, 2, 3);
+        assert!(row.max_rmr <= 20, "{row:?}");
+        assert!(row.attempts > 0);
+        assert_eq!(row.writers, 1);
+    }
+
+    #[test]
+    fn tournament_row_grows_with_population() {
+        let small = rmr_row(SimAlgo::Tournament, 1, 3, Model::Cc, 2, 3);
+        let large = rmr_row(SimAlgo::Tournament, 1, 31, Model::Cc, 2, 3);
+        assert!(
+            large.max_reader_rmr > small.max_reader_rmr,
+            "expected log-n growth: {small:?} vs {large:?}"
+        );
+    }
+
+    #[test]
+    fn markdown_renders_all_rows() {
+        let rows = vec![rmr_row(SimAlgo::Fig2, 1, 2, Model::Cc, 1, 1)];
+        let md = markdown_table(&rows);
+        assert!(md.contains("fig2-swmr-rp"));
+        assert_eq!(md.lines().count(), 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! Real-thread workload drivers for the criterion benches and the
+//! priority-behavior experiment (E9, E11).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmr_core::raw::RawRwLock;
+use rmr_core::registry::Pid;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A mixed read/write workload specification.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Probability that an operation is a read (0.0–1.0).
+    pub read_ratio: f64,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+}
+
+/// Outcome of one workload execution.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadResult {
+    /// Total operations completed.
+    pub ops: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl WorkloadResult {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs `workload` against `lock`, with each thread flipping a seeded coin
+/// per operation to choose read vs. write. Panics if the protected
+/// counter's final value disagrees with the number of writes (a lost
+/// update — i.e. an exclusion bug).
+pub fn run_mixed<L: RawRwLock + 'static>(lock: Arc<L>, workload: Workload, seed: u64) -> WorkloadResult {
+    assert!(workload.threads <= lock.max_processes());
+    let counter = Arc::new(AtomicU64::new(0));
+    let writes_done = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..workload.threads {
+        let lock = Arc::clone(&lock);
+        let counter = Arc::clone(&counter);
+        let writes_done = Arc::clone(&writes_done);
+        handles.push(std::thread::spawn(move || {
+            let pid = Pid::from_index(t);
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64) << 32);
+            let mut local_writes = 0u64;
+            for _ in 0..workload.ops_per_thread {
+                if rng.gen_bool(workload.read_ratio) {
+                    let tok = lock.read_lock(pid);
+                    std::hint::black_box(counter.load(Ordering::Relaxed));
+                    lock.read_unlock(pid, tok);
+                } else {
+                    let tok = lock.write_lock(pid);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    local_writes += 1;
+                    lock.write_unlock(pid, tok);
+                }
+            }
+            writes_done.fetch_add(local_writes, Ordering::SeqCst);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(
+        counter.load(Ordering::SeqCst),
+        writes_done.load(Ordering::SeqCst),
+        "lost update under {workload:?}"
+    );
+    WorkloadResult { ops: (workload.threads * workload.ops_per_thread) as u64, elapsed }
+}
+
+/// E9 measurement: writer entry latency while `reader_threads` churn reads
+/// continuously. Returns per-write-attempt latencies.
+pub fn writer_latency_under_read_storm<L: RawRwLock + 'static>(
+    lock: Arc<L>,
+    reader_threads: usize,
+    write_attempts: usize,
+    storm: Duration,
+) -> Vec<Duration> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for t in 0..reader_threads {
+        let lock = Arc::clone(&lock);
+        let stop = Arc::clone(&stop);
+        handles_push(&mut readers, move || {
+            let pid = Pid::from_index(1 + t);
+            while !stop.load(Ordering::SeqCst) {
+                let tok = lock.read_lock(pid);
+                std::hint::spin_loop();
+                lock.read_unlock(pid, tok);
+            }
+        });
+    }
+
+    let writer_pid = Pid::from_index(0);
+    let mut latencies = Vec::with_capacity(write_attempts);
+    let deadline = Instant::now() + storm;
+    for _ in 0..write_attempts {
+        if Instant::now() > deadline {
+            break;
+        }
+        let t0 = Instant::now();
+        let tok = lock.write_lock(writer_pid);
+        latencies.push(t0.elapsed());
+        lock.write_unlock(writer_pid, tok);
+        std::thread::yield_now();
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    for r in readers {
+        r.join().unwrap();
+    }
+    latencies
+}
+
+fn handles_push(v: &mut Vec<std::thread::JoinHandle<()>>, f: impl FnOnce() + Send + 'static) {
+    v.push(std::thread::spawn(f));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmr_core::mwmr::MwmrStarvationFree;
+
+    #[test]
+    fn mixed_workload_loses_no_updates() {
+        let lock = Arc::new(MwmrStarvationFree::new(4));
+        let res = run_mixed(
+            lock,
+            Workload { threads: 4, read_ratio: 0.7, ops_per_thread: 200 },
+            42,
+        );
+        assert_eq!(res.ops, 800);
+        assert!(res.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn writer_latency_probe_completes() {
+        let lock = Arc::new(rmr_core::mwmr::MwmrWriterPriority::new(4));
+        let lat = writer_latency_under_read_storm(lock, 2, 5, Duration::from_secs(5));
+        assert!(!lat.is_empty());
+    }
+}

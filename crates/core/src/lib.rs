@@ -1,0 +1,79 @@
+//! Constant-RMR reader-writer locks — a faithful implementation of
+//! Bhatt & Jayanti, *"Constant RMR Solutions to Reader Writer
+//! Synchronization"* (Dartmouth TR2010-662 / PODC 2010).
+//!
+//! The paper gives the first reader-writer exclusion algorithms whose RMR
+//! (remote memory reference) complexity on cache-coherent machines is O(1)
+//! — independent of the number of contending processes — for all three
+//! priority disciplines. This crate implements all of them on real
+//! `std::sync::atomic` primitives:
+//!
+//! | Type | Paper artifact | Discipline |
+//! |---|---|---|
+//! | [`swmr::SwmrWriterPriority`] | Figure 1, Theorem 1 | single writer, writer priority + starvation freedom |
+//! | [`swmr::SwmrReaderPriority`] | Figure 2, Theorem 2 | single writer, reader priority |
+//! | [`mwmr::MwmrStarvationFree`] | Figure 3 ∘ Figure 1, Theorem 3 | multi writer, no priority, nobody starves |
+//! | [`mwmr::MwmrReaderPriority`] | Figure 3 ∘ Figure 2, Theorem 4 | multi writer, reader priority |
+//! | [`mwmr::MwmrWriterPriority`] | Figure 4, Theorem 5 | multi writer, writer priority |
+//!
+//! The multi-writer locks implement [`raw::RawRwLock`] and plug into the
+//! RAII front end [`rwlock::RwLock`]:
+//!
+//! ```
+//! use rmr_core::RwLock;
+//!
+//! let lock = RwLock::writer_priority(vec![0u8; 4], 16);
+//! let mut handle = lock.register()?;
+//! handle.write().push(9);
+//! assert_eq!(handle.read().len(), 5);
+//! # Ok::<(), rmr_core::registry::RegistryFull>(())
+//! ```
+//!
+//! # Verification
+//!
+//! The sibling crate `rmr-sim` re-encodes every algorithm at the paper's
+//! line-level atomicity and model-checks the claimed properties (P1–P7,
+//! RP1/RP2, WP1/WP2, plus the Appendix A invariants) exhaustively for small
+//! configurations, and measures RMR counts under the paper's CC and DSM
+//! cost models. See DESIGN.md and EXPERIMENTS.md at the workspace root.
+//!
+//! # Memory ordering
+//!
+//! The paper assumes sequential consistency; every atomic here uses
+//! `SeqCst`. See `rmr-mutex`'s crate docs for the rationale.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod mwmr;
+pub mod packed;
+pub mod raw;
+pub mod registry;
+pub mod rwlock;
+mod side;
+pub mod swmr;
+pub mod swmr_rwlock;
+
+pub use raw::RawRwLock;
+pub use registry::{Pid, PidRegistry, RegistryFull};
+pub use rwlock::{
+    LockHandle, ReadGuard, ReaderPriorityRwLock, RwLock, StarvationFreeRwLock, WriteGuard,
+    WriterPriorityRwLock,
+};
+pub use side::{AtomicSide, Side};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<swmr::SwmrWriterPriority>();
+        assert_send_sync::<swmr::SwmrReaderPriority>();
+        assert_send_sync::<mwmr::MwmrStarvationFree>();
+        assert_send_sync::<mwmr::MwmrReaderPriority>();
+        assert_send_sync::<mwmr::MwmrWriterPriority>();
+        assert_send_sync::<RwLock<Vec<u8>, mwmr::MwmrStarvationFree>>();
+    }
+}

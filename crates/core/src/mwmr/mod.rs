@@ -1,0 +1,18 @@
+//! The paper's multi-writer multi-reader locks (§5, Theorems 3–5).
+//!
+//! | Type | Paper artifact | Guarantees |
+//! |---|---|---|
+//! | [`MwmrStarvationFree`] | Fig. 3 over Fig. 1 | P1–P7 (no priority, nobody starves) |
+//! | [`MwmrReaderPriority`] | Fig. 3 over Fig. 2 | P1–P6, RP1, RP2 (writers may starve) |
+//! | [`MwmrWriterPriority`] | Fig. 4 | P1–P6, WP1, WP2 (readers may starve) |
+//!
+//! All three have O(1) RMR complexity in the CC model and O(n) shared
+//! variables, where n is the process capacity.
+
+pub mod reader_priority;
+pub mod starvation_free;
+pub mod writer_priority;
+
+pub use reader_priority::MwmrReaderPriority;
+pub use starvation_free::MwmrStarvationFree;
+pub use writer_priority::MwmrWriterPriority;

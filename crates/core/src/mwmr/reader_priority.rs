@@ -1,0 +1,244 @@
+//! Figure 3 over Figure 2: the multi-writer multi-reader lock with
+//! **reader priority** (Theorem 4).
+//!
+//! Same transformation `T` as [`super::MwmrStarvationFree`], instantiated
+//! with the Figure 2 reader-priority single-writer lock: writers serialize
+//! through `M` and then play the single writer of Figure 2; readers run
+//! Figure 2's reader protocol unchanged. RP1/RP2 lift to the multi-writer
+//! setting because readers never interact with `M` at all — a reader that
+//! outranks every active writer (in the `>rp` relation) finds the inner
+//! lock's `X ≠ true` or an open gate exactly as in the single-writer proof.
+
+use crate::raw::RawRwLock;
+use crate::registry::Pid;
+use crate::swmr::reader_priority::{ReadSession, SwmrReaderPriority, WriteSession};
+use rmr_mutex::{AndersonLock, RawMutex};
+use std::fmt;
+
+/// Proof of a held write lock: the inner write session plus the `M` token.
+#[derive(Debug)]
+#[must_use = "the write lock must be released with write_unlock"]
+pub struct WriteToken<M: RawMutex> {
+    session: WriteSession,
+    mutex_token: M::Token,
+}
+
+/// Figure 3 instantiated with Figure 2: multi-writer multi-reader lock
+/// satisfying P1–P6 plus RP1 (reader priority) and RP2 (unstoppable
+/// readers), with O(1) RMR complexity in the CC model (Theorem 4).
+///
+/// Writers may starve under a continuous stream of readers — by design;
+/// use [`super::MwmrStarvationFree`] when no class may starve.
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::mwmr::MwmrReaderPriority;
+/// use rmr_core::raw::RawRwLock;
+/// use rmr_core::registry::Pid;
+///
+/// let lock = MwmrReaderPriority::new(8);
+/// let r = lock.read_lock(Pid::from_index(0));
+/// lock.read_unlock(Pid::from_index(0), r);
+/// ```
+pub struct MwmrReaderPriority<M: RawMutex = AndersonLock> {
+    swmr: SwmrReaderPriority,
+    mutex: M,
+    max_processes: usize,
+}
+
+impl MwmrReaderPriority<AndersonLock> {
+    /// Creates a lock for up to `max_processes` concurrently registered
+    /// processes, using an [`AndersonLock`] sized accordingly as `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_processes == 0`.
+    pub fn new(max_processes: usize) -> Self {
+        Self::with_mutex(AndersonLock::new(max_processes), max_processes)
+    }
+}
+
+impl<M: RawMutex> MwmrReaderPriority<M> {
+    /// Creates the lock over a caller-supplied mutex `M` (see
+    /// [`super::MwmrStarvationFree::with_mutex`] for the requirements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_processes == 0` or exceeds the mutex capacity.
+    pub fn with_mutex(mutex: M, max_processes: usize) -> Self {
+        assert!(max_processes > 0, "max_processes must be positive");
+        if let Some(cap) = mutex.capacity() {
+            assert!(
+                cap >= max_processes,
+                "mutex capacity {cap} below max_processes {max_processes}"
+            );
+        }
+        Self { swmr: SwmrReaderPriority::new(), mutex, max_processes }
+    }
+
+    /// The inner single-writer lock (for diagnostics and tests).
+    pub fn inner(&self) -> &SwmrReaderPriority {
+        &self.swmr
+    }
+}
+
+impl<M: RawMutex> RawRwLock for MwmrReaderPriority<M> {
+    type ReadToken = ReadSession;
+    type WriteToken = WriteToken<M>;
+
+    fn read_lock(&self, pid: Pid) -> ReadSession {
+        self.swmr.read_lock(pid)
+    }
+
+    fn read_unlock(&self, pid: Pid, token: ReadSession) {
+        self.swmr.read_unlock(pid, token);
+    }
+
+    fn write_lock(&self, pid: Pid) -> WriteToken<M> {
+        let mutex_token = self.mutex.lock(); // T line 2: acquire(M)
+        let session = self.swmr.write_lock(pid); // T line 3: SW-Write-try()
+        WriteToken { session, mutex_token }
+    }
+
+    fn write_unlock(&self, pid: Pid, token: WriteToken<M>) {
+        self.swmr.write_unlock(pid, token.session); // T line 5
+        self.mutex.unlock(token.mutex_token); // T line 6
+    }
+
+    fn max_processes(&self) -> usize {
+        self.max_processes
+    }
+}
+
+impl<M: RawMutex> fmt::Debug for MwmrReaderPriority<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MwmrReaderPriority")
+            .field("max_processes", &self.max_processes)
+            .field("inner", &self.swmr)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn pid(i: usize) -> Pid {
+        Pid::from_index(i)
+    }
+
+    #[test]
+    fn single_thread_cycles() {
+        let lock = MwmrReaderPriority::new(4);
+        for _ in 0..50 {
+            let r = lock.read_lock(pid(0));
+            lock.read_unlock(pid(0), r);
+            let w = lock.write_lock(pid(0));
+            lock.write_unlock(pid(0), w);
+        }
+    }
+
+    #[test]
+    fn two_writers_take_turns() {
+        let lock = Arc::new(MwmrReaderPriority::new(4));
+        let mut handles = Vec::new();
+        for i in 0..2 {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let w = lock.write_lock(pid(i));
+                    lock.write_unlock(pid(i), w);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn readers_overtake_waiting_writers() {
+        // RP1: with a reader pinning the CS and a writer queued, a brand-new
+        // reader must still enter without blocking.
+        let lock = Arc::new(MwmrReaderPriority::new(4));
+        let r1 = lock.read_lock(pid(2));
+
+        let lw = Arc::clone(&lock);
+        let writer = std::thread::spawn(move || {
+            let w = lw.write_lock(pid(0));
+            lw.write_unlock(pid(0), w);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+
+        let r2 = lock.read_lock(pid(3)); // must not block
+        lock.read_unlock(pid(3), r2);
+
+        lock.read_unlock(pid(2), r1);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn exclusion_stress() {
+        let lock = Arc::new(MwmrReaderPriority::new(8));
+        let readers_in = Arc::new(AtomicUsize::new(0));
+        let writers_in = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..2 {
+            let lock = Arc::clone(&lock);
+            let readers_in = Arc::clone(&readers_in);
+            let writers_in = Arc::clone(&writers_in);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let w = lock.write_lock(pid(i));
+                    assert_eq!(writers_in.fetch_add(1, Ordering::SeqCst), 0, "two writers in CS");
+                    assert_eq!(readers_in.load(Ordering::SeqCst), 0, "reader with writer in CS");
+                    writers_in.fetch_sub(1, Ordering::SeqCst);
+                    lock.write_unlock(pid(i), w);
+                }
+            }));
+        }
+        for i in 2..6 {
+            let lock = Arc::clone(&lock);
+            let readers_in = Arc::clone(&readers_in);
+            let writers_in = Arc::clone(&writers_in);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let r = lock.read_lock(pid(i));
+                    readers_in.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(writers_in.load(Ordering::SeqCst), 0, "writer with reader in CS");
+                    readers_in.fetch_sub(1, Ordering::SeqCst);
+                    lock.read_unlock(pid(i), r);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.inner().reader_count(), 0);
+    }
+
+    #[test]
+    fn writer_completes_once_readers_pause() {
+        // Not starvation freedom (readers *may* starve writers here), but
+        // the writer must finish when the reader stream stops (P6).
+        let lock = Arc::new(MwmrReaderPriority::new(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let lr = Arc::clone(&lock);
+        let sr = Arc::clone(&stop);
+        let reader = std::thread::spawn(move || {
+            while !sr.load(Ordering::SeqCst) {
+                let r = lr.read_lock(pid(1));
+                lr.read_unlock(pid(1), r);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::SeqCst);
+        let w = lock.write_lock(pid(0));
+        lock.write_unlock(pid(0), w);
+        reader.join().unwrap();
+    }
+}

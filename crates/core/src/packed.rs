@@ -1,0 +1,186 @@
+//! The paper's two-component fetch&add variables.
+//!
+//! Figures 1 and 4 use fetch&add variables with two components
+//! `[writer-waiting ∈ {0,1}, reader-count ∈ ℕ]` and operations like
+//! `F&A(C[d], \[1, 0\])` (set the writer-waiting flag) or `F&A(C[d], [0, -1])`
+//! (retire one reader). We pack both components into a single `AtomicU64`:
+//! bit 63 is the writer-waiting flag, bits 0–62 the reader count. Because
+//! the flag is added/removed at most once at a time by the unique writer
+//! role and the reader count is bounded by the registry capacity (≪ 2^62),
+//! the two fields can never carry into each other, so one hardware
+//! `fetch_add` implements the paper's componentwise `F&A` exactly.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bit used for the `writer-waiting` component.
+const WRITER_BIT: u64 = 1 << 63;
+
+/// A snapshot of a two-component fetch&add variable, as *returned* by the
+/// F&A operations (i.e. the value **before** the update, matching the
+/// paper's `if (F&A(...) = \[1, 1\])` tests).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Packed(u64);
+
+impl Packed {
+    /// The value `\[0, 0\]`: no writer waiting, no readers registered.
+    pub const ZERO: Packed = Packed(0);
+
+    /// The value `\[1, 1\]`: writer waiting and exactly one reader registered —
+    /// the "last reader out must wake the writer" test of Fig. 1
+    /// lines 22, 27, 29.
+    pub const ONE_ONE: Packed = Packed(WRITER_BIT | 1);
+
+    /// Builds a snapshot from components (used by tests and the simulator).
+    pub fn new(writer_waiting: bool, reader_count: u64) -> Self {
+        debug_assert!(reader_count < WRITER_BIT);
+        Packed(if writer_waiting { WRITER_BIT | reader_count } else { reader_count })
+    }
+
+    /// The `writer-waiting` component.
+    pub fn writer_waiting(self) -> bool {
+        self.0 & WRITER_BIT != 0
+    }
+
+    /// The `reader-count` component.
+    pub fn reader_count(self) -> u64 {
+        self.0 & !WRITER_BIT
+    }
+
+    /// Raw encoded value.
+    pub fn into_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Packed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.writer_waiting() as u8, self.reader_count())
+    }
+}
+
+/// A two-component `[writer-waiting, reader-count]` fetch&add variable
+/// (the paper's `C\[0\]`, `C\[1\]`, and `EC`).
+///
+/// All operations return the **previous** value, exactly like the paper's
+/// `F&A`. Methods are named after the componentwise increments they apply.
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::packed::{Packed, PackedFaa};
+///
+/// let c = PackedFaa::new();
+/// assert_eq!(c.add_reader(), Packed::ZERO);      // F&A(C, [0, 1])  -> old [0,0]
+/// assert_eq!(c.add_writer(), Packed::new(false, 1)); // F&A(C, [1, 0])
+/// assert_eq!(c.sub_reader(), Packed::ONE_ONE);   // F&A(C, [0,-1]) -> old [1,1]
+/// assert_eq!(c.sub_writer(), Packed::new(true, 0));
+/// assert_eq!(c.load(), Packed::ZERO);
+/// ```
+#[derive(Default)]
+pub struct PackedFaa(AtomicU64);
+
+impl PackedFaa {
+    /// Creates the variable initialized to `\[0, 0\]`.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// `F&A(·, \[1, 0\])`: sets the writer-waiting flag. Returns the old value.
+    ///
+    /// Caller contract (upheld by the algorithms): the flag is currently 0.
+    pub fn add_writer(&self) -> Packed {
+        Packed(self.0.fetch_add(WRITER_BIT, Ordering::SeqCst))
+    }
+
+    /// `F&A(·, [-1, 0])`: clears the writer-waiting flag. Returns the old value.
+    ///
+    /// Caller contract: the flag is currently 1.
+    pub fn sub_writer(&self) -> Packed {
+        Packed(self.0.fetch_sub(WRITER_BIT, Ordering::SeqCst))
+    }
+
+    /// `F&A(·, \[0, 1\])`: registers one reader. Returns the old value.
+    pub fn add_reader(&self) -> Packed {
+        Packed(self.0.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// `F&A(·, [0, -1])`: retires one reader. Returns the old value.
+    ///
+    /// Caller contract: the reader count is currently ≥ 1.
+    pub fn sub_reader(&self) -> Packed {
+        Packed(self.0.fetch_sub(1, Ordering::SeqCst))
+    }
+
+    /// Atomic read of the current value.
+    pub fn load(&self) -> Packed {
+        Packed(self.0.load(Ordering::SeqCst))
+    }
+}
+
+impl fmt::Debug for PackedFaa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedFaa({:?})", self.load())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_round_trip() {
+        for ww in [false, true] {
+            for rc in [0u64, 1, 2, 41, 1 << 40] {
+                let p = Packed::new(ww, rc);
+                assert_eq!(p.writer_waiting(), ww);
+                assert_eq!(p.reader_count(), rc);
+            }
+        }
+    }
+
+    #[test]
+    fn faa_returns_previous_value() {
+        let v = PackedFaa::new();
+        assert_eq!(v.add_reader(), Packed::ZERO);
+        assert_eq!(v.add_reader(), Packed::new(false, 1));
+        assert_eq!(v.add_writer(), Packed::new(false, 2));
+        assert_eq!(v.load(), Packed::new(true, 2));
+        assert_eq!(v.sub_reader(), Packed::new(true, 2));
+        assert_eq!(v.sub_reader(), Packed::ONE_ONE);
+        assert_eq!(v.sub_writer(), Packed::new(true, 0));
+        assert_eq!(v.load(), Packed::ZERO);
+    }
+
+    #[test]
+    fn one_one_is_the_wakeup_test_value() {
+        let v = PackedFaa::new();
+        v.add_reader();
+        v.add_writer();
+        // The last reader out observes [1, 1] and must wake the writer.
+        assert_eq!(v.sub_reader(), Packed::ONE_ONE);
+        assert!(v.sub_writer().writer_waiting());
+    }
+
+    #[test]
+    fn fields_do_not_interfere() {
+        let v = PackedFaa::new();
+        for _ in 0..1000 {
+            v.add_reader();
+        }
+        v.add_writer();
+        assert_eq!(v.load(), Packed::new(true, 1000));
+        v.sub_writer();
+        assert_eq!(v.load(), Packed::new(false, 1000));
+        for _ in 0..1000 {
+            v.sub_reader();
+        }
+        assert_eq!(v.load(), Packed::ZERO);
+    }
+
+    #[test]
+    fn debug_formats_as_pair() {
+        assert_eq!(format!("{:?}", Packed::ONE_ONE), "[1, 1]");
+        assert_eq!(format!("{:?}", Packed::ZERO), "[0, 0]");
+    }
+}

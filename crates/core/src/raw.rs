@@ -1,0 +1,54 @@
+//! The raw multi-writer multi-reader lock interface.
+
+use crate::registry::Pid;
+
+/// A raw reader-writer lock usable by any number of readers and writers.
+///
+/// This is the common interface over the paper's three multi-writer
+/// algorithms (Theorems 3–5) and over the baselines in `rmr-baselines`;
+/// the typed [`RwLock`](crate::rwlock::RwLock) front end, the examples and
+/// the benchmark harness are all generic over it.
+///
+/// # Contract
+///
+/// * `pid` values of concurrently active processes must be distinct and in
+///   `0..max_processes()` (use [`PidRegistry`](crate::registry::PidRegistry)).
+/// * A process performs one attempt at a time: `read_lock` must be matched
+///   by `read_unlock` with the returned token before the same pid starts
+///   another attempt, and likewise for writes.
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::mwmr::MwmrStarvationFree;
+/// use rmr_core::raw::RawRwLock;
+/// use rmr_core::registry::Pid;
+///
+/// let lock = MwmrStarvationFree::new(4);
+/// let me = Pid::from_index(0);
+/// let t = lock.read_lock(me);
+/// lock.read_unlock(me, t);
+/// let t = lock.write_lock(me);
+/// lock.write_unlock(me, t);
+/// ```
+pub trait RawRwLock: Send + Sync {
+    /// Proof of a held read lock.
+    type ReadToken;
+    /// Proof of a held write lock.
+    type WriteToken;
+
+    /// Acquires the lock for reading; blocks (spins) until granted.
+    fn read_lock(&self, pid: Pid) -> Self::ReadToken;
+
+    /// Releases a read lock. Bounded: completes in O(1) steps.
+    fn read_unlock(&self, pid: Pid, token: Self::ReadToken);
+
+    /// Acquires the lock for writing; blocks (spins) until granted.
+    fn write_lock(&self, pid: Pid) -> Self::WriteToken;
+
+    /// Releases a write lock. Bounded: completes in O(1) steps.
+    fn write_unlock(&self, pid: Pid, token: Self::WriteToken);
+
+    /// Number of pids supported (the `n` of the theorems).
+    fn max_processes(&self) -> usize;
+}

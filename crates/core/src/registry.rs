@@ -1,0 +1,199 @@
+//! Process-identifier allocation.
+//!
+//! The paper's algorithms name processes by PIDs drawn from a finite set
+//! (`X ∈ PID ∪ {true}` in Fig. 2, `W-token ∈ PID ∪ {false} ∪ {0,1}` in
+//! Fig. 4). The typed lock front end hands each participating thread a
+//! [`Pid`] from a fixed-capacity [`PidRegistry`]; the registry capacity is
+//! the `n` of the theorems ("O(n) shared variables", Anderson-lock slots).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A process identifier: a small dense integer in `0..capacity`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub(crate) u32);
+
+impl Pid {
+    /// The integer value of the pid.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a pid from a raw index. Intended for the simulator and tests;
+    /// the typed API always allocates pids through [`PidRegistry`].
+    pub fn from_index(index: usize) -> Self {
+        Pid(u32::try_from(index).expect("pid out of range"))
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Error returned when a lock already has `capacity` registered processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryFull {
+    capacity: usize,
+}
+
+impl RegistryFull {
+    /// The capacity that was exhausted.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl fmt::Display for RegistryFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "all {} process slots are registered", self.capacity)
+    }
+}
+
+impl std::error::Error for RegistryFull {}
+
+/// Fixed-capacity pid allocator.
+///
+/// Allocation is O(capacity) (a scan with one CAS per probed slot) — pids
+/// are allocated at registration time, never on the lock fast path.
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::registry::PidRegistry;
+///
+/// let reg = PidRegistry::new(2);
+/// let a = reg.allocate().unwrap();
+/// let b = reg.allocate().unwrap();
+/// assert!(reg.allocate().is_err());
+/// reg.release(a);
+/// assert!(reg.allocate().is_ok());
+/// # let _ = b;
+/// ```
+pub struct PidRegistry {
+    in_use: Box<[AtomicBool]>,
+}
+
+impl PidRegistry {
+    /// Creates a registry with `capacity` pids (`0..capacity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds `u32::MAX`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "registry capacity must be positive");
+        assert!(u32::try_from(capacity).is_ok(), "registry capacity too large");
+        Self {
+            in_use: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Number of pids this registry manages.
+    pub fn capacity(&self) -> usize {
+        self.in_use.len()
+    }
+
+    /// Number of pids currently allocated (approximate under concurrency).
+    pub fn allocated(&self) -> usize {
+        self.in_use.iter().filter(|b| b.load(Ordering::SeqCst)).count()
+    }
+
+    /// Claims a free pid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryFull`] if every pid is in use.
+    pub fn allocate(&self) -> Result<Pid, RegistryFull> {
+        for (i, slot) in self.in_use.iter().enumerate() {
+            if slot
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Ok(Pid(i as u32));
+            }
+        }
+        Err(RegistryFull { capacity: self.capacity() })
+    }
+
+    /// Returns a pid to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the pid was not allocated, which indicates
+    /// a double release.
+    pub fn release(&self, pid: Pid) {
+        let was = self.in_use[pid.index()].swap(false, Ordering::SeqCst);
+        debug_assert!(was, "released pid {pid} that was not allocated");
+    }
+}
+
+impl fmt::Debug for PidRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PidRegistry")
+            .field("capacity", &self.capacity())
+            .field("allocated", &self.allocated())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn allocates_dense_pids() {
+        let reg = PidRegistry::new(3);
+        let a = reg.allocate().unwrap();
+        let b = reg.allocate().unwrap();
+        let c = reg.allocate().unwrap();
+        let mut ids = vec![a.index(), b.index(), c.index()];
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exhaustion_reports_capacity() {
+        let reg = PidRegistry::new(1);
+        let _a = reg.allocate().unwrap();
+        let err = reg.allocate().unwrap_err();
+        assert_eq!(err.capacity(), 1);
+        assert_eq!(err.to_string(), "all 1 process slots are registered");
+    }
+
+    #[test]
+    fn release_recycles() {
+        let reg = PidRegistry::new(2);
+        let a = reg.allocate().unwrap();
+        reg.release(a);
+        let again = reg.allocate().unwrap();
+        assert_eq!(again, a);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_unique() {
+        let reg = Arc::new(PidRegistry::new(16));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || reg.allocate().unwrap()));
+        }
+        let mut pids: Vec<_> = handles.into_iter().map(|h| h.join().unwrap().index()).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids.len(), 16, "duplicate pid handed out");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Pid::from_index(7).to_string(), "p7");
+        assert_eq!(format!("{:?}", Pid::from_index(7)), "p7");
+    }
+}

@@ -1,0 +1,356 @@
+//! Typed, RAII-guarded front end over the raw locks.
+//!
+//! [`RwLock`] owns the protected value and a [`PidRegistry`]; each
+//! participating thread calls [`RwLock::register`] once to obtain a
+//! [`LockHandle`] (its pid), then takes [`ReadGuard`]s and [`WriteGuard`]s
+//! through the handle. Guards borrow the handle mutably, which enforces the
+//! paper's "one attempt at a time per process" discipline at compile time.
+
+use crate::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
+use crate::raw::RawRwLock;
+use crate::registry::{Pid, PidRegistry, RegistryFull};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A reader-writer lock protecting a value of type `T`, generic over the
+/// raw lock policy `L`.
+///
+/// Use the policy-named constructors:
+/// [`RwLock::starvation_free`] (Theorem 3), [`RwLock::reader_priority`]
+/// (Theorem 4), [`RwLock::writer_priority`] (Theorem 5) — or
+/// [`RwLock::with_raw`] for any other [`RawRwLock`] (e.g. the baselines in
+/// `rmr-baselines`).
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::rwlock::RwLock;
+/// use std::sync::Arc;
+///
+/// let lock = Arc::new(RwLock::starvation_free(0u64, 4));
+/// let mut handles = Vec::new();
+/// for _ in 0..4 {
+///     let lock = Arc::clone(&lock);
+///     handles.push(std::thread::spawn(move || {
+///         let mut h = lock.register().expect("capacity 4, 4 threads");
+///         for _ in 0..100 {
+///             *h.write() += 1;
+///             let _sum = *h.read();
+///         }
+///     }));
+/// }
+/// for t in handles {
+///     t.join().unwrap();
+/// }
+/// let mut h = lock.register().unwrap();
+/// assert_eq!(*h.read(), 400);
+/// ```
+pub struct RwLock<T: ?Sized, L> {
+    raw: L,
+    registry: PidRegistry,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the raw lock guarantees that a `&mut T` (through WriteGuard) never
+// coexists with any other access, and `&T` (ReadGuard) only coexists with
+// other `&T`. Sending the lock additionally moves the value.
+unsafe impl<T: ?Sized + Send, L: RawRwLock> Send for RwLock<T, L> {}
+unsafe impl<T: ?Sized + Send + Sync, L: RawRwLock> Sync for RwLock<T, L> {}
+
+/// [`RwLock`] over the no-priority, starvation-free policy (Theorem 3).
+pub type StarvationFreeRwLock<T> = RwLock<T, MwmrStarvationFree>;
+/// [`RwLock`] over the reader-priority policy (Theorem 4).
+pub type ReaderPriorityRwLock<T> = RwLock<T, MwmrReaderPriority>;
+/// [`RwLock`] over the writer-priority policy (Theorem 5).
+pub type WriterPriorityRwLock<T> = RwLock<T, MwmrWriterPriority>;
+
+impl<T> RwLock<T, MwmrStarvationFree> {
+    /// Creates a starvation-free (no-priority) lock for up to
+    /// `max_processes` registered threads.
+    pub fn starvation_free(value: T, max_processes: usize) -> Self {
+        Self::with_raw(value, MwmrStarvationFree::new(max_processes))
+    }
+}
+
+impl<T> RwLock<T, MwmrReaderPriority> {
+    /// Creates a reader-priority lock for up to `max_processes` registered
+    /// threads. Writers may starve under continuous read traffic.
+    pub fn reader_priority(value: T, max_processes: usize) -> Self {
+        Self::with_raw(value, MwmrReaderPriority::new(max_processes))
+    }
+}
+
+impl<T> RwLock<T, MwmrWriterPriority> {
+    /// Creates a writer-priority lock for up to `max_processes` registered
+    /// threads. Readers may starve under continuous write traffic.
+    pub fn writer_priority(value: T, max_processes: usize) -> Self {
+        Self::with_raw(value, MwmrWriterPriority::new(max_processes))
+    }
+}
+
+impl<T, L: RawRwLock> RwLock<T, L> {
+    /// Wraps `value` behind an arbitrary raw lock.
+    pub fn with_raw(value: T, raw: L) -> Self {
+        let registry = PidRegistry::new(raw.max_processes());
+        Self { raw, registry, data: UnsafeCell::new(value) }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
+    /// Registers the calling context as a participating process.
+    ///
+    /// The handle owns a [`Pid`] until dropped. Registration is not on the
+    /// lock fast path; keep the handle around rather than re-registering
+    /// per operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryFull`] if `max_processes` handles are live.
+    pub fn register(&self) -> Result<LockHandle<'_, T, L>, RegistryFull> {
+        let pid = self.registry.allocate()?;
+        Ok(LockHandle { lock: self, pid })
+    }
+
+    /// Mutable access without locking — safe because `&mut self` proves
+    /// exclusive ownership.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// The underlying raw lock.
+    pub fn raw(&self) -> &L {
+        &self.raw
+    }
+
+    /// Number of threads that may be registered simultaneously.
+    pub fn max_processes(&self) -> usize {
+        self.raw.max_processes()
+    }
+}
+
+impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for RwLock<T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deliberately does not read `data` (would need the lock).
+        f.debug_struct("RwLock")
+            .field("max_processes", &self.max_processes())
+            .field("registered", &self.registry.allocated())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A registered participant of an [`RwLock`]; owns a [`Pid`].
+///
+/// Guard-taking methods borrow the handle mutably: one attempt at a time
+/// per process, enforced at compile time.
+pub struct LockHandle<'l, T: ?Sized, L: RawRwLock> {
+    lock: &'l RwLock<T, L>,
+    pid: Pid,
+}
+
+impl<'l, T: ?Sized, L: RawRwLock> LockHandle<'l, T, L> {
+    /// The pid this handle registered.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Acquires the lock for reading.
+    pub fn read(&mut self) -> ReadGuard<'_, 'l, T, L> {
+        let token = self.lock.raw.read_lock(self.pid);
+        ReadGuard { handle: self, token: Some(token) }
+    }
+
+    /// Acquires the lock for writing.
+    pub fn write(&mut self) -> WriteGuard<'_, 'l, T, L> {
+        let token = self.lock.raw.write_lock(self.pid);
+        WriteGuard { handle: self, token: Some(token) }
+    }
+
+    /// Runs `f` with shared access (convenience over [`Self::read`]).
+    pub fn read_with<R>(&mut self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.read())
+    }
+
+    /// Runs `f` with exclusive access (convenience over [`Self::write`]).
+    pub fn write_with<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.write())
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock> Drop for LockHandle<'_, T, L> {
+    fn drop(&mut self) {
+        self.lock.registry.release(self.pid);
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock> fmt::Debug for LockHandle<'_, T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockHandle").field("pid", &self.pid).finish()
+    }
+}
+
+/// RAII shared access to the protected value; released on drop
+/// (bounded exit: the unlock path performs O(1) steps).
+pub struct ReadGuard<'h, 'l, T: ?Sized, L: RawRwLock> {
+    handle: &'h LockHandle<'l, T, L>,
+    token: Option<L::ReadToken>,
+}
+
+impl<T: ?Sized, L: RawRwLock> Deref for ReadGuard<'_, '_, T, L> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the raw lock admits no writer while this read session is
+        // open, so shared access is sound.
+        unsafe { &*self.handle.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock> Drop for ReadGuard<'_, '_, T, L> {
+    fn drop(&mut self) {
+        let token = self.token.take().expect("read token taken twice");
+        self.handle.lock.raw.read_unlock(self.handle.pid, token);
+    }
+}
+
+impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for ReadGuard<'_, '_, T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ReadGuard").field(&&**self).finish()
+    }
+}
+
+/// RAII exclusive access to the protected value; released on drop
+/// (bounded exit: the unlock path performs O(1) steps).
+pub struct WriteGuard<'h, 'l, T: ?Sized, L: RawRwLock> {
+    handle: &'h LockHandle<'l, T, L>,
+    token: Option<L::WriteToken>,
+}
+
+impl<T: ?Sized, L: RawRwLock> Deref for WriteGuard<'_, '_, T, L> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: this write session excludes all other access.
+        unsafe { &*self.handle.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock> DerefMut for WriteGuard<'_, '_, T, L> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: this write session excludes all other access.
+        unsafe { &mut *self.handle.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock> Drop for WriteGuard<'_, '_, T, L> {
+    fn drop(&mut self) {
+        let token = self.token.take().expect("write token taken twice");
+        self.handle.lock.raw.write_unlock(self.handle.pid, token);
+    }
+}
+
+impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for WriteGuard<'_, '_, T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("WriteGuard").field(&&**self).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_and_write_guards_deref() {
+        let lock = RwLock::starvation_free(vec![1, 2, 3], 2);
+        let mut h = lock.register().unwrap();
+        assert_eq!(h.read().len(), 3);
+        h.write().push(4);
+        assert_eq!(*h.read(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn all_three_policies_construct_and_lock() {
+        let sf = RwLock::starvation_free(1u32, 2);
+        let rp = RwLock::reader_priority(2u32, 2);
+        let wp = RwLock::writer_priority(3u32, 2);
+        let mut h = sf.register().unwrap();
+        assert_eq!(*h.read(), 1);
+        let mut h = rp.register().unwrap();
+        assert_eq!(*h.read(), 2);
+        let mut h = wp.register().unwrap();
+        assert_eq!(*h.read(), 3);
+    }
+
+    #[test]
+    fn registration_respects_capacity() {
+        let lock = RwLock::starvation_free((), 2);
+        let a = lock.register().unwrap();
+        let b = lock.register().unwrap();
+        assert!(lock.register().is_err());
+        drop(a);
+        let c = lock.register().unwrap();
+        drop(b);
+        drop(c);
+    }
+
+    #[test]
+    fn pids_are_released_on_handle_drop() {
+        let lock = RwLock::writer_priority(0u8, 1);
+        for _ in 0..10 {
+            let mut h = lock.register().unwrap();
+            *h.write() += 1;
+        }
+        let mut h = lock.register().unwrap();
+        assert_eq!(*h.read(), 10);
+    }
+
+    #[test]
+    fn into_inner_and_get_mut() {
+        let mut lock = RwLock::reader_priority(String::from("a"), 2);
+        lock.get_mut().push('b');
+        assert_eq!(lock.into_inner(), "ab");
+    }
+
+    #[test]
+    fn closure_helpers() {
+        let lock = RwLock::starvation_free(10i64, 2);
+        let mut h = lock.register().unwrap();
+        h.write_with(|v| *v += 5);
+        assert_eq!(h.read_with(|v| *v), 15);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let lock = Arc::new(RwLock::starvation_free(0u64, 8));
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            threads.push(std::thread::spawn(move || {
+                let mut h = lock.register().unwrap();
+                for _ in 0..100 {
+                    *h.write() += 1;
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut h = lock.register().unwrap();
+        assert_eq!(*h.read(), 800);
+    }
+
+    #[test]
+    fn guards_are_debug() {
+        let lock = RwLock::starvation_free(7u8, 2);
+        let mut h = lock.register().unwrap();
+        assert_eq!(format!("{:?}", h.read()), "ReadGuard(7)");
+        assert_eq!(format!("{:?}", h.write()), "WriteGuard(7)");
+        assert!(format!("{lock:?}").contains("RwLock"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The paper's single-writer multi-reader algorithms (Figures 1 and 2).
+//!
+//! These are the building blocks of §3 and §4: at most one thread may play
+//! the writer role at a time (the multi-writer constructions in
+//! [`crate::mwmr`] serialize that role through a mutex), while readers may
+//! be arbitrarily concurrent.
+
+pub mod reader_priority;
+pub mod writer_priority;
+
+pub use reader_priority::SwmrReaderPriority;
+pub use writer_priority::SwmrWriterPriority;

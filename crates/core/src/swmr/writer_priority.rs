@@ -1,0 +1,505 @@
+//! Figure 1: the single-writer multi-reader lock with **starvation freedom
+//! and writer priority** (Theorem 1).
+//!
+//! Every shared variable and every numbered line of the paper's Figure 1 is
+//! reproduced one-to-one; comments carry the paper's line numbers so the
+//! code can be audited against the figure (and against the Appendix A
+//! invariants, which are model-checked in `rmr-sim`).
+//!
+//! # How it works
+//!
+//! The writer enters the critical section from alternating *sides* 0 and 1.
+//! To attempt from side `currD` it announces `D ← currD` (the doorway), then
+//! waits for the readers registered on the previous side to drain
+//! (`C[prevD]`, woken through `Permit[prevD]`), closes that side's gate for
+//! its *next* attempt, waits for the exit section to drain (`EC` /
+//! `ExitPermit`), and enters. Readers bind to the side read from `D`,
+//! double-register if they observe `D` change mid-doorway, and wait on
+//! `Gate[d]`, which the writer opens when it leaves. Every busy-wait is a
+//! local spin on a boolean that changes at most once per wait, which is
+//! where the O(1) RMR bound comes from.
+
+use crate::packed::{Packed, PackedFaa};
+use crate::side::{AtomicSide, Side};
+use crossbeam_utils::CachePadded;
+use rmr_mutex::spin_until;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Per-side shared variables: `Gate[d]`, `Permit[d]`, `C[d]`.
+struct SideVars {
+    /// `Gate[d]`: readers on side `d` may enter the CS while open. Written
+    /// only by the writer role.
+    gate: CachePadded<AtomicBool>,
+    /// `Permit[d]`: the last side-`d` reader out wakes the writer through
+    /// this flag.
+    permit: CachePadded<AtomicBool>,
+    /// `C[d] = [writer-waiting, reader-count]` for side `d`.
+    count: CachePadded<PackedFaa>,
+}
+
+impl SideVars {
+    fn new(gate_open: bool) -> Self {
+        Self {
+            gate: CachePadded::new(AtomicBool::new(gate_open)),
+            permit: CachePadded::new(AtomicBool::new(false)),
+            count: CachePadded::new(PackedFaa::new()),
+        }
+    }
+}
+
+/// The writer's local state after the doorway (Fig. 1 lines 2–3): the side
+/// it attempts from and the side it must flush.
+#[derive(Debug, Clone, Copy)]
+pub struct WriterAttempt {
+    curr: Side,
+    prev: Side,
+}
+
+impl WriterAttempt {
+    /// Reconstructs the attempt state from the current side alone
+    /// (`prevD = ¬currD`). Used by the Figure 4 multi-writer algorithm,
+    /// where the doorway `D ← t` is performed on the writers' behalf.
+    pub fn from_current_side(curr: Side) -> Self {
+        Self { curr, prev: !curr }
+    }
+
+    /// The side this attempt enters from (`currD`).
+    pub fn current_side(&self) -> Side {
+        self.curr
+    }
+
+    /// The side this attempt must drain (`prevD`).
+    pub fn previous_side(&self) -> Side {
+        self.prev
+    }
+}
+
+/// Proof that the writer role holds the critical section; consumed by
+/// [`SwmrWriterPriority::writer_exit`].
+#[derive(Debug)]
+#[must_use = "the write session must be ended with writer_exit/write_unlock"]
+pub struct WriteSession {
+    curr: Side,
+}
+
+impl WriteSession {
+    /// The side this session entered from (`currD = D`).
+    pub fn current_side(&self) -> Side {
+        self.curr
+    }
+
+    /// Reconstructs the session token for a still-open SWWP session.
+    ///
+    /// Used by the Figure 4 multi-writer algorithm, where the writer that
+    /// closes a session (its line 20) is generally *not* the writer whose
+    /// waiting room opened it — intermediate writers inherit the session
+    /// without running the waiting room.
+    pub(crate) fn resume(curr: Side) -> Self {
+        Self { curr }
+    }
+}
+
+/// A reader's registration; consumed by
+/// [`SwmrWriterPriority::read_unlock`].
+#[derive(Debug)]
+#[must_use = "the read session must be ended with read_unlock"]
+pub struct ReadSession {
+    side: Side,
+}
+
+impl ReadSession {
+    /// The side this reader registered on (its final `d`).
+    pub fn side(&self) -> Side {
+        self.side
+    }
+}
+
+/// Figure 1: single-writer multi-reader lock satisfying P1–P7 plus writer
+/// priority (WP1) and the unstoppable-writer property (WP2), with O(1) RMR
+/// complexity in the CC model (Theorem 1).
+///
+/// The *writer role* must be exercised by at most one thread at a time
+/// (that is the "single-writer" in SWMR); the multi-writer constructions in
+/// [`crate::mwmr`] serialize the role through a mutex. Readers may be
+/// arbitrarily concurrent.
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::swmr::SwmrWriterPriority;
+///
+/// let lock = SwmrWriterPriority::new();
+///
+/// // Reader side (any number of threads):
+/// let r = lock.read_lock();
+/// lock.read_unlock(r);
+///
+/// // Writer side (one thread):
+/// let w = lock.write_lock();
+/// lock.write_unlock(w);
+/// ```
+pub struct SwmrWriterPriority {
+    /// `D`: the side the writer is attempting from; written only by the
+    /// writer role (Fig. 1 line 3, or Fig. 4 line 8 by proxy).
+    d: AtomicSide,
+    /// `Gate[d]`, `Permit[d]`, `C[d]` for `d ∈ {0, 1}`.
+    sides: [SideVars; 2],
+    /// `EC = [writer-waiting, exit-count]`.
+    exit_count: CachePadded<PackedFaa>,
+    /// `ExitPermit`: the last reader to leave the exit section wakes the
+    /// writer through this flag.
+    exit_permit: CachePadded<AtomicBool>,
+    /// Debug-only discipline check: true between waiting-room completion
+    /// and `writer_exit` (the "SWWP session" of Figure 4's commentary).
+    session_active: AtomicBool,
+}
+
+impl SwmrWriterPriority {
+    /// Creates the lock in the paper's initial configuration:
+    /// `D = 0`, `Gate\[0\] = true`, `Gate\[1\] = false`, all counters `\[0, 0\]`.
+    pub fn new() -> Self {
+        Self {
+            d: AtomicSide::new(Side::Zero),
+            sides: [SideVars::new(true), SideVars::new(false)],
+            exit_count: CachePadded::new(PackedFaa::new()),
+            exit_permit: CachePadded::new(AtomicBool::new(false)),
+            session_active: AtomicBool::new(false),
+        }
+    }
+
+    fn side(&self, d: Side) -> &SideVars {
+        &self.sides[d.index()]
+    }
+
+    // ------------------------------------------------------------------
+    // Writer role (Write-lock(), Fig. 1 lines 2–14)
+    // ------------------------------------------------------------------
+
+    /// The writer's bounded doorway (lines 2–3): toggles `D`.
+    ///
+    /// Once the doorway completes, any reader that starts its own doorway
+    /// afterwards is blocked behind this write attempt — that is WP1.
+    pub fn writer_doorway(&self) -> WriterAttempt {
+        debug_assert!(
+            !self.session_active.load(Ordering::SeqCst),
+            "writer doorway while a write session is still open"
+        );
+        let prev = self.d.load(); // line 2: prevD ← D, currD ← ¬prevD
+        let curr = !prev;
+        self.d.store(curr); // line 3: D ← currD
+        WriterAttempt { curr, prev }
+    }
+
+    /// The writer's waiting room (lines 4–12): drains the previous side's
+    /// readers and the exit section, then grants the critical section.
+    pub fn writer_waiting_room(&self, attempt: WriterAttempt) -> WriteSession {
+        let prev = self.side(attempt.prev);
+
+        prev.permit.store(false, Ordering::SeqCst); // line 4: Permit[prevD] ← false
+        let old = prev.count.add_writer(); // line 5: F&A(C[prevD], [1, 0])
+        debug_assert!(!old.writer_waiting(), "writer-waiting flag already set on C[prevD]");
+        if old != Packed::ZERO {
+            // line 6: wait till Permit[prevD]
+            spin_until(|| prev.permit.load(Ordering::SeqCst));
+        }
+        let old = prev.count.sub_writer(); // line 7: F&A(C[prevD], [-1, 0])
+        debug_assert!(old.writer_waiting());
+
+        prev.gate.store(false, Ordering::SeqCst); // line 8: Gate[prevD] ← false
+
+        self.exit_permit.store(false, Ordering::SeqCst); // line 9: ExitPermit ← false
+        let old = self.exit_count.add_writer(); // line 10: F&A(EC, [1, 0])
+        debug_assert!(!old.writer_waiting());
+        if old != Packed::ZERO {
+            // line 11: wait till ExitPermit
+            spin_until(|| self.exit_permit.load(Ordering::SeqCst));
+        }
+        let old = self.exit_count.sub_writer(); // line 12: F&A(EC, [-1, 0])
+        debug_assert!(old.writer_waiting());
+
+        let was = self.session_active.swap(true, Ordering::SeqCst);
+        debug_assert!(!was, "two write sessions open at once");
+        WriteSession { curr: attempt.curr } // line 13: CRITICAL SECTION
+    }
+
+    /// The writer's whole try section: doorway + waiting room.
+    pub fn write_lock(&self) -> WriteSession {
+        let attempt = self.writer_doorway();
+        self.writer_waiting_room(attempt)
+    }
+
+    /// The writer's exit section (line 14): opens the gate of the session's
+    /// side, releasing every reader parked there. Bounded (single step).
+    pub fn writer_exit(&self, session: WriteSession) {
+        let was = self.session_active.swap(false, Ordering::SeqCst);
+        debug_assert!(was, "writer_exit without an open write session");
+        // line 14: Gate[D] ← true (D still equals the session's currD)
+        self.side(session.curr).gate.store(true, Ordering::SeqCst);
+    }
+
+    /// Alias for [`Self::writer_exit`], for symmetry with `write_lock`.
+    pub fn write_unlock(&self, session: WriteSession) {
+        self.writer_exit(session);
+    }
+
+    // ------------------------------------------------------------------
+    // Reader side (Read-lock(), Fig. 1 lines 16–30)
+    // ------------------------------------------------------------------
+
+    /// A reader's try section (lines 16–24).
+    ///
+    /// Satisfies concurrent entering (P5): when the writer role is in the
+    /// remainder section, `Gate[D]` is open and the reader passes straight
+    /// through in a bounded number of steps.
+    pub fn read_lock(&self) -> ReadSession {
+        let mut d = self.d.load(); // line 16: d ← D
+        self.side(d).count.add_reader(); // line 17: F&A(C[d], [0, 1])
+        let d2 = self.d.load(); // line 18: d′ ← D
+        if d != d2 {
+            // line 19: if (d ≠ d′)
+            self.side(d2).count.add_reader(); // line 20: F&A(C[d′], [0, 1])
+            d = self.d.load(); // line 21: d ← D
+            // Registered on both sides; retire from the one we don't belong
+            // to (d̄, the complement of the side just re-read).
+            let other = !d;
+            let old = self.side(other).count.sub_reader(); // line 22: F&A(C[d̄], [0, -1])
+            if old == Packed::ONE_ONE {
+                // line 23: Permit[d̄] ← true — we were the last side-d̄
+                // reader and the writer is waiting on that side.
+                self.side(other).permit.store(true, Ordering::SeqCst);
+            }
+        }
+        // line 24: wait till Gate[d]
+        spin_until(|| self.side(d).gate.load(Ordering::SeqCst));
+        ReadSession { side: d } // line 25: CRITICAL SECTION
+    }
+
+    /// A reader's exit section (lines 26–30). Bounded (P2): at most four
+    /// shared-memory operations, no waiting.
+    pub fn read_unlock(&self, session: ReadSession) {
+        let d = session.side;
+        self.exit_count.add_reader(); // line 26: F&A(EC, [0, 1])
+        let old = self.side(d).count.sub_reader(); // line 27: F&A(C[d], [0, -1])
+        if old == Packed::ONE_ONE {
+            self.side(d).permit.store(true, Ordering::SeqCst); // line 28
+        }
+        let old = self.exit_count.sub_reader(); // line 29: F&A(EC, [0, -1])
+        if old == Packed::ONE_ONE {
+            self.exit_permit.store(true, Ordering::SeqCst); // line 30
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 4 plumbing (the SWWP pieces its multi-writer protocol drives)
+    // ------------------------------------------------------------------
+
+    /// Reads `D` (Fig. 4 line 10 reads `currD ← D`).
+    pub fn direction(&self) -> Side {
+        self.d.load()
+    }
+
+    /// Writes `D ← side` — the doorway performed *on the writers' behalf*
+    /// by Figure 4 line 8. Concurrent callers always write the same value
+    /// (see the Fig. 4 analysis in DESIGN.md), so the store is idempotent.
+    pub fn set_direction(&self, side: Side) {
+        self.d.store(side);
+    }
+
+    /// Whether `Gate[side]` is open (Fig. 4 line 12 waits on this).
+    pub fn gate_is_open(&self, side: Side) -> bool {
+        self.side(side).gate.load(Ordering::SeqCst)
+    }
+
+    /// Diagnostic snapshot `(C\[0\], C\[1\], EC)`; values may be stale.
+    pub fn counters(&self) -> (Packed, Packed, Packed) {
+        (self.sides[0].count.load(), self.sides[1].count.load(), self.exit_count.load())
+    }
+}
+
+impl Default for SwmrWriterPriority {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SwmrWriterPriority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (c0, c1, ec) = self.counters();
+        f.debug_struct("SwmrWriterPriority")
+            .field("d", &self.d.load())
+            .field("c0", &c0)
+            .field("c1", &c1)
+            .field("ec", &ec)
+            .field("gate0", &self.gate_is_open(Side::Zero))
+            .field("gate1", &self.gate_is_open(Side::One))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn initial_configuration_matches_paper() {
+        let lock = SwmrWriterPriority::new();
+        assert_eq!(lock.direction(), Side::Zero);
+        assert!(lock.gate_is_open(Side::Zero));
+        assert!(!lock.gate_is_open(Side::One));
+        let (c0, c1, ec) = lock.counters();
+        assert_eq!((c0, c1, ec), (Packed::ZERO, Packed::ZERO, Packed::ZERO));
+    }
+
+    #[test]
+    fn reader_alone_enters_in_bounded_steps() {
+        // Concurrent entering (P5): no writer active, so read_lock must not
+        // block; if it spun, this test would hang.
+        let lock = SwmrWriterPriority::new();
+        for _ in 0..100 {
+            let r = lock.read_lock();
+            assert_eq!(r.side(), Side::Zero);
+            lock.read_unlock(r);
+        }
+    }
+
+    #[test]
+    fn writer_alone_cycles_and_alternates_sides() {
+        let lock = SwmrWriterPriority::new();
+        let mut expected = Side::One; // first attempt toggles 0 → 1
+        for _ in 0..10 {
+            let w = lock.write_lock();
+            assert_eq!(w.current_side(), expected);
+            assert_eq!(lock.direction(), expected);
+            lock.write_unlock(w);
+            expected = !expected;
+        }
+    }
+
+    #[test]
+    fn readers_after_writer_session_use_new_side() {
+        let lock = SwmrWriterPriority::new();
+        let w = lock.write_lock();
+        lock.write_unlock(w);
+        // Writer used side 1 and opened Gate[1]; a new reader binds to D=1.
+        let r = lock.read_lock();
+        assert_eq!(r.side(), Side::One);
+        lock.read_unlock(r);
+    }
+
+    #[test]
+    fn writer_doorway_blocks_new_readers_until_exit() {
+        let lock = Arc::new(SwmrWriterPriority::new());
+        let w = lock.write_lock();
+
+        let entered = Arc::new(AtomicBool::new(false));
+        let l2 = Arc::clone(&lock);
+        let e2 = Arc::clone(&entered);
+        let reader = std::thread::spawn(move || {
+            let r = l2.read_lock();
+            e2.store(true, Ordering::SeqCst);
+            l2.read_unlock(r);
+        });
+
+        // WP1: the reader started after the writer's doorway, so it must not
+        // enter while the writer holds the CS.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!entered.load(Ordering::SeqCst), "reader overtook the writer");
+
+        lock.write_unlock(w);
+        reader.join().unwrap();
+        assert!(entered.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn writer_waits_for_registered_reader() {
+        let lock = Arc::new(SwmrWriterPriority::new());
+        let r = lock.read_lock(); // reader in CS on side 0
+
+        let writer_in = Arc::new(AtomicBool::new(false));
+        let l2 = Arc::clone(&lock);
+        let w2 = Arc::clone(&writer_in);
+        let writer = std::thread::spawn(move || {
+            let w = l2.write_lock();
+            w2.store(true, Ordering::SeqCst);
+            l2.write_unlock(w);
+        });
+
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!writer_in.load(Ordering::SeqCst), "writer entered over a live reader");
+
+        lock.read_unlock(r);
+        writer.join().unwrap();
+        assert!(writer_in.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn mutual_exclusion_stress() {
+        let lock = Arc::new(SwmrWriterPriority::new());
+        let readers_in = Arc::new(AtomicUsize::new(0));
+        let writer_in = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+
+        // One writer thread (single-writer algorithm).
+        {
+            let lock = Arc::clone(&lock);
+            let readers_in = Arc::clone(&readers_in);
+            let writer_in = Arc::clone(&writer_in);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let w = lock.write_lock();
+                    writer_in.store(true, Ordering::SeqCst);
+                    assert_eq!(readers_in.load(Ordering::SeqCst), 0, "P1 violated: reader with writer");
+                    writer_in.store(false, Ordering::SeqCst);
+                    lock.write_unlock(w);
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            let readers_in = Arc::clone(&readers_in);
+            let writer_in = Arc::clone(&writer_in);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let r = lock.read_lock();
+                    readers_in.fetch_add(1, Ordering::SeqCst);
+                    assert!(!writer_in.load(Ordering::SeqCst), "P1 violated: writer with reader");
+                    readers_in.fetch_sub(1, Ordering::SeqCst);
+                    lock.read_unlock(r);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (c0, c1, ec) = lock.counters();
+        assert_eq!((c0, c1, ec), (Packed::ZERO, Packed::ZERO, Packed::ZERO));
+    }
+
+    #[test]
+    fn many_readers_share_the_cs() {
+        // Readers must be able to co-occupy the CS (this also exercises the
+        // FIFE-friendly gate: all of them park on the same side).
+        let lock = Arc::new(SwmrWriterPriority::new());
+        let sessions: Vec<_> = (0..8).map(|_| lock.read_lock()).collect();
+        for s in sessions {
+            lock.read_unlock(s);
+        }
+    }
+
+    #[test]
+    fn counters_return_to_zero_after_mixed_use() {
+        let lock = SwmrWriterPriority::new();
+        let r1 = lock.read_lock();
+        let r2 = lock.read_lock();
+        lock.read_unlock(r1);
+        lock.read_unlock(r2);
+        let w = lock.write_lock();
+        lock.write_unlock(w);
+        let (c0, c1, ec) = lock.counters();
+        assert_eq!((c0, c1, ec), (Packed::ZERO, Packed::ZERO, Packed::ZERO));
+    }
+}

@@ -1,0 +1,374 @@
+//! Typed front end for the **single-writer** locks (Figures 1 and 2).
+//!
+//! Unlike the multi-writer [`RwLock`](crate::rwlock::RwLock), the SWMR
+//! algorithms admit at most one process in the writer role. This wrapper
+//! enforces that statically: [`SwmrRwLock::split`] yields exactly one
+//! [`SwmrWriter`] plus a [`SwmrReaders`] factory for reader handles, so a
+//! second concurrent writer cannot be constructed without going through
+//! the multi-writer transformation (which is what the paper does too).
+
+use crate::registry::{Pid, PidRegistry, RegistryFull};
+use crate::swmr::reader_priority::SwmrReaderPriority;
+use crate::swmr::writer_priority::SwmrWriterPriority;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Which single-writer algorithm backs a [`SwmrRwLock`].
+pub trait SwmrPolicy: Send + Sync + Sized + fmt::Debug {
+    /// Per-read-session token.
+    type ReadToken;
+    /// Per-write-session token.
+    type WriteToken;
+
+    /// Fresh lock state.
+    fn new() -> Self;
+    /// Reader acquire (with the caller's pid).
+    fn read_lock(&self, pid: Pid) -> Self::ReadToken;
+    /// Reader release.
+    fn read_unlock(&self, pid: Pid, token: Self::ReadToken);
+    /// Writer acquire (with the writer's pid).
+    fn write_lock(&self, pid: Pid) -> Self::WriteToken;
+    /// Writer release.
+    fn write_unlock(&self, pid: Pid, token: Self::WriteToken);
+}
+
+impl SwmrPolicy for SwmrWriterPriority {
+    type ReadToken = crate::swmr::writer_priority::ReadSession;
+    type WriteToken = crate::swmr::writer_priority::WriteSession;
+
+    fn new() -> Self {
+        SwmrWriterPriority::new()
+    }
+
+    fn read_lock(&self, _pid: Pid) -> Self::ReadToken {
+        SwmrWriterPriority::read_lock(self)
+    }
+
+    fn read_unlock(&self, _pid: Pid, token: Self::ReadToken) {
+        SwmrWriterPriority::read_unlock(self, token);
+    }
+
+    fn write_lock(&self, _pid: Pid) -> Self::WriteToken {
+        SwmrWriterPriority::write_lock(self)
+    }
+
+    fn write_unlock(&self, _pid: Pid, token: Self::WriteToken) {
+        SwmrWriterPriority::write_unlock(self, token);
+    }
+}
+
+impl SwmrPolicy for SwmrReaderPriority {
+    type ReadToken = crate::swmr::reader_priority::ReadSession;
+    type WriteToken = crate::swmr::reader_priority::WriteSession;
+
+    fn new() -> Self {
+        SwmrReaderPriority::new()
+    }
+
+    fn read_lock(&self, pid: Pid) -> Self::ReadToken {
+        SwmrReaderPriority::read_lock(self, pid)
+    }
+
+    fn read_unlock(&self, pid: Pid, token: Self::ReadToken) {
+        SwmrReaderPriority::read_unlock(self, pid, token);
+    }
+
+    fn write_lock(&self, pid: Pid) -> Self::WriteToken {
+        SwmrReaderPriority::write_lock(self, pid)
+    }
+
+    fn write_unlock(&self, pid: Pid, token: Self::WriteToken) {
+        SwmrReaderPriority::write_unlock(self, pid, token);
+    }
+}
+
+struct Shared<T: ?Sized, P> {
+    raw: P,
+    registry: PidRegistry,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: same argument as for rwlock::RwLock — the algorithms provide the
+// exclusion the aliasing below relies on.
+unsafe impl<T: ?Sized + Send, P: SwmrPolicy> Send for Shared<T, P> {}
+unsafe impl<T: ?Sized + Send + Sync, P: SwmrPolicy> Sync for Shared<T, P> {}
+
+/// A typed single-writer multi-reader lock over the Figure 1 or Figure 2
+/// algorithm.
+///
+/// [`split`](SwmrRwLock::split) consumes the constructor output and
+/// produces the unique writer endpoint plus a cloneable reader factory.
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::swmr_rwlock::SwmrRwLock;
+/// use rmr_core::swmr::SwmrWriterPriority;
+///
+/// let (mut writer, readers) =
+///     SwmrRwLock::<u64, SwmrWriterPriority>::new(0, 4).split();
+///
+/// let mut r1 = readers.reader().unwrap();
+/// let handle = std::thread::spawn(move || *r1.read());
+///
+/// *writer.write() += 7;
+/// let seen = handle.join().unwrap();
+/// assert!(seen == 0 || seen == 7);
+/// assert_eq!(*writer.write(), 7);
+/// ```
+pub struct SwmrRwLock<T, P: SwmrPolicy> {
+    shared: Arc<Shared<T, P>>,
+}
+
+/// Figure 1 flavor: writer priority + starvation freedom (Theorem 1).
+pub type WriterPrioritySwmr<T> = SwmrRwLock<T, SwmrWriterPriority>;
+/// Figure 2 flavor: reader priority (Theorem 2).
+pub type ReaderPrioritySwmr<T> = SwmrRwLock<T, SwmrReaderPriority>;
+
+impl<T, P: SwmrPolicy> SwmrRwLock<T, P> {
+    /// Creates the lock for up to `max_readers` concurrent reader handles
+    /// (plus the one writer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_readers == 0`.
+    pub fn new(value: T, max_readers: usize) -> Self {
+        assert!(max_readers > 0, "max_readers must be positive");
+        Self {
+            shared: Arc::new(Shared {
+                raw: P::new(),
+                registry: PidRegistry::new(max_readers + 1),
+                data: UnsafeCell::new(value),
+            }),
+        }
+    }
+
+    /// Splits into the unique writer endpoint and the reader factory.
+    pub fn split(self) -> (SwmrWriter<T, P>, SwmrReaders<T, P>) {
+        let writer_pid = self.shared.registry.allocate().expect("fresh registry");
+        (
+            SwmrWriter { shared: Arc::clone(&self.shared), pid: writer_pid },
+            SwmrReaders { shared: self.shared },
+        )
+    }
+}
+
+impl<T, P: SwmrPolicy> fmt::Debug for SwmrRwLock<T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwmrRwLock").finish_non_exhaustive()
+    }
+}
+
+/// The unique writer endpoint of a [`SwmrRwLock`]. Not `Clone`.
+pub struct SwmrWriter<T, P: SwmrPolicy> {
+    shared: Arc<Shared<T, P>>,
+    pid: Pid,
+}
+
+impl<T, P: SwmrPolicy> SwmrWriter<T, P> {
+    /// Acquires the write lock.
+    pub fn write(&mut self) -> SwmrWriteGuard<'_, T, P> {
+        let token = self.shared.raw.write_lock(self.pid);
+        SwmrWriteGuard { writer: self, token: Some(token) }
+    }
+}
+
+impl<T, P: SwmrPolicy> Drop for SwmrWriter<T, P> {
+    fn drop(&mut self) {
+        self.shared.registry.release(self.pid);
+    }
+}
+
+impl<T, P: SwmrPolicy> fmt::Debug for SwmrWriter<T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwmrWriter").field("pid", &self.pid).finish()
+    }
+}
+
+/// Factory for reader handles of a [`SwmrRwLock`]. Cloneable and `Send`.
+pub struct SwmrReaders<T, P: SwmrPolicy> {
+    shared: Arc<Shared<T, P>>,
+}
+
+impl<T, P: SwmrPolicy> Clone for SwmrReaders<T, P> {
+    fn clone(&self) -> Self {
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T, P: SwmrPolicy> SwmrReaders<T, P> {
+    /// Registers one reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryFull`] when `max_readers` handles are live.
+    pub fn reader(&self) -> Result<SwmrReader<T, P>, RegistryFull> {
+        let pid = self.shared.registry.allocate()?;
+        Ok(SwmrReader { shared: Arc::clone(&self.shared), pid })
+    }
+}
+
+impl<T, P: SwmrPolicy> fmt::Debug for SwmrReaders<T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwmrReaders").finish_non_exhaustive()
+    }
+}
+
+/// One registered reader of a [`SwmrRwLock`].
+pub struct SwmrReader<T, P: SwmrPolicy> {
+    shared: Arc<Shared<T, P>>,
+    pid: Pid,
+}
+
+impl<T, P: SwmrPolicy> SwmrReader<T, P> {
+    /// Acquires the read lock.
+    pub fn read(&mut self) -> SwmrReadGuard<'_, T, P> {
+        let token = self.shared.raw.read_lock(self.pid);
+        SwmrReadGuard { reader: self, token: Some(token) }
+    }
+}
+
+impl<T, P: SwmrPolicy> Drop for SwmrReader<T, P> {
+    fn drop(&mut self) {
+        self.shared.registry.release(self.pid);
+    }
+}
+
+impl<T, P: SwmrPolicy> fmt::Debug for SwmrReader<T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwmrReader").field("pid", &self.pid).finish()
+    }
+}
+
+/// RAII shared access through a [`SwmrReader`].
+pub struct SwmrReadGuard<'a, T, P: SwmrPolicy> {
+    reader: &'a SwmrReader<T, P>,
+    token: Option<P::ReadToken>,
+}
+
+impl<T, P: SwmrPolicy> Deref for SwmrReadGuard<'_, T, P> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: readers share; the writer is excluded by the algorithm.
+        unsafe { &*self.reader.shared.data.get() }
+    }
+}
+
+impl<T, P: SwmrPolicy> Drop for SwmrReadGuard<'_, T, P> {
+    fn drop(&mut self) {
+        let token = self.token.take().expect("token present until drop");
+        self.reader.shared.raw.read_unlock(self.reader.pid, token);
+    }
+}
+
+impl<T: fmt::Debug, P: SwmrPolicy> fmt::Debug for SwmrReadGuard<'_, T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SwmrReadGuard").field(&&**self).finish()
+    }
+}
+
+/// RAII exclusive access through the [`SwmrWriter`].
+pub struct SwmrWriteGuard<'a, T, P: SwmrPolicy> {
+    writer: &'a SwmrWriter<T, P>,
+    token: Option<P::WriteToken>,
+}
+
+impl<T, P: SwmrPolicy> Deref for SwmrWriteGuard<'_, T, P> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the write session excludes all other access.
+        unsafe { &*self.writer.shared.data.get() }
+    }
+}
+
+impl<T, P: SwmrPolicy> DerefMut for SwmrWriteGuard<'_, T, P> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.writer.shared.data.get() }
+    }
+}
+
+impl<T, P: SwmrPolicy> Drop for SwmrWriteGuard<'_, T, P> {
+    fn drop(&mut self) {
+        let token = self.token.take().expect("token present until drop");
+        self.writer.shared.raw.write_unlock(self.writer.pid, token);
+    }
+}
+
+impl<T: fmt::Debug, P: SwmrPolicy> fmt::Debug for SwmrWriteGuard<'_, T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SwmrWriteGuard").field(&&**self).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn split_gives_one_writer_many_readers() {
+        let (mut w, readers) = WriterPrioritySwmr::new(vec![1u8], 3).split();
+        let mut r1 = readers.reader().unwrap();
+        let mut r2 = readers.reader().unwrap();
+        let mut r3 = readers.reader().unwrap();
+        assert!(readers.reader().is_err(), "capacity is max_readers");
+        assert_eq!(r1.read().len(), 1);
+        w.write().push(2);
+        assert_eq!(*r2.read(), vec![1, 2]);
+        assert_eq!(*r3.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn reader_slots_recycle() {
+        let (_w, readers) = ReaderPrioritySwmr::new(0u8, 1).split();
+        for _ in 0..5 {
+            let mut r = readers.reader().unwrap();
+            let _ = *r.read();
+        }
+    }
+
+    #[test]
+    fn concurrent_stress_both_policies() {
+        fn stress<P: SwmrPolicy + 'static>() {
+            let (mut w, readers) = SwmrRwLock::<u64, P>::new(0, 4).split();
+            let stop = Arc::new(AtomicBool::new(false));
+            let overlap = Arc::new(AtomicUsize::new(0));
+            let mut threads = Vec::new();
+            for _ in 0..3 {
+                let readers = readers.clone();
+                let stop = Arc::clone(&stop);
+                let overlap = Arc::clone(&overlap);
+                threads.push(std::thread::spawn(move || {
+                    let mut r = readers.reader().unwrap();
+                    while !stop.load(Ordering::Relaxed) {
+                        let g = r.read();
+                        overlap.fetch_add(1, Ordering::Relaxed);
+                        std::hint::black_box(*g);
+                        overlap.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }));
+            }
+            for _ in 0..200 {
+                let mut g = w.write();
+                assert_eq!(
+                    overlap.load(Ordering::Relaxed),
+                    0,
+                    "reader overlapped a write session"
+                );
+                *g += 1;
+            }
+            stop.store(true, Ordering::Relaxed);
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(*w.write(), 200);
+        }
+        stress::<SwmrWriterPriority>();
+        stress::<SwmrReaderPriority>();
+    }
+}

@@ -1,0 +1,156 @@
+//! Test-and-set and test-and-test-and-set locks (RMR-model baselines).
+
+use crate::spin::SpinWait;
+use crate::RawMutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A plain test-and-set spin lock.
+///
+/// Every acquisition attempt performs an atomic `swap`, which in the CC cost
+/// model is a write and therefore always a remote memory reference: under
+/// contention a waiter generates an **unbounded** number of RMRs. This lock
+/// exists as the negative baseline for the RMR experiments (E7) — it is what
+/// the constant-RMR designs are *not*.
+///
+/// # Example
+///
+/// ```
+/// use rmr_mutex::{RawMutex, TasLock};
+///
+/// let lock = TasLock::new();
+/// let t = lock.lock();
+/// lock.unlock(t);
+/// ```
+#[derive(Default)]
+pub struct TasLock {
+    held: AtomicBool,
+}
+
+impl TasLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        Self { held: AtomicBool::new(false) }
+    }
+
+    /// Attempts to acquire without waiting; `true` on success.
+    pub fn try_lock(&self) -> bool {
+        !self.held.swap(true, Ordering::SeqCst)
+    }
+}
+
+impl RawMutex for TasLock {
+    type Token = ();
+
+    fn lock(&self) {
+        let mut spin = SpinWait::new();
+        while self.held.swap(true, Ordering::SeqCst) {
+            spin.spin();
+        }
+    }
+
+    fn unlock(&self, (): ()) {
+        self.held.store(false, Ordering::SeqCst);
+    }
+}
+
+impl fmt::Debug for TasLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TasLock")
+            .field("held", &self.held.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// A test-and-test-and-set spin lock.
+///
+/// Waiters spin on a cached *read* of the flag and only attempt the `swap`
+/// after observing it free. Under the CC model this costs O(1) RMRs per
+/// *release* per waiter (every release invalidates all waiters' cached
+/// copies), i.e. O(n) RMRs per lock handoff in aggregate — better than
+/// [`TasLock`], still far from the O(1) queue locks.
+///
+/// # Example
+///
+/// ```
+/// use rmr_mutex::{RawMutex, TtasLock};
+///
+/// let lock = TtasLock::new();
+/// let t = lock.lock();
+/// lock.unlock(t);
+/// ```
+#[derive(Default)]
+pub struct TtasLock {
+    held: AtomicBool,
+}
+
+impl TtasLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        Self { held: AtomicBool::new(false) }
+    }
+}
+
+impl RawMutex for TtasLock {
+    type Token = ();
+
+    fn lock(&self) {
+        let mut spin = SpinWait::new();
+        loop {
+            // Local phase: spin on the cached value.
+            while self.held.load(Ordering::SeqCst) {
+                spin.spin();
+            }
+            // Global phase: one RMW attempt.
+            if !self.held.swap(true, Ordering::SeqCst) {
+                return;
+            }
+        }
+    }
+
+    fn unlock(&self, (): ()) {
+        self.held.store(false, Ordering::SeqCst);
+    }
+}
+
+impl fmt::Debug for TtasLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TtasLock")
+            .field("held", &self.held.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::exclusion_stress;
+
+    #[test]
+    fn tas_try_lock_reports_state() {
+        let lock = TasLock::new();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock());
+        lock.unlock(());
+        assert!(lock.try_lock());
+    }
+
+    #[test]
+    fn tas_exclusion_under_contention() {
+        exclusion_stress(TasLock::new(), 8, 200);
+    }
+
+    #[test]
+    fn ttas_exclusion_under_contention() {
+        exclusion_stress(TtasLock::new(), 8, 200);
+    }
+
+    #[test]
+    fn ttas_single_thread_cycles() {
+        let lock = TtasLock::new();
+        for _ in 0..1000 {
+            lock.lock();
+            lock.unlock(());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Ticket (Lamport bakery-style counter) lock.
+
+use crate::spin::spin_until;
+use crate::RawMutex;
+use crossbeam_utils::CachePadded;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A ticket lock: FCFS, starvation free, but **all** waiters spin on the
+/// single `now_serving` counter, so every release invalidates every waiter's
+/// cache line — O(n) RMRs per handoff in the CC model. Sits between
+/// [`crate::TtasLock`] and [`crate::AndersonLock`] in the E7 baseline sweep.
+///
+/// # Example
+///
+/// ```
+/// use rmr_mutex::{RawMutex, TicketLock};
+///
+/// let lock = TicketLock::new();
+/// let t = lock.lock();
+/// lock.unlock(t);
+/// ```
+#[derive(Default)]
+pub struct TicketLock {
+    next_ticket: CachePadded<AtomicU64>,
+    now_serving: CachePadded<AtomicU64>,
+}
+
+/// Proof of ownership for [`TicketLock`].
+#[derive(Debug)]
+pub struct TicketToken {
+    ticket: u64,
+}
+
+impl TicketLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lock acquisitions completed or in progress. Diagnostic.
+    pub fn tickets_issued(&self) -> u64 {
+        self.next_ticket.load(Ordering::SeqCst)
+    }
+}
+
+impl RawMutex for TicketLock {
+    type Token = TicketToken;
+
+    fn lock(&self) -> TicketToken {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+        spin_until(|| self.now_serving.load(Ordering::SeqCst) == ticket);
+        TicketToken { ticket }
+    }
+
+    fn unlock(&self, token: TicketToken) {
+        self.now_serving.store(token.ticket.wrapping_add(1), Ordering::SeqCst);
+    }
+}
+
+impl fmt::Debug for TicketLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TicketLock")
+            .field("next_ticket", &self.next_ticket.load(Ordering::SeqCst))
+            .field("now_serving", &self.now_serving.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::exclusion_stress;
+
+    #[test]
+    fn tickets_are_sequential() {
+        let lock = TicketLock::new();
+        let a = lock.lock();
+        assert_eq!(a.ticket, 0);
+        lock.unlock(a);
+        let b = lock.lock();
+        assert_eq!(b.ticket, 1);
+        lock.unlock(b);
+        assert_eq!(lock.tickets_issued(), 2);
+    }
+
+    #[test]
+    fn exclusion_under_contention() {
+        exclusion_stress(TicketLock::new(), 8, 200);
+    }
+}

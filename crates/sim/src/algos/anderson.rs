@@ -1,0 +1,89 @@
+//! Encoding of Anderson's array lock, used as `M` by the Figure 3 and
+//! Figure 4 machines.
+
+use crate::mem::{MemAccess, MemLayout, VarId};
+
+/// Shared variables of one Anderson lock instance.
+#[derive(Debug, Clone)]
+pub struct AndersonVars {
+    /// Ticket dispenser.
+    pub next_ticket: VarId,
+    /// Spin slots; `slots\[0\]` starts open.
+    pub slots: Vec<VarId>,
+}
+
+impl AndersonVars {
+    /// Allocates a lock with capacity for `contenders` concurrent waiters
+    /// (rounded up to a power of two, minimum 2).
+    pub fn alloc(layout: &mut MemLayout, contenders: usize) -> Self {
+        let cap = contenders.next_power_of_two().max(2);
+        let mut slots = Vec::with_capacity(cap);
+        for i in 0..cap {
+            slots.push(layout.var(&format!("M.slot[{i}]"), u64::from(i == 0)));
+        }
+        Self { next_ticket: layout.var("M.next_ticket", 0), slots }
+    }
+
+    /// Slot variable for a ticket.
+    pub fn slot(&self, ticket: u64) -> VarId {
+        self.slots[(ticket as usize) % self.slots.len()]
+    }
+
+    /// Step: draw a ticket (the lock's bounded doorway).
+    pub fn take_ticket(&self, mem: &mut MemAccess<'_>) -> u64 {
+        mem.faa(self.next_ticket, 1)
+    }
+
+    /// Step: poll our slot; `true` once the lock is acquired.
+    pub fn poll(&self, ticket: u64, mem: &mut MemAccess<'_>) -> bool {
+        mem.read(self.slot(ticket)) == 1
+    }
+
+    /// Step: close our slot (first half of release).
+    pub fn close_own(&self, ticket: u64, mem: &mut MemAccess<'_>) {
+        mem.write(self.slot(ticket), 0);
+    }
+
+    /// Step: open the successor's slot (second half of release).
+    pub fn open_next(&self, ticket: u64, mem: &mut MemAccess<'_>) {
+        mem.write(self.slot(ticket.wrapping_add(1)), 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::FreeModel;
+
+    #[test]
+    fn two_process_handoff() {
+        let mut layout = MemLayout::new();
+        let m = AndersonVars::alloc(&mut layout, 2);
+        let mut cells = layout.build();
+        let mut cost = FreeModel;
+
+        let t0 = {
+            let mut mem = MemAccess::new(0, &mut cells, &mut cost);
+            m.take_ticket(&mut mem)
+        };
+        let t1 = {
+            let mut mem = MemAccess::new(1, &mut cells, &mut cost);
+            m.take_ticket(&mut mem)
+        };
+        assert_eq!((t0, t1), (0, 1));
+
+        // p0 holds; p1 must wait.
+        let mut mem = MemAccess::new(0, &mut cells, &mut cost);
+        assert!(m.poll(t0, &mut mem));
+        let mut mem = MemAccess::new(1, &mut cells, &mut cost);
+        assert!(!m.poll(t1, &mut mem));
+
+        // Release p0 → p1 acquires.
+        let mut mem = MemAccess::new(0, &mut cells, &mut cost);
+        m.close_own(t0, &mut mem);
+        let mut mem = MemAccess::new(0, &mut cells, &mut cost);
+        m.open_next(t0, &mut mem);
+        let mut mem = MemAccess::new(1, &mut cells, &mut cost);
+        assert!(m.poll(t1, &mut mem));
+    }
+}

@@ -1,0 +1,597 @@
+//! Machine encodings of the baseline reader-writer locks, for the RMR
+//! comparison sweeps (experiments E7/E8). Mirrors `rmr-baselines`.
+
+use crate::machine::{Algorithm, Phase, Role, StepEvent};
+use crate::mem::{MemAccess, MemLayout, VarId};
+
+// ---------------------------------------------------------------------
+// Centralized (Courtois et al. 1971): reader count behind a TTAS mutex.
+// ---------------------------------------------------------------------
+
+/// Local state for [`Centralized`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CentralizedLocal {
+    Remainder,
+    // Readers: acquire count mutex, bump, maybe take resource, release.
+    RSpinM,
+    RSwapM,
+    RIncCount { acquired_resource: bool },
+    RTakeResSpin,
+    RTakeResSwap,
+    RRelM1 { took: bool },
+    RCs,
+    // Reader exit: mutex, decrement, maybe release resource, release mutex.
+    RXSpinM,
+    RXSwapM,
+    RXDecCount,
+    RXRelRes,
+    RXRelM,
+    // Writers: plain TTAS on the resource.
+    WSpinRes,
+    WSwapRes,
+    WCs,
+    WRelRes,
+}
+
+/// The classic centralized reader-writer lock (reader preference): every
+/// reader entry and exit serializes through one mutex word — no concurrent
+/// entering under contention, O(n) RMRs per batch.
+#[derive(Debug)]
+pub struct Centralized {
+    layout: MemLayout,
+    /// TTAS mutex protecting `count`.
+    m: VarId,
+    /// Reader count.
+    count: VarId,
+    /// TTAS resource lock (held by the writer or the reader group).
+    res: VarId,
+    writers: usize,
+    readers: usize,
+}
+
+impl Centralized {
+    /// Builds the machine (`0..writers` writers, rest readers).
+    pub fn new(writers: usize, readers: usize) -> Self {
+        let mut layout = MemLayout::new();
+        let m = layout.var("mutex", 0);
+        let count = layout.var("readcount", 0);
+        let res = layout.var("resource", 0);
+        Self { layout, m, count, res, writers, readers }
+    }
+}
+
+impl Algorithm for Centralized {
+    type Local = CentralizedLocal;
+
+    fn name(&self) -> &'static str {
+        "baseline-centralized"
+    }
+
+    fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    fn processes(&self) -> usize {
+        self.writers + self.readers
+    }
+
+    fn role(&self, pid: usize) -> Role {
+        if pid < self.writers {
+            Role::Writer
+        } else {
+            Role::Reader
+        }
+    }
+
+    fn initial_local(&self, _pid: usize) -> CentralizedLocal {
+        CentralizedLocal::Remainder
+    }
+
+    fn step(&self, pid: usize, l: &mut CentralizedLocal, mem: &mut MemAccess<'_>) -> StepEvent {
+        use CentralizedLocal::*;
+        match *l {
+            Remainder => {
+                *l = if self.role(pid) == Role::Writer { WSpinRes } else { RSpinM };
+                // Entering the try section costs no operation by itself;
+                // fall through on the next step.
+                return StepEvent::Progress;
+            }
+            // ---- reader entry ----
+            RSpinM => {
+                if mem.read(self.m) == 0 {
+                    *l = RSwapM;
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            RSwapM => {
+                if mem.cas(self.m, 0, 1) {
+                    *l = RIncCount { acquired_resource: false };
+                } else {
+                    *l = RSpinM;
+                }
+            }
+            RIncCount { .. } => {
+                let old = mem.faa(self.count, 1);
+                *l = if old == 0 { RTakeResSpin } else { RRelM1 { took: false } };
+            }
+            RTakeResSpin => {
+                if mem.read(self.res) == 0 {
+                    *l = RTakeResSwap;
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            RTakeResSwap => {
+                if mem.cas(self.res, 0, 1) {
+                    *l = RRelM1 { took: true };
+                } else {
+                    *l = RTakeResSpin;
+                }
+            }
+            RRelM1 { .. } => {
+                mem.write(self.m, 0);
+                *l = RCs;
+            }
+            RCs => {
+                *l = RXSpinM;
+            }
+            // ---- reader exit ----
+            RXSpinM => {
+                if mem.read(self.m) == 0 {
+                    *l = RXSwapM;
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            RXSwapM => {
+                if mem.cas(self.m, 0, 1) {
+                    *l = RXDecCount;
+                } else {
+                    *l = RXSpinM;
+                }
+            }
+            RXDecCount => {
+                let old = mem.faa(self.count, 1u64.wrapping_neg());
+                *l = if old == 1 { RXRelRes } else { RXRelM };
+            }
+            RXRelRes => {
+                mem.write(self.res, 0);
+                *l = RXRelM;
+            }
+            RXRelM => {
+                mem.write(self.m, 0);
+                *l = Remainder;
+            }
+            // ---- writer ----
+            WSpinRes => {
+                if mem.read(self.res) == 0 {
+                    *l = WSwapRes;
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            WSwapRes => {
+                if mem.cas(self.res, 0, 1) {
+                    *l = WCs;
+                } else {
+                    *l = WSpinRes;
+                }
+            }
+            WCs => {
+                *l = WRelRes;
+            }
+            WRelRes => {
+                mem.write(self.res, 0);
+                *l = Remainder;
+            }
+        }
+        StepEvent::Progress
+    }
+
+    fn phase(&self, _pid: usize, l: &CentralizedLocal) -> Phase {
+        use CentralizedLocal::*;
+        match l {
+            Remainder => Phase::Remainder,
+            RSpinM | RSwapM | RIncCount { .. } | RTakeResSpin | RTakeResSwap | RRelM1 { .. } => {
+                Phase::WaitingRoom
+            }
+            RCs | WCs => Phase::Cs,
+            RXSpinM | RXSwapM | RXDecCount | RXRelRes | RXRelM | WRelRes => Phase::Exit,
+            WSpinRes | WSwapRes => Phase::WaitingRoom,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Task-fair ticket RW lock (everyone spins on one grants word).
+// ---------------------------------------------------------------------
+
+const READ_GRANT_UNIT: u64 = 1 << 32;
+
+/// Local state for [`TicketRw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TicketRwLocal {
+    Remainder,
+    TakeTicket,
+    RWaitGrant { ticket: u32 },
+    RBumpRead,
+    RCs,
+    RExit,
+    WWaitGrant { ticket: u32 },
+    WCs,
+    WExit,
+}
+
+/// Task-fair ticket reader-writer lock: FIFO service, all waiters spin on
+/// the shared grant word → O(n) RMRs per handoff in the CC model.
+#[derive(Debug)]
+pub struct TicketRw {
+    layout: MemLayout,
+    users: VarId,
+    grants: VarId,
+    writers: usize,
+    readers: usize,
+}
+
+impl TicketRw {
+    /// Builds the machine (`0..writers` writers, rest readers).
+    pub fn new(writers: usize, readers: usize) -> Self {
+        let mut layout = MemLayout::new();
+        let users = layout.var("users", 0);
+        let grants = layout.var("grants", 0);
+        Self { layout, users, grants, writers, readers }
+    }
+}
+
+impl Algorithm for TicketRw {
+    type Local = TicketRwLocal;
+
+    fn name(&self) -> &'static str {
+        "baseline-ticket-rw"
+    }
+
+    fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    fn processes(&self) -> usize {
+        self.writers + self.readers
+    }
+
+    fn role(&self, pid: usize) -> Role {
+        if pid < self.writers {
+            Role::Writer
+        } else {
+            Role::Reader
+        }
+    }
+
+    fn initial_local(&self, _pid: usize) -> TicketRwLocal {
+        TicketRwLocal::Remainder
+    }
+
+    fn step(&self, pid: usize, l: &mut TicketRwLocal, mem: &mut MemAccess<'_>) -> StepEvent {
+        use TicketRwLocal::*;
+        match *l {
+            Remainder => {
+                *l = TakeTicket;
+            }
+            TakeTicket => {
+                let t = mem.faa(self.users, 1) as u32;
+                *l = if self.role(pid) == Role::Writer {
+                    WWaitGrant { ticket: t }
+                } else {
+                    RWaitGrant { ticket: t }
+                };
+            }
+            RWaitGrant { ticket } => {
+                let g = mem.read(self.grants);
+                if (g >> 32) as u32 == ticket {
+                    *l = RBumpRead;
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            RBumpRead => {
+                mem.faa(self.grants, READ_GRANT_UNIT);
+                *l = RCs;
+            }
+            RCs => {
+                *l = RExit;
+            }
+            RExit => {
+                mem.faa(self.grants, 1);
+                *l = Remainder;
+            }
+            WWaitGrant { ticket } => {
+                let g = mem.read(self.grants);
+                if g as u32 == ticket {
+                    *l = WCs;
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            WCs => {
+                *l = WExit;
+            }
+            WExit => {
+                mem.faa(self.grants, READ_GRANT_UNIT + 1);
+                *l = Remainder;
+            }
+        }
+        StepEvent::Progress
+    }
+
+    fn phase(&self, _pid: usize, l: &TicketRwLocal) -> Phase {
+        use TicketRwLocal::*;
+        match l {
+            Remainder => Phase::Remainder,
+            TakeTicket => Phase::Doorway,
+            RWaitGrant { .. } | WWaitGrant { .. } | RBumpRead => Phase::WaitingRoom,
+            RCs | WCs => Phase::Cs,
+            RExit | WExit => Phase::Exit,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counting-tree RW lock (Θ(log n) reader RMRs — the Danek–Hadzilacos
+// complexity-class stand-in).
+// ---------------------------------------------------------------------
+
+/// Local state for [`Tournament`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TournamentLocal {
+    Remainder,
+    /// Reader climbing: next tree node index to increment.
+    RClimb { node: u32 },
+    RCheckWriter,
+    /// Reader retreating after seeing the writer flag.
+    RDescend { node: u32 },
+    RPark,
+    RCs,
+    /// Reader exit: descending.
+    RExit { node: u32 },
+    // Writer: TTAS mutex, flag, drain root.
+    WSpinM,
+    WSwapM,
+    WSetFlag,
+    WDrainRoot,
+    WCs,
+    WClearFlag,
+    WRelM,
+}
+
+/// Counting-tree reader-writer lock: readers pay one fetch&add per tree
+/// level (Θ(log n) RMRs per attempt).
+#[derive(Debug)]
+pub struct Tournament {
+    layout: MemLayout,
+    /// Heap-indexed counters; node 1 is the root.
+    nodes: Vec<VarId>,
+    leaf_base: usize,
+    m: VarId,
+    writer_present: VarId,
+    writers: usize,
+    readers: usize,
+}
+
+impl Tournament {
+    /// Builds the machine (`0..writers` writers, rest readers).
+    pub fn new(writers: usize, readers: usize) -> Self {
+        let mut layout = MemLayout::new();
+        let leaf_base = (writers + readers).next_power_of_two().max(2);
+        let nodes = layout.array("node", 2 * leaf_base, 0);
+        let m = layout.var("wmutex", 0);
+        let writer_present = layout.var("writer_present", 0);
+        Self { layout, nodes, leaf_base, m, writer_present, writers, readers }
+    }
+
+    fn leaf_of(&self, pid: usize) -> u32 {
+        (self.leaf_base + pid % self.leaf_base) as u32
+    }
+
+    /// Tree levels a reader touches per climb.
+    pub fn levels(&self) -> u32 {
+        self.leaf_base.trailing_zeros() + 1
+    }
+}
+
+impl Algorithm for Tournament {
+    type Local = TournamentLocal;
+
+    fn name(&self) -> &'static str {
+        "baseline-tournament-tree"
+    }
+
+    fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    fn processes(&self) -> usize {
+        self.writers + self.readers
+    }
+
+    fn role(&self, pid: usize) -> Role {
+        if pid < self.writers {
+            Role::Writer
+        } else {
+            Role::Reader
+        }
+    }
+
+    fn initial_local(&self, _pid: usize) -> TournamentLocal {
+        TournamentLocal::Remainder
+    }
+
+    fn step(&self, pid: usize, l: &mut TournamentLocal, mem: &mut MemAccess<'_>) -> StepEvent {
+        use TournamentLocal::*;
+        match *l {
+            Remainder => {
+                *l = if self.role(pid) == Role::Writer {
+                    WSpinM
+                } else {
+                    RClimb { node: self.leaf_of(pid) }
+                };
+            }
+            RClimb { node } => {
+                mem.faa(self.nodes[node as usize], 1);
+                *l = if node >= 2 { RClimb { node: node / 2 } } else { RCheckWriter };
+            }
+            RCheckWriter => {
+                if mem.read(self.writer_present) == 0 {
+                    *l = RCs;
+                } else {
+                    *l = RDescend { node: self.leaf_of(pid) };
+                }
+            }
+            RDescend { node } => {
+                mem.faa(self.nodes[node as usize], 1u64.wrapping_neg());
+                *l = if node >= 2 { RDescend { node: node / 2 } } else { RPark };
+            }
+            RPark => {
+                if mem.read(self.writer_present) == 0 {
+                    *l = RClimb { node: self.leaf_of(pid) };
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            RCs => {
+                *l = RExit { node: self.leaf_of(pid) };
+            }
+            RExit { node } => {
+                mem.faa(self.nodes[node as usize], 1u64.wrapping_neg());
+                *l = if node >= 2 { RExit { node: node / 2 } } else { Remainder };
+            }
+            WSpinM => {
+                if mem.read(self.m) == 0 {
+                    *l = WSwapM;
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            WSwapM => {
+                *l = if mem.cas(self.m, 0, 1) { WSetFlag } else { WSpinM };
+            }
+            WSetFlag => {
+                mem.write(self.writer_present, 1);
+                *l = WDrainRoot;
+            }
+            WDrainRoot => {
+                if mem.read(self.nodes[1]) == 0 {
+                    *l = WCs;
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            WCs => {
+                *l = WClearFlag;
+            }
+            WClearFlag => {
+                mem.write(self.writer_present, 0);
+                *l = WRelM;
+            }
+            WRelM => {
+                mem.write(self.m, 0);
+                *l = Remainder;
+            }
+        }
+        StepEvent::Progress
+    }
+
+    fn phase(&self, _pid: usize, l: &TournamentLocal) -> Phase {
+        use TournamentLocal::*;
+        match l {
+            Remainder => Phase::Remainder,
+            RClimb { .. } | RCheckWriter | RDescend { .. } | RPark | WSpinM | WSwapM | WSetFlag
+            | WDrainRoot => Phase::WaitingRoom,
+            RCs | WCs => Phase::Cs,
+            RExit { .. } | WClearFlag | WRelM => Phase::Exit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CcModel, FreeModel};
+    use crate::runner::{RandomSched, Runner};
+
+    fn safety_and_liveness<A: Algorithm>(make: impl Fn() -> A, seeds: u64, steps: usize) {
+        for seed in 0..seeds {
+            let alg = make();
+            let mut r = Runner::new(alg, FreeModel, 3);
+            let mut sched = RandomSched::new(seed);
+            r.run(&mut sched, steps);
+            assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+            assert!(r.quiescent(), "seed {seed}: did not quiesce");
+        }
+    }
+
+    #[test]
+    fn centralized_safe_and_live() {
+        safety_and_liveness(|| Centralized::new(2, 3), 15, 1_000_000);
+    }
+
+    #[test]
+    fn ticket_rw_safe_and_live() {
+        safety_and_liveness(|| TicketRw::new(2, 3), 15, 1_000_000);
+    }
+
+    #[test]
+    fn tournament_safe_and_live() {
+        safety_and_liveness(|| Tournament::new(2, 3), 15, 1_000_000);
+    }
+
+    #[test]
+    fn tournament_reader_rmrs_grow_with_n() {
+        // The log n separation: reader RMRs under CC must grow as the tree
+        // deepens (uncontended single reader, so the count is exactly the
+        // climb + check + descend cost).
+        let mut costs = Vec::new();
+        for total in [4usize, 16, 64] {
+            let alg = Tournament::new(1, total - 1);
+            let n = alg.processes();
+            let vars = alg.layout().len();
+            let mut r = Runner::new(alg, CcModel::new(n.min(64), vars), 1);
+            // Only reader 1 runs.
+            for p in 0..n {
+                if p != 1 {
+                    r.set_budget(p, 0);
+                }
+            }
+            let mut sched = RandomSched::new(1);
+            r.run(&mut sched, 100_000);
+            assert!(r.quiescent());
+            costs.push(r.finished_attempts()[0].rmrs);
+        }
+        assert!(costs[0] < costs[1] && costs[1] < costs[2], "expected growth: {costs:?}");
+    }
+
+    #[test]
+    fn centralized_reader_batch_rmrs_grow_with_n() {
+        // O(n) class: total RMRs for n readers entering together grows
+        // superlinearly vs. the per-attempt constant of Fig. 1.
+        let mut per_attempt_max = Vec::new();
+        for readers in [2usize, 8] {
+            let alg = Centralized::new(1, readers);
+            let n = alg.processes();
+            let vars = alg.layout().len();
+            let mut r = Runner::new(alg, CcModel::new(n, vars), 2);
+            r.set_budget(0, 0); // no writer: measure reader-side serialization
+            let mut sched = RandomSched::new(5);
+            r.run(&mut sched, 1_000_000);
+            assert!(r.quiescent());
+            let max = r.finished_attempts().iter().map(|a| a.rmrs).max().unwrap();
+            per_attempt_max.push(max);
+        }
+        assert!(
+            per_attempt_max[1] > per_attempt_max[0],
+            "centralized lock should show contention growth: {per_attempt_max:?}"
+        );
+    }
+}

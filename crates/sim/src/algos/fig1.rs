@@ -1,0 +1,486 @@
+//! Line-level encoding of Figure 1 (SWMR, writer priority + starvation
+//! freedom).
+//!
+//! Program counters carry the paper's line numbers; each step performs the
+//! single shared-memory operation of that line. The writer is process 0,
+//! readers are processes `1..=n`. The `Fig1Vars` / step functions are also
+//! reused by the Figure 3 and Figure 4 encodings, exactly as the paper
+//! reuses `SW-Write-try` / `SW-waiting-room`.
+
+use crate::machine::{Algorithm, Phase, Role, StepEvent};
+use crate::mem::{MemAccess, MemLayout, VarId};
+
+/// Bit 63 of a `C[d]`/`EC` cell: the `writer-waiting` component.
+pub const WRITER_BIT: u64 = 1 << 63;
+/// The paper's `\[1, 1\]` test value (writer waiting, one reader registered).
+pub const ONE_ONE: u64 = WRITER_BIT | 1;
+
+/// Shared variables of Figure 1.
+#[derive(Debug, Clone)]
+pub struct Fig1Vars {
+    /// `D`.
+    pub d: VarId,
+    /// `Gate\[0\]`, `Gate\[1\]`.
+    pub gates: [VarId; 2],
+    /// `Permit\[0\]`, `Permit\[1\]`.
+    pub permits: [VarId; 2],
+    /// `ExitPermit`.
+    pub exit_permit: VarId,
+    /// `C\[0\]`, `C\[1\]` (packed `[writer-waiting, reader-count]`).
+    pub c: [VarId; 2],
+    /// `EC` (packed).
+    pub ec: VarId,
+}
+
+impl Fig1Vars {
+    /// Allocates the Figure 1 variables with the paper's initial values
+    /// (`D = 0`, `Gate\[0\] = true`, `Gate\[1\] = false`, counters zero).
+    pub fn alloc(layout: &mut MemLayout) -> Self {
+        Self {
+            d: layout.var("D", 0),
+            gates: [layout.var("Gate[0]", 1), layout.var("Gate[1]", 0)],
+            permits: [layout.var("Permit[0]", 0), layout.var("Permit[1]", 0)],
+            exit_permit: layout.var("ExitPermit", 0),
+            c: [layout.var("C[0]", 0), layout.var("C[1]", 0)],
+            ec: layout.var("EC", 0),
+        }
+    }
+}
+
+/// Writer program counter (paper line about to execute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum WPc {
+    Remainder,
+    L3,
+    L4,
+    L5,
+    L6,
+    L7,
+    L8,
+    L9,
+    L10,
+    L11,
+    L12,
+    Cs,
+    L14,
+}
+
+/// Writer local state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WriterLocal {
+    /// Program counter.
+    pub pc: WPc,
+    /// `prevD` (0/1).
+    pub prev_d: u64,
+    /// `currD` (0/1).
+    pub curr_d: u64,
+}
+
+impl WriterLocal {
+    /// Writer at rest.
+    pub fn initial() -> Self {
+        Self { pc: WPc::Remainder, prev_d: 0, curr_d: 0 }
+    }
+
+    /// Writer about to execute the waiting room (Fig. 1 line 4) from side
+    /// `curr_d` — the entry point Figure 4's line 13 uses.
+    pub fn at_waiting_room(curr_d: u64) -> Self {
+        Self { pc: WPc::L4, prev_d: 1 - curr_d, curr_d }
+    }
+}
+
+/// One step of the Figure 1 writer. Returns `Blocked` when a `wait till`
+/// condition is still false.
+pub fn step_writer(vars: &Fig1Vars, local: &mut WriterLocal, mem: &mut MemAccess<'_>) -> StepEvent {
+    match local.pc {
+        WPc::Remainder => {
+            // line 2: prevD ← D, currD ← ¬prevD
+            local.prev_d = mem.read(vars.d);
+            local.curr_d = 1 - local.prev_d;
+            local.pc = WPc::L3;
+        }
+        WPc::L3 => {
+            // line 3: D ← currD (doorway complete)
+            mem.write(vars.d, local.curr_d);
+            local.pc = WPc::L4;
+        }
+        WPc::L4 => {
+            // line 4: Permit[prevD] ← false
+            mem.write(vars.permits[local.prev_d as usize], 0);
+            local.pc = WPc::L5;
+        }
+        WPc::L5 => {
+            // line 5: if (F&A(C[prevD], [1, 0]) ≠ [0, 0]) wait
+            let old = mem.faa(vars.c[local.prev_d as usize], WRITER_BIT);
+            local.pc = if old != 0 { WPc::L6 } else { WPc::L7 };
+        }
+        WPc::L6 => {
+            // line 6: wait till Permit[prevD]
+            if mem.read(vars.permits[local.prev_d as usize]) == 1 {
+                local.pc = WPc::L7;
+            } else {
+                return StepEvent::Blocked;
+            }
+        }
+        WPc::L7 => {
+            // line 7: F&A(C[prevD], [-1, 0])
+            mem.faa(vars.c[local.prev_d as usize], WRITER_BIT.wrapping_neg());
+            local.pc = WPc::L8;
+        }
+        WPc::L8 => {
+            // line 8: Gate[prevD] ← false
+            mem.write(vars.gates[local.prev_d as usize], 0);
+            local.pc = WPc::L9;
+        }
+        WPc::L9 => {
+            // line 9: ExitPermit ← false
+            mem.write(vars.exit_permit, 0);
+            local.pc = WPc::L10;
+        }
+        WPc::L10 => {
+            // line 10: if (F&A(EC, [1, 0]) ≠ [0, 0]) wait
+            let old = mem.faa(vars.ec, WRITER_BIT);
+            local.pc = if old != 0 { WPc::L11 } else { WPc::L12 };
+        }
+        WPc::L11 => {
+            // line 11: wait till ExitPermit
+            if mem.read(vars.exit_permit) == 1 {
+                local.pc = WPc::L12;
+            } else {
+                return StepEvent::Blocked;
+            }
+        }
+        WPc::L12 => {
+            // line 12: F&A(EC, [-1, 0])
+            mem.faa(vars.ec, WRITER_BIT.wrapping_neg());
+            local.pc = WPc::Cs;
+        }
+        WPc::Cs => {
+            // line 13: CRITICAL SECTION (no shared access)
+            local.pc = WPc::L14;
+        }
+        WPc::L14 => {
+            // line 14: Gate[D] ← true (D = currD)
+            mem.write(vars.gates[local.curr_d as usize], 1);
+            local.pc = WPc::Remainder;
+        }
+    }
+    StepEvent::Progress
+}
+
+/// Phase of a Figure 1 writer.
+pub fn writer_phase(local: &WriterLocal) -> Phase {
+    match local.pc {
+        WPc::Remainder => Phase::Remainder,
+        WPc::L3 => Phase::Doorway,
+        WPc::L4 | WPc::L5 | WPc::L6 | WPc::L7 | WPc::L8 | WPc::L9 | WPc::L10 | WPc::L11
+        | WPc::L12 => Phase::WaitingRoom,
+        WPc::Cs => Phase::Cs,
+        WPc::L14 => Phase::Exit,
+    }
+}
+
+/// Reader program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum RPc {
+    Remainder,
+    L17,
+    L18,
+    L20,
+    L21,
+    L22,
+    L23,
+    L24,
+    Cs,
+    L26,
+    L27,
+    L28,
+    L29,
+    L30,
+}
+
+/// Reader local state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReaderLocal {
+    /// Program counter.
+    pub pc: RPc,
+    /// `d`.
+    pub d: u64,
+    /// `d′`.
+    pub d2: u64,
+}
+
+impl ReaderLocal {
+    /// Reader at rest.
+    pub fn initial() -> Self {
+        Self { pc: RPc::Remainder, d: 0, d2: 0 }
+    }
+}
+
+/// One step of the Figure 1 reader.
+pub fn step_reader(vars: &Fig1Vars, local: &mut ReaderLocal, mem: &mut MemAccess<'_>) -> StepEvent {
+    match local.pc {
+        RPc::Remainder => {
+            // line 16: d ← D
+            local.d = mem.read(vars.d);
+            local.pc = RPc::L17;
+        }
+        RPc::L17 => {
+            // line 17: F&A(C[d], [0, 1])
+            mem.faa(vars.c[local.d as usize], 1);
+            local.pc = RPc::L18;
+        }
+        RPc::L18 => {
+            // lines 18–19: d′ ← D; if (d ≠ d′)
+            local.d2 = mem.read(vars.d);
+            local.pc = if local.d != local.d2 { RPc::L20 } else { RPc::L24 };
+        }
+        RPc::L20 => {
+            // line 20: F&A(C[d′], [0, 1])
+            mem.faa(vars.c[local.d2 as usize], 1);
+            local.pc = RPc::L21;
+        }
+        RPc::L21 => {
+            // line 21: d ← D
+            local.d = mem.read(vars.d);
+            local.pc = RPc::L22;
+        }
+        RPc::L22 => {
+            // line 22: if (F&A(C[d̄], [0, -1]) = [1, 1])
+            let other = (1 - local.d) as usize;
+            let old = mem.faa(vars.c[other], 1u64.wrapping_neg());
+            local.pc = if old == ONE_ONE { RPc::L23 } else { RPc::L24 };
+        }
+        RPc::L23 => {
+            // line 23: Permit[d̄] ← true
+            mem.write(vars.permits[(1 - local.d) as usize], 1);
+            local.pc = RPc::L24;
+        }
+        RPc::L24 => {
+            // line 24: wait till Gate[d]
+            if mem.read(vars.gates[local.d as usize]) == 1 {
+                local.pc = RPc::Cs;
+            } else {
+                return StepEvent::Blocked;
+            }
+        }
+        RPc::Cs => {
+            // line 25: CRITICAL SECTION
+            local.pc = RPc::L26;
+        }
+        RPc::L26 => {
+            // line 26: F&A(EC, [0, 1])
+            mem.faa(vars.ec, 1);
+            local.pc = RPc::L27;
+        }
+        RPc::L27 => {
+            // line 27: if (F&A(C[d], [0, -1]) = [1, 1])
+            let old = mem.faa(vars.c[local.d as usize], 1u64.wrapping_neg());
+            local.pc = if old == ONE_ONE { RPc::L28 } else { RPc::L29 };
+        }
+        RPc::L28 => {
+            // line 28: Permit[d] ← true
+            mem.write(vars.permits[local.d as usize], 1);
+            local.pc = RPc::L29;
+        }
+        RPc::L29 => {
+            // line 29: if (F&A(EC, [0, -1]) = [1, 1])
+            let old = mem.faa(vars.ec, 1u64.wrapping_neg());
+            local.pc = if old == ONE_ONE { RPc::L30 } else { RPc::Remainder };
+        }
+        RPc::L30 => {
+            // line 30: ExitPermit ← true
+            mem.write(vars.exit_permit, 1);
+            local.pc = RPc::Remainder;
+        }
+    }
+    StepEvent::Progress
+}
+
+/// Phase of a Figure 1 reader.
+pub fn reader_phase(local: &ReaderLocal) -> Phase {
+    match local.pc {
+        RPc::Remainder => Phase::Remainder,
+        RPc::L17 | RPc::L18 | RPc::L20 | RPc::L21 | RPc::L22 | RPc::L23 => Phase::Doorway,
+        RPc::L24 => Phase::WaitingRoom,
+        RPc::Cs => Phase::Cs,
+        RPc::L26 | RPc::L27 | RPc::L28 | RPc::L29 | RPc::L30 => Phase::Exit,
+    }
+}
+
+/// Per-process local state of the [`Fig1`] machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fig1Local {
+    /// The single writer (process 0).
+    Writer(WriterLocal),
+    /// A reader.
+    Reader(ReaderLocal),
+}
+
+/// The Figure 1 machine: process 0 is the writer, processes `1..=readers`
+/// are readers.
+#[derive(Debug)]
+pub struct Fig1 {
+    layout: MemLayout,
+    vars: Fig1Vars,
+    readers: usize,
+}
+
+impl Fig1 {
+    /// Builds the machine with `readers` reader processes.
+    pub fn new(readers: usize) -> Self {
+        let mut layout = MemLayout::new();
+        let vars = Fig1Vars::alloc(&mut layout);
+        Self { layout, vars, readers }
+    }
+
+    /// The shared-variable ids (used by the invariant checkers).
+    pub fn vars(&self) -> &Fig1Vars {
+        &self.vars
+    }
+}
+
+impl Algorithm for Fig1 {
+    type Local = Fig1Local;
+
+    fn name(&self) -> &'static str {
+        "fig1-swmr-writer-priority"
+    }
+
+    fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    fn processes(&self) -> usize {
+        self.readers + 1
+    }
+
+    fn role(&self, pid: usize) -> Role {
+        if pid == 0 {
+            Role::Writer
+        } else {
+            Role::Reader
+        }
+    }
+
+    fn initial_local(&self, pid: usize) -> Fig1Local {
+        if pid == 0 {
+            Fig1Local::Writer(WriterLocal::initial())
+        } else {
+            Fig1Local::Reader(ReaderLocal::initial())
+        }
+    }
+
+    fn step(&self, _pid: usize, local: &mut Fig1Local, mem: &mut MemAccess<'_>) -> StepEvent {
+        match local {
+            Fig1Local::Writer(w) => step_writer(&self.vars, w, mem),
+            Fig1Local::Reader(r) => step_reader(&self.vars, r, mem),
+        }
+    }
+
+    fn phase(&self, _pid: usize, local: &Fig1Local) -> Phase {
+        match local {
+            Fig1Local::Writer(w) => writer_phase(w),
+            Fig1Local::Reader(r) => reader_phase(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CcModel, FreeModel};
+    use crate::runner::{Config, RandomSched, RoundRobin, Runner};
+
+    #[test]
+    fn solo_writer_completes_in_bounded_steps() {
+        let alg = Fig1::new(0);
+        let mut r = Runner::new(alg, FreeModel, 3);
+        let mut sched = RoundRobin::default();
+        r.run(&mut sched, 1000);
+        assert!(r.quiescent(), "solo writer should finish 3 attempts");
+        assert!(r.violations().is_empty());
+        assert_eq!(r.finished_attempts().len(), 3);
+        for a in r.finished_attempts() {
+            assert!(a.try_steps <= 12, "writer try section must be bounded solo");
+        }
+    }
+
+    #[test]
+    fn solo_reader_satisfies_concurrent_entering() {
+        let alg = Fig1::new(3);
+        let mut r = Runner::new(alg, FreeModel, 5);
+        r.set_budget(0, 0); // writer stays in the remainder section
+        let mut sched = RandomSched::new(11);
+        r.run(&mut sched, 10_000);
+        assert!(r.quiescent());
+        for a in r.finished_attempts() {
+            // P5: readers enter within a bounded number of their own steps
+            // when no writer is active (doorway ≤ 7 lines + 1 gate check).
+            assert!(a.try_steps <= 8, "concurrent entering violated: {a:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_run_has_no_exclusion_violation() {
+        for seed in 0..20 {
+            let alg = Fig1::new(3);
+            let mut r = Runner::new(alg, FreeModel, 4);
+            let mut sched = RandomSched::new(seed);
+            r.run(&mut sched, 100_000);
+            assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+            assert!(r.quiescent(), "seed {seed}: starvation within budget");
+        }
+    }
+
+    #[test]
+    fn rmr_per_attempt_is_constant_under_cc() {
+        // The headline claim at machine level: max RMRs per attempt is
+        // bounded by a constant independent of the number of readers.
+        // (Small n samples fewer interleavings, so the observed max rises
+        // toward the worst-case constant before plateauing.)
+        let mut maxes = Vec::new();
+        for readers in [1usize, 4, 16, 48] {
+            let n = readers + 1;
+            let alg = Fig1::new(readers);
+            let vars = alg.layout().len();
+            let mut r = Runner::new(alg, CcModel::new(n, vars), 5);
+            let mut sched = RandomSched::new(3);
+            r.run(&mut sched, 2_000_000);
+            assert!(r.quiescent());
+            let max = r.finished_attempts().iter().map(|a| a.rmrs).max().unwrap();
+            maxes.push(max);
+        }
+        assert!(maxes.iter().all(|&m| m <= 20), "RMR bound is not constant: {maxes:?}");
+        let last = maxes.len() - 1;
+        assert!(
+            maxes[last] <= maxes[last - 1] + 2,
+            "no plateau — still growing at large n: {maxes:?}"
+        );
+    }
+
+    #[test]
+    fn exit_section_is_bounded() {
+        for seed in 0..10 {
+            let alg = Fig1::new(4);
+            let mut r = Runner::new(alg, FreeModel, 3);
+            let mut sched = RandomSched::new(seed);
+            r.run(&mut sched, 100_000);
+            for a in r.finished_attempts() {
+                assert!(a.exit_steps <= 5, "P2 violated: {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_config_matches_paper() {
+        let alg = Fig1::new(2);
+        let cfg = Config::initial(&alg);
+        let v = alg.vars();
+        assert_eq!(cfg.cells[v.d.index()], 0);
+        assert_eq!(cfg.cells[v.gates[0].index()], 1);
+        assert_eq!(cfg.cells[v.gates[1].index()], 0);
+    }
+}

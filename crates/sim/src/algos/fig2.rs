@@ -1,0 +1,488 @@
+//! Line-level encoding of Figure 2 (SWMR, reader priority).
+//!
+//! Process 0 is the writer, processes `1..=n` are readers. `X` is encoded
+//! as the acting process's pid or the sentinel [`X_TRUE`]. The `Promote`
+//! procedure (lines 10–16) is shared between the writer's try section and
+//! every reader's exit section, exactly as in the paper.
+
+use crate::machine::{Algorithm, Phase, Role, StepEvent};
+use crate::mem::{MemAccess, MemLayout, VarId};
+
+/// Encoding of `X = true`.
+pub const X_TRUE: u64 = u64::MAX;
+
+/// Shared variables of Figure 2.
+#[derive(Debug, Clone)]
+pub struct Fig2Vars {
+    /// `D`.
+    pub d: VarId,
+    /// `Gate\[0\]`, `Gate\[1\]`.
+    pub gates: [VarId; 2],
+    /// `X ∈ PID ∪ {true}`.
+    pub x: VarId,
+    /// `Permit`.
+    pub permit: VarId,
+    /// `C`.
+    pub c: VarId,
+}
+
+impl Fig2Vars {
+    /// Allocates with the paper's initial values: `D = 0`, `Gate\[0\] = true`,
+    /// `Gate\[1\] = false`, `X` = some pid (0), `Permit = true`, `C = 0`.
+    pub fn alloc(layout: &mut MemLayout) -> Self {
+        Self {
+            d: layout.var("D", 0),
+            gates: [layout.var("Gate[0]", 1), layout.var("Gate[1]", 0)],
+            x: layout.var("X", 0),
+            permit: layout.var("Permit", 1),
+            c: layout.var("C", 0),
+        }
+    }
+}
+
+/// Program counter inside `Promote()` (lines 10–16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum PromotePc {
+    P10,
+    P12,
+    P13,
+    P14,
+    P15,
+    P16,
+}
+
+/// Writer program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum WPc {
+    Remainder,
+    L2w,
+    L3,
+    Promote(PromotePc),
+    L5,
+    Cs,
+    L7,
+    L8,
+    L9,
+}
+
+/// Writer local state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WriterLocal {
+    /// Program counter.
+    pub pc: WPc,
+    /// The writer's view of `D`. Line 2 (`D ← D̄`) is encoded as a read
+    /// step followed by a write step: under the Figure 3 transformation
+    /// *different* processes take turns playing the writer role, so the
+    /// incoming writer must learn `D` from shared memory. (The exhaustive
+    /// explorer caught the locally-tracked-`D` shortcut violating P1 in
+    /// exactly that setting.)
+    pub d: u64,
+    /// `Promote`'s local `x`.
+    pub x: u64,
+}
+
+impl WriterLocal {
+    /// Writer at rest (before its first attempt, `D = 0`).
+    pub fn initial() -> Self {
+        Self { pc: WPc::Remainder, d: 0, x: 0 }
+    }
+}
+
+/// Executes one `Promote` step for process `pid`; returns the next
+/// `PromotePc` or `None` when the procedure returns.
+fn step_promote(
+    vars: &Fig2Vars,
+    pid: usize,
+    pc: PromotePc,
+    x_local: &mut u64,
+    mem: &mut MemAccess<'_>,
+) -> Option<PromotePc> {
+    match pc {
+        PromotePc::P10 => {
+            // lines 10–11: x ← X; if (x ≠ true)
+            *x_local = mem.read(vars.x);
+            if *x_local != X_TRUE {
+                Some(PromotePc::P12)
+            } else {
+                None
+            }
+        }
+        PromotePc::P12 => {
+            // line 12: if (CAS(X, x, i))
+            if mem.cas(vars.x, *x_local, pid as u64) {
+                Some(PromotePc::P13)
+            } else {
+                None
+            }
+        }
+        PromotePc::P13 => {
+            // line 13: if (¬Permit)
+            if mem.read(vars.permit) == 0 {
+                Some(PromotePc::P14)
+            } else {
+                None
+            }
+        }
+        PromotePc::P14 => {
+            // line 14: if (C = 0)
+            if mem.read(vars.c) == 0 {
+                Some(PromotePc::P15)
+            } else {
+                None
+            }
+        }
+        PromotePc::P15 => {
+            // line 15: if (CAS(X, i, true))
+            if mem.cas(vars.x, pid as u64, X_TRUE) {
+                Some(PromotePc::P16)
+            } else {
+                None
+            }
+        }
+        PromotePc::P16 => {
+            // line 16: Permit ← true
+            mem.write(vars.permit, 1);
+            None
+        }
+    }
+}
+
+/// One step of the Figure 2 writer (`pid` is its process id).
+pub fn step_writer(
+    vars: &Fig2Vars,
+    pid: usize,
+    local: &mut WriterLocal,
+    mem: &mut MemAccess<'_>,
+) -> StepEvent {
+    match local.pc {
+        WPc::Remainder => {
+            // line 2 (read half): observe D
+            local.d = mem.read(vars.d);
+            local.pc = WPc::L2w;
+        }
+        WPc::L2w => {
+            // line 2 (write half): D ← D̄
+            local.d = 1 - local.d;
+            mem.write(vars.d, local.d);
+            local.pc = WPc::L3;
+        }
+        WPc::L3 => {
+            // line 3: Permit ← false
+            mem.write(vars.permit, 0);
+            local.pc = WPc::Promote(PromotePc::P10); // line 4: Promote()
+        }
+        WPc::Promote(pc) => {
+            local.pc = match step_promote(vars, pid, pc, &mut local.x, mem) {
+                Some(next) => WPc::Promote(next),
+                None => WPc::L5,
+            };
+        }
+        WPc::L5 => {
+            // line 5: wait till Permit
+            if mem.read(vars.permit) == 1 {
+                local.pc = WPc::Cs;
+            } else {
+                return StepEvent::Blocked;
+            }
+        }
+        WPc::Cs => {
+            // line 6: CRITICAL SECTION
+            local.pc = WPc::L7;
+        }
+        WPc::L7 => {
+            // line 7: Gate[D̄] ← false
+            mem.write(vars.gates[(1 - local.d) as usize], 0);
+            local.pc = WPc::L8;
+        }
+        WPc::L8 => {
+            // line 8: Gate[D] ← true
+            mem.write(vars.gates[local.d as usize], 1);
+            local.pc = WPc::L9;
+        }
+        WPc::L9 => {
+            // line 9: X ← i
+            mem.write(vars.x, pid as u64);
+            local.pc = WPc::Remainder;
+        }
+    }
+    StepEvent::Progress
+}
+
+/// Phase of the Figure 2 writer.
+///
+/// Lines 2–4 (toggle, `Permit ← false`, the bounded `Promote`) are the
+/// doorway; line 5 is the waiting room; lines 7–9 the exit.
+pub fn writer_phase(local: &WriterLocal) -> Phase {
+    match local.pc {
+        WPc::Remainder => Phase::Remainder,
+        WPc::L2w | WPc::L3 | WPc::Promote(_) => Phase::Doorway,
+        WPc::L5 => Phase::WaitingRoom,
+        WPc::Cs => Phase::Cs,
+        WPc::L7 | WPc::L8 | WPc::L9 => Phase::Exit,
+    }
+}
+
+/// Reader program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum RPc {
+    Remainder,
+    L19,
+    L20,
+    L22,
+    L23,
+    L24,
+    Cs,
+    L26,
+    Promote(PromotePc),
+}
+
+/// Reader local state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReaderLocal {
+    /// Program counter.
+    pub pc: RPc,
+    /// `d`.
+    pub d: u64,
+    /// try-section `x` (line 20) and `Promote`'s `x`.
+    pub x: u64,
+}
+
+impl ReaderLocal {
+    /// Reader at rest.
+    pub fn initial() -> Self {
+        Self { pc: RPc::Remainder, d: 0, x: 0 }
+    }
+}
+
+/// One step of the Figure 2 reader (`pid` is its process id).
+pub fn step_reader(
+    vars: &Fig2Vars,
+    pid: usize,
+    local: &mut ReaderLocal,
+    mem: &mut MemAccess<'_>,
+) -> StepEvent {
+    match local.pc {
+        RPc::Remainder => {
+            // line 18: F&A(C, 1)
+            mem.faa(vars.c, 1);
+            local.pc = RPc::L19;
+        }
+        RPc::L19 => {
+            // line 19: d ← D
+            local.d = mem.read(vars.d);
+            local.pc = RPc::L20;
+        }
+        RPc::L20 => {
+            // lines 20–21: x ← X; if (x ∈ PID)
+            local.x = mem.read(vars.x);
+            local.pc = if local.x != X_TRUE { RPc::L22 } else { RPc::L23 };
+        }
+        RPc::L22 => {
+            // line 22: CAS(X, x, i) — outcome ignored
+            let _ = mem.cas(vars.x, local.x, pid as u64);
+            local.pc = RPc::L23;
+        }
+        RPc::L23 => {
+            // line 23: if (X = true)
+            local.pc = if mem.read(vars.x) == X_TRUE { RPc::L24 } else { RPc::Cs };
+        }
+        RPc::L24 => {
+            // line 24: wait till Gate[d]
+            if mem.read(vars.gates[local.d as usize]) == 1 {
+                local.pc = RPc::Cs;
+            } else {
+                return StepEvent::Blocked;
+            }
+        }
+        RPc::Cs => {
+            // line 25: CRITICAL SECTION
+            local.pc = RPc::L26;
+        }
+        RPc::L26 => {
+            // line 26: F&A(C, -1)
+            mem.faa(vars.c, 1u64.wrapping_neg());
+            local.pc = RPc::Promote(PromotePc::P10); // line 27: Promote()
+        }
+        RPc::Promote(pc) => {
+            local.pc = match step_promote(vars, pid, pc, &mut local.x, mem) {
+                Some(next) => RPc::Promote(next),
+                None => RPc::Remainder,
+            };
+        }
+    }
+    StepEvent::Progress
+}
+
+/// Phase of the Figure 2 reader.
+pub fn reader_phase(local: &ReaderLocal) -> Phase {
+    match local.pc {
+        RPc::Remainder => Phase::Remainder,
+        RPc::L19 | RPc::L20 | RPc::L22 | RPc::L23 => Phase::Doorway,
+        RPc::L24 => Phase::WaitingRoom,
+        RPc::Cs => Phase::Cs,
+        RPc::L26 | RPc::Promote(_) => Phase::Exit,
+    }
+}
+
+/// Per-process local state of the [`Fig2`] machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fig2Local {
+    /// The single writer (process 0).
+    Writer(WriterLocal),
+    /// A reader.
+    Reader(ReaderLocal),
+}
+
+/// The Figure 2 machine: process 0 is the writer, `1..=readers` readers.
+#[derive(Debug)]
+pub struct Fig2 {
+    layout: MemLayout,
+    vars: Fig2Vars,
+    readers: usize,
+}
+
+impl Fig2 {
+    /// Builds the machine with `readers` reader processes.
+    pub fn new(readers: usize) -> Self {
+        let mut layout = MemLayout::new();
+        let vars = Fig2Vars::alloc(&mut layout);
+        Self { layout, vars, readers }
+    }
+
+    /// The shared-variable ids (used by the invariant checkers).
+    pub fn vars(&self) -> &Fig2Vars {
+        &self.vars
+    }
+}
+
+impl Algorithm for Fig2 {
+    type Local = Fig2Local;
+
+    fn name(&self) -> &'static str {
+        "fig2-swmr-reader-priority"
+    }
+
+    fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    fn processes(&self) -> usize {
+        self.readers + 1
+    }
+
+    fn role(&self, pid: usize) -> Role {
+        if pid == 0 {
+            Role::Writer
+        } else {
+            Role::Reader
+        }
+    }
+
+    fn initial_local(&self, pid: usize) -> Fig2Local {
+        if pid == 0 {
+            Fig2Local::Writer(WriterLocal::initial())
+        } else {
+            Fig2Local::Reader(ReaderLocal::initial())
+        }
+    }
+
+    fn step(&self, pid: usize, local: &mut Fig2Local, mem: &mut MemAccess<'_>) -> StepEvent {
+        match local {
+            Fig2Local::Writer(w) => step_writer(&self.vars, pid, w, mem),
+            Fig2Local::Reader(r) => step_reader(&self.vars, pid, r, mem),
+        }
+    }
+
+    fn phase(&self, _pid: usize, local: &Fig2Local) -> Phase {
+        match local {
+            Fig2Local::Writer(w) => writer_phase(w),
+            Fig2Local::Reader(r) => reader_phase(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CcModel, FreeModel};
+    use crate::runner::{RandomSched, RoundRobin, Runner};
+
+    #[test]
+    fn solo_writer_promotes_itself() {
+        let alg = Fig2::new(0);
+        let mut r = Runner::new(alg, FreeModel, 3);
+        let mut sched = RoundRobin::default();
+        r.run(&mut sched, 1000);
+        assert!(r.quiescent());
+        assert!(r.violations().is_empty());
+        for a in r.finished_attempts() {
+            assert!(a.try_steps <= 10, "solo writer must be fast: {a:?}");
+        }
+    }
+
+    #[test]
+    fn solo_readers_never_wait() {
+        let alg = Fig2::new(4);
+        let mut r = Runner::new(alg, FreeModel, 5);
+        r.set_budget(0, 0);
+        let mut sched = RandomSched::new(5);
+        r.run(&mut sched, 20_000);
+        assert!(r.quiescent());
+        for a in r.finished_attempts() {
+            assert!(a.try_steps <= 6, "concurrent entering violated: {a:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_runs_preserve_exclusion() {
+        for seed in 0..20 {
+            let alg = Fig2::new(3);
+            let mut r = Runner::new(alg, FreeModel, 4);
+            let mut sched = RandomSched::new(seed);
+            r.run(&mut sched, 200_000);
+            assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+            assert!(r.quiescent(), "seed {seed}: did not quiesce");
+        }
+    }
+
+    #[test]
+    fn rmr_per_attempt_is_constant_under_cc() {
+        let mut maxes = Vec::new();
+        for readers in [1usize, 4, 16, 48] {
+            let n = readers + 1;
+            let alg = Fig2::new(readers);
+            let vars = alg.layout().len();
+            let mut r = Runner::new(alg, CcModel::new(n, vars), 5);
+            let mut sched = RandomSched::new(9);
+            r.run(&mut sched, 2_000_000);
+            assert!(r.quiescent());
+            let max = r.finished_attempts().iter().map(|a| a.rmrs).max().unwrap();
+            maxes.push(max);
+        }
+        assert!(maxes.iter().all(|&m| m <= 20), "RMR bound is not constant: {maxes:?}");
+        let last = maxes.len() - 1;
+        assert!(
+            maxes[last] <= maxes[last - 1] + 2,
+            "no plateau — still growing at large n: {maxes:?}"
+        );
+    }
+
+    #[test]
+    fn subtle_feature_a_regression() {
+        // §4.3 (A): without lines 20–22, a reader racing a promoter breaks
+        // mutual exclusion. With them, the following adversarial schedule
+        // must stay safe: writer runs Promote up to line 15, reader starts,
+        // writer completes.
+        use crate::runner::WeightedSched;
+        for seed in 0..30 {
+            let alg = Fig2::new(2);
+            let mut r = Runner::new(alg, FreeModel, 3);
+            let mut sched = WeightedSched::new(seed, vec![10.0, 1.0, 1.0]);
+            r.run(&mut sched, 200_000);
+            assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Line-level encoding of the Figure 3 transformation `T`: writers
+//! serialize through Anderson's lock `M` and then run the single-writer
+//! writer protocol; readers run the single-writer reader protocol
+//! unchanged.
+//!
+//! Two instantiations, matching Theorems 3 and 4:
+//!
+//! * [`Fig3Sf`] — `T` over Figure 1 (starvation free, no priority);
+//! * [`Fig3Rp`] — `T` over Figure 2 (reader priority).
+//!
+//! Process ids: `0..writers` are writers, `writers..writers+readers` are
+//! readers.
+
+use super::anderson::AndersonVars;
+use super::{fig1, fig2};
+use crate::machine::{Algorithm, Phase, Role, StepEvent};
+use crate::mem::{MemAccess, MemLayout};
+
+/// Writer-side wrapper state around an inner single-writer protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MPc<Inner> {
+    /// In the remainder section (next step draws the `M` ticket — `T`'s
+    /// bounded doorway).
+    Remainder,
+    /// Spinning on the Anderson slot for `ticket`.
+    Wait {
+        /// Our `M` ticket.
+        ticket: u64,
+    },
+    /// Holding `M`, running the inner single-writer protocol.
+    Inner {
+        /// Our `M` ticket (needed for release).
+        ticket: u64,
+        /// Inner writer state.
+        inner: Inner,
+    },
+    /// Releasing `M`: closing our own slot.
+    Rel1 {
+        /// Our `M` ticket.
+        ticket: u64,
+    },
+    /// Releasing `M`: opening the successor's slot.
+    Rel2 {
+        /// Our `M` ticket.
+        ticket: u64,
+    },
+}
+
+macro_rules! fig3_machine {
+    ($name:ident, $docname:literal, $inner_mod:ident, $inner_vars:ty,
+     $local:ident, $strname:literal, $passes_pid:tt) => {
+        /// Per-process local state.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum $local {
+            /// A writer (wrapped in the `M` protocol).
+            Writer(MPc<$inner_mod::WriterLocal>),
+            /// A reader (inner protocol, unchanged).
+            Reader($inner_mod::ReaderLocal),
+        }
+
+        #[doc = $docname]
+        #[derive(Debug)]
+        pub struct $name {
+            layout: MemLayout,
+            vars: $inner_vars,
+            m: AndersonVars,
+            writers: usize,
+            readers: usize,
+        }
+
+        impl $name {
+            /// Builds the machine with `writers` writer and `readers`
+            /// reader processes.
+            pub fn new(writers: usize, readers: usize) -> Self {
+                assert!(writers > 0, "need at least one writer");
+                let mut layout = MemLayout::new();
+                let vars = <$inner_vars>::alloc(&mut layout);
+                let m = AndersonVars::alloc(&mut layout, writers);
+                Self { layout, vars, m, writers, readers }
+            }
+
+            /// The inner single-writer shared variables.
+            pub fn vars(&self) -> &$inner_vars {
+                &self.vars
+            }
+        }
+
+        impl Algorithm for $name {
+            type Local = $local;
+
+            fn name(&self) -> &'static str {
+                $strname
+            }
+
+            fn layout(&self) -> &MemLayout {
+                &self.layout
+            }
+
+            fn processes(&self) -> usize {
+                self.writers + self.readers
+            }
+
+            fn role(&self, pid: usize) -> Role {
+                if pid < self.writers {
+                    Role::Writer
+                } else {
+                    Role::Reader
+                }
+            }
+
+            fn initial_local(&self, pid: usize) -> $local {
+                if pid < self.writers {
+                    $local::Writer(MPc::Remainder)
+                } else {
+                    $local::Reader($inner_mod::ReaderLocal::initial())
+                }
+            }
+
+            fn step(
+                &self,
+                pid: usize,
+                local: &mut Self::Local,
+                mem: &mut MemAccess<'_>,
+            ) -> StepEvent {
+                match local {
+                    $local::Reader(r) => {
+                        fig3_machine!(@step_reader $passes_pid, self, pid, r, mem)
+                    }
+                    $local::Writer(w) => {
+                        match w {
+                            MPc::Remainder => {
+                                // T line 2 (doorway of M): draw the ticket.
+                                let ticket = self.m.take_ticket(mem);
+                                *w = MPc::Wait { ticket };
+                            }
+                            MPc::Wait { ticket } => {
+                                // T line 2 (waiting room of M).
+                                if self.m.poll(*ticket, mem) {
+                                    *w = MPc::Inner {
+                                        ticket: *ticket,
+                                        inner: $inner_mod::WriterLocal::initial(),
+                                    };
+                                } else {
+                                    return StepEvent::Blocked;
+                                }
+                            }
+                            MPc::Inner { ticket, inner } => {
+                                // T lines 3–5: the inner writer protocol.
+                                let ev = fig3_machine!(
+                                    @step_writer $passes_pid, self, pid, inner, mem);
+                                if inner.pc == $inner_mod::WPc::Remainder {
+                                    // Inner exit done → release M (T line 6).
+                                    *w = MPc::Rel1 { ticket: *ticket };
+                                }
+                                if ev == StepEvent::Blocked {
+                                    return StepEvent::Blocked;
+                                }
+                            }
+                            MPc::Rel1 { ticket } => {
+                                self.m.close_own(*ticket, mem);
+                                *w = MPc::Rel2 { ticket: *ticket };
+                            }
+                            MPc::Rel2 { ticket } => {
+                                self.m.open_next(*ticket, mem);
+                                *w = MPc::Remainder;
+                            }
+                        }
+                        StepEvent::Progress
+                    }
+                }
+            }
+
+            fn phase(&self, _pid: usize, local: &Self::Local) -> Phase {
+                match local {
+                    $local::Reader(r) => $inner_mod::reader_phase(r),
+                    $local::Writer(w) => match w {
+                        MPc::Remainder => Phase::Remainder,
+                        MPc::Wait { .. } => Phase::WaitingRoom,
+                        MPc::Inner { inner, .. } => match $inner_mod::writer_phase(inner) {
+                            // From the combined lock's perspective the
+                            // inner doorway is still inside the try section;
+                            // the combined doorway was M's ticket.
+                            Phase::Doorway | Phase::Remainder => Phase::WaitingRoom,
+                            p => p,
+                        },
+                        MPc::Rel1 { .. } | MPc::Rel2 { .. } => Phase::Exit,
+                    },
+                }
+            }
+        }
+    };
+    (@step_reader no_pid, $self:ident, $pid:ident, $r:ident, $mem:ident) => {{
+        let _ = $pid;
+        fig1::step_reader(&$self.vars, $r, $mem)
+    }};
+    (@step_reader with_pid, $self:ident, $pid:ident, $r:ident, $mem:ident) => {
+        fig2::step_reader(&$self.vars, $pid, $r, $mem)
+    };
+    (@step_writer no_pid, $self:ident, $pid:ident, $w:ident, $mem:ident) => {{
+        let _ = $pid;
+        fig1::step_writer(&$self.vars, $w, $mem)
+    }};
+    (@step_writer with_pid, $self:ident, $pid:ident, $w:ident, $mem:ident) => {
+        fig2::step_writer(&$self.vars, $pid, $w, $mem)
+    };
+}
+
+fig3_machine!(
+    Fig3Sf,
+    "Figure 3 over Figure 1: multi-writer multi-reader, starvation free, no priority (Theorem 3).",
+    fig1,
+    fig1::Fig1Vars,
+    Fig3SfLocal,
+    "fig3-mwmr-starvation-free",
+    no_pid
+);
+
+fig3_machine!(
+    Fig3Rp,
+    "Figure 3 over Figure 2: multi-writer multi-reader, reader priority (Theorem 4).",
+    fig2,
+    fig2::Fig2Vars,
+    Fig3RpLocal,
+    "fig3-mwmr-reader-priority",
+    with_pid
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CcModel, FreeModel};
+    use crate::runner::{RandomSched, RoundRobin, Runner};
+
+    #[test]
+    fn sf_two_writers_alternate_safely() {
+        let alg = Fig3Sf::new(2, 0);
+        let mut r = Runner::new(alg, FreeModel, 3);
+        let mut sched = RoundRobin::default();
+        r.run(&mut sched, 10_000);
+        assert!(r.quiescent());
+        assert!(r.violations().is_empty());
+        assert_eq!(r.finished_attempts().len(), 6);
+    }
+
+    #[test]
+    fn sf_mixed_runs_safe_and_live() {
+        for seed in 0..15 {
+            let alg = Fig3Sf::new(2, 3);
+            let mut r = Runner::new(alg, FreeModel, 3);
+            let mut sched = RandomSched::new(seed);
+            r.run(&mut sched, 500_000);
+            assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+            assert!(r.quiescent(), "seed {seed}: starvation within budget");
+        }
+    }
+
+    #[test]
+    fn rp_mixed_runs_safe_and_live() {
+        for seed in 0..15 {
+            let alg = Fig3Rp::new(2, 3);
+            let mut r = Runner::new(alg, FreeModel, 3);
+            let mut sched = RandomSched::new(seed);
+            r.run(&mut sched, 500_000);
+            assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+            assert!(r.quiescent(), "seed {seed}: did not quiesce");
+        }
+    }
+
+    #[test]
+    fn sf_fcfs_among_writers() {
+        use crate::props::check_fcfs_writers;
+        for seed in 0..10 {
+            let alg = Fig3Sf::new(3, 2);
+            let mut r = Runner::new(alg, FreeModel, 3);
+            let mut sched = RandomSched::new(seed);
+            r.run(&mut sched, 500_000);
+            assert!(r.quiescent());
+            check_fcfs_writers(r.finished_attempts())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn both_have_constant_rmr_shape() {
+        for readers in [2usize, 8] {
+            let alg = Fig3Sf::new(2, readers);
+            let n = alg.processes();
+            let vars = alg.layout().len();
+            let mut r = Runner::new(alg, CcModel::new(n, vars), 3);
+            let mut sched = RandomSched::new(1);
+            r.run(&mut sched, 500_000);
+            assert!(r.quiescent());
+            let max = r.finished_attempts().iter().map(|a| a.rmrs).max().unwrap();
+            assert!(max < 40, "suspiciously high RMR count {max} for {readers} readers");
+        }
+    }
+}

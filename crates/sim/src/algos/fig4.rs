@@ -1,0 +1,418 @@
+//! Line-level encoding of Figure 4 (MWMR, writer priority — Theorem 5).
+//!
+//! Writers are processes `0..writers`, readers `writers..writers+readers`.
+//! Readers run the Figure 1 reader protocol unchanged. `W-token` is
+//! encoded as: side `0`/`1` ↦ `0`/`1`, `false` ↦ `2`, pid `p` ↦ `p + 3`.
+//! `W-token` starts at side `1` (the complement of the initial `D = 0`);
+//! see DESIGN.md §6 for why that is the unique deadlock-free choice.
+
+use super::anderson::AndersonVars;
+use super::fig1::{self, Fig1Vars, WriterLocal};
+use crate::machine::{Algorithm, Phase, Role, StepEvent};
+use crate::mem::{MemAccess, MemLayout, VarId};
+
+/// `W-token` encoding of `false`.
+pub const WTOKEN_FALSE: u64 = 2;
+/// `W-token` encoding offset for pids.
+pub const WTOKEN_PID_BASE: u64 = 3;
+
+fn is_side(t: u64) -> bool {
+    t < 2
+}
+
+fn is_pid(t: u64) -> bool {
+    t >= WTOKEN_PID_BASE
+}
+
+/// Writer program counter (paper line about to execute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum F4Pc {
+    Remainder,
+    L3,
+    L5,
+    L6,
+    L8,
+    MTicket,
+    MWait,
+    L10,
+    L11,
+    L12,
+    InnerWr,
+    Cs,
+    X15,
+    X16,
+    MRel1,
+    MRel2,
+    X18,
+    X19,
+    X20,
+}
+
+/// Writer local state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct F4Writer {
+    /// Program counter.
+    pub pc: F4Pc,
+    /// Pid-valued token read at line 3 (expected value for the line-5 CAS).
+    pub t_pid: u64,
+    /// Side read at line 6.
+    pub side_t: u64,
+    /// Anderson ticket for `M`.
+    pub ticket: u64,
+    /// `currD` (line 10).
+    pub curr_d: u64,
+    /// `prevD = ¬currD`.
+    pub prev_d: u64,
+    /// The Figure 1 waiting-room sub-machine (lines 4–12 of Fig. 1).
+    pub inner: WriterLocal,
+}
+
+impl F4Writer {
+    fn initial() -> Self {
+        Self {
+            pc: F4Pc::Remainder,
+            t_pid: 0,
+            side_t: 0,
+            ticket: 0,
+            curr_d: 0,
+            prev_d: 0,
+            inner: WriterLocal::initial(),
+        }
+    }
+}
+
+/// Per-process local state of the [`Fig4`] machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fig4Local {
+    /// A writer.
+    Writer(F4Writer),
+    /// A reader (Figure 1 protocol).
+    Reader(fig1::ReaderLocal),
+}
+
+/// The Figure 4 machine.
+#[derive(Debug)]
+pub struct Fig4 {
+    layout: MemLayout,
+    vars: Fig1Vars,
+    m: AndersonVars,
+    /// `Wcount`.
+    wcount: VarId,
+    /// `W-token`.
+    wtoken: VarId,
+    writers: usize,
+    readers: usize,
+}
+
+impl Fig4 {
+    /// Builds the machine with `writers` writers and `readers` readers.
+    pub fn new(writers: usize, readers: usize) -> Self {
+        assert!(writers > 0, "need at least one writer");
+        let mut layout = MemLayout::new();
+        let vars = Fig1Vars::alloc(&mut layout);
+        let m = AndersonVars::alloc(&mut layout, writers);
+        let wcount = layout.var("Wcount", 0);
+        let wtoken = layout.var("W-token", 1); // side 1 = ¬(initial D)
+        Self { layout, vars, m, wcount, wtoken, writers, readers }
+    }
+
+    /// The inner Figure 1 shared variables.
+    pub fn vars(&self) -> &Fig1Vars {
+        &self.vars
+    }
+
+    /// The `W-token` variable id (diagnostics).
+    pub fn wtoken_var(&self) -> VarId {
+        self.wtoken
+    }
+
+    /// The `Wcount` variable id (diagnostics / invariant checking).
+    pub fn wcount_var(&self) -> VarId {
+        self.wcount
+    }
+
+    fn step_writer(&self, pid: usize, w: &mut F4Writer, mem: &mut MemAccess<'_>) -> StepEvent {
+        let my_token = pid as u64 + WTOKEN_PID_BASE;
+        match w.pc {
+            F4Pc::Remainder => {
+                // line 2: F&A(Wcount, 1)
+                mem.faa(self.wcount, 1);
+                w.pc = F4Pc::L3;
+            }
+            F4Pc::L3 => {
+                // lines 3–4: t ← W-token; if (t ∈ PID)
+                let t = mem.read(self.wtoken);
+                if is_pid(t) {
+                    w.t_pid = t;
+                    w.pc = F4Pc::L5;
+                } else {
+                    w.pc = F4Pc::L6;
+                }
+            }
+            F4Pc::L5 => {
+                // line 5: CAS(W-token, t, false) — outcome ignored.
+                let _ = mem.cas(self.wtoken, w.t_pid, WTOKEN_FALSE);
+                w.pc = F4Pc::L6;
+            }
+            F4Pc::L6 => {
+                // lines 6–7: t ← W-token; if (t ∈ {0, 1})
+                let t = mem.read(self.wtoken);
+                if is_side(t) {
+                    w.side_t = t;
+                    w.pc = F4Pc::L8;
+                } else {
+                    w.pc = F4Pc::MTicket;
+                }
+            }
+            F4Pc::L8 => {
+                // line 8: D ← t (the SWWP doorway, by proxy)
+                mem.write(self.vars.d, w.side_t);
+                w.pc = F4Pc::MTicket;
+            }
+            F4Pc::MTicket => {
+                // line 9: acquire(M) — doorway (ticket draw)
+                w.ticket = self.m.take_ticket(mem);
+                w.pc = F4Pc::MWait;
+            }
+            F4Pc::MWait => {
+                // line 9: acquire(M) — waiting room
+                if self.m.poll(w.ticket, mem) {
+                    w.pc = F4Pc::L10;
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            F4Pc::L10 => {
+                // line 10: currD ← D, prevD ← ¬currD
+                w.curr_d = mem.read(self.vars.d);
+                w.prev_d = 1 - w.curr_d;
+                w.pc = F4Pc::L11;
+            }
+            F4Pc::L11 => {
+                // line 11: if (W-token ∈ {0, 1})
+                let t = mem.read(self.wtoken);
+                w.pc = if is_side(t) { F4Pc::L12 } else { F4Pc::Cs };
+            }
+            F4Pc::L12 => {
+                // line 12: wait till Gate[prevD]
+                if mem.read(self.vars.gates[w.prev_d as usize]) == 1 {
+                    w.inner = WriterLocal::at_waiting_room(w.curr_d);
+                    w.pc = F4Pc::InnerWr;
+                } else {
+                    return StepEvent::Blocked;
+                }
+            }
+            F4Pc::InnerWr => {
+                // line 13: SW-waiting-room() — Fig. 1 lines 4–12.
+                let ev = fig1::step_writer(&self.vars, &mut w.inner, mem);
+                if w.inner.pc == fig1::WPc::Cs {
+                    w.pc = F4Pc::Cs;
+                }
+                if ev == StepEvent::Blocked {
+                    return StepEvent::Blocked;
+                }
+            }
+            F4Pc::Cs => {
+                // line 14: CRITICAL SECTION
+                w.pc = F4Pc::X15;
+            }
+            F4Pc::X15 => {
+                // line 15: W-token ← p
+                mem.write(self.wtoken, my_token);
+                w.pc = F4Pc::X16;
+            }
+            F4Pc::X16 => {
+                // line 16: F&A(Wcount, -1)
+                mem.faa(self.wcount, 1u64.wrapping_neg());
+                w.pc = F4Pc::MRel1;
+            }
+            F4Pc::MRel1 => {
+                // line 17: release(M) — close own slot
+                self.m.close_own(w.ticket, mem);
+                w.pc = F4Pc::MRel2;
+            }
+            F4Pc::MRel2 => {
+                // line 17: release(M) — open successor slot
+                self.m.open_next(w.ticket, mem);
+                w.pc = F4Pc::X18;
+            }
+            F4Pc::X18 => {
+                // line 18: if (Wcount = 0)
+                let c = mem.read(self.wcount);
+                w.pc = if c == 0 { F4Pc::X19 } else { F4Pc::Remainder };
+            }
+            F4Pc::X19 => {
+                // line 19: if (CAS(W-token, p, prevD))
+                let ok = mem.cas(self.wtoken, my_token, w.prev_d);
+                w.pc = if ok { F4Pc::X20 } else { F4Pc::Remainder };
+            }
+            F4Pc::X20 => {
+                // line 20: Gate[currD] ← true — the Fig. 1 writer exit.
+                mem.write(self.vars.gates[w.curr_d as usize], 1);
+                w.pc = F4Pc::Remainder;
+            }
+        }
+        StepEvent::Progress
+    }
+
+    fn writer_phase(w: &F4Writer) -> Phase {
+        match w.pc {
+            F4Pc::Remainder => Phase::Remainder,
+            // Lines 2–8 plus M's ticket draw form the bounded doorway.
+            F4Pc::L3 | F4Pc::L5 | F4Pc::L6 | F4Pc::L8 | F4Pc::MTicket => Phase::Doorway,
+            F4Pc::MWait | F4Pc::L10 | F4Pc::L11 | F4Pc::L12 | F4Pc::InnerWr => Phase::WaitingRoom,
+            F4Pc::Cs => Phase::Cs,
+            F4Pc::X15 | F4Pc::X16 | F4Pc::MRel1 | F4Pc::MRel2 | F4Pc::X18 | F4Pc::X19
+            | F4Pc::X20 => Phase::Exit,
+        }
+    }
+}
+
+impl Algorithm for Fig4 {
+    type Local = Fig4Local;
+
+    fn name(&self) -> &'static str {
+        "fig4-mwmr-writer-priority"
+    }
+
+    fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    fn processes(&self) -> usize {
+        self.writers + self.readers
+    }
+
+    fn role(&self, pid: usize) -> Role {
+        if pid < self.writers {
+            Role::Writer
+        } else {
+            Role::Reader
+        }
+    }
+
+    fn initial_local(&self, pid: usize) -> Fig4Local {
+        if pid < self.writers {
+            Fig4Local::Writer(F4Writer::initial())
+        } else {
+            Fig4Local::Reader(fig1::ReaderLocal::initial())
+        }
+    }
+
+    fn step(&self, pid: usize, local: &mut Fig4Local, mem: &mut MemAccess<'_>) -> StepEvent {
+        match local {
+            Fig4Local::Writer(w) => self.step_writer(pid, w, mem),
+            Fig4Local::Reader(r) => fig1::step_reader(&self.vars, r, mem),
+        }
+    }
+
+    fn phase(&self, _pid: usize, local: &Fig4Local) -> Phase {
+        match local {
+            Fig4Local::Writer(w) => Self::writer_phase(w),
+            Fig4Local::Reader(r) => fig1::reader_phase(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CcModel, FreeModel};
+    use crate::runner::{RandomSched, RoundRobin, Runner, Scheduler, WeightedSched};
+
+    #[test]
+    fn solo_writer_completes() {
+        let alg = Fig4::new(1, 0);
+        let mut r = Runner::new(alg, FreeModel, 4);
+        let mut sched = RoundRobin::default();
+        r.run(&mut sched, 10_000);
+        assert!(r.quiescent(), "solo writer deadlocked (W-token init?)");
+        assert!(r.violations().is_empty());
+    }
+
+    #[test]
+    fn two_writers_hand_off() {
+        let alg = Fig4::new(2, 0);
+        let mut r = Runner::new(alg, FreeModel, 4);
+        let mut sched = RoundRobin::default();
+        r.run(&mut sched, 50_000);
+        assert!(r.quiescent());
+        assert!(r.violations().is_empty());
+        assert_eq!(r.finished_attempts().len(), 8);
+    }
+
+    #[test]
+    fn mixed_runs_safe_and_live() {
+        for seed in 0..15 {
+            let alg = Fig4::new(2, 3);
+            let mut r = Runner::new(alg, FreeModel, 3);
+            let mut sched = RandomSched::new(seed);
+            r.run(&mut sched, 1_000_000);
+            assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+            assert!(r.quiescent(), "seed {seed}: did not quiesce");
+        }
+    }
+
+    #[test]
+    fn writers_survive_reader_storm() {
+        // WP liveness smoke: readers step 20× as often; writers must still
+        // finish their budget.
+        for seed in 0..5 {
+            let alg = Fig4::new(2, 4);
+            let n = alg.processes();
+            let mut weights = vec![1.0; n];
+            for w in weights.iter_mut().skip(2) {
+                *w = 20.0;
+            }
+            let mut r = Runner::new(alg, FreeModel, 2);
+            // Readers get unbounded attempts; writers 2 each.
+            for p in 2..n {
+                r.set_budget(p, u32::MAX);
+            }
+            let mut sched = WeightedSched::new(seed, weights);
+            let mut writer_done = false;
+            for _ in 0..2_000_000 {
+                let runnable = r.runnable();
+                if runnable.is_empty() {
+                    break;
+                }
+                let pid = sched.next(&runnable);
+                r.step(pid);
+                let writers_finished = r
+                    .finished_attempts()
+                    .iter()
+                    .filter(|a| a.role_writer)
+                    .count();
+                if writers_finished >= 4 {
+                    writer_done = true;
+                    break;
+                }
+            }
+            assert!(writer_done, "seed {seed}: writers starved under read storm (WP violated)");
+            assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+        }
+    }
+
+    #[test]
+    fn rmr_per_attempt_constant_under_cc() {
+        let mut maxes = Vec::new();
+        for readers in [2usize, 8, 16, 40] {
+            let alg = Fig4::new(2, readers);
+            let n = alg.processes();
+            let vars = alg.layout().len();
+            let mut r = Runner::new(alg, CcModel::new(n, vars), 3);
+            let mut sched = RandomSched::new(17);
+            r.run(&mut sched, 2_000_000);
+            assert!(r.quiescent());
+            let max = r.finished_attempts().iter().map(|a| a.rmrs).max().unwrap();
+            maxes.push(max);
+        }
+        assert!(maxes.iter().all(|&m| m <= 30), "RMR bound is not constant: {maxes:?}");
+        let last = maxes.len() - 1;
+        assert!(
+            maxes[last] <= maxes[last - 1] + 3,
+            "no plateau — still growing at large n: {maxes:?}"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Deliberately broken algorithm variants.
+//!
+//! The paper's §3.3 and §4.3 argue that specific "subtle features" are
+//! load-bearing: removing them breaks mutual exclusion. These mutants
+//! remove exactly those features; the test suite (and the `property_matrix`
+//! binary) demonstrates that the checker *finds* the resulting violations,
+//! which validates both the paper's argument and our verification harness.
+//!
+//! * [`Fig1NoExitWait`] — Figure 1 without lines 9–12 (the writer does not
+//!   wait for the exit section to drain). §3.3: a reader stalled at line 28
+//!   can raise `Permit` for a *future* writer attempt, breaking P1.
+//! * [`Fig2NoFeatureA`] — Figure 2 without reader lines 20–22 (readers do
+//!   not stamp `X`). §4.3 (A): a reader can slip past a promoter that
+//!   already observed `C = 0`.
+//! * [`Fig2Mutant`] with [`Fig2Break::NoFeatureB`] — Figure 2 whose `Promote` CASes `true` directly
+//!   over the observed value instead of stamping its own pid first.
+//!   §4.3 (B): a stale promoter can wake the writer over live readers.
+
+use super::fig1::{self, Fig1Vars};
+use super::fig2::{self, Fig2Vars, X_TRUE};
+use crate::machine::{Algorithm, Phase, Role, StepEvent};
+use crate::mem::{MemAccess, MemLayout};
+
+// ---------------------------------------------------------------------
+// Fig. 1 without the exit-section wait (drop lines 9–12).
+// ---------------------------------------------------------------------
+
+/// Figure 1 writer that skips lines 9–12 (no `EC`/`ExitPermit` wait).
+#[derive(Debug)]
+pub struct Fig1NoExitWait {
+    layout: MemLayout,
+    vars: Fig1Vars,
+    readers: usize,
+}
+
+impl Fig1NoExitWait {
+    /// Builds the mutant with `readers` reader processes.
+    pub fn new(readers: usize) -> Self {
+        let mut layout = MemLayout::new();
+        let vars = Fig1Vars::alloc(&mut layout);
+        Self { layout, vars, readers }
+    }
+}
+
+impl Algorithm for Fig1NoExitWait {
+    type Local = fig1::Fig1Local;
+
+    fn name(&self) -> &'static str {
+        "mutant-fig1-no-exit-wait"
+    }
+
+    fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    fn processes(&self) -> usize {
+        self.readers + 1
+    }
+
+    fn role(&self, pid: usize) -> Role {
+        if pid == 0 {
+            Role::Writer
+        } else {
+            Role::Reader
+        }
+    }
+
+    fn initial_local(&self, pid: usize) -> fig1::Fig1Local {
+        if pid == 0 {
+            fig1::Fig1Local::Writer(fig1::WriterLocal::initial())
+        } else {
+            fig1::Fig1Local::Reader(fig1::ReaderLocal::initial())
+        }
+    }
+
+    fn step(&self, _pid: usize, local: &mut fig1::Fig1Local, mem: &mut MemAccess<'_>) -> StepEvent {
+        match local {
+            fig1::Fig1Local::Reader(r) => fig1::step_reader(&self.vars, r, mem),
+            fig1::Fig1Local::Writer(w) => {
+                // Identical to fig1::step_writer except L8 jumps straight to
+                // the critical section (lines 9–12 removed).
+                use fig1::WPc;
+                match w.pc {
+                    WPc::L8 => {
+                        mem.write(self.vars.gates[w.prev_d as usize], 0);
+                        w.pc = WPc::Cs; // <- mutant: skip L9–L12
+                        StepEvent::Progress
+                    }
+                    _ => fig1::step_writer(&self.vars, w, mem),
+                }
+            }
+        }
+    }
+
+    fn phase(&self, _pid: usize, local: &fig1::Fig1Local) -> Phase {
+        match local {
+            fig1::Fig1Local::Writer(w) => fig1::writer_phase(w),
+            fig1::Fig1Local::Reader(r) => fig1::reader_phase(r),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 2 mutants.
+// ---------------------------------------------------------------------
+
+/// Which §4.3 feature a [`Fig2Mutant`] removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig2Break {
+    /// Remove reader lines 20–22 (feature A).
+    NoFeatureA,
+    /// `Promote` CASes `true` directly without stamping its pid (feature B).
+    NoFeatureB,
+}
+
+/// Figure 2 with one subtle feature removed.
+#[derive(Debug)]
+pub struct Fig2Mutant {
+    layout: MemLayout,
+    vars: Fig2Vars,
+    readers: usize,
+    which: Fig2Break,
+}
+
+/// Convenience constructor type: Figure 2 without feature A.
+pub type Fig2NoFeatureA = Fig2Mutant;
+
+impl Fig2Mutant {
+    /// Builds the mutant.
+    pub fn new(readers: usize, which: Fig2Break) -> Self {
+        let mut layout = MemLayout::new();
+        let vars = Fig2Vars::alloc(&mut layout);
+        Self { layout, vars, readers, which }
+    }
+
+    /// Broken `Promote` for [`Fig2Break::NoFeatureB`]: a single CAS from
+    /// the observed value straight to `true` (then raise `Permit`).
+    fn step_promote_no_b(
+        &self,
+        pc: fig2::PromotePc,
+        x_local: &mut u64,
+        mem: &mut MemAccess<'_>,
+    ) -> Option<fig2::PromotePc> {
+        use fig2::PromotePc::*;
+        match pc {
+            P10 => {
+                *x_local = mem.read(self.vars.x);
+                if *x_local != X_TRUE {
+                    Some(P13)
+                } else {
+                    None
+                }
+            }
+            P12 => None, // unreachable in this mutant
+            P13 => {
+                if mem.read(self.vars.permit) == 0 {
+                    Some(P14)
+                } else {
+                    None
+                }
+            }
+            P14 => {
+                if mem.read(self.vars.c) == 0 {
+                    Some(P15)
+                } else {
+                    None
+                }
+            }
+            P15 => {
+                // Mutant: CAS(X, x, true) — no pid stamp.
+                if mem.cas(self.vars.x, *x_local, X_TRUE) {
+                    Some(P16)
+                } else {
+                    None
+                }
+            }
+            P16 => {
+                mem.write(self.vars.permit, 1);
+                None
+            }
+        }
+    }
+
+    fn step_reader(
+        &self,
+        pid: usize,
+        r: &mut fig2::ReaderLocal,
+        mem: &mut MemAccess<'_>,
+    ) -> StepEvent {
+        use fig2::RPc;
+        match (self.which, r.pc) {
+            (Fig2Break::NoFeatureA, RPc::L20) => {
+                // Mutant: lines 20-22 removed — perform the line-23 check
+                // directly.
+                let x2 = mem.read(self.vars.x);
+                r.pc = if x2 == X_TRUE { RPc::L24 } else { RPc::Cs };
+                StepEvent::Progress
+            }
+            (Fig2Break::NoFeatureB, RPc::Promote(pc)) => {
+                r.pc = match self.step_promote_no_b(pc, &mut r.x, mem) {
+                    Some(next) => RPc::Promote(next),
+                    None => RPc::Remainder,
+                };
+                StepEvent::Progress
+            }
+            _ => fig2::step_reader(&self.vars, pid, r, mem),
+        }
+    }
+
+    fn step_writer(
+        &self,
+        pid: usize,
+        w: &mut fig2::WriterLocal,
+        mem: &mut MemAccess<'_>,
+    ) -> StepEvent {
+        use fig2::WPc;
+        match (self.which, w.pc) {
+            (Fig2Break::NoFeatureB, WPc::Promote(pc)) => {
+                w.pc = match self.step_promote_no_b(pc, &mut w.x, mem) {
+                    Some(next) => WPc::Promote(next),
+                    None => WPc::L5,
+                };
+                StepEvent::Progress
+            }
+            _ => fig2::step_writer(&self.vars, pid, w, mem),
+        }
+    }
+}
+
+impl Algorithm for Fig2Mutant {
+    type Local = fig2::Fig2Local;
+
+    fn name(&self) -> &'static str {
+        match self.which {
+            Fig2Break::NoFeatureA => "mutant-fig2-no-feature-a",
+            Fig2Break::NoFeatureB => "mutant-fig2-no-feature-b",
+        }
+    }
+
+    fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    fn processes(&self) -> usize {
+        self.readers + 1
+    }
+
+    fn role(&self, pid: usize) -> Role {
+        if pid == 0 {
+            Role::Writer
+        } else {
+            Role::Reader
+        }
+    }
+
+    fn initial_local(&self, pid: usize) -> fig2::Fig2Local {
+        if pid == 0 {
+            fig2::Fig2Local::Writer(fig2::WriterLocal::initial())
+        } else {
+            fig2::Fig2Local::Reader(fig2::ReaderLocal::initial())
+        }
+    }
+
+    fn step(&self, pid: usize, local: &mut fig2::Fig2Local, mem: &mut MemAccess<'_>) -> StepEvent {
+        match local {
+            fig2::Fig2Local::Writer(w) => self.step_writer(pid, w, mem),
+            fig2::Fig2Local::Reader(r) => self.step_reader(pid, r, mem),
+        }
+    }
+
+    fn phase(&self, _pid: usize, local: &fig2::Fig2Local) -> Phase {
+        match local {
+            fig2::Fig2Local::Writer(w) => fig2::writer_phase(w),
+            fig2::Fig2Local::Reader(r) => fig2::reader_phase(r),
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! RMR cost models: cache-coherent (CC) and distributed shared memory (DSM).
+//!
+//! These are the *abstract* machine models the paper's complexity claims
+//! quantify over (not silicon simulators):
+//!
+//! * **CC** — every process has a cache. A *read* of variable `X` is a
+//!   remote memory reference (RMR) iff the process holds no valid cached
+//!   copy; the read then caches `X`. Any *update* (write, fetch&add, CAS —
+//!   successful or not) invalidates all other copies and is an RMR unless
+//!   the updater already holds the only valid copy. Local spinning on a
+//!   cached variable is therefore free, which is exactly the property the
+//!   paper's algorithms exploit.
+//! * **DSM** — every variable lives in exactly one process's memory module;
+//!   an access is an RMR iff the accessor is not the variable's home.
+//!   Busy-waiting on a remote variable costs one RMR *per poll*, which is
+//!   the intuition behind the Danek–Hadzilacos Ω(n) lower bound for DSM
+//!   (paper §1).
+//! * **Free** — no accounting; used by the exhaustive explorer, where the
+//!   cache state must not enlarge the searched state space.
+
+use crate::mem::VarId;
+
+/// How a shared-memory operation touches a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A plain read.
+    Read,
+    /// A write or read-modify-write (fetch&add, CAS — even a failed CAS
+    /// performs the coherence transaction).
+    Update,
+}
+
+/// An RMR cost model: decides whether each access is remote and tracks
+/// whatever cache state that requires.
+pub trait CostModel {
+    /// Accounts one access by `pid` to `var`; returns `true` iff it is an
+    /// RMR under this model.
+    fn account(&mut self, pid: usize, var: VarId, kind: AccessKind) -> bool;
+
+    /// Forgets all cache state (used between measurement phases).
+    fn reset(&mut self);
+
+    /// Short, stable name for reports ("cc", "dsm", "free").
+    fn name(&self) -> &'static str;
+}
+
+impl<T: CostModel + ?Sized> CostModel for Box<T> {
+    fn account(&mut self, pid: usize, var: VarId, kind: AccessKind) -> bool {
+        (**self).account(pid, var, kind)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// The cache-coherent model (write-invalidate, as in the RMR literature).
+///
+/// Supports up to 64 processes per instance (one bit per process per
+/// variable).
+///
+/// # Example
+///
+/// ```
+/// use rmr_sim::cost::{AccessKind, CcModel, CostModel};
+/// use rmr_sim::mem::VarId;
+///
+/// let mut cc = CcModel::new(2, 1);
+/// let x = VarId::from_index(0);
+/// assert!(cc.account(0, x, AccessKind::Read));  // cold miss
+/// assert!(!cc.account(0, x, AccessKind::Read)); // cached: free
+/// assert!(cc.account(1, x, AccessKind::Update)); // invalidates p0
+/// assert!(cc.account(0, x, AccessKind::Read));  // re-fetch after invalidation
+/// ```
+#[derive(Debug, Clone)]
+pub struct CcModel {
+    /// `holders[v]` = bitmask of processes with a valid cached copy of `v`.
+    holders: Vec<u64>,
+}
+
+impl CcModel {
+    /// Creates the model for `procs` processes and `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs > 64`.
+    pub fn new(procs: usize, vars: usize) -> Self {
+        assert!(procs <= 64, "CcModel supports at most 64 processes");
+        Self { holders: vec![0; vars] }
+    }
+
+    fn ensure(&mut self, var: VarId) {
+        if var.index() >= self.holders.len() {
+            self.holders.resize(var.index() + 1, 0);
+        }
+    }
+
+    /// Whether `pid` currently holds a valid cached copy of `var`.
+    pub fn is_cached(&self, pid: usize, var: VarId) -> bool {
+        self.holders
+            .get(var.index())
+            .is_some_and(|h| h & (1 << pid) != 0)
+    }
+}
+
+impl CostModel for CcModel {
+    fn account(&mut self, pid: usize, var: VarId, kind: AccessKind) -> bool {
+        self.ensure(var);
+        let bit = 1u64 << pid;
+        let holders = &mut self.holders[var.index()];
+        match kind {
+            AccessKind::Read => {
+                let hit = *holders & bit != 0;
+                *holders |= bit;
+                !hit
+            }
+            AccessKind::Update => {
+                // Free only if we are the sole (exclusive) holder.
+                let exclusive = *holders == bit;
+                *holders = bit;
+                !exclusive
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.holders.iter_mut().for_each(|h| *h = 0);
+    }
+
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+}
+
+/// The DSM model: each variable has a home process.
+#[derive(Debug, Clone)]
+pub struct DsmModel {
+    home: Vec<usize>,
+}
+
+impl DsmModel {
+    /// Creates the model with an explicit home assignment (`home[v]` = pid
+    /// whose memory module holds variable `v`).
+    pub fn new(home: Vec<usize>) -> Self {
+        Self { home }
+    }
+
+    /// All variables homed at process 0 — the worst honest placement for
+    /// algorithms whose waiters spin on shared gates (every other process
+    /// polls remotely).
+    pub fn all_at(pid: usize, vars: usize) -> Self {
+        Self { home: vec![pid; vars] }
+    }
+
+    /// The home of `var` (process 0 for unassigned variables).
+    pub fn home_of(&self, var: VarId) -> usize {
+        self.home.get(var.index()).copied().unwrap_or(0)
+    }
+}
+
+impl CostModel for DsmModel {
+    fn account(&mut self, pid: usize, var: VarId, _kind: AccessKind) -> bool {
+        self.home_of(var) != pid
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "dsm"
+    }
+}
+
+/// No accounting (explorer mode): every access reports "not remote".
+#[derive(Debug, Clone, Default)]
+pub struct FreeModel;
+
+impl CostModel for FreeModel {
+    fn account(&mut self, _pid: usize, _var: VarId, _kind: AccessKind) -> bool {
+        false
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "free"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn cc_read_caches_until_invalidated() {
+        let mut cc = CcModel::new(3, 2);
+        assert!(cc.account(0, var(0), AccessKind::Read));
+        assert!(!cc.account(0, var(0), AccessKind::Read));
+        assert!(!cc.account(0, var(0), AccessKind::Read));
+        assert!(cc.is_cached(0, var(0)));
+        // Another process updating invalidates p0's copy.
+        assert!(cc.account(1, var(0), AccessKind::Update));
+        assert!(!cc.is_cached(0, var(0)));
+        assert!(cc.account(0, var(0), AccessKind::Read));
+    }
+
+    #[test]
+    fn cc_exclusive_holder_updates_locally() {
+        let mut cc = CcModel::new(2, 1);
+        assert!(cc.account(0, var(0), AccessKind::Update)); // first touch
+        assert!(!cc.account(0, var(0), AccessKind::Update)); // exclusive now
+        assert!(!cc.account(0, var(0), AccessKind::Read));
+        // p1 reads → shared; p0's next update is remote again.
+        assert!(cc.account(1, var(0), AccessKind::Read));
+        assert!(cc.account(0, var(0), AccessKind::Update));
+    }
+
+    #[test]
+    fn cc_models_tas_vs_ttas() {
+        // TAS: two spinners swapping → every swap is an RMR.
+        let mut cc = CcModel::new(2, 1);
+        let mut rmrs = 0;
+        for _ in 0..10 {
+            for p in 0..2 {
+                if cc.account(p, var(0), AccessKind::Update) {
+                    rmrs += 1;
+                }
+            }
+        }
+        assert_eq!(rmrs, 20, "TAS spinning should be all-RMR");
+
+        // TTAS: spinning reads are free after the first.
+        let mut cc = CcModel::new(2, 1);
+        let mut rmrs = 0;
+        for p in 0..2 {
+            if cc.account(p, var(0), AccessKind::Read) {
+                rmrs += 1;
+            }
+        }
+        for _ in 0..10 {
+            for p in 0..2 {
+                if cc.account(p, var(0), AccessKind::Read) {
+                    rmrs += 1;
+                }
+            }
+        }
+        assert_eq!(rmrs, 2, "TTAS spinning should be free after the cold miss");
+    }
+
+    #[test]
+    fn dsm_home_access_is_free_remote_is_not() {
+        let mut dsm = DsmModel::new(vec![0, 1]);
+        assert!(!dsm.account(0, var(0), AccessKind::Read));
+        assert!(dsm.account(0, var(1), AccessKind::Read));
+        assert!(dsm.account(1, var(0), AccessKind::Update));
+        assert!(!dsm.account(1, var(1), AccessKind::Update));
+        // Polling a remote variable costs an RMR every single time.
+        assert!(dsm.account(1, var(0), AccessKind::Read));
+        assert!(dsm.account(1, var(0), AccessKind::Read));
+    }
+
+    #[test]
+    fn dsm_all_at_homes_everything_in_one_module() {
+        let dsm = DsmModel::all_at(2, 4);
+        for v in 0..4 {
+            assert_eq!(dsm.home_of(var(v)), 2);
+        }
+    }
+
+    #[test]
+    fn free_model_never_charges() {
+        let mut f = FreeModel;
+        assert!(!f.account(0, var(0), AccessKind::Update));
+        assert!(!f.account(5, var(9), AccessKind::Read));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 processes")]
+    fn cc_rejects_too_many_processes() {
+        let _ = CcModel::new(65, 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Exhaustive state-space exploration (bounded model checking).
+//!
+//! Explores **every** interleaving of an algorithm for a bounded number of
+//! attempts per process, checking safety predicates in every reachable
+//! configuration:
+//!
+//! * mutual exclusion (P1), from the phase map;
+//! * user-supplied state invariants (the Appendix A / Figure 5 predicates
+//!   live in [`crate::invariants`]);
+//! * deadlock freedom: a configuration where work remains but no process
+//!   can ever change the state again is reported.
+//!
+//! Attempt budgets make the state space finite; the explorer deduplicates
+//! configurations (shared memory + all locals + per-process completion
+//! counts) with a hash set.
+
+use crate::cost::FreeModel;
+use crate::machine::{Algorithm, Phase, Role};
+use crate::mem::MemAccess;
+use crate::runner::Config;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One explored node: configuration plus per-process completed-attempt
+/// counts (needed to know who may still start a new attempt).
+struct Node<A: Algorithm> {
+    cfg: Config<A>,
+    completed: Vec<u32>,
+}
+
+// Manual impls: derives would wrongly bound `A` itself.
+impl<A: Algorithm> Clone for Node<A> {
+    fn clone(&self) -> Self {
+        Self { cfg: self.cfg.clone(), completed: self.completed.clone() }
+    }
+}
+
+impl<A: Algorithm> PartialEq for Node<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.completed == other.completed && self.cfg == other.cfg
+    }
+}
+
+impl<A: Algorithm> Eq for Node<A> {}
+
+impl<A: Algorithm> std::hash::Hash for Node<A> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.cfg.hash(state);
+        self.completed.hash(state);
+    }
+}
+
+/// A state-dependent safety check, run in every reachable configuration.
+pub type StateCheck<'a, A> = &'a dyn Fn(&A, &Config<A>) -> Result<(), String>;
+
+/// Result of an exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Distinct configurations visited.
+    pub states: usize,
+    /// Transitions taken.
+    pub transitions: usize,
+    /// First few safety violations found (empty = all checks passed).
+    pub violations: Vec<String>,
+    /// Deadlocked configurations found (descriptions).
+    pub deadlocks: Vec<String>,
+    /// True if the exploration hit `max_states` before exhausting the
+    /// space.
+    pub truncated: bool,
+}
+
+impl ExploreReport {
+    /// True when the bounded space was fully explored with no violation
+    /// and no deadlock.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.deadlocks.is_empty() && !self.truncated
+    }
+}
+
+impl fmt::Display for ExploreReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, {} violations, {} deadlocks{}",
+            self.states,
+            self.transitions,
+            self.violations.len(),
+            self.deadlocks.len(),
+            if self.truncated { " (TRUNCATED)" } else { "" }
+        )
+    }
+}
+
+/// Explores all interleavings of `alg` where process `p` performs at most
+/// `budgets[p]` attempts. Stops early after `max_states` configurations.
+#[allow(clippy::needless_range_loop)] // indexing by pid mirrors the model
+pub fn explore<A: Algorithm>(
+    alg: &A,
+    budgets: &[u32],
+    max_states: usize,
+    checks: &[StateCheck<'_, A>],
+) -> ExploreReport {
+    assert_eq!(budgets.len(), alg.processes());
+    let root = Node { cfg: Config::initial(alg), completed: vec![0; alg.processes()] };
+
+    let mut seen: HashSet<Node<A>> = HashSet::new();
+    let mut stack: Vec<Node<A>> = Vec::new();
+    let mut report = ExploreReport {
+        states: 0,
+        transitions: 0,
+        violations: Vec::new(),
+        deadlocks: Vec::new(),
+        truncated: false,
+    };
+
+    seen.insert(root.clone());
+    stack.push(root);
+
+    while let Some(node) = stack.pop() {
+        report.states += 1;
+        if report.states >= max_states {
+            report.truncated = true;
+            break;
+        }
+
+        // --- safety checks in this configuration ---
+        check_exclusion(alg, &node.cfg, &mut report);
+        for check in checks {
+            if let Err(msg) = check(alg, &node.cfg) {
+                if report.violations.len() < 16 {
+                    report.violations.push(format!("invariant: {msg} in {:?}", node.cfg.locals));
+                }
+            }
+        }
+
+        // --- expand successors ---
+        let mut any_progress = false;
+        let mut any_runnable = false;
+        for pid in 0..alg.processes() {
+            let phase = alg.phase(pid, &node.cfg.locals[pid]);
+            let may_start = node.completed[pid] < budgets[pid];
+            if phase == Phase::Remainder && !may_start {
+                continue; // finished its budget
+            }
+            any_runnable = true;
+
+            let mut next = node.clone();
+            let before = phase;
+            {
+                let mut cost = FreeModel;
+                let mut mem = MemAccess::new(pid, &mut next.cfg.cells, &mut cost);
+                let _ = alg.step(pid, &mut next.cfg.locals[pid], &mut mem);
+            }
+            let after = alg.phase(pid, &next.cfg.locals[pid]);
+            if before != Phase::Remainder && after == Phase::Remainder {
+                next.completed[pid] += 1;
+            }
+            if next == node {
+                continue; // blocked self-loop
+            }
+            any_progress = true;
+            report.transitions += 1;
+            if seen.insert(next.clone()) {
+                stack.push(next);
+            }
+        }
+
+        if any_runnable && !any_progress && report.deadlocks.len() < 4 {
+            report.deadlocks.push(format!(
+                "deadlock: completed={:?} locals={:?}",
+                node.completed, node.cfg.locals
+            ));
+        }
+    }
+
+    report
+}
+
+fn check_exclusion<A: Algorithm>(alg: &A, cfg: &Config<A>, report: &mut ExploreReport) {
+    let mut writers_in = 0usize;
+    let mut readers_in = 0usize;
+    for p in 0..alg.processes() {
+        if alg.phase(p, &cfg.locals[p]) == Phase::Cs {
+            match alg.role(p) {
+                Role::Writer => writers_in += 1,
+                Role::Reader => readers_in += 1,
+            }
+        }
+    }
+    if (writers_in > 1 || (writers_in == 1 && readers_in > 0)) && report.violations.len() < 16 {
+        report.violations.push(format!(
+            "P1 violated: {writers_in} writer(s) + {readers_in} reader(s) in CS; locals={:?}",
+            cfg.locals
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::fig1::Fig1;
+
+    #[test]
+    fn tiny_fig1_space_is_clean() {
+        let alg = Fig1::new(1);
+        let report = explore(&alg, &[1, 1], 2_000_000, &[]);
+        assert!(report.clean(), "{report}: {:?} {:?}", report.violations, report.deadlocks);
+        assert!(report.states > 50, "suspiciously small space: {report}");
+    }
+
+    #[test]
+    fn explorer_respects_max_states() {
+        let alg = Fig1::new(2);
+        let report = explore(&alg, &[2, 2, 2], 500, &[]);
+        assert!(report.truncated);
+        assert!(report.states <= 500);
+    }
+}

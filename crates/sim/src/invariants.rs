@@ -1,0 +1,345 @@
+//! State invariants from the paper's proofs — Appendix A (Figure 1) and
+//! Figure 5 (Figure 2) — as machine-checkable predicates.
+//!
+//! The paper proves its theorems Hoare-style, by exhibiting invariants
+//! keyed on the writer's program counter and showing non-interference. We
+//! transliterate the load-bearing ones and let the exhaustive explorer
+//! evaluate them in **every reachable configuration** of small instances;
+//! a transcription error in the algorithms (e.g. a dropped overbar — see
+//! DESIGN.md §6) reliably trips one of these within a few thousand states.
+
+use crate::algos::fig1::{Fig1, Fig1Local, RPc, WPc};
+use crate::algos::fig2::{self, Fig2, Fig2Local};
+use crate::runner::Config;
+
+/// Which sides a Figure 1 reader is currently registered on (has
+/// incremented but not yet decremented `C[s]`), derived from its local
+/// state. This is Proposition A.1 plus the double-registration window.
+fn fig1_reader_holds(local: &crate::algos::fig1::ReaderLocal) -> [bool; 2] {
+    let d = local.d as usize;
+    match local.pc {
+        RPc::Remainder | RPc::L17 => [false, false],
+        RPc::L18 | RPc::L20 => {
+            let mut h = [false, false];
+            h[d] = true;
+            h
+        }
+        // Both increments done (lines 17 and 20), decrement pending.
+        RPc::L21 | RPc::L22 => [true, true],
+        // Line 22 retired the complement of the (re-read) `d`.
+        RPc::L23 | RPc::L24 | RPc::Cs | RPc::L26 | RPc::L27 => {
+            let mut h = [false, false];
+            h[d] = true;
+            h
+        }
+        RPc::L28 | RPc::L29 | RPc::L30 => [false, false],
+    }
+}
+
+/// Whether a Figure 1 reader is registered in `EC` (incremented at line 26,
+/// not yet decremented at line 29).
+fn fig1_reader_in_ec(local: &crate::algos::fig1::ReaderLocal) -> bool {
+    matches!(local.pc, RPc::L27 | RPc::L28 | RPc::L29)
+}
+
+/// The Appendix A invariants for Figure 1 (counter consistency, gate
+/// discipline, and the exit-section emptiness that mutual exclusion rests
+/// on). Use with [`crate::explore::explore`].
+pub fn fig1_invariants(alg: &Fig1, cfg: &Config<Fig1>) -> Result<(), String> {
+    let v = alg.vars();
+    let writer = match &cfg.locals[0] {
+        Fig1Local::Writer(w) => w,
+        Fig1Local::Reader(_) => return Err("process 0 is not the writer".into()),
+    };
+    let readers: Vec<_> = cfg.locals[1..]
+        .iter()
+        .map(|l| match l {
+            Fig1Local::Reader(r) => Ok(r),
+            Fig1Local::Writer(_) => Err("reader pid holds writer state"),
+        })
+        .collect::<Result<_, _>>()?;
+
+    // --- I1/I2: counter consistency (Proposition A.1 generalized) ---
+    for s in 0..2usize {
+        let expected_count = readers.iter().filter(|r| fig1_reader_holds(r)[s]).count() as u64;
+        let writer_bit = matches!(writer.pc, WPc::L6 | WPc::L7) && writer.prev_d as usize == s;
+        let expected = expected_count | if writer_bit { super::algos::fig1::WRITER_BIT } else { 0 };
+        let actual = cfg.cells[v.c[s].index()];
+        if actual != expected {
+            return Err(format!(
+                "C[{s}] = {actual:#x}, expected {expected:#x} (writer pc {:?})",
+                writer.pc
+            ));
+        }
+    }
+    {
+        let expected_count = readers.iter().filter(|r| fig1_reader_in_ec(r)).count() as u64;
+        let writer_bit = matches!(writer.pc, WPc::L11 | WPc::L12);
+        let expected = expected_count | if writer_bit { super::algos::fig1::WRITER_BIT } else { 0 };
+        let actual = cfg.cells[v.ec.index()];
+        if actual != expected {
+            return Err(format!(
+                "EC = {actual:#x}, expected {expected:#x} (writer pc {:?})",
+                writer.pc
+            ));
+        }
+    }
+
+    // --- I3: gate discipline keyed on the writer's PC ---
+    let g = [cfg.cells[v.gates[0].index()], cfg.cells[v.gates[1].index()]];
+    match writer.pc {
+        WPc::Remainder | WPc::L3 => {
+            let d = cfg.cells[v.d.index()] as usize;
+            if g[d] != 1 || g[1 - d] != 0 {
+                return Err(format!("gates {g:?} wrong for idle writer (D={d})"));
+            }
+        }
+        WPc::L4 | WPc::L5 | WPc::L6 | WPc::L7 | WPc::L8 => {
+            let (curr, prev) = (writer.curr_d as usize, writer.prev_d as usize);
+            if g[curr] != 0 || g[prev] != 1 {
+                return Err(format!("gates {g:?} wrong at {:?} (curr={curr})", writer.pc));
+            }
+        }
+        WPc::L9 | WPc::L10 | WPc::L11 | WPc::L12 | WPc::Cs | WPc::L14 => {
+            if g != [0, 0] {
+                return Err(format!("gates {g:?} must be closed at {:?}", writer.pc));
+            }
+        }
+    }
+
+    // --- I4: while the writer is in the CS or its exit, no reader is in
+    // the CS or the exit section (PCw ∈ {13, 14} invariants, items 3–4) ---
+    if matches!(writer.pc, WPc::Cs | WPc::L14) {
+        for (i, r) in readers.iter().enumerate() {
+            if matches!(r.pc, RPc::Cs | RPc::L26 | RPc::L27 | RPc::L28 | RPc::L29 | RPc::L30) {
+                return Err(format!(
+                    "reader p{} at {:?} while writer at {:?}",
+                    i + 1,
+                    r.pc,
+                    writer.pc
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// How many readers are currently counted in Figure 2's `C` (between the
+/// line-18 increment and the line-26 decrement).
+fn fig2_reader_counted(local: &fig2::ReaderLocal) -> bool {
+    use fig2::RPc;
+    matches!(
+        local.pc,
+        RPc::L19 | RPc::L20 | RPc::L22 | RPc::L23 | RPc::L24 | RPc::Cs | RPc::L26
+    )
+}
+
+/// The Figure 5 invariants for Figure 2.
+pub fn fig2_invariants(alg: &Fig2, cfg: &Config<Fig2>) -> Result<(), String> {
+    let v = alg.vars();
+    let writer = match &cfg.locals[0] {
+        Fig2Local::Writer(w) => w,
+        Fig2Local::Reader(_) => return Err("process 0 is not the writer".into()),
+    };
+    let readers: Vec<_> = cfg.locals[1..]
+        .iter()
+        .map(|l| match l {
+            Fig2Local::Reader(r) => Ok(r),
+            Fig2Local::Writer(_) => Err("reader pid holds writer state"),
+        })
+        .collect::<Result<_, _>>()?;
+
+    // --- Global invariant: C counts registered readers ---
+    let expected = readers.iter().filter(|r| fig2_reader_counted(r)).count() as u64;
+    let actual = cfg.cells[v.c.index()];
+    if actual != expected {
+        return Err(format!("C = {actual}, expected {expected}"));
+    }
+
+    // --- Gate discipline: exactly one gate open, except between the
+    // writer's lines 7 and 8 where both are momentarily closed ---
+    let g = [cfg.cells[v.gates[0].index()], cfg.cells[v.gates[1].index()]];
+    let open = g.iter().filter(|&&x| x == 1).count();
+    let expected_open = if writer.pc == fig2::WPc::L8 { 0 } else { 1 };
+    if open != expected_open {
+        return Err(format!("{open} gates open at writer pc {:?} (expected {expected_open})", writer.pc));
+    }
+
+    // --- Invariant 3: a reader in the CS implies X ≠ true, unless the
+    // writer is at line 9 with Gate[D] already open ---
+    let x = cfg.cells[v.x.index()];
+    let any_reader_in_cs = readers.iter().any(|r| matches!(r.pc, fig2::RPc::Cs | fig2::RPc::L26));
+    if any_reader_in_cs && x == fig2::X_TRUE {
+        let gate_d_open = cfg.cells[v.gates[writer.d as usize].index()] == 1;
+        if !(writer.pc == fig2::WPc::L9 && gate_d_open) {
+            return Err(format!(
+                "reader in CS with X = true while writer at {:?} (gate[D] open: {gate_d_open})",
+                writer.pc
+            ));
+        }
+    }
+
+    // --- While the writer is in the CS: X = true, Permit = true, and no
+    // reader occupies the CS or line 26 (PCw = 6 invariants) ---
+    if writer.pc == fig2::WPc::Cs {
+        if x != fig2::X_TRUE {
+            return Err("writer in CS but X ≠ true".into());
+        }
+        if cfg.cells[v.permit.index()] != 1 {
+            return Err("writer in CS but Permit ≠ true".into());
+        }
+        if any_reader_in_cs {
+            return Err("reader in CS or at line 26 while writer in CS".into());
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Composition invariants for the multi-writer machines (Figures 3 and 4).
+// The paper leaves these proofs "as an exercise"; we state and check the
+// load-bearing ones.
+// ---------------------------------------------------------------------
+
+use crate::algos::fig1::WRITER_BIT;
+use crate::algos::fig3::{Fig3Sf, Fig3SfLocal, MPc};
+use crate::algos::fig4::{F4Pc, Fig4, Fig4Local};
+
+/// Invariants of Figure 3 over Figure 1:
+///
+/// * `M` exclusion: at most one writer holds the Anderson lock (is running
+///   the inner protocol or has not yet closed its slot);
+/// * counter consistency: `C[s]`/`EC` equal the registered readers plus
+///   the (unique) inner writer's waiting bits.
+pub fn fig3sf_invariants(alg: &Fig3Sf, cfg: &Config<Fig3Sf>) -> Result<(), String> {
+    let v = alg.vars();
+    let mut inner_writers = Vec::new();
+    let mut readers = Vec::new();
+    for (pid, l) in cfg.locals.iter().enumerate() {
+        match l {
+            Fig3SfLocal::Writer(MPc::Inner { inner, .. }) => inner_writers.push((pid, *inner)),
+            Fig3SfLocal::Writer(MPc::Rel1 { .. }) => inner_writers.push((
+                pid,
+                crate::algos::fig1::WriterLocal::initial(), // inner already exited
+            )),
+            Fig3SfLocal::Writer(_) => {}
+            Fig3SfLocal::Reader(r) => readers.push(*r),
+        }
+    }
+    if inner_writers.len() > 1 {
+        return Err(format!(
+            "M exclusion violated: writers {:?} all hold the lock",
+            inner_writers.iter().map(|(p, _)| *p).collect::<Vec<_>>()
+        ));
+    }
+
+    for s in 0..2usize {
+        let reader_count = readers.iter().filter(|r| fig1_reader_holds(r)[s]).count() as u64;
+        let writer_bit = inner_writers.iter().any(|(_, w)| {
+            matches!(w.pc, WPc::L6 | WPc::L7) && w.prev_d as usize == s
+        });
+        let expected = reader_count | if writer_bit { WRITER_BIT } else { 0 };
+        let actual = cfg.cells[v.c[s].index()];
+        if actual != expected {
+            return Err(format!("fig3sf C[{s}] = {actual:#x}, expected {expected:#x}"));
+        }
+    }
+    let ec_count = readers.iter().filter(|r| fig1_reader_in_ec(r)).count() as u64;
+    let ec_bit = inner_writers
+        .iter()
+        .any(|(_, w)| matches!(w.pc, WPc::L11 | WPc::L12));
+    let expected = ec_count | if ec_bit { WRITER_BIT } else { 0 };
+    let actual = cfg.cells[v.ec.index()];
+    if actual != expected {
+        return Err(format!("fig3sf EC = {actual:#x}, expected {expected:#x}"));
+    }
+    Ok(())
+}
+
+/// Invariants of Figure 4:
+///
+/// * `Wcount` equals the number of writers between their line-2 increment
+///   and their line-16 decrement;
+/// * `M` exclusion: at most one writer between acquiring `M` (line 10) and
+///   closing its slot (line 17, first half);
+/// * counter consistency for `C[s]`/`EC`, with the waiting bits owned by
+///   the unique writer inside `SW-waiting-room`.
+pub fn fig4_invariants(alg: &Fig4, cfg: &Config<Fig4>) -> Result<(), String> {
+    let v = alg.vars();
+    let mut counted = 0u64;
+    let mut m_holders = Vec::new();
+    let mut inner_bits: Vec<crate::algos::fig1::WriterLocal> = Vec::new();
+    let mut readers = Vec::new();
+    for (pid, l) in cfg.locals.iter().enumerate() {
+        match l {
+            Fig4Local::Writer(w) => {
+                if !matches!(w.pc, F4Pc::Remainder | F4Pc::MRel1 | F4Pc::MRel2 | F4Pc::X18
+                    | F4Pc::X19 | F4Pc::X20)
+                {
+                    counted += 1;
+                }
+                if matches!(
+                    w.pc,
+                    F4Pc::L10 | F4Pc::L11 | F4Pc::L12 | F4Pc::InnerWr | F4Pc::Cs | F4Pc::X15
+                        | F4Pc::X16 | F4Pc::MRel1
+                ) {
+                    m_holders.push(pid);
+                }
+                if w.pc == F4Pc::InnerWr {
+                    inner_bits.push(w.inner);
+                }
+            }
+            Fig4Local::Reader(r) => readers.push(*r),
+        }
+    }
+
+    let wcount = cfg.cells[alg.wcount_var().index()];
+    if wcount != counted {
+        return Err(format!("Wcount = {wcount}, expected {counted}"));
+    }
+    if m_holders.len() > 1 {
+        return Err(format!("M exclusion violated: {m_holders:?} all hold the lock"));
+    }
+
+    for s in 0..2usize {
+        let reader_count = readers.iter().filter(|r| fig1_reader_holds(r)[s]).count() as u64;
+        let writer_bit = inner_bits
+            .iter()
+            .any(|w| matches!(w.pc, WPc::L6 | WPc::L7) && w.prev_d as usize == s);
+        let expected = reader_count | if writer_bit { WRITER_BIT } else { 0 };
+        let actual = cfg.cells[v.c[s].index()];
+        if actual != expected {
+            return Err(format!("fig4 C[{s}] = {actual:#x}, expected {expected:#x}"));
+        }
+    }
+    let ec_count = readers.iter().filter(|r| fig1_reader_in_ec(r)).count() as u64;
+    let ec_bit = inner_bits.iter().any(|w| matches!(w.pc, WPc::L11 | WPc::L12));
+    let expected = ec_count | if ec_bit { WRITER_BIT } else { 0 };
+    let actual = cfg.cells[v.ec.index()];
+    if actual != expected {
+        return Err(format!("fig4 EC = {actual:#x}, expected {expected:#x}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+
+    #[test]
+    fn fig1_invariants_hold_exhaustively_tiny() {
+        let alg = Fig1::new(1);
+        let checks: [crate::explore::StateCheck<'_, Fig1>; 1] = [&fig1_invariants];
+        let report = explore(&alg, &[2, 2], 3_000_000, &checks);
+        assert!(report.clean(), "{report}\n{:?}\n{:?}", report.violations, report.deadlocks);
+    }
+
+    #[test]
+    fn fig2_invariants_hold_exhaustively_tiny() {
+        let alg = Fig2::new(1);
+        let checks: [crate::explore::StateCheck<'_, Fig2>; 1] = [&fig2_invariants];
+        let report = explore(&alg, &[2, 2], 3_000_000, &checks);
+        assert!(report.clean(), "{report}\n{:?}\n{:?}", report.violations, report.deadlocks);
+    }
+}

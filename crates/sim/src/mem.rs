@@ -1,0 +1,248 @@
+//! Word-addressed shared memory with line-level atomicity.
+//!
+//! Each numbered line of the paper's figures performs exactly one atomic
+//! shared-memory operation; the simulator enforces that granularity by
+//! funneling every access through [`MemAccess`], which also feeds the RMR
+//! [`CostModel`] implementation.
+//!
+//! [`CostModel`]: crate::cost::CostModel
+
+use crate::cost::{AccessKind, CostModel};
+use std::fmt;
+
+/// Identifies one shared variable (a 64-bit cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// The cell index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a `VarId` from a raw index (tests and cost-model plumbing).
+    pub fn from_index(index: usize) -> Self {
+        VarId(index)
+    }
+}
+
+/// Declares an algorithm's shared variables and their initial values.
+///
+/// # Example
+///
+/// ```
+/// use rmr_sim::mem::MemLayout;
+///
+/// let mut layout = MemLayout::new();
+/// let d = layout.var("D", 0);
+/// let gate0 = layout.var("Gate[0]", 1);
+/// let cells = layout.build();
+/// assert_eq!(cells[d.index()], 0);
+/// assert_eq!(cells[gate0.index()], 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MemLayout {
+    init: Vec<u64>,
+    names: Vec<String>,
+}
+
+impl MemLayout {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a named variable with an initial value.
+    pub fn var(&mut self, name: &str, init: u64) -> VarId {
+        let id = VarId(self.init.len());
+        self.init.push(init);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Allocates `n` variables sharing a name prefix (`name[i]`).
+    pub fn array(&mut self, name: &str, n: usize, init: u64) -> Vec<VarId> {
+        (0..n).map(|i| self.var(&format!("{name}[{i}]"), init)).collect()
+    }
+
+    /// The initial memory image.
+    pub fn build(&self) -> Vec<u64> {
+        self.init.clone()
+    }
+
+    /// Number of variables declared.
+    pub fn len(&self) -> usize {
+        self.init.len()
+    }
+
+    /// Whether no variables have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.init.is_empty()
+    }
+
+    /// The name of a variable (for diagnostics).
+    pub fn name(&self, var: VarId) -> &str {
+        &self.names[var.index()]
+    }
+}
+
+/// One process's window onto shared memory for a single atomic step.
+///
+/// Every operation charges the cost model and bumps the per-step RMR
+/// counter. An algorithm step must perform **at most one** operation —
+/// [`MemAccess`] panics (in debug builds) on a second one, which keeps the
+/// encodings honest about the paper's atomicity.
+pub struct MemAccess<'a> {
+    pid: usize,
+    cells: &'a mut [u64],
+    cost: &'a mut dyn CostModel,
+    rmrs: u64,
+    ops: u32,
+}
+
+impl<'a> MemAccess<'a> {
+    /// Creates the access window for `pid`.
+    pub fn new(pid: usize, cells: &'a mut [u64], cost: &'a mut dyn CostModel) -> Self {
+        Self { pid, cells, cost, rmrs: 0, ops: 0 }
+    }
+
+    fn charge(&mut self, var: VarId, kind: AccessKind) {
+        self.ops += 1;
+        debug_assert!(
+            self.ops <= 1,
+            "an algorithm step performed more than one shared-memory operation"
+        );
+        if self.cost.account(self.pid, var, kind) {
+            self.rmrs += 1;
+        }
+    }
+
+    /// Atomic read.
+    pub fn read(&mut self, var: VarId) -> u64 {
+        self.charge(var, AccessKind::Read);
+        self.cells[var.index()]
+    }
+
+    /// Atomic write.
+    pub fn write(&mut self, var: VarId, value: u64) {
+        self.charge(var, AccessKind::Update);
+        self.cells[var.index()] = value;
+    }
+
+    /// Atomic fetch&add (wrapping); returns the **previous** value, like
+    /// the paper's `F&A`.
+    pub fn faa(&mut self, var: VarId, delta: u64) -> u64 {
+        self.charge(var, AccessKind::Update);
+        let old = self.cells[var.index()];
+        self.cells[var.index()] = old.wrapping_add(delta);
+        old
+    }
+
+    /// Atomic compare&swap; returns `true` on success.
+    pub fn cas(&mut self, var: VarId, expected: u64, new: u64) -> bool {
+        self.charge(var, AccessKind::Update);
+        if self.cells[var.index()] == expected {
+            self.cells[var.index()] = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// RMRs charged during this step.
+    pub fn rmrs(&self) -> u64 {
+        self.rmrs
+    }
+
+    /// Shared-memory operations performed during this step (0 or 1).
+    pub fn ops(&self) -> u32 {
+        self.ops
+    }
+
+    /// The acting process.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+}
+
+impl fmt::Debug for MemAccess<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemAccess")
+            .field("pid", &self.pid)
+            .field("rmrs", &self.rmrs)
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CcModel, FreeModel};
+
+    #[test]
+    fn layout_allocates_sequential_ids() {
+        let mut l = MemLayout::new();
+        let a = l.var("a", 7);
+        let arr = l.array("b", 3, 1);
+        assert_eq!(a.index(), 0);
+        assert_eq!(arr.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(l.build(), vec![7, 1, 1, 1]);
+        assert_eq!(l.name(arr[1]), "b[1]");
+        assert_eq!(l.len(), 4);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn faa_returns_previous_value() {
+        let mut cells = vec![5u64];
+        let mut cost = FreeModel;
+        let mut m = MemAccess::new(0, &mut cells, &mut cost);
+        assert_eq!(m.faa(VarId(0), 3), 5);
+        assert_eq!(cells[0], 8);
+    }
+
+    #[test]
+    fn faa_wraps() {
+        let mut cells = vec![u64::MAX];
+        let mut cost = FreeModel;
+        let mut m = MemAccess::new(0, &mut cells, &mut cost);
+        assert_eq!(m.faa(VarId(0), 1), u64::MAX);
+        assert_eq!(cells[0], 0);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut cells = vec![10u64];
+        let mut cost = FreeModel;
+        let mut m = MemAccess::new(0, &mut cells, &mut cost);
+        assert!(m.cas(VarId(0), 10, 20));
+        assert_eq!(cells[0], 20);
+        let mut m = MemAccess::new(0, &mut cells, &mut cost);
+        assert!(!m.cas(VarId(0), 10, 30));
+        assert_eq!(cells[0], 20);
+    }
+
+    #[test]
+    fn rmrs_are_charged_through_the_model() {
+        let mut cells = vec![0u64];
+        let mut cost = CcModel::new(2, 1);
+        let mut m = MemAccess::new(0, &mut cells, &mut cost);
+        m.write(VarId(0), 1);
+        assert_eq!(m.rmrs(), 1); // first touch is remote
+        let mut m = MemAccess::new(0, &mut cells, &mut cost);
+        m.write(VarId(0), 2);
+        assert_eq!(m.rmrs(), 0); // exclusive holder now
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "more than one shared-memory operation")]
+    fn second_op_in_one_step_panics() {
+        let mut cells = vec![0u64, 0];
+        let mut cost = FreeModel;
+        let mut m = MemAccess::new(0, &mut cells, &mut cost);
+        let _ = m.read(VarId(0));
+        let _ = m.read(VarId(1));
+    }
+}

@@ -1,0 +1,400 @@
+//! Trace-based property checkers for the paper's specification (§2).
+//!
+//! These operate on the per-attempt logs a [`Runner`](crate::runner::Runner)
+//! produces. Timing convention: every event timestamp is the global step
+//! count at which the event became true; an attempt is
+//!
+//! * in its **try section** during `[begin, cs_enter)`,
+//! * in its **waiting room** during `[doorway_end, cs_enter)`,
+//! * in the **CS** during `[cs_enter, exit_begin)`,
+//! * **doorway-precedes** another attempt iff its `doorway_end` ≤ the
+//!   other's `begin` (Definition 1).
+//!
+//! Attempts that never reached a milestone are treated as reaching it at
+//! `+∞` (`usize::MAX`), which is the correct reading of "does not enter the
+//! CS before ..." for incomplete attempts.
+
+use crate::machine::Algorithm;
+use crate::runner::{enabled_solo, AttemptLog, Config};
+
+const INF: usize = usize::MAX;
+
+fn cs_enter(a: &AttemptLog) -> usize {
+    a.cs_enter.unwrap_or(INF)
+}
+
+fn cs_interval(a: &AttemptLog) -> Option<(usize, usize)> {
+    a.cs_enter.map(|s| (s, a.exit_begin.or(a.complete).unwrap_or(INF)))
+}
+
+/// Whether attempt `a` doorway-precedes attempt `b` (Definition 1).
+pub fn doorway_precedes(a: &AttemptLog, b: &AttemptLog) -> bool {
+    match a.doorway_end {
+        Some(e) => e <= b.begin,
+        None => false,
+    }
+}
+
+/// P3 — FCFS among writers: if write attempt `a` doorway-precedes write
+/// attempt `b`, then `b` does not enter the CS before `a`.
+pub fn check_fcfs_writers(logs: &[AttemptLog]) -> Result<(), String> {
+    let writers: Vec<_> = logs.iter().filter(|a| a.role_writer).collect();
+    for a in &writers {
+        for b in &writers {
+            if doorway_precedes(a, b) && cs_enter(b) < cs_enter(a) {
+                return Err(format!(
+                    "FCFS violated: writer p{}#{} (doorway_end={:?}) was overtaken by p{}#{} \
+                     (begin={}, cs={:?})",
+                    a.pid, a.seq, a.doorway_end, b.pid, b.seq, b.begin, b.cs_enter
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// P4 — FIFE among readers: if read attempt `a` doorway-precedes read
+/// attempt `b` and `b` enters the CS first, then `a` must be *enabled* at
+/// the moment `b` enters. Enabledness is probed with a bounded solo run
+/// from the configuration snapshot taken at `b`'s CS entry (the runner must
+/// have been run with `snapshot_cs_entries(true)`).
+pub fn check_fife_readers<A: Algorithm>(
+    alg: &A,
+    logs: &[AttemptLog],
+    snapshots: &[(usize, usize, Config<A>)],
+    solo_bound: u32,
+) -> Result<(), String> {
+    let readers: Vec<_> = logs.iter().filter(|a| !a.role_writer).collect();
+    for a in &readers {
+        for b in &readers {
+            let (Some(b_cs), a_cs) = (b.cs_enter, cs_enter(a)) else { continue };
+            if !doorway_precedes(a, b) || a_cs <= b_cs {
+                continue;
+            }
+            // b overtook a; a must be enabled at time b_cs.
+            let Some((_, _, cfg)) = snapshots.iter().find(|(t, p, _)| *t == b_cs && *p == b.pid)
+            else {
+                return Err(format!("missing CS-entry snapshot at t={b_cs} for p{}", b.pid));
+            };
+            if !enabled_solo(alg, cfg, a.pid, solo_bound) {
+                return Err(format!(
+                    "FIFE violated: reader p{}#{} overtaken by p{}#{} at t={} while not enabled",
+                    a.pid, a.seq, b.pid, b.seq, b_cs
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// P5 — concurrent entering, bounded form: in a run where **no writer ever
+/// left the remainder section**, every read attempt's try section takes at
+/// most `bound` of its own steps.
+pub fn check_concurrent_entering(logs: &[AttemptLog], bound: u32) -> Result<(), String> {
+    if logs.iter().any(|a| a.role_writer) {
+        return Err("concurrent-entering check requires a writer-free run".into());
+    }
+    for a in logs {
+        if a.try_steps > bound {
+            return Err(format!(
+                "concurrent entering violated: reader p{}#{} took {} try steps (bound {bound})",
+                a.pid, a.seq, a.try_steps
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// P2 — bounded exit: every attempt's exit section takes at most `bound`
+/// steps.
+pub fn check_bounded_exit(logs: &[AttemptLog], bound: u32) -> Result<(), String> {
+    for a in logs {
+        if a.exit_steps > bound {
+            return Err(format!(
+                "bounded exit violated: p{}#{} took {} exit steps (bound {bound})",
+                a.pid, a.seq, a.exit_steps
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Computes whether the reader-priority relation `r >rp w` (Definition 3)
+/// holds between a read attempt and a write attempt, given all attempts in
+/// the run (for the "someone is in the CS" clause).
+pub fn rp_relates(r: &AttemptLog, w: &AttemptLog, all: &[AttemptLog]) -> bool {
+    debug_assert!(!r.role_writer && w.role_writer);
+    // Clause (a): r doorway-precedes w.
+    if doorway_precedes(r, w) {
+        return true;
+    }
+    // Clause (b): ∃ t with someone in the CS, r in its waiting room, w in
+    // its try section.
+    let Some(r_dw) = r.doorway_end else { return false };
+    let lo = r_dw.max(w.begin);
+    let hi = cs_enter(r).min(cs_enter(w));
+    if lo >= hi {
+        return false;
+    }
+    occupied_within(all, lo, hi, |_| true)
+}
+
+/// Computes whether the writer-priority relation `w >wp r` (Definition 4)
+/// holds. Clause (b) requires a **writer** in the CS.
+pub fn wp_relates(w: &AttemptLog, r: &AttemptLog, all: &[AttemptLog]) -> bool {
+    debug_assert!(w.role_writer && !r.role_writer);
+    if doorway_precedes(w, r) {
+        return true;
+    }
+    let Some(w_dw) = w.doorway_end else { return false };
+    let lo = w_dw.max(r.begin);
+    let hi = cs_enter(w).min(cs_enter(r));
+    if lo >= hi {
+        return false;
+    }
+    occupied_within(all, lo, hi, |a| a.role_writer)
+}
+
+/// Is the CS occupied (by an attempt matching `filter`) at some time in
+/// `[lo, hi)`?
+fn occupied_within(all: &[AttemptLog], lo: usize, hi: usize, filter: impl Fn(&AttemptLog) -> bool) -> bool {
+    all.iter().filter(|a| filter(a)).any(|a| {
+        cs_interval(a).is_some_and(|(s, e)| s < hi && e > lo)
+    })
+}
+
+/// RP1 — reader priority: whenever `r >rp w`, `w` does not enter the CS
+/// before `r`.
+pub fn check_reader_priority(logs: &[AttemptLog]) -> Result<(), String> {
+    for r in logs.iter().filter(|a| !a.role_writer) {
+        for w in logs.iter().filter(|a| a.role_writer) {
+            if rp_relates(r, w, logs) && cs_enter(w) < cs_enter(r) {
+                return Err(format!(
+                    "RP1 violated: writer p{}#{} entered at {:?} before reader p{}#{} ({:?})",
+                    w.pid, w.seq, w.cs_enter, r.pid, r.seq, r.cs_enter
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// WP1 — writer priority: whenever `w >wp r`, `r` does not enter the CS
+/// before `w`.
+pub fn check_writer_priority(logs: &[AttemptLog]) -> Result<(), String> {
+    for w in logs.iter().filter(|a| a.role_writer) {
+        for r in logs.iter().filter(|a| !a.role_writer) {
+            if wp_relates(w, r, logs) && cs_enter(r) < cs_enter(w) {
+                return Err(format!(
+                    "WP1 violated: reader p{}#{} entered at {:?} before writer p{}#{} ({:?})",
+                    r.pid, r.seq, r.cs_enter, w.pid, w.seq, w.cs_enter
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// RP2 part 1 — unstoppable readers: at every snapshot where a reader
+/// enters the CS, every *other* reader currently in its waiting room must
+/// be enabled. (The snapshot set gives exactly the configurations "a
+/// reader is in the CS".)
+pub fn check_unstoppable_readers<A: Algorithm>(
+    alg: &A,
+    snapshots: &[(usize, usize, Config<A>)],
+    solo_bound: u32,
+) -> Result<(), String> {
+    use crate::machine::{Phase, Role};
+    for (t, entering, cfg) in snapshots {
+        if alg.role(*entering) != Role::Reader {
+            continue;
+        }
+        for pid in 0..alg.processes() {
+            if pid == *entering || alg.role(pid) != Role::Reader {
+                continue;
+            }
+            if alg.phase(pid, &cfg.locals[pid]) == Phase::WaitingRoom
+                && !enabled_solo(alg, cfg, pid, solo_bound)
+            {
+                return Err(format!(
+                    "RP2(1) violated: reader p{pid} in waiting room not enabled at t={t} \
+                     while reader p{entering} is in the CS"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 15 ("Waiting Reader Enabled", Appendix A) — if a reader `r` is in
+/// the waiting room while the writer is in the CS, then `r` must be
+/// enabled by the time the first reader enters the CS after that write
+/// session.
+///
+/// Implemented over the CS-entry snapshots: for every reader entry that is
+/// the *first* reader entry after some writer's CS, every other reader
+/// that was already waiting during that writer's CS must pass the solo
+/// enabledness probe in the snapshot configuration.
+pub fn check_waiting_reader_enabled<A: Algorithm>(
+    alg: &A,
+    logs: &[AttemptLog],
+    snapshots: &[(usize, usize, Config<A>)],
+    solo_bound: u32,
+) -> Result<(), String> {
+    use crate::machine::{Phase, Role};
+    let writer_cs: Vec<(usize, usize)> =
+        logs.iter().filter(|a| a.role_writer).filter_map(cs_interval).collect();
+    let reader_entries: Vec<usize> =
+        logs.iter().filter(|a| !a.role_writer).filter_map(|a| a.cs_enter).collect();
+
+    for &(_, w_end) in &writer_cs {
+        // First reader CS entry after this write session.
+        let Some(&t_first) = reader_entries.iter().filter(|&&t| t >= w_end).min() else {
+            continue;
+        };
+        let Some((_, entering, cfg)) =
+            snapshots.iter().find(|(t, p, _)| *t == t_first && alg.role(*p) == Role::Reader)
+        else {
+            continue; // snapshot for a writer entry at the same tick
+        };
+        // Readers that were waiting during the write session and still are.
+        for r in logs.iter().filter(|a| !a.role_writer) {
+            if r.pid == *entering {
+                continue;
+            }
+            let Some(r_dw) = r.doorway_end else { continue };
+            let waiting_through_cs = r_dw <= w_end && cs_enter(r) > t_first;
+            if !waiting_through_cs {
+                continue;
+            }
+            if alg.phase(r.pid, &cfg.locals[r.pid]) == Phase::WaitingRoom
+                && !enabled_solo(alg, cfg, r.pid, solo_bound)
+            {
+                return Err(format!(
+                    "Lemma 15 violated: reader p{}#{} waited through a write session ending \
+                     at t={w_end} but is not enabled at t={t_first}",
+                    r.pid, r.seq
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Liveness (bounded form of P6/P7): after the run, no attempt may be left
+/// incomplete.
+pub fn check_all_complete(finished: &[AttemptLog], inflight: &[AttemptLog]) -> Result<(), String> {
+    if let Some(stuck) = inflight.first() {
+        return Err(format!(
+            "liveness violated: p{}#{} stuck since t={} (and {} finished attempts)",
+            stuck.pid,
+            stuck.seq,
+            stuck.begin,
+            finished.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attempt(
+        pid: usize,
+        writer: bool,
+        begin: usize,
+        doorway_end: usize,
+        cs: usize,
+        exit: usize,
+        done: usize,
+    ) -> AttemptLog {
+        AttemptLog {
+            pid,
+            role_writer: writer,
+            seq: 0,
+            begin,
+            doorway_end: Some(doorway_end),
+            cs_enter: Some(cs),
+            exit_begin: Some(exit),
+            complete: Some(done),
+            try_steps: 3,
+            exit_steps: 2,
+            rmrs: 5,
+        }
+    }
+
+    #[test]
+    fn fcfs_detects_overtake() {
+        let a = attempt(0, true, 0, 5, 100, 110, 120);
+        let b = attempt(1, true, 10, 15, 50, 60, 70);
+        assert!(check_fcfs_writers(&[a.clone(), b.clone()]).is_err());
+        assert!(check_fcfs_writers(&[b, a]).is_err()); // order-insensitive
+    }
+
+    #[test]
+    fn fcfs_accepts_ordered_entries() {
+        let a = attempt(0, true, 0, 5, 50, 60, 70);
+        let b = attempt(1, true, 10, 15, 100, 110, 120);
+        assert!(check_fcfs_writers(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn fcfs_ignores_doorway_concurrent_pairs() {
+        // b begins before a's doorway ends → no constraint either way.
+        let a = attempt(0, true, 0, 20, 100, 110, 120);
+        let b = attempt(1, true, 10, 15, 50, 60, 70);
+        assert!(check_fcfs_writers(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn rp_relation_clause_a() {
+        let r = attempt(1, false, 0, 5, 100, 110, 120);
+        let w = attempt(0, true, 10, 15, 50, 60, 70);
+        assert!(rp_relates(&r, &w, &[r.clone(), w.clone()]));
+        assert!(check_reader_priority(&[r, w]).is_err());
+    }
+
+    #[test]
+    fn rp_relation_clause_b_requires_occupied_cs() {
+        // r waiting during [5,100), w trying during [10,50); nobody in CS
+        // during the overlap → no relation.
+        let r = attempt(1, false, 6, 8, 100, 110, 120);
+        let w = attempt(0, true, 4, 5, 50, 60, 70);
+        assert!(!rp_relates(&r, &w, &[r.clone(), w.clone()]));
+        // Add a reader occupying the CS during [20, 30) → relation holds.
+        let occ = attempt(2, false, 0, 1, 20, 30, 31);
+        assert!(rp_relates(&r, &w, &[r.clone(), w.clone(), occ.clone()]));
+        assert!(check_reader_priority(&[r, w, occ]).is_err());
+    }
+
+    #[test]
+    fn wp_relation_clause_b_requires_writer_in_cs() {
+        let w = attempt(0, true, 6, 8, 100, 110, 120);
+        let r = attempt(1, false, 4, 5, 50, 60, 70);
+        // A reader in the CS does not establish >wp ...
+        let occ_r = attempt(2, false, 0, 1, 20, 30, 31);
+        assert!(!wp_relates(&w, &r, &[w.clone(), r.clone(), occ_r]));
+        // ... but a writer does.
+        let occ_w = attempt(3, true, 0, 1, 20, 30, 31);
+        assert!(wp_relates(&w, &r, &[w.clone(), r.clone(), occ_w.clone()]));
+        assert!(check_writer_priority(&[w, r, occ_w]).is_err());
+    }
+
+    #[test]
+    fn bounded_exit_flags_long_exits() {
+        let mut a = attempt(0, false, 0, 1, 2, 3, 50);
+        a.exit_steps = 40;
+        assert!(check_bounded_exit(&[a], 10).is_err());
+    }
+
+    #[test]
+    fn all_complete_flags_stuck_attempts() {
+        let done = attempt(0, false, 0, 1, 2, 3, 4);
+        let mut stuck = attempt(1, true, 5, 6, 7, 8, 9);
+        stuck.cs_enter = None;
+        stuck.complete = None;
+        assert!(check_all_complete(std::slice::from_ref(&done), &[]).is_ok());
+        assert!(check_all_complete(&[done], &[stuck]).is_err());
+    }
+}

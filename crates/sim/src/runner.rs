@@ -1,0 +1,470 @@
+//! Execution harness: drives encoded algorithms under a scheduler, records
+//! per-attempt logs (timing, steps, RMRs) and checks mutual exclusion
+//! online.
+
+use crate::cost::CostModel;
+use crate::machine::{Algorithm, Phase, Role, StepEvent};
+use crate::mem::MemAccess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::fmt;
+
+/// A complete interleaving state: shared memory plus every process's local
+/// state. Hashable so the explorer can deduplicate.
+pub struct Config<A: Algorithm> {
+    /// Shared-memory image.
+    pub cells: Vec<u64>,
+    /// Per-process local state.
+    pub locals: Vec<A::Local>,
+}
+
+// Manual impls: the derives would wrongly require `A: Clone + Eq + Hash`.
+impl<A: Algorithm> Clone for Config<A> {
+    fn clone(&self) -> Self {
+        Self { cells: self.cells.clone(), locals: self.locals.clone() }
+    }
+}
+
+impl<A: Algorithm> PartialEq for Config<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cells == other.cells && self.locals == other.locals
+    }
+}
+
+impl<A: Algorithm> Eq for Config<A> {}
+
+impl<A: Algorithm> std::hash::Hash for Config<A> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.cells.hash(state);
+        self.locals.hash(state);
+    }
+}
+
+impl<A: Algorithm> fmt::Debug for Config<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Config")
+            .field("cells", &self.cells)
+            .field("locals", &self.locals)
+            .finish()
+    }
+}
+
+impl<A: Algorithm> Config<A> {
+    /// The initial configuration of `alg`.
+    pub fn initial(alg: &A) -> Self {
+        Self {
+            cells: alg.layout().build(),
+            locals: (0..alg.processes()).map(|p| alg.initial_local(p)).collect(),
+        }
+    }
+}
+
+/// Everything recorded about one attempt (one Try–CS–Exit traversal).
+#[derive(Debug, Clone, Serialize)]
+pub struct AttemptLog {
+    /// Acting process.
+    pub pid: usize,
+    /// Reader or writer.
+    pub role_writer: bool,
+    /// 0-based attempt number of this process.
+    pub seq: u32,
+    /// Time (global step count) of the first try-section step.
+    pub begin: usize,
+    /// Time the doorway completed, if it did.
+    pub doorway_end: Option<usize>,
+    /// Time the process entered the CS, if it did.
+    pub cs_enter: Option<usize>,
+    /// Time the process began the exit section, if it did.
+    pub exit_begin: Option<usize>,
+    /// Time the attempt completed (back in the remainder), if it did.
+    pub complete: Option<usize>,
+    /// Steps spent in the try section (doorway + waiting room).
+    pub try_steps: u32,
+    /// Steps spent in the exit section.
+    pub exit_steps: u32,
+    /// RMRs charged over the whole attempt (try + CS + exit).
+    pub rmrs: u64,
+}
+
+/// Chooses which process steps next.
+pub trait Scheduler {
+    /// Picks one pid from `runnable` (never empty).
+    fn next(&mut self, runnable: &[usize]) -> usize;
+}
+
+/// Deterministic round-robin (a fair scheduler for liveness checks).
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl Scheduler for RoundRobin {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        let pick = runnable[self.cursor % runnable.len()];
+        self.cursor = self.cursor.wrapping_add(1);
+        pick
+    }
+}
+
+/// Seeded uniform-random scheduler (probabilistically fair).
+#[derive(Debug)]
+pub struct RandomSched {
+    rng: StdRng,
+}
+
+impl RandomSched {
+    /// Creates the scheduler from a seed (runs are reproducible).
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// Random scheduler with per-process weights — the adversary used to starve
+/// or storm particular roles (e.g. weight readers 50× over the writer).
+#[derive(Debug)]
+pub struct WeightedSched {
+    rng: StdRng,
+    weights: Vec<f64>,
+}
+
+impl WeightedSched {
+    /// Creates the scheduler; `weights[pid]` is the relative step rate.
+    pub fn new(seed: u64, weights: Vec<f64>) -> Self {
+        assert!(weights.iter().all(|w| *w >= 0.0));
+        Self { rng: StdRng::seed_from_u64(seed), weights }
+    }
+}
+
+impl Scheduler for WeightedSched {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        let total: f64 = runnable.iter().map(|&p| self.weights[p].max(1e-9)).sum();
+        let mut x = self.rng.gen_range(0.0..total);
+        for &p in runnable {
+            x -= self.weights[p].max(1e-9);
+            if x <= 0.0 {
+                return p;
+            }
+        }
+        *runnable.last().expect("runnable set is never empty")
+    }
+}
+
+/// Scheduler that only lets an allowed subset of processes run (models
+/// "the processes in S keep taking steps while everyone else has crashed",
+/// as in the premise of the paper's WP2). Falls back to any runnable
+/// process if the subset has nothing to do.
+#[derive(Debug)]
+pub struct SubsetSched {
+    inner: RoundRobin,
+    allowed: Vec<usize>,
+}
+
+impl SubsetSched {
+    /// Creates the scheduler restricted to `allowed` pids.
+    pub fn new(allowed: Vec<usize>) -> Self {
+        Self { inner: RoundRobin::default(), allowed }
+    }
+}
+
+impl Scheduler for SubsetSched {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        let filtered: Vec<usize> =
+            runnable.iter().copied().filter(|p| self.allowed.contains(p)).collect();
+        if filtered.is_empty() {
+            self.inner.next(runnable)
+        } else {
+            self.inner.next(&filtered)
+        }
+    }
+}
+
+/// A safety violation detected online.
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// Global step time.
+    pub time: usize,
+    /// Description ("two writers in CS", ...).
+    pub message: String,
+}
+
+/// Drives one algorithm instance and records everything the property
+/// checkers need.
+pub struct Runner<A: Algorithm, C: CostModel> {
+    alg: A,
+    cost: C,
+    cfg: Config<A>,
+    time: usize,
+    /// Max attempts per process (`u32::MAX` = unbounded).
+    budgets: Vec<u32>,
+    completed: Vec<u32>,
+    in_flight: Vec<Option<AttemptLog>>,
+    finished: Vec<AttemptLog>,
+    violations: Vec<Violation>,
+    /// Snapshots taken whenever any process enters the CS (for enabledness
+    /// probes); disabled by default.
+    snapshot_cs_entries: bool,
+    snapshots: Vec<(usize, usize, Config<A>)>,
+}
+
+impl<A: Algorithm, C: CostModel> Runner<A, C> {
+    /// Creates a runner with `attempts` per process.
+    pub fn new(alg: A, cost: C, attempts: u32) -> Self {
+        let n = alg.processes();
+        let cfg = Config::initial(&alg);
+        Self {
+            alg,
+            cost,
+            cfg,
+            time: 0,
+            budgets: vec![attempts; n],
+            completed: vec![0; n],
+            in_flight: (0..n).map(|_| None).collect(),
+            finished: Vec::new(),
+            violations: Vec::new(),
+            snapshot_cs_entries: false,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Overrides the attempt budget of one process.
+    pub fn set_budget(&mut self, pid: usize, attempts: u32) {
+        self.budgets[pid] = attempts;
+    }
+
+    /// Enables configuration snapshots at every CS entry (used by the FIFE
+    /// and unstoppable-property probes).
+    pub fn snapshot_cs_entries(&mut self, on: bool) {
+        self.snapshot_cs_entries = on;
+    }
+
+    /// The algorithm under test.
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &Config<A> {
+        &self.cfg
+    }
+
+    /// Global step count so far.
+    pub fn time(&self) -> usize {
+        self.time
+    }
+
+    /// Mutual-exclusion (and other online) violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Completed attempt logs.
+    pub fn finished_attempts(&self) -> &[AttemptLog] {
+        &self.finished
+    }
+
+    /// Attempt logs still in flight (incomplete at the end of the run).
+    pub fn inflight_attempts(&self) -> Vec<AttemptLog> {
+        self.in_flight.iter().flatten().cloned().collect()
+    }
+
+    /// Snapshots `(time, entering_pid, config)` taken at CS entries.
+    pub fn snapshots(&self) -> &[(usize, usize, Config<A>)] {
+        &self.snapshots
+    }
+
+    /// Processes that may still take steps: mid-attempt, or with budget
+    /// left to start a new attempt.
+    pub fn runnable(&self) -> Vec<usize> {
+        (0..self.alg.processes())
+            .filter(|&p| {
+                let phase = self.alg.phase(p, &self.cfg.locals[p]);
+                phase != Phase::Remainder || self.completed[p] < self.budgets[p]
+            })
+            .collect()
+    }
+
+    /// Whether every process has used its budget and returned to the
+    /// remainder section.
+    pub fn quiescent(&self) -> bool {
+        self.runnable().is_empty()
+    }
+
+    /// Executes one step of `pid`; returns what happened.
+    pub fn step(&mut self, pid: usize) -> StepEvent {
+        let before = self.alg.phase(pid, &self.cfg.locals[pid]);
+        let mut mem = MemAccess::new(pid, &mut self.cfg.cells, &mut self.cost);
+        let event = self.alg.step(pid, &mut self.cfg.locals[pid], &mut mem);
+        let rmrs = mem.rmrs();
+        let after = self.alg.phase(pid, &self.cfg.locals[pid]);
+        self.time += 1;
+        self.record(pid, before, after, rmrs);
+        self.check_exclusion();
+        event
+    }
+
+    fn record(&mut self, pid: usize, before: Phase, after: Phase, rmrs: u64) {
+        // Attempt bookkeeping driven purely by phase transitions.
+        if before == Phase::Remainder && after != Phase::Remainder {
+            self.in_flight[pid] = Some(AttemptLog {
+                pid,
+                role_writer: self.alg.role(pid) == Role::Writer,
+                seq: self.completed[pid],
+                begin: self.time - 1,
+                doorway_end: None,
+                cs_enter: None,
+                exit_begin: None,
+                complete: None,
+                try_steps: 0,
+                exit_steps: 0,
+                rmrs: 0,
+            });
+        }
+        let snapshot = self.snapshot_cs_entries
+            && after == Phase::Cs
+            && !matches!(before, Phase::Cs)
+            && self.in_flight[pid].as_ref().is_some_and(|a| a.cs_enter.is_none());
+        if let Some(attempt) = self.in_flight[pid].as_mut() {
+            attempt.rmrs += rmrs;
+            match before {
+                Phase::Doorway | Phase::WaitingRoom => attempt.try_steps += 1,
+                Phase::Exit => attempt.exit_steps += 1,
+                Phase::Remainder => attempt.try_steps += 1, // the starting step
+                Phase::Cs => {}
+            }
+            if matches!(before, Phase::Doorway | Phase::Remainder)
+                && matches!(after, Phase::WaitingRoom | Phase::Cs)
+                && attempt.doorway_end.is_none()
+            {
+                attempt.doorway_end = Some(self.time);
+            }
+            if after == Phase::Cs && attempt.cs_enter.is_none() {
+                attempt.cs_enter = Some(self.time);
+            }
+            if after == Phase::Exit && attempt.exit_begin.is_none() {
+                attempt.exit_begin = Some(self.time);
+            }
+            if after == Phase::Remainder {
+                attempt.complete = Some(self.time);
+                let done = self.in_flight[pid].take().expect("attempt in flight");
+                self.finished.push(done);
+                self.completed[pid] += 1;
+            }
+        }
+        if snapshot {
+            self.snapshots.push((self.time, pid, self.cfg.clone()));
+        }
+    }
+
+    fn check_exclusion(&mut self) {
+        let mut writers_in = 0usize;
+        let mut readers_in = 0usize;
+        for p in 0..self.alg.processes() {
+            if self.alg.phase(p, &self.cfg.locals[p]) == Phase::Cs {
+                match self.alg.role(p) {
+                    Role::Writer => writers_in += 1,
+                    Role::Reader => readers_in += 1,
+                }
+            }
+        }
+        if writers_in > 1 || (writers_in == 1 && readers_in > 0) {
+            self.violations.push(Violation {
+                time: self.time,
+                message: format!(
+                    "mutual exclusion violated: {writers_in} writer(s) and {readers_in} reader(s) in CS"
+                ),
+            });
+        }
+    }
+
+    /// Runs under `sched` until quiescent or `max_steps` elapse. Returns
+    /// the number of steps taken.
+    pub fn run(&mut self, sched: &mut dyn Scheduler, max_steps: usize) -> usize {
+        let mut steps = 0;
+        while steps < max_steps {
+            let runnable = self.runnable();
+            if runnable.is_empty() {
+                break;
+            }
+            let pid = sched.next(&runnable);
+            self.step(pid);
+            steps += 1;
+        }
+        steps
+    }
+}
+
+impl<A: Algorithm, C: CostModel> fmt::Debug for Runner<A, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runner")
+            .field("alg", &self.alg.name())
+            .field("time", &self.time)
+            .field("finished", &self.finished.len())
+            .field("violations", &self.violations.len())
+            .finish()
+    }
+}
+
+/// Solo-run enabledness probe (the paper's Definition 2, restricted to the
+/// run where only `pid` takes steps — a necessary condition for being
+/// enabled, and for these algorithms also sufficient, since waiting
+/// conditions never become true without other processes acting).
+///
+/// Returns `true` iff `pid` reaches the CS within `bound` of its own steps
+/// from `cfg`.
+pub fn enabled_solo<A: Algorithm>(alg: &A, cfg: &Config<A>, pid: usize, bound: u32) -> bool {
+    let mut cells = cfg.cells.clone();
+    let mut local = cfg.locals[pid].clone();
+    let mut cost = crate::cost::FreeModel;
+    for _ in 0..bound {
+        if alg.phase(pid, &local) == Phase::Cs {
+            return true;
+        }
+        let mut mem = MemAccess::new(pid, &mut cells, &mut cost);
+        let event = alg.step(pid, &mut local, &mut mem);
+        if event == StepEvent::Blocked {
+            // Solo stepping is deterministic: a failed wait now fails forever.
+            return false;
+        }
+    }
+    alg.phase(pid, &local) == Phase::Cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_fair() {
+        let mut rr = RoundRobin::default();
+        let picks: Vec<_> = (0..6).map(|_| rr.next(&[0, 1, 2])).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_sched_is_deterministic_per_seed() {
+        let a: Vec<_> = {
+            let mut s = RandomSched::new(42);
+            (0..20).map(|_| s.next(&[0, 1, 2, 3])).collect()
+        };
+        let b: Vec<_> = {
+            let mut s = RandomSched::new(42);
+            (0..20).map(|_| s.next(&[0, 1, 2, 3])).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_sched_respects_zero_weightish() {
+        let mut s = WeightedSched::new(7, vec![1.0, 1000.0]);
+        let picks: Vec<_> = (0..100).map(|_| s.next(&[0, 1])).collect();
+        let ones = picks.iter().filter(|&&p| p == 1).count();
+        assert!(ones > 90, "heavy weight should dominate, got {ones}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Counterexample extraction: exploration with parent tracking, so a
+//! safety violation comes back as a concrete replayable schedule instead
+//! of just a bad configuration.
+//!
+//! Used by the mutant suite to print the exact interleaving that breaks a
+//! §3.3/§4.3-weakened algorithm — the machine-found version of the
+//! scenarios the paper describes in prose.
+
+use crate::cost::FreeModel;
+use crate::machine::{Algorithm, Phase, Role};
+use crate::mem::MemAccess;
+use crate::runner::Config;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A schedule (sequence of pids) leading from the initial configuration to
+/// a safety violation, plus a rendering of each step.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The pid to step at each point, starting from the initial config.
+    pub schedule: Vec<usize>,
+    /// Human-readable step log (`pid`, local state after the step).
+    pub rendered: Vec<String>,
+    /// Description of the violated predicate.
+    pub violation: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation: {}", self.violation)?;
+        writeln!(f, "schedule ({} steps):", self.schedule.len())?;
+        for line in &self.rendered {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Exploration node: configuration + per-process completed attempts.
+type Key<A> = (Config<A>, Vec<u32>);
+/// Arena entry: node, parent index, pid stepped to get here.
+type ArenaEntry<A> = (Key<A>, usize, usize);
+
+/// Explores like [`crate::explore::explore`] but tracks parents, stopping
+/// at the **first** violation of mutual exclusion (P1) and returning the
+/// schedule that reaches it. Returns `None` if the bounded space is clean
+/// or `max_states` is exhausted first.
+#[allow(clippy::needless_range_loop)] // indexing by pid mirrors the model
+pub fn find_counterexample<A: Algorithm>(
+    alg: &A,
+    budgets: &[u32],
+    max_states: usize,
+) -> Option<Counterexample> {
+    assert_eq!(budgets.len(), alg.processes());
+
+    let root: Key<A> = (Config::initial(alg), vec![0; alg.processes()]);
+
+    // Arena of visited nodes with (parent index, stepping pid).
+    let mut arena: Vec<ArenaEntry<A>> = vec![(root.clone(), usize::MAX, usize::MAX)];
+    let mut index: HashMap<Key<A>, usize> = HashMap::from([(root, 0)]);
+    let mut frontier: Vec<usize> = vec![0];
+
+    while let Some(node_idx) = frontier.pop() {
+        if arena.len() >= max_states {
+            return None;
+        }
+        let (node, _, _) = arena[node_idx].clone();
+
+        for pid in 0..alg.processes() {
+            let phase = alg.phase(pid, &node.0.locals[pid]);
+            if phase == Phase::Remainder && node.1[pid] >= budgets[pid] {
+                continue;
+            }
+            let mut next = node.clone();
+            {
+                let mut cost = FreeModel;
+                let mut mem = MemAccess::new(pid, &mut next.0.cells, &mut cost);
+                let _ = alg.step(pid, &mut next.0.locals[pid], &mut mem);
+            }
+            let after = alg.phase(pid, &next.0.locals[pid]);
+            if phase != Phase::Remainder && after == Phase::Remainder {
+                next.1[pid] += 1;
+            }
+            if next == node || index.contains_key(&next) {
+                continue;
+            }
+            let next_idx = arena.len();
+            arena.push((next.clone(), node_idx, pid));
+            index.insert(next.clone(), next_idx);
+
+            if let Some(violation) = exclusion_violation(alg, &next.0) {
+                return Some(build_counterexample(alg, &arena, next_idx, violation));
+            }
+            frontier.push(next_idx);
+        }
+    }
+    None
+}
+
+fn exclusion_violation<A: Algorithm>(alg: &A, cfg: &Config<A>) -> Option<String> {
+    let mut writers = Vec::new();
+    let mut readers = Vec::new();
+    for p in 0..alg.processes() {
+        if alg.phase(p, &cfg.locals[p]) == Phase::Cs {
+            match alg.role(p) {
+                Role::Writer => writers.push(p),
+                Role::Reader => readers.push(p),
+            }
+        }
+    }
+    if writers.len() > 1 || (writers.len() == 1 && !readers.is_empty()) {
+        Some(format!("P1: writers {writers:?} and readers {readers:?} share the CS"))
+    } else {
+        None
+    }
+}
+
+fn build_counterexample<A: Algorithm>(
+    alg: &A,
+    arena: &[ArenaEntry<A>],
+    mut idx: usize,
+    violation: String,
+) -> Counterexample {
+    let mut rev: Vec<usize> = Vec::new();
+    while idx != 0 {
+        let (_, parent, pid) = &arena[idx];
+        rev.push(*pid);
+        idx = *parent;
+    }
+    rev.reverse();
+
+    // Replay for rendering.
+    let mut cfg = Config::initial(alg);
+    let mut rendered = Vec::with_capacity(rev.len());
+    for (i, &pid) in rev.iter().enumerate() {
+        let mut cost = FreeModel;
+        let mut mem = MemAccess::new(pid, &mut cfg.cells, &mut cost);
+        let _ = alg.step(pid, &mut cfg.locals[pid], &mut mem);
+        rendered.push(format!(
+            "t={i:<3} p{pid} -> {:?} [{:?}]",
+            cfg.locals[pid],
+            alg.phase(pid, &cfg.locals[pid])
+        ));
+    }
+    Counterexample { schedule: rev, rendered, violation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::fig1::Fig1;
+    use crate::algos::mutants::{Fig2Break, Fig2Mutant};
+
+    #[test]
+    fn correct_algorithm_has_no_counterexample() {
+        let alg = Fig1::new(1);
+        assert!(find_counterexample(&alg, &[2, 2], 5_000_000).is_none());
+    }
+
+    #[test]
+    fn mutant_yields_a_replayable_schedule() {
+        let alg = Fig2Mutant::new(2, Fig2Break::NoFeatureA);
+        let cex = find_counterexample(&alg, &[2, 2, 2], 60_000_000)
+            .expect("feature-A mutant must have a P1 counterexample");
+        assert!(!cex.schedule.is_empty());
+        assert_eq!(cex.schedule.len(), cex.rendered.len());
+        assert!(cex.violation.contains("P1"));
+
+        // The schedule must actually replay to the violation.
+        let mut cfg = Config::initial(&alg);
+        let mut seen_violation = false;
+        for &pid in &cex.schedule {
+            let mut cost = FreeModel;
+            let mut mem = crate::mem::MemAccess::new(pid, &mut cfg.cells, &mut cost);
+            let _ = crate::machine::Algorithm::step(&alg, pid, &mut cfg.locals[pid], &mut mem);
+            if exclusion_violation(&alg, &cfg).is_some() {
+                seen_violation = true;
+            }
+        }
+        assert!(seen_violation, "replay did not reproduce the violation:\n{cex}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Randomized property battery: the paper's specification (§2) checked
+//! over many seeded schedules of every algorithm.
+//!
+//! | Property | Checked here on |
+//! |---|---|
+//! | P2 bounded exit | all five algorithms |
+//! | P3 FCFS writers | Fig. 3 (both), Fig. 4 |
+//! | P4 FIFE readers | Fig. 1, Fig. 2 (snapshot + solo-probe) |
+//! | P5 concurrent entering | Fig. 1, Fig. 2 (writer-free runs) |
+//! | P6/P7 liveness (bounded) | all five (fair schedules must quiesce) |
+//! | RP1 reader priority | Fig. 2, Fig. 3-RP |
+//! | RP2(1) unstoppable readers | Fig. 2 |
+//! | WP1 writer priority | Fig. 1, Fig. 4 |
+//!
+//! Mutual exclusion (P1) is checked online by the runner in every one of
+//! these runs; the exhaustive suite in `exhaustive.rs` additionally covers
+//! *all* interleavings of small instances.
+
+use rmr_sim::algos::fig1::Fig1;
+use rmr_sim::algos::fig2::Fig2;
+use rmr_sim::algos::fig3::{Fig3Rp, Fig3Sf};
+use rmr_sim::algos::fig4::Fig4;
+use rmr_sim::cost::FreeModel;
+use rmr_sim::props::{
+    check_bounded_exit, check_concurrent_entering, check_fcfs_writers, check_fife_readers,
+    check_reader_priority, check_unstoppable_readers, check_writer_priority,
+};
+use rmr_sim::runner::{RandomSched, Runner, WeightedSched};
+use rmr_sim::Algorithm;
+
+const SEEDS: u64 = 25;
+
+fn run_to_quiescence<A: Algorithm>(alg: A, seed: u64, attempts: u32, snapshots: bool) -> Runner<A, FreeModel> {
+    let mut r = Runner::new(alg, FreeModel, attempts);
+    r.snapshot_cs_entries(snapshots);
+    let mut sched = RandomSched::new(seed);
+    r.run(&mut sched, 3_000_000);
+    assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+    assert!(r.quiescent(), "seed {seed}: liveness failure (did not quiesce)");
+    r
+}
+
+// ---------------- P2: bounded exit ----------------
+
+#[test]
+fn bounded_exit_all_algorithms() {
+    for seed in 0..SEEDS {
+        let r = run_to_quiescence(Fig1::new(3), seed, 3, false);
+        check_bounded_exit(r.finished_attempts(), 6).unwrap();
+        let r = run_to_quiescence(Fig2::new(3), seed, 3, false);
+        check_bounded_exit(r.finished_attempts(), 8).unwrap();
+        let r = run_to_quiescence(Fig3Sf::new(2, 2), seed, 3, false);
+        check_bounded_exit(r.finished_attempts(), 8).unwrap();
+        let r = run_to_quiescence(Fig3Rp::new(2, 2), seed, 3, false);
+        check_bounded_exit(r.finished_attempts(), 10).unwrap();
+        let r = run_to_quiescence(Fig4::new(2, 2), seed, 3, false);
+        check_bounded_exit(r.finished_attempts(), 10).unwrap();
+    }
+}
+
+// ---------------- P3: FCFS among writers ----------------
+
+#[test]
+fn fcfs_writers_fig3_both_and_fig4() {
+    for seed in 0..SEEDS {
+        let r = run_to_quiescence(Fig3Sf::new(3, 2), seed, 3, false);
+        check_fcfs_writers(r.finished_attempts()).unwrap_or_else(|e| panic!("fig3sf seed {seed}: {e}"));
+        let r = run_to_quiescence(Fig3Rp::new(3, 2), seed, 3, false);
+        check_fcfs_writers(r.finished_attempts()).unwrap_or_else(|e| panic!("fig3rp seed {seed}: {e}"));
+        let r = run_to_quiescence(Fig4::new(3, 2), seed, 3, false);
+        check_fcfs_writers(r.finished_attempts()).unwrap_or_else(|e| panic!("fig4 seed {seed}: {e}"));
+    }
+}
+
+// ---------------- P4: FIFE among readers ----------------
+
+#[test]
+fn fife_readers_fig1_and_fig2() {
+    for seed in 0..SEEDS {
+        let r = run_to_quiescence(Fig1::new(4), seed, 3, true);
+        check_fife_readers(r.algorithm(), r.finished_attempts(), r.snapshots(), 64)
+            .unwrap_or_else(|e| panic!("fig1 seed {seed}: {e}"));
+        let r = run_to_quiescence(Fig2::new(4), seed, 3, true);
+        check_fife_readers(r.algorithm(), r.finished_attempts(), r.snapshots(), 64)
+            .unwrap_or_else(|e| panic!("fig2 seed {seed}: {e}"));
+    }
+}
+
+// ---------------- P5: concurrent entering ----------------
+
+#[test]
+fn concurrent_entering_without_writers() {
+    for seed in 0..SEEDS {
+        let mut r = Runner::new(Fig1::new(4), FreeModel, 4);
+        r.set_budget(0, 0); // writer stays home
+        let mut sched = RandomSched::new(seed);
+        r.run(&mut sched, 1_000_000);
+        assert!(r.quiescent());
+        check_concurrent_entering(r.finished_attempts(), 8).unwrap();
+
+        let mut r = Runner::new(Fig2::new(4), FreeModel, 4);
+        r.set_budget(0, 0);
+        let mut sched = RandomSched::new(seed);
+        r.run(&mut sched, 1_000_000);
+        assert!(r.quiescent());
+        check_concurrent_entering(r.finished_attempts(), 6).unwrap();
+    }
+}
+
+// ---------------- RP1: reader priority ----------------
+
+#[test]
+fn reader_priority_fig2_and_fig3rp() {
+    for seed in 0..SEEDS {
+        let r = run_to_quiescence(Fig2::new(3), seed, 3, false);
+        check_reader_priority(r.finished_attempts())
+            .unwrap_or_else(|e| panic!("fig2 seed {seed}: {e}"));
+        let r = run_to_quiescence(Fig3Rp::new(2, 3), seed, 3, false);
+        check_reader_priority(r.finished_attempts())
+            .unwrap_or_else(|e| panic!("fig3rp seed {seed}: {e}"));
+    }
+}
+
+// ---------------- RP2 part 1: unstoppable readers ----------------
+
+#[test]
+fn unstoppable_readers_fig2() {
+    for seed in 0..SEEDS {
+        let r = run_to_quiescence(Fig2::new(4), seed, 3, true);
+        check_unstoppable_readers(r.algorithm(), r.snapshots(), 64)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+// ---------------- WP1: writer priority ----------------
+
+#[test]
+fn writer_priority_fig1_and_fig4() {
+    for seed in 0..SEEDS {
+        let r = run_to_quiescence(Fig1::new(3), seed, 3, false);
+        check_writer_priority(r.finished_attempts())
+            .unwrap_or_else(|e| panic!("fig1 seed {seed}: {e}"));
+        let r = run_to_quiescence(Fig4::new(2, 3), seed, 3, false);
+        check_writer_priority(r.finished_attempts())
+            .unwrap_or_else(|e| panic!("fig4 seed {seed}: {e}"));
+    }
+}
+
+// ---------------- adversarial schedules ----------------
+
+#[test]
+fn reader_storm_does_not_break_safety_or_wp() {
+    // Readers step 30× as often as writers; Fig. 4 writers must still be
+    // safe and unovertaken per WP1.
+    for seed in 0..10 {
+        let alg = Fig4::new(2, 4);
+        let n = alg.processes();
+        let mut weights = vec![1.0; n];
+        for w in weights.iter_mut().skip(2) {
+            *w = 30.0;
+        }
+        let mut r = Runner::new(alg, FreeModel, 3);
+        let mut sched = WeightedSched::new(seed, weights);
+        r.run(&mut sched, 3_000_000);
+        assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+        assert!(r.quiescent(), "seed {seed}");
+        check_writer_priority(r.finished_attempts()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn writer_storm_does_not_break_safety_or_rp() {
+    for seed in 0..10 {
+        let alg = Fig3Rp::new(4, 2);
+        let n = alg.processes();
+        let mut weights = vec![30.0; n];
+        for w in weights.iter_mut().skip(4) {
+            *w = 1.0;
+        }
+        let mut r = Runner::new(alg, FreeModel, 3);
+        let mut sched = WeightedSched::new(seed, weights);
+        r.run(&mut sched, 3_000_000);
+        assert!(r.violations().is_empty(), "seed {seed}: {:?}", r.violations());
+        assert!(r.quiescent(), "seed {seed}");
+        check_reader_priority(r.finished_attempts()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+// ---------------- population soak ----------------
+
+#[test]
+fn large_population_soak() {
+    // Bigger than the exhaustive instances can afford: 4 writers + 12
+    // readers on every multi-writer machine, plus 20 readers on the SWMR
+    // machines, several seeds each. Safety is checked online at every
+    // step; fair runs must quiesce.
+    for seed in 0..5 {
+        run_to_quiescence(Fig1::new(20), seed, 2, false);
+        run_to_quiescence(Fig2::new(20), seed, 2, false);
+        run_to_quiescence(Fig3Sf::new(4, 12), seed, 2, false);
+        run_to_quiescence(Fig3Rp::new(4, 12), seed, 2, false);
+        run_to_quiescence(Fig4::new(4, 12), seed, 2, false);
+    }
+}

@@ -1,0 +1,190 @@
+//! Scripted scenarios for the *unstoppable* properties (RP2 part 2, WP2)
+//! and the appendix's Lemma 15 — the properties whose premises are too
+//! history-dependent for the generic random battery, reproduced here as
+//! the concrete situations §2.4 of the paper describes.
+
+use rmr_sim::algos::fig1::Fig1;
+use rmr_sim::algos::fig2::Fig2;
+use rmr_sim::algos::fig4::Fig4;
+use rmr_sim::cost::FreeModel;
+use rmr_sim::machine::Phase;
+use rmr_sim::props::check_waiting_reader_enabled;
+use rmr_sim::runner::{enabled_solo, RandomSched, Runner, Scheduler, SubsetSched};
+use rmr_sim::{Algorithm, StepEvent};
+
+/// Steps `pid` until it reaches `phase` (panics if it blocks first).
+fn step_until_phase<A: Algorithm>(r: &mut Runner<A, FreeModel>, pid: usize, phase: Phase) {
+    for _ in 0..1000 {
+        if r.algorithm().phase(pid, &r.config().locals[pid]) == phase {
+            return;
+        }
+        let ev = r.step(pid);
+        assert_ne!(
+            ev,
+            StepEvent::Blocked,
+            "p{pid} blocked before reaching {phase:?} (at {:?})",
+            r.config().locals[pid]
+        );
+    }
+    panic!("p{pid} never reached {phase:?}");
+}
+
+/// Steps `pid` until it blocks or reaches `phase`.
+fn step_to_wait_or_phase<A: Algorithm>(r: &mut Runner<A, FreeModel>, pid: usize, phase: Phase) {
+    for _ in 0..1000 {
+        if r.algorithm().phase(pid, &r.config().locals[pid]) == phase {
+            return;
+        }
+        if r.step(pid) == StepEvent::Blocked {
+            return;
+        }
+    }
+    panic!("p{pid} neither blocked nor reached {phase:?}");
+}
+
+// ---------------------------------------------------------------------
+// RP2 part 2 (Fig. 2): no writer in CS/exit + reader outranks all trying
+// writers ⇒ reader is enabled.
+// ---------------------------------------------------------------------
+
+#[test]
+fn rp2_part2_reader_outranking_all_writers_is_enabled() {
+    // Scenario: reader 1 completes its doorway while the writer is still in
+    // the remainder section; then the writer starts its try section. The
+    // reader doorway-precedes the writer (r >rp w), no writer is in CS or
+    // exit, so RP2(2) demands the reader be enabled.
+    let mut r = Runner::new(Fig2::new(2), FreeModel, 1);
+    // The reader must sail straight through to the CS (X ≠ true): it never
+    // parks in the waiting room while every writer is at home.
+    step_to_wait_or_phase(&mut r, 1, Phase::Cs);
+    let ph = r.algorithm().phase(1, &r.config().locals[1]);
+    assert_eq!(ph, Phase::Cs, "reader with no writer anywhere must reach the CS");
+
+    // Restart with the writer *trying* while the reader is mid-doorway.
+    let mut r = Runner::new(Fig2::new(2), FreeModel, 1);
+    r.step(1); // reader line 18: C += 1 — doorway begun before writer's
+    step_to_wait_or_phase(&mut r, 0, Phase::WaitingRoom); // writer to line 5
+    assert_eq!(r.algorithm().phase(0, &r.config().locals[0]), Phase::WaitingRoom);
+    // RP2(2): reader must be enabled (writer is only *waiting*, CS empty).
+    assert!(
+        enabled_solo(r.algorithm(), r.config(), 1, 64),
+        "reader blocked by a merely-waiting writer (RP2(2) violated)"
+    );
+}
+
+// ---------------------------------------------------------------------
+// WP2 (Fig. 1 / Fig. 4): with the CS and exit empty and every active
+// reader dominated, the waiting writers cannot be blocked — if exactly
+// the doorway-concurrent set S' keeps stepping, one of them enters.
+// ---------------------------------------------------------------------
+
+#[test]
+fn wp2_fig1_waiting_writer_is_enabled_when_cs_drains() {
+    let mut r = Runner::new(Fig1::new(2), FreeModel, 1);
+    // Reader 1 takes the CS.
+    step_until_phase(&mut r, 1, Phase::Cs);
+    // Writer completes its doorway and parks in the waiting room.
+    step_to_wait_or_phase(&mut r, 0, Phase::Cs);
+    assert_eq!(r.algorithm().phase(0, &r.config().locals[0]), Phase::WaitingRoom);
+    assert!(!enabled_solo(r.algorithm(), r.config(), 0, 64), "writer must wait for the reader");
+    // Reader leaves (CS and exit drain); any reader still around started
+    // after the writer's doorway, so w >wp them all. WP2 ⇒ w enabled.
+    step_until_phase(&mut r, 1, Phase::Remainder);
+    assert!(
+        enabled_solo(r.algorithm(), r.config(), 0, 64),
+        "WP2 violated: writer not enabled after CS and exit drained"
+    );
+}
+
+#[test]
+fn wp2_fig4_some_doorway_concurrent_writer_enters_unassisted() {
+    // Two writers complete their doorways concurrently (neither doorway-
+    // precedes the other), both reach the waiting room with the CS empty
+    // and a reader parked behind their doorways. Running ONLY the writers
+    // (readers "crashed"), one writer must reach the CS — the paper's
+    // formalization of "readers cannot block the writer class".
+    let mut r = Runner::new(Fig4::new(2, 1), FreeModel, 1);
+    // Interleave the two writers' doorways step by step so they are
+    // doorway-concurrent.
+    loop {
+        let p0 = r.algorithm().phase(0, &r.config().locals[0]);
+        let p1 = r.algorithm().phase(1, &r.config().locals[1]);
+        let done0 = matches!(p0, Phase::WaitingRoom | Phase::Cs);
+        let done1 = matches!(p1, Phase::WaitingRoom | Phase::Cs);
+        if done0 && done1 {
+            break;
+        }
+        if !done0 {
+            r.step(0);
+        }
+        if !done1 {
+            r.step(1);
+        }
+    }
+    // Reader arrives after both doorways: dominated by both writers.
+    r.step(2);
+
+    // Only the writers take steps from here (SubsetSched models the
+    // premise "regardless of whether other processes ... have crashed").
+    let mut sched = SubsetSched::new(vec![0, 1]);
+    let mut entered = false;
+    for _ in 0..10_000 {
+        let runnable = r.runnable();
+        if runnable.is_empty() {
+            break;
+        }
+        let pid = sched.next(&runnable);
+        r.step(pid);
+        if (0..2).any(|w| r.algorithm().phase(w, &r.config().locals[w]) == Phase::Cs) {
+            entered = true;
+            break;
+        }
+    }
+    assert!(entered, "WP2 violated: neither doorway-concurrent writer entered unassisted");
+    assert!(r.violations().is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Lemma 15 (Fig. 1): a reader waiting through a write session is enabled
+// by the time the first reader enters afterwards.
+// ---------------------------------------------------------------------
+
+#[test]
+fn lemma15_waiting_reader_enabled_fig1() {
+    for seed in 0..25 {
+        let mut r = Runner::new(Fig1::new(4), FreeModel, 3);
+        r.snapshot_cs_entries(true);
+        let mut sched = RandomSched::new(seed);
+        r.run(&mut sched, 3_000_000);
+        assert!(r.quiescent());
+        check_waiting_reader_enabled(r.algorithm(), r.finished_attempts(), r.snapshots(), 64)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// RP2 part 1 premise includes writers in the EXIT section: a reader must
+// be enabled while a reader holds the CS even if a writer is exiting.
+// ---------------------------------------------------------------------
+
+#[test]
+fn rp2_part1_holds_even_with_writer_in_exit_fig2() {
+    let mut r = Runner::new(Fig2::new(2), FreeModel, 1);
+    // Writer enters and reaches its exit section (after opening Gate[D]).
+    step_until_phase(&mut r, 0, Phase::Cs);
+    r.step(0); // leave CS → L7
+    r.step(0); // L7: close other gate
+    r.step(0); // L8: open Gate[D] — writer now at L9 (still Exit phase)
+    assert_eq!(r.algorithm().phase(0, &r.config().locals[0]), Phase::Exit);
+    // A reader that parked during the write session must now be enabled.
+    step_to_wait_or_phase(&mut r, 1, Phase::Cs);
+    let ph = r.algorithm().phase(1, &r.config().locals[1]);
+    if ph == Phase::WaitingRoom {
+        assert!(
+            enabled_solo(r.algorithm(), r.config(), 1, 64),
+            "reader not enabled although Gate[D] is open and writer is only exiting"
+        );
+    } else {
+        assert_eq!(ph, Phase::Cs);
+    }
+}

@@ -1,0 +1,34 @@
+//! **rmrw** — facade over the full reproduction of Bhatt & Jayanti,
+//! *"Constant RMR Solutions to Reader Writer Synchronization"*
+//! (Dartmouth TR2010-662 / PODC 2010).
+//!
+//! Re-exports the four workspace crates under stable names:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `rmr-core` | the paper's five lock algorithms + typed `RwLock` API |
+//! | [`mutex`] | `rmr-mutex` | Anderson's array lock (the paper's `M`) and classic spin locks |
+//! | [`baselines`] | `rmr-baselines` | the prior-art lock classes the paper improves on |
+//! | [`sim`] | `rmr-sim` | the abstract machine: model checking, RMR cost models, invariants |
+//!
+//! Most applications only need [`core`]:
+//!
+//! ```
+//! use rmrw::core::RwLock;
+//!
+//! let lock = RwLock::starvation_free(vec![1, 2, 3], 8);
+//! let mut handle = lock.register()?;
+//! handle.write().push(4);
+//! assert_eq!(handle.read().len(), 4);
+//! # Ok::<(), rmrw::core::RegistryFull>(())
+//! ```
+//!
+//! See the workspace README for the paper map, DESIGN.md for the system
+//! inventory, and EXPERIMENTS.md for the reproduced results.
+
+#![warn(missing_docs)]
+
+pub use rmr_baselines as baselines;
+pub use rmr_core as core;
+pub use rmr_mutex as mutex;
+pub use rmr_sim as sim;

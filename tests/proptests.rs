@@ -1,0 +1,263 @@
+//! Property-based tests (proptest) over the workspace's core data
+//! structures and the simulator.
+//!
+//! * the packed `[writer-waiting, reader-count]` fetch&add cell against a
+//!   reference model;
+//! * the CC cost model against an independently written reference;
+//! * arbitrary schedules driving the Figure 1/2/4 machines: safety and the
+//!   paper's proof invariants must hold after **every** step of **any**
+//!   schedule proptest can dream up.
+
+use proptest::prelude::*;
+use rmrw::core::packed::{Packed, PackedFaa};
+use rmrw::sim::algos::fig1::Fig1;
+use rmrw::sim::algos::fig2::Fig2;
+use rmrw::sim::algos::fig4::Fig4;
+use rmrw::sim::cost::{AccessKind, CcModel, CostModel, FreeModel};
+use rmrw::sim::invariants::{fig1_invariants, fig2_invariants};
+use rmrw::sim::machine::{Algorithm, Phase, Role};
+use rmrw::sim::runner::{Config, Runner};
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------
+// PackedFaa vs. a two-field reference model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum PackedOp {
+    AddReader,
+    SubReader,
+    AddWriter,
+    SubWriter,
+}
+
+fn packed_ops() -> impl Strategy<Value = Vec<PackedOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(PackedOp::AddReader),
+            Just(PackedOp::SubReader),
+            Just(PackedOp::AddWriter),
+            Just(PackedOp::SubWriter),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn packed_faa_matches_reference_model(ops in packed_ops()) {
+        let cell = PackedFaa::new();
+        let mut readers = 0u64;
+        let mut writer = false;
+        for op in ops {
+            // Respect the algorithm's usage contract (the fields are only
+            // moved in legal directions); illegal ops are skipped exactly
+            // when the algorithms would never issue them.
+            match op {
+                PackedOp::AddReader => {
+                    let old = cell.add_reader();
+                    prop_assert_eq!(old, Packed::new(writer, readers));
+                    readers += 1;
+                }
+                PackedOp::SubReader if readers > 0 => {
+                    let old = cell.sub_reader();
+                    prop_assert_eq!(old, Packed::new(writer, readers));
+                    readers -= 1;
+                }
+                PackedOp::AddWriter if !writer => {
+                    let old = cell.add_writer();
+                    prop_assert_eq!(old, Packed::new(false, readers));
+                    writer = true;
+                }
+                PackedOp::SubWriter if writer => {
+                    let old = cell.sub_writer();
+                    prop_assert_eq!(old, Packed::new(true, readers));
+                    writer = false;
+                }
+                _ => {}
+            }
+            prop_assert_eq!(cell.load(), Packed::new(writer, readers));
+            prop_assert_eq!(cell.load().writer_waiting(), writer);
+            prop_assert_eq!(cell.load().reader_count(), readers);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CC cost model vs. an independent reference implementation
+// ---------------------------------------------------------------------
+
+/// Reference CC model: a set of (pid, var) cached pairs, written without
+/// looking at the bitmask implementation.
+#[derive(Default)]
+struct RefCc {
+    cached: HashSet<(usize, usize)>,
+}
+
+impl RefCc {
+    fn account(&mut self, pid: usize, var: usize, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => {
+                let hit = self.cached.contains(&(pid, var));
+                self.cached.insert((pid, var));
+                !hit
+            }
+            AccessKind::Update => {
+                let holders: Vec<usize> = self
+                    .cached
+                    .iter()
+                    .filter(|(_, v)| *v == var)
+                    .map(|(p, _)| *p)
+                    .collect();
+                let exclusive = holders == [pid];
+                self.cached.retain(|(_, v)| *v != var);
+                self.cached.insert((pid, var));
+                !exclusive
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn cc_model_matches_reference(
+        accesses in proptest::collection::vec(
+            (0usize..6, 0usize..4, prop::bool::ANY), 0..300)
+    ) {
+        let mut cc = CcModel::new(6, 4);
+        let mut reference = RefCc::default();
+        for (pid, var, is_update) in accesses {
+            let kind = if is_update { AccessKind::Update } else { AccessKind::Read };
+            let got = cc.account(pid, rmrw::sim::mem::VarId::from_index(var), kind);
+            let want = reference.account(pid, var, kind);
+            prop_assert_eq!(got, want, "divergence at pid={} var={} {:?}", pid, var, kind);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arbitrary schedules against the paper's machines + invariants
+// ---------------------------------------------------------------------
+
+/// Drives `alg` with an arbitrary pid schedule, checking `check` after
+/// every step and exclusion throughout.
+fn drive<A: Algorithm>(
+    alg: A,
+    schedule: &[u8],
+    attempts: u32,
+    check: impl Fn(&A, &Config<A>) -> Result<(), String>,
+) -> Result<(), TestCaseError> {
+    let n = alg.processes();
+    let mut runner = Runner::new(alg, FreeModel, attempts);
+    for &raw in schedule {
+        let runnable = runner.runnable();
+        if runnable.is_empty() {
+            break;
+        }
+        let pid = runnable[raw as usize % runnable.len()];
+        runner.step(pid);
+        prop_assert!(runner.violations().is_empty(), "P1: {:?}", runner.violations());
+        check(runner.algorithm(), runner.config())
+            .map_err(|e| TestCaseError::fail(format!("invariant: {e}")))?;
+    }
+    // No process may be wedged in a state it cannot leave while others are
+    // parked: run a fair round-robin to completion as a liveness epilogue.
+    let mut rr = rmrw::sim::runner::RoundRobin::default();
+    runner.run(&mut rr, 1_000_000);
+    prop_assert!(runner.quiescent(), "schedule left the system stuck");
+    prop_assert!(runner.violations().is_empty());
+    let _ = n;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fig1_invariants_hold_under_arbitrary_schedules(
+        schedule in proptest::collection::vec(any::<u8>(), 0..600)
+    ) {
+        drive(Fig1::new(3), &schedule, 2, fig1_invariants)?;
+    }
+
+    #[test]
+    fn fig2_invariants_hold_under_arbitrary_schedules(
+        schedule in proptest::collection::vec(any::<u8>(), 0..600)
+    ) {
+        drive(Fig2::new(3), &schedule, 2, fig2_invariants)?;
+    }
+
+    #[test]
+    fn fig4_safety_holds_under_arbitrary_schedules(
+        schedule in proptest::collection::vec(any::<u8>(), 0..600)
+    ) {
+        drive(Fig4::new(2, 2), &schedule, 2, |_, _| Ok(()))?;
+    }
+
+    #[test]
+    fn fig1_writer_in_cs_excludes_everyone(
+        schedule in proptest::collection::vec(any::<u8>(), 0..400)
+    ) {
+        // Redundant with the runner's online check, but stated directly
+        // from phases as the paper states P1.
+        drive(Fig1::new(2), &schedule, 2, |alg, cfg| {
+            let in_cs: Vec<usize> = (0..alg.processes())
+                .filter(|&p| alg.phase(p, &cfg.locals[p]) == Phase::Cs)
+                .collect();
+            let writers = in_cs.iter().filter(|&&p| alg.role(p) == Role::Writer).count();
+            if writers > 0 && in_cs.len() > 1 {
+                return Err(format!("CS occupants {in_cs:?} include a writer"));
+            }
+            Ok(())
+        })?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// PID registry: arbitrary allocate/release sequences never double-issue
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn registry_never_double_allocates(ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        use rmrw::core::registry::PidRegistry;
+        let reg = PidRegistry::new(8);
+        let mut held: Vec<rmrw::core::Pid> = Vec::new();
+        for alloc in ops {
+            if alloc {
+                match reg.allocate() {
+                    Ok(pid) => {
+                        prop_assert!(!held.contains(&pid), "pid {pid} issued twice");
+                        held.push(pid);
+                    }
+                    Err(_) => prop_assert_eq!(held.len(), 8, "spurious exhaustion"),
+                }
+            } else if let Some(pid) = held.pop() {
+                reg.release(pid);
+            }
+            prop_assert_eq!(reg.allocated(), held.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DSM model: an access is remote exactly when the home differs
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn dsm_model_matches_definition(
+        homes in proptest::collection::vec(0usize..4, 1..6),
+        accesses in proptest::collection::vec((0usize..4, 0usize..6, any::<bool>()), 0..100),
+    ) {
+        use rmrw::sim::cost::DsmModel;
+        let n_vars = homes.len();
+        let mut dsm = DsmModel::new(homes.clone());
+        for (pid, var, is_update) in accesses {
+            let var = var % n_vars;
+            let kind = if is_update { AccessKind::Update } else { AccessKind::Read };
+            let got = dsm.account(pid, rmrw::sim::mem::VarId::from_index(var), kind);
+            prop_assert_eq!(got, homes[var] != pid);
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The original Courtois–Heymans–Parnas reader-writer solution (1971).
 
-use rmr_core::raw::RawRwLock;
+use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
 use rmr_mutex::{RawMutex, TtasLock};
 use std::fmt;
@@ -95,6 +95,37 @@ impl RawRwLock for CentralizedRwLock {
 
     fn max_processes(&self) -> usize {
         self.max_processes
+    }
+}
+
+// SAFETY: every writer takes the `resource` mutex for the whole critical
+// section, excluding all other writers.
+unsafe impl rmr_core::raw::RawMultiWriter for CentralizedRwLock {}
+
+impl RawTryReadLock for CentralizedRwLock {
+    fn try_read_lock(&self, _pid: Pid) -> Option<()> {
+        if !self.count_mutex.try_lock() {
+            return None;
+        }
+        let granted = if self.read_count.fetch_add(1, Ordering::SeqCst) == 0 {
+            // First reader must take the resource on the group's behalf; if
+            // a writer holds it, undo the registration.
+            let ok = self.resource.try_lock();
+            if !ok {
+                self.read_count.fetch_sub(1, Ordering::SeqCst);
+            }
+            ok
+        } else {
+            true
+        };
+        self.count_mutex.unlock(());
+        granted.then_some(())
+    }
+}
+
+impl RawTryRwLock for CentralizedRwLock {
+    fn try_write_lock(&self, _pid: Pid) -> Option<()> {
+        self.resource.try_lock().then_some(())
     }
 }
 

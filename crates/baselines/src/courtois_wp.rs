@@ -127,6 +127,10 @@ impl RawRwLock for CourtoisWriterPrefRwLock {
     }
 }
 
+// SAFETY: every writer takes the `resource` semaphore for the whole
+// critical section, excluding all other writers.
+unsafe impl rmr_core::raw::RawMultiWriter for CourtoisWriterPrefRwLock {}
+
 impl fmt::Debug for CourtoisWriterPrefRwLock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CourtoisWriterPrefRwLock")

@@ -1,9 +1,9 @@
 //! Per-reader-flag reader-writer lock (the "distributed reader indicator"
 //! class of Lev–Luchangco–Olszewski \[24\] and Krieger et al. \[25\]).
 
-use crossbeam_utils::CachePadded;
-use rmr_core::raw::RawRwLock;
+use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
+use rmr_mutex::CachePadded;
 use rmr_mutex::{spin_until, RawMutex, TtasLock};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -103,6 +103,41 @@ impl RawRwLock for DistributedFlagRwLock {
 
     fn max_processes(&self) -> usize {
         self.reader_flags.len()
+    }
+}
+
+// SAFETY: writers serialize through `writer_mutex` for the whole critical
+// section.
+unsafe impl rmr_core::raw::RawMultiWriter for DistributedFlagRwLock {}
+
+impl RawTryReadLock for DistributedFlagRwLock {
+    fn try_read_lock(&self, pid: Pid) -> Option<()> {
+        let flag = &self.reader_flags[pid.index()];
+        // One round of the blocking loop, with "park" replaced by "abort":
+        // flag-then-check keeps the same visibility argument.
+        flag.store(true, Ordering::SeqCst);
+        if !self.writer_present.load(Ordering::SeqCst) {
+            Some(())
+        } else {
+            flag.store(false, Ordering::SeqCst);
+            None
+        }
+    }
+}
+
+impl RawTryRwLock for DistributedFlagRwLock {
+    fn try_write_lock(&self, _pid: Pid) -> Option<()> {
+        if !self.writer_mutex.try_lock() {
+            return None;
+        }
+        self.writer_present.store(true, Ordering::SeqCst);
+        // One scan instead of n spin-waits; any raised flag aborts.
+        if self.reader_flags.iter().any(|f| f.load(Ordering::SeqCst)) {
+            self.writer_present.store(false, Ordering::SeqCst);
+            self.writer_mutex.unlock(());
+            return None;
+        }
+        Some(())
     }
 }
 

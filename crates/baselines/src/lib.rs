@@ -18,7 +18,17 @@
 //! | [`TicketRwLock`] | task-fair ticket/queue RW locks \[9, 10\] | O(n) per handoff (shared grant word) |
 //! | [`DistributedFlagRwLock`] | per-reader-flag designs \[24, 25\] | reader O(1)*, writer O(n) |
 //! | [`TournamentRwLock`] | Danek–Hadzilacos-style tree locks \[5\] | Θ(log n) readers |
-//! | [`StdRwLock`], [`ParkingLotRwLock`] | production OS-backed locks | n/a (throughput benches only) |
+//! | [`StdRwLock`] | production OS-backed lock | n/a (throughput benches only) |
+//!
+//! # Non-blocking tier
+//!
+//! Every baseline except [`CourtoisWriterPrefRwLock`] implements the full
+//! [`RawTryRwLock`](rmr_core::raw::RawTryRwLock) capability (bounded
+//! `try_read_lock` **and** `try_write_lock`) — their mutex-and-counter
+//! write paths revoke cleanly, unlike the paper's irrevocable writer
+//! doorways. The Courtois writer-preference construction threads every
+//! attempt through a chain of five semaphores whose partial acquisitions
+//! cannot be rolled back atomically, so it stays blocking-only.
 //!
 //! `*` readers of [`DistributedFlagRwLock`] pay O(1) RMRs only while no
 //! writer is active.
@@ -47,7 +57,63 @@ pub use courtois_wp::CourtoisWriterPrefRwLock;
 pub use flags::DistributedFlagRwLock;
 pub use ticket_rw::TicketRwLock;
 pub use tournament::TournamentRwLock;
-pub use wrappers::{ParkingLotRwLock, StdRwLock};
+pub use wrappers::StdRwLock;
+
+#[cfg(test)]
+mod try_tier_tests {
+    use super::*;
+    // RawTryRwLock's supertraits (RawRwLock, RawTryReadLock) come along
+    // for method resolution.
+    use rmr_core::raw::RawTryRwLock;
+    use rmr_core::registry::Pid;
+
+    /// The non-blocking contract, exercised on one thread (which *proves*
+    /// boundedness: a blocking attempt would deadlock against our own held
+    /// token):
+    /// a held write lock denies both tries; a held read lock denies
+    /// `try_write` but admits `try_read`; a free lock admits both.
+    fn try_tier_contract<L: RawTryRwLock>(lock: L) {
+        let p = Pid::from_index;
+        let w = lock.write_lock(p(0));
+        assert!(lock.try_read_lock(p(1)).is_none(), "try_read under writer");
+        assert!(lock.try_write_lock(p(1)).is_none(), "try_write under writer");
+        lock.write_unlock(p(0), w);
+
+        let r = lock.try_read_lock(p(1)).expect("free lock admits try_read");
+        assert!(lock.try_write_lock(p(2)).is_none(), "try_write under reader");
+        let r2 = lock.try_read_lock(p(2)).expect("readers share");
+        lock.read_unlock(p(2), r2);
+        lock.read_unlock(p(1), r);
+
+        let w = lock.try_write_lock(p(0)).expect("free lock admits try_write");
+        lock.write_unlock(p(0), w);
+    }
+
+    #[test]
+    fn centralized_try_tier() {
+        try_tier_contract(CentralizedRwLock::new(4));
+    }
+
+    #[test]
+    fn ticket_try_tier() {
+        try_tier_contract(TicketRwLock::new(4));
+    }
+
+    #[test]
+    fn distributed_flag_try_tier() {
+        try_tier_contract(DistributedFlagRwLock::new(4));
+    }
+
+    #[test]
+    fn tournament_try_tier() {
+        try_tier_contract(TournamentRwLock::new(4));
+    }
+
+    #[test]
+    fn std_try_tier_shared() {
+        try_tier_contract(StdRwLock::new(4));
+    }
+}
 
 #[cfg(test)]
 pub(crate) mod test_support {

@@ -1,6 +1,6 @@
 //! A task-fair (FIFO) ticket reader-writer lock.
 
-use rmr_core::raw::RawRwLock;
+use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
 use rmr_mutex::spin_until;
 use std::fmt;
@@ -64,11 +64,7 @@ impl TicketRwLock {
     /// Creates the lock (capacity is nominal; kept for interface parity).
     pub fn new(max_processes: usize) -> Self {
         assert!(max_processes > 0, "max_processes must be positive");
-        Self {
-            users: AtomicU64::new(0),
-            grants: AtomicU64::new(0),
-            max_processes,
-        }
+        Self { users: AtomicU64::new(0), grants: AtomicU64::new(0), max_processes }
     }
 
     fn take_ticket(&self) -> u32 {
@@ -103,6 +99,47 @@ impl RawRwLock for TicketRwLock {
 
     fn max_processes(&self) -> usize {
         self.max_processes
+    }
+}
+
+// SAFETY: FIFO ticket service admits exactly one writer at a time
+// regardless of how many draw tickets concurrently.
+unsafe impl rmr_core::raw::RawMultiWriter for TicketRwLock {}
+
+/// The try tier draws a ticket **conditionally**: a CAS on the dispenser
+/// that only goes through when the would-be ticket is already granted, so
+/// a failed attempt leaves no queue entry behind (drawing a ticket
+/// unconditionally would commit the caller to waiting — FIFO admits no
+/// abort once enqueued).
+impl RawTryReadLock for TicketRwLock {
+    fn try_read_lock(&self, _pid: Pid) -> Option<()> {
+        let u = self.users.load(Ordering::SeqCst);
+        // Our ticket would be `u`; it is served the moment read_grant == u
+        // (every earlier arrival has entered as a reader or fully exited).
+        if read_grant(self.grants.load(Ordering::SeqCst)) != u as u32 {
+            return None;
+        }
+        if self.users.compare_exchange(u, u + 1, Ordering::SeqCst, Ordering::SeqCst).is_err() {
+            return None; // someone else drew ticket u
+        }
+        // Granted immediately; let the next queued reader in behind us.
+        self.grants.fetch_add(READ_GRANT_UNIT, Ordering::SeqCst);
+        Some(())
+    }
+}
+
+impl RawTryRwLock for TicketRwLock {
+    fn try_write_lock(&self, _pid: Pid) -> Option<()> {
+        let u = self.users.load(Ordering::SeqCst);
+        // A writer's ticket is served only when ALL earlier arrivals have
+        // exited: write_grant == u.
+        if write_grant(self.grants.load(Ordering::SeqCst)) != u as u32 {
+            return None;
+        }
+        self.users
+            .compare_exchange(u, u + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+            .then_some(())
     }
 }
 

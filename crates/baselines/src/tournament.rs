@@ -1,8 +1,8 @@
 //! Counting-tree reader-writer lock: the Θ(log n) RMR comparator.
 
-use crossbeam_utils::CachePadded;
-use rmr_core::raw::RawRwLock;
+use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
+use rmr_mutex::CachePadded;
 use rmr_mutex::{spin_until, RawMutex, TtasLock};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -136,6 +136,40 @@ impl RawRwLock for TournamentRwLock {
 
     fn max_processes(&self) -> usize {
         self.max_processes
+    }
+}
+
+// SAFETY: writers serialize through `writer_mutex` for the whole critical
+// section.
+unsafe impl rmr_core::raw::RawMultiWriter for TournamentRwLock {}
+
+impl RawTryReadLock for TournamentRwLock {
+    fn try_read_lock(&self, pid: Pid) -> Option<()> {
+        let leaf = self.leaf_of(pid);
+        // One round of the blocking loop; "park" becomes "abort".
+        self.climb(leaf);
+        if !self.writer_present.load(Ordering::SeqCst) {
+            Some(())
+        } else {
+            self.descend(leaf);
+            None
+        }
+    }
+}
+
+impl RawTryRwLock for TournamentRwLock {
+    fn try_write_lock(&self, _pid: Pid) -> Option<()> {
+        if !self.writer_mutex.try_lock() {
+            return None;
+        }
+        self.writer_present.store(true, Ordering::SeqCst);
+        // One root test instead of the drain spin; registered readers abort.
+        if self.nodes[1].load(Ordering::SeqCst) != 0 {
+            self.writer_present.store(false, Ordering::SeqCst);
+            self.writer_mutex.unlock(());
+            return None;
+        }
+        Some(())
     }
 }
 

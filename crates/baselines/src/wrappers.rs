@@ -1,78 +1,13 @@
 //! Production-lock adapters for the throughput benchmarks.
+//!
+//! Historical note: an adapter over `parking_lot::RawRwLock` used to live
+//! here as a second production comparator. The workspace is built fully
+//! offline with no external dependencies, so that adapter was dropped;
+//! [`StdRwLock`] remains the production OS-grade baseline for E11.
 
-use rmr_core::raw::RawRwLock;
+use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
 use std::fmt;
-
-/// [`parking_lot::RwLock`]-backed adapter (via its raw lock), so the
-/// benchmark harness can sweep a production OS-grade lock alongside the
-/// paper's algorithms. RMR accounting does not apply (it parks threads);
-/// this type exists for wall-clock throughput comparison only (E11).
-///
-/// # Example
-///
-/// ```
-/// use rmr_baselines::ParkingLotRwLock;
-/// use rmr_core::raw::RawRwLock;
-/// use rmr_core::registry::Pid;
-///
-/// let lock = ParkingLotRwLock::new(4);
-/// let t = lock.read_lock(Pid::from_index(0));
-/// lock.read_unlock(Pid::from_index(0), t);
-/// ```
-pub struct ParkingLotRwLock {
-    raw: parking_lot::RawRwLock,
-    max_processes: usize,
-}
-
-impl ParkingLotRwLock {
-    /// Creates the lock (capacity is nominal; kept for interface parity).
-    pub fn new(max_processes: usize) -> Self {
-        use parking_lot::lock_api::RawRwLock as _;
-        assert!(max_processes > 0, "max_processes must be positive");
-        Self { raw: parking_lot::RawRwLock::INIT, max_processes }
-    }
-}
-
-impl RawRwLock for ParkingLotRwLock {
-    type ReadToken = ();
-    type WriteToken = ();
-
-    fn read_lock(&self, _pid: Pid) {
-        use parking_lot::lock_api::RawRwLock as _;
-        self.raw.lock_shared();
-    }
-
-    fn read_unlock(&self, _pid: Pid, (): ()) {
-        use parking_lot::lock_api::RawRwLock as _;
-        // SAFETY: paired with the `lock_shared` in `read_lock`; the
-        // RawRwLock contract requires callers to match lock/unlock.
-        unsafe { self.raw.unlock_shared() };
-    }
-
-    fn write_lock(&self, _pid: Pid) {
-        use parking_lot::lock_api::RawRwLock as _;
-        self.raw.lock_exclusive();
-    }
-
-    fn write_unlock(&self, _pid: Pid, (): ()) {
-        use parking_lot::lock_api::RawRwLock as _;
-        // SAFETY: paired with the `lock_exclusive` in `write_lock`.
-        unsafe { self.raw.unlock_exclusive() };
-    }
-
-    fn max_processes(&self) -> usize {
-        self.max_processes
-    }
-}
-
-impl fmt::Debug for ParkingLotRwLock {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ParkingLotRwLock")
-            .field("max_processes", &self.max_processes)
-            .finish()
-    }
-}
 
 /// [`std::sync::RwLock`]-backed adapter for the throughput benchmarks
 /// (E11).
@@ -115,23 +50,38 @@ impl StdRwLock {
     }
 }
 
+fn erase_read(guard: std::sync::RwLockReadGuard<'_, ()>) -> StdReadToken {
+    // SAFETY: lifetime erasure only; the RawRwLock contract guarantees the
+    // token is consumed by `read_unlock` on this same lock, which the
+    // caller keeps alive until then.
+    StdReadToken {
+        _guard: unsafe {
+            std::mem::transmute::<
+                std::sync::RwLockReadGuard<'_, ()>,
+                std::sync::RwLockReadGuard<'static, ()>,
+            >(guard)
+        },
+    }
+}
+
+fn erase_write(guard: std::sync::RwLockWriteGuard<'_, ()>) -> StdWriteToken {
+    // SAFETY: as in `erase_read`.
+    StdWriteToken {
+        _guard: unsafe {
+            std::mem::transmute::<
+                std::sync::RwLockWriteGuard<'_, ()>,
+                std::sync::RwLockWriteGuard<'static, ()>,
+            >(guard)
+        },
+    }
+}
+
 impl RawRwLock for StdRwLock {
     type ReadToken = StdReadToken;
     type WriteToken = StdWriteToken;
 
     fn read_lock(&self, _pid: Pid) -> StdReadToken {
-        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
-        // SAFETY: lifetime erasure only; the RawRwLock contract guarantees
-        // the token is consumed by `read_unlock` on this same lock, which
-        // the caller keeps alive until then.
-        StdReadToken {
-            _guard: unsafe {
-                std::mem::transmute::<
-                    std::sync::RwLockReadGuard<'_, ()>,
-                    std::sync::RwLockReadGuard<'static, ()>,
-                >(guard)
-            },
-        }
+        erase_read(self.inner.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     fn read_unlock(&self, _pid: Pid, token: StdReadToken) {
@@ -139,16 +89,7 @@ impl RawRwLock for StdRwLock {
     }
 
     fn write_lock(&self, _pid: Pid) -> StdWriteToken {
-        let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
-        // SAFETY: as in `read_lock`.
-        StdWriteToken {
-            _guard: unsafe {
-                std::mem::transmute::<
-                    std::sync::RwLockWriteGuard<'_, ()>,
-                    std::sync::RwLockWriteGuard<'static, ()>,
-                >(guard)
-            },
-        }
+        erase_write(self.inner.write().unwrap_or_else(|e| e.into_inner()))
     }
 
     fn write_unlock(&self, _pid: Pid, token: StdWriteToken) {
@@ -157,6 +98,30 @@ impl RawRwLock for StdRwLock {
 
     fn max_processes(&self) -> usize {
         self.max_processes
+    }
+}
+
+// SAFETY: std::sync::RwLock provides writer-writer exclusion for any
+// number of concurrent callers.
+unsafe impl rmr_core::raw::RawMultiWriter for StdRwLock {}
+
+impl RawTryReadLock for StdRwLock {
+    fn try_read_lock(&self, _pid: Pid) -> Option<StdReadToken> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(erase_read(guard)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(erase_read(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+impl RawTryRwLock for StdRwLock {
+    fn try_write_lock(&self, _pid: Pid) -> Option<StdWriteToken> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(erase_write(guard)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(erase_write(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 }
 
@@ -176,17 +141,6 @@ mod tests {
     }
 
     #[test]
-    fn parking_lot_cycles() {
-        let lock = ParkingLotRwLock::new(2);
-        let a = lock.read_lock(pid(0));
-        let b = lock.read_lock(pid(1));
-        lock.read_unlock(pid(0), a);
-        lock.read_unlock(pid(1), b);
-        let w = lock.write_lock(pid(0));
-        lock.write_unlock(pid(0), w);
-    }
-
-    #[test]
     fn std_cycles() {
         let lock = StdRwLock::new(2);
         let a = lock.read_lock(pid(0));
@@ -198,8 +152,15 @@ mod tests {
     }
 
     #[test]
-    fn parking_lot_exclusion_stress() {
-        rw_exclusion_stress(ParkingLotRwLock::new(8), 2, 4, 200);
+    fn std_try_tier() {
+        let lock = StdRwLock::new(2);
+        let w = lock.try_write_lock(pid(0)).expect("uncontended");
+        assert!(lock.try_read_lock(pid(1)).is_none(), "writer held");
+        assert!(lock.try_write_lock(pid(1)).is_none(), "writer held");
+        lock.write_unlock(pid(0), w);
+        let r = lock.try_read_lock(pid(0)).expect("free again");
+        assert!(lock.try_write_lock(pid(1)).is_none(), "reader held");
+        lock.read_unlock(pid(0), r);
     }
 
     #[test]

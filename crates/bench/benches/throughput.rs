@@ -1,75 +1,57 @@
 //! E11 — wall-clock throughput of the real lock implementations under
-//! mixed read/write workloads, versus the baselines and production locks.
+//! mixed read/write workloads, versus the baselines and the `std` lock.
 //!
 //! Absolute numbers are machine-dependent (and this CI host has one core);
 //! the comparison of *shapes* across read ratios is what EXPERIMENTS.md
 //! records.
+//!
+//! Runs as a plain `harness = false` benchmark binary (the workspace
+//! carries no external bench dependency): each configuration is timed over
+//! a fixed number of whole-workload repetitions after one warm-up run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rmr_baselines::{
-    CentralizedRwLock, DistributedFlagRwLock, ParkingLotRwLock, StdRwLock, TicketRwLock,
-    TournamentRwLock,
+    CentralizedRwLock, DistributedFlagRwLock, StdRwLock, TicketRwLock, TournamentRwLock,
 };
 use rmr_bench::workloads::{run_mixed, Workload};
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
 use rmr_core::raw::RawRwLock;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
 
 const THREADS: usize = 4;
 const OPS: usize = 300;
+const REPS: u32 = 5;
 
-fn bench_lock<L: RawRwLock + 'static>(
-    c: &mut Criterion,
-    group: &str,
-    name: &str,
-    make: impl Fn() -> L,
-) {
-    let mut g = c.benchmark_group(group);
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(900));
+fn bench_lock<L: RawRwLock + 'static>(name: &str, make: impl Fn() -> L) {
     for read_pct in [50u32, 90, 99] {
-        g.bench_with_input(BenchmarkId::new(name, read_pct), &read_pct, |b, &pct| {
-            b.iter(|| {
-                let lock = Arc::new(make());
-                run_mixed(
-                    lock,
-                    Workload {
-                        threads: THREADS,
-                        read_ratio: f64::from(pct) / 100.0,
-                        ops_per_thread: OPS,
-                    },
-                    0xBEEF,
-                )
-            });
-        });
+        let workload = Workload {
+            threads: THREADS,
+            read_ratio: f64::from(read_pct) / 100.0,
+            ops_per_thread: OPS,
+        };
+        // Warm-up (also validates the lock: run_mixed panics on lost updates).
+        run_mixed(Arc::new(make()), workload, 0xBEEF);
+        let t0 = Instant::now();
+        let mut ops = 0u64;
+        for _ in 0..REPS {
+            ops += run_mixed(Arc::new(make()), workload, 0xBEEF).ops;
+        }
+        let elapsed = t0.elapsed();
+        println!(
+            "mixed_throughput/{name}/read{read_pct}: {:>12.0} ops/s  ({ops} ops in {elapsed:?})",
+            ops as f64 / elapsed.as_secs_f64(),
+        );
     }
-    g.finish();
 }
 
-fn paper_locks(c: &mut Criterion) {
-    bench_lock(c, "mixed_throughput", "fig3-starvation-free", || {
-        MwmrStarvationFree::new(THREADS)
-    });
-    bench_lock(c, "mixed_throughput", "fig3-reader-priority", || {
-        MwmrReaderPriority::new(THREADS)
-    });
-    bench_lock(c, "mixed_throughput", "fig4-writer-priority", || {
-        MwmrWriterPriority::new(THREADS)
-    });
+fn main() {
+    println!("# E11 — mixed-workload throughput ({THREADS} threads x {OPS} ops, {REPS} reps)\n");
+    bench_lock("fig3-starvation-free", || MwmrStarvationFree::new(THREADS));
+    bench_lock("fig3-reader-priority", || MwmrReaderPriority::new(THREADS));
+    bench_lock("fig4-writer-priority", || MwmrWriterPriority::new(THREADS));
+    bench_lock("centralized-1971", || CentralizedRwLock::new(THREADS));
+    bench_lock("ticket-rw", || TicketRwLock::new(THREADS));
+    bench_lock("distributed-flag", || DistributedFlagRwLock::new(THREADS));
+    bench_lock("tournament-tree", || TournamentRwLock::new(THREADS));
+    bench_lock("std-rwlock", || StdRwLock::new(THREADS));
 }
-
-fn baseline_locks(c: &mut Criterion) {
-    bench_lock(c, "mixed_throughput", "centralized-1971", || CentralizedRwLock::new(THREADS));
-    bench_lock(c, "mixed_throughput", "ticket-rw", || TicketRwLock::new(THREADS));
-    bench_lock(c, "mixed_throughput", "distributed-flag", || {
-        DistributedFlagRwLock::new(THREADS)
-    });
-    bench_lock(c, "mixed_throughput", "tournament-tree", || TournamentRwLock::new(THREADS));
-    bench_lock(c, "mixed_throughput", "std-rwlock", || StdRwLock::new(THREADS));
-    bench_lock(c, "mixed_throughput", "parking-lot", || ParkingLotRwLock::new(THREADS));
-}
-
-criterion_group!(benches, paper_locks, baseline_locks);
-criterion_main!(benches);

@@ -1,88 +1,77 @@
 //! E11 (latency slice) — uncontended single-thread acquire/release cost of
 //! every lock. This isolates the per-operation constant the RMR bound is
 //! about, with no contention noise.
+//!
+//! Plain `harness = false` benchmark binary: per-op time is measured over a
+//! large fixed iteration count after a warm-up batch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rmr_baselines::{
-    CentralizedRwLock, DistributedFlagRwLock, ParkingLotRwLock, StdRwLock, TicketRwLock,
-    TournamentRwLock,
+    CentralizedRwLock, DistributedFlagRwLock, StdRwLock, TicketRwLock, TournamentRwLock,
 };
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
 use rmr_core::raw::RawRwLock;
 use rmr_core::registry::Pid;
 use rmr_core::swmr::{SwmrReaderPriority, SwmrWriterPriority};
-use std::time::Duration;
+use std::time::Instant;
 
-fn bench_pair<L: RawRwLock>(c: &mut Criterion, name: &str, lock: &L) {
-    let pid = Pid::from_index(0);
-    let mut g = c.benchmark_group("uncontended");
-    g.sample_size(30)
-        .warm_up_time(Duration::from_millis(150))
-        .measurement_time(Duration::from_millis(600));
-    g.bench_function(format!("{name}/read"), |b| {
-        b.iter(|| {
-            let t = lock.read_lock(pid);
-            lock.read_unlock(pid, t);
-        });
-    });
-    g.bench_function(format!("{name}/write"), |b| {
-        b.iter(|| {
-            let t = lock.write_lock(pid);
-            lock.write_unlock(pid, t);
-        });
-    });
-    g.finish();
+const WARMUP: u32 = 2_000;
+const ITERS: u32 = 50_000;
+
+fn time_op(name: &str, mut op: impl FnMut()) {
+    for _ in 0..WARMUP {
+        op();
+    }
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        op();
+    }
+    let per_op = t0.elapsed() / ITERS;
+    println!("uncontended/{name}: {per_op:?}/op");
 }
 
-fn paper_locks(c: &mut Criterion) {
-    bench_pair(c, "fig3-starvation-free", &MwmrStarvationFree::new(4));
-    bench_pair(c, "fig3-reader-priority", &MwmrReaderPriority::new(4));
-    bench_pair(c, "fig4-writer-priority", &MwmrWriterPriority::new(4));
-
-    // The SWMR building blocks, via their own APIs.
-    let mut g = c.benchmark_group("uncontended");
-    g.sample_size(30)
-        .warm_up_time(Duration::from_millis(150))
-        .measurement_time(Duration::from_millis(600));
-    let f1 = SwmrWriterPriority::new();
-    g.bench_function("fig1-swmr/read", |b| {
-        b.iter(|| {
-            let t = f1.read_lock();
-            f1.read_unlock(t);
-        });
+fn bench_pair<L: RawRwLock>(name: &str, lock: &L) {
+    let pid = Pid::from_index(0);
+    time_op(&format!("{name}/read"), || {
+        let t = lock.read_lock(pid);
+        lock.read_unlock(pid, t);
     });
-    g.bench_function("fig1-swmr/write", |b| {
-        b.iter(|| {
-            let t = f1.write_lock();
-            f1.write_unlock(t);
-        });
+    time_op(&format!("{name}/write"), || {
+        let t = lock.write_lock(pid);
+        lock.write_unlock(pid, t);
+    });
+}
+
+fn main() {
+    println!("# E11 (latency slice) — uncontended acquire/release ({ITERS} iters)\n");
+    bench_pair("fig3-starvation-free", &MwmrStarvationFree::new(4));
+    bench_pair("fig3-reader-priority", &MwmrReaderPriority::new(4));
+    bench_pair("fig4-writer-priority", &MwmrWriterPriority::new(4));
+
+    // The SWMR building blocks, via their own pid-free APIs.
+    let f1 = SwmrWriterPriority::new();
+    time_op("fig1-swmr/read", || {
+        let t = f1.read_lock();
+        f1.read_unlock(t);
+    });
+    time_op("fig1-swmr/write", || {
+        let t = f1.write_lock();
+        f1.write_unlock(t);
     });
     let f2 = SwmrReaderPriority::new();
     let pid = Pid::from_index(0);
-    g.bench_function("fig2-swmr/read", |b| {
-        b.iter(|| {
-            let t = f2.read_lock(pid);
-            f2.read_unlock(pid, t);
-        });
+    time_op("fig2-swmr/read", || {
+        let t = f2.read_lock(pid);
+        f2.read_unlock(pid, t);
     });
-    g.bench_function("fig2-swmr/write", |b| {
-        b.iter(|| {
-            let t = f2.write_lock(pid);
-            f2.write_unlock(pid, t);
-        });
+    time_op("fig2-swmr/write", || {
+        let t = f2.write_lock(pid);
+        f2.write_unlock(pid, t);
     });
-    g.finish();
-}
 
-fn baseline_locks(c: &mut Criterion) {
-    bench_pair(c, "centralized-1971", &CentralizedRwLock::new(4));
-    bench_pair(c, "ticket-rw", &TicketRwLock::new(4));
-    bench_pair(c, "distributed-flag", &DistributedFlagRwLock::new(4));
-    bench_pair(c, "tournament-tree-n4", &TournamentRwLock::new(4));
-    bench_pair(c, "tournament-tree-n64", &TournamentRwLock::new(64));
-    bench_pair(c, "std-rwlock", &StdRwLock::new(4));
-    bench_pair(c, "parking-lot", &ParkingLotRwLock::new(4));
+    bench_pair("centralized-1971", &CentralizedRwLock::new(4));
+    bench_pair("ticket-rw", &TicketRwLock::new(4));
+    bench_pair("distributed-flag", &DistributedFlagRwLock::new(4));
+    bench_pair("tournament-tree-n4", &TournamentRwLock::new(4));
+    bench_pair("tournament-tree-n64", &TournamentRwLock::new(64));
+    bench_pair("std-rwlock", &StdRwLock::new(4));
 }
-
-criterion_group!(benches, paper_locks, baseline_locks);
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! cargo run --release -p rmr-bench --bin dsm_table [--json]
 //! ```
 
-use rmr_bench::tables::{markdown_table, rmr_row, Model, RmrRow, SimAlgo};
+use rmr_bench::tables::{json_table, markdown_table, rmr_row, Model, RmrRow, SimAlgo};
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
@@ -22,7 +22,7 @@ fn main() {
     }
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize rows"));
+        println!("{}", json_table(&rows));
         return;
     }
 

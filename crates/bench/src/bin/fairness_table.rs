@@ -49,7 +49,7 @@ fn measure<A: Algorithm>(name: &'static str, make: impl Fn() -> A) -> Row {
         let alg = make();
         // Unbounded attempts: the step budget is the resource being shared.
         let mut r = Runner::new(alg, FreeModel, u32::MAX);
-        let mut sched = RandomSched::new(0xFA1&u64::MAX ^ seed);
+        let mut sched = RandomSched::new(0xFA1 ^ seed);
         r.run(&mut sched, STEPS);
         assert!(r.violations().is_empty(), "{name}: {:?}", r.violations());
         for a in r.finished_attempts() {

@@ -8,7 +8,7 @@
 //! cargo run --release -p rmr-bench --bin rmr_table [--json]
 //! ```
 
-use rmr_bench::tables::{markdown_table, rmr_row, Model, RmrRow, SimAlgo};
+use rmr_bench::tables::{json_table, markdown_table, rmr_row, Model, RmrRow, SimAlgo};
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
@@ -31,7 +31,7 @@ fn main() {
     }
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize rows"));
+        println!("{}", json_table(&rows));
         return;
     }
 
@@ -44,14 +44,10 @@ fn main() {
     println!("| algorithm | n=1 readers | n=48 readers | shape |");
     println!("|---|---|---|---|");
     for algo in SimAlgo::PAPER.iter().chain(SimAlgo::BASELINES.iter()) {
-        let small = rows
-            .iter()
-            .find(|r| r.algo == algo.name() && r.readers == 1)
-            .expect("row exists");
-        let large = rows
-            .iter()
-            .find(|r| r.algo == algo.name() && r.readers == 48)
-            .expect("row exists");
+        let small =
+            rows.iter().find(|r| r.algo == algo.name() && r.readers == 1).expect("row exists");
+        let large =
+            rows.iter().find(|r| r.algo == algo.name() && r.readers == 48).expect("row exists");
         let shape = if large.max_rmr <= small.max_rmr.saturating_mul(2).max(small.max_rmr + 4) {
             "O(1) — flat"
         } else if large.max_rmr <= small.max_rmr.saturating_mul(8) {
@@ -59,12 +55,6 @@ fn main() {
         } else {
             "grows ~n"
         };
-        println!(
-            "| {} | {} | {} | {} |",
-            algo.name(),
-            small.max_rmr,
-            large.max_rmr,
-            shape
-        );
+        println!("| {} | {} | {} | {} |", algo.name(), small.max_rmr, large.max_rmr, shape);
     }
 }

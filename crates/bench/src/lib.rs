@@ -1,4 +1,4 @@
-//! Shared measurement harness for the experiment binaries and criterion
+//! Shared measurement harness for the experiment binaries and wall-clock
 //! benches. See EXPERIMENTS.md at the workspace root for the experiment
 //! index (E1–E11) and the recorded results.
 

@@ -4,7 +4,6 @@ use rmr_sim::algos::{Centralized, Fig1, Fig2, Fig3Rp, Fig3Sf, Fig4, TicketRw, To
 use rmr_sim::cost::{CcModel, CostModel, DsmModel};
 use rmr_sim::machine::Algorithm;
 use rmr_sim::runner::{RandomSched, Runner};
-use serde::Serialize;
 
 /// The algorithms the RMR sweeps cover.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +65,7 @@ pub enum Model {
 }
 
 /// One row of an RMR table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RmrRow {
     /// Algorithm name.
     pub algo: String,
@@ -143,8 +142,12 @@ pub fn rmr_row(
     let (max_rmr, mean_rmr, max_reader_rmr, max_writer_rmr, attempts) = match algo {
         SimAlgo::Fig1 => measure(|| Fig1::new(readers), model, attempts_per_proc, seeds),
         SimAlgo::Fig2 => measure(|| Fig2::new(readers), model, attempts_per_proc, seeds),
-        SimAlgo::Fig3Sf => measure(|| Fig3Sf::new(writers, readers), model, attempts_per_proc, seeds),
-        SimAlgo::Fig3Rp => measure(|| Fig3Rp::new(writers, readers), model, attempts_per_proc, seeds),
+        SimAlgo::Fig3Sf => {
+            measure(|| Fig3Sf::new(writers, readers), model, attempts_per_proc, seeds)
+        }
+        SimAlgo::Fig3Rp => {
+            measure(|| Fig3Rp::new(writers, readers), model, attempts_per_proc, seeds)
+        }
         SimAlgo::Fig4 => measure(|| Fig4::new(writers, readers), model, attempts_per_proc, seeds),
         SimAlgo::Centralized => {
             measure(|| Centralized::new(writers, readers), model, attempts_per_proc, seeds)
@@ -181,10 +184,42 @@ pub fn markdown_table(rows: &[RmrRow]) -> String {
     for r in rows {
         out.push_str(&format!(
             "| {} | {} | {} | {} | {} | {:.2} | {} | {} |\n",
-            r.algo, r.model, r.writers, r.readers, r.max_rmr, r.mean_rmr, r.max_reader_rmr,
+            r.algo,
+            r.model,
+            r.writers,
+            r.readers,
+            r.max_rmr,
+            r.mean_rmr,
+            r.max_reader_rmr,
             r.max_writer_rmr
         ));
     }
+    out
+}
+
+/// Renders rows as a JSON array (hand-rolled: the workspace carries no
+/// serialization dependency, and every field is a number or a short
+/// escape-free string).
+pub fn json_table(rows: &[RmrRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"algo\": \"{}\", \"model\": \"{}\", \"writers\": {}, \"readers\": {}, \
+             \"max_rmr\": {}, \"mean_rmr\": {:.4}, \"max_reader_rmr\": {}, \
+             \"max_writer_rmr\": {}, \"attempts\": {}}}{}\n",
+            r.algo,
+            r.model,
+            r.writers,
+            r.readers,
+            r.max_rmr,
+            r.mean_rmr,
+            r.max_reader_rmr,
+            r.max_writer_rmr,
+            r.attempts,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
     out
 }
 

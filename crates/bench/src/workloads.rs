@@ -1,10 +1,9 @@
-//! Real-thread workload drivers for the criterion benches and the
+//! Real-thread workload drivers for the throughput benches and the
 //! priority-behavior experiment (E9, E11).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rmr_core::raw::RawRwLock;
 use rmr_core::registry::Pid;
+use rmr_sim::rng::SplitMix64;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,7 +39,11 @@ impl WorkloadResult {
 /// per operation to choose read vs. write. Panics if the protected
 /// counter's final value disagrees with the number of writes (a lost
 /// update — i.e. an exclusion bug).
-pub fn run_mixed<L: RawRwLock + 'static>(lock: Arc<L>, workload: Workload, seed: u64) -> WorkloadResult {
+pub fn run_mixed<L: RawRwLock + 'static>(
+    lock: Arc<L>,
+    workload: Workload,
+    seed: u64,
+) -> WorkloadResult {
     assert!(workload.threads <= lock.max_processes());
     let counter = Arc::new(AtomicU64::new(0));
     let writes_done = Arc::new(AtomicU64::new(0));
@@ -52,7 +55,7 @@ pub fn run_mixed<L: RawRwLock + 'static>(lock: Arc<L>, workload: Workload, seed:
         let writes_done = Arc::clone(&writes_done);
         handles.push(std::thread::spawn(move || {
             let pid = Pid::from_index(t);
-            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64) << 32);
+            let mut rng = SplitMix64::new(seed ^ (t as u64) << 32);
             let mut local_writes = 0u64;
             for _ in 0..workload.ops_per_thread {
                 if rng.gen_bool(workload.read_ratio) {
@@ -137,11 +140,8 @@ mod tests {
     #[test]
     fn mixed_workload_loses_no_updates() {
         let lock = Arc::new(MwmrStarvationFree::new(4));
-        let res = run_mixed(
-            lock,
-            Workload { threads: 4, read_ratio: 0.7, ops_per_thread: 200 },
-            42,
-        );
+        let res =
+            run_mixed(lock, Workload { threads: 4, read_ratio: 0.7, ops_per_thread: 200 }, 42);
         assert_eq!(res.ops, 800);
         assert!(res.ops_per_sec() > 0.0);
     }

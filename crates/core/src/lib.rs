@@ -16,17 +16,28 @@
 //! | [`mwmr::MwmrReaderPriority`] | Figure 3 ∘ Figure 2, Theorem 4 | multi writer, reader priority |
 //! | [`mwmr::MwmrWriterPriority`] | Figure 4, Theorem 5 | multi writer, writer priority |
 //!
-//! The multi-writer locks implement [`raw::RawRwLock`] and plug into the
-//! RAII front end [`rwlock::RwLock`]:
+//! Every lock implements [`raw::RawRwLock`] and plugs into the unified
+//! RAII front end [`rwlock::RwLock`], which works like `std::sync::RwLock`
+//! — no registration ceremony; pids are leased per thread behind the
+//! scenes:
 //!
 //! ```
 //! use rmr_core::RwLock;
 //!
 //! let lock = RwLock::writer_priority(vec![0u8; 4], 16);
-//! let mut handle = lock.register()?;
-//! handle.write().push(9);
-//! assert_eq!(handle.read().len(), 5);
-//! # Ok::<(), rmr_core::registry::RegistryFull>(())
+//! lock.write().push(9);
+//! assert_eq!(lock.read().len(), 5);
+//! ```
+//!
+//! Where the algorithm admits a bounded attempt, the non-blocking tier is
+//! available too ([`raw::RawTryReadLock`] / [`raw::RawTryRwLock`]):
+//!
+//! ```
+//! use rmr_core::RwLock;
+//!
+//! let lock = RwLock::starvation_free(0u32, 4);
+//! let g = lock.try_read().expect("no writer active");
+//! assert_eq!(*g, 0);
 //! ```
 //!
 //! # Verification
@@ -54,7 +65,7 @@ mod side;
 pub mod swmr;
 pub mod swmr_rwlock;
 
-pub use raw::RawRwLock;
+pub use raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 pub use registry::{Pid, PidRegistry, RegistryFull};
 pub use rwlock::{
     LockHandle, ReadGuard, ReaderPriorityRwLock, RwLock, StarvationFreeRwLock, WriteGuard,

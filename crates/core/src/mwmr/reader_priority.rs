@@ -9,7 +9,7 @@
 //! outranks every active writer (in the `>rp` relation) finds the inner
 //! lock's `X ≠ true` or an open gate exactly as in the single-writer proof.
 
-use crate::raw::RawRwLock;
+use crate::raw::{RawMultiWriter, RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::swmr::reader_priority::{ReadSession, SwmrReaderPriority, WriteSession};
 use rmr_mutex::{AndersonLock, RawMutex};
@@ -110,6 +110,32 @@ impl<M: RawMutex> RawRwLock for MwmrReaderPriority<M> {
         self.max_processes
     }
 }
+
+/// Readers run Figure 2's protocol unchanged, so its bounded read attempt
+/// carries over verbatim. No `RawTryRwLock`: the writer path blocks on `M`
+/// and on the inner Figure 2 promotion wait.
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::mwmr::MwmrReaderPriority;
+/// use rmr_core::raw::{RawRwLock, RawTryReadLock};
+/// use rmr_core::registry::Pid;
+///
+/// let lock = MwmrReaderPriority::new(4);
+/// let r = lock.try_read_lock(Pid::from_index(0)).expect("no writer");
+/// lock.read_unlock(Pid::from_index(0), r);
+/// ```
+impl<M: RawMutex> RawTryReadLock for MwmrReaderPriority<M> {
+    fn try_read_lock(&self, pid: Pid) -> Option<ReadSession> {
+        self.swmr.try_read_lock(pid)
+    }
+}
+
+// SAFETY: writers serialize through the mutex `M` before entering the
+// Figure 2 writer protocol, so any number of concurrent write_lock callers
+// are mutually excluded (Theorem 4).
+unsafe impl<M: RawMutex> RawMultiWriter for MwmrReaderPriority<M> {}
 
 impl<M: RawMutex> fmt::Debug for MwmrReaderPriority<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

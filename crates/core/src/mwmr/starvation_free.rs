@@ -19,7 +19,7 @@
 //! starvation free in both roles, every property of Theorem 1 lifts to the
 //! multi-writer setting: P1–P7 with O(1) RMR complexity (Theorem 3).
 
-use crate::raw::RawRwLock;
+use crate::raw::{RawMultiWriter, RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::swmr::writer_priority::{ReadSession, SwmrWriterPriority, WriteSession};
 use rmr_mutex::{AndersonLock, RawMutex};
@@ -129,6 +129,34 @@ impl<M: RawMutex> RawRwLock for MwmrStarvationFree<M> {
         self.max_processes
     }
 }
+
+/// Readers run Figure 1's protocol unchanged, so its bounded read attempt
+/// carries over verbatim. No `RawTryRwLock`: the writer path blocks on `M`
+/// and on the inner irrevocable Figure 1 doorway.
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::mwmr::MwmrStarvationFree;
+/// use rmr_core::raw::{RawRwLock, RawTryReadLock};
+/// use rmr_core::registry::Pid;
+///
+/// let lock = MwmrStarvationFree::new(4);
+/// let w = lock.write_lock(Pid::from_index(0));
+/// assert!(lock.try_read_lock(Pid::from_index(1)).is_none());
+/// lock.write_unlock(Pid::from_index(0), w);
+/// assert!(lock.try_read_lock(Pid::from_index(1)).is_some());
+/// ```
+impl<M: RawMutex> RawTryReadLock for MwmrStarvationFree<M> {
+    fn try_read_lock(&self, _pid: Pid) -> Option<ReadSession> {
+        self.swmr.try_read_lock()
+    }
+}
+
+// SAFETY: writers serialize through the mutex `M` before entering the
+// Figure 1 writer protocol, so any number of concurrent write_lock callers
+// are mutually excluded (Theorem 3).
+unsafe impl<M: RawMutex> RawMultiWriter for MwmrStarvationFree<M> {}
 
 impl<M: RawMutex> fmt::Debug for MwmrStarvationFree<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

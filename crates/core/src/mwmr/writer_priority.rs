@@ -26,11 +26,11 @@
 //! Every numbered line of the paper's Figure 4 appears below with its line
 //! number; readers run Figure 1's `Read-lock()` unchanged.
 
-use crate::raw::RawRwLock;
+use crate::raw::{RawMultiWriter, RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::side::Side;
 use crate::swmr::writer_priority::{ReadSession, SwmrWriterPriority, WriteSession, WriterAttempt};
-use crossbeam_utils::CachePadded;
+use rmr_mutex::CachePadded;
 use rmr_mutex::{spin_until, AndersonLock, RawMutex};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -214,9 +214,7 @@ impl<M: RawMutex> RawRwLock for MwmrWriterPriority<M> {
             // won its line-19 CAS but not yet executed line 20.
             spin_until(|| self.swmr.gate_is_open(prev_d));
             // line 13: SW-waiting-room() — Fig. 1 lines 4–12.
-            let session = self
-                .swmr
-                .writer_waiting_room(WriterAttempt::from_current_side(curr_d));
+            let session = self.swmr.writer_waiting_room(WriterAttempt::from_current_side(curr_d));
             // The session token is intentionally discarded: in Figure 4 the
             // SWWP session outlives this writer (successors may inherit it),
             // so the closer reconstructs it in `write_unlock` instead.
@@ -252,6 +250,34 @@ impl<M: RawMutex> RawRwLock for MwmrWriterPriority<M> {
         self.max_processes
     }
 }
+
+/// Readers run Figure 1's protocol unchanged ("the Read-lock() procedure
+/// is same as in Figure 3"), so its bounded read attempt carries over.
+/// No `RawTryRwLock`: the Figure 4 writer path publishes `D` (line 8)
+/// before acquiring `M` and cannot be revoked.
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::mwmr::MwmrWriterPriority;
+/// use rmr_core::raw::{RawRwLock, RawTryReadLock};
+/// use rmr_core::registry::Pid;
+///
+/// let lock = MwmrWriterPriority::new(4);
+/// let w = lock.write_lock(Pid::from_index(0));
+/// assert!(lock.try_read_lock(Pid::from_index(1)).is_none());
+/// lock.write_unlock(Pid::from_index(0), w);
+/// ```
+impl<M: RawMutex> RawTryReadLock for MwmrWriterPriority<M> {
+    fn try_read_lock(&self, _pid: Pid) -> Option<ReadSession> {
+        self.swmr.try_read_lock()
+    }
+}
+
+// SAFETY: writers hold the mutex `M` for the whole critical section
+// (Figure 4 releases it only in the exit protocol), so any number of
+// concurrent write_lock callers are mutually excluded (Theorem 5).
+unsafe impl<M: RawMutex> RawMultiWriter for MwmrWriterPriority<M> {}
 
 impl<M: RawMutex> fmt::Debug for MwmrWriterPriority<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -1,13 +1,33 @@
-//! The raw multi-writer multi-reader lock interface.
+//! The raw reader-writer lock interface, plus the optional non-blocking
+//! capability tier.
+//!
+//! Three traits form the surface every lock in the workspace implements:
+//!
+//! * [`RawRwLock`] — blocking acquire/release with explicit pids; mandatory.
+//! * [`RawTryReadLock`] — adds a bounded (non-blocking) read attempt. All
+//!   five of the paper's locks implement this: their reader try sections are
+//!   *abortable* (a registered reader can retire through the ordinary exit
+//!   section without ever entering the critical section).
+//! * [`RawTryRwLock`] — adds a bounded write attempt on top. Only locks
+//!   whose write path can be revoked implement this (the baselines); the
+//!   paper's writer doorway irrevocably toggles the shared side variable
+//!   `D`, so the core locks deliberately do **not** claim this capability.
+//!
+//! The typed front end ([`RwLock`](crate::rwlock::RwLock)) surfaces
+//! `try_read` only where `L: RawTryReadLock` and `try_write` only where
+//! `L: RawTryRwLock`, so "does this policy support try?" is a compile-time
+//! question.
 
 use crate::registry::Pid;
 
 /// A raw reader-writer lock usable by any number of readers and writers.
 ///
 /// This is the common interface over the paper's three multi-writer
-/// algorithms (Theorems 3–5) and over the baselines in `rmr-baselines`;
-/// the typed [`RwLock`](crate::rwlock::RwLock) front end, the examples and
-/// the benchmark harness are all generic over it.
+/// algorithms (Theorems 3–5), the two single-writer algorithms (whose
+/// writer role must additionally be confined to one process at a time — see
+/// [`crate::swmr_rwlock`] for the typed enforcement), and the baselines in
+/// `rmr-baselines`; the typed [`RwLock`](crate::rwlock::RwLock) front end,
+/// the examples and the benchmark harness are all generic over it.
 ///
 /// # Contract
 ///
@@ -16,6 +36,9 @@ use crate::registry::Pid;
 /// * A process performs one attempt at a time: `read_lock` must be matched
 ///   by `read_unlock` with the returned token before the same pid starts
 ///   another attempt, and likewise for writes.
+/// * Tokens must be returned to the lock they came from, from any thread
+///   that currently *is* that pid (the typed layer pins a guard — and hence
+///   the pid — to one thread for exactly this reason).
 ///
 /// # Example
 ///
@@ -50,5 +73,92 @@ pub trait RawRwLock: Send + Sync {
     fn write_unlock(&self, pid: Pid, token: Self::WriteToken);
 
     /// Number of pids supported (the `n` of the theorems).
+    ///
+    /// Locks with no per-process state may return `usize::MAX` to mean
+    /// "unbounded"; the typed front end then requires an explicit capacity
+    /// (see [`RwLock::with_raw_and_capacity`](crate::rwlock::RwLock::with_raw_and_capacity)).
     fn max_processes(&self) -> usize;
+}
+
+/// Capability marker: **any number of processes may concurrently exercise
+/// the writer role.**
+///
+/// The typed front end's leased/handle write paths
+/// ([`RwLock::write`](crate::rwlock::RwLock::write),
+/// [`RwLock::try_write`](crate::rwlock::RwLock::try_write),
+/// `LockHandle::write`) require this bound: they hand out `&mut T` on the
+/// strength of the raw lock's writer exclusion, and the single-writer
+/// algorithms (Figures 1–2) only exclude a writer from *readers*, not from
+/// a second concurrent writer. Those types therefore do **not** implement
+/// this trait — their unique writer endpoint is
+/// [`SwmrWriter`](crate::swmr_rwlock::SwmrWriter), which enforces the
+/// single writer statically — and `RwLock<_, SwmrWriterPriority>::write()`
+/// is a compile error rather than undefined behavior.
+///
+/// # Safety
+///
+/// Implementors must guarantee mutual exclusion among arbitrarily many
+/// concurrent `write_lock` callers (distinct pids), not merely between the
+/// writer role and readers. The typed layer's `unsafe impl Sync` relies on
+/// it.
+pub unsafe trait RawMultiWriter: RawRwLock {}
+
+/// Capability marker: the lock supports a **bounded read attempt**.
+///
+/// `try_read_lock` performs the reader doorway, tests the entry condition
+/// a bounded number of times, and on failure retires through the ordinary
+/// reader exit section — it never waits on another process. For the
+/// paper's locks this is sound because an aborting reader is
+/// indistinguishable (to every counter and permit) from a reader whose
+/// read session was empty.
+///
+/// # Example
+///
+/// ```
+/// use rmr_core::mwmr::MwmrStarvationFree;
+/// use rmr_core::raw::{RawRwLock, RawTryReadLock};
+/// use rmr_core::registry::Pid;
+///
+/// let lock = MwmrStarvationFree::new(4);
+/// let me = Pid::from_index(0);
+/// let t = lock.try_read_lock(me).expect("uncontended try_read succeeds");
+/// lock.read_unlock(me, t);
+/// ```
+pub trait RawTryReadLock: RawRwLock {
+    /// Attempts to acquire the lock for reading without blocking.
+    ///
+    /// Returns `None` if the lock could not be acquired in a bounded number
+    /// of steps (a writer holds or is entering the critical section). The
+    /// attempt may fail spuriously under contention; it never blocks.
+    fn try_read_lock(&self, pid: Pid) -> Option<Self::ReadToken>;
+}
+
+/// Capability marker: the lock additionally supports a **bounded write
+/// attempt** — the full non-blocking tier.
+///
+/// The paper's core locks do not implement this: their writer doorway
+/// (Fig. 1 line 3 / Fig. 2 line 2 / Fig. 4 line 8) irrevocably publishes
+/// the new side in `D`, and aborting after it would strand readers parked
+/// on the still-closed gate. The baselines, whose write paths are built
+/// from mutexes and counters, revoke cleanly.
+///
+/// # Example
+///
+/// ```
+/// use rmr_baselines::StdRwLock;
+/// use rmr_core::raw::{RawRwLock, RawTryRwLock};
+/// use rmr_core::registry::Pid;
+///
+/// let lock = StdRwLock::new(4);
+/// let me = Pid::from_index(0);
+/// let t = lock.try_write_lock(me).expect("uncontended try_write succeeds");
+/// lock.write_unlock(me, t);
+/// ```
+pub trait RawTryRwLock: RawTryReadLock {
+    /// Attempts to acquire the lock for writing without blocking.
+    ///
+    /// Returns `None` if the lock could not be acquired in a bounded number
+    /// of steps. The attempt may fail spuriously under contention; it never
+    /// blocks.
+    fn try_write_lock(&self, pid: Pid) -> Option<Self::WriteToken>;
 }

@@ -90,9 +90,7 @@ impl PidRegistry {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "registry capacity must be positive");
         assert!(u32::try_from(capacity).is_ok(), "registry capacity too large");
-        Self {
-            in_use: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
-        }
+        Self { in_use: (0..capacity).map(|_| AtomicBool::new(false)).collect() }
     }
 
     /// Number of pids this registry manages.
@@ -112,10 +110,7 @@ impl PidRegistry {
     /// Returns [`RegistryFull`] if every pid is in use.
     pub fn allocate(&self) -> Result<Pid, RegistryFull> {
         for (i, slot) in self.in_use.iter().enumerate() {
-            if slot
-                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
+            if slot.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
                 return Ok(Pid(i as u32));
             }
         }
@@ -195,5 +190,57 @@ mod tests {
     fn display_formats() {
         assert_eq!(Pid::from_index(7).to_string(), "p7");
         assert_eq!(format!("{:?}", Pid::from_index(7)), "p7");
+    }
+
+    #[test]
+    fn concurrent_register_drop_cycles_reuse_without_duplication() {
+        // Thread-local leasing churns allocate/release far harder than the
+        // old register()-once pattern: every short-lived thread allocates
+        // and returns a pid. 8 threads cycle through a 4-slot registry;
+        // at no instant may two live holders share a pid.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let reg = Arc::new(PidRegistry::new(4));
+        let holders: Arc<[AtomicU32; 4]> = Arc::new(Default::default());
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            let holders = Arc::clone(&holders);
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    if let Ok(pid) = reg.allocate() {
+                        let prev = holders[pid.index()].fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(prev, 0, "pid {pid} double-issued");
+                        holders[pid.index()].fetch_sub(1, Ordering::SeqCst);
+                        reg.release(pid);
+                    }
+                    // RegistryFull under contention is legal: 8 threads, 4
+                    // slots. The next loop iteration retries.
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.allocated(), 0, "every cycle returned its pid");
+    }
+
+    #[test]
+    fn exhaustion_is_exact_under_concurrency() {
+        // 16 threads race for 8 slots; exactly 8 must win, the rest must
+        // see RegistryFull (no spurious success past capacity).
+        let reg = Arc::new(PidRegistry::new(8));
+        let mut threads = Vec::new();
+        for _ in 0..16 {
+            let reg = Arc::clone(&reg);
+            threads.push(std::thread::spawn(move || reg.allocate().ok()));
+        }
+        let wins: Vec<_> = threads.into_iter().filter_map(|t| t.join().unwrap()).collect();
+        assert_eq!(wins.len(), 8);
+        assert_eq!(reg.allocated(), 8);
+        assert!(reg.allocate().is_err());
+        let mut ids: Vec<_> = wins.iter().map(|p| p.index()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "duplicate pid among winners");
     }
 }

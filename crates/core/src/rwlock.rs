@@ -1,17 +1,101 @@
-//! Typed, RAII-guarded front end over the raw locks.
+//! The unified typed, RAII-guarded front end over the raw locks.
 //!
-//! [`RwLock`] owns the protected value and a [`PidRegistry`]; each
-//! participating thread calls [`RwLock::register`] once to obtain a
-//! [`LockHandle`] (its pid), then takes [`ReadGuard`]s and [`WriteGuard`]s
-//! through the handle. Guards borrow the handle mutably, which enforces the
-//! paper's "one attempt at a time per process" discipline at compile time.
+//! One guard machinery serves every lock in the workspace — the paper's
+//! three multi-writer policies, the two single-writer algorithms (through
+//! [`crate::swmr_rwlock`], which is a thin wrapper over this module), and
+//! the baselines in `rmr-baselines`.
+//!
+//! Two ways to use a [`RwLock`]:
+//!
+//! * **Leased pids (ergonomic default).** Call [`RwLock::read`] /
+//!   [`RwLock::write`] directly, like `std::sync::RwLock`. The first
+//!   acquisition on a thread leases a [`Pid`] from the lock's
+//!   [`PidRegistry`]; the lease is cached in thread-local storage, reused
+//!   by every later acquisition on that thread, and returned automatically
+//!   when the thread exits.
+//! * **Pinned pids (explicit control).** Call [`RwLock::register`] once
+//!   per participant to obtain a [`LockHandle`] that owns its pid until
+//!   dropped. Guard-taking methods borrow the handle mutably, which
+//!   enforces the paper's "one attempt at a time per process" discipline
+//!   at compile time. Use this when pid identity matters (e.g. pinning
+//!   pids to cores) or when registration failure must be handled as a
+//!   `Result` rather than a panic.
+//!
+//! Where the raw lock supports the non-blocking tier
+//! ([`RawTryReadLock`] / [`RawTryRwLock`]), the front end additionally
+//! exposes [`RwLock::try_read`] / [`RwLock::try_write`].
 
 use crate::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
-use crate::raw::RawRwLock;
+use crate::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 use crate::registry::{Pid, PidRegistry, RegistryFull};
-use std::cell::UnsafeCell;
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::fmt;
+use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Weak};
+
+// ---------------------------------------------------------------------
+// Thread-local pid leasing
+// ---------------------------------------------------------------------
+
+/// One cached lease: this thread holds `pid` of the registry behind `reg`.
+///
+/// `busy` is set while a leased guard is open, so a nested acquisition on
+/// the same thread takes a distinct (transient) pid instead of reusing one
+/// that is mid-attempt — reusing it would violate the raw contract's "one
+/// attempt at a time per process".
+struct LeaseEntry {
+    reg: Weak<PidRegistry>,
+    pid: Pid,
+    busy: Cell<bool>,
+}
+
+/// Per-thread lease table. Dropped at thread exit, returning every still
+/// live pid to its registry.
+#[derive(Default)]
+struct LeaseTable {
+    entries: RefCell<Vec<LeaseEntry>>,
+}
+
+impl Drop for LeaseTable {
+    fn drop(&mut self) {
+        for entry in self.entries.borrow().iter() {
+            // A still-busy lease means its guard was leaked (mem::forget):
+            // the raw lock session for that pid is still open, so the pid
+            // must stay reserved forever rather than be re-issued into the
+            // middle of an unfinished attempt.
+            if entry.busy.get() {
+                continue;
+            }
+            // A dead Weak means the lock (and its registry) is already
+            // gone; nothing to return. The Weak keeps the allocation
+            // alive, so the pointer can never be reused by another
+            // registry while this entry exists.
+            if let Some(reg) = entry.reg.upgrade() {
+                reg.release(entry.pid);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static LEASES: LeaseTable = LeaseTable::default();
+}
+
+/// How a guard came by its pid; decides what its drop must undo.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PidSource {
+    /// Owned by a [`LockHandle`]; the handle releases it.
+    Handle,
+    /// The thread's cached lease; clear the busy flag on drop.
+    Lease,
+    /// Allocated just for this (nested) guard; return it on drop.
+    Transient,
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
 
 /// A reader-writer lock protecting a value of type `T`, generic over the
 /// raw lock policy `L`.
@@ -24,32 +108,33 @@ use std::ops::{Deref, DerefMut};
 ///
 /// # Example
 ///
+/// No registration ceremony — threads acquire directly and pids are leased
+/// behind the scenes:
+///
 /// ```
-/// use rmr_core::rwlock::RwLock;
+/// use rmr_core::RwLock;
 /// use std::sync::Arc;
 ///
 /// let lock = Arc::new(RwLock::starvation_free(0u64, 4));
-/// let mut handles = Vec::new();
+/// let mut threads = Vec::new();
 /// for _ in 0..4 {
 ///     let lock = Arc::clone(&lock);
-///     handles.push(std::thread::spawn(move || {
-///         let mut h = lock.register().expect("capacity 4, 4 threads");
+///     threads.push(std::thread::spawn(move || {
 ///         for _ in 0..100 {
-///             *h.write() += 1;
-///             let _sum = *h.read();
+///             *lock.write() += 1;
+///             let _sum = *lock.read();
 ///         }
 ///     }));
 /// }
-/// for t in handles {
+/// for t in threads {
 ///     t.join().unwrap();
 /// }
-/// let mut h = lock.register().unwrap();
-/// assert_eq!(*h.read(), 400);
+/// assert_eq!(*lock.read(), 400);
 /// ```
 pub struct RwLock<T: ?Sized, L> {
-    raw: L,
-    registry: PidRegistry,
-    data: UnsafeCell<T>,
+    pub(crate) raw: L,
+    pub(crate) registry: Arc<PidRegistry>,
+    pub(crate) data: UnsafeCell<T>,
 }
 
 // SAFETY: the raw lock guarantees that a `&mut T` (through WriteGuard) never
@@ -67,14 +152,14 @@ pub type WriterPriorityRwLock<T> = RwLock<T, MwmrWriterPriority>;
 
 impl<T> RwLock<T, MwmrStarvationFree> {
     /// Creates a starvation-free (no-priority) lock for up to
-    /// `max_processes` registered threads.
+    /// `max_processes` concurrent threads.
     pub fn starvation_free(value: T, max_processes: usize) -> Self {
         Self::with_raw(value, MwmrStarvationFree::new(max_processes))
     }
 }
 
 impl<T> RwLock<T, MwmrReaderPriority> {
-    /// Creates a reader-priority lock for up to `max_processes` registered
+    /// Creates a reader-priority lock for up to `max_processes` concurrent
     /// threads. Writers may starve under continuous read traffic.
     pub fn reader_priority(value: T, max_processes: usize) -> Self {
         Self::with_raw(value, MwmrReaderPriority::new(max_processes))
@@ -82,7 +167,7 @@ impl<T> RwLock<T, MwmrReaderPriority> {
 }
 
 impl<T> RwLock<T, MwmrWriterPriority> {
-    /// Creates a writer-priority lock for up to `max_processes` registered
+    /// Creates a writer-priority lock for up to `max_processes` concurrent
     /// threads. Readers may starve under continuous write traffic.
     pub fn writer_priority(value: T, max_processes: usize) -> Self {
         Self::with_raw(value, MwmrWriterPriority::new(max_processes))
@@ -90,10 +175,44 @@ impl<T> RwLock<T, MwmrWriterPriority> {
 }
 
 impl<T, L: RawRwLock> RwLock<T, L> {
-    /// Wraps `value` behind an arbitrary raw lock.
+    /// Wraps `value` behind an arbitrary raw lock, sizing the pid registry
+    /// to `raw.max_processes()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raw lock reports an unbounded process count
+    /// (`usize::MAX`) — use [`RwLock::with_raw_and_capacity`] for those.
     pub fn with_raw(value: T, raw: L) -> Self {
-        let registry = PidRegistry::new(raw.max_processes());
-        Self { raw, registry, data: UnsafeCell::new(value) }
+        let cap = raw.max_processes();
+        assert!(cap != usize::MAX, "raw lock has no process bound; use with_raw_and_capacity");
+        Self::with_raw_and_capacity(value, raw, cap)
+    }
+
+    /// Wraps `value` behind `raw` with an explicit pid capacity — for raw
+    /// locks with no per-process state (e.g. the single-writer algorithms,
+    /// whose `max_processes()` is unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0, exceeds `u32::MAX`, or exceeds
+    /// `raw.max_processes()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_core::swmr::SwmrReaderPriority;
+    /// use rmr_core::RwLock;
+    ///
+    /// let lock = RwLock::with_raw_and_capacity(7u32, SwmrReaderPriority::new(), 2);
+    /// assert_eq!(*lock.read(), 7);
+    /// ```
+    pub fn with_raw_and_capacity(value: T, raw: L, capacity: usize) -> Self {
+        assert!(
+            capacity <= raw.max_processes(),
+            "capacity {capacity} exceeds the raw lock's bound {}",
+            raw.max_processes()
+        );
+        Self { raw, registry: Arc::new(PidRegistry::new(capacity)), data: UnsafeCell::new(value) }
     }
 
     /// Consumes the lock, returning the protected value.
@@ -103,18 +222,74 @@ impl<T, L: RawRwLock> RwLock<T, L> {
 }
 
 impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
-    /// Registers the calling context as a participating process.
+    /// Registers the calling context as a participating process with a
+    /// pinned pid.
     ///
     /// The handle owns a [`Pid`] until dropped. Registration is not on the
     /// lock fast path; keep the handle around rather than re-registering
-    /// per operation.
+    /// per operation. Prefer the plain [`RwLock::read`] / [`RwLock::write`]
+    /// (which lease a pid per thread) unless you need explicit pid control
+    /// or `Result`-based capacity handling.
     ///
     /// # Errors
     ///
-    /// Returns [`RegistryFull`] if `max_processes` handles are live.
+    /// Returns [`RegistryFull`] if `capacity` pids are live.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_core::RwLock;
+    ///
+    /// let lock = RwLock::writer_priority(vec![1u8], 2);
+    /// let mut handle = lock.register()?;
+    /// handle.write().push(2);
+    /// assert_eq!(*handle.read(), vec![1, 2]);
+    /// # Ok::<(), rmr_core::RegistryFull>(())
+    /// ```
     pub fn register(&self) -> Result<LockHandle<'_, T, L>, RegistryFull> {
         let pid = self.registry.allocate()?;
         Ok(LockHandle { lock: self, pid })
+    }
+
+    /// Acquires the lock for reading with this thread's leased pid,
+    /// blocking (spinning) until granted.
+    ///
+    /// The first acquisition on a thread leases a pid from the registry;
+    /// the lease is cached and returned when the thread exits. Nested
+    /// acquisitions on the same thread (a second guard while one is open)
+    /// lease an extra pid for the inner guard, so nesting never violates
+    /// the raw locks' "one attempt at a time per pid" contract.
+    ///
+    /// Nesting still carries `std::sync::RwLock`'s deadlock semantics,
+    /// policy-sharpened: a nested *read* deadlocks if a writer is already
+    /// waiting, except under the reader-priority policy (RP1 lets the
+    /// inner reader overtake the waiting writer); a nested *write* while
+    /// holding any guard on the same thread always deadlocks. Avoid
+    /// holding a guard across calls that may re-acquire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is exhausted (more concurrent threads than
+    /// the lock's capacity). Use [`RwLock::register`] or
+    /// [`RwLock::try_read`] for non-panicking capacity handling.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_core::RwLock;
+    ///
+    /// let lock = RwLock::starvation_free(String::from("hi"), 2);
+    /// assert_eq!(lock.read().len(), 2);
+    /// ```
+    pub fn read(&self) -> ReadGuard<'_, T, L> {
+        let (pid, source) = self.lease().unwrap_or_else(|e| panic!("{}", lease_panic(e)));
+        let token = self.raw.read_lock(pid);
+        self.read_guard(pid, source, token)
+    }
+
+    /// Runs `f` with shared access (convenience over [`RwLock::read`]).
+    pub fn read_with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.read())
     }
 
     /// Mutable access without locking — safe because `&mut self` proves
@@ -128,9 +303,196 @@ impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
         &self.raw
     }
 
-    /// Number of threads that may be registered simultaneously.
+    /// Number of threads that may participate simultaneously.
     pub fn max_processes(&self) -> usize {
-        self.raw.max_processes()
+        self.registry.capacity()
+    }
+
+    /// Leases a pid for the calling thread: the cached lease if free, a
+    /// transient pid if the lease is mid-attempt (nested guard), a fresh
+    /// cached lease otherwise.
+    fn lease(&self) -> Result<(Pid, PidSource), RegistryFull> {
+        let key = Arc::as_ptr(&self.registry);
+        let leased = LEASES.try_with(|table| {
+            let mut entries = table.entries.borrow_mut();
+            // Fast path: cached-lease hit, no table maintenance.
+            if let Some(e) = entries.iter().find(|e| std::ptr::eq(e.reg.as_ptr(), key)) {
+                if e.busy.get() {
+                    // Nested acquisition: the cached pid is mid-attempt.
+                    let pid = self.registry.allocate()?;
+                    return Ok((pid, PidSource::Transient));
+                }
+                e.busy.set(true);
+                return Ok((e.pid, PidSource::Lease));
+            }
+            // Miss (first acquisition of this lock on this thread): sweep
+            // leases whose lock is gone before growing the table. Dead
+            // entries are harmless until now — their Weak pins the
+            // allocation, so the key can never collide.
+            entries.retain(|e| e.reg.strong_count() > 0);
+            let pid = self.registry.allocate()?;
+            entries.push(LeaseEntry {
+                reg: Arc::downgrade(&self.registry),
+                pid,
+                busy: Cell::new(true),
+            });
+            Ok((pid, PidSource::Lease))
+        });
+        // During thread teardown the lease table may already be destroyed
+        // (acquiring from another thread_local's destructor, which
+        // std::sync::RwLock supports). Fall back to a transient pid —
+        // matching the try_with tolerance on the release side.
+        leased.unwrap_or_else(|_destroyed| {
+            self.registry.allocate().map(|pid| (pid, PidSource::Transient))
+        })
+    }
+
+    /// Returns a pid obtained from [`RwLock::lease`] without a guard having
+    /// consumed it (the raw try-acquire failed).
+    fn unlease(&self, pid: Pid, source: PidSource) {
+        release_pid_source(&self.registry, pid, source);
+    }
+
+    pub(crate) fn read_guard(
+        &self,
+        pid: Pid,
+        source: PidSource,
+        token: L::ReadToken,
+    ) -> ReadGuard<'_, T, L> {
+        ReadGuard { lock: self, pid, source, token: Some(token), _not_send: PhantomData }
+    }
+
+    pub(crate) fn write_guard(
+        &self,
+        pid: Pid,
+        source: PidSource,
+        token: L::WriteToken,
+    ) -> WriteGuard<'_, T, L> {
+        WriteGuard { lock: self, pid, source, token: Some(token), _not_send: PhantomData }
+    }
+}
+
+impl<T: ?Sized, L: RawMultiWriter> RwLock<T, L> {
+    /// Acquires the lock for writing with this thread's leased pid,
+    /// blocking (spinning) until granted. See [`RwLock::read`] for the
+    /// leasing rules.
+    ///
+    /// Only available where the raw lock is a [`RawMultiWriter`]: handing
+    /// out `&mut T` from arbitrary threads relies on writer-writer
+    /// exclusion, which the single-writer algorithms (Figures 1–2) do not
+    /// provide — use their [`SwmrWriter`](crate::swmr_rwlock::SwmrWriter)
+    /// endpoint instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is exhausted.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_core::RwLock;
+    ///
+    /// let lock = RwLock::reader_priority(0u32, 2);
+    /// *lock.write() += 5;
+    /// assert_eq!(*lock.read(), 5);
+    /// ```
+    pub fn write(&self) -> WriteGuard<'_, T, L> {
+        let (pid, source) = self.lease().unwrap_or_else(|e| panic!("{}", lease_panic(e)));
+        let token = self.raw.write_lock(pid);
+        self.write_guard(pid, source, token)
+    }
+
+    /// Runs `f` with exclusive access (convenience over [`RwLock::write`]).
+    pub fn write_with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.write())
+    }
+}
+
+/// Releases whatever hold `source` has on `pid` (guard drop and failed
+/// try-acquire share this).
+fn release_pid_source(registry: &Arc<PidRegistry>, pid: Pid, source: PidSource) {
+    match source {
+        PidSource::Handle => {}
+        PidSource::Transient => registry.release(pid),
+        PidSource::Lease => {
+            let key = Arc::as_ptr(registry);
+            // try_with: during thread teardown the table may already be
+            // gone — its Drop returned the pid, nothing left to do.
+            let _ = LEASES.try_with(|table| {
+                if let Ok(entries) = table.entries.try_borrow() {
+                    if let Some(e) = entries.iter().find(|e| std::ptr::eq(e.reg.as_ptr(), key)) {
+                        e.busy.set(false);
+                    }
+                }
+            });
+        }
+    }
+}
+
+fn lease_panic(e: RegistryFull) -> String {
+    format!(
+        "cannot lease a pid: {e}; raise the lock's capacity, or use register()/try_read()/\
+         try_write() to handle exhaustion without panicking"
+    )
+}
+
+impl<T: ?Sized, L: RawTryReadLock> RwLock<T, L> {
+    /// Attempts to acquire the lock for reading without blocking, with this
+    /// thread's leased pid.
+    ///
+    /// Returns `None` if the raw lock denied the bounded attempt (a writer
+    /// holds or is entering the critical section) **or** the pid registry
+    /// is exhausted.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_core::RwLock;
+    ///
+    /// let lock = RwLock::starvation_free(3u32, 2);
+    /// let g = lock.try_read().expect("no writer active");
+    /// assert_eq!(*g, 3);
+    /// ```
+    pub fn try_read(&self) -> Option<ReadGuard<'_, T, L>> {
+        let (pid, source) = self.lease().ok()?;
+        match self.raw.try_read_lock(pid) {
+            Some(token) => Some(self.read_guard(pid, source, token)),
+            None => {
+                self.unlease(pid, source);
+                None
+            }
+        }
+    }
+}
+
+impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter> RwLock<T, L> {
+    /// Attempts to acquire the lock for writing without blocking, with this
+    /// thread's leased pid.
+    ///
+    /// Returns `None` if the raw lock denied the bounded attempt or the pid
+    /// registry is exhausted. Only available where the raw lock implements
+    /// [`RawTryRwLock`] — the paper's core locks do not (their writer
+    /// doorway cannot be revoked), the baselines do.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_baselines::StdRwLock;
+    /// use rmr_core::RwLock;
+    ///
+    /// let lock = RwLock::with_raw(0u32, StdRwLock::new(2));
+    /// *lock.try_write().expect("uncontended") += 1;
+    /// assert_eq!(*lock.read(), 1);
+    /// ```
+    pub fn try_write(&self) -> Option<WriteGuard<'_, T, L>> {
+        let (pid, source) = self.lease().ok()?;
+        match self.raw.try_write_lock(pid) {
+            Some(token) => Some(self.write_guard(pid, source, token)),
+            None => {
+                self.unlease(pid, source);
+                None
+            }
+        }
     }
 }
 
@@ -143,6 +505,10 @@ impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for RwLock<T, L> {
             .finish_non_exhaustive()
     }
 }
+
+// ---------------------------------------------------------------------
+// LockHandle — the pinned-pid path
+// ---------------------------------------------------------------------
 
 /// A registered participant of an [`RwLock`]; owns a [`Pid`].
 ///
@@ -160,25 +526,59 @@ impl<'l, T: ?Sized, L: RawRwLock> LockHandle<'l, T, L> {
     }
 
     /// Acquires the lock for reading.
-    pub fn read(&mut self) -> ReadGuard<'_, 'l, T, L> {
+    pub fn read(&mut self) -> ReadGuard<'_, T, L> {
         let token = self.lock.raw.read_lock(self.pid);
-        ReadGuard { handle: self, token: Some(token) }
-    }
-
-    /// Acquires the lock for writing.
-    pub fn write(&mut self) -> WriteGuard<'_, 'l, T, L> {
-        let token = self.lock.raw.write_lock(self.pid);
-        WriteGuard { handle: self, token: Some(token) }
+        self.lock.read_guard(self.pid, PidSource::Handle, token)
     }
 
     /// Runs `f` with shared access (convenience over [`Self::read`]).
     pub fn read_with<R>(&mut self, f: impl FnOnce(&T) -> R) -> R {
         f(&self.read())
     }
+}
+
+impl<'l, T: ?Sized, L: RawMultiWriter> LockHandle<'l, T, L> {
+    /// Acquires the lock for writing.
+    ///
+    /// Requires [`RawMultiWriter`]: any number of handles may exist, so
+    /// `&mut T` safety needs writer-writer exclusion from the raw lock
+    /// (the single-writer algorithms go through
+    /// [`SwmrWriter`](crate::swmr_rwlock::SwmrWriter) instead).
+    pub fn write(&mut self) -> WriteGuard<'_, T, L> {
+        let token = self.lock.raw.write_lock(self.pid);
+        self.lock.write_guard(self.pid, PidSource::Handle, token)
+    }
 
     /// Runs `f` with exclusive access (convenience over [`Self::write`]).
     pub fn write_with<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
         f(&mut self.write())
+    }
+}
+
+impl<'l, T: ?Sized, L: RawTryReadLock> LockHandle<'l, T, L> {
+    /// Attempts to acquire the lock for reading without blocking.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_core::RwLock;
+    ///
+    /// let lock = RwLock::starvation_free(1u8, 2);
+    /// let mut h = lock.register()?;
+    /// assert_eq!(*h.try_read().expect("no writer"), 1);
+    /// # Ok::<(), rmr_core::RegistryFull>(())
+    /// ```
+    pub fn try_read(&mut self) -> Option<ReadGuard<'_, T, L>> {
+        let token = self.lock.raw.try_read_lock(self.pid)?;
+        Some(self.lock.read_guard(self.pid, PidSource::Handle, token))
+    }
+}
+
+impl<'l, T: ?Sized, L: RawTryRwLock + RawMultiWriter> LockHandle<'l, T, L> {
+    /// Attempts to acquire the lock for writing without blocking.
+    pub fn try_write(&mut self) -> Option<WriteGuard<'_, T, L>> {
+        let token = self.lock.raw.try_write_lock(self.pid)?;
+        Some(self.lock.write_guard(self.pid, PidSource::Handle, token))
     }
 }
 
@@ -194,31 +594,49 @@ impl<T: ?Sized, L: RawRwLock> fmt::Debug for LockHandle<'_, T, L> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Guards
+// ---------------------------------------------------------------------
+
 /// RAII shared access to the protected value; released on drop
 /// (bounded exit: the unlock path performs O(1) steps).
-pub struct ReadGuard<'h, 'l, T: ?Sized, L: RawRwLock> {
-    handle: &'h LockHandle<'l, T, L>,
+///
+/// Not `Send`: the guard's pid belongs to the acquiring thread (leases are
+/// thread-cached, and several raw unlock paths — e.g. Figure 2's `Promote`
+/// — stamp the pid into shared CAS variables, so unlocking from a thread
+/// that may concurrently reuse the pid would break the raw contract).
+pub struct ReadGuard<'l, T: ?Sized, L: RawRwLock> {
+    lock: &'l RwLock<T, L>,
+    pid: Pid,
+    source: PidSource,
     token: Option<L::ReadToken>,
+    /// Suppresses the auto `Send`/`Sync` impls; `Sync` is re-added below.
+    _not_send: PhantomData<*const ()>,
 }
 
-impl<T: ?Sized, L: RawRwLock> Deref for ReadGuard<'_, '_, T, L> {
+// SAFETY: a shared reference to the guard only exposes `&T` (plus pid
+// metadata); the token is touched solely through `&mut`/drop.
+unsafe impl<T: ?Sized + Sync, L: RawRwLock> Sync for ReadGuard<'_, T, L> {}
+
+impl<T: ?Sized, L: RawRwLock> Deref for ReadGuard<'_, T, L> {
     type Target = T;
 
     fn deref(&self) -> &T {
         // SAFETY: the raw lock admits no writer while this read session is
         // open, so shared access is sound.
-        unsafe { &*self.handle.lock.data.get() }
+        unsafe { &*self.lock.data.get() }
     }
 }
 
-impl<T: ?Sized, L: RawRwLock> Drop for ReadGuard<'_, '_, T, L> {
+impl<T: ?Sized, L: RawRwLock> Drop for ReadGuard<'_, T, L> {
     fn drop(&mut self) {
         let token = self.token.take().expect("read token taken twice");
-        self.handle.lock.raw.read_unlock(self.handle.pid, token);
+        self.lock.raw.read_unlock(self.pid, token);
+        release_pid_source(&self.lock.registry, self.pid, self.source);
     }
 }
 
-impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for ReadGuard<'_, '_, T, L> {
+impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for ReadGuard<'_, T, L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("ReadGuard").field(&&**self).finish()
     }
@@ -226,39 +644,55 @@ impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for ReadGuard<'_, '_, T, L
 
 /// RAII exclusive access to the protected value; released on drop
 /// (bounded exit: the unlock path performs O(1) steps).
-pub struct WriteGuard<'h, 'l, T: ?Sized, L: RawRwLock> {
-    handle: &'h LockHandle<'l, T, L>,
+///
+/// Not `Send` for the same reason as [`ReadGuard`].
+pub struct WriteGuard<'l, T: ?Sized, L: RawRwLock> {
+    lock: &'l RwLock<T, L>,
+    pid: Pid,
+    source: PidSource,
     token: Option<L::WriteToken>,
+    /// Suppresses the auto `Send`/`Sync` impls; `Sync` is re-added below.
+    _not_send: PhantomData<*const ()>,
 }
 
-impl<T: ?Sized, L: RawRwLock> Deref for WriteGuard<'_, '_, T, L> {
+// SAFETY: a shared reference to the guard only exposes `&T`; exclusive
+// access to `T` requires `&mut WriteGuard`, which shared references cannot
+// produce.
+unsafe impl<T: ?Sized + Sync, L: RawRwLock> Sync for WriteGuard<'_, T, L> {}
+
+impl<T: ?Sized, L: RawRwLock> Deref for WriteGuard<'_, T, L> {
     type Target = T;
 
     fn deref(&self) -> &T {
         // SAFETY: this write session excludes all other access.
-        unsafe { &*self.handle.lock.data.get() }
+        unsafe { &*self.lock.data.get() }
     }
 }
 
-impl<T: ?Sized, L: RawRwLock> DerefMut for WriteGuard<'_, '_, T, L> {
+impl<T: ?Sized, L: RawRwLock> DerefMut for WriteGuard<'_, T, L> {
     fn deref_mut(&mut self) -> &mut T {
         // SAFETY: this write session excludes all other access.
-        unsafe { &mut *self.handle.lock.data.get() }
+        unsafe { &mut *self.lock.data.get() }
     }
 }
 
-impl<T: ?Sized, L: RawRwLock> Drop for WriteGuard<'_, '_, T, L> {
+impl<T: ?Sized, L: RawRwLock> Drop for WriteGuard<'_, T, L> {
     fn drop(&mut self) {
         let token = self.token.take().expect("write token taken twice");
-        self.handle.lock.raw.write_unlock(self.handle.pid, token);
+        self.lock.raw.write_unlock(self.pid, token);
+        release_pid_source(&self.lock.registry, self.pid, self.source);
     }
 }
 
-impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for WriteGuard<'_, '_, T, L> {
+impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for WriteGuard<'_, T, L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("WriteGuard").field(&&**self).finish()
     }
 }
+
+// Crate-internal alias so the SWMR front end can build guards around
+// pinned pids without duplicating the machinery.
+pub(crate) use PidSource as GuardPidSource;
 
 #[cfg(test)]
 mod tests {
@@ -323,6 +757,9 @@ mod tests {
         let mut h = lock.register().unwrap();
         h.write_with(|v| *v += 5);
         assert_eq!(h.read_with(|v| *v), 15);
+
+        lock.write_with(|v| *v += 1);
+        assert_eq!(lock.read_with(|v| *v), 16);
     }
 
     #[test]
@@ -352,5 +789,136 @@ mod tests {
         assert_eq!(format!("{:?}", h.read()), "ReadGuard(7)");
         assert_eq!(format!("{:?}", h.write()), "WriteGuard(7)");
         assert!(format!("{lock:?}").contains("RwLock"));
+    }
+
+    // --- thread-local pid leasing ---
+
+    #[test]
+    fn leased_reads_and_writes_need_no_registration() {
+        let lock = RwLock::starvation_free(0u32, 2);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 1);
+        // The lease is cached: repeated ops reuse one pid.
+        for _ in 0..100 {
+            *lock.write() += 1;
+        }
+        assert_eq!(*lock.read(), 101);
+        assert_eq!(lock.registry.allocated(), 1);
+    }
+
+    #[test]
+    fn concurrent_leased_increments_are_not_lost() {
+        let lock = Arc::new(RwLock::starvation_free(0u64, 8));
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    *lock.write() += 1;
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*lock.read(), 800);
+    }
+
+    #[test]
+    fn thread_exit_returns_leased_pid() {
+        let lock = Arc::new(RwLock::starvation_free(0u32, 1));
+        for _ in 0..5 {
+            let l2 = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                *l2.write() += 1;
+            })
+            .join()
+            .unwrap();
+            // Capacity 1: each iteration only works if the previous
+            // thread's lease was reclaimed at exit.
+        }
+        assert_eq!(lock.registry.allocated(), 0);
+        assert_eq!(*lock.read(), 5);
+    }
+
+    #[test]
+    fn nested_reads_take_a_transient_pid() {
+        let lock = RwLock::starvation_free(9u8, 3);
+        let outer = lock.read();
+        let inner = lock.read(); // second pid, not a contract violation
+        assert_eq!(*outer, *inner);
+        assert_eq!(lock.registry.allocated(), 2);
+        drop(inner);
+        assert_eq!(lock.registry.allocated(), 1, "transient pid returned");
+        drop(outer);
+        assert_eq!(lock.registry.allocated(), 1, "cached lease survives");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot lease a pid")]
+    fn lease_exhaustion_panics_with_guidance() {
+        let lock = RwLock::starvation_free((), 1);
+        let _handle = lock.register().unwrap(); // eat the only pid
+        let _ = lock.read();
+    }
+
+    #[test]
+    fn leases_are_per_lock_instance() {
+        let a = RwLock::starvation_free(1u8, 2);
+        let b = RwLock::starvation_free(2u8, 2);
+        let ga = a.read();
+        let gb = b.read();
+        assert_eq!(*ga, 1);
+        assert_eq!(*gb, 2);
+        drop((ga, gb));
+        assert_eq!(a.registry.allocated(), 1);
+        assert_eq!(b.registry.allocated(), 1);
+    }
+
+    #[test]
+    fn try_read_on_core_lock_succeeds_uncontended() {
+        let lock = RwLock::starvation_free(5u64, 2);
+        let g = lock.try_read().expect("no writer");
+        assert_eq!(*g, 5);
+    }
+
+    #[test]
+    fn try_read_fails_under_held_write_lock() {
+        let lock = Arc::new(RwLock::starvation_free(0u64, 4));
+        let l2 = Arc::clone(&lock);
+        let w = lock.write();
+        // Another thread's bounded read attempt must return None, not spin.
+        let denied = std::thread::spawn(move || l2.try_read().is_none()).join().unwrap();
+        assert!(denied, "try_read blocked or succeeded under a write lock");
+        drop(w);
+        assert!(lock.try_read().is_some());
+    }
+
+    #[test]
+    fn leaked_guard_pins_its_pid() {
+        // A mem::forget'd guard leaves its raw read session open forever;
+        // the thread-exit reclaim must NOT return that pid, or another
+        // thread would be issued a pid with an unfinished attempt.
+        let lock = Arc::new(RwLock::starvation_free(0u8, 1));
+        let l2 = Arc::clone(&lock);
+        std::thread::spawn(move || std::mem::forget(l2.read())).join().unwrap();
+        assert_eq!(lock.registry.allocated(), 1, "leaked pid must stay reserved");
+        assert!(lock.register().is_err());
+    }
+
+    #[test]
+    fn guards_are_not_send() {
+        // Compile-time property, checked with the ambiguity trick: if the
+        // guards ever became `Send`, both blanket impls would apply and
+        // these calls would stop compiling.
+        trait AmbiguousIfSend<A> {
+            fn probe() {}
+        }
+        struct NotSendProbe;
+        impl<T: ?Sized> AmbiguousIfSend<NotSendProbe> for T {}
+        struct SendProbe;
+        impl<T: ?Sized + Send> AmbiguousIfSend<SendProbe> for T {}
+        <ReadGuard<'_, u8, MwmrStarvationFree> as AmbiguousIfSend<_>>::probe();
+        <WriteGuard<'_, u8, MwmrStarvationFree> as AmbiguousIfSend<_>>::probe();
     }
 }

@@ -19,10 +19,11 @@
 //! `true` (feature B) and raising `Permit`. Readers can keep the writer out
 //! forever — that is reader priority working as specified.
 
+use crate::raw::{RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::side::{AtomicSide, Side};
-use crossbeam_utils::CachePadded;
 use rmr_mutex::spin_until;
+use rmr_mutex::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -215,18 +216,57 @@ impl SwmrReaderPriority {
         if x != X_TRUE {
             // line 21: if (x ∈ PID)
             // line 22: CAS(X, x, i) — outcome deliberately ignored.
-            let _ = self.x.compare_exchange(
-                x,
-                encode_pid(pid),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
+            let _ = self.x.compare_exchange(x, encode_pid(pid), Ordering::SeqCst, Ordering::SeqCst);
         }
         if self.x.load(Ordering::SeqCst) == X_TRUE {
             // line 23: if (X = true)
             spin_until(|| self.gate(d).load(Ordering::SeqCst)); // line 24
         }
         ReadSession { d } // line 25: CRITICAL SECTION
+    }
+
+    /// A **bounded** read attempt: the reader doorway (lines 18–22), one
+    /// test of `X`, and — if the writer owns the critical section — an
+    /// abort through the ordinary exit section (lines 26–27).
+    ///
+    /// Sound because a registered reader that decrements `C` and runs
+    /// `Promote` without entering the critical section is exactly a reader
+    /// whose read session was empty; and the entry path is the normal
+    /// "X ≠ true" fall-through, so RP1 and P1 are untouched.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_core::registry::Pid;
+    /// use rmr_core::swmr::SwmrReaderPriority;
+    ///
+    /// let lock = SwmrReaderPriority::new();
+    /// let reader = Pid::from_index(0);
+    /// let writer = Pid::from_index(1);
+    ///
+    /// let r = lock.try_read_lock(reader).expect("no writer active");
+    /// lock.read_unlock(reader, r);
+    ///
+    /// let w = lock.write_lock(writer);
+    /// assert!(lock.try_read_lock(reader).is_none(), "writer holds the CS");
+    /// lock.write_unlock(writer, w);
+    /// ```
+    pub fn try_read_lock(&self, pid: Pid) -> Option<ReadSession> {
+        self.count.fetch_add(1, Ordering::SeqCst); // line 18: F&A(C, 1)
+        let d = self.d.load(); // line 19: d ← D
+        let x = self.x.load(Ordering::SeqCst); // line 20: x ← X
+        if x != X_TRUE {
+            // line 21–22: stamp our pid (subtle feature A), as in read_lock.
+            let _ = self.x.compare_exchange(x, encode_pid(pid), Ordering::SeqCst, Ordering::SeqCst);
+        }
+        if self.x.load(Ordering::SeqCst) == X_TRUE {
+            // Would park on Gate[d]: abort through the exit section.
+            self.count.fetch_sub(1, Ordering::SeqCst); // line 26
+            self.promote(pid); // line 27
+            None
+        } else {
+            Some(ReadSession { d })
+        }
     }
 
     /// A reader's exit section (lines 26–27). Bounded: the decrement plus
@@ -276,6 +316,48 @@ impl fmt::Debug for SwmrReaderPriority {
             .field("x_is_true", &self.writer_promoted())
             .field("permit", &self.permit.load(Ordering::SeqCst))
             .finish()
+    }
+}
+
+/// [`RawRwLock`] adapter so the typed front end (and the SWMR wrapper in
+/// [`crate::swmr_rwlock`]) can drive Figure 2 through the common interface.
+///
+/// Figure 2 uses pids (readers and the writer stamp them into `X`), but has
+/// no per-process storage, so `max_processes` reports "unbounded"
+/// (`usize::MAX`); size the registry explicitly with
+/// [`RwLock::with_raw_and_capacity`](crate::rwlock::RwLock::with_raw_and_capacity).
+///
+/// **Contract beyond [`RawRwLock`]'s:** at most one process may exercise
+/// the writer role at a time. The typed
+/// [`SwmrRwLock`](crate::swmr_rwlock::SwmrRwLock) enforces that statically.
+impl RawRwLock for SwmrReaderPriority {
+    type ReadToken = ReadSession;
+    type WriteToken = WriteSession;
+
+    fn read_lock(&self, pid: Pid) -> ReadSession {
+        SwmrReaderPriority::read_lock(self, pid)
+    }
+
+    fn read_unlock(&self, pid: Pid, token: ReadSession) {
+        SwmrReaderPriority::read_unlock(self, pid, token);
+    }
+
+    fn write_lock(&self, pid: Pid) -> WriteSession {
+        SwmrReaderPriority::write_lock(self, pid)
+    }
+
+    fn write_unlock(&self, pid: Pid, token: WriteSession) {
+        SwmrReaderPriority::write_unlock(self, pid, token);
+    }
+
+    fn max_processes(&self) -> usize {
+        usize::MAX
+    }
+}
+
+impl RawTryReadLock for SwmrReaderPriority {
+    fn try_read_lock(&self, pid: Pid) -> Option<ReadSession> {
+        SwmrReaderPriority::try_read_lock(self, pid)
     }
 }
 

@@ -20,9 +20,11 @@
 //! where the O(1) RMR bound comes from.
 
 use crate::packed::{Packed, PackedFaa};
+use crate::raw::{RawRwLock, RawTryReadLock};
+use crate::registry::Pid;
 use crate::side::{AtomicSide, Side};
-use crossbeam_utils::CachePadded;
 use rmr_mutex::spin_until;
+use rmr_mutex::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -247,12 +249,10 @@ impl SwmrWriterPriority {
     // Reader side (Read-lock(), Fig. 1 lines 16–30)
     // ------------------------------------------------------------------
 
-    /// A reader's try section (lines 16–24).
-    ///
-    /// Satisfies concurrent entering (P5): when the writer role is in the
-    /// remainder section, `Gate[D]` is open and the reader passes straight
-    /// through in a bounded number of steps.
-    pub fn read_lock(&self) -> ReadSession {
+    /// A reader's doorway (lines 16–23): registers on the side announced
+    /// in `D`, re-registering if the writer toggled `D` mid-doorway.
+    /// Bounded; the returned side is the one whose gate admits this reader.
+    fn reader_doorway(&self) -> Side {
         let mut d = self.d.load(); // line 16: d ← D
         self.side(d).count.add_reader(); // line 17: F&A(C[d], [0, 1])
         let d2 = self.d.load(); // line 18: d′ ← D
@@ -260,8 +260,8 @@ impl SwmrWriterPriority {
             // line 19: if (d ≠ d′)
             self.side(d2).count.add_reader(); // line 20: F&A(C[d′], [0, 1])
             d = self.d.load(); // line 21: d ← D
-            // Registered on both sides; retire from the one we don't belong
-            // to (d̄, the complement of the side just re-read).
+                               // Registered on both sides; retire from the one we don't belong
+                               // to (d̄, the complement of the side just re-read).
             let other = !d;
             let old = self.side(other).count.sub_reader(); // line 22: F&A(C[d̄], [0, -1])
             if old == Packed::ONE_ONE {
@@ -270,9 +270,52 @@ impl SwmrWriterPriority {
                 self.side(other).permit.store(true, Ordering::SeqCst);
             }
         }
+        d
+    }
+
+    /// A reader's try section (lines 16–24).
+    ///
+    /// Satisfies concurrent entering (P5): when the writer role is in the
+    /// remainder section, `Gate[D]` is open and the reader passes straight
+    /// through in a bounded number of steps.
+    pub fn read_lock(&self) -> ReadSession {
+        let d = self.reader_doorway();
         // line 24: wait till Gate[d]
         spin_until(|| self.side(d).gate.load(Ordering::SeqCst));
         ReadSession { side: d } // line 25: CRITICAL SECTION
+    }
+
+    /// A **bounded** read attempt: the doorway, one gate test, and — on a
+    /// closed gate — retirement through the ordinary exit section.
+    ///
+    /// The abort path is sound because a registered reader that runs lines
+    /// 26–30 without entering the critical section is indistinguishable,
+    /// to every counter (`C[d]`, `EC`) and permit, from a reader whose
+    /// read session was empty; and the entry path is the normal one (the
+    /// gate was observed open), so P1 and WP1 are untouched.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_core::swmr::SwmrWriterPriority;
+    ///
+    /// let lock = SwmrWriterPriority::new();
+    /// let r = lock.try_read_lock().expect("no writer active");
+    /// lock.read_unlock(r);
+    ///
+    /// let w = lock.write_lock();
+    /// assert!(lock.try_read_lock().is_none(), "writer holds the CS");
+    /// lock.write_unlock(w);
+    /// ```
+    pub fn try_read_lock(&self) -> Option<ReadSession> {
+        let d = self.reader_doorway();
+        if self.side(d).gate.load(Ordering::SeqCst) {
+            Some(ReadSession { side: d })
+        } else {
+            // Writer active on our side: retire through the exit section.
+            self.read_unlock(ReadSession { side: d });
+            None
+        }
     }
 
     /// A reader's exit section (lines 26–30). Bounded (P2): at most four
@@ -334,6 +377,50 @@ impl fmt::Debug for SwmrWriterPriority {
             .field("gate0", &self.gate_is_open(Side::Zero))
             .field("gate1", &self.gate_is_open(Side::One))
             .finish()
+    }
+}
+
+/// [`RawRwLock`] adapter so the typed front end (and the SWMR wrapper in
+/// [`crate::swmr_rwlock`]) can drive Figure 1 through the common interface.
+///
+/// Figure 1 names no processes — pids are accepted and ignored — and it
+/// supports any number of readers, so `max_processes` reports "unbounded"
+/// (`usize::MAX`); size the registry explicitly with
+/// [`RwLock::with_raw_and_capacity`](crate::rwlock::RwLock::with_raw_and_capacity).
+///
+/// **Contract beyond [`RawRwLock`]'s:** at most one process may exercise
+/// the writer role at a time (this is the "single writer" of Theorem 1).
+/// The typed [`SwmrRwLock`](crate::swmr_rwlock::SwmrRwLock) enforces that
+/// statically; going through this impl directly, it is the caller's
+/// obligation (debug builds assert it).
+impl RawRwLock for SwmrWriterPriority {
+    type ReadToken = ReadSession;
+    type WriteToken = WriteSession;
+
+    fn read_lock(&self, _pid: Pid) -> ReadSession {
+        SwmrWriterPriority::read_lock(self)
+    }
+
+    fn read_unlock(&self, _pid: Pid, token: ReadSession) {
+        SwmrWriterPriority::read_unlock(self, token);
+    }
+
+    fn write_lock(&self, _pid: Pid) -> WriteSession {
+        SwmrWriterPriority::write_lock(self)
+    }
+
+    fn write_unlock(&self, _pid: Pid, token: WriteSession) {
+        SwmrWriterPriority::write_unlock(self, token);
+    }
+
+    fn max_processes(&self) -> usize {
+        usize::MAX
+    }
+}
+
+impl RawTryReadLock for SwmrWriterPriority {
+    fn try_read_lock(&self, _pid: Pid) -> Option<ReadSession> {
+        SwmrWriterPriority::try_read_lock(self)
     }
 }
 
@@ -452,7 +539,11 @@ mod tests {
                 for _ in 0..100 {
                     let w = lock.write_lock();
                     writer_in.store(true, Ordering::SeqCst);
-                    assert_eq!(readers_in.load(Ordering::SeqCst), 0, "P1 violated: reader with writer");
+                    assert_eq!(
+                        readers_in.load(Ordering::SeqCst),
+                        0,
+                        "P1 violated: reader with writer"
+                    );
                     writer_in.store(false, Ordering::SeqCst);
                     lock.write_unlock(w);
                 }

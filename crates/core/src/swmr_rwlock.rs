@@ -1,99 +1,31 @@
-//! Typed front end for the **single-writer** locks (Figures 1 and 2).
+//! Typed front end for the **single-writer** locks (Figures 1 and 2),
+//! expressed as a thin wrapper over the unified guard module in
+//! [`crate::rwlock`].
 //!
-//! Unlike the multi-writer [`RwLock`](crate::rwlock::RwLock), the SWMR
-//! algorithms admit at most one process in the writer role. This wrapper
-//! enforces that statically: [`SwmrRwLock::split`] yields exactly one
-//! [`SwmrWriter`] plus a [`SwmrReaders`] factory for reader handles, so a
-//! second concurrent writer cannot be constructed without going through
-//! the multi-writer transformation (which is what the paper does too).
+//! Unlike the multi-writer [`RwLock`], the SWMR algorithms admit at most
+//! one process in the writer role. This wrapper enforces that statically:
+//! [`SwmrRwLock::split`] yields exactly one [`SwmrWriter`] plus a
+//! [`SwmrReaders`] factory for reader handles, so a second concurrent
+//! writer cannot be constructed without going through the multi-writer
+//! transformation (which is what the paper does too).
+//!
+//! The guard types are plain aliases of the unified [`ReadGuard`] /
+//! [`WriteGuard`] — there is no SWMR-specific guard machinery anymore.
 
-use crate::registry::{Pid, PidRegistry, RegistryFull};
+use crate::raw::{RawRwLock, RawTryReadLock};
+use crate::registry::{Pid, RegistryFull};
+use crate::rwlock::{GuardPidSource, ReadGuard, RwLock, WriteGuard};
 use crate::swmr::reader_priority::SwmrReaderPriority;
 use crate::swmr::writer_priority::SwmrWriterPriority;
-use std::cell::UnsafeCell;
 use std::fmt;
-use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
-/// Which single-writer algorithm backs a [`SwmrRwLock`].
-pub trait SwmrPolicy: Send + Sync + Sized + fmt::Debug {
-    /// Per-read-session token.
-    type ReadToken;
-    /// Per-write-session token.
-    type WriteToken;
-
-    /// Fresh lock state.
-    fn new() -> Self;
-    /// Reader acquire (with the caller's pid).
-    fn read_lock(&self, pid: Pid) -> Self::ReadToken;
-    /// Reader release.
-    fn read_unlock(&self, pid: Pid, token: Self::ReadToken);
-    /// Writer acquire (with the writer's pid).
-    fn write_lock(&self, pid: Pid) -> Self::WriteToken;
-    /// Writer release.
-    fn write_unlock(&self, pid: Pid, token: Self::WriteToken);
-}
-
-impl SwmrPolicy for SwmrWriterPriority {
-    type ReadToken = crate::swmr::writer_priority::ReadSession;
-    type WriteToken = crate::swmr::writer_priority::WriteSession;
-
-    fn new() -> Self {
-        SwmrWriterPriority::new()
-    }
-
-    fn read_lock(&self, _pid: Pid) -> Self::ReadToken {
-        SwmrWriterPriority::read_lock(self)
-    }
-
-    fn read_unlock(&self, _pid: Pid, token: Self::ReadToken) {
-        SwmrWriterPriority::read_unlock(self, token);
-    }
-
-    fn write_lock(&self, _pid: Pid) -> Self::WriteToken {
-        SwmrWriterPriority::write_lock(self)
-    }
-
-    fn write_unlock(&self, _pid: Pid, token: Self::WriteToken) {
-        SwmrWriterPriority::write_unlock(self, token);
-    }
-}
-
-impl SwmrPolicy for SwmrReaderPriority {
-    type ReadToken = crate::swmr::reader_priority::ReadSession;
-    type WriteToken = crate::swmr::reader_priority::WriteSession;
-
-    fn new() -> Self {
-        SwmrReaderPriority::new()
-    }
-
-    fn read_lock(&self, pid: Pid) -> Self::ReadToken {
-        SwmrReaderPriority::read_lock(self, pid)
-    }
-
-    fn read_unlock(&self, pid: Pid, token: Self::ReadToken) {
-        SwmrReaderPriority::read_unlock(self, pid, token);
-    }
-
-    fn write_lock(&self, pid: Pid) -> Self::WriteToken {
-        SwmrReaderPriority::write_lock(self, pid)
-    }
-
-    fn write_unlock(&self, pid: Pid, token: Self::WriteToken) {
-        SwmrReaderPriority::write_unlock(self, pid, token);
-    }
-}
-
-struct Shared<T: ?Sized, P> {
-    raw: P,
-    registry: PidRegistry,
-    data: UnsafeCell<T>,
-}
-
-// SAFETY: same argument as for rwlock::RwLock — the algorithms provide the
-// exclusion the aliasing below relies on.
-unsafe impl<T: ?Sized + Send, P: SwmrPolicy> Send for Shared<T, P> {}
-unsafe impl<T: ?Sized + Send + Sync, P: SwmrPolicy> Sync for Shared<T, P> {}
+/// RAII shared access through a [`SwmrReader`] — an alias of the unified
+/// guard.
+pub type SwmrReadGuard<'a, T, P> = ReadGuard<'a, T, P>;
+/// RAII exclusive access through the [`SwmrWriter`] — an alias of the
+/// unified guard.
+pub type SwmrWriteGuard<'a, T, P> = WriteGuard<'a, T, P>;
 
 /// A typed single-writer multi-reader lock over the Figure 1 or Figure 2
 /// algorithm.
@@ -118,8 +50,8 @@ unsafe impl<T: ?Sized + Send + Sync, P: SwmrPolicy> Sync for Shared<T, P> {}
 /// assert!(seen == 0 || seen == 7);
 /// assert_eq!(*writer.write(), 7);
 /// ```
-pub struct SwmrRwLock<T, P: SwmrPolicy> {
-    shared: Arc<Shared<T, P>>,
+pub struct SwmrRwLock<T, P: RawRwLock> {
+    shared: Arc<RwLock<T, P>>,
 }
 
 /// Figure 1 flavor: writer priority + starvation freedom (Theorem 1).
@@ -127,7 +59,7 @@ pub type WriterPrioritySwmr<T> = SwmrRwLock<T, SwmrWriterPriority>;
 /// Figure 2 flavor: reader priority (Theorem 2).
 pub type ReaderPrioritySwmr<T> = SwmrRwLock<T, SwmrReaderPriority>;
 
-impl<T, P: SwmrPolicy> SwmrRwLock<T, P> {
+impl<T, P: RawRwLock + Default> SwmrRwLock<T, P> {
     /// Creates the lock for up to `max_readers` concurrent reader handles
     /// (plus the one writer).
     ///
@@ -137,14 +69,12 @@ impl<T, P: SwmrPolicy> SwmrRwLock<T, P> {
     pub fn new(value: T, max_readers: usize) -> Self {
         assert!(max_readers > 0, "max_readers must be positive");
         Self {
-            shared: Arc::new(Shared {
-                raw: P::new(),
-                registry: PidRegistry::new(max_readers + 1),
-                data: UnsafeCell::new(value),
-            }),
+            shared: Arc::new(RwLock::with_raw_and_capacity(value, P::default(), max_readers + 1)),
         }
     }
+}
 
+impl<T, P: RawRwLock> SwmrRwLock<T, P> {
     /// Splits into the unique writer endpoint and the reader factory.
     pub fn split(self) -> (SwmrWriter<T, P>, SwmrReaders<T, P>) {
         let writer_pid = self.shared.registry.allocate().expect("fresh registry");
@@ -155,50 +85,50 @@ impl<T, P: SwmrPolicy> SwmrRwLock<T, P> {
     }
 }
 
-impl<T, P: SwmrPolicy> fmt::Debug for SwmrRwLock<T, P> {
+impl<T, P: RawRwLock> fmt::Debug for SwmrRwLock<T, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SwmrRwLock").finish_non_exhaustive()
     }
 }
 
 /// The unique writer endpoint of a [`SwmrRwLock`]. Not `Clone`.
-pub struct SwmrWriter<T, P: SwmrPolicy> {
-    shared: Arc<Shared<T, P>>,
+pub struct SwmrWriter<T, P: RawRwLock> {
+    shared: Arc<RwLock<T, P>>,
     pid: Pid,
 }
 
-impl<T, P: SwmrPolicy> SwmrWriter<T, P> {
+impl<T, P: RawRwLock> SwmrWriter<T, P> {
     /// Acquires the write lock.
     pub fn write(&mut self) -> SwmrWriteGuard<'_, T, P> {
         let token = self.shared.raw.write_lock(self.pid);
-        SwmrWriteGuard { writer: self, token: Some(token) }
+        self.shared.write_guard(self.pid, GuardPidSource::Handle, token)
     }
 }
 
-impl<T, P: SwmrPolicy> Drop for SwmrWriter<T, P> {
+impl<T, P: RawRwLock> Drop for SwmrWriter<T, P> {
     fn drop(&mut self) {
         self.shared.registry.release(self.pid);
     }
 }
 
-impl<T, P: SwmrPolicy> fmt::Debug for SwmrWriter<T, P> {
+impl<T, P: RawRwLock> fmt::Debug for SwmrWriter<T, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SwmrWriter").field("pid", &self.pid).finish()
     }
 }
 
 /// Factory for reader handles of a [`SwmrRwLock`]. Cloneable and `Send`.
-pub struct SwmrReaders<T, P: SwmrPolicy> {
-    shared: Arc<Shared<T, P>>,
+pub struct SwmrReaders<T, P: RawRwLock> {
+    shared: Arc<RwLock<T, P>>,
 }
 
-impl<T, P: SwmrPolicy> Clone for SwmrReaders<T, P> {
+impl<T, P: RawRwLock> Clone for SwmrReaders<T, P> {
     fn clone(&self) -> Self {
         Self { shared: Arc::clone(&self.shared) }
     }
 }
 
-impl<T, P: SwmrPolicy> SwmrReaders<T, P> {
+impl<T, P: RawRwLock> SwmrReaders<T, P> {
     /// Registers one reader.
     ///
     /// # Errors
@@ -210,98 +140,59 @@ impl<T, P: SwmrPolicy> SwmrReaders<T, P> {
     }
 }
 
-impl<T, P: SwmrPolicy> fmt::Debug for SwmrReaders<T, P> {
+impl<T, P: RawRwLock> fmt::Debug for SwmrReaders<T, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SwmrReaders").finish_non_exhaustive()
     }
 }
 
 /// One registered reader of a [`SwmrRwLock`].
-pub struct SwmrReader<T, P: SwmrPolicy> {
-    shared: Arc<Shared<T, P>>,
+pub struct SwmrReader<T, P: RawRwLock> {
+    shared: Arc<RwLock<T, P>>,
     pid: Pid,
 }
 
-impl<T, P: SwmrPolicy> SwmrReader<T, P> {
+impl<T, P: RawRwLock> SwmrReader<T, P> {
     /// Acquires the read lock.
     pub fn read(&mut self) -> SwmrReadGuard<'_, T, P> {
         let token = self.shared.raw.read_lock(self.pid);
-        SwmrReadGuard { reader: self, token: Some(token) }
+        self.shared.read_guard(self.pid, GuardPidSource::Handle, token)
     }
 }
 
-impl<T, P: SwmrPolicy> Drop for SwmrReader<T, P> {
+impl<T, P: RawTryReadLock> SwmrReader<T, P> {
+    /// Attempts to acquire the read lock without blocking (both SWMR
+    /// algorithms have abortable reader try sections).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_core::swmr::SwmrWriterPriority;
+    /// use rmr_core::swmr_rwlock::SwmrRwLock;
+    ///
+    /// let (mut w, readers) = SwmrRwLock::<u8, SwmrWriterPriority>::new(0, 2).split();
+    /// let mut r = readers.reader().unwrap();
+    ///
+    /// let g = w.write();
+    /// assert!(r.try_read().is_none(), "writer holds the lock");
+    /// drop(g);
+    /// assert_eq!(*r.try_read().expect("writer gone"), 0);
+    /// ```
+    pub fn try_read(&mut self) -> Option<SwmrReadGuard<'_, T, P>> {
+        let token = self.shared.raw.try_read_lock(self.pid)?;
+        Some(self.shared.read_guard(self.pid, GuardPidSource::Handle, token))
+    }
+}
+
+impl<T, P: RawRwLock> Drop for SwmrReader<T, P> {
     fn drop(&mut self) {
         self.shared.registry.release(self.pid);
     }
 }
 
-impl<T, P: SwmrPolicy> fmt::Debug for SwmrReader<T, P> {
+impl<T, P: RawRwLock> fmt::Debug for SwmrReader<T, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SwmrReader").field("pid", &self.pid).finish()
-    }
-}
-
-/// RAII shared access through a [`SwmrReader`].
-pub struct SwmrReadGuard<'a, T, P: SwmrPolicy> {
-    reader: &'a SwmrReader<T, P>,
-    token: Option<P::ReadToken>,
-}
-
-impl<T, P: SwmrPolicy> Deref for SwmrReadGuard<'_, T, P> {
-    type Target = T;
-
-    fn deref(&self) -> &T {
-        // SAFETY: readers share; the writer is excluded by the algorithm.
-        unsafe { &*self.reader.shared.data.get() }
-    }
-}
-
-impl<T, P: SwmrPolicy> Drop for SwmrReadGuard<'_, T, P> {
-    fn drop(&mut self) {
-        let token = self.token.take().expect("token present until drop");
-        self.reader.shared.raw.read_unlock(self.reader.pid, token);
-    }
-}
-
-impl<T: fmt::Debug, P: SwmrPolicy> fmt::Debug for SwmrReadGuard<'_, T, P> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_tuple("SwmrReadGuard").field(&&**self).finish()
-    }
-}
-
-/// RAII exclusive access through the [`SwmrWriter`].
-pub struct SwmrWriteGuard<'a, T, P: SwmrPolicy> {
-    writer: &'a SwmrWriter<T, P>,
-    token: Option<P::WriteToken>,
-}
-
-impl<T, P: SwmrPolicy> Deref for SwmrWriteGuard<'_, T, P> {
-    type Target = T;
-
-    fn deref(&self) -> &T {
-        // SAFETY: the write session excludes all other access.
-        unsafe { &*self.writer.shared.data.get() }
-    }
-}
-
-impl<T, P: SwmrPolicy> DerefMut for SwmrWriteGuard<'_, T, P> {
-    fn deref_mut(&mut self) -> &mut T {
-        // SAFETY: as above.
-        unsafe { &mut *self.writer.shared.data.get() }
-    }
-}
-
-impl<T, P: SwmrPolicy> Drop for SwmrWriteGuard<'_, T, P> {
-    fn drop(&mut self) {
-        let token = self.token.take().expect("token present until drop");
-        self.writer.shared.raw.write_unlock(self.writer.pid, token);
-    }
-}
-
-impl<T: fmt::Debug, P: SwmrPolicy> fmt::Debug for SwmrWriteGuard<'_, T, P> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_tuple("SwmrWriteGuard").field(&&**self).finish()
     }
 }
 
@@ -333,8 +224,26 @@ mod tests {
     }
 
     #[test]
+    fn try_read_is_denied_while_writer_holds() {
+        let (mut w, readers) = WriterPrioritySwmr::new(0u32, 2).split();
+        let mut r = readers.reader().unwrap();
+        assert!(r.try_read().is_some(), "no writer yet");
+        let g = w.write();
+        assert!(r.try_read().is_none(), "must not block or enter");
+        drop(g);
+        assert!(r.try_read().is_some());
+
+        let (mut w, readers) = ReaderPrioritySwmr::new(0u32, 2).split();
+        let mut r = readers.reader().unwrap();
+        let g = w.write();
+        assert!(r.try_read().is_none(), "must not block or enter");
+        drop(g);
+        assert!(r.try_read().is_some());
+    }
+
+    #[test]
     fn concurrent_stress_both_policies() {
-        fn stress<P: SwmrPolicy + 'static>() {
+        fn stress<P: RawRwLock + Default + 'static>() {
             let (mut w, readers) = SwmrRwLock::<u64, P>::new(0, 4).split();
             let stop = Arc::new(AtomicBool::new(false));
             let overlap = Arc::new(AtomicUsize::new(0));
@@ -355,11 +264,7 @@ mod tests {
             }
             for _ in 0..200 {
                 let mut g = w.write();
-                assert_eq!(
-                    overlap.load(Ordering::Relaxed),
-                    0,
-                    "reader overlapped a write session"
-                );
+                assert_eq!(overlap.load(Ordering::Relaxed), 0, "reader overlapped a write session");
                 *g += 1;
             }
             stop.store(true, Ordering::Relaxed);

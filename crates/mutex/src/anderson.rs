@@ -1,8 +1,8 @@
 //! T. E. Anderson's array-based queueing lock (IEEE TPDS 1990).
 
+use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::RawMutex;
-use crossbeam_utils::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -64,14 +64,9 @@ impl AndersonLock {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "AndersonLock capacity must be positive");
         let capacity = capacity.next_power_of_two().max(2);
-        let slots: Box<[_]> = (0..capacity)
-            .map(|i| CachePadded::new(AtomicBool::new(i == 0)))
-            .collect();
-        Self {
-            slots,
-            next_ticket: AtomicU64::new(0),
-            mask: capacity as u64 - 1,
-        }
+        let slots: Box<[_]> =
+            (0..capacity).map(|i| CachePadded::new(AtomicBool::new(i == 0))).collect();
+        Self { slots, next_ticket: AtomicU64::new(0), mask: capacity as u64 - 1 }
     }
 
     fn slot(&self, ticket: u64) -> &AtomicBool {

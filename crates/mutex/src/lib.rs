@@ -52,12 +52,14 @@
 
 mod anderson;
 mod mcs;
+mod pad;
 mod spin;
 mod tas;
 mod ticket;
 
 pub use anderson::{AndersonLock, AndersonToken};
 pub use mcs::{McsLock, McsToken};
+pub use pad::CachePadded;
 pub use spin::{spin_until, SpinWait};
 pub use tas::{TasLock, TtasLock};
 pub use ticket::{TicketLock, TicketToken};

@@ -116,10 +116,7 @@ impl Drop for McsLock {
         // A leaked token leaks its node; a held lock at drop time is a
         // caller bug. Nothing to free on the happy path: every node is
         // reclaimed by its own unlock.
-        debug_assert!(
-            self.tail.get_mut().is_null(),
-            "McsLock dropped while held or contended"
-        );
+        debug_assert!(self.tail.get_mut().is_null(), "McsLock dropped while held or contended");
     }
 }
 

@@ -56,9 +56,7 @@ impl RawMutex for TasLock {
 
 impl fmt::Debug for TasLock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TasLock")
-            .field("held", &self.held.load(Ordering::SeqCst))
-            .finish()
+        f.debug_struct("TasLock").field("held", &self.held.load(Ordering::SeqCst)).finish()
     }
 }
 
@@ -89,6 +87,25 @@ impl TtasLock {
     pub fn new() -> Self {
         Self { held: AtomicBool::new(false) }
     }
+
+    /// Attempts to acquire without waiting; `true` on success.
+    ///
+    /// Test-first, like the blocking path: the swap is only attempted when
+    /// the flag reads free, so a failed try on a held lock costs one read.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_mutex::{RawMutex, TtasLock};
+    ///
+    /// let lock = TtasLock::new();
+    /// assert!(lock.try_lock());
+    /// assert!(!lock.try_lock());
+    /// lock.unlock(());
+    /// ```
+    pub fn try_lock(&self) -> bool {
+        !self.held.load(Ordering::SeqCst) && !self.held.swap(true, Ordering::SeqCst)
+    }
 }
 
 impl RawMutex for TtasLock {
@@ -115,9 +132,7 @@ impl RawMutex for TtasLock {
 
 impl fmt::Debug for TtasLock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TtasLock")
-            .field("held", &self.held.load(Ordering::SeqCst))
-            .finish()
+        f.debug_struct("TtasLock").field("held", &self.held.load(Ordering::SeqCst)).finish()
     }
 }
 

@@ -1,8 +1,8 @@
 //! Ticket (Lamport bakery-style counter) lock.
 
+use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::RawMutex;
-use crossbeam_utils::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -348,14 +348,20 @@ impl Algorithm for TicketRw {
 pub enum TournamentLocal {
     Remainder,
     /// Reader climbing: next tree node index to increment.
-    RClimb { node: u32 },
+    RClimb {
+        node: u32,
+    },
     RCheckWriter,
     /// Reader retreating after seeing the writer flag.
-    RDescend { node: u32 },
+    RDescend {
+        node: u32,
+    },
     RPark,
     RCs,
     /// Reader exit: descending.
-    RExit { node: u32 },
+    RExit {
+        node: u32,
+    },
     // Writer: TTAS mutex, flag, drain root.
     WSpinM,
     WSwapM,
@@ -507,7 +513,13 @@ impl Algorithm for Tournament {
         use TournamentLocal::*;
         match l {
             Remainder => Phase::Remainder,
-            RClimb { .. } | RCheckWriter | RDescend { .. } | RPark | WSpinM | WSwapM | WSetFlag
+            RClimb { .. }
+            | RCheckWriter
+            | RDescend { .. }
+            | RPark
+            | WSpinM
+            | WSwapM
+            | WSetFlag
             | WDrainRoot => Phase::WaitingRoom,
             RCs | WCs => Phase::Cs,
             RExit { .. } | WClearFlag | WRelM => Phase::Exit,

@@ -174,7 +174,14 @@ pub fn writer_phase(local: &WriterLocal) -> Phase {
     match local.pc {
         WPc::Remainder => Phase::Remainder,
         WPc::L3 => Phase::Doorway,
-        WPc::L4 | WPc::L5 | WPc::L6 | WPc::L7 | WPc::L8 | WPc::L9 | WPc::L10 | WPc::L11
+        WPc::L4
+        | WPc::L5
+        | WPc::L6
+        | WPc::L7
+        | WPc::L8
+        | WPc::L9
+        | WPc::L10
+        | WPc::L11
         | WPc::L12 => Phase::WaitingRoom,
         WPc::Cs => Phase::Cs,
         WPc::L14 => Phase::Exit,

@@ -263,7 +263,12 @@ impl Fig4 {
             F4Pc::L3 | F4Pc::L5 | F4Pc::L6 | F4Pc::L8 | F4Pc::MTicket => Phase::Doorway,
             F4Pc::MWait | F4Pc::L10 | F4Pc::L11 | F4Pc::L12 | F4Pc::InnerWr => Phase::WaitingRoom,
             F4Pc::Cs => Phase::Cs,
-            F4Pc::X15 | F4Pc::X16 | F4Pc::MRel1 | F4Pc::MRel2 | F4Pc::X18 | F4Pc::X19
+            F4Pc::X15
+            | F4Pc::X16
+            | F4Pc::MRel1
+            | F4Pc::MRel2
+            | F4Pc::X18
+            | F4Pc::X19
             | F4Pc::X20 => Phase::Exit,
         }
     }
@@ -379,11 +384,8 @@ mod tests {
                 }
                 let pid = sched.next(&runnable);
                 r.step(pid);
-                let writers_finished = r
-                    .finished_attempts()
-                    .iter()
-                    .filter(|a| a.role_writer)
-                    .count();
+                let writers_finished =
+                    r.finished_attempts().iter().filter(|a| a.role_writer).count();
                 if writers_finished >= 4 {
                     writer_done = true;
                     break;

@@ -223,9 +223,6 @@ mod tests {
     fn separation_anderson_beats_ttas_at_scale() {
         let anderson = max_rmr(MutexKind::Anderson, 24, 3);
         let ttas = max_rmr(MutexKind::Ttas, 24, 3);
-        assert!(
-            anderson < ttas,
-            "Anderson ({anderson}) must beat TTAS ({ttas}) at 24 contenders"
-        );
+        assert!(anderson < ttas, "Anderson ({anderson}) must beat TTAS ({ttas}) at 24 contenders");
     }
 }

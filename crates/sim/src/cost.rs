@@ -101,9 +101,7 @@ impl CcModel {
 
     /// Whether `pid` currently holds a valid cached copy of `var`.
     pub fn is_cached(&self, pid: usize, var: VarId) -> bool {
-        self.holders
-            .get(var.index())
-            .is_some_and(|h| h & (1 << pid) != 0)
+        self.holders.get(var.index()).is_some_and(|h| h & (1 << pid) != 0)
     }
 }
 

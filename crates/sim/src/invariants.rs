@@ -128,10 +128,7 @@ pub fn fig1_invariants(alg: &Fig1, cfg: &Config<Fig1>) -> Result<(), String> {
 /// line-18 increment and the line-26 decrement).
 fn fig2_reader_counted(local: &fig2::ReaderLocal) -> bool {
     use fig2::RPc;
-    matches!(
-        local.pc,
-        RPc::L19 | RPc::L20 | RPc::L22 | RPc::L23 | RPc::L24 | RPc::Cs | RPc::L26
-    )
+    matches!(local.pc, RPc::L19 | RPc::L20 | RPc::L22 | RPc::L23 | RPc::L24 | RPc::Cs | RPc::L26)
 }
 
 /// The Figure 5 invariants for Figure 2.
@@ -162,7 +159,10 @@ pub fn fig2_invariants(alg: &Fig2, cfg: &Config<Fig2>) -> Result<(), String> {
     let open = g.iter().filter(|&&x| x == 1).count();
     let expected_open = if writer.pc == fig2::WPc::L8 { 0 } else { 1 };
     if open != expected_open {
-        return Err(format!("{open} gates open at writer pc {:?} (expected {expected_open})", writer.pc));
+        return Err(format!(
+            "{open} gates open at writer pc {:?} (expected {expected_open})",
+            writer.pc
+        ));
     }
 
     // --- Invariant 3: a reader in the CS implies X ≠ true, unless the
@@ -235,9 +235,9 @@ pub fn fig3sf_invariants(alg: &Fig3Sf, cfg: &Config<Fig3Sf>) -> Result<(), Strin
 
     for s in 0..2usize {
         let reader_count = readers.iter().filter(|r| fig1_reader_holds(r)[s]).count() as u64;
-        let writer_bit = inner_writers.iter().any(|(_, w)| {
-            matches!(w.pc, WPc::L6 | WPc::L7) && w.prev_d as usize == s
-        });
+        let writer_bit = inner_writers
+            .iter()
+            .any(|(_, w)| matches!(w.pc, WPc::L6 | WPc::L7) && w.prev_d as usize == s);
         let expected = reader_count | if writer_bit { WRITER_BIT } else { 0 };
         let actual = cfg.cells[v.c[s].index()];
         if actual != expected {
@@ -245,9 +245,7 @@ pub fn fig3sf_invariants(alg: &Fig3Sf, cfg: &Config<Fig3Sf>) -> Result<(), Strin
         }
     }
     let ec_count = readers.iter().filter(|r| fig1_reader_in_ec(r)).count() as u64;
-    let ec_bit = inner_writers
-        .iter()
-        .any(|(_, w)| matches!(w.pc, WPc::L11 | WPc::L12));
+    let ec_bit = inner_writers.iter().any(|(_, w)| matches!(w.pc, WPc::L11 | WPc::L12));
     let expected = ec_count | if ec_bit { WRITER_BIT } else { 0 };
     let actual = cfg.cells[v.ec.index()];
     if actual != expected {
@@ -273,15 +271,22 @@ pub fn fig4_invariants(alg: &Fig4, cfg: &Config<Fig4>) -> Result<(), String> {
     for (pid, l) in cfg.locals.iter().enumerate() {
         match l {
             Fig4Local::Writer(w) => {
-                if !matches!(w.pc, F4Pc::Remainder | F4Pc::MRel1 | F4Pc::MRel2 | F4Pc::X18
-                    | F4Pc::X19 | F4Pc::X20)
-                {
+                if !matches!(
+                    w.pc,
+                    F4Pc::Remainder | F4Pc::MRel1 | F4Pc::MRel2 | F4Pc::X18 | F4Pc::X19 | F4Pc::X20
+                ) {
                     counted += 1;
                 }
                 if matches!(
                     w.pc,
-                    F4Pc::L10 | F4Pc::L11 | F4Pc::L12 | F4Pc::InnerWr | F4Pc::Cs | F4Pc::X15
-                        | F4Pc::X16 | F4Pc::MRel1
+                    F4Pc::L10
+                        | F4Pc::L11
+                        | F4Pc::L12
+                        | F4Pc::InnerWr
+                        | F4Pc::Cs
+                        | F4Pc::X15
+                        | F4Pc::X16
+                        | F4Pc::MRel1
                 ) {
                     m_holders.push(pid);
                 }
@@ -303,9 +308,8 @@ pub fn fig4_invariants(alg: &Fig4, cfg: &Config<Fig4>) -> Result<(), String> {
 
     for s in 0..2usize {
         let reader_count = readers.iter().filter(|r| fig1_reader_holds(r)[s]).count() as u64;
-        let writer_bit = inner_bits
-            .iter()
-            .any(|w| matches!(w.pc, WPc::L6 | WPc::L7) && w.prev_d as usize == s);
+        let writer_bit =
+            inner_bits.iter().any(|w| matches!(w.pc, WPc::L6 | WPc::L7) && w.prev_d as usize == s);
         let expected = reader_count | if writer_bit { WRITER_BIT } else { 0 };
         let actual = cfg.cells[v.c[s].index()];
         if actual != expected {

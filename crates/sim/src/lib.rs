@@ -62,6 +62,7 @@ pub mod invariants;
 pub mod machine;
 pub mod mem;
 pub mod props;
+pub mod rng;
 pub mod runner;
 pub mod trace;
 

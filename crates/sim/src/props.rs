@@ -157,10 +157,13 @@ pub fn wp_relates(w: &AttemptLog, r: &AttemptLog, all: &[AttemptLog]) -> bool {
 
 /// Is the CS occupied (by an attempt matching `filter`) at some time in
 /// `[lo, hi)`?
-fn occupied_within(all: &[AttemptLog], lo: usize, hi: usize, filter: impl Fn(&AttemptLog) -> bool) -> bool {
-    all.iter().filter(|a| filter(a)).any(|a| {
-        cs_interval(a).is_some_and(|(s, e)| s < hi && e > lo)
-    })
+fn occupied_within(
+    all: &[AttemptLog],
+    lo: usize,
+    hi: usize,
+    filter: impl Fn(&AttemptLog) -> bool,
+) -> bool {
+    all.iter().filter(|a| filter(a)).any(|a| cs_interval(a).is_some_and(|(s, e)| s < hi && e > lo))
 }
 
 /// RP1 — reader priority: whenever `r >rp w`, `w` does not enter the CS

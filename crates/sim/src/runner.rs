@@ -5,9 +5,7 @@
 use crate::cost::CostModel;
 use crate::machine::{Algorithm, Phase, Role, StepEvent};
 use crate::mem::MemAccess;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use crate::rng::SplitMix64;
 use std::fmt;
 
 /// A complete interleaving state: shared memory plus every process's local
@@ -43,10 +41,7 @@ impl<A: Algorithm> std::hash::Hash for Config<A> {
 
 impl<A: Algorithm> fmt::Debug for Config<A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Config")
-            .field("cells", &self.cells)
-            .field("locals", &self.locals)
-            .finish()
+        f.debug_struct("Config").field("cells", &self.cells).field("locals", &self.locals).finish()
     }
 }
 
@@ -61,7 +56,7 @@ impl<A: Algorithm> Config<A> {
 }
 
 /// Everything recorded about one attempt (one Try–CS–Exit traversal).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AttemptLog {
     /// Acting process.
     pub pid: usize,
@@ -110,19 +105,19 @@ impl Scheduler for RoundRobin {
 /// Seeded uniform-random scheduler (probabilistically fair).
 #[derive(Debug)]
 pub struct RandomSched {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl RandomSched {
     /// Creates the scheduler from a seed (runs are reproducible).
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self { rng: SplitMix64::new(seed) }
     }
 }
 
 impl Scheduler for RandomSched {
     fn next(&mut self, runnable: &[usize]) -> usize {
-        runnable[self.rng.gen_range(0..runnable.len())]
+        runnable[self.rng.gen_index(runnable.len())]
     }
 }
 
@@ -130,7 +125,7 @@ impl Scheduler for RandomSched {
 /// or storm particular roles (e.g. weight readers 50× over the writer).
 #[derive(Debug)]
 pub struct WeightedSched {
-    rng: StdRng,
+    rng: SplitMix64,
     weights: Vec<f64>,
 }
 
@@ -138,14 +133,14 @@ impl WeightedSched {
     /// Creates the scheduler; `weights[pid]` is the relative step rate.
     pub fn new(seed: u64, weights: Vec<f64>) -> Self {
         assert!(weights.iter().all(|w| *w >= 0.0));
-        Self { rng: StdRng::seed_from_u64(seed), weights }
+        Self { rng: SplitMix64::new(seed), weights }
     }
 }
 
 impl Scheduler for WeightedSched {
     fn next(&mut self, runnable: &[usize]) -> usize {
         let total: f64 = runnable.iter().map(|&p| self.weights[p].max(1e-9)).sum();
-        let mut x = self.rng.gen_range(0.0..total);
+        let mut x = self.rng.gen_f64() * total;
         for &p in runnable {
             x -= self.weights[p].max(1e-9);
             if x <= 0.0 {
@@ -186,7 +181,7 @@ impl Scheduler for SubsetSched {
 }
 
 /// A safety violation detected online.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Violation {
     /// Global step time.
     pub time: usize,

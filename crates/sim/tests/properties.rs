@@ -30,7 +30,12 @@ use rmr_sim::Algorithm;
 
 const SEEDS: u64 = 25;
 
-fn run_to_quiescence<A: Algorithm>(alg: A, seed: u64, attempts: u32, snapshots: bool) -> Runner<A, FreeModel> {
+fn run_to_quiescence<A: Algorithm>(
+    alg: A,
+    seed: u64,
+    attempts: u32,
+    snapshots: bool,
+) -> Runner<A, FreeModel> {
     let mut r = Runner::new(alg, FreeModel, attempts);
     r.snapshot_cs_entries(snapshots);
     let mut sched = RandomSched::new(seed);
@@ -64,11 +69,14 @@ fn bounded_exit_all_algorithms() {
 fn fcfs_writers_fig3_both_and_fig4() {
     for seed in 0..SEEDS {
         let r = run_to_quiescence(Fig3Sf::new(3, 2), seed, 3, false);
-        check_fcfs_writers(r.finished_attempts()).unwrap_or_else(|e| panic!("fig3sf seed {seed}: {e}"));
+        check_fcfs_writers(r.finished_attempts())
+            .unwrap_or_else(|e| panic!("fig3sf seed {seed}: {e}"));
         let r = run_to_quiescence(Fig3Rp::new(3, 2), seed, 3, false);
-        check_fcfs_writers(r.finished_attempts()).unwrap_or_else(|e| panic!("fig3rp seed {seed}: {e}"));
+        check_fcfs_writers(r.finished_attempts())
+            .unwrap_or_else(|e| panic!("fig3rp seed {seed}: {e}"));
         let r = run_to_quiescence(Fig4::new(3, 2), seed, 3, false);
-        check_fcfs_writers(r.finished_attempts()).unwrap_or_else(|e| panic!("fig4 seed {seed}: {e}"));
+        check_fcfs_writers(r.finished_attempts())
+            .unwrap_or_else(|e| panic!("fig4 seed {seed}: {e}"));
     }
 }
 

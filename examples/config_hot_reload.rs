@@ -6,7 +6,8 @@
 //! operator thread occasionally replaces it. With `RwLock::writer_priority`
 //! the reload proceeds ahead of all readers that arrived after it (WP1),
 //! and the unstoppable-writers property (WP2) bounds its entry once the
-//! critical section drains.
+//! critical section drains. No thread registers anything — the lock is
+//! used exactly like `std::sync::RwLock`.
 //!
 //! ```text
 //! cargo run --release --example config_hot_reload
@@ -52,9 +53,8 @@ fn main() {
         let requests = Arc::clone(&requests);
         let torn = Arc::clone(&torn_reads);
         workers.push(std::thread::spawn(move || {
-            let mut h = lock.register().expect("worker slot");
             while !stop.load(Ordering::Relaxed) {
-                let cfg = h.read();
+                let cfg = lock.read();
                 // A torn config would have version/rate_limit out of sync.
                 if cfg.rate_limit as u64 != 100 + cfg.version {
                     torn.fetch_add(1, Ordering::Relaxed);
@@ -68,15 +68,12 @@ fn main() {
     // The operator performs RELOADS hot reloads and tracks how long each
     // write-lock acquisition took against the storm.
     let mut waits = Vec::with_capacity(RELOADS as usize);
-    {
-        let mut h = lock.register().expect("operator slot");
-        for version in 1..=RELOADS {
-            std::thread::sleep(Duration::from_millis(3));
-            let t0 = Instant::now();
-            let mut guard = h.write();
-            waits.push(t0.elapsed());
-            *guard = Config::v(version);
-        }
+    for version in 1..=RELOADS {
+        std::thread::sleep(Duration::from_millis(3));
+        let t0 = Instant::now();
+        let mut guard = lock.write();
+        waits.push(t0.elapsed());
+        *guard = Config::v(version);
     }
 
     stop.store(true, Ordering::Relaxed);
@@ -93,7 +90,6 @@ fn main() {
     println!("  reload wait max : {max:?}");
     assert_eq!(torn_reads.load(Ordering::Relaxed), 0, "readers saw a torn config");
 
-    let mut h = lock.register().unwrap();
-    assert_eq!(h.read().version, RELOADS);
+    assert_eq!(lock.read().version, RELOADS);
     println!("final config version: {RELOADS} (all reloads landed, none starved)");
 }

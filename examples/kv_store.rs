@@ -4,7 +4,9 @@
 //!
 //! Readers run point lookups continuously; a writer applies batched
 //! updates. Under reader priority the lookups never wait behind a *waiting*
-//! writer, so read latency stays flat even while updates queue.
+//! writer, so read latency stays flat even while updates queue. Lookups
+//! that must not wait at all can use `try_read` and fall back to a stale
+//! cache — demonstrated below while a write batch holds the lock.
 //!
 //! ```text
 //! cargo run --release --example kv_store
@@ -29,22 +31,29 @@ fn main() {
 
     let stop = Arc::new(AtomicBool::new(false));
     let lookups = Arc::new(AtomicU64::new(0));
+    let try_misses = Arc::new(AtomicU64::new(0));
     let mut threads = Vec::new();
 
     for t in 0..READERS {
         let store = Arc::clone(&store);
         let stop = Arc::clone(&stop);
         let lookups = Arc::clone(&lookups);
+        let try_misses = Arc::clone(&try_misses);
         threads.push(std::thread::spawn(move || {
-            let mut h = store.register().expect("reader slot");
             let mut local = 0u64;
             let mut key = t as u64;
             while !stop.load(Ordering::Relaxed) {
                 key = (key.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
                     % KEYS;
-                let guard = h.read();
-                let v = guard.get(&key).copied();
-                drop(guard);
+                // Non-blocking fast path first; fall back to the blocking
+                // read when a write batch owns the store.
+                let v = match store.try_read() {
+                    Some(guard) => guard.get(&key).copied(),
+                    None => {
+                        try_misses.fetch_add(1, Ordering::Relaxed);
+                        store.read().get(&key).copied()
+                    }
+                };
                 assert!(v.is_some(), "store must stay fully populated");
                 local += 1;
             }
@@ -55,18 +64,15 @@ fn main() {
     // Writer: apply 50 batched updates, measuring how long each write lock
     // acquisition takes while the readers churn.
     let mut write_waits = Vec::new();
-    {
-        let mut h = store.register().expect("writer slot");
-        for batch in 0..50u64 {
-            let t0 = Instant::now();
-            let mut guard = h.write();
-            write_waits.push(t0.elapsed());
-            for k in 0..KEYS {
-                *guard.get_mut(&k).expect("key exists") = batch;
-            }
-            drop(guard);
-            std::thread::sleep(Duration::from_millis(2));
+    for batch in 0..50u64 {
+        let t0 = Instant::now();
+        let mut guard = store.write();
+        write_waits.push(t0.elapsed());
+        for k in 0..KEYS {
+            *guard.get_mut(&k).expect("key exists") = batch;
         }
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(2));
     }
 
     stop.store(true, Ordering::Relaxed);
@@ -76,11 +82,11 @@ fn main() {
 
     let total_lookups = lookups.load(Ordering::Relaxed);
     let max_wait = write_waits.iter().max().expect("50 batches");
-    let mean_wait: Duration =
-        write_waits.iter().sum::<Duration>() / write_waits.len() as u32;
+    let mean_wait: Duration = write_waits.iter().sum::<Duration>() / write_waits.len() as u32;
 
     println!("kv_store (reader-priority, {READERS} readers, 50 write batches over {KEYS} keys)");
     println!("  lookups served      : {total_lookups}");
+    println!("  try_read fallbacks  : {}", try_misses.load(Ordering::Relaxed));
     println!("  write-lock wait mean: {mean_wait:?}");
     println!("  write-lock wait max : {max_wait:?}");
     println!();
@@ -89,8 +95,7 @@ fn main() {
     println!("storm. Swap in RwLock::writer_priority for bounded write waits.");
 
     // Consistency: final values all from the last batch.
-    let mut h = store.register().unwrap();
-    let guard = h.read();
+    let guard = store.read();
     assert!(guard.values().all(|&v| v == 49));
     println!("final state consistent: all {KEYS} keys at batch 49");
 }

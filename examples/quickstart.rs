@@ -1,6 +1,10 @@
 //! Quickstart: protect a value with each of the three constant-RMR
 //! reader-writer policies and hammer it from a few threads.
 //!
+//! Zero ceremony — no `register()` calls anywhere: threads lock directly
+//! (as with `std::sync::RwLock`) and pids are leased per thread behind the
+//! scenes, returned automatically at thread exit.
+//!
 //! ```text
 //! cargo run --example quickstart
 //! ```
@@ -10,18 +14,17 @@ use std::sync::Arc;
 
 fn demo<L>(name: &str, lock: Arc<RwLock<u64, L>>, threads: usize)
 where
-    L: rmrw::core::RawRwLock + 'static,
+    L: rmrw::core::RawMultiWriter + 'static,
 {
     let mut handles = Vec::new();
     for _ in 0..threads {
         let lock = Arc::clone(&lock);
         handles.push(std::thread::spawn(move || {
-            let mut h = lock.register().expect("enough capacity for all threads");
             for i in 0..1_000u64 {
                 if i % 10 == 0 {
-                    *h.write() += 1; // exclusive access
+                    *lock.write() += 1; // exclusive access
                 } else {
-                    let v = *h.read(); // shared access
+                    let v = *lock.read(); // shared access
                     std::hint::black_box(v);
                 }
             }
@@ -30,8 +33,7 @@ where
     for t in handles {
         t.join().unwrap();
     }
-    let mut h = lock.register().unwrap();
-    let total = *h.read();
+    let total = *lock.read();
     println!("{name:<28} final counter = {total} (expected {})", threads * 100);
     assert_eq!(total, threads as u64 * 100);
 }
@@ -40,25 +42,13 @@ fn main() {
     let threads = 4;
 
     // Theorem 3: nobody starves, FCFS writers, FIFE readers.
-    demo(
-        "starvation-free (Thm 3)",
-        Arc::new(RwLock::starvation_free(0u64, threads + 1)),
-        threads,
-    );
+    demo("starvation-free (Thm 3)", Arc::new(RwLock::starvation_free(0u64, threads + 1)), threads);
 
     // Theorem 4: readers never wait for waiting writers.
-    demo(
-        "reader-priority (Thm 4)",
-        Arc::new(RwLock::reader_priority(0u64, threads + 1)),
-        threads,
-    );
+    demo("reader-priority (Thm 4)", Arc::new(RwLock::reader_priority(0u64, threads + 1)), threads);
 
     // Theorem 5: writers overtake waiting readers.
-    demo(
-        "writer-priority (Thm 5)",
-        Arc::new(RwLock::writer_priority(0u64, threads + 1)),
-        threads,
-    );
+    demo("writer-priority (Thm 5)", Arc::new(RwLock::writer_priority(0u64, threads + 1)), threads);
 
     println!("\nAll three policies preserved every update. See DESIGN.md for the paper map.");
 }

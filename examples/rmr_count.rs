@@ -31,8 +31,7 @@ fn main() {
     println!("|---|---|---|");
     for readers in [1usize, 2, 4, 8, 16, 32] {
         let fig1: u64 = (0..3).map(|s| max_rmr(Fig1::new(readers), s)).max().unwrap();
-        let cent: u64 =
-            (0..3).map(|s| max_rmr(Centralized::new(1, readers), s)).max().unwrap();
+        let cent: u64 = (0..3).map(|s| max_rmr(Centralized::new(1, readers), s)).max().unwrap();
         println!("| {readers} | {fig1} | {cent} |");
     }
     println!("\nThe left column stays flat — that is Theorem 1's O(1) RMR bound.");

@@ -11,20 +11,24 @@
 //! | [`baselines`] | `rmr-baselines` | the prior-art lock classes the paper improves on |
 //! | [`sim`] | `rmr-sim` | the abstract machine: model checking, RMR cost models, invariants |
 //!
-//! Most applications only need [`core`]:
+//! Most applications only need [`core`]. The lock is used exactly like
+//! `std::sync::RwLock` — pids are leased per thread behind the scenes:
 //!
 //! ```
 //! use rmrw::core::RwLock;
 //!
 //! let lock = RwLock::starvation_free(vec![1, 2, 3], 8);
-//! let mut handle = lock.register()?;
-//! handle.write().push(4);
-//! assert_eq!(handle.read().len(), 4);
-//! # Ok::<(), rmrw::core::RegistryFull>(())
+//! lock.write().push(4);
+//! assert_eq!(lock.read().len(), 4);
+//! assert_eq!(lock.try_read().expect("no writer").len(), 4);
 //! ```
 //!
+//! For pinned pids (explicit registration) use [`core`]'s
+//! `RwLock::register`; for the statically-enforced single-writer split of
+//! Figures 1–2 use `rmrw::core::swmr_rwlock`.
+//!
 //! See the workspace README for the paper map, DESIGN.md for the system
-//! inventory, and EXPERIMENTS.md for the reproduced results.
+//! inventory, and EXPERIMENTS.md for how to reproduce the measurements.
 
 #![warn(missing_docs)]
 

@@ -1,19 +1,21 @@
-//! Cross-crate integration: the typed front end over every raw lock in the
-//! workspace (the paper's three policies *and* the baselines), exercised
-//! through the facade crate.
+//! Cross-crate integration: the unified typed front end over every raw
+//! lock in the workspace (the paper's policies *and* the baselines),
+//! exercised through the facade crate — via both the leased-pid and the
+//! pinned-handle paths.
 
 use rmrw::baselines::{
-    CentralizedRwLock, CourtoisWriterPrefRwLock, DistributedFlagRwLock, ParkingLotRwLock,
-    StdRwLock, TicketRwLock, TournamentRwLock,
+    CentralizedRwLock, CourtoisWriterPrefRwLock, DistributedFlagRwLock, StdRwLock, TicketRwLock,
+    TournamentRwLock,
 };
 use rmrw::core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
-use rmrw::core::raw::RawRwLock;
+use rmrw::core::raw::{RawMultiWriter, RawTryReadLock, RawTryRwLock};
 use rmrw::core::RwLock;
 use std::sync::Arc;
 
-/// Generic end-to-end exercise of the typed API over any raw lock:
-/// concurrent increments must all land, reads must see consistent state.
-fn exercise<L: RawRwLock + 'static>(raw: L) {
+/// Generic end-to-end exercise of the typed API over any raw lock through
+/// the **pinned-handle** path: concurrent increments must all land, reads
+/// must see consistent state.
+fn exercise<L: RawMultiWriter + 'static>(raw: L) {
     let threads = raw.max_processes().min(4);
     let lock = Arc::new(RwLock::with_raw(vec![0u64; 8], raw));
     let mut handles = Vec::new();
@@ -43,54 +45,81 @@ fn exercise<L: RawRwLock + 'static>(raw: L) {
     assert_eq!(sum, total_writes, "lost updates");
 }
 
+/// Same exercise through the **leased-pid** path: zero `register()` calls.
+fn exercise_leased<L: RawMultiWriter + 'static>(raw: L) {
+    let threads = raw.max_processes().min(4);
+    let lock = Arc::new(RwLock::with_raw(0u64, raw));
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let lock = Arc::clone(&lock);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..200usize {
+                if i % 3 == 0 {
+                    *lock.write() += 1;
+                } else {
+                    std::hint::black_box(*lock.read());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*lock.read(), threads as u64 * 67, "lost updates");
+}
+
 #[test]
 fn typed_api_over_starvation_free() {
     exercise(MwmrStarvationFree::new(4));
+    exercise_leased(MwmrStarvationFree::new(4));
 }
 
 #[test]
 fn typed_api_over_reader_priority() {
     exercise(MwmrReaderPriority::new(4));
+    exercise_leased(MwmrReaderPriority::new(4));
 }
 
 #[test]
 fn typed_api_over_writer_priority() {
     exercise(MwmrWriterPriority::new(4));
+    exercise_leased(MwmrWriterPriority::new(4));
 }
 
 #[test]
 fn typed_api_over_centralized_baseline() {
     exercise(CentralizedRwLock::new(4));
+    exercise_leased(CentralizedRwLock::new(4));
 }
 
 #[test]
 fn typed_api_over_courtois_writer_pref_baseline() {
     exercise(CourtoisWriterPrefRwLock::new(4));
+    exercise_leased(CourtoisWriterPrefRwLock::new(4));
 }
 
 #[test]
 fn typed_api_over_ticket_baseline() {
     exercise(TicketRwLock::new(4));
+    exercise_leased(TicketRwLock::new(4));
 }
 
 #[test]
 fn typed_api_over_distributed_flag_baseline() {
     exercise(DistributedFlagRwLock::new(4));
+    exercise_leased(DistributedFlagRwLock::new(4));
 }
 
 #[test]
 fn typed_api_over_tournament_baseline() {
     exercise(TournamentRwLock::new(4));
+    exercise_leased(TournamentRwLock::new(4));
 }
 
 #[test]
 fn typed_api_over_std_baseline() {
     exercise(StdRwLock::new(4));
-}
-
-#[test]
-fn typed_api_over_parking_lot_baseline() {
-    exercise(ParkingLotRwLock::new(4));
+    exercise_leased(StdRwLock::new(4));
 }
 
 #[test]
@@ -109,16 +138,14 @@ fn guards_release_on_panic_unwind() {
     let lock = Arc::new(RwLock::starvation_free(0u32, 2));
     let l2 = Arc::clone(&lock);
     let result = std::thread::spawn(move || {
-        let mut h = l2.register().unwrap();
-        let _g = h.write();
+        let _g = l2.write();
         panic!("poisoned on purpose");
     })
     .join();
     assert!(result.is_err());
     // The lock must still be usable (no poisoning semantics — by design).
-    let mut h = lock.register().unwrap();
-    *h.write() += 1;
-    assert_eq!(*h.read(), 1);
+    *lock.write() += 1;
+    assert_eq!(*lock.read(), 1);
 }
 
 #[test]
@@ -135,6 +162,44 @@ fn handles_work_across_policies_simultaneously() {
     assert_eq!(*ha.read(), "a!");
     assert_eq!(*hb.read(), "b!");
     assert_eq!(*hc.read(), "c!");
+}
+
+#[test]
+fn try_read_is_non_blocking_on_every_core_policy() {
+    fn check<L: RawTryReadLock + RawMultiWriter + 'static>(raw: L) {
+        let lock = Arc::new(RwLock::with_raw(0u8, raw));
+        let w = lock.write();
+        // The bounded attempt must return (None) while a writer holds the
+        // lock — from another thread, so a blocking bug would hang, and a
+        // soundness bug would see the writer's critical section.
+        let l2 = Arc::clone(&lock);
+        let denied = std::thread::spawn(move || l2.try_read().is_none()).join().unwrap();
+        assert!(denied, "try_read entered or blocked under a held write lock");
+        drop(w);
+        assert_eq!(*lock.try_read().expect("writer gone"), 0);
+    }
+    check(MwmrStarvationFree::new(4));
+    check(MwmrReaderPriority::new(4));
+    check(MwmrWriterPriority::new(4));
+}
+
+#[test]
+fn try_write_is_non_blocking_on_baselines() {
+    fn check<L: RawTryRwLock + RawMultiWriter + 'static>(raw: L) {
+        let lock = Arc::new(RwLock::with_raw(0u8, raw));
+        let w = lock.write();
+        let l2 = Arc::clone(&lock);
+        let denied = std::thread::spawn(move || l2.try_write().is_none()).join().unwrap();
+        assert!(denied, "try_write entered or blocked under a held write lock");
+        drop(w);
+        *lock.try_write().expect("writer gone") += 1;
+        assert_eq!(*lock.read(), 1);
+    }
+    check(StdRwLock::new(4));
+    check(CentralizedRwLock::new(4));
+    check(TicketRwLock::new(4));
+    check(DistributedFlagRwLock::new(4));
+    check(TournamentRwLock::new(4));
 }
 
 #[test]

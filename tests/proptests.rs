@@ -1,84 +1,72 @@
-//! Property-based tests (proptest) over the workspace's core data
-//! structures and the simulator.
+//! Randomized property tests over the workspace's core data structures and
+//! the simulator, driven by the workspace's own seeded PRNG (the external
+//! `proptest` dependency was replaced; the properties are unchanged):
 //!
 //! * the packed `[writer-waiting, reader-count]` fetch&add cell against a
 //!   reference model;
 //! * the CC cost model against an independently written reference;
 //! * arbitrary schedules driving the Figure 1/2/4 machines: safety and the
 //!   paper's proof invariants must hold after **every** step of **any**
-//!   schedule proptest can dream up.
+//!   schedule the generator dreams up;
+//! * the pid registry never double-issues;
+//! * the DSM model charges an RMR exactly when the home differs.
+//!
+//! Every case is reproducible: failures print the case seed.
 
-use proptest::prelude::*;
 use rmrw::core::packed::{Packed, PackedFaa};
 use rmrw::sim::algos::fig1::Fig1;
 use rmrw::sim::algos::fig2::Fig2;
 use rmrw::sim::algos::fig4::Fig4;
-use rmrw::sim::cost::{AccessKind, CcModel, CostModel, FreeModel};
+use rmrw::sim::cost::{AccessKind, CcModel, CostModel, DsmModel, FreeModel};
 use rmrw::sim::invariants::{fig1_invariants, fig2_invariants};
 use rmrw::sim::machine::{Algorithm, Phase, Role};
-use rmrw::sim::runner::{Config, Runner};
+use rmrw::sim::rng::SplitMix64;
+use rmrw::sim::runner::{Config, RoundRobin, Runner};
 use std::collections::HashSet;
+
+const CASES: u64 = 64;
 
 // ---------------------------------------------------------------------
 // PackedFaa vs. a two-field reference model
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone, Copy)]
-enum PackedOp {
-    AddReader,
-    SubReader,
-    AddWriter,
-    SubWriter,
-}
-
-fn packed_ops() -> impl Strategy<Value = Vec<PackedOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just(PackedOp::AddReader),
-            Just(PackedOp::SubReader),
-            Just(PackedOp::AddWriter),
-            Just(PackedOp::SubWriter),
-        ],
-        0..200,
-    )
-}
-
-proptest! {
-    #[test]
-    fn packed_faa_matches_reference_model(ops in packed_ops()) {
+#[test]
+fn packed_faa_matches_reference_model() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x9ac8_0000 + case);
         let cell = PackedFaa::new();
         let mut readers = 0u64;
         let mut writer = false;
-        for op in ops {
+        for _ in 0..rng.gen_index(200) {
             // Respect the algorithm's usage contract (the fields are only
             // moved in legal directions); illegal ops are skipped exactly
             // when the algorithms would never issue them.
-            match op {
-                PackedOp::AddReader => {
+            match rng.gen_index(4) {
+                0 => {
                     let old = cell.add_reader();
-                    prop_assert_eq!(old, Packed::new(writer, readers));
+                    assert_eq!(old, Packed::new(writer, readers), "case {case}");
                     readers += 1;
                 }
-                PackedOp::SubReader if readers > 0 => {
+                1 if readers > 0 => {
                     let old = cell.sub_reader();
-                    prop_assert_eq!(old, Packed::new(writer, readers));
+                    assert_eq!(old, Packed::new(writer, readers), "case {case}");
                     readers -= 1;
                 }
-                PackedOp::AddWriter if !writer => {
+                2 if !writer => {
                     let old = cell.add_writer();
-                    prop_assert_eq!(old, Packed::new(false, readers));
+                    assert_eq!(old, Packed::new(false, readers), "case {case}");
                     writer = true;
                 }
-                PackedOp::SubWriter if writer => {
+                3 if writer => {
                     let old = cell.sub_writer();
-                    prop_assert_eq!(old, Packed::new(true, readers));
+                    assert_eq!(old, Packed::new(true, readers), "case {case}");
                     writer = false;
                 }
                 _ => {}
             }
-            prop_assert_eq!(cell.load(), Packed::new(writer, readers));
-            prop_assert_eq!(cell.load().writer_waiting(), writer);
-            prop_assert_eq!(cell.load().reader_count(), readers);
+            assert_eq!(cell.load(), Packed::new(writer, readers), "case {case}");
+            assert_eq!(cell.load().writer_waiting(), writer, "case {case}");
+            assert_eq!(cell.load().reader_count(), readers, "case {case}");
         }
     }
 }
@@ -103,12 +91,8 @@ impl RefCc {
                 !hit
             }
             AccessKind::Update => {
-                let holders: Vec<usize> = self
-                    .cached
-                    .iter()
-                    .filter(|(_, v)| *v == var)
-                    .map(|(p, _)| *p)
-                    .collect();
+                let holders: Vec<usize> =
+                    self.cached.iter().filter(|(_, v)| *v == var).map(|(p, _)| *p).collect();
                 let exclusive = holders == [pid];
                 self.cached.retain(|(_, v)| *v != var);
                 self.cached.insert((pid, var));
@@ -118,19 +102,19 @@ impl RefCc {
     }
 }
 
-proptest! {
-    #[test]
-    fn cc_model_matches_reference(
-        accesses in proptest::collection::vec(
-            (0usize..6, 0usize..4, prop::bool::ANY), 0..300)
-    ) {
+#[test]
+fn cc_model_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xcc00_0000 + case);
         let mut cc = CcModel::new(6, 4);
         let mut reference = RefCc::default();
-        for (pid, var, is_update) in accesses {
-            let kind = if is_update { AccessKind::Update } else { AccessKind::Read };
+        for _ in 0..rng.gen_index(300) {
+            let pid = rng.gen_index(6);
+            let var = rng.gen_index(4);
+            let kind = if rng.gen_bool(0.5) { AccessKind::Update } else { AccessKind::Read };
             let got = cc.account(pid, rmrw::sim::mem::VarId::from_index(var), kind);
             let want = reference.account(pid, var, kind);
-            prop_assert_eq!(got, want, "divergence at pid={} var={} {:?}", pid, var, kind);
+            assert_eq!(got, want, "case {case}: divergence at pid={pid} var={var} {kind:?}");
         }
     }
 }
@@ -142,65 +126,69 @@ proptest! {
 /// Drives `alg` with an arbitrary pid schedule, checking `check` after
 /// every step and exclusion throughout.
 fn drive<A: Algorithm>(
+    case: u64,
     alg: A,
-    schedule: &[u8],
+    schedule_len: usize,
+    rng: &mut SplitMix64,
     attempts: u32,
     check: impl Fn(&A, &Config<A>) -> Result<(), String>,
-) -> Result<(), TestCaseError> {
-    let n = alg.processes();
+) {
     let mut runner = Runner::new(alg, FreeModel, attempts);
-    for &raw in schedule {
+    for _ in 0..schedule_len {
         let runnable = runner.runnable();
         if runnable.is_empty() {
             break;
         }
-        let pid = runnable[raw as usize % runnable.len()];
+        let pid = runnable[rng.gen_index(runnable.len())];
         runner.step(pid);
-        prop_assert!(runner.violations().is_empty(), "P1: {:?}", runner.violations());
-        check(runner.algorithm(), runner.config())
-            .map_err(|e| TestCaseError::fail(format!("invariant: {e}")))?;
+        assert!(runner.violations().is_empty(), "case {case}: P1: {:?}", runner.violations());
+        if let Err(e) = check(runner.algorithm(), runner.config()) {
+            panic!("case {case}: invariant: {e}");
+        }
     }
     // No process may be wedged in a state it cannot leave while others are
     // parked: run a fair round-robin to completion as a liveness epilogue.
-    let mut rr = rmrw::sim::runner::RoundRobin::default();
+    let mut rr = RoundRobin::default();
     runner.run(&mut rr, 1_000_000);
-    prop_assert!(runner.quiescent(), "schedule left the system stuck");
-    prop_assert!(runner.violations().is_empty());
-    let _ = n;
-    Ok(())
+    assert!(runner.quiescent(), "case {case}: schedule left the system stuck");
+    assert!(runner.violations().is_empty(), "case {case}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fig1_invariants_hold_under_arbitrary_schedules(
-        schedule in proptest::collection::vec(any::<u8>(), 0..600)
-    ) {
-        drive(Fig1::new(3), &schedule, 2, fig1_invariants)?;
+#[test]
+fn fig1_invariants_hold_under_arbitrary_schedules() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xf1a0_0000 + case);
+        let len = rng.gen_index(600);
+        drive(case, Fig1::new(3), len, &mut rng, 2, fig1_invariants);
     }
+}
 
-    #[test]
-    fn fig2_invariants_hold_under_arbitrary_schedules(
-        schedule in proptest::collection::vec(any::<u8>(), 0..600)
-    ) {
-        drive(Fig2::new(3), &schedule, 2, fig2_invariants)?;
+#[test]
+fn fig2_invariants_hold_under_arbitrary_schedules() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xf2a0_0000 + case);
+        let len = rng.gen_index(600);
+        drive(case, Fig2::new(3), len, &mut rng, 2, fig2_invariants);
     }
+}
 
-    #[test]
-    fn fig4_safety_holds_under_arbitrary_schedules(
-        schedule in proptest::collection::vec(any::<u8>(), 0..600)
-    ) {
-        drive(Fig4::new(2, 2), &schedule, 2, |_, _| Ok(()))?;
+#[test]
+fn fig4_safety_holds_under_arbitrary_schedules() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xf4a0_0000 + case);
+        let len = rng.gen_index(600);
+        drive(case, Fig4::new(2, 2), len, &mut rng, 2, |_, _| Ok(()));
     }
+}
 
-    #[test]
-    fn fig1_writer_in_cs_excludes_everyone(
-        schedule in proptest::collection::vec(any::<u8>(), 0..400)
-    ) {
+#[test]
+fn fig1_writer_in_cs_excludes_everyone() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xf1b0_0000 + case);
+        let len = rng.gen_index(400);
         // Redundant with the runner's online check, but stated directly
         // from phases as the paper states P1.
-        drive(Fig1::new(2), &schedule, 2, |alg, cfg| {
+        drive(case, Fig1::new(2), len, &mut rng, 2, |alg, cfg| {
             let in_cs: Vec<usize> = (0..alg.processes())
                 .filter(|&p| alg.phase(p, &cfg.locals[p]) == Phase::Cs)
                 .collect();
@@ -209,7 +197,7 @@ proptest! {
                 return Err(format!("CS occupants {in_cs:?} include a writer"));
             }
             Ok(())
-        })?;
+        });
     }
 }
 
@@ -217,25 +205,26 @@ proptest! {
 // PID registry: arbitrary allocate/release sequences never double-issue
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn registry_never_double_allocates(ops in proptest::collection::vec(any::<bool>(), 0..200)) {
-        use rmrw::core::registry::PidRegistry;
+#[test]
+fn registry_never_double_allocates() {
+    use rmrw::core::registry::PidRegistry;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x81e6_0000 + case);
         let reg = PidRegistry::new(8);
         let mut held: Vec<rmrw::core::Pid> = Vec::new();
-        for alloc in ops {
-            if alloc {
+        for _ in 0..rng.gen_index(200) {
+            if rng.gen_bool(0.5) {
                 match reg.allocate() {
                     Ok(pid) => {
-                        prop_assert!(!held.contains(&pid), "pid {pid} issued twice");
+                        assert!(!held.contains(&pid), "case {case}: pid {pid} issued twice");
                         held.push(pid);
                     }
-                    Err(_) => prop_assert_eq!(held.len(), 8, "spurious exhaustion"),
+                    Err(_) => assert_eq!(held.len(), 8, "case {case}: spurious exhaustion"),
                 }
             } else if let Some(pid) = held.pop() {
                 reg.release(pid);
             }
-            prop_assert_eq!(reg.allocated(), held.len());
+            assert_eq!(reg.allocated(), held.len(), "case {case}");
         }
     }
 }
@@ -244,20 +233,19 @@ proptest! {
 // DSM model: an access is remote exactly when the home differs
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn dsm_model_matches_definition(
-        homes in proptest::collection::vec(0usize..4, 1..6),
-        accesses in proptest::collection::vec((0usize..4, 0usize..6, any::<bool>()), 0..100),
-    ) {
-        use rmrw::sim::cost::DsmModel;
-        let n_vars = homes.len();
+#[test]
+fn dsm_model_matches_definition() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xd500_0000 + case);
+        let n_vars = 1 + rng.gen_index(5);
+        let homes: Vec<usize> = (0..n_vars).map(|_| rng.gen_index(4)).collect();
         let mut dsm = DsmModel::new(homes.clone());
-        for (pid, var, is_update) in accesses {
-            let var = var % n_vars;
-            let kind = if is_update { AccessKind::Update } else { AccessKind::Read };
+        for _ in 0..rng.gen_index(100) {
+            let pid = rng.gen_index(4);
+            let var = rng.gen_index(n_vars);
+            let kind = if rng.gen_bool(0.5) { AccessKind::Update } else { AccessKind::Read };
             let got = dsm.account(pid, rmrw::sim::mem::VarId::from_index(var), kind);
-            prop_assert_eq!(got, homes[var] != pid);
+            assert_eq!(got, homes[var] != pid, "case {case}");
         }
     }
 }

@@ -2,9 +2,9 @@
 
 use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
+use rmr_mutex::mem::{Backend, Native, SharedWord};
 use rmr_mutex::{RawMutex, TtasLock};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The classic "first readers-writers problem" solution of Courtois,
 /// Heymans & Parnas \[1\]: a reader count protected by a mutex, with the
@@ -29,14 +29,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// let t = lock.read_lock(Pid::from_index(0));
 /// lock.read_unlock(Pid::from_index(0), t);
 /// ```
-pub struct CentralizedRwLock {
+pub struct CentralizedRwLock<B: Backend = Native> {
     /// Protects `read_count` (the paper's semaphore `mutex`).
-    count_mutex: TtasLock,
+    count_mutex: TtasLock<B>,
     /// Number of readers currently inside.
-    read_count: AtomicU64,
+    read_count: B::Word,
     /// Held by the writer, or by the reader group while any reader is in
     /// (the paper's semaphore `w`).
-    resource: TtasLock,
+    resource: TtasLock<B>,
     max_processes: usize,
 }
 
@@ -45,28 +45,36 @@ impl CentralizedRwLock {
     /// nominal — this algorithm has no per-process state — but kept for
     /// interface parity).
     pub fn new(max_processes: usize) -> Self {
+        Self::new_in(max_processes, Native)
+    }
+}
+
+impl<B: Backend> CentralizedRwLock<B> {
+    /// Creates the lock over the given memory backend (same contract as
+    /// [`CentralizedRwLock::new`]).
+    pub fn new_in(max_processes: usize, backend: B) -> Self {
         assert!(max_processes > 0, "max_processes must be positive");
         Self {
-            count_mutex: TtasLock::new(),
-            read_count: AtomicU64::new(0),
-            resource: TtasLock::new(),
+            count_mutex: TtasLock::new_in(backend),
+            read_count: B::Word::new(0),
+            resource: TtasLock::new_in(backend),
             max_processes,
         }
     }
 
     /// Number of readers currently in the critical section (diagnostic).
     pub fn readers_inside(&self) -> u64 {
-        self.read_count.load(Ordering::SeqCst)
+        self.read_count.load()
     }
 }
 
-impl RawRwLock for CentralizedRwLock {
+impl<B: Backend> RawRwLock for CentralizedRwLock<B> {
     type ReadToken = ();
     type WriteToken = ();
 
     fn read_lock(&self, _pid: Pid) {
         let m = self.count_mutex.lock();
-        if self.read_count.fetch_add(1, Ordering::SeqCst) == 0 {
+        if self.read_count.fetch_add(1) == 0 {
             // First reader locks the resource on behalf of the group.
             let r = self.resource.lock();
             // TtasLock tokens are zero-sized; ownership transfers to the
@@ -78,7 +86,7 @@ impl RawRwLock for CentralizedRwLock {
 
     fn read_unlock(&self, _pid: Pid, (): ()) {
         let m = self.count_mutex.lock();
-        if self.read_count.fetch_sub(1, Ordering::SeqCst) == 1 {
+        if self.read_count.fetch_sub(1) == 1 {
             // Last reader out releases the resource.
             self.resource.unlock(());
         }
@@ -100,19 +108,19 @@ impl RawRwLock for CentralizedRwLock {
 
 // SAFETY: every writer takes the `resource` mutex for the whole critical
 // section, excluding all other writers.
-unsafe impl rmr_core::raw::RawMultiWriter for CentralizedRwLock {}
+unsafe impl<B: Backend> rmr_core::raw::RawMultiWriter for CentralizedRwLock<B> {}
 
-impl RawTryReadLock for CentralizedRwLock {
+impl<B: Backend> RawTryReadLock for CentralizedRwLock<B> {
     fn try_read_lock(&self, _pid: Pid) -> Option<()> {
         if !self.count_mutex.try_lock() {
             return None;
         }
-        let granted = if self.read_count.fetch_add(1, Ordering::SeqCst) == 0 {
+        let granted = if self.read_count.fetch_add(1) == 0 {
             // First reader must take the resource on the group's behalf; if
             // a writer holds it, undo the registration.
             let ok = self.resource.try_lock();
             if !ok {
-                self.read_count.fetch_sub(1, Ordering::SeqCst);
+                self.read_count.fetch_sub(1);
             }
             ok
         } else {
@@ -123,13 +131,13 @@ impl RawTryReadLock for CentralizedRwLock {
     }
 }
 
-impl RawTryRwLock for CentralizedRwLock {
+impl<B: Backend> RawTryRwLock for CentralizedRwLock<B> {
     fn try_write_lock(&self, _pid: Pid) -> Option<()> {
         self.resource.try_lock().then_some(())
     }
 }
 
-impl fmt::Debug for CentralizedRwLock {
+impl<B: Backend> fmt::Debug for CentralizedRwLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CentralizedRwLock")
             .field("readers_inside", &self.readers_inside())
@@ -142,6 +150,7 @@ impl fmt::Debug for CentralizedRwLock {
 mod tests {
     use super::*;
     use crate::test_support::rw_exclusion_stress;
+    use std::sync::atomic::Ordering;
     use std::sync::Arc;
     use std::time::Duration;
 

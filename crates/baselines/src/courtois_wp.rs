@@ -3,9 +3,9 @@
 
 use rmr_core::raw::RawRwLock;
 use rmr_core::registry::Pid;
+use rmr_mutex::mem::{Backend, Native, SharedWord};
 use rmr_mutex::{RawMutex, TtasLock};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The 1971 writer-preference solution, transcribed from the original
 /// five-semaphore construction (semaphores modeled as TTAS mutexes, which
@@ -33,22 +33,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// let t = lock.write_lock(Pid::from_index(0));
 /// lock.write_unlock(Pid::from_index(0), t);
 /// ```
-pub struct CourtoisWriterPrefRwLock {
+pub struct CourtoisWriterPrefRwLock<B: Backend = Native> {
     /// Protects `read_count` (the paper's `mutex 1`).
-    read_count_mutex: TtasLock,
-    read_count: AtomicU64,
+    read_count_mutex: TtasLock<B>,
+    read_count: B::Word,
     /// Protects `write_count` (the paper's `mutex 2`).
-    write_count_mutex: TtasLock,
-    write_count: AtomicU64,
+    write_count_mutex: TtasLock<B>,
+    write_count: B::Word,
     /// Serializes readers through the entry protocol (the paper's
     /// `mutex 3`) so a writer's arrival cannot be outrun by a reader
     /// convoy.
-    entry_gate: TtasLock,
+    entry_gate: TtasLock<B>,
     /// Blocks new readers while any writer waits or works (the paper's
     /// semaphore `r`).
-    read_gate: TtasLock,
+    read_gate: TtasLock<B>,
     /// The resource itself (the paper's semaphore `w`).
-    resource: TtasLock,
+    resource: TtasLock<B>,
     max_processes: usize,
 }
 
@@ -59,26 +59,34 @@ impl CourtoisWriterPrefRwLock {
     ///
     /// Panics if `max_processes == 0`.
     pub fn new(max_processes: usize) -> Self {
+        Self::new_in(max_processes, Native)
+    }
+}
+
+impl<B: Backend> CourtoisWriterPrefRwLock<B> {
+    /// Creates the lock over the given memory backend (same contract as
+    /// [`CourtoisWriterPrefRwLock::new`]).
+    pub fn new_in(max_processes: usize, backend: B) -> Self {
         assert!(max_processes > 0, "max_processes must be positive");
         Self {
-            read_count_mutex: TtasLock::new(),
-            read_count: AtomicU64::new(0),
-            write_count_mutex: TtasLock::new(),
-            write_count: AtomicU64::new(0),
-            entry_gate: TtasLock::new(),
-            read_gate: TtasLock::new(),
-            resource: TtasLock::new(),
+            read_count_mutex: TtasLock::new_in(backend),
+            read_count: B::Word::new(0),
+            write_count_mutex: TtasLock::new_in(backend),
+            write_count: B::Word::new(0),
+            entry_gate: TtasLock::new_in(backend),
+            read_gate: TtasLock::new_in(backend),
+            resource: TtasLock::new_in(backend),
             max_processes,
         }
     }
 
     /// Number of writers waiting or writing (diagnostic).
     pub fn writers_interested(&self) -> u64 {
-        self.write_count.load(Ordering::SeqCst)
+        self.write_count.load()
     }
 }
 
-impl RawRwLock for CourtoisWriterPrefRwLock {
+impl<B: Backend> RawRwLock for CourtoisWriterPrefRwLock<B> {
     type ReadToken = ();
     type WriteToken = ();
 
@@ -86,7 +94,7 @@ impl RawRwLock for CourtoisWriterPrefRwLock {
         self.entry_gate.lock();
         self.read_gate.lock();
         self.read_count_mutex.lock();
-        if self.read_count.fetch_add(1, Ordering::SeqCst) == 0 {
+        if self.read_count.fetch_add(1) == 0 {
             self.resource.lock();
         }
         self.read_count_mutex.unlock(());
@@ -96,7 +104,7 @@ impl RawRwLock for CourtoisWriterPrefRwLock {
 
     fn read_unlock(&self, _pid: Pid, (): ()) {
         self.read_count_mutex.lock();
-        if self.read_count.fetch_sub(1, Ordering::SeqCst) == 1 {
+        if self.read_count.fetch_sub(1) == 1 {
             self.resource.unlock(());
         }
         self.read_count_mutex.unlock(());
@@ -104,7 +112,7 @@ impl RawRwLock for CourtoisWriterPrefRwLock {
 
     fn write_lock(&self, _pid: Pid) {
         self.write_count_mutex.lock();
-        if self.write_count.fetch_add(1, Ordering::SeqCst) == 0 {
+        if self.write_count.fetch_add(1) == 0 {
             // First interested writer shuts the reader gate.
             self.read_gate.lock();
         }
@@ -115,7 +123,7 @@ impl RawRwLock for CourtoisWriterPrefRwLock {
     fn write_unlock(&self, _pid: Pid, (): ()) {
         self.resource.unlock(());
         self.write_count_mutex.lock();
-        if self.write_count.fetch_sub(1, Ordering::SeqCst) == 1 {
+        if self.write_count.fetch_sub(1) == 1 {
             // Last interested writer reopens the reader gate.
             self.read_gate.unlock(());
         }
@@ -129,12 +137,12 @@ impl RawRwLock for CourtoisWriterPrefRwLock {
 
 // SAFETY: every writer takes the `resource` semaphore for the whole
 // critical section, excluding all other writers.
-unsafe impl rmr_core::raw::RawMultiWriter for CourtoisWriterPrefRwLock {}
+unsafe impl<B: Backend> rmr_core::raw::RawMultiWriter for CourtoisWriterPrefRwLock<B> {}
 
-impl fmt::Debug for CourtoisWriterPrefRwLock {
+impl<B: Backend> fmt::Debug for CourtoisWriterPrefRwLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CourtoisWriterPrefRwLock")
-            .field("readers_inside", &self.read_count.load(Ordering::SeqCst))
+            .field("readers_inside", &self.read_count.load())
             .field("writers_interested", &self.writers_interested())
             .finish()
     }
@@ -145,6 +153,7 @@ mod tests {
     use super::*;
     use crate::test_support::rw_exclusion_stress;
     use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::Ordering;
     use std::sync::Arc;
     use std::time::Duration;
 

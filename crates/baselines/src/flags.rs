@@ -3,10 +3,10 @@
 
 use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
+use rmr_mutex::mem::{Backend, Native, SharedBool};
 use rmr_mutex::CachePadded;
 use rmr_mutex::{spin_until, RawMutex, TtasLock};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A reader-writer lock with one flag per reader slot: readers raise their
 /// own cache-padded flag (one RMR) and check for a writer; writers raise a
@@ -31,14 +31,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// let t = lock.read_lock(Pid::from_index(3));
 /// lock.read_unlock(Pid::from_index(3), t);
 /// ```
-pub struct DistributedFlagRwLock {
+pub struct DistributedFlagRwLock<B: Backend = Native> {
     /// One presence flag per reader slot, cache padded so raising one is a
     /// single line transfer.
-    reader_flags: Box<[CachePadded<AtomicBool>]>,
+    reader_flags: Box<[CachePadded<B::Bool>]>,
     /// Serializes writers.
-    writer_mutex: TtasLock,
+    writer_mutex: TtasLock<B>,
     /// Raised while a writer is draining readers or in the CS.
-    writer_present: AtomicBool,
+    writer_present: B::Bool,
 }
 
 impl DistributedFlagRwLock {
@@ -48,56 +48,64 @@ impl DistributedFlagRwLock {
     ///
     /// Panics if `max_processes == 0`.
     pub fn new(max_processes: usize) -> Self {
+        Self::new_in(max_processes, Native)
+    }
+}
+
+impl<B: Backend> DistributedFlagRwLock<B> {
+    /// Creates the lock over the given memory backend (same contract as
+    /// [`DistributedFlagRwLock::new`]).
+    pub fn new_in(max_processes: usize, backend: B) -> Self {
         assert!(max_processes > 0, "max_processes must be positive");
         Self {
             reader_flags: (0..max_processes)
-                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .map(|_| CachePadded::new(B::Bool::new(false)))
                 .collect(),
-            writer_mutex: TtasLock::new(),
-            writer_present: AtomicBool::new(false),
+            writer_mutex: TtasLock::new_in(backend),
+            writer_present: B::Bool::new(false),
         }
     }
 
     /// Number of raised reader flags (diagnostic; O(n) scan).
     pub fn readers_visible(&self) -> usize {
-        self.reader_flags.iter().filter(|f| f.load(Ordering::SeqCst)).count()
+        self.reader_flags.iter().filter(|f| f.load()).count()
     }
 }
 
-impl RawRwLock for DistributedFlagRwLock {
+impl<B: Backend> RawRwLock for DistributedFlagRwLock<B> {
     type ReadToken = ();
     type WriteToken = ();
 
     fn read_lock(&self, pid: Pid) {
         let flag = &self.reader_flags[pid.index()];
         loop {
-            flag.store(true, Ordering::SeqCst);
-            if !self.writer_present.load(Ordering::SeqCst) {
+            flag.store(true);
+            if !self.writer_present.load() {
                 // Flag-then-check: the writer's check-then-scan order
                 // guarantees one of us observes the other.
                 return;
             }
             // Retreat so the writer's scan can finish, then wait it out.
-            flag.store(false, Ordering::SeqCst);
-            spin_until(|| !self.writer_present.load(Ordering::SeqCst));
+            flag.store(false);
+            spin_until(|| !self.writer_present.load());
         }
     }
 
     fn read_unlock(&self, pid: Pid, (): ()) {
-        self.reader_flags[pid.index()].store(false, Ordering::SeqCst);
+        self.reader_flags[pid.index()].store(false);
     }
 
     fn write_lock(&self, _pid: Pid) {
         self.writer_mutex.lock();
-        self.writer_present.store(true, Ordering::SeqCst);
+        self.writer_present.store(true);
         // O(n): drain every reader slot.
         for flag in self.reader_flags.iter() {
-            spin_until(|| !flag.load(Ordering::SeqCst));
+            spin_until(|| !flag.load());
         }
     }
 
     fn write_unlock(&self, _pid: Pid, (): ()) {
-        self.writer_present.store(false, Ordering::SeqCst);
+        self.writer_present.store(false);
         self.writer_mutex.unlock(());
     }
 
@@ -108,32 +116,32 @@ impl RawRwLock for DistributedFlagRwLock {
 
 // SAFETY: writers serialize through `writer_mutex` for the whole critical
 // section.
-unsafe impl rmr_core::raw::RawMultiWriter for DistributedFlagRwLock {}
+unsafe impl<B: Backend> rmr_core::raw::RawMultiWriter for DistributedFlagRwLock<B> {}
 
-impl RawTryReadLock for DistributedFlagRwLock {
+impl<B: Backend> RawTryReadLock for DistributedFlagRwLock<B> {
     fn try_read_lock(&self, pid: Pid) -> Option<()> {
         let flag = &self.reader_flags[pid.index()];
         // One round of the blocking loop, with "park" replaced by "abort":
         // flag-then-check keeps the same visibility argument.
-        flag.store(true, Ordering::SeqCst);
-        if !self.writer_present.load(Ordering::SeqCst) {
+        flag.store(true);
+        if !self.writer_present.load() {
             Some(())
         } else {
-            flag.store(false, Ordering::SeqCst);
+            flag.store(false);
             None
         }
     }
 }
 
-impl RawTryRwLock for DistributedFlagRwLock {
+impl<B: Backend> RawTryRwLock for DistributedFlagRwLock<B> {
     fn try_write_lock(&self, _pid: Pid) -> Option<()> {
         if !self.writer_mutex.try_lock() {
             return None;
         }
-        self.writer_present.store(true, Ordering::SeqCst);
+        self.writer_present.store(true);
         // One scan instead of n spin-waits; any raised flag aborts.
-        if self.reader_flags.iter().any(|f| f.load(Ordering::SeqCst)) {
-            self.writer_present.store(false, Ordering::SeqCst);
+        if self.reader_flags.iter().any(|f| f.load()) {
+            self.writer_present.store(false);
             self.writer_mutex.unlock(());
             return None;
         }
@@ -141,12 +149,12 @@ impl RawTryRwLock for DistributedFlagRwLock {
     }
 }
 
-impl fmt::Debug for DistributedFlagRwLock {
+impl<B: Backend> fmt::Debug for DistributedFlagRwLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DistributedFlagRwLock")
             .field("slots", &self.reader_flags.len())
             .field("readers_visible", &self.readers_visible())
-            .field("writer_present", &self.writer_present.load(Ordering::SeqCst))
+            .field("writer_present", &self.writer_present.load())
             .finish()
     }
 }
@@ -155,6 +163,7 @@ impl fmt::Debug for DistributedFlagRwLock {
 mod tests {
     use super::*;
     use crate::test_support::rw_exclusion_stress;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
 

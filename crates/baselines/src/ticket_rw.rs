@@ -2,9 +2,9 @@
 
 use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
+use rmr_mutex::mem::{Backend, Native, SharedWord};
 use rmr_mutex::spin_until;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Grant-word layout: `read_grant` in the high 32 bits (its carry falls off
 /// the top of the u64), `write_grant` in the low 32 bits.
@@ -52,49 +52,57 @@ fn write_grant(grants: u64) -> u32 {
 /// let t = lock.write_lock(Pid::from_index(0));
 /// lock.write_unlock(Pid::from_index(0), t);
 /// ```
-pub struct TicketRwLock {
+pub struct TicketRwLock<B: Backend = Native> {
     /// Ticket dispenser.
-    users: AtomicU64,
+    users: B::Word,
     /// `[read_grant : 32 | write_grant : 32]`.
-    grants: AtomicU64,
+    grants: B::Word,
     max_processes: usize,
 }
 
 impl TicketRwLock {
     /// Creates the lock (capacity is nominal; kept for interface parity).
     pub fn new(max_processes: usize) -> Self {
-        assert!(max_processes > 0, "max_processes must be positive");
-        Self { users: AtomicU64::new(0), grants: AtomicU64::new(0), max_processes }
-    }
-
-    fn take_ticket(&self) -> u32 {
-        self.users.fetch_add(1, Ordering::SeqCst) as u32
+        Self::new_in(max_processes, Native)
     }
 }
 
-impl RawRwLock for TicketRwLock {
+impl<B: Backend> TicketRwLock<B> {
+    /// Creates the lock over the given memory backend (same contract as
+    /// [`TicketRwLock::new`]).
+    pub fn new_in(max_processes: usize, _backend: B) -> Self {
+        assert!(max_processes > 0, "max_processes must be positive");
+        Self { users: B::Word::new(0), grants: B::Word::new(0), max_processes }
+    }
+
+    fn take_ticket(&self) -> u32 {
+        self.users.fetch_add(1) as u32
+    }
+}
+
+impl<B: Backend> RawRwLock for TicketRwLock<B> {
     type ReadToken = ();
     type WriteToken = ();
 
     fn read_lock(&self, _pid: Pid) {
         let ticket = self.take_ticket();
-        spin_until(|| read_grant(self.grants.load(Ordering::SeqCst)) == ticket);
+        spin_until(|| read_grant(self.grants.load()) == ticket);
         // Let the next queued reader in right behind us.
-        self.grants.fetch_add(READ_GRANT_UNIT, Ordering::SeqCst);
+        self.grants.fetch_add(READ_GRANT_UNIT);
     }
 
     fn read_unlock(&self, _pid: Pid, (): ()) {
-        self.grants.fetch_add(1, Ordering::SeqCst); // write_grant += 1
+        self.grants.fetch_add(1); // write_grant += 1
     }
 
     fn write_lock(&self, _pid: Pid) {
         let ticket = self.take_ticket();
-        spin_until(|| write_grant(self.grants.load(Ordering::SeqCst)) == ticket);
+        spin_until(|| write_grant(self.grants.load()) == ticket);
     }
 
     fn write_unlock(&self, _pid: Pid, (): ()) {
         // Both grants advance past this writer's ticket.
-        self.grants.fetch_add(READ_GRANT_UNIT + 1, Ordering::SeqCst);
+        self.grants.fetch_add(READ_GRANT_UNIT + 1);
     }
 
     fn max_processes(&self) -> usize {
@@ -104,50 +112,47 @@ impl RawRwLock for TicketRwLock {
 
 // SAFETY: FIFO ticket service admits exactly one writer at a time
 // regardless of how many draw tickets concurrently.
-unsafe impl rmr_core::raw::RawMultiWriter for TicketRwLock {}
+unsafe impl<B: Backend> rmr_core::raw::RawMultiWriter for TicketRwLock<B> {}
 
 /// The try tier draws a ticket **conditionally**: a CAS on the dispenser
 /// that only goes through when the would-be ticket is already granted, so
 /// a failed attempt leaves no queue entry behind (drawing a ticket
 /// unconditionally would commit the caller to waiting — FIFO admits no
 /// abort once enqueued).
-impl RawTryReadLock for TicketRwLock {
+impl<B: Backend> RawTryReadLock for TicketRwLock<B> {
     fn try_read_lock(&self, _pid: Pid) -> Option<()> {
-        let u = self.users.load(Ordering::SeqCst);
+        let u = self.users.load();
         // Our ticket would be `u`; it is served the moment read_grant == u
         // (every earlier arrival has entered as a reader or fully exited).
-        if read_grant(self.grants.load(Ordering::SeqCst)) != u as u32 {
+        if read_grant(self.grants.load()) != u as u32 {
             return None;
         }
-        if self.users.compare_exchange(u, u + 1, Ordering::SeqCst, Ordering::SeqCst).is_err() {
+        if self.users.compare_exchange(u, u + 1).is_err() {
             return None; // someone else drew ticket u
         }
         // Granted immediately; let the next queued reader in behind us.
-        self.grants.fetch_add(READ_GRANT_UNIT, Ordering::SeqCst);
+        self.grants.fetch_add(READ_GRANT_UNIT);
         Some(())
     }
 }
 
-impl RawTryRwLock for TicketRwLock {
+impl<B: Backend> RawTryRwLock for TicketRwLock<B> {
     fn try_write_lock(&self, _pid: Pid) -> Option<()> {
-        let u = self.users.load(Ordering::SeqCst);
+        let u = self.users.load();
         // A writer's ticket is served only when ALL earlier arrivals have
         // exited: write_grant == u.
-        if write_grant(self.grants.load(Ordering::SeqCst)) != u as u32 {
+        if write_grant(self.grants.load()) != u as u32 {
             return None;
         }
-        self.users
-            .compare_exchange(u, u + 1, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-            .then_some(())
+        self.users.compare_exchange(u, u + 1).is_ok().then_some(())
     }
 }
 
-impl fmt::Debug for TicketRwLock {
+impl<B: Backend> fmt::Debug for TicketRwLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let g = self.grants.load(Ordering::SeqCst);
+        let g = self.grants.load();
         f.debug_struct("TicketRwLock")
-            .field("users", &(self.users.load(Ordering::SeqCst) as u32))
+            .field("users", &(self.users.load() as u32))
             .field("read_grant", &read_grant(g))
             .field("write_grant", &write_grant(g))
             .finish()
@@ -158,7 +163,7 @@ impl fmt::Debug for TicketRwLock {
 mod tests {
     use super::*;
     use crate::test_support::rw_exclusion_stress;
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
 

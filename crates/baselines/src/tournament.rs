@@ -2,10 +2,10 @@
 
 use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
+use rmr_mutex::mem::{Backend, Native, SharedBool, SharedWord};
 use rmr_mutex::CachePadded;
 use rmr_mutex::{spin_until, RawMutex, TtasLock};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A reader-writer lock whose readers announce themselves through a binary
 /// **counting tree**: each reader increments one counter per level on the
@@ -35,17 +35,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// let t = lock.read_lock(Pid::from_index(5));
 /// lock.read_unlock(Pid::from_index(5), t);
 /// ```
-pub struct TournamentRwLock {
+pub struct TournamentRwLock<B: Backend = Native> {
     /// Heap-indexed complete binary tree: node 1 is the root, leaves are
     /// `leaf_base..leaf_base * 2`. Each node counts the readers currently
     /// registered somewhere in its subtree.
-    nodes: Box<[CachePadded<AtomicU64>]>,
+    nodes: Box<[CachePadded<B::Word>]>,
     /// Number of leaves (`max_processes` rounded up to a power of two).
     leaf_base: usize,
     /// Serializes writers.
-    writer_mutex: TtasLock,
+    writer_mutex: TtasLock<B>,
     /// Raised while a writer is draining readers or in the CS.
-    writer_present: AtomicBool,
+    writer_present: B::Bool,
     max_processes: usize,
 }
 
@@ -56,13 +56,21 @@ impl TournamentRwLock {
     ///
     /// Panics if `max_processes == 0`.
     pub fn new(max_processes: usize) -> Self {
+        Self::new_in(max_processes, Native)
+    }
+}
+
+impl<B: Backend> TournamentRwLock<B> {
+    /// Creates the lock over the given memory backend (same contract as
+    /// [`TournamentRwLock::new`]).
+    pub fn new_in(max_processes: usize, backend: B) -> Self {
         assert!(max_processes > 0, "max_processes must be positive");
         let leaf_base = max_processes.next_power_of_two().max(2);
         Self {
-            nodes: (0..2 * leaf_base).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            nodes: (0..2 * leaf_base).map(|_| CachePadded::new(B::Word::new(0))).collect(),
             leaf_base,
-            writer_mutex: TtasLock::new(),
-            writer_present: AtomicBool::new(false),
+            writer_mutex: TtasLock::new_in(backend),
+            writer_present: B::Bool::new(false),
             max_processes,
         }
     }
@@ -74,7 +82,7 @@ impl TournamentRwLock {
 
     /// Number of readers currently registered at the root (diagnostic).
     pub fn root_count(&self) -> u64 {
-        self.nodes[1].load(Ordering::SeqCst)
+        self.nodes[1].load()
     }
 
     fn leaf_of(&self, pid: Pid) -> usize {
@@ -86,7 +94,7 @@ impl TournamentRwLock {
     fn climb(&self, leaf: usize) {
         let mut node = leaf;
         while node >= 1 {
-            self.nodes[node].fetch_add(1, Ordering::SeqCst);
+            self.nodes[node].fetch_add(1);
             node /= 2;
         }
     }
@@ -95,13 +103,13 @@ impl TournamentRwLock {
     fn descend(&self, leaf: usize) {
         let mut node = leaf;
         while node >= 1 {
-            self.nodes[node].fetch_sub(1, Ordering::SeqCst);
+            self.nodes[node].fetch_sub(1);
             node /= 2;
         }
     }
 }
 
-impl RawRwLock for TournamentRwLock {
+impl<B: Backend> RawRwLock for TournamentRwLock<B> {
     type ReadToken = ();
     type WriteToken = ();
 
@@ -109,13 +117,13 @@ impl RawRwLock for TournamentRwLock {
         let leaf = self.leaf_of(pid);
         loop {
             self.climb(leaf);
-            if !self.writer_present.load(Ordering::SeqCst) {
+            if !self.writer_present.load() {
                 // Register-then-check vs. the writer's flag-then-drain:
                 // SeqCst guarantees one side observes the other.
                 return;
             }
             self.descend(leaf);
-            spin_until(|| !self.writer_present.load(Ordering::SeqCst));
+            spin_until(|| !self.writer_present.load());
         }
     }
 
@@ -125,12 +133,12 @@ impl RawRwLock for TournamentRwLock {
 
     fn write_lock(&self, _pid: Pid) {
         self.writer_mutex.lock();
-        self.writer_present.store(true, Ordering::SeqCst);
-        spin_until(|| self.nodes[1].load(Ordering::SeqCst) == 0);
+        self.writer_present.store(true);
+        spin_until(|| self.nodes[1].load() == 0);
     }
 
     fn write_unlock(&self, _pid: Pid, (): ()) {
-        self.writer_present.store(false, Ordering::SeqCst);
+        self.writer_present.store(false);
         self.writer_mutex.unlock(());
     }
 
@@ -141,14 +149,14 @@ impl RawRwLock for TournamentRwLock {
 
 // SAFETY: writers serialize through `writer_mutex` for the whole critical
 // section.
-unsafe impl rmr_core::raw::RawMultiWriter for TournamentRwLock {}
+unsafe impl<B: Backend> rmr_core::raw::RawMultiWriter for TournamentRwLock<B> {}
 
-impl RawTryReadLock for TournamentRwLock {
+impl<B: Backend> RawTryReadLock for TournamentRwLock<B> {
     fn try_read_lock(&self, pid: Pid) -> Option<()> {
         let leaf = self.leaf_of(pid);
         // One round of the blocking loop; "park" becomes "abort".
         self.climb(leaf);
-        if !self.writer_present.load(Ordering::SeqCst) {
+        if !self.writer_present.load() {
             Some(())
         } else {
             self.descend(leaf);
@@ -157,15 +165,15 @@ impl RawTryReadLock for TournamentRwLock {
     }
 }
 
-impl RawTryRwLock for TournamentRwLock {
+impl<B: Backend> RawTryRwLock for TournamentRwLock<B> {
     fn try_write_lock(&self, _pid: Pid) -> Option<()> {
         if !self.writer_mutex.try_lock() {
             return None;
         }
-        self.writer_present.store(true, Ordering::SeqCst);
+        self.writer_present.store(true);
         // One root test instead of the drain spin; registered readers abort.
-        if self.nodes[1].load(Ordering::SeqCst) != 0 {
-            self.writer_present.store(false, Ordering::SeqCst);
+        if self.nodes[1].load() != 0 {
+            self.writer_present.store(false);
             self.writer_mutex.unlock(());
             return None;
         }
@@ -173,12 +181,12 @@ impl RawTryRwLock for TournamentRwLock {
     }
 }
 
-impl fmt::Debug for TournamentRwLock {
+impl<B: Backend> fmt::Debug for TournamentRwLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TournamentRwLock")
             .field("levels", &self.levels())
             .field("root_count", &self.root_count())
-            .field("writer_present", &self.writer_present.load(Ordering::SeqCst))
+            .field("writer_present", &self.writer_present.load())
             .finish()
     }
 }
@@ -187,6 +195,7 @@ impl fmt::Debug for TournamentRwLock {
 mod tests {
     use super::*;
     use crate::test_support::rw_exclusion_stress;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -212,7 +221,7 @@ mod tests {
         lock.read_unlock(pid(5), b);
         assert_eq!(lock.root_count(), 0);
         for node in lock.nodes.iter() {
-            assert_eq!(node.load(Ordering::SeqCst), 0, "leaked tree count");
+            assert_eq!(node.load(), 0, "leaked tree count");
         }
     }
 

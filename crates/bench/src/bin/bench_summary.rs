@@ -1,0 +1,187 @@
+//! Perf-trajectory snapshot: runs the mixed-throughput and uncontended
+//! benches at fixed seeds and populations and emits one machine-readable
+//! JSON blob, so successive PRs can diff `BENCH_*.json` runs and spot
+//! drift. The schema is documented in `BENCH_SCHEMA.md` at the workspace
+//! root; bump `schema` there and here together.
+//!
+//! Always emits JSON (that is its purpose); `--quick` shrinks the
+//! iteration counts for CI smoke runs. Absolute numbers are
+//! machine-dependent — diff runs from the same host only.
+//!
+//! ```text
+//! cargo run --release -p rmr-bench --bin bench_summary [-- --quick] > BENCH_host.json
+//! ```
+
+use rmr_baselines::{
+    CentralizedRwLock, DistributedFlagRwLock, StdRwLock, TicketRwLock, TournamentRwLock,
+};
+use rmr_bench::cli::{json_string, BenchArgs};
+use rmr_bench::workloads::{run_mixed, Workload};
+use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
+use rmr_core::raw::RawRwLock;
+use rmr_core::registry::Pid;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Stable schema identifier; see BENCH_SCHEMA.md.
+const SCHEMA: &str = "rmr-bench-summary/v1";
+const SEED: u64 = 0xBEEF;
+const THREADS: usize = 4;
+
+struct ThroughputEntry {
+    lock: &'static str,
+    read_pct: u32,
+    ops: u64,
+    ops_per_sec: f64,
+}
+
+struct UncontendedEntry {
+    lock: &'static str,
+    op: &'static str,
+    ns_per_op: f64,
+}
+
+fn throughput<L: RawRwLock + 'static>(
+    out: &mut Vec<ThroughputEntry>,
+    name: &'static str,
+    make: impl Fn() -> L,
+    ops_per_thread: usize,
+    reps: u32,
+) {
+    for read_pct in [50u32, 90, 99] {
+        let workload =
+            Workload { threads: THREADS, read_ratio: f64::from(read_pct) / 100.0, ops_per_thread };
+        // Warm-up (also validates: run_mixed panics on lost updates).
+        run_mixed(Arc::new(make()), workload, SEED);
+        // Sum the per-run elapsed times measured inside run_mixed, so
+        // lock construction and this loop's overhead are excluded; the
+        // ops_per_thread count is sized so thread startup is noise.
+        let mut ops = 0u64;
+        let mut secs = 0f64;
+        for _ in 0..reps {
+            let res = run_mixed(Arc::new(make()), workload, SEED);
+            ops += res.ops;
+            secs += res.elapsed.as_secs_f64();
+        }
+        out.push(ThroughputEntry { lock: name, read_pct, ops, ops_per_sec: ops as f64 / secs });
+    }
+}
+
+fn uncontended<L: RawRwLock>(
+    out: &mut Vec<UncontendedEntry>,
+    name: &'static str,
+    lock: &L,
+    iters: u32,
+) {
+    let pid = Pid::from_index(0);
+    let mut time_op = |op: &'static str, f: &mut dyn FnMut()| {
+        for _ in 0..iters / 10 {
+            f(); // warm-up
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+        out.push(UncontendedEntry { lock: name, op, ns_per_op: ns });
+    };
+    time_op("read", &mut || {
+        let t = lock.read_lock(pid);
+        lock.read_unlock(pid, t);
+    });
+    time_op("write", &mut || {
+        let t = lock.write_lock(pid);
+        lock.write_unlock(pid, t);
+    });
+}
+
+fn main() {
+    let args = BenchArgs::parse(
+        "bench_summary",
+        "Perf-trajectory snapshot: throughput + uncontended latency as one JSON blob",
+    );
+    let (ops_per_thread, reps, iters) =
+        if args.quick { (300, 2, 5_000) } else { (2_000, 3, 50_000) };
+
+    let mut tp: Vec<ThroughputEntry> = Vec::new();
+    throughput(
+        &mut tp,
+        "fig3-starvation-free",
+        || MwmrStarvationFree::new(THREADS),
+        ops_per_thread,
+        reps,
+    );
+    throughput(
+        &mut tp,
+        "fig3-reader-priority",
+        || MwmrReaderPriority::new(THREADS),
+        ops_per_thread,
+        reps,
+    );
+    throughput(
+        &mut tp,
+        "fig4-writer-priority",
+        || MwmrWriterPriority::new(THREADS),
+        ops_per_thread,
+        reps,
+    );
+    throughput(
+        &mut tp,
+        "centralized-1971",
+        || CentralizedRwLock::new(THREADS),
+        ops_per_thread,
+        reps,
+    );
+    throughput(&mut tp, "ticket-rw", || TicketRwLock::new(THREADS), ops_per_thread, reps);
+    throughput(
+        &mut tp,
+        "distributed-flag",
+        || DistributedFlagRwLock::new(THREADS),
+        ops_per_thread,
+        reps,
+    );
+    throughput(&mut tp, "tournament-tree", || TournamentRwLock::new(THREADS), ops_per_thread, reps);
+    throughput(&mut tp, "std-rwlock", || StdRwLock::new(THREADS), ops_per_thread, reps);
+
+    let mut un: Vec<UncontendedEntry> = Vec::new();
+    uncontended(&mut un, "fig3-starvation-free", &MwmrStarvationFree::new(4), iters);
+    uncontended(&mut un, "fig3-reader-priority", &MwmrReaderPriority::new(4), iters);
+    uncontended(&mut un, "fig4-writer-priority", &MwmrWriterPriority::new(4), iters);
+    uncontended(&mut un, "centralized-1971", &CentralizedRwLock::new(4), iters);
+    uncontended(&mut un, "ticket-rw", &TicketRwLock::new(4), iters);
+    uncontended(&mut un, "distributed-flag", &DistributedFlagRwLock::new(4), iters);
+    uncontended(&mut un, "tournament-tree-n4", &TournamentRwLock::new(4), iters);
+    uncontended(&mut un, "tournament-tree-n64", &TournamentRwLock::new(64), iters);
+    uncontended(&mut un, "std-rwlock", &StdRwLock::new(4), iters);
+
+    // One blob, hand-rolled (the workspace carries no serialization dep).
+    println!("{{");
+    println!("  \"schema\": {},", json_string(SCHEMA));
+    println!("  \"quick\": {},", args.quick);
+    println!("  \"seed\": {SEED},");
+    println!("  \"threads\": {THREADS},");
+    println!("  \"throughput\": [");
+    for (i, e) in tp.iter().enumerate() {
+        println!(
+            "    {{\"lock\": {}, \"read_pct\": {}, \"ops\": {}, \"ops_per_sec\": {:.1}}}{}",
+            json_string(e.lock),
+            e.read_pct,
+            e.ops,
+            e.ops_per_sec,
+            if i + 1 == tp.len() { "" } else { "," }
+        );
+    }
+    println!("  ],");
+    println!("  \"uncontended\": [");
+    for (i, e) in un.iter().enumerate() {
+        println!(
+            "    {{\"lock\": {}, \"op\": {}, \"ns_per_op\": {:.1}}}{}",
+            json_string(e.lock),
+            json_string(e.op),
+            e.ns_per_op,
+            if i + 1 == un.len() { "" } else { "," }
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -4,25 +4,30 @@
 //! Danek–Hadzilacos lower-bound discussion in the paper's §1.
 //!
 //! ```text
-//! cargo run --release -p rmr-bench --bin dsm_table [--json]
+//! cargo run --release -p rmr-bench --bin dsm_table [-- --json --quick]
 //! ```
 
-use rmr_bench::tables::{json_table, markdown_table, rmr_row, Model, RmrRow, SimAlgo};
+use rmr_bench::cli::BenchArgs;
+use rmr_bench::tables::{rmr_row, rmr_table_of, Model, RmrRow, SimAlgo};
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::parse(
+        "dsm_table",
+        "E8: CC vs. DSM RMRs per attempt for Figures 1 and 2 (simulator)",
+    );
+    let populations: &[usize] = if args.quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16] };
     let mut rows: Vec<RmrRow> = Vec::new();
 
     for algo in [SimAlgo::Fig1, SimAlgo::Fig2] {
-        for readers in [1usize, 2, 4, 8, 16] {
+        for &readers in populations {
             // CC row for side-by-side comparison, then the DSM row.
             rows.push(rmr_row(algo, 1, readers, Model::Cc, 2, 3));
             rows.push(rmr_row(algo, 1, readers, Model::Dsm, 2, 3));
         }
     }
 
-    if json {
-        println!("{}", json_table(&rows));
+    if args.json {
+        print!("{}", rmr_table_of(&rows).json());
         return;
     }
 
@@ -32,5 +37,5 @@ fn main() {
          per-attempt cost is schedule-dependent and grows with contention —\n\
          the paper's constant-RMR result is CC-only, as Theorem 1/2 state.\n"
     );
-    println!("{}", markdown_table(&rows));
+    print!("{}", rmr_table_of(&rows).markdown());
 }

@@ -11,9 +11,10 @@
 //! * writer-priority: writers dominate; readers trail.
 //!
 //! ```text
-//! cargo run --release -p rmr-bench --bin fairness_table
+//! cargo run --release -p rmr-bench --bin fairness_table [-- --json --quick]
 //! ```
 
+use rmr_bench::cli::{BenchArgs, Table};
 use rmr_sim::algos::{Fig3Rp, Fig3Sf, Fig4};
 use rmr_sim::cost::FreeModel;
 use rmr_sim::runner::{RandomSched, Runner};
@@ -21,8 +22,6 @@ use rmr_sim::Algorithm;
 
 const WRITERS: usize = 2;
 const READERS: usize = 6;
-const STEPS: usize = 400_000;
-const SEEDS: u64 = 5;
 
 struct Row {
     name: &'static str,
@@ -43,14 +42,19 @@ fn jain_index(counts: &[u64]) -> f64 {
     sum * sum / (n * sum_sq)
 }
 
-fn measure<A: Algorithm>(name: &'static str, make: impl Fn() -> A) -> Row {
+fn measure<A: Algorithm>(
+    name: &'static str,
+    make: impl Fn() -> A,
+    steps: usize,
+    seeds: u64,
+) -> Row {
     let mut per_proc = vec![0u64; WRITERS + READERS];
-    for seed in 0..SEEDS {
+    for seed in 0..seeds {
         let alg = make();
         // Unbounded attempts: the step budget is the resource being shared.
         let mut r = Runner::new(alg, FreeModel, u32::MAX);
         let mut sched = RandomSched::new(0xFA1 ^ seed);
-        r.run(&mut sched, STEPS);
+        r.run(&mut sched, steps);
         assert!(r.violations().is_empty(), "{name}: {:?}", r.violations());
         for a in r.finished_attempts() {
             per_proc[a.pid] += 1;
@@ -69,24 +73,45 @@ fn measure<A: Algorithm>(name: &'static str, make: impl Fn() -> A) -> Row {
 }
 
 fn main() {
-    println!("# E12 — fairness profile ({WRITERS} writers + {READERS} readers, {STEPS} steps × {SEEDS} seeds)\n");
-    println!("| policy | writer attempts | reader attempts | min/proc | max/proc | Jain index |");
-    println!("|---|---|---|---|---|---|");
+    let args = BenchArgs::parse(
+        "fairness_table",
+        "E12: per-class completions and Jain fairness index per policy (simulator)",
+    );
+    let steps = if args.quick { 60_000 } else { 400_000 };
+    let seeds = if args.quick { 2 } else { 5 };
+
+    let mut table = Table::new(&[
+        ("policy", "policy"),
+        ("writer attempts", "writer_attempts"),
+        ("reader attempts", "reader_attempts"),
+        ("min/proc", "min_per_proc"),
+        ("max/proc", "max_per_proc"),
+        ("Jain index", "jain"),
+    ]);
     for row in [
-        measure("fig3-starvation-free", || Fig3Sf::new(WRITERS, READERS)),
-        measure("fig3-reader-priority", || Fig3Rp::new(WRITERS, READERS)),
-        measure("fig4-writer-priority", || Fig4::new(WRITERS, READERS)),
+        measure("fig3-starvation-free", || Fig3Sf::new(WRITERS, READERS), steps, seeds),
+        measure("fig3-reader-priority", || Fig3Rp::new(WRITERS, READERS), steps, seeds),
+        measure("fig4-writer-priority", || Fig4::new(WRITERS, READERS), steps, seeds),
     ] {
-        println!(
-            "| {} | {} | {} | {} | {} | {:.3} |",
-            row.name,
-            row.writer_attempts,
-            row.reader_attempts,
-            row.min_per_proc,
-            row.max_per_proc,
-            row.jain
-        );
+        table.row(vec![
+            row.name.into(),
+            row.writer_attempts.to_string(),
+            row.reader_attempts.to_string(),
+            row.min_per_proc.to_string(),
+            row.max_per_proc.to_string(),
+            format!("{:.3}", row.jain),
+        ]);
     }
+
+    if args.json {
+        print!("{}", table.json());
+        return;
+    }
+
+    println!(
+        "# E12 — fairness profile ({WRITERS} writers + {READERS} readers, {steps} steps × {seeds} seeds)\n"
+    );
+    print!("{}", table.markdown());
     println!("\nJain index 1.0 = perfectly equal per-process completions; lower =");
     println!("one class is deliberately favored (the priority disciplines at work).");
 }

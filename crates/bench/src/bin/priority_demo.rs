@@ -7,11 +7,13 @@
 //! much longer (and with enough readers, forever — that is RP working).
 //!
 //! ```text
-//! cargo run --release -p rmr-bench --bin priority_demo
+//! cargo run --release -p rmr-bench --bin priority_demo [-- --json --quick]
 //! ```
 
+use rmr_bench::cli::{BenchArgs, Table};
 use rmr_bench::workloads::writer_latency_under_read_storm;
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
+use rmr_core::raw::RawRwLock;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,34 +33,73 @@ fn stats(lat: &[Duration]) -> (usize, Duration, Duration, Duration) {
 }
 
 fn main() {
+    let args = BenchArgs::parse(
+        "priority_demo",
+        "E9: writer entry latency under a continuous read storm (real threads)",
+    );
     let readers = 3usize;
-    let attempts = 200usize;
-    let budget = Duration::from_secs(5);
+    let attempts = if args.quick { 40 } else { 200 };
+    let budget = if args.quick { Duration::from_secs(2) } else { Duration::from_secs(5) };
+
+    let mut table = Table::new(&[
+        ("policy", "policy"),
+        ("writes completed", "writes_completed"),
+        ("mean", "mean"),
+        ("p50", "p50"),
+        ("max", "max"),
+    ]);
+    fn measure<L: RawRwLock + 'static>(
+        table: &mut Table,
+        name: &str,
+        lock: Arc<L>,
+        readers: usize,
+        attempts: usize,
+        budget: Duration,
+    ) {
+        let lat = writer_latency_under_read_storm(lock, readers, attempts, budget);
+        let (n, mean, p50, max) = stats(&lat);
+        table.row(vec![
+            name.into(),
+            n.to_string(),
+            format!("{mean:?}"),
+            format!("{p50:?}"),
+            format!("{max:?}"),
+        ]);
+    }
+
+    measure(
+        &mut table,
+        "writer-priority (Fig. 4)",
+        Arc::new(MwmrWriterPriority::new(readers + 1)),
+        readers,
+        attempts,
+        budget,
+    );
+    measure(
+        &mut table,
+        "starvation-free (Fig. 3 ∘ Fig. 1)",
+        Arc::new(MwmrStarvationFree::new(readers + 1)),
+        readers,
+        attempts,
+        budget,
+    );
+    measure(
+        &mut table,
+        "reader-priority (Fig. 3 ∘ Fig. 2)",
+        Arc::new(MwmrReaderPriority::new(readers + 1)),
+        readers,
+        attempts,
+        budget,
+    );
+
+    if args.json {
+        print!("{}", table.json());
+        return;
+    }
 
     println!("# E9 — writer latency under a {readers}-thread read storm\n");
     println!("(single writer performing up to {attempts} write attempts within {budget:?})\n");
-    println!("| policy | writes completed | mean | p50 | max |");
-    println!("|---|---|---|---|---|");
-
-    {
-        let lock = Arc::new(MwmrWriterPriority::new(readers + 1));
-        let lat = writer_latency_under_read_storm(lock, readers, attempts, budget);
-        let (n, mean, p50, max) = stats(&lat);
-        println!("| writer-priority (Fig. 4) | {n} | {mean:?} | {p50:?} | {max:?} |");
-    }
-    {
-        let lock = Arc::new(MwmrStarvationFree::new(readers + 1));
-        let lat = writer_latency_under_read_storm(lock, readers, attempts, budget);
-        let (n, mean, p50, max) = stats(&lat);
-        println!("| starvation-free (Fig. 3 ∘ Fig. 1) | {n} | {mean:?} | {p50:?} | {max:?} |");
-    }
-    {
-        let lock = Arc::new(MwmrReaderPriority::new(readers + 1));
-        let lat = writer_latency_under_read_storm(lock, readers, attempts, budget);
-        let (n, mean, p50, max) = stats(&lat);
-        println!("| reader-priority (Fig. 3 ∘ Fig. 2) | {n} | {mean:?} | {p50:?} | {max:?} |");
-    }
-
+    print!("{}", table.markdown());
     println!(
         "\nReader-priority writers may complete far fewer attempts (or stall\n\
          until the storm ends) — that is RP1 by design, not a bug."

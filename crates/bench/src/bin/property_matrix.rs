@@ -4,9 +4,10 @@
 //! checker-sensitivity controls.
 //!
 //! ```text
-//! cargo run --release -p rmr-bench --bin property_matrix
+//! cargo run --release -p rmr-bench --bin property_matrix [-- --quick]
 //! ```
 
+use rmr_bench::cli::{BenchArgs, Table};
 use rmr_sim::algos::mutants::{Fig1NoExitWait, Fig2Break, Fig2Mutant};
 use rmr_sim::algos::{Fig1, Fig2, Fig3Rp, Fig3Sf, Fig4};
 use rmr_sim::cost::FreeModel;
@@ -15,8 +16,6 @@ use rmr_sim::invariants::{fig1_invariants, fig2_invariants};
 use rmr_sim::props;
 use rmr_sim::runner::{RandomSched, Runner};
 use rmr_sim::Algorithm;
-
-const SEEDS: u64 = 20;
 
 fn verdict(r: Result<(), String>) -> &'static str {
     match r {
@@ -30,6 +29,7 @@ fn verdict(r: Result<(), String>) -> &'static str {
 
 fn battery<A: Algorithm>(
     make: impl Fn() -> A,
+    seeds: u64,
     fcfs: bool,
     fife: bool,
     rp1: bool,
@@ -43,7 +43,7 @@ fn battery<A: Algorithm>(
     let mut fife_res = Ok(());
     let mut rp1_res = Ok(());
     let mut wp1_res = Ok(());
-    for seed in 0..SEEDS {
+    for seed in 0..seeds {
         let mut r = Runner::new(make(), FreeModel, 3);
         r.snapshot_cs_entries(fife);
         let mut sched = RandomSched::new(seed);
@@ -91,30 +91,37 @@ fn battery<A: Algorithm>(
 
 fn print_block(title: &str, rows: &[(&str, &str)]) {
     println!("\n## {title}\n");
-    println!("| property | verdict |");
-    println!("|---|---|");
+    let mut t = Table::new(&[("property", "property"), ("verdict", "verdict")]);
     for (p, v) in rows {
-        println!("| {p} | {v} |");
+        t.row(vec![p.to_string(), v.to_string()]);
     }
+    print!("{}", t.markdown());
 }
 
 fn main() {
+    let args = BenchArgs::parse(
+        "property_matrix",
+        "E1-E5, E10: every claimed property, exhaustively + randomized (simulator)",
+    );
+    let seeds = if args.quick { 4 } else { 20 };
+    let budget: usize = if args.quick { 8_000_000 } else { 40_000_000 };
+    let mutant_budget: usize = if args.quick { 15_000_000 } else { 60_000_000 };
     println!("# Property matrix (E1–E5, E10)\n");
-    println!("Exhaustive = every interleaving of the stated instance; random = {SEEDS} seeded schedules.");
+    println!("Exhaustive = every interleaving of the stated instance; random = {seeds} seeded schedules.");
 
     // ---- E1: Figure 1 ----
     {
         let alg = Fig1::new(2);
         let checks: [StateCheck<'_, Fig1>; 1] = [&fig1_invariants];
-        let report = explore(&alg, &[2, 2, 2], 40_000_000, &checks);
+        let report = explore(&alg, &[2, 2, 2], budget, &checks);
         let mut rows = vec![(
             "P1 + Appendix A invariants + no deadlock (exhaustive, 1w+2r×2)",
             if report.clean() { "PASS" } else { "FAIL" },
         )];
-        rows.extend(battery(|| Fig1::new(3), false, true, false, true));
+        rows.extend(battery(|| Fig1::new(3), seeds, false, true, false, true));
         // Lemma 15 (Waiting Reader Enabled) via snapshots.
         let mut l15 = Ok(());
-        for seed in 0..SEEDS {
+        for seed in 0..seeds {
             let mut r = Runner::new(Fig1::new(3), FreeModel, 3);
             r.snapshot_cs_entries(true);
             let mut sched = RandomSched::new(seed);
@@ -135,15 +142,15 @@ fn main() {
     {
         let alg = Fig2::new(2);
         let checks: [StateCheck<'_, Fig2>; 1] = [&fig2_invariants];
-        let report = explore(&alg, &[2, 2, 2], 40_000_000, &checks);
+        let report = explore(&alg, &[2, 2, 2], budget, &checks);
         let mut rows = vec![(
             "P1 + Figure 5 invariants + no deadlock (exhaustive, 1w+2r×2)",
             if report.clean() { "PASS" } else { "FAIL" },
         )];
-        rows.extend(battery(|| Fig2::new(3), false, true, true, false));
+        rows.extend(battery(|| Fig2::new(3), seeds, false, true, true, false));
         // RP2 part 1 via snapshots.
         let mut rp2 = Ok(());
-        for seed in 0..SEEDS {
+        for seed in 0..seeds {
             let mut r = Runner::new(Fig2::new(3), FreeModel, 3);
             r.snapshot_cs_entries(true);
             let mut sched = RandomSched::new(seed);
@@ -158,12 +165,12 @@ fn main() {
     // ---- E3: Figure 3 ∘ Figure 1 ----
     {
         let alg = Fig3Sf::new(2, 1);
-        let report = explore(&alg, &[2, 2, 2], 40_000_000, &[]);
+        let report = explore(&alg, &[2, 2, 2], budget, &[]);
         let mut rows = vec![(
             "P1 + no deadlock (exhaustive, 2w+1r×2)",
             if report.clean() { "PASS" } else { "FAIL" },
         )];
-        rows.extend(battery(|| Fig3Sf::new(2, 3), true, false, false, false));
+        rows.extend(battery(|| Fig3Sf::new(2, 3), seeds, true, false, false, false));
         print_block("E3 — Figure 3 over Figure 1 (MWMR, starvation free, Theorem 3)", &rows);
         println!("\nexploration: {report}");
     }
@@ -171,12 +178,12 @@ fn main() {
     // ---- E4: Figure 3 ∘ Figure 2 ----
     {
         let alg = Fig3Rp::new(2, 1);
-        let report = explore(&alg, &[2, 2, 2], 40_000_000, &[]);
+        let report = explore(&alg, &[2, 2, 2], budget, &[]);
         let mut rows = vec![(
             "P1 + no deadlock (exhaustive, 2w+1r×2)",
             if report.clean() { "PASS" } else { "FAIL" },
         )];
-        rows.extend(battery(|| Fig3Rp::new(2, 3), true, false, true, false));
+        rows.extend(battery(|| Fig3Rp::new(2, 3), seeds, true, false, true, false));
         print_block("E4 — Figure 3 over Figure 2 (MWMR, reader priority, Theorem 4)", &rows);
         println!("\nexploration: {report}");
     }
@@ -184,12 +191,12 @@ fn main() {
     // ---- E5: Figure 4 ----
     {
         let alg = Fig4::new(2, 1);
-        let report = explore(&alg, &[2, 2, 2], 40_000_000, &[]);
+        let report = explore(&alg, &[2, 2, 2], budget, &[]);
         let mut rows = vec![(
             "P1 + no deadlock (exhaustive, 2w+1r×2)",
             if report.clean() { "PASS" } else { "FAIL" },
         )];
-        rows.extend(battery(|| Fig4::new(2, 3), true, false, false, true));
+        rows.extend(battery(|| Fig4::new(2, 3), seeds, true, false, false, true));
         print_block("E5 — Figure 4 (MWMR, writer priority, Theorem 5)", &rows);
         println!("\nexploration: {report}");
     }
@@ -197,22 +204,31 @@ fn main() {
     // ---- Checker-sensitivity controls: the §3.3/§4.3 mutants ----
     {
         println!("\n## Controls — broken variants must FAIL (checker sensitivity)\n");
-        println!("| mutant | expected | observed |");
-        println!("|---|---|---|");
-        let r = explore(&Fig1NoExitWait::new(2), &[3, 2, 2], 60_000_000, &[]);
-        println!(
-            "| fig1 without exit wait (§3.3) | P1 violation | {} |",
-            if r.violations.is_empty() { "none (BAD)" } else { "P1 violation found" }
+        let mut controls =
+            Table::new(&[("mutant", "mutant"), ("expected", "expected"), ("observed", "observed")]);
+        let r = explore(&Fig1NoExitWait::new(2), &[3, 2, 2], mutant_budget, &[]);
+        controls.row(vec![
+            "fig1 without exit wait (§3.3)".into(),
+            "P1 violation".into(),
+            if r.violations.is_empty() { "none (BAD)" } else { "P1 violation found" }.into(),
+        ]);
+        let r = explore(&Fig2Mutant::new(2, Fig2Break::NoFeatureA), &[2, 2, 2], mutant_budget, &[]);
+        controls.row(vec![
+            "fig2 without feature A (§4.3)".into(),
+            "P1 violation".into(),
+            if r.violations.is_empty() { "none (BAD)" } else { "P1 violation found" }.into(),
+        ]);
+        let r = explore(
+            &Fig2Mutant::new(2, Fig2Break::NoFeatureB),
+            &[3, 3, 3],
+            if args.quick { 20_000_000 } else { 80_000_000 },
+            &[],
         );
-        let r = explore(&Fig2Mutant::new(2, Fig2Break::NoFeatureA), &[2, 2, 2], 60_000_000, &[]);
-        println!(
-            "| fig2 without feature A (§4.3) | P1 violation | {} |",
-            if r.violations.is_empty() { "none (BAD)" } else { "P1 violation found" }
-        );
-        let r = explore(&Fig2Mutant::new(2, Fig2Break::NoFeatureB), &[3, 3, 3], 80_000_000, &[]);
-        println!(
-            "| fig2 without feature B (§4.3) | P1 violation | {} |",
-            if r.violations.is_empty() { "none (BAD)" } else { "P1 violation found" }
-        );
+        controls.row(vec![
+            "fig2 without feature B (§4.3)".into(),
+            "P1 violation".into(),
+            if r.violations.is_empty() { "none (BAD)" } else { "P1 violation found" }.into(),
+        ]);
+        print!("{}", controls.markdown());
     }
 }

@@ -1,0 +1,58 @@
+//! E13 — the E6/E7 experiment matrix executed on the **real**
+//! implementations: RMRs per passage under the CC cost model (`Counting`
+//! backend) as the reader population grows, for the paper's five locks
+//! (expected: flat) versus the baselines (expected: growing).
+//!
+//! This is the measurement `rmr-sim` cannot provide: the tallies come from
+//! the shipped `rmr-core`/`rmr-baselines` code running on real threads,
+//! not from the line-level re-encodings.
+//!
+//! ```text
+//! cargo run --release -p rmr-bench --bin real_rmr_table [-- --json --quick]
+//! ```
+
+use rmr_bench::cli::BenchArgs;
+use rmr_bench::real::{real_rmr_row, RealAlgo};
+use rmr_bench::tables::{rmr_table_of, shape_summary, RmrRow};
+
+fn main() {
+    let args = BenchArgs::parse(
+        "real_rmr_table",
+        "E13: RMRs per passage on the real lock implementations (CC Counting backend)",
+    );
+    let populations: &[usize] = if args.quick { &[1, 2, 4, 8] } else { &[1, 2, 4, 8, 16, 32, 48] };
+    let passages = if args.quick { 2 } else { 8 };
+    let writers = 2;
+
+    let mut rows: Vec<RmrRow> = Vec::new();
+    for algo in RealAlgo::PAPER.iter().chain(RealAlgo::BASELINES.iter()) {
+        for &readers in populations {
+            rows.push(real_rmr_row(*algo, writers, readers, passages));
+        }
+    }
+
+    if args.json {
+        print!("{}", rmr_table_of(&rows).json());
+        return;
+    }
+
+    println!(
+        "# E13 — RMRs per passage vs. population, real implementations (CC model, \
+         {writers} writers, {passages} passages/thread)\n"
+    );
+    print!("{}", rmr_table_of(&rows).markdown());
+
+    // Compact per-algorithm summary: max RMR per passage at the smallest
+    // and largest population, so the flat-vs-growing contrast is obvious.
+    let small_n = populations[0];
+    let large_n = *populations.last().expect("non-empty sweep");
+    println!("\n## Shape summary (max RMR per passage: {small_n} readers -> {large_n} readers)\n");
+    let algos = RealAlgo::PAPER.iter().chain(RealAlgo::BASELINES.iter()).map(|a| a.name());
+    print!("{}", shape_summary(&rows, algos, small_n, large_n).markdown());
+    println!(
+        "\nSpin traffic is charged to the waiting passage, so a growing max means\n\
+         waiters genuinely pay more remote references as the population grows.\n\
+         Concurrent tallies are a faithful sample, not a deterministic replay —\n\
+         see rmr_mutex::mem and EXPERIMENTS.md E13."
+    );
+}

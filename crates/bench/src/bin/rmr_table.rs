@@ -5,56 +5,49 @@
 //! Regenerates the "RMR complexity" tables in EXPERIMENTS.md:
 //!
 //! ```text
-//! cargo run --release -p rmr-bench --bin rmr_table [--json]
+//! cargo run --release -p rmr-bench --bin rmr_table [-- --json --quick]
 //! ```
 
-use rmr_bench::tables::{json_table, markdown_table, rmr_row, Model, RmrRow, SimAlgo};
+use rmr_bench::cli::BenchArgs;
+use rmr_bench::tables::{rmr_row, rmr_table_of, shape_summary, Model, RmrRow, SimAlgo};
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let seeds = 5;
-    let attempts = 3;
+    let args = BenchArgs::parse(
+        "rmr_table",
+        "E6/E7: RMRs per attempt vs. population under the CC model (simulator)",
+    );
+    let populations: &[usize] = if args.quick { &[1, 2, 4, 8] } else { &[1, 2, 4, 8, 16, 32, 48] };
+    let seeds = if args.quick { 2 } else { 5 };
+    let attempts = if args.quick { 2 } else { 3 };
     let mut rows: Vec<RmrRow> = Vec::new();
 
     // E6: the paper's algorithms. Reader population sweep; 2 writers for
     // the MWMR variants (CC model caps at 64 processes total).
     for algo in SimAlgo::PAPER {
-        for readers in [1usize, 2, 4, 8, 16, 32, 48] {
+        for &readers in populations {
             rows.push(rmr_row(algo, 2, readers, Model::Cc, attempts, seeds));
         }
     }
     // E7: the baselines on the same sweep.
     for algo in SimAlgo::BASELINES {
-        for readers in [1usize, 2, 4, 8, 16, 32, 48] {
+        for &readers in populations {
             rows.push(rmr_row(algo, 2, readers, Model::Cc, attempts, seeds));
         }
     }
 
-    if json {
-        println!("{}", json_table(&rows));
+    if args.json {
+        print!("{}", rmr_table_of(&rows).json());
         return;
     }
 
     println!("# E6/E7 — RMRs per attempt vs. population (CC model)\n");
-    println!("{}", markdown_table(&rows));
+    print!("{}", rmr_table_of(&rows).markdown());
 
     // Compact per-algorithm summary: max RMR across the sweep at smallest
     // and largest population, so the flat-vs-growing shape is obvious.
+    let small_n = populations[0];
+    let large_n = *populations.last().expect("non-empty sweep");
     println!("\n## Shape summary (max RMR per attempt: n small -> n large)\n");
-    println!("| algorithm | n=1 readers | n=48 readers | shape |");
-    println!("|---|---|---|---|");
-    for algo in SimAlgo::PAPER.iter().chain(SimAlgo::BASELINES.iter()) {
-        let small =
-            rows.iter().find(|r| r.algo == algo.name() && r.readers == 1).expect("row exists");
-        let large =
-            rows.iter().find(|r| r.algo == algo.name() && r.readers == 48).expect("row exists");
-        let shape = if large.max_rmr <= small.max_rmr.saturating_mul(2).max(small.max_rmr + 4) {
-            "O(1) — flat"
-        } else if large.max_rmr <= small.max_rmr.saturating_mul(8) {
-            "grows ~log n"
-        } else {
-            "grows ~n"
-        };
-        println!("| {} | {} | {} | {} |", algo.name(), small.max_rmr, large.max_rmr, shape);
-    }
+    let algos = SimAlgo::PAPER.iter().chain(SimAlgo::BASELINES.iter()).map(|a| a.name());
+    print!("{}", shape_summary(&rows, algos, small_n, large_n).markdown());
 }

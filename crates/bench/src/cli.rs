@@ -1,0 +1,245 @@
+//! Shared CLI parsing and table emission for the experiment binaries.
+//!
+//! Every `rmr-bench` binary used to re-implement `--json` parsing and its
+//! own markdown/JSON printing; this module is the single copy. A binary
+//! does:
+//!
+//! ```no_run
+//! use rmr_bench::cli::{BenchArgs, Table};
+//!
+//! let args = BenchArgs::parse("my_table", "what this binary measures");
+//! let mut t = Table::new(&[("algorithm", "algo"), ("max RMR", "max_rmr")]);
+//! t.row(vec!["fig1-swmr-wp".into(), 4.to_string()]);
+//! print!("{}", t.emit(args.json));
+//! ```
+
+use std::fmt::Write as _;
+
+/// Arguments shared by every experiment binary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchArgs {
+    /// Emit machine-readable JSON instead of markdown.
+    pub json: bool,
+    /// Run a reduced sweep (small populations / iteration counts) — used
+    /// by CI to smoke-run the binaries per PR.
+    pub quick: bool,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`, accepting `--json`, `--quick` and
+    /// `--help`. Unknown arguments abort with a usage message (exit 2);
+    /// `--help` prints it and exits 0.
+    pub fn parse(bin: &str, about: &str) -> Self {
+        let mut args = BenchArgs::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--json" => args.json = true,
+                "--quick" => args.quick = true,
+                "--help" | "-h" => {
+                    println!("{}", usage(bin, about));
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument `{other}`\n\n{}", usage(bin, about));
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn usage(bin: &str, about: &str) -> String {
+    format!(
+        "{about}\n\nUsage: cargo run --release -p rmr-bench --bin {bin} [-- OPTIONS]\n\n\
+         Options:\n  \
+         --json   emit machine-readable JSON instead of markdown\n  \
+         --quick  reduced sweep (CI smoke mode)\n  \
+         --help   print this message"
+    )
+}
+
+/// A simple two-format table: GitHub-flavored markdown for humans, an
+/// array of JSON objects for tooling. Cells that parse as numbers are
+/// emitted unquoted in JSON; everything else is escaped and quoted.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// `(display header, json key)` per column.
+    columns: Vec<(String, String)>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table from `(display header, json key)` column pairs.
+    pub fn new(columns: &[(&str, &str)]) -> Self {
+        Self {
+            columns: columns.iter().map(|(h, k)| (h.to_string(), k.to_string())).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; must have exactly one cell per column.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width != column count");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavored markdown table (with trailing newline).
+    pub fn markdown(&self) -> String {
+        let mut out = String::from("|");
+        for (h, _) in &self.columns {
+            let _ = write!(out, " {h} |");
+        }
+        out.push('\n');
+        out.push('|');
+        out.push_str(&"---|".repeat(self.columns.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for cell in row {
+                let _ = write!(out, " {cell} |");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a JSON array of objects keyed by the columns' json keys
+    /// (with trailing newline).
+    pub fn json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (j, ((_, key), cell)) in self.columns.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_string(key), json_value(cell));
+            }
+            out.push('}');
+            out.push_str(if i + 1 == self.rows.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// [`Table::json`] if `json`, else [`Table::markdown`].
+    pub fn emit(&self, json: bool) -> String {
+        if json {
+            self.json()
+        } else {
+            self.markdown()
+        }
+    }
+}
+
+/// Escapes and quotes `s` as a JSON string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emits `cell` as a bare JSON number when it already is one (integer or
+/// finite decimal), else as a quoted string.
+fn json_value(cell: &str) -> String {
+    // JSON numbers may not carry a leading `+`, leading zeros, or a bare
+    // trailing dot; re-serialize only clean literals verbatim.
+    let digits = cell.strip_prefix('-').unwrap_or(cell);
+    let leading_zeros = digits.len() > 1 && digits.starts_with('0') && !digits.starts_with("0.");
+    let numeric = !cell.is_empty()
+        && cell.parse::<f64>().is_ok_and(f64::is_finite)
+        && !cell.starts_with('+')
+        && !cell.ends_with('.')
+        && !leading_zeros
+        && !cell.contains(['e', 'E', 'i', 'n', 'N']);
+    if numeric {
+        cell.to_string()
+    } else {
+        json_string(cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(&[("algorithm", "algo"), ("max RMR", "max_rmr")]);
+        t.row(vec!["fig1-swmr-wp".into(), "4".into()]);
+        t.row(vec!["ticket-rw".into(), "97".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().markdown();
+        assert_eq!(
+            md,
+            "| algorithm | max RMR |\n|---|---|\n| fig1-swmr-wp | 4 |\n| ticket-rw | 97 |\n"
+        );
+    }
+
+    #[test]
+    fn json_numbers_unquoted_strings_quoted() {
+        let js = sample().json();
+        assert!(js.contains("{\"algo\": \"fig1-swmr-wp\", \"max_rmr\": 4}"));
+        assert!(js.contains("{\"algo\": \"ticket-rw\", \"max_rmr\": 97}"));
+    }
+
+    #[test]
+    fn json_value_edge_cases() {
+        assert_eq!(json_value("3.50"), "3.50");
+        assert_eq!(json_value("-2"), "-2");
+        assert_eq!(json_value("007"), "\"007\"");
+        assert_eq!(json_value("-07"), "\"-07\"");
+        assert_eq!(json_value("-0.5"), "-0.5");
+        assert_eq!(json_value("1e9"), "\"1e9\"");
+        assert_eq!(json_value("nan"), "\"nan\"");
+        assert_eq!(json_value(""), "\"\"");
+        assert_eq!(json_value("O(1) — flat"), "\"O(1) — flat\"");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn empty_table_is_valid_json() {
+        let t = Table::new(&[("x", "x")]);
+        assert!(t.is_empty());
+        assert_eq!(t.json(), "[\n]\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(&[("x", "x")]);
+        t.row(vec!["a".into(), "b".into()]);
+    }
+}

@@ -1,5 +1,6 @@
 //! Simulator sweeps behind the RMR tables (experiments E6–E8).
 
+use crate::cli::Table;
 use rmr_sim::algos::{Centralized, Fig1, Fig2, Fig3Rp, Fig3Sf, Fig4, TicketRw, Tournament};
 use rmr_sim::cost::{CcModel, CostModel, DsmModel};
 use rmr_sim::machine::Algorithm;
@@ -175,52 +176,97 @@ pub fn rmr_row(
     }
 }
 
+/// Builds the shared two-format [`Table`] for a set of RMR rows — one
+/// emission path for the simulator sweeps (E6–E8) and the real-lock sweep
+/// (E13).
+pub fn rmr_table_of(rows: &[RmrRow]) -> Table {
+    let mut t = Table::new(&[
+        ("algorithm", "algo"),
+        ("model", "model"),
+        ("writers", "writers"),
+        ("readers", "readers"),
+        ("max RMR", "max_rmr"),
+        ("mean RMR", "mean_rmr"),
+        ("max reader RMR", "max_reader_rmr"),
+        ("max writer RMR", "max_writer_rmr"),
+        ("attempts", "attempts"),
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.algo.clone(),
+            r.model.clone(),
+            r.writers.to_string(),
+            r.readers.to_string(),
+            r.max_rmr.to_string(),
+            format!("{:.2}", r.mean_rmr),
+            r.max_reader_rmr.to_string(),
+            r.max_writer_rmr.to_string(),
+            r.attempts.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Renders rows as a GitHub-flavored markdown table.
 pub fn markdown_table(rows: &[RmrRow]) -> String {
-    let mut out = String::from(
-        "| algorithm | model | writers | readers | max RMR | mean RMR | max reader RMR | max writer RMR |\n\
-         |---|---|---|---|---|---|---|---|\n",
-    );
-    for r in rows {
-        out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {:.2} | {} | {} |\n",
-            r.algo,
-            r.model,
-            r.writers,
-            r.readers,
-            r.max_rmr,
-            r.mean_rmr,
-            r.max_reader_rmr,
-            r.max_writer_rmr
-        ));
-    }
-    out
+    rmr_table_of(rows).markdown()
 }
 
 /// Renders rows as a JSON array (hand-rolled: the workspace carries no
-/// serialization dependency, and every field is a number or a short
-/// escape-free string).
+/// serialization dependency).
 pub fn json_table(rows: &[RmrRow]) -> String {
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"algo\": \"{}\", \"model\": \"{}\", \"writers\": {}, \"readers\": {}, \
-             \"max_rmr\": {}, \"mean_rmr\": {:.4}, \"max_reader_rmr\": {}, \
-             \"max_writer_rmr\": {}, \"attempts\": {}}}{}\n",
-            r.algo,
-            r.model,
-            r.writers,
-            r.readers,
-            r.max_rmr,
-            r.mean_rmr,
-            r.max_reader_rmr,
-            r.max_writer_rmr,
-            r.attempts,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+    rmr_table_of(rows).json()
+}
+
+/// Classifies the growth of max RMR between the smallest and largest
+/// population of a sweep. One heuristic shared by E6/E7 (`rmr_table`) and
+/// E13 (`real_rmr_table`), so the two tables can never disagree on what
+/// counts as flat.
+pub fn growth_shape(small_max: u64, large_max: u64) -> &'static str {
+    if large_max <= small_max.saturating_mul(2).max(small_max + 4) {
+        "O(1) — flat"
+    } else if large_max <= small_max.saturating_mul(8) {
+        "grows ~log n"
+    } else {
+        "grows ~n"
     }
-    out.push(']');
-    out
+}
+
+/// Builds the compact flat-vs-growing summary table for a sweep: one row
+/// per algorithm name, comparing max RMR at the smallest and largest
+/// reader population present in `rows`.
+///
+/// # Panics
+///
+/// Panics if an algorithm has no row at either population.
+pub fn shape_summary<'a>(
+    rows: &[RmrRow],
+    algos: impl IntoIterator<Item = &'a str>,
+    small_n: usize,
+    large_n: usize,
+) -> Table {
+    let mut summary = Table::new(&[
+        ("algorithm", "algo"),
+        (&format!("n={small_n} readers"), "max_rmr_small"),
+        (&format!("n={large_n} readers"), "max_rmr_large"),
+        ("shape", "shape"),
+    ]);
+    for name in algos {
+        let at = |n: usize| {
+            rows.iter()
+                .find(|r| r.algo == name && r.readers == n)
+                .unwrap_or_else(|| panic!("no row for {name} at {n} readers"))
+                .max_rmr
+        };
+        let (small, large) = (at(small_n), at(large_n));
+        summary.row(vec![
+            name.into(),
+            small.to_string(),
+            large.to_string(),
+            growth_shape(small, large).into(),
+        ]);
+    }
+    summary
 }
 
 #[cfg(test)]

@@ -52,6 +52,16 @@
 //!
 //! The paper assumes sequential consistency; every atomic here uses
 //! `SeqCst`. See `rmr-mutex`'s crate docs for the rationale.
+//!
+//! # Memory backends
+//!
+//! Every lock is generic over a memory backend (re-exported here as
+//! [`mem`]), defaulted to [`mem::Native`] so the API above is what you see.
+//! Instantiating a lock with [`mem::Counting`] (via the `new_in`
+//! constructors) runs the *identical* algorithm code with every shared
+//! access tallied under the paper's CC and DSM cost models — experiment
+//! E13 (`real_rmr_table` in `rmr-bench`) verifies the O(1) claim on these
+//! real implementations, not just on `rmr-sim`'s line-level models.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -64,6 +74,8 @@ pub mod rwlock;
 mod side;
 pub mod swmr;
 pub mod swmr_rwlock;
+
+pub use rmr_mutex::mem;
 
 pub use raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 pub use registry::{Pid, PidRegistry, RegistryFull};

@@ -12,6 +12,7 @@
 use crate::raw::{RawMultiWriter, RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::swmr::reader_priority::{ReadSession, SwmrReaderPriority, WriteSession};
+use rmr_mutex::mem::{Backend, Native};
 use rmr_mutex::{AndersonLock, RawMutex};
 use std::fmt;
 
@@ -30,6 +31,10 @@ pub struct WriteToken<M: RawMutex> {
 /// Writers may starve under a continuous stream of readers — by design;
 /// use [`super::MwmrStarvationFree`] when no class may starve.
 ///
+/// Generic over the writer-side mutex `M` and the memory backend `B`
+/// ([`Native`] by default; use [`MwmrReaderPriority::new_in`] with
+/// [`rmr_mutex::Counting`] to measure RMRs on the real implementation).
+///
 /// # Example
 ///
 /// ```
@@ -41,8 +46,8 @@ pub struct WriteToken<M: RawMutex> {
 /// let r = lock.read_lock(Pid::from_index(0));
 /// lock.read_unlock(Pid::from_index(0), r);
 /// ```
-pub struct MwmrReaderPriority<M: RawMutex = AndersonLock> {
-    swmr: SwmrReaderPriority,
+pub struct MwmrReaderPriority<M: RawMutex = AndersonLock, B: Backend = Native> {
+    swmr: SwmrReaderPriority<B>,
     mutex: M,
     max_processes: usize,
 }
@@ -59,6 +64,18 @@ impl MwmrReaderPriority<AndersonLock> {
     }
 }
 
+impl<B: Backend> MwmrReaderPriority<AndersonLock<B>, B> {
+    /// Creates a lock for up to `max_processes` processes over the given
+    /// memory backend, with a matching-backend [`AndersonLock`] as `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_processes == 0`.
+    pub fn new_in(max_processes: usize, backend: B) -> Self {
+        Self::with_mutex_in(AndersonLock::new_in(max_processes, backend), max_processes, backend)
+    }
+}
+
 impl<M: RawMutex> MwmrReaderPriority<M> {
     /// Creates the lock over a caller-supplied mutex `M` (see
     /// [`super::MwmrStarvationFree::with_mutex`] for the requirements).
@@ -67,6 +84,18 @@ impl<M: RawMutex> MwmrReaderPriority<M> {
     ///
     /// Panics if `max_processes == 0` or exceeds the mutex capacity.
     pub fn with_mutex(mutex: M, max_processes: usize) -> Self {
+        Self::with_mutex_in(mutex, max_processes, Native)
+    }
+}
+
+impl<M: RawMutex, B: Backend> MwmrReaderPriority<M, B> {
+    /// Creates the lock over a caller-supplied mutex `M` and memory
+    /// backend (see [`super::MwmrStarvationFree::with_mutex_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_processes == 0` or exceeds the mutex capacity.
+    pub fn with_mutex_in(mutex: M, max_processes: usize, _backend: B) -> Self {
         assert!(max_processes > 0, "max_processes must be positive");
         if let Some(cap) = mutex.capacity() {
             assert!(
@@ -74,16 +103,16 @@ impl<M: RawMutex> MwmrReaderPriority<M> {
                 "mutex capacity {cap} below max_processes {max_processes}"
             );
         }
-        Self { swmr: SwmrReaderPriority::new(), mutex, max_processes }
+        Self { swmr: SwmrReaderPriority::new_in(B::default()), mutex, max_processes }
     }
 
     /// The inner single-writer lock (for diagnostics and tests).
-    pub fn inner(&self) -> &SwmrReaderPriority {
+    pub fn inner(&self) -> &SwmrReaderPriority<B> {
         &self.swmr
     }
 }
 
-impl<M: RawMutex> RawRwLock for MwmrReaderPriority<M> {
+impl<M: RawMutex, B: Backend> RawRwLock for MwmrReaderPriority<M, B> {
     type ReadToken = ReadSession;
     type WriteToken = WriteToken<M>;
 
@@ -126,7 +155,7 @@ impl<M: RawMutex> RawRwLock for MwmrReaderPriority<M> {
 /// let r = lock.try_read_lock(Pid::from_index(0)).expect("no writer");
 /// lock.read_unlock(Pid::from_index(0), r);
 /// ```
-impl<M: RawMutex> RawTryReadLock for MwmrReaderPriority<M> {
+impl<M: RawMutex, B: Backend> RawTryReadLock for MwmrReaderPriority<M, B> {
     fn try_read_lock(&self, pid: Pid) -> Option<ReadSession> {
         self.swmr.try_read_lock(pid)
     }
@@ -135,9 +164,9 @@ impl<M: RawMutex> RawTryReadLock for MwmrReaderPriority<M> {
 // SAFETY: writers serialize through the mutex `M` before entering the
 // Figure 2 writer protocol, so any number of concurrent write_lock callers
 // are mutually excluded (Theorem 4).
-unsafe impl<M: RawMutex> RawMultiWriter for MwmrReaderPriority<M> {}
+unsafe impl<M: RawMutex, B: Backend> RawMultiWriter for MwmrReaderPriority<M, B> {}
 
-impl<M: RawMutex> fmt::Debug for MwmrReaderPriority<M> {
+impl<M: RawMutex, B: Backend> fmt::Debug for MwmrReaderPriority<M, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MwmrReaderPriority")
             .field("max_processes", &self.max_processes)

@@ -22,6 +22,7 @@
 use crate::raw::{RawMultiWriter, RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::swmr::writer_priority::{ReadSession, SwmrWriterPriority, WriteSession};
+use rmr_mutex::mem::{Backend, Native};
 use rmr_mutex::{AndersonLock, RawMutex};
 use std::fmt;
 
@@ -38,9 +39,11 @@ pub struct WriteToken<M: RawMutex> {
 /// readers, concurrent entering, livelock freedom, starvation freedom) with
 /// O(1) RMR complexity in the CC model (Theorem 3).
 ///
-/// Generic over the writer-side mutex `M`; the default is
-/// [`AndersonLock`], the lock the paper names. [`rmr_mutex::McsLock`] is a
-/// drop-in alternative exercised by the test suite.
+/// Generic over the writer-side mutex `M` (default [`AndersonLock`], the
+/// lock the paper names; [`rmr_mutex::McsLock`] is a drop-in alternative
+/// exercised by the test suite) and the memory backend `B` ([`Native`] by
+/// default; use [`MwmrStarvationFree::new_in`] with
+/// [`rmr_mutex::Counting`] to measure RMRs on the real implementation).
 ///
 /// # Example
 ///
@@ -53,8 +56,8 @@ pub struct WriteToken<M: RawMutex> {
 /// let w = lock.write_lock(Pid::from_index(3));
 /// lock.write_unlock(Pid::from_index(3), w);
 /// ```
-pub struct MwmrStarvationFree<M: RawMutex = AndersonLock> {
-    swmr: SwmrWriterPriority,
+pub struct MwmrStarvationFree<M: RawMutex = AndersonLock, B: Backend = Native> {
+    swmr: SwmrWriterPriority<B>,
     mutex: M,
     max_processes: usize,
 }
@@ -71,6 +74,20 @@ impl MwmrStarvationFree<AndersonLock> {
     }
 }
 
+impl<B: Backend> MwmrStarvationFree<AndersonLock<B>, B> {
+    /// Creates a lock for up to `max_processes` processes over the given
+    /// memory backend, with a matching-backend [`AndersonLock`] as `M` —
+    /// the whole construction (inner Figure 1 *and* the mutex) is then
+    /// measured when `B` is [`rmr_mutex::Counting`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_processes == 0`.
+    pub fn new_in(max_processes: usize, backend: B) -> Self {
+        Self::with_mutex_in(AndersonLock::new_in(max_processes, backend), max_processes, backend)
+    }
+}
+
 impl<M: RawMutex> MwmrStarvationFree<M> {
     /// Creates the lock over a caller-supplied mutex `M`.
     ///
@@ -82,6 +99,19 @@ impl<M: RawMutex> MwmrStarvationFree<M> {
     ///
     /// Panics if `max_processes == 0` or exceeds the mutex capacity.
     pub fn with_mutex(mutex: M, max_processes: usize) -> Self {
+        Self::with_mutex_in(mutex, max_processes, Native)
+    }
+}
+
+impl<M: RawMutex, B: Backend> MwmrStarvationFree<M, B> {
+    /// Creates the lock over a caller-supplied mutex `M` and memory backend
+    /// (same contract as [`MwmrStarvationFree::with_mutex`]; the mutex may
+    /// use a different backend than the inner Figure 1 state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_processes == 0` or exceeds the mutex capacity.
+    pub fn with_mutex_in(mutex: M, max_processes: usize, _backend: B) -> Self {
         assert!(max_processes > 0, "max_processes must be positive");
         if let Some(cap) = mutex.capacity() {
             assert!(
@@ -89,16 +119,16 @@ impl<M: RawMutex> MwmrStarvationFree<M> {
                 "mutex capacity {cap} below max_processes {max_processes}"
             );
         }
-        Self { swmr: SwmrWriterPriority::new(), mutex, max_processes }
+        Self { swmr: SwmrWriterPriority::new_in(B::default()), mutex, max_processes }
     }
 
     /// The inner single-writer lock (for diagnostics and tests).
-    pub fn inner(&self) -> &SwmrWriterPriority {
+    pub fn inner(&self) -> &SwmrWriterPriority<B> {
         &self.swmr
     }
 }
 
-impl<M: RawMutex> RawRwLock for MwmrStarvationFree<M> {
+impl<M: RawMutex, B: Backend> RawRwLock for MwmrStarvationFree<M, B> {
     type ReadToken = ReadSession;
     type WriteToken = WriteToken<M>;
 
@@ -147,7 +177,7 @@ impl<M: RawMutex> RawRwLock for MwmrStarvationFree<M> {
 /// lock.write_unlock(Pid::from_index(0), w);
 /// assert!(lock.try_read_lock(Pid::from_index(1)).is_some());
 /// ```
-impl<M: RawMutex> RawTryReadLock for MwmrStarvationFree<M> {
+impl<M: RawMutex, B: Backend> RawTryReadLock for MwmrStarvationFree<M, B> {
     fn try_read_lock(&self, _pid: Pid) -> Option<ReadSession> {
         self.swmr.try_read_lock()
     }
@@ -156,9 +186,9 @@ impl<M: RawMutex> RawTryReadLock for MwmrStarvationFree<M> {
 // SAFETY: writers serialize through the mutex `M` before entering the
 // Figure 1 writer protocol, so any number of concurrent write_lock callers
 // are mutually excluded (Theorem 3).
-unsafe impl<M: RawMutex> RawMultiWriter for MwmrStarvationFree<M> {}
+unsafe impl<M: RawMutex, B: Backend> RawMultiWriter for MwmrStarvationFree<M, B> {}
 
-impl<M: RawMutex> fmt::Debug for MwmrStarvationFree<M> {
+impl<M: RawMutex, B: Backend> fmt::Debug for MwmrStarvationFree<M, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MwmrStarvationFree")
             .field("max_processes", &self.max_processes)

@@ -30,10 +30,10 @@ use crate::raw::{RawMultiWriter, RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::side::Side;
 use crate::swmr::writer_priority::{ReadSession, SwmrWriterPriority, WriteSession, WriterAttempt};
+use rmr_mutex::mem::{Backend, Native, SharedWord};
 use rmr_mutex::CachePadded;
 use rmr_mutex::{spin_until, AndersonLock, RawMutex};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Encoding of `W-token ∈ {0, 1} ∪ {false} ∪ PID`:
 /// sides map to 0 and 1, `false` to 2, pid `p` to `p + 3`.
@@ -82,6 +82,10 @@ pub struct WriteToken<M: RawMutex> {
 /// Readers may starve under a continuous stream of writers — by design;
 /// use [`super::MwmrStarvationFree`] when no class may starve.
 ///
+/// Generic over the writer-side mutex `M` and the memory backend `B`
+/// ([`Native`] by default; use [`MwmrWriterPriority::new_in`] with
+/// [`rmr_mutex::Counting`] to measure RMRs on the real implementation).
+///
 /// # Example
 ///
 /// ```
@@ -95,15 +99,15 @@ pub struct WriteToken<M: RawMutex> {
 /// let r = lock.read_lock(Pid::from_index(1));
 /// lock.read_unlock(Pid::from_index(1), r);
 /// ```
-pub struct MwmrWriterPriority<M: RawMutex = AndersonLock> {
+pub struct MwmrWriterPriority<M: RawMutex = AndersonLock, B: Backend = Native> {
     /// The SWWP instance whose writer role the writers take turns playing.
-    swmr: SwmrWriterPriority,
+    swmr: SwmrWriterPriority<B>,
     /// The writers' mutual-exclusion lock `M`.
     mutex: M,
     /// `Wcount`: number of writers between their doorway and exit decrement.
-    wcount: CachePadded<AtomicU64>,
+    wcount: CachePadded<B::Word>,
     /// `W-token`: the session-handoff word described in the module docs.
-    wtoken: CachePadded<AtomicU64>,
+    wtoken: CachePadded<B::Word>,
     max_processes: usize,
 }
 
@@ -116,6 +120,18 @@ impl MwmrWriterPriority<AndersonLock> {
     /// Panics if `max_processes == 0`.
     pub fn new(max_processes: usize) -> Self {
         Self::with_mutex(AndersonLock::new(max_processes), max_processes)
+    }
+}
+
+impl<B: Backend> MwmrWriterPriority<AndersonLock<B>, B> {
+    /// Creates a lock for up to `max_processes` processes over the given
+    /// memory backend, with a matching-backend [`AndersonLock`] as `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_processes == 0`.
+    pub fn new_in(max_processes: usize, backend: B) -> Self {
+        Self::with_mutex_in(AndersonLock::new_in(max_processes, backend), max_processes, backend)
     }
 }
 
@@ -133,6 +149,19 @@ impl<M: RawMutex> MwmrWriterPriority<M> {
     ///
     /// Panics if `max_processes == 0` or exceeds the mutex capacity.
     pub fn with_mutex(mutex: M, max_processes: usize) -> Self {
+        Self::with_mutex_in(mutex, max_processes, Native)
+    }
+}
+
+impl<M: RawMutex, B: Backend> MwmrWriterPriority<M, B> {
+    /// Creates the lock over a caller-supplied mutex `M` and memory
+    /// backend (see [`MwmrWriterPriority::with_mutex`] for the `W-token`
+    /// initialization note).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_processes == 0` or exceeds the mutex capacity.
+    pub fn with_mutex_in(mutex: M, max_processes: usize, _backend: B) -> Self {
         assert!(max_processes > 0, "max_processes must be positive");
         if let Some(cap) = mutex.capacity() {
             assert!(
@@ -141,37 +170,35 @@ impl<M: RawMutex> MwmrWriterPriority<M> {
             );
         }
         Self {
-            swmr: SwmrWriterPriority::new(),
+            swmr: SwmrWriterPriority::new_in(B::default()),
             mutex,
-            wcount: CachePadded::new(AtomicU64::new(0)),
-            wtoken: CachePadded::new(AtomicU64::new(WToken::Sde(Side::One).encode())),
+            wcount: CachePadded::new(B::Word::new(0)),
+            wtoken: CachePadded::new(B::Word::new(WToken::Sde(Side::One).encode())),
             max_processes,
         }
     }
 
     /// The inner single-writer lock (for diagnostics and tests).
-    pub fn inner(&self) -> &SwmrWriterPriority {
+    pub fn inner(&self) -> &SwmrWriterPriority<B> {
         &self.swmr
     }
 
     fn load_wtoken(&self) -> WToken {
-        WToken::decode(self.wtoken.load(Ordering::SeqCst))
+        WToken::decode(self.wtoken.load())
     }
 
     fn cas_wtoken(&self, from: WToken, to: WToken) -> bool {
-        self.wtoken
-            .compare_exchange(from.encode(), to.encode(), Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
+        self.wtoken.compare_exchange(from.encode(), to.encode()).is_ok()
     }
 
     /// Number of writers currently in their try or critical section
     /// (`Wcount`). Diagnostic; may be stale.
     pub fn writers_pending(&self) -> u64 {
-        self.wcount.load(Ordering::SeqCst)
+        self.wcount.load()
     }
 }
 
-impl<M: RawMutex> RawRwLock for MwmrWriterPriority<M> {
+impl<M: RawMutex, B: Backend> RawRwLock for MwmrWriterPriority<M, B> {
     type ReadToken = ReadSession;
     type WriteToken = WriteToken<M>;
 
@@ -187,7 +214,7 @@ impl<M: RawMutex> RawRwLock for MwmrWriterPriority<M> {
 
     /// Figure 4 lines 2–14.
     fn write_lock(&self, pid: Pid) -> WriteToken<M> {
-        self.wcount.fetch_add(1, Ordering::SeqCst); // line 2: F&A(Wcount, 1)
+        self.wcount.fetch_add(1); // line 2: F&A(Wcount, 1)
         let t = self.load_wtoken(); // line 3: t ← W-token
         if let WToken::Process(_) = t {
             // line 4: if (t ∈ PID)
@@ -230,10 +257,10 @@ impl<M: RawMutex> RawRwLock for MwmrWriterPriority<M> {
     fn write_unlock(&self, pid: Pid, token: WriteToken<M>) {
         // line 15: W-token ← p (plain write; W-token is a CAS variable but
         // the paper stores here unconditionally).
-        self.wtoken.store(WToken::Process(pid).encode(), Ordering::SeqCst);
-        self.wcount.fetch_sub(1, Ordering::SeqCst); // line 16: F&A(Wcount, -1)
+        self.wtoken.store(WToken::Process(pid).encode());
+        self.wcount.fetch_sub(1); // line 16: F&A(Wcount, -1)
         self.mutex.unlock(token.mutex_token); // line 17: release(M)
-        if self.wcount.load(Ordering::SeqCst) == 0 {
+        if self.wcount.load() == 0 {
             // line 18: if (Wcount = 0)
             // line 19: if (CAS(W-token, p, prevD)) — hand the next session's
             // side to the writers; fails if a newer writer already owns the
@@ -268,7 +295,7 @@ impl<M: RawMutex> RawRwLock for MwmrWriterPriority<M> {
 /// assert!(lock.try_read_lock(Pid::from_index(1)).is_none());
 /// lock.write_unlock(Pid::from_index(0), w);
 /// ```
-impl<M: RawMutex> RawTryReadLock for MwmrWriterPriority<M> {
+impl<M: RawMutex, B: Backend> RawTryReadLock for MwmrWriterPriority<M, B> {
     fn try_read_lock(&self, _pid: Pid) -> Option<ReadSession> {
         self.swmr.try_read_lock()
     }
@@ -277,13 +304,13 @@ impl<M: RawMutex> RawTryReadLock for MwmrWriterPriority<M> {
 // SAFETY: writers hold the mutex `M` for the whole critical section
 // (Figure 4 releases it only in the exit protocol), so any number of
 // concurrent write_lock callers are mutually excluded (Theorem 5).
-unsafe impl<M: RawMutex> RawMultiWriter for MwmrWriterPriority<M> {}
+unsafe impl<M: RawMutex, B: Backend> RawMultiWriter for MwmrWriterPriority<M, B> {}
 
-impl<M: RawMutex> fmt::Debug for MwmrWriterPriority<M> {
+impl<M: RawMutex, B: Backend> fmt::Debug for MwmrWriterPriority<M, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MwmrWriterPriority")
             .field("max_processes", &self.max_processes)
-            .field("wcount", &self.wcount.load(Ordering::SeqCst))
+            .field("wcount", &self.wcount.load())
             .field("wtoken", &self.load_wtoken())
             .field("inner", &self.swmr)
             .finish()

@@ -10,8 +10,8 @@
 //! the two fields can never carry into each other, so one hardware
 //! `fetch_add` implements the paper's componentwise `F&A` exactly.
 
+use rmr_mutex::mem::{Backend, Native, SharedWord};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bit used for the `writer-waiting` component.
 const WRITER_BIT: u64 = 1 << 63;
@@ -60,7 +60,8 @@ impl fmt::Debug for Packed {
 }
 
 /// A two-component `[writer-waiting, reader-count]` fetch&add variable
-/// (the paper's `C\[0\]`, `C\[1\]`, and `EC`).
+/// (the paper's `C\[0\]`, `C\[1\]`, and `EC`), generic over the memory
+/// backend (`Native` by default, so existing code sees plain `PackedFaa`).
 ///
 /// All operations return the **previous** value, exactly like the paper's
 /// `F&A`. Methods are named after the componentwise increments they apply.
@@ -77,48 +78,61 @@ impl fmt::Debug for Packed {
 /// assert_eq!(c.sub_writer(), Packed::new(true, 0));
 /// assert_eq!(c.load(), Packed::ZERO);
 /// ```
-#[derive(Default)]
-pub struct PackedFaa(AtomicU64);
+pub struct PackedFaa<B: Backend = Native>(B::Word);
 
 impl PackedFaa {
     /// Creates the variable initialized to `\[0, 0\]`.
     pub fn new() -> Self {
-        Self(AtomicU64::new(0))
+        Self::new_in(Native)
+    }
+}
+
+impl<B: Backend> PackedFaa<B> {
+    /// Creates the variable initialized to `\[0, 0\]` over the given
+    /// memory backend.
+    pub fn new_in(_backend: B) -> Self {
+        Self(B::Word::new(0))
     }
 
     /// `F&A(·, \[1, 0\])`: sets the writer-waiting flag. Returns the old value.
     ///
     /// Caller contract (upheld by the algorithms): the flag is currently 0.
     pub fn add_writer(&self) -> Packed {
-        Packed(self.0.fetch_add(WRITER_BIT, Ordering::SeqCst))
+        Packed(self.0.fetch_add(WRITER_BIT))
     }
 
     /// `F&A(·, [-1, 0])`: clears the writer-waiting flag. Returns the old value.
     ///
     /// Caller contract: the flag is currently 1.
     pub fn sub_writer(&self) -> Packed {
-        Packed(self.0.fetch_sub(WRITER_BIT, Ordering::SeqCst))
+        Packed(self.0.fetch_sub(WRITER_BIT))
     }
 
     /// `F&A(·, \[0, 1\])`: registers one reader. Returns the old value.
     pub fn add_reader(&self) -> Packed {
-        Packed(self.0.fetch_add(1, Ordering::SeqCst))
+        Packed(self.0.fetch_add(1))
     }
 
     /// `F&A(·, [0, -1])`: retires one reader. Returns the old value.
     ///
     /// Caller contract: the reader count is currently ≥ 1.
     pub fn sub_reader(&self) -> Packed {
-        Packed(self.0.fetch_sub(1, Ordering::SeqCst))
+        Packed(self.0.fetch_sub(1))
     }
 
     /// Atomic read of the current value.
     pub fn load(&self) -> Packed {
-        Packed(self.0.load(Ordering::SeqCst))
+        Packed(self.0.load())
     }
 }
 
-impl fmt::Debug for PackedFaa {
+impl<B: Backend> Default for PackedFaa<B> {
+    fn default() -> Self {
+        Self::new_in(B::default())
+    }
+}
+
+impl<B: Backend> fmt::Debug for PackedFaa<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "PackedFaa({:?})", self.load())
     }

@@ -6,8 +6,8 @@
 //! [`Pid`] from a fixed-capacity [`PidRegistry`]; the registry capacity is
 //! the `n` of the theorems ("O(n) shared variables", Anderson-lock slots).
 
+use rmr_mutex::mem::{Backend, Native, SharedBool};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A process identifier: a small dense integer in `0..capacity`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -59,7 +59,8 @@ impl fmt::Display for RegistryFull {
 
 impl std::error::Error for RegistryFull {}
 
-/// Fixed-capacity pid allocator.
+/// Fixed-capacity pid allocator, generic over the memory backend
+/// (`Native` by default).
 ///
 /// Allocation is O(capacity) (a scan with one CAS per probed slot) — pids
 /// are allocated at registration time, never on the lock fast path.
@@ -77,8 +78,8 @@ impl std::error::Error for RegistryFull {}
 /// assert!(reg.allocate().is_ok());
 /// # let _ = b;
 /// ```
-pub struct PidRegistry {
-    in_use: Box<[AtomicBool]>,
+pub struct PidRegistry<B: Backend = Native> {
+    in_use: Box<[B::Bool]>,
 }
 
 impl PidRegistry {
@@ -88,9 +89,17 @@ impl PidRegistry {
     ///
     /// Panics if `capacity` is 0 or exceeds `u32::MAX`.
     pub fn new(capacity: usize) -> Self {
+        Self::new_in(capacity, Native)
+    }
+}
+
+impl<B: Backend> PidRegistry<B> {
+    /// Creates a registry with `capacity` pids over the given memory
+    /// backend (same contract as [`PidRegistry::new`]).
+    pub fn new_in(capacity: usize, _backend: B) -> Self {
         assert!(capacity > 0, "registry capacity must be positive");
         assert!(u32::try_from(capacity).is_ok(), "registry capacity too large");
-        Self { in_use: (0..capacity).map(|_| AtomicBool::new(false)).collect() }
+        Self { in_use: (0..capacity).map(|_| B::Bool::new(false)).collect() }
     }
 
     /// Number of pids this registry manages.
@@ -100,7 +109,7 @@ impl PidRegistry {
 
     /// Number of pids currently allocated (approximate under concurrency).
     pub fn allocated(&self) -> usize {
-        self.in_use.iter().filter(|b| b.load(Ordering::SeqCst)).count()
+        self.in_use.iter().filter(|b| b.load()).count()
     }
 
     /// Claims a free pid.
@@ -110,7 +119,7 @@ impl PidRegistry {
     /// Returns [`RegistryFull`] if every pid is in use.
     pub fn allocate(&self) -> Result<Pid, RegistryFull> {
         for (i, slot) in self.in_use.iter().enumerate() {
-            if slot.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            if slot.compare_exchange(false, true).is_ok() {
                 return Ok(Pid(i as u32));
             }
         }
@@ -124,12 +133,12 @@ impl PidRegistry {
     /// Panics (in debug builds) if the pid was not allocated, which indicates
     /// a double release.
     pub fn release(&self, pid: Pid) {
-        let was = self.in_use[pid.index()].swap(false, Ordering::SeqCst);
+        let was = self.in_use[pid.index()].swap(false);
         debug_assert!(was, "released pid {pid} that was not allocated");
     }
 }
 
-impl fmt::Debug for PidRegistry {
+impl<B: Backend> fmt::Debug for PidRegistry<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PidRegistry")
             .field("capacity", &self.capacity())

@@ -416,15 +416,21 @@ fn release_pid_source(registry: &Arc<PidRegistry>, pid: Pid, source: PidSource) 
         PidSource::Transient => registry.release(pid),
         PidSource::Lease => {
             let key = Arc::as_ptr(registry);
-            // try_with: during thread teardown the table may already be
-            // gone — its Drop returned the pid, nothing left to do.
-            let _ = LEASES.try_with(|table| {
+            let cleared = LEASES.try_with(|table| {
                 if let Ok(entries) = table.entries.try_borrow() {
                     if let Some(e) = entries.iter().find(|e| std::ptr::eq(e.reg.as_ptr(), key)) {
                         e.busy.set(false);
                     }
                 }
             });
+            // During thread teardown the table may already be destroyed.
+            // Its Drop deliberately *skipped* this pid (the guard was
+            // still open, busy = true), so the guard must return it to
+            // the registry itself or the slot would leak; no double
+            // release is possible for the same reason.
+            if cleared.is_err() {
+                registry.release(pid);
+            }
         }
     }
 }
@@ -453,6 +459,7 @@ impl<T: ?Sized, L: RawTryReadLock> RwLock<T, L> {
     /// let g = lock.try_read().expect("no writer active");
     /// assert_eq!(*g, 3);
     /// ```
+    #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
     pub fn try_read(&self) -> Option<ReadGuard<'_, T, L>> {
         let (pid, source) = self.lease().ok()?;
         match self.raw.try_read_lock(pid) {
@@ -484,6 +491,7 @@ impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter> RwLock<T, L> {
     /// *lock.try_write().expect("uncontended") += 1;
     /// assert_eq!(*lock.read(), 1);
     /// ```
+    #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
     pub fn try_write(&self) -> Option<WriteGuard<'_, T, L>> {
         let (pid, source) = self.lease().ok()?;
         match self.raw.try_write_lock(pid) {
@@ -568,6 +576,7 @@ impl<'l, T: ?Sized, L: RawTryReadLock> LockHandle<'l, T, L> {
     /// assert_eq!(*h.try_read().expect("no writer"), 1);
     /// # Ok::<(), rmr_core::RegistryFull>(())
     /// ```
+    #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
     pub fn try_read(&mut self) -> Option<ReadGuard<'_, T, L>> {
         let token = self.lock.raw.try_read_lock(self.pid)?;
         Some(self.lock.read_guard(self.pid, PidSource::Handle, token))
@@ -576,6 +585,7 @@ impl<'l, T: ?Sized, L: RawTryReadLock> LockHandle<'l, T, L> {
 
 impl<'l, T: ?Sized, L: RawTryRwLock + RawMultiWriter> LockHandle<'l, T, L> {
     /// Attempts to acquire the lock for writing without blocking.
+    #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
     pub fn try_write(&mut self) -> Option<WriteGuard<'_, T, L>> {
         let token = self.lock.raw.try_write_lock(self.pid)?;
         Some(self.lock.write_guard(self.pid, PidSource::Handle, token))
@@ -605,6 +615,7 @@ impl<T: ?Sized, L: RawRwLock> fmt::Debug for LockHandle<'_, T, L> {
 /// thread-cached, and several raw unlock paths — e.g. Figure 2's `Promote`
 /// — stamp the pid into shared CAS variables, so unlocking from a thread
 /// that may concurrently reuse the pid would break the raw contract).
+#[must_use = "dropping the guard immediately releases the read lock"]
 pub struct ReadGuard<'l, T: ?Sized, L: RawRwLock> {
     lock: &'l RwLock<T, L>,
     pid: Pid,
@@ -646,6 +657,7 @@ impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for ReadGuard<'_, T, L> {
 /// (bounded exit: the unlock path performs O(1) steps).
 ///
 /// Not `Send` for the same reason as [`ReadGuard`].
+#[must_use = "dropping the guard immediately releases the write lock"]
 pub struct WriteGuard<'l, T: ?Sized, L: RawRwLock> {
     lock: &'l RwLock<T, L>,
     pid: Pid,

@@ -1,8 +1,8 @@
 //! The two "sides" of the paper's side-toggling scheme.
 
+use rmr_mutex::mem::{Backend, Native, SharedBool};
 use std::fmt;
 use std::ops::Not;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// One of the two sides (`D ∈ {0, 1}`) from which the writer attempts the
 /// critical section in Figures 1, 2 and 4.
@@ -73,19 +73,26 @@ impl fmt::Debug for Side {
     }
 }
 
-/// An atomic [`Side`] cell (the shared variable `D`).
-#[derive(Default)]
-pub struct AtomicSide(AtomicBool);
+/// An atomic [`Side`] cell (the shared variable `D`), generic over the
+/// memory backend (`Native` by default).
+pub struct AtomicSide<B: Backend = Native>(B::Bool);
 
 impl AtomicSide {
     /// Creates the cell holding `side`.
     pub fn new(side: Side) -> Self {
-        Self(AtomicBool::new(side == Side::One))
+        Self::new_in(side, Native)
+    }
+}
+
+impl<B: Backend> AtomicSide<B> {
+    /// Creates the cell holding `side` over the given memory backend.
+    pub fn new_in(side: Side, _backend: B) -> Self {
+        Self(B::Bool::new(side == Side::One))
     }
 
     /// Atomic read.
     pub fn load(&self) -> Side {
-        if self.0.load(Ordering::SeqCst) {
+        if self.0.load() {
             Side::One
         } else {
             Side::Zero
@@ -94,11 +101,17 @@ impl AtomicSide {
 
     /// Atomic write.
     pub fn store(&self, side: Side) {
-        self.0.store(side == Side::One, Ordering::SeqCst);
+        self.0.store(side == Side::One);
     }
 }
 
-impl fmt::Debug for AtomicSide {
+impl<B: Backend> Default for AtomicSide<B> {
+    fn default() -> Self {
+        Self::new_in(Side::Zero, B::default())
+    }
+}
+
+impl<B: Backend> fmt::Debug for AtomicSide<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "AtomicSide({:?})", self.load())
     }
@@ -141,6 +154,6 @@ mod tests {
     #[test]
     fn default_is_side_zero() {
         assert_eq!(Side::default(), Side::Zero);
-        assert_eq!(AtomicSide::default().load(), Side::Zero);
+        assert_eq!(AtomicSide::<Native>::default().load(), Side::Zero);
     }
 }

@@ -22,10 +22,11 @@
 use crate::raw::{RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::side::{AtomicSide, Side};
+use rmr_mutex::mem::{Backend, Native, SharedBool, SharedWord};
 use rmr_mutex::spin_until;
 use rmr_mutex::CachePadded;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Encoding of `X ∈ PID ∪ {true}`: pids are their integer value, `true` is
 /// the reserved top value.
@@ -72,6 +73,10 @@ impl ReadSession {
 /// that is unique among concurrently active processes — the typed front end
 /// in [`crate::rwlock`] handles that via [`crate::registry::PidRegistry`].
 ///
+/// Generic over the memory backend `B` ([`Native`] by default; construct
+/// with [`SwmrReaderPriority::new_in`] and [`rmr_mutex::Counting`] to
+/// measure RMRs on the real implementation, experiment E13).
+///
 /// # Example
 ///
 /// ```
@@ -88,19 +93,20 @@ impl ReadSession {
 /// let w = lock.write_lock(writer);
 /// lock.write_unlock(writer, w);
 /// ```
-pub struct SwmrReaderPriority {
+pub struct SwmrReaderPriority<B: Backend = Native> {
     /// `D`: the side of the writer's current attempt; written only by the
     /// writer role.
-    d: AtomicSide,
+    d: AtomicSide<B>,
     /// `Gate[d]`: parks readers while the writer owns the CS.
-    gates: [CachePadded<AtomicBool>; 2],
+    gates: [CachePadded<B::Bool>; 2],
     /// `X ∈ PID ∪ {true}` (CAS variable).
-    x: CachePadded<AtomicU64>,
+    x: CachePadded<B::Word>,
     /// `Permit`: raised by whoever promotes the writer.
-    permit: CachePadded<AtomicBool>,
+    permit: CachePadded<B::Bool>,
     /// `C`: number of readers between their doorway and exit decrement.
-    count: CachePadded<AtomicU64>,
-    /// Debug-only discipline check for the single writer role.
+    count: CachePadded<B::Word>,
+    /// Debug-only discipline check for the single writer role; plain `std`
+    /// atomic, never RMR-accounted.
     session_active: AtomicBool,
 }
 
@@ -109,20 +115,25 @@ impl SwmrReaderPriority {
     /// `Gate\[0\] = true`, `Gate\[1\] = false`, `X` = some pid (we use 0),
     /// `Permit = true`, `C = 0`.
     pub fn new() -> Self {
+        Self::new_in(Native)
+    }
+}
+
+impl<B: Backend> SwmrReaderPriority<B> {
+    /// Creates the lock in the paper's initial configuration over the given
+    /// memory backend.
+    pub fn new_in(backend: B) -> Self {
         Self {
-            d: AtomicSide::new(Side::Zero),
-            gates: [
-                CachePadded::new(AtomicBool::new(true)),
-                CachePadded::new(AtomicBool::new(false)),
-            ],
-            x: CachePadded::new(AtomicU64::new(0)),
-            permit: CachePadded::new(AtomicBool::new(true)),
-            count: CachePadded::new(AtomicU64::new(0)),
+            d: AtomicSide::new_in(Side::Zero, backend),
+            gates: [CachePadded::new(B::Bool::new(true)), CachePadded::new(B::Bool::new(false))],
+            x: CachePadded::new(B::Word::new(0)),
+            permit: CachePadded::new(B::Bool::new(true)),
+            count: CachePadded::new(B::Word::new(0)),
             session_active: AtomicBool::new(false),
         }
     }
 
-    fn gate(&self, d: Side) -> &AtomicBool {
+    fn gate(&self, d: Side) -> &B::Bool {
         &self.gates[d.index()]
     }
 
@@ -137,29 +148,18 @@ impl SwmrReaderPriority {
     // The nested `if`s deliberately mirror the paper's lines 10-16.
     #[allow(clippy::collapsible_if)]
     pub fn promote(&self, pid: Pid) {
-        let x = self.x.load(Ordering::SeqCst); // line 10: x ← X
+        let x = self.x.load(); // line 10: x ← X
         if x != X_TRUE {
             // line 11: if (x ≠ true)
-            let stamped = self
-                .x
-                .compare_exchange(x, encode_pid(pid), Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok(); // line 12: if (CAS(X, x, i))
+            let stamped = self.x.compare_exchange(x, encode_pid(pid)).is_ok(); // line 12: if (CAS(X, x, i))
             if stamped {
-                if !self.permit.load(Ordering::SeqCst) {
+                if !self.permit.load() {
                     // line 13: if (¬Permit)
-                    if self.count.load(Ordering::SeqCst) == 0 {
+                    if self.count.load() == 0 {
                         // line 14: if (C = 0)
-                        let promoted = self
-                            .x
-                            .compare_exchange(
-                                encode_pid(pid),
-                                X_TRUE,
-                                Ordering::SeqCst,
-                                Ordering::SeqCst,
-                            )
-                            .is_ok(); // line 15: if (CAS(X, i, true))
+                        let promoted = self.x.compare_exchange(encode_pid(pid), X_TRUE).is_ok(); // line 15: if (CAS(X, i, true))
                         if promoted {
-                            self.permit.store(true, Ordering::SeqCst); // line 16
+                            self.permit.store(true); // line 16
                         }
                     }
                 }
@@ -182,9 +182,9 @@ impl SwmrReaderPriority {
         );
         let d = !self.d.load(); // line 2: D ← ¬D
         self.d.store(d);
-        self.permit.store(false, Ordering::SeqCst); // line 3: Permit ← false
+        self.permit.store(false); // line 3: Permit ← false
         self.promote(pid); // line 4: Promote()
-        spin_until(|| self.permit.load(Ordering::SeqCst)); // line 5: wait till Permit
+        spin_until(|| self.permit.load()); // line 5: wait till Permit
         let was = self.session_active.swap(true, Ordering::SeqCst);
         debug_assert!(!was);
         WriteSession { d } // line 6: CRITICAL SECTION
@@ -195,9 +195,9 @@ impl SwmrReaderPriority {
         let was = self.session_active.swap(false, Ordering::SeqCst);
         debug_assert!(was, "write_unlock without an open write session");
         let d = session.d;
-        self.gate(!d).store(false, Ordering::SeqCst); // line 7: Gate[D̄] ← false
-        self.gate(d).store(true, Ordering::SeqCst); // line 8: Gate[D] ← true
-        self.x.store(encode_pid(pid), Ordering::SeqCst); // line 9: X ← i
+        self.gate(!d).store(false); // line 7: Gate[D̄] ← false
+        self.gate(d).store(true); // line 8: Gate[D] ← true
+        self.x.store(encode_pid(pid)); // line 9: X ← i
     }
 
     // ------------------------------------------------------------------
@@ -210,17 +210,17 @@ impl SwmrReaderPriority {
     /// any in-flight line-15 promotion that observed `C = 0` before this
     /// reader registered, preserving mutual exclusion.
     pub fn read_lock(&self, pid: Pid) -> ReadSession {
-        self.count.fetch_add(1, Ordering::SeqCst); // line 18: F&A(C, 1)
+        self.count.fetch_add(1); // line 18: F&A(C, 1)
         let d = self.d.load(); // line 19: d ← D
-        let x = self.x.load(Ordering::SeqCst); // line 20: x ← X
+        let x = self.x.load(); // line 20: x ← X
         if x != X_TRUE {
             // line 21: if (x ∈ PID)
             // line 22: CAS(X, x, i) — outcome deliberately ignored.
-            let _ = self.x.compare_exchange(x, encode_pid(pid), Ordering::SeqCst, Ordering::SeqCst);
+            let _ = self.x.compare_exchange(x, encode_pid(pid));
         }
-        if self.x.load(Ordering::SeqCst) == X_TRUE {
+        if self.x.load() == X_TRUE {
             // line 23: if (X = true)
-            spin_until(|| self.gate(d).load(Ordering::SeqCst)); // line 24
+            spin_until(|| self.gate(d).load()); // line 24
         }
         ReadSession { d } // line 25: CRITICAL SECTION
     }
@@ -252,16 +252,16 @@ impl SwmrReaderPriority {
     /// lock.write_unlock(writer, w);
     /// ```
     pub fn try_read_lock(&self, pid: Pid) -> Option<ReadSession> {
-        self.count.fetch_add(1, Ordering::SeqCst); // line 18: F&A(C, 1)
+        self.count.fetch_add(1); // line 18: F&A(C, 1)
         let d = self.d.load(); // line 19: d ← D
-        let x = self.x.load(Ordering::SeqCst); // line 20: x ← X
+        let x = self.x.load(); // line 20: x ← X
         if x != X_TRUE {
             // line 21–22: stamp our pid (subtle feature A), as in read_lock.
-            let _ = self.x.compare_exchange(x, encode_pid(pid), Ordering::SeqCst, Ordering::SeqCst);
+            let _ = self.x.compare_exchange(x, encode_pid(pid));
         }
-        if self.x.load(Ordering::SeqCst) == X_TRUE {
+        if self.x.load() == X_TRUE {
             // Would park on Gate[d]: abort through the exit section.
-            self.count.fetch_sub(1, Ordering::SeqCst); // line 26
+            self.count.fetch_sub(1); // line 26
             self.promote(pid); // line 27
             None
         } else {
@@ -273,7 +273,7 @@ impl SwmrReaderPriority {
     /// one `Promote` (at most three more shared-memory operations).
     pub fn read_unlock(&self, pid: Pid, session: ReadSession) {
         let _ = session;
-        self.count.fetch_sub(1, Ordering::SeqCst); // line 26: F&A(C, -1)
+        self.count.fetch_sub(1); // line 26: F&A(C, -1)
         self.promote(pid); // line 27: Promote()
     }
 
@@ -288,33 +288,33 @@ impl SwmrReaderPriority {
 
     /// Whether `Gate[side]` is open. Diagnostic; may be stale.
     pub fn gate_is_open(&self, side: Side) -> bool {
-        self.gate(side).load(Ordering::SeqCst)
+        self.gate(side).load()
     }
 
     /// Number of registered readers (`C`). Diagnostic; may be stale.
     pub fn reader_count(&self) -> u64 {
-        self.count.load(Ordering::SeqCst)
+        self.count.load()
     }
 
     /// Whether `X = true` (the writer owns or is entering the CS).
     pub fn writer_promoted(&self) -> bool {
-        self.x.load(Ordering::SeqCst) == X_TRUE
+        self.x.load() == X_TRUE
     }
 }
 
-impl Default for SwmrReaderPriority {
+impl<B: Backend> Default for SwmrReaderPriority<B> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in(B::default())
     }
 }
 
-impl fmt::Debug for SwmrReaderPriority {
+impl<B: Backend> fmt::Debug for SwmrReaderPriority<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SwmrReaderPriority")
             .field("d", &self.direction())
             .field("c", &self.reader_count())
             .field("x_is_true", &self.writer_promoted())
-            .field("permit", &self.permit.load(Ordering::SeqCst))
+            .field("permit", &self.permit.load())
             .finish()
     }
 }
@@ -330,7 +330,7 @@ impl fmt::Debug for SwmrReaderPriority {
 /// **Contract beyond [`RawRwLock`]'s:** at most one process may exercise
 /// the writer role at a time. The typed
 /// [`SwmrRwLock`](crate::swmr_rwlock::SwmrRwLock) enforces that statically.
-impl RawRwLock for SwmrReaderPriority {
+impl<B: Backend> RawRwLock for SwmrReaderPriority<B> {
     type ReadToken = ReadSession;
     type WriteToken = WriteSession;
 
@@ -355,7 +355,7 @@ impl RawRwLock for SwmrReaderPriority {
     }
 }
 
-impl RawTryReadLock for SwmrReaderPriority {
+impl<B: Backend> RawTryReadLock for SwmrReaderPriority<B> {
     fn try_read_lock(&self, pid: Pid) -> Option<ReadSession> {
         SwmrReaderPriority::try_read_lock(self, pid)
     }

@@ -23,29 +23,30 @@ use crate::packed::{Packed, PackedFaa};
 use crate::raw::{RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::side::{AtomicSide, Side};
+use rmr_mutex::mem::{Backend, Native, SharedBool};
 use rmr_mutex::spin_until;
 use rmr_mutex::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Per-side shared variables: `Gate[d]`, `Permit[d]`, `C[d]`.
-struct SideVars {
+struct SideVars<B: Backend> {
     /// `Gate[d]`: readers on side `d` may enter the CS while open. Written
     /// only by the writer role.
-    gate: CachePadded<AtomicBool>,
+    gate: CachePadded<B::Bool>,
     /// `Permit[d]`: the last side-`d` reader out wakes the writer through
     /// this flag.
-    permit: CachePadded<AtomicBool>,
+    permit: CachePadded<B::Bool>,
     /// `C[d] = [writer-waiting, reader-count]` for side `d`.
-    count: CachePadded<PackedFaa>,
+    count: CachePadded<PackedFaa<B>>,
 }
 
-impl SideVars {
+impl<B: Backend> SideVars<B> {
     fn new(gate_open: bool) -> Self {
         Self {
-            gate: CachePadded::new(AtomicBool::new(gate_open)),
-            permit: CachePadded::new(AtomicBool::new(false)),
-            count: CachePadded::new(PackedFaa::new()),
+            gate: CachePadded::new(B::Bool::new(gate_open)),
+            permit: CachePadded::new(B::Bool::new(false)),
+            count: CachePadded::new(PackedFaa::new_in(B::default())),
         }
     }
 }
@@ -126,6 +127,10 @@ impl ReadSession {
 /// [`crate::mwmr`] serialize the role through a mutex. Readers may be
 /// arbitrarily concurrent.
 ///
+/// Generic over the memory backend `B` ([`Native`] by default; construct
+/// with [`SwmrWriterPriority::new_in`] and [`rmr_mutex::Counting`] to
+/// measure RMRs on the real implementation, experiment E13).
+///
 /// # Example
 ///
 /// ```
@@ -141,19 +146,21 @@ impl ReadSession {
 /// let w = lock.write_lock();
 /// lock.write_unlock(w);
 /// ```
-pub struct SwmrWriterPriority {
+pub struct SwmrWriterPriority<B: Backend = Native> {
     /// `D`: the side the writer is attempting from; written only by the
     /// writer role (Fig. 1 line 3, or Fig. 4 line 8 by proxy).
-    d: AtomicSide,
+    d: AtomicSide<B>,
     /// `Gate[d]`, `Permit[d]`, `C[d]` for `d ∈ {0, 1}`.
-    sides: [SideVars; 2],
+    sides: [SideVars<B>; 2],
     /// `EC = [writer-waiting, exit-count]`.
-    exit_count: CachePadded<PackedFaa>,
+    exit_count: CachePadded<PackedFaa<B>>,
     /// `ExitPermit`: the last reader to leave the exit section wakes the
     /// writer through this flag.
-    exit_permit: CachePadded<AtomicBool>,
+    exit_permit: CachePadded<B::Bool>,
     /// Debug-only discipline check: true between waiting-room completion
     /// and `writer_exit` (the "SWWP session" of Figure 4's commentary).
+    /// Not part of the algorithm's shared state, so it stays a plain
+    /// `std` atomic and is never RMR-accounted.
     session_active: AtomicBool,
 }
 
@@ -161,16 +168,24 @@ impl SwmrWriterPriority {
     /// Creates the lock in the paper's initial configuration:
     /// `D = 0`, `Gate\[0\] = true`, `Gate\[1\] = false`, all counters `\[0, 0\]`.
     pub fn new() -> Self {
+        Self::new_in(Native)
+    }
+}
+
+impl<B: Backend> SwmrWriterPriority<B> {
+    /// Creates the lock in the paper's initial configuration over the given
+    /// memory backend.
+    pub fn new_in(backend: B) -> Self {
         Self {
-            d: AtomicSide::new(Side::Zero),
+            d: AtomicSide::new_in(Side::Zero, backend),
             sides: [SideVars::new(true), SideVars::new(false)],
-            exit_count: CachePadded::new(PackedFaa::new()),
-            exit_permit: CachePadded::new(AtomicBool::new(false)),
+            exit_count: CachePadded::new(PackedFaa::new_in(backend)),
+            exit_permit: CachePadded::new(B::Bool::new(false)),
             session_active: AtomicBool::new(false),
         }
     }
 
-    fn side(&self, d: Side) -> &SideVars {
+    fn side(&self, d: Side) -> &SideVars<B> {
         &self.sides[d.index()]
     }
 
@@ -198,24 +213,24 @@ impl SwmrWriterPriority {
     pub fn writer_waiting_room(&self, attempt: WriterAttempt) -> WriteSession {
         let prev = self.side(attempt.prev);
 
-        prev.permit.store(false, Ordering::SeqCst); // line 4: Permit[prevD] ← false
+        prev.permit.store(false); // line 4: Permit[prevD] ← false
         let old = prev.count.add_writer(); // line 5: F&A(C[prevD], [1, 0])
         debug_assert!(!old.writer_waiting(), "writer-waiting flag already set on C[prevD]");
         if old != Packed::ZERO {
             // line 6: wait till Permit[prevD]
-            spin_until(|| prev.permit.load(Ordering::SeqCst));
+            spin_until(|| prev.permit.load());
         }
         let old = prev.count.sub_writer(); // line 7: F&A(C[prevD], [-1, 0])
         debug_assert!(old.writer_waiting());
 
-        prev.gate.store(false, Ordering::SeqCst); // line 8: Gate[prevD] ← false
+        prev.gate.store(false); // line 8: Gate[prevD] ← false
 
-        self.exit_permit.store(false, Ordering::SeqCst); // line 9: ExitPermit ← false
+        self.exit_permit.store(false); // line 9: ExitPermit ← false
         let old = self.exit_count.add_writer(); // line 10: F&A(EC, [1, 0])
         debug_assert!(!old.writer_waiting());
         if old != Packed::ZERO {
             // line 11: wait till ExitPermit
-            spin_until(|| self.exit_permit.load(Ordering::SeqCst));
+            spin_until(|| self.exit_permit.load());
         }
         let old = self.exit_count.sub_writer(); // line 12: F&A(EC, [-1, 0])
         debug_assert!(old.writer_waiting());
@@ -237,7 +252,7 @@ impl SwmrWriterPriority {
         let was = self.session_active.swap(false, Ordering::SeqCst);
         debug_assert!(was, "writer_exit without an open write session");
         // line 14: Gate[D] ← true (D still equals the session's currD)
-        self.side(session.curr).gate.store(true, Ordering::SeqCst);
+        self.side(session.curr).gate.store(true);
     }
 
     /// Alias for [`Self::writer_exit`], for symmetry with `write_lock`.
@@ -267,7 +282,7 @@ impl SwmrWriterPriority {
             if old == Packed::ONE_ONE {
                 // line 23: Permit[d̄] ← true — we were the last side-d̄
                 // reader and the writer is waiting on that side.
-                self.side(other).permit.store(true, Ordering::SeqCst);
+                self.side(other).permit.store(true);
             }
         }
         d
@@ -281,7 +296,7 @@ impl SwmrWriterPriority {
     pub fn read_lock(&self) -> ReadSession {
         let d = self.reader_doorway();
         // line 24: wait till Gate[d]
-        spin_until(|| self.side(d).gate.load(Ordering::SeqCst));
+        spin_until(|| self.side(d).gate.load());
         ReadSession { side: d } // line 25: CRITICAL SECTION
     }
 
@@ -309,7 +324,7 @@ impl SwmrWriterPriority {
     /// ```
     pub fn try_read_lock(&self) -> Option<ReadSession> {
         let d = self.reader_doorway();
-        if self.side(d).gate.load(Ordering::SeqCst) {
+        if self.side(d).gate.load() {
             Some(ReadSession { side: d })
         } else {
             // Writer active on our side: retire through the exit section.
@@ -325,11 +340,11 @@ impl SwmrWriterPriority {
         self.exit_count.add_reader(); // line 26: F&A(EC, [0, 1])
         let old = self.side(d).count.sub_reader(); // line 27: F&A(C[d], [0, -1])
         if old == Packed::ONE_ONE {
-            self.side(d).permit.store(true, Ordering::SeqCst); // line 28
+            self.side(d).permit.store(true); // line 28
         }
         let old = self.exit_count.sub_reader(); // line 29: F&A(EC, [0, -1])
         if old == Packed::ONE_ONE {
-            self.exit_permit.store(true, Ordering::SeqCst); // line 30
+            self.exit_permit.store(true); // line 30
         }
     }
 
@@ -351,7 +366,7 @@ impl SwmrWriterPriority {
 
     /// Whether `Gate[side]` is open (Fig. 4 line 12 waits on this).
     pub fn gate_is_open(&self, side: Side) -> bool {
-        self.side(side).gate.load(Ordering::SeqCst)
+        self.side(side).gate.load()
     }
 
     /// Diagnostic snapshot `(C\[0\], C\[1\], EC)`; values may be stale.
@@ -360,13 +375,13 @@ impl SwmrWriterPriority {
     }
 }
 
-impl Default for SwmrWriterPriority {
+impl<B: Backend> Default for SwmrWriterPriority<B> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in(B::default())
     }
 }
 
-impl fmt::Debug for SwmrWriterPriority {
+impl<B: Backend> fmt::Debug for SwmrWriterPriority<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (c0, c1, ec) = self.counters();
         f.debug_struct("SwmrWriterPriority")
@@ -393,7 +408,7 @@ impl fmt::Debug for SwmrWriterPriority {
 /// The typed [`SwmrRwLock`](crate::swmr_rwlock::SwmrRwLock) enforces that
 /// statically; going through this impl directly, it is the caller's
 /// obligation (debug builds assert it).
-impl RawRwLock for SwmrWriterPriority {
+impl<B: Backend> RawRwLock for SwmrWriterPriority<B> {
     type ReadToken = ReadSession;
     type WriteToken = WriteSession;
 
@@ -418,7 +433,7 @@ impl RawRwLock for SwmrWriterPriority {
     }
 }
 
-impl RawTryReadLock for SwmrWriterPriority {
+impl<B: Backend> RawTryReadLock for SwmrWriterPriority<B> {
     fn try_read_lock(&self, _pid: Pid) -> Option<ReadSession> {
         SwmrWriterPriority::try_read_lock(self)
     }

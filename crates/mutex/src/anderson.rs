@@ -1,10 +1,10 @@
 //! T. E. Anderson's array-based queueing lock (IEEE TPDS 1990).
 
+use crate::mem::{Backend, Native, SharedBool, SharedWord};
 use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::RawMutex;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Anderson's array-based queue lock: O(1) RMR on cache-coherent machines,
 /// first-come-first-served, starvation free, bounded exit.
@@ -20,6 +20,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// property their WP2 proof needs: whenever no process is in the critical or
 /// exit section, the waiter holding the front ticket finds its slot already
 /// `true` and can enter in a bounded number of its own steps.
+///
+/// Generic over the memory backend `B` ([`Native`] by default; use
+/// [`AndersonLock::new_in`] with [`crate::Counting`] to measure RMRs on the
+/// real lock).
 ///
 /// # Capacity
 ///
@@ -37,13 +41,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// lock.unlock(t);
 /// assert!(lock.capacity().unwrap() >= 4);
 /// ```
-pub struct AndersonLock {
+pub struct AndersonLock<B: Backend = Native> {
     /// `slots[i] == true` means the owner of ticket `i (mod capacity)` may
     /// enter the critical section. Exactly one slot is `true` when the lock
     /// is free.
-    slots: Box<[CachePadded<AtomicBool>]>,
+    slots: Box<[CachePadded<B::Bool>]>,
     /// Next ticket to hand out; monotonically increasing.
-    next_ticket: AtomicU64,
+    next_ticket: B::Word,
     /// `capacity - 1`; capacity is a power of two.
     mask: u64,
 }
@@ -62,14 +66,26 @@ impl AndersonLock {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        Self::new_in(capacity, Native)
+    }
+}
+
+impl<B: Backend> AndersonLock<B> {
+    /// Creates the lock over the given memory backend (same contract as
+    /// [`AndersonLock::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new_in(capacity: usize, _backend: B) -> Self {
         assert!(capacity > 0, "AndersonLock capacity must be positive");
         let capacity = capacity.next_power_of_two().max(2);
         let slots: Box<[_]> =
-            (0..capacity).map(|i| CachePadded::new(AtomicBool::new(i == 0))).collect();
-        Self { slots, next_ticket: AtomicU64::new(0), mask: capacity as u64 - 1 }
+            (0..capacity).map(|i| CachePadded::new(B::Bool::new(i == 0))).collect();
+        Self { slots, next_ticket: B::Word::new(0), mask: capacity as u64 - 1 }
     }
 
-    fn slot(&self, ticket: u64) -> &AtomicBool {
+    fn slot(&self, ticket: u64) -> &B::Bool {
         &self.slots[(ticket & self.mask) as usize]
     }
 
@@ -77,27 +93,27 @@ impl AndersonLock {
     /// waiter holds that ticket). Intended for tests and diagnostics only;
     /// the answer may be stale by the time it returns.
     pub fn is_free_hint(&self) -> bool {
-        let next = self.next_ticket.load(Ordering::SeqCst);
-        self.slot(next).load(Ordering::SeqCst)
+        let next = self.next_ticket.load();
+        self.slot(next).load()
     }
 }
 
-impl RawMutex for AndersonLock {
+impl<B: Backend> RawMutex for AndersonLock<B> {
     type Token = AndersonToken;
 
     fn lock(&self) -> AndersonToken {
         // Doorway: one F&A — this both registers the request and fixes the
         // FCFS order, giving the bounded doorway required of lock M.
-        let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+        let ticket = self.next_ticket.fetch_add(1);
         // Waiting room: local spin on our own cache line.
-        spin_until(|| self.slot(ticket).load(Ordering::SeqCst));
+        spin_until(|| self.slot(ticket).load());
         AndersonToken { ticket }
     }
 
     fn unlock(&self, token: AndersonToken) {
         // Close our slot for its next lap, then open the successor's slot.
-        self.slot(token.ticket).store(false, Ordering::SeqCst);
-        self.slot(token.ticket.wrapping_add(1)).store(true, Ordering::SeqCst);
+        self.slot(token.ticket).store(false);
+        self.slot(token.ticket.wrapping_add(1)).store(true);
     }
 
     fn capacity(&self) -> Option<usize> {
@@ -105,11 +121,11 @@ impl RawMutex for AndersonLock {
     }
 }
 
-impl fmt::Debug for AndersonLock {
+impl<B: Backend> fmt::Debug for AndersonLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AndersonLock")
             .field("capacity", &(self.mask + 1))
-            .field("next_ticket", &self.next_ticket.load(Ordering::SeqCst))
+            .field("next_ticket", &self.next_ticket.load())
             .finish()
     }
 }
@@ -160,10 +176,10 @@ mod tests {
         // Start the ticket counter near u64::MAX; since capacity is a power
         // of two, masking stays consistent across the wrap.
         let lock = AndersonLock::new(4);
-        lock.next_ticket.store(u64::MAX - 1, Ordering::SeqCst);
+        lock.next_ticket.store(u64::MAX - 1);
         // Open the slot the next ticket maps to, closing slot 0 first.
-        lock.slots[0].store(false, Ordering::SeqCst);
-        lock.slot(u64::MAX - 1).store(true, Ordering::SeqCst);
+        lock.slots[0].store(false);
+        lock.slot(u64::MAX - 1).store(true);
         for _ in 0..8 {
             let t = lock.lock();
             lock.unlock(t);
@@ -173,6 +189,16 @@ mod tests {
     #[test]
     fn exclusion_under_contention() {
         exclusion_stress(AndersonLock::new(8), 8, 200);
+    }
+
+    #[test]
+    fn counting_backend_cycles() {
+        let lock = AndersonLock::new_in(4, crate::Counting);
+        for _ in 0..100 {
+            let t = lock.lock();
+            lock.unlock(t);
+        }
+        assert!(lock.is_free_hint());
     }
 
     #[test]

@@ -24,7 +24,16 @@
 //! sequential consistency, so every atomic access uses
 //! [`Ordering::SeqCst`](core::sync::atomic::Ordering::SeqCst). This is a
 //! deliberate fidelity-over-speed decision, documented once here and assumed
-//! everywhere.
+//! everywhere — concretely, it is baked into the shared-variable vocabulary
+//! of the [`mem`] module.
+//!
+//! # Memory backends
+//!
+//! Every lock here (and in `rmr-core`/`rmr-baselines`) is generic over a
+//! [`mem::Backend`] — [`Native`] by default (transparent `std` atomics,
+//! zero cost), or [`Counting`], which tallies remote memory references
+//! under the paper's CC and DSM cost models *on the real implementations*
+//! (experiment E13). See [`mem`] for the model definitions.
 //!
 //! # Example
 //!
@@ -52,6 +61,7 @@
 
 mod anderson;
 mod mcs;
+pub mod mem;
 mod pad;
 mod spin;
 mod tas;
@@ -59,6 +69,7 @@ mod ticket;
 
 pub use anderson::{AndersonLock, AndersonToken};
 pub use mcs::{McsLock, McsToken};
+pub use mem::{Backend, Counting, Native};
 pub use pad::CachePadded;
 pub use spin::{spin_until, SpinWait};
 pub use tas::{TasLock, TtasLock};

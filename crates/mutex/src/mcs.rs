@@ -1,18 +1,29 @@
 //! Mellor-Crummey & Scott queue lock (ACM TOCS 1991).
 
+use crate::mem::{Backend, Native, SharedBool, SharedWord};
 use crate::spin::spin_until;
 use crate::RawMutex;
 use std::fmt;
-use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
 /// One queue node per in-flight acquisition, heap allocated and owned by the
 /// acquiring thread until its `unlock` hands the lock to the successor.
-struct Node {
+struct Node<B: Backend> {
     /// `true` while the owner of this node must keep waiting.
-    locked: AtomicBool,
-    /// Written (exactly once) by the successor after it swaps itself in.
-    next: AtomicPtr<Node>,
+    locked: B::Bool,
+    /// The successor's node pointer (encoded), written exactly once by the
+    /// successor after it swaps itself in; 0 = none yet.
+    next: B::Word,
+}
+
+/// Encodes a node pointer into the backend's shared word (0 = null). Shared
+/// words are 64-bit and `usize` never exceeds 64 bits, so the round trip is
+/// lossless.
+fn encode<B: Backend>(node: *mut Node<B>) -> u64 {
+    node as usize as u64
+}
+
+fn decode<B: Backend>(raw: u64) -> *mut Node<B> {
+    raw as usize as *mut Node<B>
 }
 
 /// The Mellor-Crummey & Scott list-based queue lock: O(1) RMR on both CC and
@@ -24,6 +35,11 @@ struct Node {
 /// `rmr-core`'s multi-writer constructions are generic over [`RawMutex`], so
 /// the test suite cross-checks both substrates.
 ///
+/// Generic over the memory backend `B` ([`Native`] by default). The queue
+/// link (`tail`, `next`) is a pointer stored in the backend's shared word,
+/// so pointer swaps and the handoff CAS are RMR-accounted like every other
+/// shared access under [`crate::Counting`].
+///
 /// # Example
 ///
 /// ```
@@ -33,17 +49,17 @@ struct Node {
 /// let t = lock.lock();
 /// lock.unlock(t);
 /// ```
-#[derive(Default)]
-pub struct McsLock {
-    tail: AtomicPtr<Node>,
+pub struct McsLock<B: Backend = Native> {
+    /// Encoded `*mut Node<B>` of the most recent arrival; 0 = free.
+    tail: B::Word,
 }
 
 /// Proof of ownership for [`McsLock`]: the holder's queue node.
-pub struct McsToken {
-    node: *mut Node,
+pub struct McsToken<B: Backend = Native> {
+    node: *mut Node<B>,
 }
 
-impl fmt::Debug for McsToken {
+impl<B: Backend> fmt::Debug for McsToken<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("McsToken").field("node", &self.node).finish()
     }
@@ -52,75 +68,82 @@ impl fmt::Debug for McsToken {
 impl McsLock {
     /// Creates an unlocked lock.
     pub fn new() -> Self {
-        Self { tail: AtomicPtr::new(ptr::null_mut()) }
+        Self::new_in(Native)
+    }
+}
+
+impl Default for McsLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: Backend> McsLock<B> {
+    /// Creates an unlocked lock over the given memory backend.
+    pub fn new_in(_backend: B) -> Self {
+        Self { tail: B::Word::new(0) }
     }
 
     /// True if no thread holds or waits for the lock. Diagnostic only.
     pub fn is_free_hint(&self) -> bool {
-        self.tail.load(Ordering::SeqCst).is_null()
+        self.tail.load() == 0
     }
 }
 
-impl RawMutex for McsLock {
-    type Token = McsToken;
+impl<B: Backend> RawMutex for McsLock<B> {
+    type Token = McsToken<B>;
 
-    fn lock(&self) -> McsToken {
-        let node = Box::into_raw(Box::new(Node {
-            locked: AtomicBool::new(true),
-            next: AtomicPtr::new(ptr::null_mut()),
-        }));
-        let pred = self.tail.swap(node, Ordering::SeqCst);
+    fn lock(&self) -> McsToken<B> {
+        let node: *mut Node<B> =
+            Box::into_raw(Box::new(Node { locked: B::Bool::new(true), next: B::Word::new(0) }));
+        let pred = decode::<B>(self.tail.swap(encode(node)));
         if !pred.is_null() {
             // SAFETY: `pred` is freed by its owner only after it has either
             // (a) won the tail CAS in unlock — impossible once we replaced it
             // as tail — or (b) observed and woken its successor, which
             // requires this store to have happened first.
-            unsafe { (*pred).next.store(node, Ordering::SeqCst) };
+            unsafe { (*pred).next.store(encode(node)) };
             // SAFETY: we own `node` until unlock; only the predecessor writes
             // `locked`, exactly once.
-            spin_until(|| !unsafe { (*node).locked.load(Ordering::SeqCst) });
+            spin_until(|| !unsafe { (*node).locked.load() });
         }
         McsToken { node }
     }
 
-    fn unlock(&self, token: McsToken) {
+    fn unlock(&self, token: McsToken<B>) {
         let node = token.node;
         // SAFETY: `node` came from the matching `lock` and is still owned by
         // the caller; nobody frees it but us.
         unsafe {
-            let mut next = (*node).next.load(Ordering::SeqCst);
+            let mut next = decode::<B>((*node).next.load());
             if next.is_null() {
                 // No visible successor: try to swing the tail back to empty.
-                if self
-                    .tail
-                    .compare_exchange(node, ptr::null_mut(), Ordering::SeqCst, Ordering::SeqCst)
-                    .is_ok()
-                {
+                if self.tail.compare_exchange(encode(node), 0).is_ok() {
                     drop(Box::from_raw(node));
                     return;
                 }
                 // A successor is mid-enqueue; wait for it to link itself.
                 spin_until(|| {
-                    next = (*node).next.load(Ordering::SeqCst);
+                    next = decode::<B>((*node).next.load());
                     !next.is_null()
                 });
             }
-            (*next).locked.store(false, Ordering::SeqCst);
+            (*next).locked.store(false);
             drop(Box::from_raw(node));
         }
     }
 }
 
-impl Drop for McsLock {
+impl<B: Backend> Drop for McsLock<B> {
     fn drop(&mut self) {
         // A leaked token leaks its node; a held lock at drop time is a
         // caller bug. Nothing to free on the happy path: every node is
         // reclaimed by its own unlock.
-        debug_assert!(self.tail.get_mut().is_null(), "McsLock dropped while held or contended");
+        debug_assert!(self.tail.load() == 0, "McsLock dropped while held or contended");
     }
 }
 
-impl fmt::Debug for McsLock {
+impl<B: Backend> fmt::Debug for McsLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("McsLock").field("free", &self.is_free_hint()).finish()
     }
@@ -144,6 +167,16 @@ mod tests {
     #[test]
     fn exclusion_under_contention() {
         exclusion_stress(McsLock::new(), 8, 200);
+    }
+
+    #[test]
+    fn counting_backend_cycles() {
+        let lock = McsLock::new_in(crate::Counting);
+        for _ in 0..100 {
+            let t = lock.lock();
+            lock.unlock(t);
+        }
+        assert!(lock.is_free_hint());
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! The memory-backend layer: shared variables generic over *how* they are
+//! measured.
+//!
+//! Every algorithm in this workspace is written against a small vocabulary
+//! of shared variables — boolean flags (gates, permits, lock slots) and
+//! 64-bit words (counters, CAS cells, the packed two-component fetch&add
+//! variables of `rmr-core`). This module abstracts that vocabulary behind
+//! the [`Backend`] trait so the *same* lock code can run in two modes:
+//!
+//! * [`Native`] — `#[repr(transparent)]` newtypes over `std::sync::atomic`
+//!   types, every method `#[inline]` and `SeqCst` (the workspace-wide
+//!   ordering policy, DESIGN.md §5). After monomorphization this is
+//!   exactly the pre-backend code: zero cost, and the default everywhere
+//!   (`Lock<B = Native>`), so public APIs are unchanged.
+//! * [`Counting`] — the same `std` atomics plus per-variable *cached-copy
+//!   accounting* that replicates `rmr-sim`'s CC and DSM cost models on the
+//!   shipped implementations. Every access tallies, in thread-local
+//!   counters, whether it was a remote memory reference (RMR) under each
+//!   model. This closes the gap between "the line-level *model* of the
+//!   algorithm is O(1) RMR" (experiments E6–E8) and "the code you would
+//!   actually deploy is O(1) RMR" (experiment E13, the `real_rmr_table`
+//!   binary in `rmr-bench`).
+//!
+//! # The cost models (must match `rmr-sim/src/cost.rs`)
+//!
+//! **CC (cache-coherent, write-invalidate).** Each [`Counting`] variable
+//! carries a 64-bit *cached-copy set*: bit `s` is set iff the thread
+//! occupying slot `s` holds a valid cached copy. A read is an RMR iff the
+//! reader's bit is clear (cold miss / invalidated), and then sets it. Any
+//! update — store, swap, fetch&add, CAS *successful or not* — is an RMR
+//! unless the updater is the *sole* holder, and leaves the updater as sole
+//! holder (invalidating everyone else). Local spinning on a cached
+//! variable is therefore free, which is exactly the property the paper's
+//! algorithms exploit.
+//!
+//! **DSM (distributed shared memory).** Every variable is homed in the
+//! memory module of process [`DSM_HOME`] (slot 0), matching the
+//! `DsmModel::all_at(0)` placement the simulator sweeps use: an access is
+//! an RMR iff the accessor occupies a different slot, and *every* poll of
+//! a remote variable is charged — the reason the paper's constant bound is
+//! CC-only.
+//!
+//! Threads participate by claiming a slot in `0..`[`MAX_SLOTS`] with
+//! [`set_thread_slot`] (the measurement harness uses the thread's lock
+//! pid). Tallies are read with [`thread_tally`] and cleared with
+//! [`reset_thread_tally`], which is what a per-passage measurement loop
+//! does around each acquire/release pair.
+//!
+//! Under concurrency the copy-set updates interleave with (rather than
+//! atomically accompany) the accesses they describe, so concurrent tallies
+//! are a faithful sample rather than a replay-exact trace; on a
+//! single-threaded schedule the tallies equal `rmr-sim`'s models *exactly*
+//! (cross-validated in `rmr-bench/tests/counting_backend.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use rmr_mutex::mem::{self, Backend, Counting, SharedWord};
+//!
+//! let w = <Counting as Backend>::Word::new(0);
+//! mem::set_thread_slot(3);
+//! mem::reset_thread_tally();
+//! w.fetch_add(1); // update by slot 3: CC RMR (not sole holder), DSM RMR (home is slot 0)
+//! let _ = w.load(); // sole holder now: cached, CC-free; still a DSM RMR
+//! let t = mem::thread_tally();
+//! assert_eq!((t.cc, t.dsm, t.ops), (1, 2, 2));
+//! ```
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Maximum number of concurrently measured threads under [`Counting`]
+/// (one bit per thread in each variable's cached-copy set, like
+/// `rmr-sim`'s `CcModel`).
+pub const MAX_SLOTS: usize = 64;
+
+/// The slot whose memory module homes every variable under the DSM model
+/// (matching the simulator's `DsmModel::all_at(0)` placement).
+pub const DSM_HOME: usize = 0;
+
+// ---------------------------------------------------------------------
+// The backend trait and the shared-variable vocabulary
+// ---------------------------------------------------------------------
+
+/// A memory backend: the family of shared-variable types an algorithm's
+/// shared state is built from.
+///
+/// Backends are zero-sized markers (`Native`, `Counting`); algorithm types
+/// take `B: Backend = Native` so existing code compiles unchanged, and the
+/// `new_in(.., backend)` constructors let callers pick the backend by
+/// value without turbofish.
+///
+/// All operations are sequentially consistent — the workspace-wide
+/// ordering policy (see `rmr-mutex`'s crate docs) is baked into the
+/// vocabulary rather than repeated at ~200 call sites, which is also the
+/// seam where per-site orderings could later be introduced in one place.
+pub trait Backend: Copy + Default + Send + Sync + 'static {
+    /// A shared boolean (gates, permits, flags, lock slots).
+    type Bool: SharedBool;
+    /// A shared 64-bit word (counters, CAS cells, packed F&A variables,
+    /// pid-or-sentinel words like Figure 2's `X` and Figure 4's
+    /// `W-token`).
+    type Word: SharedWord;
+
+    /// Short, stable name for reports ("native", "counting").
+    const NAME: &'static str;
+}
+
+/// A shared atomic boolean; all operations are `SeqCst`.
+pub trait SharedBool: Send + Sync + 'static {
+    /// Creates the variable holding `value`.
+    fn new(value: bool) -> Self
+    where
+        Self: Sized;
+
+    /// Atomic read.
+    fn load(&self) -> bool;
+
+    /// Atomic write.
+    fn store(&self, value: bool);
+
+    /// Atomic swap; returns the previous value.
+    fn swap(&self, value: bool) -> bool;
+
+    /// Atomic compare-and-swap; `Ok(previous)` iff the exchange happened.
+    fn compare_exchange(&self, current: bool, new: bool) -> Result<bool, bool>;
+}
+
+/// A shared atomic 64-bit word; all operations are `SeqCst`.
+pub trait SharedWord: Send + Sync + 'static {
+    /// Creates the variable holding `value`.
+    fn new(value: u64) -> Self
+    where
+        Self: Sized;
+
+    /// Atomic read.
+    fn load(&self) -> u64;
+
+    /// Atomic write.
+    fn store(&self, value: u64);
+
+    /// Atomic swap; returns the previous value.
+    fn swap(&self, value: u64) -> u64;
+
+    /// Wrapping atomic fetch&add; returns the previous value.
+    fn fetch_add(&self, delta: u64) -> u64;
+
+    /// Wrapping atomic fetch&subtract; returns the previous value.
+    fn fetch_sub(&self, delta: u64) -> u64;
+
+    /// Atomic compare-and-swap; `Ok(previous)` iff the exchange happened.
+    fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64>;
+}
+
+// ---------------------------------------------------------------------
+// Native: transparent newtypes over std atomics
+// ---------------------------------------------------------------------
+
+/// The production backend: transparent wrappers over `std::sync::atomic`,
+/// zero-cost after monomorphization. The default backend of every lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Native;
+
+impl Backend for Native {
+    type Bool = NativeBool;
+    type Word = NativeWord;
+
+    const NAME: &'static str = "native";
+}
+
+/// [`Native`]'s boolean: a `#[repr(transparent)]` `AtomicBool`.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct NativeBool(AtomicBool);
+
+impl SharedBool for NativeBool {
+    #[inline]
+    fn new(value: bool) -> Self {
+        Self(AtomicBool::new(value))
+    }
+
+    #[inline]
+    fn load(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn store(&self, value: bool) {
+        self.0.store(value, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn swap(&self, value: bool) -> bool {
+        self.0.swap(value, Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn compare_exchange(&self, current: bool, new: bool) -> Result<bool, bool> {
+        self.0.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+}
+
+/// [`Native`]'s word: a `#[repr(transparent)]` `AtomicU64`.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct NativeWord(AtomicU64);
+
+impl SharedWord for NativeWord {
+    #[inline]
+    fn new(value: u64) -> Self {
+        Self(AtomicU64::new(value))
+    }
+
+    #[inline]
+    fn load(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn store(&self, value: u64) {
+        self.0.store(value, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn swap(&self, value: u64) -> u64 {
+        self.0.swap(value, Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn fetch_add(&self, delta: u64) -> u64 {
+        self.0.fetch_add(delta, Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn fetch_sub(&self, delta: u64) -> u64 {
+        self.0.fetch_sub(delta, Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64> {
+        self.0.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counting: the same semantics plus RMR accounting
+// ---------------------------------------------------------------------
+
+/// The measurement backend: identical visible semantics to [`Native`],
+/// with every access charged to the calling thread's CC/DSM tallies as
+/// described in the module docs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counting;
+
+impl Backend for Counting {
+    type Bool = CountingBool;
+    type Word = CountingWord;
+
+    const NAME: &'static str = "counting";
+}
+
+/// Per-thread measurement state: the claimed slot plus the running
+/// tallies. Lives in one `Cell` so the accounting fast path is two loads
+/// and a store.
+#[derive(Clone, Copy)]
+struct ThreadState {
+    slot: usize,
+    cc: u64,
+    dsm: u64,
+    ops: u64,
+}
+
+thread_local! {
+    static THREAD: Cell<ThreadState> =
+        const { Cell::new(ThreadState { slot: 0, cc: 0, dsm: 0, ops: 0 }) };
+}
+
+/// RMR tallies accumulated by the calling thread since the last
+/// [`reset_thread_tally`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Remote references under the cache-coherent model.
+    pub cc: u64,
+    /// Remote references under the DSM model (all variables homed at slot
+    /// [`DSM_HOME`]).
+    pub dsm: u64,
+    /// Total shared-memory operations performed (RMR or not).
+    pub ops: u64,
+}
+
+/// Claims CC/DSM accounting slot `slot` for the calling thread.
+///
+/// The measurement harness assigns each thread its lock pid. Threads that
+/// never call this share slot 0, which is harmless for semantics but
+/// muddles attribution — always set the slot before measuring.
+///
+/// # Panics
+///
+/// Panics if `slot >= MAX_SLOTS`.
+pub fn set_thread_slot(slot: usize) {
+    assert!(slot < MAX_SLOTS, "slot {slot} out of range (max {MAX_SLOTS})");
+    THREAD.with(|t| {
+        let mut s = t.get();
+        s.slot = slot;
+        t.set(s);
+    });
+}
+
+/// The calling thread's current accounting slot.
+pub fn thread_slot() -> usize {
+    THREAD.with(|t| t.get().slot)
+}
+
+/// Clears the calling thread's tallies (typically at the start of a
+/// measured passage).
+pub fn reset_thread_tally() {
+    THREAD.with(|t| {
+        let mut s = t.get();
+        s.cc = 0;
+        s.dsm = 0;
+        s.ops = 0;
+        t.set(s);
+    });
+}
+
+/// The calling thread's tallies since the last [`reset_thread_tally`].
+pub fn thread_tally() -> Tally {
+    THREAD.with(|t| {
+        let s = t.get();
+        Tally { cc: s.cc, dsm: s.dsm, ops: s.ops }
+    })
+}
+
+/// The cached-copy set of one [`Counting`] variable — the per-variable
+/// `holders` word of `rmr-sim`'s `CcModel`, kept inline so no global
+/// variable registry is needed.
+struct CopySet(AtomicU64);
+
+impl CopySet {
+    const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Accounts one read by the calling thread: CC-remote iff it holds no
+    /// valid copy (which the read then establishes); DSM-remote iff it is
+    /// not the home slot.
+    fn read(&self) {
+        THREAD.with(|t| {
+            let mut s = t.get();
+            let bit = 1u64 << s.slot;
+            let holders = self.0.fetch_or(bit, Ordering::SeqCst);
+            s.cc += u64::from(holders & bit == 0);
+            s.dsm += u64::from(s.slot != DSM_HOME);
+            s.ops += 1;
+            t.set(s);
+        });
+    }
+
+    /// Accounts one update (store, swap, F&A, CAS — successful or not):
+    /// CC-remote unless the updater is the sole holder; afterwards it is.
+    fn update(&self) {
+        THREAD.with(|t| {
+            let mut s = t.get();
+            let bit = 1u64 << s.slot;
+            let holders = self.0.swap(bit, Ordering::SeqCst);
+            s.cc += u64::from(holders != bit);
+            s.dsm += u64::from(s.slot != DSM_HOME);
+            s.ops += 1;
+            t.set(s);
+        });
+    }
+}
+
+/// [`Counting`]'s boolean: an `AtomicBool` plus its cached-copy set.
+pub struct CountingBool {
+    value: AtomicBool,
+    copies: CopySet,
+}
+
+impl SharedBool for CountingBool {
+    fn new(value: bool) -> Self {
+        Self { value: AtomicBool::new(value), copies: CopySet::new() }
+    }
+
+    fn load(&self) -> bool {
+        self.copies.read();
+        self.value.load(Ordering::SeqCst)
+    }
+
+    fn store(&self, value: bool) {
+        self.copies.update();
+        self.value.store(value, Ordering::SeqCst);
+    }
+
+    fn swap(&self, value: bool) -> bool {
+        self.copies.update();
+        self.value.swap(value, Ordering::SeqCst)
+    }
+
+    fn compare_exchange(&self, current: bool, new: bool) -> Result<bool, bool> {
+        self.copies.update();
+        self.value.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+}
+
+impl fmt::Debug for CountingBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CountingBool({})", self.value.load(Ordering::SeqCst))
+    }
+}
+
+/// [`Counting`]'s word: an `AtomicU64` plus its cached-copy set.
+pub struct CountingWord {
+    value: AtomicU64,
+    copies: CopySet,
+}
+
+impl SharedWord for CountingWord {
+    fn new(value: u64) -> Self {
+        Self { value: AtomicU64::new(value), copies: CopySet::new() }
+    }
+
+    fn load(&self) -> u64 {
+        self.copies.read();
+        self.value.load(Ordering::SeqCst)
+    }
+
+    fn store(&self, value: u64) {
+        self.copies.update();
+        self.value.store(value, Ordering::SeqCst);
+    }
+
+    fn swap(&self, value: u64) -> u64 {
+        self.copies.update();
+        self.value.swap(value, Ordering::SeqCst)
+    }
+
+    fn fetch_add(&self, delta: u64) -> u64 {
+        self.copies.update();
+        self.value.fetch_add(delta, Ordering::SeqCst)
+    }
+
+    fn fetch_sub(&self, delta: u64) -> u64 {
+        self.copies.update();
+        self.value.fetch_sub(delta, Ordering::SeqCst)
+    }
+
+    fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64> {
+        self.copies.update();
+        self.value.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+}
+
+impl fmt::Debug for CountingWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CountingWord({})", self.value.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `f` with a clean slot/tally and returns the tally it produced.
+    /// Serialized via the harness's per-test threads: each test body runs
+    /// on its own thread, so thread-local state never crosses tests.
+    fn tally_of(slot: usize, f: impl FnOnce()) -> Tally {
+        set_thread_slot(slot);
+        reset_thread_tally();
+        f();
+        thread_tally()
+    }
+
+    #[test]
+    fn native_wrappers_are_transparent() {
+        use std::mem::{align_of, size_of};
+        assert_eq!(size_of::<NativeBool>(), size_of::<AtomicBool>());
+        assert_eq!(align_of::<NativeBool>(), align_of::<AtomicBool>());
+        assert_eq!(size_of::<NativeWord>(), size_of::<AtomicU64>());
+        assert_eq!(align_of::<NativeWord>(), align_of::<AtomicU64>());
+    }
+
+    #[test]
+    fn native_semantics_round_trip() {
+        let b = NativeBool::new(false);
+        assert!(!b.swap(true));
+        assert!(b.load());
+        assert_eq!(b.compare_exchange(true, false), Ok(true));
+        assert_eq!(b.compare_exchange(true, false), Err(false));
+
+        let w = NativeWord::new(5);
+        assert_eq!(w.fetch_add(2), 5);
+        assert_eq!(w.fetch_sub(1), 7);
+        assert_eq!(w.swap(0), 6);
+        w.store(9);
+        assert_eq!(w.compare_exchange(9, 10), Ok(9));
+        assert_eq!(w.load(), 10);
+    }
+
+    #[test]
+    fn counting_cold_read_then_cached_reads() {
+        let w = CountingWord::new(0);
+        let t = tally_of(1, || {
+            let _ = w.load(); // cold miss
+            let _ = w.load(); // cached
+            let _ = w.load(); // cached
+        });
+        assert_eq!(t, Tally { cc: 1, dsm: 3, ops: 3 });
+    }
+
+    #[test]
+    fn counting_update_invalidates_other_holders() {
+        let w = CountingWord::new(0);
+        let _ = tally_of(1, || {
+            let _ = w.load();
+        });
+        // Slot 2 updates: invalidates slot 1's copy; slot 2 becomes sole
+        // holder so its next update is free.
+        let t2 = tally_of(2, || {
+            w.fetch_add(1);
+            w.fetch_add(1);
+        });
+        assert_eq!((t2.cc, t2.ops), (1, 2));
+        // Slot 1 must re-fetch.
+        let t1 = tally_of(1, || {
+            let _ = w.load();
+        });
+        assert_eq!(t1.cc, 1);
+    }
+
+    #[test]
+    fn counting_failed_cas_still_charges() {
+        let w = CountingWord::new(7);
+        let _ = tally_of(1, || {
+            let _ = w.load();
+        });
+        let t = tally_of(2, || {
+            assert!(w.compare_exchange(99, 0).is_err());
+        });
+        assert_eq!(t.cc, 1, "a failed CAS still performs the coherence transaction");
+        // ... and it invalidated slot 1's copy, like the sim's model.
+        let t1 = tally_of(1, || {
+            let _ = w.load();
+        });
+        assert_eq!(t1.cc, 1);
+    }
+
+    #[test]
+    fn counting_dsm_home_is_slot_zero() {
+        let b = CountingBool::new(false);
+        let home = tally_of(DSM_HOME, || {
+            b.store(true);
+            let _ = b.load();
+        });
+        assert_eq!(home.dsm, 0, "home accesses are DSM-free");
+        let away = tally_of(3, || {
+            let _ = b.load();
+            let _ = b.load(); // every remote poll is charged
+        });
+        assert_eq!(away.dsm, 2);
+    }
+
+    #[test]
+    fn counting_bool_semantics_match_native() {
+        let b = CountingBool::new(true);
+        assert!(b.load());
+        assert!(b.swap(false));
+        assert_eq!(b.compare_exchange(false, true), Ok(false));
+        assert_eq!(b.compare_exchange(false, true), Err(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_out_of_range_panics() {
+        set_thread_slot(MAX_SLOTS);
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(Native::NAME, "native");
+        assert_eq!(Counting::NAME, "counting");
+    }
+}

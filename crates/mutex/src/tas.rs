@@ -1,9 +1,9 @@
 //! Test-and-set and test-and-test-and-set locks (RMR-model baselines).
 
+use crate::mem::{Backend, Native, SharedBool};
 use crate::spin::SpinWait;
 use crate::RawMutex;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A plain test-and-set spin lock.
 ///
@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// contention a waiter generates an **unbounded** number of RMRs. This lock
 /// exists as the negative baseline for the RMR experiments (E7) — it is what
 /// the constant-RMR designs are *not*.
+///
+/// Generic over the memory backend `B` ([`Native`] by default).
 ///
 /// # Example
 ///
@@ -22,41 +24,53 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// let t = lock.lock();
 /// lock.unlock(t);
 /// ```
-#[derive(Default)]
-pub struct TasLock {
-    held: AtomicBool,
+pub struct TasLock<B: Backend = Native> {
+    held: B::Bool,
 }
 
 impl TasLock {
     /// Creates an unlocked lock.
     pub fn new() -> Self {
-        Self { held: AtomicBool::new(false) }
+        Self::new_in(Native)
+    }
+}
+
+impl Default for TasLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: Backend> TasLock<B> {
+    /// Creates an unlocked lock over the given memory backend.
+    pub fn new_in(_backend: B) -> Self {
+        Self { held: B::Bool::new(false) }
     }
 
     /// Attempts to acquire without waiting; `true` on success.
     pub fn try_lock(&self) -> bool {
-        !self.held.swap(true, Ordering::SeqCst)
+        !self.held.swap(true)
     }
 }
 
-impl RawMutex for TasLock {
+impl<B: Backend> RawMutex for TasLock<B> {
     type Token = ();
 
     fn lock(&self) {
         let mut spin = SpinWait::new();
-        while self.held.swap(true, Ordering::SeqCst) {
+        while self.held.swap(true) {
             spin.spin();
         }
     }
 
     fn unlock(&self, (): ()) {
-        self.held.store(false, Ordering::SeqCst);
+        self.held.store(false);
     }
 }
 
-impl fmt::Debug for TasLock {
+impl<B: Backend> fmt::Debug for TasLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TasLock").field("held", &self.held.load(Ordering::SeqCst)).finish()
+        f.debug_struct("TasLock").field("held", &self.held.load()).finish()
     }
 }
 
@@ -68,6 +82,8 @@ impl fmt::Debug for TasLock {
 /// copies), i.e. O(n) RMRs per lock handoff in aggregate — better than
 /// [`TasLock`], still far from the O(1) queue locks.
 ///
+/// Generic over the memory backend `B` ([`Native`] by default).
+///
 /// # Example
 ///
 /// ```
@@ -77,15 +93,27 @@ impl fmt::Debug for TasLock {
 /// let t = lock.lock();
 /// lock.unlock(t);
 /// ```
-#[derive(Default)]
-pub struct TtasLock {
-    held: AtomicBool,
+pub struct TtasLock<B: Backend = Native> {
+    held: B::Bool,
 }
 
 impl TtasLock {
     /// Creates an unlocked lock.
     pub fn new() -> Self {
-        Self { held: AtomicBool::new(false) }
+        Self::new_in(Native)
+    }
+}
+
+impl Default for TtasLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: Backend> TtasLock<B> {
+    /// Creates an unlocked lock over the given memory backend.
+    pub fn new_in(_backend: B) -> Self {
+        Self { held: B::Bool::new(false) }
     }
 
     /// Attempts to acquire without waiting; `true` on success.
@@ -104,35 +132,35 @@ impl TtasLock {
     /// lock.unlock(());
     /// ```
     pub fn try_lock(&self) -> bool {
-        !self.held.load(Ordering::SeqCst) && !self.held.swap(true, Ordering::SeqCst)
+        !self.held.load() && !self.held.swap(true)
     }
 }
 
-impl RawMutex for TtasLock {
+impl<B: Backend> RawMutex for TtasLock<B> {
     type Token = ();
 
     fn lock(&self) {
         let mut spin = SpinWait::new();
         loop {
             // Local phase: spin on the cached value.
-            while self.held.load(Ordering::SeqCst) {
+            while self.held.load() {
                 spin.spin();
             }
             // Global phase: one RMW attempt.
-            if !self.held.swap(true, Ordering::SeqCst) {
+            if !self.held.swap(true) {
                 return;
             }
         }
     }
 
     fn unlock(&self, (): ()) {
-        self.held.store(false, Ordering::SeqCst);
+        self.held.store(false);
     }
 }
 
-impl fmt::Debug for TtasLock {
+impl<B: Backend> fmt::Debug for TtasLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TtasLock").field("held", &self.held.load(Ordering::SeqCst)).finish()
+        f.debug_struct("TtasLock").field("held", &self.held.load()).finish()
     }
 }
 

@@ -1,15 +1,17 @@
 //! Ticket (Lamport bakery-style counter) lock.
 
+use crate::mem::{Backend, Native, SharedWord};
 use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::RawMutex;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A ticket lock: FCFS, starvation free, but **all** waiters spin on the
 /// single `now_serving` counter, so every release invalidates every waiter's
 /// cache line — O(n) RMRs per handoff in the CC model. Sits between
 /// [`crate::TtasLock`] and [`crate::AndersonLock`] in the E7 baseline sweep.
+///
+/// Generic over the memory backend `B` ([`Native`] by default).
 ///
 /// # Example
 ///
@@ -20,10 +22,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// let t = lock.lock();
 /// lock.unlock(t);
 /// ```
-#[derive(Default)]
-pub struct TicketLock {
-    next_ticket: CachePadded<AtomicU64>,
-    now_serving: CachePadded<AtomicU64>,
+pub struct TicketLock<B: Backend = Native> {
+    next_ticket: CachePadded<B::Word>,
+    now_serving: CachePadded<B::Word>,
 }
 
 /// Proof of ownership for [`TicketLock`].
@@ -35,34 +36,50 @@ pub struct TicketToken {
 impl TicketLock {
     /// Creates an unlocked lock.
     pub fn new() -> Self {
-        Self::default()
+        Self::new_in(Native)
+    }
+}
+
+impl Default for TicketLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: Backend> TicketLock<B> {
+    /// Creates an unlocked lock over the given memory backend.
+    pub fn new_in(_backend: B) -> Self {
+        Self {
+            next_ticket: CachePadded::new(B::Word::new(0)),
+            now_serving: CachePadded::new(B::Word::new(0)),
+        }
     }
 
     /// Number of lock acquisitions completed or in progress. Diagnostic.
     pub fn tickets_issued(&self) -> u64 {
-        self.next_ticket.load(Ordering::SeqCst)
+        self.next_ticket.load()
     }
 }
 
-impl RawMutex for TicketLock {
+impl<B: Backend> RawMutex for TicketLock<B> {
     type Token = TicketToken;
 
     fn lock(&self) -> TicketToken {
-        let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
-        spin_until(|| self.now_serving.load(Ordering::SeqCst) == ticket);
+        let ticket = self.next_ticket.fetch_add(1);
+        spin_until(|| self.now_serving.load() == ticket);
         TicketToken { ticket }
     }
 
     fn unlock(&self, token: TicketToken) {
-        self.now_serving.store(token.ticket.wrapping_add(1), Ordering::SeqCst);
+        self.now_serving.store(token.ticket.wrapping_add(1));
     }
 }
 
-impl fmt::Debug for TicketLock {
+impl<B: Backend> fmt::Debug for TicketLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TicketLock")
-            .field("next_ticket", &self.next_ticket.load(Ordering::SeqCst))
-            .field("now_serving", &self.now_serving.load(Ordering::SeqCst))
+            .field("next_ticket", &self.next_ticket.load())
+            .field("now_serving", &self.now_serving.load())
             .finish()
     }
 }

@@ -1,0 +1,146 @@
+//! E14 — checker coverage table: every shipped lock under deterministic
+//! schedule exploration.
+//!
+//! For each lock (over the `Sched` backend) this runs a seeded PCT
+//! battery, a random-walk battery and — for the core locks — a
+//! preemption-bounded exhaustive DFS pass, and prints one row per
+//! lock × mode with the schedules and scheduler steps explored. In
+//! `--quick` mode (the CI `check --quick` job) the batteries are capped
+//! so the whole table smoke-runs in seconds; any failing row prints its
+//! replay line (seed + decision schedule) and the binary exits nonzero
+//! so CI can upload the artifact.
+//!
+//! ```text
+//! cargo run --release -p rmr-bench --bin check_table -- [--quick] [--json]
+//! ```
+
+use rmr_bench::cli::{BenchArgs, Table};
+use rmr_check::exhaustive;
+use rmr_check::harness::{
+    mutex_trial, randomized_batteries, rw_trial, try_rw_trial, CheckReport, Scenario, Trial,
+};
+use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
+use rmr_core::swmr::{SwmrReaderPriority, SwmrWriterPriority};
+use rmr_mutex::{AndersonLock, McsLock, Sched, TasLock, TicketLock, TtasLock};
+use std::sync::Arc;
+
+struct Budgets {
+    randomized: u64,
+    dfs_cap: u64,
+}
+
+fn run_modes(
+    label: &str,
+    mk: &dyn Fn() -> Trial,
+    mk_small: Option<&dyn Fn() -> Trial>,
+    budgets: &Budgets,
+) -> Vec<CheckReport> {
+    let mut reports = randomized_batteries(label, mk, 0xe14, budgets.randomized, 3, 30_000);
+    if let Some(mk_small) = mk_small {
+        reports.push(exhaustive(label, mk_small, 2, 30_000, budgets.dfs_cap));
+    }
+    reports
+}
+
+fn main() {
+    let args = BenchArgs::parse(
+        "check_table",
+        "E14: deterministic schedule exploration coverage of the real locks",
+    );
+    let budgets = if args.quick {
+        Budgets { randomized: 6, dfs_cap: 800 }
+    } else {
+        Budgets { randomized: 40, dfs_cap: 20_000 }
+    };
+
+    macro_rules! core_lock {
+        ($label:expr, $make:expr) => {{
+            let big: &dyn Fn() -> Trial = &|| {
+                let lock = Arc::new($make);
+                let q = Arc::clone(&lock);
+                rw_trial(lock, Scenario::new(2, 1, 2), move || q.is_quiescent())
+            };
+            let small: &dyn Fn() -> Trial = &|| {
+                let lock = Arc::new($make);
+                let q = Arc::clone(&lock);
+                rw_trial(lock, Scenario::new(1, 1, 1), move || q.is_quiescent())
+            };
+            run_modes($label, big, Some(small), &budgets)
+        }};
+    }
+
+    let mut reports: Vec<CheckReport> = Vec::new();
+    reports.extend(core_lock!("fig1-swmr-wp", SwmrWriterPriority::new_in(Sched)));
+    reports.extend(core_lock!("fig2-swmr-rp", SwmrReaderPriority::new_in(Sched)));
+    reports.extend(core_lock!("fig3-mwmr-sf", MwmrStarvationFree::new_in(3, Sched)));
+    reports.extend(core_lock!("fig3-mwmr-rp", MwmrReaderPriority::new_in(3, Sched)));
+    reports.extend(core_lock!("fig4-mwmr-wp", MwmrWriterPriority::new_in(3, Sched)));
+
+    macro_rules! mutex {
+        ($label:expr, $make:expr) => {{
+            let big: &dyn Fn() -> Trial = &|| mutex_trial(Arc::new($make), 3, 2);
+            let small: &dyn Fn() -> Trial = &|| mutex_trial(Arc::new($make), 2, 1);
+            run_modes($label, big, Some(small), &budgets)
+        }};
+    }
+    reports.extend(mutex!("anderson", AndersonLock::new_in(4, Sched)));
+    reports.extend(mutex!("mcs", McsLock::new_in(Sched)));
+    reports.extend(mutex!("ticket", TicketLock::new_in(Sched)));
+    reports.extend(mutex!("tas", TasLock::new_in(Sched)));
+    reports.extend(mutex!("ttas", TtasLock::new_in(Sched)));
+
+    macro_rules! baseline {
+        ($label:expr, $make:expr) => {{
+            let big: &dyn Fn() -> Trial =
+                &|| rw_trial(Arc::new($make), Scenario::new(2, 1, 2), || true);
+            run_modes($label, big, None, &budgets)
+        }};
+    }
+    reports.extend(baseline!("centralized", rmr_baselines::CentralizedRwLock::new_in(3, Sched)));
+    reports.extend(baseline!(
+        "courtois-wp",
+        rmr_baselines::CourtoisWriterPrefRwLock::new_in(3, Sched)
+    ));
+    reports.extend(baseline!("ticket-rw", rmr_baselines::TicketRwLock::new_in(3, Sched)));
+    reports.extend(baseline!("flags", rmr_baselines::DistributedFlagRwLock::new_in(3, Sched)));
+    reports.extend(baseline!("tournament", rmr_baselines::TournamentRwLock::new_in(3, Sched)));
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            try_rw_trial(
+                Arc::new(rmr_baselines::TicketRwLock::new_in(3, Sched)),
+                Scenario::new(2, 1, 2),
+                || true,
+            )
+        };
+        reports.extend(run_modes("ticket-rw-try", big, None, &budgets));
+    }
+
+    let mut table = Table::new(&[
+        ("lock", "lock"),
+        ("mode", "mode"),
+        ("schedules", "schedules"),
+        ("steps", "steps"),
+        ("result", "result"),
+    ]);
+    let mut failures = Vec::new();
+    for r in &reports {
+        table.row(vec![
+            r.lock.clone(),
+            format!("{}{}", r.mode, if r.truncated { " (capped)" } else { "" }),
+            r.schedules.to_string(),
+            r.steps.to_string(),
+            if r.passed() { "ok".into() } else { "FAIL".into() },
+        ]);
+        if let Some(f) = &r.failure {
+            failures.push(format!("{}: {f}", r.lock));
+        }
+    }
+    print!("{}", table.emit(args.json));
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+}

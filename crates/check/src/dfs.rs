@@ -1,0 +1,175 @@
+//! Bounded exhaustive schedule exploration over the real lock code.
+//!
+//! `rmr-sim`'s explorer enumerates *states* (it owns the model's locals
+//! and can hash configurations); real code keeps its locals on OS-thread
+//! stacks, so the analogue is stateless *schedule* enumeration: run the
+//! trial from scratch once per schedule, choosing at every decision point
+//! which task moves, and backtrack over the recorded choice tree (the
+//! CHESS approach). Two reductions keep the tree tractable:
+//!
+//! * **Preemption bounding** — switching away from a task that could have
+//!   continued costs one unit of a small budget; forced switches (the
+//!   previous task finished or stalled on a spin) are free. Almost all
+//!   real concurrency bugs need very few preemptions.
+//! * **Stall exclusion** — the scheduler never offers a task that is
+//!   provably re-reading an unchanged variable, so spin-wait self-loops
+//!   (which the state-based explorer prunes via its dedup set) never
+//!   enter the tree at all.
+//!
+//! Determinism makes this sound: with the schedule fixed, a rerun of the
+//! trial makes identical choices, so the choice tree explored is exactly
+//! the tree of distinct executions at the chosen bound.
+
+use crate::harness::{run_trial, CheckFailure, CheckReport, Trial};
+use rmr_mutex::sched::{PickView, Strategy};
+
+/// One recorded decision: which option index was taken, out of how many.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// Index taken into the ordered option list.
+    pub taken: u32,
+    /// Number of options that were available.
+    pub options: u32,
+}
+
+/// The in-run half of the explorer: follows a choice prefix, defaults to
+/// "keep running the same task" beyond it, and records the full decision
+/// trace for backtracking.
+#[derive(Debug, Clone)]
+pub struct DfsStrategy {
+    prefix: Vec<u32>,
+    /// The decisions this execution actually made.
+    pub choices: Vec<Choice>,
+    preemption_bound: u32,
+    preemptions: u32,
+    last: Option<usize>,
+}
+
+impl DfsStrategy {
+    /// Builds the strategy for one execution: follow `prefix`, then take
+    /// option 0 everywhere, spending at most `preemption_bound`
+    /// preemptions.
+    pub fn new(prefix: Vec<u32>, preemption_bound: u32) -> Self {
+        Self { prefix, choices: Vec::new(), preemption_bound, preemptions: 0, last: None }
+    }
+
+    /// Ordered options at this decision point: continue the previous task
+    /// first (free), then — while preemption budget remains — the other
+    /// runnable tasks in id order.
+    fn options(&self, view: &PickView<'_>) -> Vec<usize> {
+        if let Some(last) = self.last {
+            if view.runnable.contains(&last) {
+                let mut opts = vec![last];
+                if self.preemptions < self.preemption_bound {
+                    opts.extend(view.runnable.iter().copied().filter(|&t| t != last));
+                }
+                return opts;
+            }
+        }
+        view.runnable.to_vec()
+    }
+}
+
+impl Strategy for DfsStrategy {
+    fn pick(&mut self, view: &PickView<'_>) -> usize {
+        let options = self.options(view);
+        let idx = self.prefix.get(self.choices.len()).copied().unwrap_or(0) as usize;
+        assert!(
+            idx < options.len(),
+            "DFS replay diverged: prefix wants option {idx} of {} at decision {}",
+            options.len(),
+            self.choices.len()
+        );
+        let pick = options[idx];
+        if self.last.is_some_and(|l| l != pick && view.runnable.contains(&l)) {
+            self.preemptions += 1;
+        }
+        self.choices.push(Choice { taken: idx as u32, options: options.len() as u32 });
+        self.last = Some(pick);
+        pick
+    }
+}
+
+/// Computes the next DFS prefix from a finished execution's trace:
+/// backtrack to the deepest decision with an untaken option and take the
+/// next one. Returns `None` when the tree is exhausted.
+pub fn next_prefix(choices: &[Choice]) -> Option<Vec<u32>> {
+    for depth in (0..choices.len()).rev() {
+        let c = choices[depth];
+        if c.taken + 1 < c.options {
+            let mut prefix: Vec<u32> = choices[..depth].iter().map(|c| c.taken).collect();
+            prefix.push(c.taken + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Exhaustively explores every schedule of `mk`'s trial at the given
+/// preemption bound, stopping at the first failure, the end of the tree,
+/// or `max_schedules` (reported as truncated).
+///
+/// `mk` must build a *fresh, identical* trial each call — exploration is
+/// stateless re-execution, and a trial that varied between calls would
+/// tear the choice tree.
+pub fn exhaustive(
+    lock: &str,
+    mk: impl Fn() -> Trial,
+    preemption_bound: u32,
+    budget: u64,
+    max_schedules: u64,
+) -> CheckReport {
+    let mode = format!("dfs(p={preemption_bound})");
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut schedules = 0;
+    let mut steps = 0;
+    let mut truncated = false;
+    let failure = loop {
+        let mut strategy = DfsStrategy::new(prefix.clone(), preemption_bound);
+        let outcome = run_trial(mk(), &mut strategy, budget);
+        schedules += 1;
+        steps += outcome.steps;
+        if let Err(err) = outcome.result {
+            break Some(CheckFailure {
+                reason: crate::harness::reason_of(&err),
+                strategy: format!("{mode} prefix={prefix:?}"),
+                seed: None,
+                schedule: outcome.schedule,
+            });
+        }
+        match next_prefix(&strategy.choices) {
+            Some(next) => prefix = next,
+            None => break None,
+        }
+        if schedules >= max_schedules {
+            truncated = true;
+            break None;
+        }
+    };
+    CheckReport { lock: lock.into(), mode, schedules, steps, failure, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_prefix_backtracks_deepest_first() {
+        let choices = [
+            Choice { taken: 0, options: 2 },
+            Choice { taken: 1, options: 2 },
+            Choice { taken: 0, options: 3 },
+        ];
+        assert_eq!(next_prefix(&choices), Some(vec![0, 1, 1]));
+        let deep_exhausted = [Choice { taken: 0, options: 2 }, Choice { taken: 2, options: 3 }];
+        assert_eq!(next_prefix(&deep_exhausted), Some(vec![1]));
+        let done = [Choice { taken: 1, options: 2 }];
+        assert_eq!(next_prefix(&done), None);
+    }
+
+    #[test]
+    fn singleton_tree_terminates() {
+        let all_single = [Choice { taken: 0, options: 1 }, Choice { taken: 0, options: 1 }];
+        assert_eq!(next_prefix(&all_single), None);
+    }
+}

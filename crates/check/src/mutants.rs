@@ -1,0 +1,390 @@
+//! Deliberately broken lock variants — the checker's teeth.
+//!
+//! A checker that has never caught a bug is indistinguishable from one
+//! that cannot. Following `rmr-sim/tests/mutants.rs` (which seeds
+//! transcription errors into the line-level models), this module seeds
+//! real-code bugs into faithful copies of the shipped implementations:
+//! each [`Mutation`] is a one-line change of the kind a refactor could
+//! plausibly introduce, and the test battery asserts that every one is
+//! caught within a bounded schedule budget while the unmutated copies
+//! pass the same budgets.
+//!
+//! The copies live here, not in the production crates — shipping broken
+//! locks behind a flag would be a footgun — and are kept line-for-line
+//! parallel to their originals (`swmr/writer_priority.rs`, `tas.rs`,
+//! `anderson.rs`) so a diff against the real code shows exactly the
+//! seeded bug and nothing else.
+
+use rmr_core::packed::{Packed, PackedFaa};
+use rmr_core::raw::{RawRwLock, RawTryReadLock};
+use rmr_core::registry::Pid;
+use rmr_core::{AtomicSide, Side};
+use rmr_mutex::mem::{Backend, SharedBool, SharedWord};
+use rmr_mutex::{spin_until, RawMutex, Sched};
+use std::fmt;
+
+/// Which seeded bug a mutant lock carries. `None` is the control: the
+/// faithful copy, which must pass every battery the mutants fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Faithful copy — no bug.
+    None,
+    /// Figure 1 writer skips line 8 (`Gate[prevD] ← false`): the previous
+    /// side's gate stays open, so from the writer's second attempt on,
+    /// readers bind to an open gate while the writer owns the CS.
+    SkipGateClose,
+    /// Figure 1 writer skips line 3 (`D ← currD`, the [`AtomicSide`]
+    /// flip): readers keep registering on the stale side the writer is
+    /// draining.
+    SkipSideFlip,
+    /// Figure 1 reader skips line 28 (`Permit[d] ← true`): the last
+    /// reader out never wakes a writer parked on `C[d]` — deadlock.
+    SkipReaderPermit,
+    /// TTAS lock CASes with the *observed* value as the expected value
+    /// (`CAS(flag, flag_read, true)` instead of `CAS(flag, false,
+    /// true)`): when the flag is already `true` the CAS succeeds and a
+    /// second holder walks in.
+    WrongCasExpected,
+    /// Anderson unlock skips closing its own slot: both slots end up
+    /// open and two later tickets enter together.
+    SkipSlotClose,
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 copy (SwmrWriterPriority) with seeded writer/reader bugs
+// ---------------------------------------------------------------------
+
+/// Proof of a held mutant read lock.
+#[derive(Debug)]
+pub struct MutantReadToken {
+    d: Side,
+}
+
+/// Proof of a held mutant write lock.
+#[derive(Debug)]
+pub struct MutantWriteToken {
+    curr: Side,
+}
+
+/// A line-for-line copy of [`rmr_core::swmr::SwmrWriterPriority`]
+/// carrying one of the Figure 1 [`Mutation`]s ([`Mutation::None`] for the
+/// control copy). Always instantiated over [`Sched`] by the battery.
+pub struct MutantFig1<B: Backend = Sched> {
+    mutation: Mutation,
+    d: AtomicSide<B>,
+    gates: [B::Bool; 2],
+    permits: [B::Bool; 2],
+    counts: [PackedFaa<B>; 2],
+    exit_count: PackedFaa<B>,
+    exit_permit: B::Bool,
+}
+
+impl<B: Backend> MutantFig1<B> {
+    /// Creates the lock in the paper's initial configuration, carrying
+    /// `mutation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutation` is not a Figure 1 mutation.
+    pub fn new_in(mutation: Mutation, _backend: B) -> Self {
+        assert!(
+            matches!(
+                mutation,
+                Mutation::None
+                    | Mutation::SkipGateClose
+                    | Mutation::SkipSideFlip
+                    | Mutation::SkipReaderPermit
+            ),
+            "{mutation:?} is not a Figure 1 mutation"
+        );
+        Self {
+            mutation,
+            d: AtomicSide::new_in(Side::Zero, B::default()),
+            gates: [B::Bool::new(true), B::Bool::new(false)],
+            permits: [B::Bool::new(false), B::Bool::new(false)],
+            counts: [PackedFaa::new_in(B::default()), PackedFaa::new_in(B::default())],
+            exit_count: PackedFaa::new_in(B::default()),
+            exit_permit: B::Bool::new(false),
+        }
+    }
+
+    fn writer_enter(&self) -> MutantWriteToken {
+        let prev = self.d.load(); // line 2
+        let curr = !prev;
+        if self.mutation != Mutation::SkipSideFlip {
+            self.d.store(curr); // line 3 — MUTATION POINT
+        }
+        let p = prev.index();
+        self.permits[p].store(false); // line 4
+        let old = self.counts[p].add_writer(); // line 5
+        if old != Packed::ZERO {
+            spin_until(|| self.permits[p].load()); // line 6
+        }
+        self.counts[p].sub_writer(); // line 7
+        if self.mutation != Mutation::SkipGateClose {
+            self.gates[p].store(false); // line 8 — MUTATION POINT
+        }
+        self.exit_permit.store(false); // line 9
+        let old = self.exit_count.add_writer(); // line 10
+        if old != Packed::ZERO {
+            spin_until(|| self.exit_permit.load()); // line 11
+        }
+        self.exit_count.sub_writer(); // line 12
+        MutantWriteToken { curr } // line 13: CS
+    }
+
+    fn writer_exit(&self, token: MutantWriteToken) {
+        self.gates[token.curr.index()].store(true); // line 14
+    }
+
+    fn reader_doorway(&self) -> Side {
+        let mut d = self.d.load(); // line 16
+        self.counts[d.index()].add_reader(); // line 17
+        let d2 = self.d.load(); // line 18
+        if d != d2 {
+            // line 19
+            self.counts[d2.index()].add_reader(); // line 20
+            d = self.d.load(); // line 21
+            let other = !d;
+            let old = self.counts[other.index()].sub_reader(); // line 22
+            if old == Packed::ONE_ONE {
+                self.permits[other.index()].store(true); // line 23
+            }
+        }
+        d
+    }
+
+    fn reader_enter(&self) -> MutantReadToken {
+        let d = self.reader_doorway();
+        spin_until(|| self.gates[d.index()].load()); // line 24
+        MutantReadToken { d } // line 25: CS
+    }
+
+    fn reader_exit(&self, token: MutantReadToken) {
+        let d = token.d.index();
+        self.exit_count.add_reader(); // line 26
+        let old = self.counts[d].sub_reader(); // line 27
+        if old == Packed::ONE_ONE && self.mutation != Mutation::SkipReaderPermit {
+            self.permits[d].store(true); // line 28 — MUTATION POINT
+        }
+        let old = self.exit_count.sub_reader(); // line 29
+        if old == Packed::ONE_ONE {
+            self.exit_permit.store(true); // line 30
+        }
+    }
+
+    /// Mirror of the real lock's quiescence entry point (the control copy
+    /// must satisfy it after clean runs).
+    pub fn is_quiescent(&self) -> bool {
+        let d = self.d.load();
+        self.counts[0].load() == Packed::ZERO
+            && self.counts[1].load() == Packed::ZERO
+            && self.exit_count.load() == Packed::ZERO
+            && self.gates[d.index()].load()
+            && !self.gates[(!d).index()].load()
+    }
+}
+
+impl<B: Backend> fmt::Debug for MutantFig1<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutantFig1").field("mutation", &self.mutation).finish()
+    }
+}
+
+impl<B: Backend> RawRwLock for MutantFig1<B> {
+    type ReadToken = MutantReadToken;
+    type WriteToken = MutantWriteToken;
+
+    fn read_lock(&self, _pid: Pid) -> MutantReadToken {
+        self.reader_enter()
+    }
+
+    fn read_unlock(&self, _pid: Pid, token: MutantReadToken) {
+        self.reader_exit(token);
+    }
+
+    fn write_lock(&self, _pid: Pid) -> MutantWriteToken {
+        self.writer_enter()
+    }
+
+    fn write_unlock(&self, _pid: Pid, token: MutantWriteToken) {
+        self.writer_exit(token);
+    }
+
+    fn max_processes(&self) -> usize {
+        usize::MAX
+    }
+}
+
+impl<B: Backend> RawTryReadLock for MutantFig1<B> {
+    fn try_read_lock(&self, _pid: Pid) -> Option<MutantReadToken> {
+        let d = self.reader_doorway();
+        if self.gates[d.index()].load() {
+            Some(MutantReadToken { d })
+        } else {
+            self.reader_exit(MutantReadToken { d });
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TTAS copy with the wrong-CAS-expected bug
+// ---------------------------------------------------------------------
+
+/// A copy of [`rmr_mutex::TtasLock`] where [`Mutation::WrongCasExpected`]
+/// replaces the acquire CAS's expected value with the value just read.
+pub struct MutantTtas<B: Backend = Sched> {
+    mutation: Mutation,
+    flag: B::Bool,
+}
+
+impl<B: Backend> MutantTtas<B> {
+    /// Creates an unlocked mutant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutation` is not `None`/`WrongCasExpected`.
+    pub fn new_in(mutation: Mutation, _backend: B) -> Self {
+        assert!(
+            matches!(mutation, Mutation::None | Mutation::WrongCasExpected),
+            "{mutation:?} is not a TTAS mutation"
+        );
+        Self { mutation, flag: B::Bool::new(false) }
+    }
+}
+
+impl<B: Backend> fmt::Debug for MutantTtas<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutantTtas").field("mutation", &self.mutation).finish()
+    }
+}
+
+impl<B: Backend> RawMutex for MutantTtas<B> {
+    type Token = ();
+
+    fn lock(&self) {
+        loop {
+            let seen = self.flag.load(); // test
+            if self.mutation == Mutation::WrongCasExpected {
+                // MUTATION: expected = the value just read. When `seen`
+                // is already true this succeeds vacuously and admits a
+                // second holder.
+                if self.flag.compare_exchange(seen, true).is_ok() {
+                    return;
+                }
+            } else if !seen && self.flag.compare_exchange(false, true).is_ok() {
+                return; // test&set
+            }
+        }
+    }
+
+    fn unlock(&self, _token: ()) {
+        self.flag.store(false);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Anderson copy with the open-slot bug
+// ---------------------------------------------------------------------
+
+/// A copy of [`rmr_mutex::AndersonLock`] where [`Mutation::SkipSlotClose`]
+/// drops the unlock's "close my own slot" store.
+pub struct MutantAnderson<B: Backend = Sched> {
+    mutation: Mutation,
+    slots: Box<[B::Bool]>,
+    next_ticket: B::Word,
+    mask: u64,
+}
+
+impl<B: Backend> MutantAnderson<B> {
+    /// Creates the mutant with `capacity` slots (rounded up to a power of
+    /// two, minimum 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutation` is not `None`/`SkipSlotClose` or `capacity`
+    /// is 0.
+    pub fn new_in(mutation: Mutation, capacity: usize, _backend: B) -> Self {
+        assert!(
+            matches!(mutation, Mutation::None | Mutation::SkipSlotClose),
+            "{mutation:?} is not an Anderson mutation"
+        );
+        assert!(capacity > 0, "capacity must be positive");
+        let capacity = capacity.next_power_of_two().max(2);
+        Self {
+            mutation,
+            slots: (0..capacity).map(|i| B::Bool::new(i == 0)).collect(),
+            next_ticket: B::Word::new(0),
+            mask: capacity as u64 - 1,
+        }
+    }
+
+    fn slot(&self, ticket: u64) -> &B::Bool {
+        &self.slots[(ticket & self.mask) as usize]
+    }
+}
+
+impl<B: Backend> fmt::Debug for MutantAnderson<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutantAnderson").field("mutation", &self.mutation).finish()
+    }
+}
+
+impl<B: Backend> RawMutex for MutantAnderson<B> {
+    type Token = u64;
+
+    fn lock(&self) -> u64 {
+        let ticket = self.next_ticket.fetch_add(1);
+        spin_until(|| self.slot(ticket).load());
+        ticket
+    }
+
+    fn unlock(&self, ticket: u64) {
+        if self.mutation != Mutation::SkipSlotClose {
+            self.slot(ticket).store(false); // MUTATION POINT
+        }
+        self.slot(ticket.wrapping_add(1)).store(true);
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.mask as usize + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controls_behave_like_the_originals_single_threaded() {
+        let lock = MutantFig1::new_in(Mutation::None, Sched);
+        let r = lock.read_lock(Pid::from_index(0));
+        lock.read_unlock(Pid::from_index(0), r);
+        let w = lock.write_lock(Pid::from_index(1));
+        lock.write_unlock(Pid::from_index(1), w);
+        assert!(lock.is_quiescent());
+
+        let ttas = MutantTtas::new_in(Mutation::None, Sched);
+        ttas.lock();
+        ttas.unlock(());
+
+        let anderson = MutantAnderson::new_in(Mutation::None, 2, Sched);
+        for _ in 0..4 {
+            let t = anderson.lock();
+            anderson.unlock(t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Figure 1 mutation")]
+    fn fig1_rejects_foreign_mutations() {
+        let _ = MutantFig1::new_in(Mutation::WrongCasExpected, Sched);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a TTAS mutation")]
+    fn ttas_rejects_foreign_mutations() {
+        let _ = MutantTtas::new_in(Mutation::SkipGateClose, Sched);
+    }
+}

@@ -1,0 +1,168 @@
+//! Seeded scheduling strategies for the deterministic scheduler.
+//!
+//! The mechanism (turn granting, stall detection, deadlock confirmation)
+//! lives in [`rmr_mutex::sched`]; this module supplies the seeded
+//! *policies* — built on the workspace's own `SplitMix64` so a `(strategy,
+//! seed)` pair names one execution exactly. The unseeded
+//! [`RoundRobin`](rmr_mutex::sched::RoundRobin) and
+//! [`Replay`](rmr_mutex::sched::Replay) policies ship with the mechanism.
+
+use rmr_mutex::sched::{PickView, Strategy};
+use rmr_sim::rng::SplitMix64;
+
+/// Uniform random walk over runnable tasks.
+///
+/// The bread-and-butter sampler: cheap, unbiased, and — because stalled
+/// spinners are excluded from the runnable set — every granted step is
+/// productive. Good at shallow races, weak at bugs that need a specific
+/// task to be starved for a long window (that is what [`Pct`] is for).
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    rng: SplitMix64,
+}
+
+impl RandomWalk {
+    /// Creates a walk from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SplitMix64::new(seed) }
+    }
+}
+
+impl Strategy for RandomWalk {
+    fn pick(&mut self, view: &PickView<'_>) -> usize {
+        view.runnable[self.rng.gen_index(view.runnable.len())]
+    }
+}
+
+/// Probabilistic concurrency testing (Burckhardt, Kothari, Musuvathi &
+/// Nagarakatte, ASPLOS 2010), adapted to spin-based code.
+///
+/// Each task gets a random priority; the highest-priority runnable task
+/// always runs; at `depth − 1` pre-drawn decision points the running task
+/// is demoted below everyone else. A bug that needs `d` ordering events is
+/// found with probability ≥ 1/(n·k^(d−1)) per run — far better odds than a
+/// uniform walk for the rare-interleaving bugs reader-writer fast paths
+/// hide. Spin loops, which classic PCT handles with yields, are handled
+/// here by the scheduler's stall detection: a spinning high-priority task
+/// leaves the runnable set instead of monopolizing the schedule.
+#[derive(Debug, Clone)]
+pub struct Pct {
+    rng: SplitMix64,
+    depth: usize,
+    horizon: u64,
+    priorities: Vec<u64>,
+    change_points: Vec<u64>,
+    /// Next demotion priority; counts down so each demoted task lands
+    /// strictly below every earlier demotion.
+    next_low: u64,
+}
+
+impl Pct {
+    /// Creates a PCT scheduler: `depth` is the bug depth targeted (`d ≥
+    /// 1`; `d − 1` priority-change points are drawn), `horizon` the
+    /// anticipated schedule length the change points are spread over.
+    pub fn new(seed: u64, depth: usize, horizon: u64) -> Self {
+        assert!(depth >= 1, "PCT depth must be at least 1");
+        assert!(horizon >= 1, "PCT horizon must be at least 1");
+        Self {
+            rng: SplitMix64::new(seed),
+            depth,
+            horizon,
+            priorities: Vec::new(),
+            change_points: Vec::new(),
+            next_low: u64::MAX / 2,
+        }
+    }
+
+    fn init(&mut self, n_tasks: usize) {
+        // Distinct random priorities above the demotion band: draw ranks
+        // by repeatedly extracting a random remaining task.
+        let mut order: Vec<usize> = (0..n_tasks).collect();
+        self.priorities = vec![0; n_tasks];
+        let mut rank = u64::MAX;
+        while !order.is_empty() {
+            let i = self.rng.gen_index(order.len());
+            self.priorities[order.swap_remove(i)] = rank;
+            rank -= 1;
+        }
+        self.change_points = (1..self.depth).map(|_| self.rng.next_u64() % self.horizon).collect();
+    }
+}
+
+impl Strategy for Pct {
+    fn pick(&mut self, view: &PickView<'_>) -> usize {
+        if self.priorities.is_empty() {
+            self.init(view.n_tasks);
+        }
+        let pick = *view
+            .runnable
+            .iter()
+            .max_by_key(|&&t| self.priorities[t])
+            .expect("runnable is never empty");
+        if self.change_points.contains(&view.decision) {
+            self.priorities[pick] = self.next_low;
+            self.next_low -= 1;
+        }
+        pick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        decision: u64,
+        runnable: &'a [usize],
+        unfinished: &'a [usize],
+        n: usize,
+    ) -> PickView<'a> {
+        PickView { decision, runnable, unfinished, n_tasks: n, last: None }
+    }
+
+    #[test]
+    fn random_walk_is_reproducible_and_in_bounds() {
+        let runnable = [0usize, 2, 3];
+        let all = [0usize, 1, 2, 3];
+        let picks = |seed| {
+            let mut s = RandomWalk::new(seed);
+            (0..32).map(|i| s.pick(&view(i, &runnable, &all, 4))).collect::<Vec<_>>()
+        };
+        let a = picks(7);
+        assert_eq!(a, picks(7));
+        assert!(a.iter().all(|t| runnable.contains(t)));
+        assert_ne!(a, picks(8));
+    }
+
+    #[test]
+    fn pct_runs_highest_priority_until_demoted() {
+        let runnable = [0usize, 1, 2];
+        let mut pct = Pct::new(3, 2, 10);
+        let first = pct.pick(&view(0, &runnable, &runnable, 3));
+        // Until its change point fires, the same top-priority task runs.
+        let mut leader_changed_at = None;
+        for d in 1..10 {
+            let t = pct.pick(&view(d, &runnable, &runnable, 3));
+            if t != first {
+                leader_changed_at = Some(d);
+                break;
+            }
+        }
+        // Depth 2 ⇒ exactly one change point in [0, 10); once it fires the
+        // leader must change (all priorities are distinct).
+        if let Some(d) = leader_changed_at {
+            assert!(d < 10);
+        }
+    }
+
+    #[test]
+    fn pct_respects_runnable_subsets() {
+        let mut pct = Pct::new(11, 3, 50);
+        let all = [0usize, 1, 2, 3];
+        for d in 0..50 {
+            let runnable = [all[(d as usize) % 4]];
+            let t = pct.pick(&view(d, &runnable, &all, 4));
+            assert_eq!(t, runnable[0], "must pick from runnable even when leader is stalled");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Interleavings the wall-clock stress tests cannot pin down.
+//!
+//! Three surfaces from PR 1 whose subtle cases live in rare schedules:
+//!
+//! * `try_read`/`try_write` abort paths racing writers — an aborting
+//!   reader must retire through the exit section without corrupting any
+//!   counter or permit, in *every* interleaving, not just the ones the OS
+//!   happens to produce;
+//! * `PidRegistry` lease churn — allocate/release cycles under exhaustive
+//!   small-config exploration never double-issue a pid and never leak
+//!   one;
+//! * the typed `RwLock` front end — thread-leased pids, guard drops and
+//!   thread-exit reclaim, scheduled end to end.
+
+use rmr_check::exhaustive;
+use rmr_check::harness::{
+    randomized_batteries, try_read_trial, try_rw_trial, Scenario, TaskBody, Trial,
+};
+use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
+use rmr_core::registry::PidRegistry;
+use rmr_core::swmr::{SwmrReaderPriority, SwmrWriterPriority};
+use rmr_core::RwLock;
+use rmr_mutex::{AndersonLock, Sched};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const BUDGET: u64 = 30_000;
+const SCHEDULES: u64 = 10;
+const DFS_CAP: u64 = 2_500;
+
+fn assert_randomized(label: &str, mk: impl Fn() -> Trial) {
+    for report in randomized_batteries(label, mk, 0x1337_0001, SCHEDULES, 3, BUDGET) {
+        assert!(report.passed(), "{report}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// try_read abort paths racing writers (all five core locks)
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig1_try_read_aborts_race_writers() {
+    assert_randomized("fig1-try-read", || {
+        let lock = Arc::new(SwmrWriterPriority::new_in(Sched));
+        let q = Arc::clone(&lock);
+        try_read_trial(lock, Scenario::new(2, 1, 3), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn fig1_try_read_aborts_exhaustive() {
+    let report = exhaustive(
+        "fig1-try-read",
+        || {
+            let lock = Arc::new(SwmrWriterPriority::new_in(Sched));
+            let q = Arc::clone(&lock);
+            try_read_trial(lock, Scenario::new(1, 1, 2), move || q.is_quiescent())
+        },
+        2,
+        BUDGET,
+        DFS_CAP,
+    );
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn fig2_try_read_aborts_race_writers() {
+    assert_randomized("fig2-try-read", || {
+        let lock = Arc::new(SwmrReaderPriority::new_in(Sched));
+        let q = Arc::clone(&lock);
+        try_read_trial(lock, Scenario::new(2, 1, 3), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn fig2_try_read_aborts_exhaustive() {
+    let report = exhaustive(
+        "fig2-try-read",
+        || {
+            let lock = Arc::new(SwmrReaderPriority::new_in(Sched));
+            let q = Arc::clone(&lock);
+            try_read_trial(lock, Scenario::new(1, 1, 2), move || q.is_quiescent())
+        },
+        2,
+        BUDGET,
+        DFS_CAP,
+    );
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn mwmr_try_read_aborts_race_writers() {
+    assert_randomized("fig3-sf-try-read", || {
+        let lock = Arc::new(MwmrStarvationFree::new_in(4, Sched));
+        let q = Arc::clone(&lock);
+        try_read_trial(lock, Scenario::new(2, 2, 2), move || q.is_quiescent())
+    });
+    assert_randomized("fig3-rp-try-read", || {
+        let lock = Arc::new(MwmrReaderPriority::new_in(4, Sched));
+        let q = Arc::clone(&lock);
+        try_read_trial(lock, Scenario::new(2, 2, 2), move || q.is_quiescent())
+    });
+    assert_randomized("fig4-wp-try-read", || {
+        let lock = Arc::new(MwmrWriterPriority::new_in(4, Sched));
+        let q = Arc::clone(&lock);
+        try_read_trial(lock, Scenario::new(2, 2, 2), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn baseline_try_write_aborts_race_readers() {
+    assert_randomized("ticket-rw-try-write", || {
+        let lock = Arc::new(rmr_baselines::TicketRwLock::new_in(4, Sched));
+        try_rw_trial(lock, Scenario::new(2, 2, 2), || true)
+    });
+}
+
+// ---------------------------------------------------------------------
+// PidRegistry lease churn
+// ---------------------------------------------------------------------
+
+/// Builds a churn trial: `tasks` workers cycle allocate → (hold) →
+/// release against a `capacity`-slot registry over [`Sched`]. The oracle
+/// is a per-pid holder bit: a second holder of a live pid is the bug the
+/// thread-lease machinery must never hit.
+fn registry_churn_trial(capacity: usize, tasks: usize, cycles: u32) -> Trial {
+    let reg = Arc::new(PidRegistry::new_in(capacity, Sched));
+    let holders: Arc<Vec<AtomicBool>> =
+        Arc::new((0..capacity).map(|_| AtomicBool::new(false)).collect());
+    let settled = Arc::new(AtomicUsize::new(0));
+    let mut bodies: Vec<TaskBody> = Vec::new();
+    for _ in 0..tasks {
+        let reg = Arc::clone(&reg);
+        let holders = Arc::clone(&holders);
+        let settled = Arc::clone(&settled);
+        bodies.push(Box::new(move || {
+            for _ in 0..cycles {
+                match reg.allocate() {
+                    Ok(pid) => {
+                        let taken = holders[pid.index()].swap(true, Ordering::SeqCst);
+                        assert!(!taken, "pid {pid} double-issued");
+                        rmr_mutex::sched::yield_point();
+                        holders[pid.index()].store(false, Ordering::SeqCst);
+                        reg.release(pid);
+                    }
+                    Err(full) => {
+                        // Legal under contention; capacity must be honest.
+                        assert_eq!(full.capacity(), capacity);
+                    }
+                }
+            }
+            settled.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    let post_reg = Arc::clone(&reg);
+    let post_settled = Arc::clone(&settled);
+    Trial {
+        tasks: bodies,
+        post: Box::new(move || {
+            if post_settled.load(Ordering::SeqCst) != tasks {
+                return Err("a churn task did not finish".into());
+            }
+            let leaked = post_reg.allocated();
+            if leaked != 0 {
+                return Err(format!("{leaked} pid(s) leaked after churn"));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[test]
+fn registry_churn_exhaustive_tiny() {
+    // 2 workers × 1 slot: every interleaving of the allocate CAS scan and
+    // the release store.
+    let report = exhaustive("registry-2x1", || registry_churn_trial(1, 2, 2), 2, BUDGET, DFS_CAP);
+    assert!(report.passed(), "{report}");
+    // 2 workers × 2 slots: adds slot-skipping scans.
+    let report = exhaustive("registry-2x2", || registry_churn_trial(2, 2, 2), 2, BUDGET, DFS_CAP);
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn registry_churn_randomized() {
+    assert_randomized("registry-churn", || registry_churn_trial(2, 3, 3));
+}
+
+// ---------------------------------------------------------------------
+// The typed front end: leases, guards, thread-exit reclaim
+// ---------------------------------------------------------------------
+
+/// Drives the typed `RwLock` (thread-leased pids, RAII guards) with the
+/// raw lock scheduled underneath. Each task thread leases its pid on
+/// first use and must give it back via the thread-exit reclaim path, so
+/// the post-run check seeing `registered() == 0` *is* the reclaim test.
+fn typed_front_end_trial(readers: usize, writers: usize, attempts: u32) -> Trial {
+    let raw = MwmrStarvationFree::<AndersonLock<Sched>, Sched>::new_in(readers + writers, Sched);
+    let lock = Arc::new(RwLock::with_raw_and_capacity(0u64, raw, readers + writers));
+    let wrote = Arc::new(AtomicUsize::new(0));
+    let mut bodies: Vec<TaskBody> = Vec::new();
+    for _ in 0..readers {
+        let lock = Arc::clone(&lock);
+        bodies.push(Box::new(move || {
+            for _ in 0..attempts {
+                let g = lock.read();
+                let v = *g;
+                drop(g);
+                let g2 = lock.read();
+                assert!(*g2 >= v, "monotone counter ran backwards");
+                drop(g2);
+            }
+        }));
+    }
+    for _ in 0..writers {
+        let lock = Arc::clone(&lock);
+        let wrote = Arc::clone(&wrote);
+        bodies.push(Box::new(move || {
+            for _ in 0..attempts {
+                let mut g = lock.write();
+                *g += 1;
+                drop(g);
+                wrote.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+    }
+    let post_lock = Arc::clone(&lock);
+    let post_wrote = Arc::clone(&wrote);
+    let expected = writers * attempts as usize;
+    Trial {
+        tasks: bodies,
+        post: Box::new(move || {
+            // Lease accounting first: reading through the lock below
+            // would lease a pid for *this* (controller) thread and mask
+            // a reclaim bug.
+            if post_lock.registered() != 0 {
+                return Err(format!(
+                    "{} pid lease(s) not reclaimed at thread exit",
+                    post_lock.registered()
+                ));
+            }
+            if !post_lock.raw().is_quiescent() {
+                return Err("raw lock not quiescent after typed-front-end run".into());
+            }
+            let total = *post_lock.read();
+            if total as usize != expected || post_wrote.load(Ordering::SeqCst) != expected {
+                return Err(format!("counter {total} ≠ {expected} writer increments"));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[test]
+fn typed_front_end_leases_reclaim_randomized() {
+    assert_randomized("rwlock-front-end", || typed_front_end_trial(2, 1, 2));
+}
+
+#[test]
+fn typed_front_end_leases_reclaim_exhaustive() {
+    let report =
+        exhaustive("rwlock-front-end", || typed_front_end_trial(1, 1, 1), 1, BUDGET, DFS_CAP);
+    assert!(report.passed(), "{report}");
+}

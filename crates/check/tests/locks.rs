@@ -1,0 +1,225 @@
+//! Every shipped lock, driven through deterministic schedule exploration.
+//!
+//! This is the correctness half of experiment E14: the five core locks,
+//! the four mutexes and the baselines each survive a seeded PCT battery,
+//! a uniform random-walk battery, and (core locks) a bounded-exhaustive
+//! DFS pass — with exclusion, torn-read, deadlock and quiescence oracles
+//! armed throughout. `RMR_TEST_SEED` reseeds every battery; failures
+//! print the seed and decision schedule needed to replay them.
+
+use rmr_check::exhaustive;
+use rmr_check::harness::{
+    mutex_trial, randomized_batteries, rw_trial, try_rw_trial, Scenario, Trial,
+};
+use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
+use rmr_core::swmr::{SwmrReaderPriority, SwmrWriterPriority};
+use rmr_mutex::{AndersonLock, McsLock, RawMutex, Sched, TasLock, TicketLock, TtasLock};
+use std::sync::Arc;
+
+const BUDGET: u64 = 30_000;
+const PCT_SCHEDULES: u64 = 10;
+const PCT_DEPTH: usize = 3;
+const DFS_CAP: u64 = 2_500;
+
+/// Runs the standard randomized batteries over a trial builder and
+/// asserts they pass.
+fn assert_randomized(label: &str, mk: impl Fn() -> Trial) {
+    for report in randomized_batteries(label, mk, 0x5eed_0001, PCT_SCHEDULES, PCT_DEPTH, BUDGET) {
+        assert!(report.passed(), "{report}");
+    }
+}
+
+/// Adds a bounded-exhaustive DFS pass (small config, preemption bound 2).
+fn assert_exhaustive(label: &str, mk: impl Fn() -> Trial) {
+    let report = exhaustive(label, mk, 2, BUDGET, DFS_CAP);
+    assert!(report.passed(), "{report}");
+    assert!(report.schedules > 10, "{label}: suspiciously small schedule tree: {report}");
+}
+
+// ---------------------------------------------------------------------
+// The five core locks
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig1_swmr_writer_priority_randomized() {
+    assert_randomized("fig1-swmr-wp", || {
+        let lock = Arc::new(SwmrWriterPriority::new_in(Sched));
+        let q = Arc::clone(&lock);
+        rw_trial(lock, Scenario::new(2, 1, 2), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn fig1_swmr_writer_priority_exhaustive() {
+    assert_exhaustive("fig1-swmr-wp", || {
+        let lock = Arc::new(SwmrWriterPriority::new_in(Sched));
+        let q = Arc::clone(&lock);
+        rw_trial(lock, Scenario::new(1, 1, 1), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn fig2_swmr_reader_priority_randomized() {
+    assert_randomized("fig2-swmr-rp", || {
+        let lock = Arc::new(SwmrReaderPriority::new_in(Sched));
+        let q = Arc::clone(&lock);
+        rw_trial(lock, Scenario::new(2, 1, 2), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn fig2_swmr_reader_priority_exhaustive() {
+    assert_exhaustive("fig2-swmr-rp", || {
+        let lock = Arc::new(SwmrReaderPriority::new_in(Sched));
+        let q = Arc::clone(&lock);
+        rw_trial(lock, Scenario::new(1, 1, 1), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn fig3_mwmr_starvation_free_randomized() {
+    assert_randomized("fig3-mwmr-sf", || {
+        let lock = Arc::new(MwmrStarvationFree::new_in(4, Sched));
+        let q = Arc::clone(&lock);
+        rw_trial(lock, Scenario::new(2, 2, 2), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn fig3_mwmr_starvation_free_exhaustive() {
+    assert_exhaustive("fig3-mwmr-sf", || {
+        let lock = Arc::new(MwmrStarvationFree::new_in(2, Sched));
+        let q = Arc::clone(&lock);
+        rw_trial(lock, Scenario::new(1, 1, 1), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn fig3_mwmr_reader_priority_randomized() {
+    assert_randomized("fig3-mwmr-rp", || {
+        let lock = Arc::new(MwmrReaderPriority::new_in(4, Sched));
+        let q = Arc::clone(&lock);
+        rw_trial(lock, Scenario::new(2, 2, 2), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn fig4_mwmr_writer_priority_randomized() {
+    assert_randomized("fig4-mwmr-wp", || {
+        let lock = Arc::new(MwmrWriterPriority::new_in(4, Sched));
+        let q = Arc::clone(&lock);
+        rw_trial(lock, Scenario::new(2, 2, 2), move || q.is_quiescent())
+    });
+}
+
+#[test]
+fn fig4_mwmr_writer_priority_exhaustive() {
+    assert_exhaustive("fig4-mwmr-wp", || {
+        let lock = Arc::new(MwmrWriterPriority::new_in(2, Sched));
+        let q = Arc::clone(&lock);
+        rw_trial(lock, Scenario::new(1, 1, 1), move || q.is_quiescent())
+    });
+}
+
+// ---------------------------------------------------------------------
+// The mutex substrate
+// ---------------------------------------------------------------------
+
+fn mutex_randomized<M: RawMutex + 'static>(label: &str, mk: impl Fn() -> M) {
+    assert_randomized(label, || mutex_trial(Arc::new(mk()), 3, 2));
+}
+
+#[test]
+fn anderson_lock_randomized() {
+    mutex_randomized("anderson", || AndersonLock::new_in(4, Sched));
+}
+
+#[test]
+fn anderson_lock_exhaustive() {
+    assert_exhaustive("anderson", || mutex_trial(Arc::new(AndersonLock::new_in(2, Sched)), 2, 1));
+}
+
+#[test]
+fn mcs_lock_randomized() {
+    mutex_randomized("mcs", || McsLock::new_in(Sched));
+}
+
+#[test]
+fn ticket_lock_randomized() {
+    mutex_randomized("ticket", || TicketLock::new_in(Sched));
+}
+
+#[test]
+fn ticket_lock_exhaustive() {
+    assert_exhaustive("ticket", || mutex_trial(Arc::new(TicketLock::new_in(Sched)), 2, 1));
+}
+
+#[test]
+fn tas_lock_randomized() {
+    mutex_randomized("tas", || TasLock::new_in(Sched));
+}
+
+#[test]
+fn ttas_lock_randomized() {
+    mutex_randomized("ttas", || TtasLock::new_in(Sched));
+}
+
+// ---------------------------------------------------------------------
+// The baselines (full try tier where available)
+// ---------------------------------------------------------------------
+
+#[test]
+fn centralized_baseline_randomized() {
+    assert_randomized("centralized", || {
+        let lock = Arc::new(rmr_baselines::CentralizedRwLock::new_in(4, Sched));
+        rw_trial(lock, Scenario::new(2, 1, 2), || true)
+    });
+}
+
+#[test]
+fn courtois_wp_baseline_randomized() {
+    assert_randomized("courtois-wp", || {
+        let lock = Arc::new(rmr_baselines::CourtoisWriterPrefRwLock::new_in(4, Sched));
+        rw_trial(lock, Scenario::new(2, 1, 2), || true)
+    });
+}
+
+#[test]
+fn ticket_rw_baseline_randomized() {
+    assert_randomized("ticket-rw", || {
+        let lock = Arc::new(rmr_baselines::TicketRwLock::new_in(4, Sched));
+        rw_trial(lock, Scenario::new(2, 1, 2), || true)
+    });
+}
+
+#[test]
+fn flags_baseline_randomized() {
+    assert_randomized("flags", || {
+        let lock = Arc::new(rmr_baselines::DistributedFlagRwLock::new_in(4, Sched));
+        rw_trial(lock, Scenario::new(2, 1, 2), || true)
+    });
+}
+
+#[test]
+fn tournament_baseline_randomized() {
+    assert_randomized("tournament", || {
+        let lock = Arc::new(rmr_baselines::TournamentRwLock::new_in(4, Sched));
+        rw_trial(lock, Scenario::new(2, 1, 2), || true)
+    });
+}
+
+#[test]
+fn baselines_try_tier_randomized() {
+    assert_randomized("centralized-try", || {
+        let lock = Arc::new(rmr_baselines::CentralizedRwLock::new_in(4, Sched));
+        try_rw_trial(lock, Scenario::new(2, 1, 2), || true)
+    });
+    assert_randomized("ticket-rw-try", || {
+        let lock = Arc::new(rmr_baselines::TicketRwLock::new_in(4, Sched));
+        try_rw_trial(lock, Scenario::new(2, 1, 2), || true)
+    });
+    assert_randomized("flags-try", || {
+        let lock = Arc::new(rmr_baselines::DistributedFlagRwLock::new_in(4, Sched));
+        try_rw_trial(lock, Scenario::new(2, 1, 2), || true)
+    });
+}

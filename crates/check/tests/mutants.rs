@@ -1,0 +1,173 @@
+//! The mutation battery: every seeded bug must be caught, every control
+//! must pass, and every reported failure must replay deterministically.
+//!
+//! This is the checker proving it has teeth (the acceptance bar of the
+//! `rmr-check` subsystem): a deliberately broken variant of the real lock
+//! code — one dropped store, one wrong CAS expected value — must fall to
+//! a bounded schedule budget, and the *identical* budget must pass the
+//! faithful copy, so a red battery always means a real bug, never a
+//! flaky harness.
+
+use rmr_check::exhaustive;
+use rmr_check::harness::{mutex_trial, randomized_batteries, run_trial, rw_trial, Scenario, Trial};
+use rmr_check::mutants::{MutantAnderson, MutantFig1, MutantTtas, Mutation};
+use rmr_mutex::sched::{Replay, RunError};
+use rmr_mutex::Sched;
+use std::sync::Arc;
+
+const BUDGET: u64 = 30_000;
+/// Randomized schedules per stage before escalating to the next.
+const MUTANT_SCHEDULES: u64 = 40;
+/// DFS schedule cap for the final exhaustive stage.
+const MUTANT_DFS_CAP: u64 = 5_000;
+/// Schedules each control copy must survive.
+const CONTROL_SCHEDULES: u64 = 15;
+
+fn fig1_trial(mutation: Mutation, scenario: Scenario) -> Trial {
+    let lock = Arc::new(MutantFig1::new_in(mutation, Sched));
+    let q = Arc::clone(&lock);
+    // Quiescence is only required of the control copy: a mutant that
+    // merely corrupts its idle state without breaking a run-time property
+    // would still be caught here, but none of the seeded ones need it.
+    rw_trial(lock, scenario, move || mutation != Mutation::None || q.is_quiescent())
+}
+
+fn ttas_trial(mutation: Mutation) -> Trial {
+    mutex_trial(Arc::new(MutantTtas::new_in(mutation, Sched)), 3, 2)
+}
+
+fn anderson_trial(mutation: Mutation) -> Trial {
+    mutex_trial(Arc::new(MutantAnderson::new_in(mutation, 2, Sched)), 2, 3)
+}
+
+/// Escalating hunt: PCT, then uniform random walks, then bounded DFS on
+/// the (smaller) `mk_small` config. Asserts the mutant is caught, checks
+/// the failure class, and replays the recorded schedule to verify
+/// determinism. Returns which stage fired, for curiosity in test output.
+fn assert_caught(
+    label: &str,
+    mk: impl Fn() -> Trial,
+    mk_small: impl Fn() -> Trial,
+    expected_any: &[&str],
+) {
+    let randomized = randomized_batteries(label, &mk, 0x0b5e_55ed, MUTANT_SCHEDULES, 3, BUDGET)
+        .into_iter()
+        .find_map(|report| report.failure);
+    let (failure, replay_big) = if let Some(f) = randomized {
+        (f, true)
+    } else if let Some(f) = exhaustive(label, &mk_small, 2, BUDGET, MUTANT_DFS_CAP).failure {
+        (f, false)
+    } else {
+        panic!("{label}: mutant survived PCT, random and bounded-DFS exploration");
+    };
+    assert!(
+        expected_any.iter().any(|s| failure.reason.contains(s)),
+        "{label}: unexpected failure class: {failure}"
+    );
+
+    // Determinism: replaying the recorded decisions reproduces the exact
+    // failure — same decisions, same kind, same message for panics.
+    let fresh = if replay_big { mk() } else { mk_small() };
+    let mut strategy = Replay::new(failure.schedule.clone());
+    let replayed = run_trial(fresh, &mut strategy, BUDGET);
+    let err = replayed.result.expect_err("replay of a failing schedule came back clean");
+    assert_eq!(replayed.schedule, failure.schedule, "{label}: replay took different decisions");
+    match err {
+        RunError::Panic { message, .. } => {
+            assert!(
+                expected_any.iter().any(|s| message.contains(s)),
+                "{label}: replayed into a different failure: {message}"
+            );
+        }
+        RunError::Deadlock { .. } => {
+            assert!(
+                failure.reason.starts_with("deadlock"),
+                "{label}: replay deadlocked but original was: {}",
+                failure.reason
+            );
+        }
+        RunError::Budget { .. } => {
+            assert!(
+                failure.reason.contains("budget"),
+                "{label}: replay exhausted budget but original was: {}",
+                failure.reason
+            );
+        }
+    }
+}
+
+/// The control copy must pass both battery styles at the mutants' budgets.
+fn assert_control_passes(label: &str, mk: impl Fn() -> Trial) {
+    for report in randomized_batteries(label, mk, 0x0c0a_7401, CONTROL_SCHEDULES, 3, BUDGET) {
+        assert!(report.passed(), "{report}");
+    }
+}
+
+#[test]
+fn fig1_control_passes_the_mutant_budgets() {
+    assert_control_passes("fig1-control", || fig1_trial(Mutation::None, Scenario::new(2, 1, 2)));
+}
+
+#[test]
+fn fig1_skip_gate_close_is_caught() {
+    // The stale open gate needs the writer's second attempt, hence 2+
+    // writer passages (also in the small DFS config).
+    assert_caught(
+        "fig1-skip-gate-close",
+        || fig1_trial(Mutation::SkipGateClose, Scenario::new(2, 1, 3)),
+        || fig1_trial(Mutation::SkipGateClose, Scenario::new(1, 1, 2)),
+        &["P1 violated", "torn read", "deadlock", "not quiescent"],
+    );
+}
+
+#[test]
+fn fig1_skip_side_flip_is_caught() {
+    assert_caught(
+        "fig1-skip-side-flip",
+        || fig1_trial(Mutation::SkipSideFlip, Scenario::new(2, 1, 3)),
+        || fig1_trial(Mutation::SkipSideFlip, Scenario::new(1, 1, 2)),
+        &["P1 violated", "torn read", "deadlock", "not quiescent"],
+    );
+}
+
+#[test]
+fn fig1_skip_reader_permit_is_caught() {
+    // The lost wakeup parks the writer forever: a deadlock (or, if the
+    // budget trips first mid-confirmation, a budget report).
+    assert_caught(
+        "fig1-skip-reader-permit",
+        || fig1_trial(Mutation::SkipReaderPermit, Scenario::new(2, 1, 2)),
+        || fig1_trial(Mutation::SkipReaderPermit, Scenario::new(1, 1, 2)),
+        &["deadlock", "budget"],
+    );
+}
+
+#[test]
+fn ttas_control_passes_the_mutant_budgets() {
+    assert_control_passes("ttas-control", || ttas_trial(Mutation::None));
+}
+
+#[test]
+fn ttas_wrong_cas_expected_is_caught() {
+    assert_caught(
+        "ttas-wrong-cas",
+        || ttas_trial(Mutation::WrongCasExpected),
+        || mutex_trial(Arc::new(MutantTtas::new_in(Mutation::WrongCasExpected, Sched)), 2, 2),
+        &["mutual exclusion violated", "torn pair"],
+    );
+}
+
+#[test]
+fn anderson_control_passes_the_mutant_budgets() {
+    assert_control_passes("anderson-control", || anderson_trial(Mutation::None));
+}
+
+#[test]
+fn anderson_skip_slot_close_is_caught() {
+    assert_caught(
+        "anderson-skip-slot-close",
+        || anderson_trial(Mutation::SkipSlotClose),
+        || anderson_trial(Mutation::SkipSlotClose),
+        &["mutual exclusion violated", "torn pair"],
+    );
+}

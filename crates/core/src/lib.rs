@@ -46,7 +46,13 @@
 //! line-level atomicity and model-checks the claimed properties (P1–P7,
 //! RP1/RP2, WP1/WP2, plus the Appendix A invariants) exhaustively for small
 //! configurations, and measures RMR counts under the paper's CC and DSM
-//! cost models. See DESIGN.md and EXPERIMENTS.md at the workspace root.
+//! cost models. The `rmr-check` crate goes one step further and
+//! model-checks the *implementations in this crate* directly: instantiated
+//! over the [`mem::Sched`](rmr_mutex::sched::Sched) backend, every lock
+//! here runs under a deterministic scheduler through PCT-style randomized
+//! and bounded-exhaustive schedule exploration, with exclusion, deadlock
+//! and quiescence oracles (the `is_quiescent` entry points below). See
+//! DESIGN.md §9 and EXPERIMENTS.md E14 at the workspace root.
 //!
 //! # Memory ordering
 //!

@@ -110,6 +110,13 @@ impl<M: RawMutex, B: Backend> MwmrReaderPriority<M, B> {
     pub fn inner(&self) -> &SwmrReaderPriority<B> {
         &self.swmr
     }
+
+    /// True when the construction is at rest (the inner Figure 2 instance
+    /// is quiescent). Checker entry point asserted by `rmr-check` at
+    /// teardown; only meaningful while no attempt is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.swmr.is_quiescent()
+    }
 }
 
 impl<M: RawMutex, B: Backend> RawRwLock for MwmrReaderPriority<M, B> {

@@ -126,6 +126,15 @@ impl<M: RawMutex, B: Backend> MwmrStarvationFree<M, B> {
     pub fn inner(&self) -> &SwmrWriterPriority<B> {
         &self.swmr
     }
+
+    /// True when the construction is at rest: the inner Figure 1 instance
+    /// is quiescent (the mutex `M` offers no generic freeness query, but a
+    /// held `M` implies a non-quiescent inner lock once the holder
+    /// proceeds). Checker entry point asserted by `rmr-check` at teardown;
+    /// only meaningful while no attempt is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.swmr.is_quiescent()
+    }
 }
 
 impl<M: RawMutex, B: Backend> RawRwLock for MwmrStarvationFree<M, B> {

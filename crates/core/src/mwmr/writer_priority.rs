@@ -196,6 +196,14 @@ impl<M: RawMutex, B: Backend> MwmrWriterPriority<M, B> {
     pub fn writers_pending(&self) -> u64 {
         self.wcount.load()
     }
+
+    /// True when the construction is at rest: no writer between doorway
+    /// and exit (`Wcount = 0`) and the inner Figure 1 instance quiescent.
+    /// Checker entry point asserted by `rmr-check` at teardown; only
+    /// meaningful while no attempt is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.writers_pending() == 0 && self.swmr.is_quiescent()
+    }
 }
 
 impl<M: RawMutex, B: Backend> RawRwLock for MwmrWriterPriority<M, B> {

@@ -308,6 +308,15 @@ impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
         self.registry.capacity()
     }
 
+    /// Number of pids currently leased or registered (approximate under
+    /// concurrency). Checker entry point: after every participating thread
+    /// has exited, this must be zero — thread-local leases are reclaimed
+    /// at thread exit — which the real-code checker (`rmr-check`) and the
+    /// registry tests assert.
+    pub fn registered(&self) -> usize {
+        self.registry.allocated()
+    }
+
     /// Leases a pid for the calling thread: the cached lease if free, a
     /// transient pid if the lease is mid-attempt (nested guard), a fresh
     /// cached lease otherwise.

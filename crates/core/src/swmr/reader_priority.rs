@@ -300,6 +300,19 @@ impl<B: Backend> SwmrReaderPriority<B> {
     pub fn writer_promoted(&self) -> bool {
         self.x.load() == X_TRUE
     }
+
+    /// True when the lock is at rest: no registered reader (`C = 0`), no
+    /// promoted writer (`X ≠ true`), and the gates in the canonical idle
+    /// configuration (`Gate[D]` open, `Gate[D̄]` closed). Checker entry
+    /// point asserted by `rmr-check` at teardown; only meaningful while no
+    /// attempt is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        let d = self.direction();
+        self.reader_count() == 0
+            && !self.writer_promoted()
+            && self.gate_is_open(d)
+            && !self.gate_is_open(!d)
+    }
 }
 
 impl<B: Backend> Default for SwmrReaderPriority<B> {

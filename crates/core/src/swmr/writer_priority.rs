@@ -373,6 +373,22 @@ impl<B: Backend> SwmrWriterPriority<B> {
     pub fn counters(&self) -> (Packed, Packed, Packed) {
         (self.sides[0].count.load(), self.sides[1].count.load(), self.exit_count.load())
     }
+
+    /// True when the lock is at rest: every counter (`C\[0\]`, `C\[1\]`,
+    /// `EC`) is zero and the gates sit in the canonical idle configuration
+    /// (`Gate[D]` open, `Gate[D̄]` closed). Checker entry point: after a
+    /// clean run every passage must have unwound completely, so the
+    /// real-code checker (`rmr-check`) asserts this at teardown. Only
+    /// meaningful while no attempt is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        let (c0, c1, ec) = self.counters();
+        let d = self.d.load();
+        c0 == Packed::ZERO
+            && c1 == Packed::ZERO
+            && ec == Packed::ZERO
+            && self.gate_is_open(d)
+            && !self.gate_is_open(!d)
+    }
 }
 
 impl<B: Backend> Default for SwmrWriterPriority<B> {

@@ -31,9 +31,13 @@
 //!
 //! Every lock here (and in `rmr-core`/`rmr-baselines`) is generic over a
 //! [`mem::Backend`] — [`Native`] by default (transparent `std` atomics,
-//! zero cost), or [`Counting`], which tallies remote memory references
+//! zero cost), [`Counting`], which tallies remote memory references
 //! under the paper's CC and DSM cost models *on the real implementations*
-//! (experiment E13). See [`mem`] for the model definitions.
+//! (experiment E13), or [`Sched`], which routes every operation through a
+//! deterministic cooperative scheduler so the `rmr-check` crate can
+//! model-check the shipped lock code schedule by schedule (experiment
+//! E14). See [`mem`] for the model definitions and [`sched`] for the
+//! execution model.
 //!
 //! # Example
 //!
@@ -63,6 +67,7 @@ mod anderson;
 mod mcs;
 pub mod mem;
 mod pad;
+pub mod sched;
 mod spin;
 mod tas;
 mod ticket;
@@ -71,6 +76,7 @@ pub use anderson::{AndersonLock, AndersonToken};
 pub use mcs::{McsLock, McsToken};
 pub use mem::{Backend, Counting, Native};
 pub use pad::CachePadded;
+pub use sched::Sched;
 pub use spin::{spin_until, SpinWait};
 pub use tas::{TasLock, TtasLock};
 pub use ticket::{TicketLock, TicketToken};

@@ -21,6 +21,11 @@
 //!   actually deploy is O(1) RMR" (experiment E13, the `real_rmr_table`
 //!   binary in `rmr-bench`).
 //!
+//! A third backend, [`Sched`](crate::sched::Sched), lives in
+//! [`crate::sched`]: it routes every operation through a deterministic
+//! cooperative scheduler so the shipped lock code can be model-checked
+//! interleaving by interleaving (the `rmr-check` crate, experiment E14).
+//!
 //! # The cost models (must match `rmr-sim/src/cost.rs`)
 //!
 //! **CC (cache-coherent, write-invalidate).** Each [`Counting`] variable

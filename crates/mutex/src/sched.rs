@@ -1,0 +1,965 @@
+//! The `Sched` memory backend: deterministic, schedulable shared variables.
+//!
+//! [`mem`](crate::mem) gives every lock two interchangeable backends —
+//! [`Native`](crate::mem::Native) for production and
+//! [`Counting`](crate::mem::Counting) for RMR accounting. This module adds
+//! the third: [`Sched`], whose `Bool`/`Word` route **every** shared-memory
+//! operation through a cooperative, fully deterministic scheduler. The
+//! *shipped* lock code (not a re-encoding of it) can then be driven through
+//! chosen interleavings, schedule by schedule, the way `rmr-sim` drives its
+//! line-level models — closing the "model vs. deployed code" gap for the
+//! correctness properties the same way the `Counting` backend closed it for
+//! RMR accounting (DESIGN.md §9).
+//!
+//! # Why yield points at `Backend` operations suffice
+//!
+//! Workspace policy (DESIGN.md §5) is that *all* inter-thread communication
+//! in the lock algorithms goes through the `Backend` vocabulary with
+//! `SeqCst` ordering. Code between two `Backend` operations touches only
+//! task-local state, so interleaving it with other tasks cannot change any
+//! observable outcome: scheduling decisions only ever matter at the
+//! operations themselves. One yield point per operation therefore explores
+//! the complete interleaving space of the algorithm at the same atomicity
+//! the paper (and `rmr-sim`) assumes — and because the scheduler runs
+//! exactly one task at a time, every execution is serial and replayable.
+//!
+//! # Execution model
+//!
+//! [`run_tasks`] spawns one OS thread per task, but the [`Controller`]
+//! grants the *turn* to exactly one task at a time. A turn spans one
+//! `Backend` operation plus all task-local code up to the next operation
+//! (or task exit). Tasks park at yield points; a [`Strategy`] picks who
+//! moves next. Nondeterminism from the OS scheduler is fully excluded:
+//! the same strategy decisions replay the same execution bit-for-bit.
+//!
+//! Spin loops need no special annotations: a task that keeps repeating a
+//! *futile* operation on one variable — a load seeing the same value, a
+//! swap that wrote back what was already there, a failing CAS — is marked
+//! **stalled** and excluded from strategy picks until another task makes
+//! progress on that variable.
+//! If every unfinished task is stalled the controller runs a bounded
+//! confirmation phase (so bounded retry loops, e.g. `try_read` attempt
+//! counters, can give up on their own) and then reports a deadlock.
+//!
+//! # Example
+//!
+//! ```
+//! use rmr_mutex::sched::{run_tasks, RoundRobin, Sched};
+//! use rmr_mutex::{RawMutex, TicketLock};
+//! use std::sync::Arc;
+//!
+//! let lock = Arc::new(TicketLock::new_in(Sched));
+//! let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..2)
+//!     .map(|_| {
+//!         let lock = Arc::clone(&lock);
+//!         Box::new(move || {
+//!             let t = lock.lock();
+//!             lock.unlock(t);
+//!         }) as Box<dyn FnOnce() + Send>
+//!     })
+//!     .collect();
+//! let outcome = run_tasks(tasks, &mut RoundRobin::default(), 10_000);
+//! assert!(outcome.result.is_ok());
+//! ```
+
+use crate::mem::{Backend, SharedBool, SharedWord};
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Consecutive same-variable same-value loads after which a task counts as
+/// stalled (a spin loop waiting for another task).
+const STALL_LIMIT: u32 = 3;
+
+/// Extra steps granted to each stalled task before a deadlock is declared,
+/// so bounded retry loops (which look like spins until they give up) can
+/// run to their abort path.
+const CONFIRM_STEPS_PER_TASK: u32 = 64;
+
+/// Upper bound on any single condvar wait. A correct controller/task pair
+/// never waits this long; hitting it means the protocol itself is wedged,
+/// and a loud panic beats a hung test run.
+const WEDGE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Panic payload used to unwind tasks out of a poisoned run.
+const ABORT_PAYLOAD: &str = "rmr-sched: run aborted by controller";
+
+// ---------------------------------------------------------------------
+// The backend
+// ---------------------------------------------------------------------
+
+/// The deterministic-scheduling backend (see the module docs).
+///
+/// Operations performed by threads **not** registered as scheduler tasks
+/// (lock construction, post-run inspection, thread-local destructors that
+/// run after a task's body has returned) execute natively, unscheduled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sched;
+
+impl Backend for Sched {
+    type Bool = SchedBool;
+    type Word = SchedWord;
+
+    const NAME: &'static str = "sched";
+}
+
+/// Monotonic id source for [`Sched`] variables, used in stall tracking and
+/// failure reports. Construction order is deterministic because locks are
+/// built on the controlling thread before any task runs.
+static NEXT_VAR: AtomicU32 = AtomicU32::new(0);
+
+fn fresh_var_id() -> u32 {
+    NEXT_VAR.fetch_add(1, Ordering::Relaxed)
+}
+
+/// What a task is about to do at a yield point, for stall tracking and
+/// deadlock reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Which shared variable (its creation-order id).
+    pub var: u32,
+    /// Operation class.
+    pub kind: OpKind,
+}
+
+/// Classification of a `Backend` operation at a yield point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// An atomic read.
+    Load,
+    /// Any atomic update (store, swap, fetch&add, CAS — successful or not).
+    Update,
+}
+
+/// [`Sched`]'s boolean: an `AtomicBool` behind a yield point.
+pub struct SchedBool {
+    id: u32,
+    inner: AtomicBool,
+}
+
+impl SharedBool for SchedBool {
+    fn new(value: bool) -> Self {
+        Self { id: fresh_var_id(), inner: AtomicBool::new(value) }
+    }
+
+    fn load(&self) -> bool {
+        step(Op { var: self.id, kind: OpKind::Load });
+        let v = self.inner.load(Ordering::SeqCst);
+        note(self.id, Outcome::observed(OpKind::Load, u64::from(v)));
+        v
+    }
+
+    fn store(&self, value: bool) {
+        step(Op { var: self.id, kind: OpKind::Update });
+        self.inner.store(value, Ordering::SeqCst);
+        note(self.id, Outcome::Progress);
+    }
+
+    fn swap(&self, value: bool) -> bool {
+        step(Op { var: self.id, kind: OpKind::Update });
+        let old = self.inner.swap(value, Ordering::SeqCst);
+        let outcome = if old == value {
+            Outcome::observed(OpKind::Update, u64::from(old)) // wrote back what was there
+        } else {
+            Outcome::Progress
+        };
+        note(self.id, outcome);
+        old
+    }
+
+    fn compare_exchange(&self, current: bool, new: bool) -> Result<bool, bool> {
+        step(Op { var: self.id, kind: OpKind::Update });
+        let r = self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+        let outcome = match r {
+            Ok(old) if old != new => Outcome::Progress,
+            Ok(old) | Err(old) => Outcome::observed(OpKind::Update, u64::from(old)),
+        };
+        note(self.id, outcome);
+        r
+    }
+}
+
+impl fmt::Debug for SchedBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SchedBool(v{} = {})", self.id, self.inner.load(Ordering::SeqCst))
+    }
+}
+
+/// [`Sched`]'s word: an `AtomicU64` behind a yield point.
+pub struct SchedWord {
+    id: u32,
+    inner: AtomicU64,
+}
+
+impl SharedWord for SchedWord {
+    fn new(value: u64) -> Self {
+        Self { id: fresh_var_id(), inner: AtomicU64::new(value) }
+    }
+
+    fn load(&self) -> u64 {
+        step(Op { var: self.id, kind: OpKind::Load });
+        let v = self.inner.load(Ordering::SeqCst);
+        note(self.id, Outcome::observed(OpKind::Load, v));
+        v
+    }
+
+    fn store(&self, value: u64) {
+        step(Op { var: self.id, kind: OpKind::Update });
+        self.inner.store(value, Ordering::SeqCst);
+        note(self.id, Outcome::Progress);
+    }
+
+    fn swap(&self, value: u64) -> u64 {
+        step(Op { var: self.id, kind: OpKind::Update });
+        let old = self.inner.swap(value, Ordering::SeqCst);
+        let outcome =
+            if old == value { Outcome::observed(OpKind::Update, old) } else { Outcome::Progress };
+        note(self.id, outcome);
+        old
+    }
+
+    fn fetch_add(&self, delta: u64) -> u64 {
+        step(Op { var: self.id, kind: OpKind::Update });
+        let old = self.inner.fetch_add(delta, Ordering::SeqCst);
+        let outcome =
+            if delta == 0 { Outcome::observed(OpKind::Update, old) } else { Outcome::Progress };
+        note(self.id, outcome);
+        old
+    }
+
+    fn fetch_sub(&self, delta: u64) -> u64 {
+        step(Op { var: self.id, kind: OpKind::Update });
+        let old = self.inner.fetch_sub(delta, Ordering::SeqCst);
+        let outcome =
+            if delta == 0 { Outcome::observed(OpKind::Update, old) } else { Outcome::Progress };
+        note(self.id, outcome);
+        old
+    }
+
+    fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64> {
+        step(Op { var: self.id, kind: OpKind::Update });
+        let r = self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+        let outcome = match r {
+            Ok(old) if old != new => Outcome::Progress,
+            Ok(old) | Err(old) => Outcome::observed(OpKind::Update, old),
+        };
+        note(self.id, outcome);
+        r
+    }
+}
+
+impl fmt::Debug for SchedWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SchedWord(v{} = {})", self.id, self.inner.load(Ordering::SeqCst))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Task-side plumbing
+// ---------------------------------------------------------------------
+
+struct TaskCtx {
+    id: usize,
+    shared: Arc<Shared>,
+    /// True while the task holds a grant it has not yet spent on an
+    /// operation (set by the pre-body wait and consumed by the first op).
+    primed: Cell<bool>,
+}
+
+thread_local! {
+    static TASK: RefCell<Option<TaskCtx>> = const { RefCell::new(None) };
+}
+
+/// The yield point: ends the calling task's current turn (if any) and
+/// blocks until the controller grants it the next one. No-op on threads
+/// that are not scheduler tasks.
+fn step(op: Op) {
+    TASK.with(|t| {
+        if let Some(ctx) = t.borrow().as_ref() {
+            ctx.step(op);
+        }
+    });
+}
+
+/// What a completed operation revealed, for stall tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// The operation changed the variable (or published a value): the
+    /// performer is live, and spinners on this variable must be rechecked.
+    Progress,
+    /// The operation was futile — a load, a same-value swap, a failed CAS
+    /// — keyed so repeats are recognizable.
+    Observation(Observed),
+}
+
+impl Outcome {
+    /// A futile operation, keyed so that "same kind of op seeing the same
+    /// value" compares equal and anything else breaks the streak.
+    fn observed(kind: OpKind, value: u64) -> Self {
+        Outcome::Observation(Observed { kind, value })
+    }
+}
+
+/// Exact identity of a futile operation's observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Observed {
+    kind: OpKind,
+    value: u64,
+}
+
+/// Records what a scheduled operation revealed: observations feed the
+/// performer's stall streak; progress clears it and re-enables every task
+/// spinning on the touched variable. No-op off scheduler tasks.
+fn note(var: u32, outcome: Outcome) {
+    TASK.with(|t| {
+        if let Some(ctx) = t.borrow().as_ref() {
+            let mut st = ctx.shared.lock_state();
+            if st.poisoned {
+                return;
+            }
+            match outcome {
+                Outcome::Observation(obs) => {
+                    let stall = &mut st.stall[ctx.id];
+                    if stall.last == Some((var, obs)) {
+                        stall.streak += 1;
+                    } else {
+                        stall.last = Some((var, obs));
+                        stall.streak = 1;
+                    }
+                }
+                Outcome::Progress => {
+                    let me = ctx.id;
+                    for (i, stall) in st.stall.iter_mut().enumerate() {
+                        if i == me || stall.last.map(|(v, _)| v) == Some(var) {
+                            *stall = Stall::default();
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Explicit yield point for harness code that wants a scheduling
+/// opportunity without touching a shared variable (e.g. between two
+/// critical-section phases). No-op off scheduler tasks.
+pub fn yield_point() {
+    step(Op { var: u32::MAX, kind: OpKind::Update });
+    note(u32::MAX, Outcome::Progress);
+}
+
+impl TaskCtx {
+    fn step(&self, op: Op) {
+        let mut st = self.shared.lock_state();
+        if st.poisoned {
+            // Teardown in progress. This call may be a guard drop running
+            // *during* the abort unwind — panicking again would abort the
+            // process — so just let the operation run natively.
+            return;
+        }
+        if self.primed.get() {
+            // The pre-body grant covers the first operation.
+            debug_assert_eq!(st.current, Some(self.id));
+            self.primed.set(false);
+        } else {
+            debug_assert_eq!(st.current, Some(self.id), "step without holding the turn");
+            st.current = None;
+            st.waiting[self.id] = true;
+            st.pending[self.id] = Some(op);
+            self.shared.cv.notify_all();
+            st = self.shared.wait_until(st, |s| s.poisoned || s.current == Some(self.id));
+            if st.poisoned {
+                st.waiting[self.id] = false;
+                drop(st);
+                panic::panic_any(ABORT_PAYLOAD);
+            }
+            st.waiting[self.id] = false;
+        }
+        // Stall bookkeeping happens *after* the operation executes (the
+        // `note` calls in the backend impls), when its futility is known.
+    }
+
+    /// Pre-body wait: parks until the controller grants the first turn.
+    fn first_wait(&self) {
+        let mut st = self.shared.lock_state();
+        st.waiting[self.id] = true;
+        self.shared.cv.notify_all();
+        st = self.shared.wait_until(st, |s| s.poisoned || s.current == Some(self.id));
+        if st.poisoned {
+            st.waiting[self.id] = false;
+            drop(st);
+            panic::panic_any(ABORT_PAYLOAD);
+        }
+        st.waiting[self.id] = false;
+        self.primed.set(true);
+    }
+}
+
+fn task_main(id: usize, shared: Arc<Shared>, body: Box<dyn FnOnce() + Send>) {
+    TASK.with(|t| {
+        *t.borrow_mut() =
+            Some(TaskCtx { id, shared: Arc::clone(&shared), primed: Cell::new(false) });
+    });
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        TASK.with(|t| t.borrow().as_ref().unwrap().first_wait());
+        body();
+    }));
+    // Deregister *before* publishing completion so late operations (e.g.
+    // thread-local destructors) run natively instead of deadlocking on a
+    // turn that will never be granted.
+    TASK.with(|t| *t.borrow_mut() = None);
+    let mut st = shared.lock_state();
+    if st.current == Some(id) {
+        st.current = None;
+    }
+    st.finished[id] = true;
+    if let Err(payload) = result {
+        let is_abort = payload.downcast_ref::<&str>() == Some(&ABORT_PAYLOAD);
+        if !is_abort {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            st.panics[id] = Some(msg);
+        }
+    }
+    shared.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// Controller state
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Stall {
+    last: Option<(u32, Observed)>,
+    streak: u32,
+}
+
+impl Stall {
+    fn stalled(&self) -> bool {
+        self.streak >= STALL_LIMIT
+    }
+}
+
+struct State {
+    current: Option<usize>,
+    waiting: Vec<bool>,
+    finished: Vec<bool>,
+    panics: Vec<Option<String>>,
+    pending: Vec<Option<Op>>,
+    stall: Vec<Stall>,
+    poisoned: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn new(n: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                current: None,
+                waiting: vec![false; n],
+                finished: vec![false; n],
+                panics: vec![None; n],
+                pending: vec![None; n],
+                stall: vec![Stall::default(); n],
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("scheduler state mutex poisoned")
+    }
+
+    /// Waits on the condvar until `pred` holds, panicking if the protocol
+    /// wedges (no transition for [`WEDGE_TIMEOUT`]).
+    fn wait_until<'a>(
+        &'a self,
+        mut guard: MutexGuard<'a, State>,
+        pred: impl Fn(&State) -> bool,
+    ) -> MutexGuard<'a, State> {
+        while !pred(&guard) {
+            let (g, timeout) =
+                self.cv.wait_timeout(guard, WEDGE_TIMEOUT).expect("scheduler state mutex poisoned");
+            guard = g;
+            if timeout.timed_out() && !pred(&guard) {
+                panic!(
+                    "rmr-sched: protocol wedged (current={:?} waiting={:?} finished={:?})",
+                    guard.current, guard.waiting, guard.finished
+                );
+            }
+        }
+        guard
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// What a [`Strategy`] sees at each scheduling decision.
+#[derive(Debug)]
+pub struct PickView<'a> {
+    /// Strategy decisions made so far (confirmation-phase grants excluded).
+    pub decision: u64,
+    /// Tasks eligible to run: unfinished and not stalled. Never empty.
+    pub runnable: &'a [usize],
+    /// All unfinished tasks (runnable plus stalled spinners).
+    pub unfinished: &'a [usize],
+    /// Total number of tasks in the run.
+    pub n_tasks: usize,
+    /// The task granted the previous turn, if any.
+    pub last: Option<usize>,
+}
+
+/// A scheduling policy: picks, at every decision point, which task moves.
+///
+/// Implementations must be deterministic functions of their own state and
+/// the [`PickView`] — that is what makes a `(strategy, seed)` pair name an
+/// execution exactly.
+pub trait Strategy {
+    /// Picks the next task to run from `view.runnable`.
+    fn pick(&mut self, view: &PickView<'_>) -> usize;
+}
+
+/// Fair deterministic baseline: cycles through runnable tasks in id order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Strategy for RoundRobin {
+    fn pick(&mut self, view: &PickView<'_>) -> usize {
+        let t = view.runnable.iter().copied().find(|&t| t >= self.next).unwrap_or(view.runnable[0]);
+        self.next = t + 1;
+        t
+    }
+}
+
+/// Replays a recorded decision sequence (a failure's `schedule`), then
+/// falls back to round-robin once the recording is exhausted.
+///
+/// Because every other source of nondeterminism is excluded, replaying the
+/// decisions of a failing run reproduces it exactly — this is the
+/// single-line replay the checker prints on failure.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    decisions: Vec<u16>,
+    pos: usize,
+    tail: RoundRobin,
+}
+
+impl Replay {
+    /// Builds a replayer from a recorded decision sequence.
+    pub fn new(decisions: Vec<u16>) -> Self {
+        Self { decisions, pos: 0, tail: RoundRobin::default() }
+    }
+}
+
+impl Strategy for Replay {
+    fn pick(&mut self, view: &PickView<'_>) -> usize {
+        if let Some(&t) = self.decisions.get(self.pos) {
+            self.pos += 1;
+            let t = t as usize;
+            assert!(
+                view.runnable.contains(&t),
+                "replay diverged: recorded task {t} is not runnable at decision {} \
+                 (runnable {:?})",
+                self.pos - 1,
+                view.runnable
+            );
+            return t;
+        }
+        self.tail.pick(view)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The controller
+// ---------------------------------------------------------------------
+
+/// Why a scheduled run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// Every unfinished task is spinning on a variable nobody will ever
+    /// change (confirmed by a bounded grace phase).
+    Deadlock {
+        /// One line per wedged task: its id and the operation it repeats.
+        wedged: Vec<String>,
+    },
+    /// The step budget ran out before all tasks finished — livelock or a
+    /// budget set too low for the workload.
+    Budget {
+        /// The exhausted budget.
+        steps: u64,
+    },
+    /// A task panicked (an oracle violation or a bug in the code under
+    /// test).
+    Panic {
+        /// Which task panicked.
+        task: usize,
+        /// Its panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Deadlock { wedged } => {
+                write!(f, "deadlock: {}", wedged.join("; "))
+            }
+            RunError::Budget { steps } => write!(f, "step budget ({steps}) exhausted"),
+            RunError::Panic { task, message } => write!(f, "task {task} panicked: {message}"),
+        }
+    }
+}
+
+/// Result of one scheduled execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Turns granted, including deadlock-confirmation grants.
+    pub steps: u64,
+    /// The strategy's decisions, in order — feed to [`Replay`] to
+    /// reproduce this execution exactly.
+    pub schedule: Vec<u16>,
+    /// `Ok(())` if every task ran to completion under the oracles.
+    pub result: Result<(), RunError>,
+}
+
+/// Runs `bodies` (one OS thread each) to completion under `strategy`,
+/// granting at most `budget` turns. See the module docs for the execution
+/// model.
+///
+/// Construct every lock and every [`Sched`] variable *before* calling this
+/// (on the calling thread), and size step budgets generously: a correct
+/// lock under a fair-ish strategy finishes small configurations in well
+/// under a thousand steps.
+///
+/// # Panics
+///
+/// Panics if `bodies` is empty, has more than `u16::MAX` tasks, or if the
+/// turn protocol itself wedges (a bug in this module, not in the code
+/// under test).
+pub fn run_tasks(
+    bodies: Vec<Box<dyn FnOnce() + Send>>,
+    strategy: &mut dyn Strategy,
+    budget: u64,
+) -> RunOutcome {
+    let n = bodies.len();
+    assert!(n > 0, "run_tasks needs at least one task");
+    assert!(n <= u16::MAX as usize, "too many tasks");
+    let shared = Arc::new(Shared::new(n));
+
+    let handles: Vec<_> = bodies
+        .into_iter()
+        .enumerate()
+        .map(|(id, body)| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rmr-sched-task-{id}"))
+                .spawn(move || task_main(id, shared, body))
+                .expect("spawning scheduler task thread")
+        })
+        .collect();
+
+    let mut steps: u64 = 0;
+    let mut schedule: Vec<u16> = Vec::new();
+    let mut last: Option<usize> = None;
+
+    // Arrival barrier: wait until every task is parked at its pre-body
+    // yield point (or already finished), so the first decision sees the
+    // full candidate set regardless of OS spawn timing.
+    let mut st = shared.lock_state();
+    st = shared
+        .wait_until(st, |s| (0..n).all(|i| s.waiting[i] || s.finished[i]) && s.current.is_none());
+
+    let result = 'run: loop {
+        let unfinished: Vec<usize> = (0..n).filter(|&i| !st.finished[i]).collect();
+        if unfinished.is_empty() {
+            break 'run Ok(());
+        }
+        if let Some(task) = (0..n).find(|&i| st.panics[i].is_some()) {
+            let message = st.panics[task].clone().unwrap();
+            break 'run Err(RunError::Panic { task, message });
+        }
+        if steps >= budget {
+            break 'run Err(RunError::Budget { steps });
+        }
+
+        let runnable: Vec<usize> =
+            unfinished.iter().copied().filter(|&i| !st.stall[i].stalled()).collect();
+
+        let pick = if runnable.is_empty() {
+            // All spinning: confirmation phase. Grant each wedged task a
+            // bounded number of extra turns (round-robin, deterministic);
+            // if any of them makes visible progress — a non-load op, or a
+            // load that sees a new value — normal scheduling resumes.
+            let mut revived = false;
+            'confirm: for _round in 0..CONFIRM_STEPS_PER_TASK {
+                for &t in &unfinished {
+                    if st.finished[t] || st.panics[t].is_some() {
+                        revived = true;
+                        break 'confirm;
+                    }
+                    st.current = Some(t);
+                    shared.cv.notify_all();
+                    st = shared.wait_until(st, |s| s.current.is_none());
+                    steps += 1;
+                    let someone_moved = (0..n).any(|i| !st.finished[i] && !st.stall[i].stalled());
+                    if someone_moved || (0..n).any(|i| st.panics[i].is_some()) {
+                        revived = true;
+                        break 'confirm;
+                    }
+                    if steps >= budget {
+                        break 'confirm;
+                    }
+                }
+            }
+            if revived || steps >= budget {
+                continue 'run;
+            }
+            let wedged = unfinished
+                .iter()
+                .map(|&i| {
+                    let op = st.pending[i];
+                    let seen = st.stall[i];
+                    match (op, seen.last) {
+                        (Some(op), Some((var, obs))) => format!(
+                            "task {i} spinning on v{var} (op {:?}, sees {}, ×{})",
+                            op.kind, obs.value, seen.streak
+                        ),
+                        _ => format!("task {i} wedged"),
+                    }
+                })
+                .collect();
+            break 'run Err(RunError::Deadlock { wedged });
+        } else {
+            let view = PickView {
+                decision: schedule.len() as u64,
+                runnable: &runnable,
+                unfinished: &unfinished,
+                n_tasks: n,
+                last,
+            };
+            let pick = strategy.pick(&view);
+            assert!(
+                runnable.contains(&pick),
+                "strategy picked task {pick}, not in runnable {runnable:?}"
+            );
+            schedule.push(pick as u16);
+            pick
+        };
+
+        last = Some(pick);
+        st.current = Some(pick);
+        shared.cv.notify_all();
+        st = shared.wait_until(st, |s| s.current.is_none());
+        steps += 1;
+    };
+
+    // Tear down: poison so parked tasks unwind instead of leaking, then
+    // reap every thread.
+    if result.is_err() {
+        st.poisoned = true;
+        shared.cv.notify_all();
+    }
+    st = shared.wait_until(st, |s| (0..n).all(|i| s.finished[i]));
+    drop(st);
+    for h in handles {
+        // Aborted tasks panicked by design; their join errors are expected.
+        let _ = h.join();
+    }
+
+    RunOutcome { steps, schedule, result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AndersonLock, RawMutex, TicketLock};
+    use std::sync::atomic::AtomicUsize;
+
+    fn boxed(f: impl FnOnce() + Send + 'static) -> Box<dyn FnOnce() + Send> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn unregistered_threads_run_natively() {
+        let w = <Sched as Backend>::Word::new(3);
+        assert_eq!(w.fetch_add(2), 3);
+        assert_eq!(w.load(), 5);
+        let b = <Sched as Backend>::Bool::new(false);
+        assert!(!b.swap(true));
+        assert_eq!(b.compare_exchange(true, false), Ok(true));
+    }
+
+    #[test]
+    fn round_robin_interleaves_deterministically() {
+        let run = || {
+            let w = Arc::new(<Sched as Backend>::Word::new(0));
+            let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for _ in 0..3 {
+                let w = Arc::clone(&w);
+                tasks.push(boxed(move || {
+                    for _ in 0..4 {
+                        w.fetch_add(1);
+                    }
+                }));
+            }
+            let out = run_tasks(tasks, &mut RoundRobin::default(), 1_000);
+            assert!(out.result.is_ok(), "{:?}", out.result);
+            (out.schedule, w.load())
+        };
+        let (s1, v1) = run();
+        let (s2, v2) = run();
+        assert_eq!(s1, s2, "same strategy, same schedule");
+        assert_eq!((v1, v2), (12, 12));
+    }
+
+    #[test]
+    fn spinning_task_is_descheduled_until_the_flag_flips() {
+        // Task 0 spins on a flag only task 1 sets. Round-robin would grant
+        // them alternately; the stall tracker must keep the run finite
+        // regardless of strategy.
+        let flag = Arc::new(<Sched as Backend>::Bool::new(false));
+        let f0 = Arc::clone(&flag);
+        let f1 = Arc::clone(&flag);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> =
+            vec![boxed(move || crate::spin_until(|| f0.load())), boxed(move || f1.store(true))];
+        let out = run_tasks(tasks, &mut RoundRobin::default(), 10_000);
+        assert!(out.result.is_ok(), "{:?}", out.result);
+        assert!(out.steps < 100, "stall detection failed: {} steps", out.steps);
+    }
+
+    #[test]
+    fn true_deadlock_is_reported() {
+        // Two tasks each spin on a flag only the other would set — after
+        // spinning. Classic circular wait.
+        let a = Arc::new(<Sched as Backend>::Bool::new(false));
+        let b = Arc::new(<Sched as Backend>::Bool::new(false));
+        let (a0, b0) = (Arc::clone(&a), Arc::clone(&b));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            boxed(move || {
+                crate::spin_until(|| a0.load());
+                b0.store(true);
+            }),
+            boxed(move || {
+                crate::spin_until(|| b1.load());
+                a1.store(true);
+            }),
+        ];
+        let out = run_tasks(tasks, &mut RoundRobin::default(), 100_000);
+        match out.result {
+            Err(RunError::Deadlock { ref wedged }) => {
+                assert_eq!(wedged.len(), 2, "{wedged:?}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn task_panic_is_surfaced_not_hung() {
+        let tasks: Vec<Box<dyn FnOnce() + Send>> =
+            vec![boxed(|| panic!("oracle says no")), boxed(|| {})];
+        let out = run_tasks(tasks, &mut RoundRobin::default(), 1_000);
+        match out.result {
+            Err(RunError::Panic { task: 0, ref message }) => {
+                assert!(message.contains("oracle says no"), "{message}");
+            }
+            other => panic!("expected task-0 panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let w = Arc::new(<Sched as Backend>::Word::new(0));
+        let w0 = Arc::clone(&w);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![boxed(move || {
+            for _ in 0..100 {
+                w0.fetch_add(1);
+            }
+        })];
+        let out = run_tasks(tasks, &mut RoundRobin::default(), 10);
+        assert_eq!(out.result, Err(RunError::Budget { steps: 10 }));
+    }
+
+    #[test]
+    fn replay_reproduces_a_recorded_schedule() {
+        let run = |strategy: &mut dyn Strategy| {
+            let w = Arc::new(<Sched as Backend>::Word::new(0));
+            let trace = Arc::new(Mutex::new(Vec::new()));
+            let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for id in 0..3u64 {
+                let w = Arc::clone(&w);
+                let trace = Arc::clone(&trace);
+                tasks.push(boxed(move || {
+                    for _ in 0..3 {
+                        let seen = w.fetch_add(1);
+                        trace.lock().unwrap().push((id, seen));
+                    }
+                }));
+            }
+            let out = run_tasks(tasks, strategy, 1_000);
+            assert!(out.result.is_ok());
+            let observed = trace.lock().unwrap().clone();
+            (out.schedule, observed)
+        };
+        let (schedule, trace1) = run(&mut RoundRobin::default());
+        let (schedule2, trace2) = run(&mut Replay::new(schedule.clone()));
+        assert_eq!(schedule, schedule2);
+        assert_eq!(trace1, trace2, "replay must reproduce the observable history");
+    }
+
+    #[test]
+    fn real_mutexes_run_under_the_scheduler() {
+        for capacity in [2usize, 4] {
+            let lock = Arc::new(AndersonLock::new_in(capacity, Sched));
+            let in_cs = Arc::new(AtomicUsize::new(0));
+            let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for _ in 0..2 {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                tasks.push(boxed(move || {
+                    for _ in 0..2 {
+                        let t = lock.lock();
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                        yield_point();
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                        lock.unlock(t);
+                    }
+                }));
+            }
+            let out = run_tasks(tasks, &mut RoundRobin::default(), 10_000);
+            assert!(out.result.is_ok(), "{:?}", out.result);
+        }
+
+        let lock = Arc::new(TicketLock::new_in(Sched));
+        let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for _ in 0..3 {
+            let lock = Arc::clone(&lock);
+            tasks.push(boxed(move || {
+                let t = lock.lock();
+                lock.unlock(t);
+            }));
+        }
+        let out = run_tasks(tasks, &mut RoundRobin::default(), 10_000);
+        assert!(out.result.is_ok(), "{:?}", out.result);
+    }
+
+    #[test]
+    fn backend_name() {
+        assert_eq!(Sched::NAME, "sched");
+    }
+}

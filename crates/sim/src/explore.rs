@@ -17,6 +17,7 @@
 use crate::cost::FreeModel;
 use crate::machine::{Algorithm, Phase, Role};
 use crate::mem::MemAccess;
+use crate::predicates::{rw_exclusion, Occupancy, StatePredicate};
 use crate::runner::Config;
 use std::collections::HashSet;
 use std::fmt;
@@ -51,7 +52,10 @@ impl<A: Algorithm> std::hash::Hash for Node<A> {
 }
 
 /// A state-dependent safety check, run in every reachable configuration.
-pub type StateCheck<'a, A> = &'a dyn Fn(&A, &Config<A>) -> Result<(), String>;
+/// Any `fn(&A, &Config<A>) -> Result<(), String>` (the invariant
+/// functions of [`crate::invariants`]) coerces to this via the
+/// [`StatePredicate`] blanket impl.
+pub type StateCheck<'a, A> = &'a dyn StatePredicate<A, Config<A>>;
 
 /// Result of an exploration.
 #[derive(Debug, Clone)]
@@ -126,7 +130,7 @@ pub fn explore<A: Algorithm>(
         // --- safety checks in this configuration ---
         check_exclusion(alg, &node.cfg, &mut report);
         for check in checks {
-            if let Err(msg) = check(alg, &node.cfg) {
+            if let Err(msg) = check.check(alg, &node.cfg) {
                 if report.violations.len() < 16 {
                     report.violations.push(format!("invariant: {msg} in {:?}", node.cfg.locals));
                 }
@@ -177,21 +181,21 @@ pub fn explore<A: Algorithm>(
 }
 
 fn check_exclusion<A: Algorithm>(alg: &A, cfg: &Config<A>, report: &mut ExploreReport) {
-    let mut writers_in = 0usize;
-    let mut readers_in = 0usize;
+    // Occupancy is derived from the phase map; the exclusion predicate
+    // itself is shared with the real-code checker (`rmr-check`).
+    let mut occ = Occupancy { writers: 0, readers: 0 };
     for p in 0..alg.processes() {
         if alg.phase(p, &cfg.locals[p]) == Phase::Cs {
             match alg.role(p) {
-                Role::Writer => writers_in += 1,
-                Role::Reader => readers_in += 1,
+                Role::Writer => occ.writers += 1,
+                Role::Reader => occ.readers += 1,
             }
         }
     }
-    if (writers_in > 1 || (writers_in == 1 && readers_in > 0)) && report.violations.len() < 16 {
-        report.violations.push(format!(
-            "P1 violated: {writers_in} writer(s) + {readers_in} reader(s) in CS; locals={:?}",
-            cfg.locals
-        ));
+    if let Err(msg) = rw_exclusion(occ) {
+        if report.violations.len() < 16 {
+            report.violations.push(format!("{msg}; locals={:?}", cfg.locals));
+        }
     }
 }
 

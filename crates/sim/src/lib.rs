@@ -17,6 +17,8 @@
 //!   adversary) and per-attempt logging (timing, steps, RMRs);
 //! * [`explore`] — exhaustive bounded model checking over all
 //!   interleavings;
+//! * [`predicates`] — the exclusion/deadlock safety predicates, shared
+//!   verbatim with the real-code checker (`rmr-check`);
 //! * [`props`] — checkers for the paper's properties P1–P7, RP1/RP2,
 //!   WP1/WP2;
 //! * [`trace`] — counterexample extraction (violations as replayable
@@ -61,6 +63,7 @@ pub mod explore;
 pub mod invariants;
 pub mod machine;
 pub mod mem;
+pub mod predicates;
 pub mod props;
 pub mod rng;
 pub mod runner;

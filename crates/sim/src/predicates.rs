@@ -1,0 +1,125 @@
+//! Safety predicates shared by the model checker and the real-code
+//! checker.
+//!
+//! Both exploration engines — [`crate::explore`] over the line-level
+//! re-encodings, and `rmr-check` over the *shipped* lock implementations —
+//! enforce the same exclusion properties: reader-writer exclusion (the
+//! paper's P1) and plain mutual exclusion for the mutex substrate. This
+//! module is the single statement of those predicates, so the two
+//! checkers cannot drift apart; each engine is responsible only for
+//! *observing* the occupancy counts it feeds in (the explorer derives them
+//! from phase maps, `rmr-check` from oracle counters updated at
+//! critical-section boundaries). The explorer's user-supplied invariants
+//! additionally plug in through the [`StatePredicate`] trait.
+
+use std::fmt;
+
+/// A safety predicate evaluated against an algorithm and one of its
+/// observed states.
+///
+/// The explorer's per-state checks ([`crate::explore::StateCheck`]) are
+/// trait objects of this, and the paper-invariant functions in
+/// [`crate::invariants`] implement it through the blanket closure impl —
+/// any `fn(&A, &S) -> Result<(), String>` is a predicate.
+pub trait StatePredicate<A: ?Sized, S: ?Sized> {
+    /// Evaluates the predicate; `Err` carries a human-readable violation.
+    fn check(&self, alg: &A, state: &S) -> Result<(), String>;
+}
+
+impl<A: ?Sized, S: ?Sized, F> StatePredicate<A, S> for F
+where
+    F: Fn(&A, &S) -> Result<(), String>,
+{
+    fn check(&self, alg: &A, state: &S) -> Result<(), String> {
+        self(alg, state)
+    }
+}
+
+/// Critical-section occupancy, as counted by whichever engine is
+/// observing: number of writers and readers simultaneously inside the CS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Writers currently in the critical section.
+    pub writers: usize,
+    /// Readers currently in the critical section.
+    pub readers: usize,
+}
+
+impl fmt::Display for Occupancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} writer(s) + {} reader(s)", self.writers, self.readers)
+    }
+}
+
+/// The paper's P1 (reader-writer exclusion): at most one writer, and never
+/// a writer together with a reader.
+///
+/// # Example
+///
+/// ```
+/// use rmr_sim::predicates::{rw_exclusion, Occupancy};
+///
+/// assert!(rw_exclusion(Occupancy { writers: 0, readers: 5 }).is_ok());
+/// assert!(rw_exclusion(Occupancy { writers: 1, readers: 0 }).is_ok());
+/// assert!(rw_exclusion(Occupancy { writers: 1, readers: 1 }).is_err());
+/// assert!(rw_exclusion(Occupancy { writers: 2, readers: 0 }).is_err());
+/// ```
+pub fn rw_exclusion(occ: Occupancy) -> Result<(), String> {
+    if occ.writers > 1 || (occ.writers == 1 && occ.readers > 0) {
+        Err(format!("P1 violated: {occ} in CS"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Plain mutual exclusion for the mutex substrate: at most one holder.
+///
+/// # Example
+///
+/// ```
+/// use rmr_sim::predicates::mutex_exclusion;
+///
+/// assert!(mutex_exclusion(1).is_ok());
+/// assert!(mutex_exclusion(2).is_err());
+/// ```
+pub fn mutex_exclusion(holders: usize) -> Result<(), String> {
+    if holders > 1 {
+        Err(format!("mutual exclusion violated: {holders} holders in CS"))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_exclusion_matches_p1() {
+        for readers in 0..4 {
+            assert!(rw_exclusion(Occupancy { writers: 0, readers }).is_ok());
+        }
+        assert!(rw_exclusion(Occupancy { writers: 1, readers: 0 }).is_ok());
+        for readers in 1..4 {
+            assert!(rw_exclusion(Occupancy { writers: 1, readers }).is_err());
+        }
+        assert!(rw_exclusion(Occupancy { writers: 2, readers: 0 }).is_err());
+    }
+
+    #[test]
+    fn closures_and_fn_items_are_state_predicates() {
+        fn takes<P: StatePredicate<str, usize>>(p: P, alg: &str, s: usize) -> Result<(), String> {
+            p.check(alg, &s)
+        }
+        fn fits(alg: &str, n: &usize) -> Result<(), String> {
+            if *n <= alg.len() {
+                Ok(())
+            } else {
+                Err(format!("{n} exceeds {}", alg.len()))
+            }
+        }
+        assert!(takes(fits, "abcd", 3).is_ok());
+        assert!(takes(fits, "abcd", 5).is_err());
+        assert!(takes(|_: &str, _: &usize| Ok(()), "x", 9).is_ok());
+    }
+}

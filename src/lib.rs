@@ -2,14 +2,19 @@
 //! *"Constant RMR Solutions to Reader Writer Synchronization"*
 //! (Dartmouth TR2010-662 / PODC 2010).
 //!
-//! Re-exports the four workspace crates under stable names:
+//! Re-exports the four library crates under stable names:
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `rmr-core` | the paper's five lock algorithms + typed `RwLock` API |
-//! | [`mutex`] | `rmr-mutex` | Anderson's array lock (the paper's `M`) and classic spin locks |
+//! | [`mutex`] | `rmr-mutex` | Anderson's array lock (the paper's `M`), classic spin locks, memory backends (incl. the `Sched` scheduling backend) |
 //! | [`baselines`] | `rmr-baselines` | the prior-art lock classes the paper improves on |
 //! | [`sim`] | `rmr-sim` | the abstract machine: model checking, RMR cost models, invariants |
+//!
+//! A fifth crate, `rmr-check` (deterministic schedule exploration of the
+//! shipped locks — PCT, bounded DFS, the mutation battery), is a
+//! dev-dependency only: it ships deliberately broken mutant locks for its
+//! battery, which must never reach this production facade.
 //!
 //! Most applications only need [`core`]. The lock is used exactly like
 //! `std::sync::RwLock` — pids are leased per thread behind the scenes:

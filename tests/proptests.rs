@@ -11,7 +11,9 @@
 //! * the pid registry never double-issues;
 //! * the DSM model charges an RMR exactly when the home differs.
 //!
-//! Every case is reproducible: failures print the case seed.
+//! Every case is reproducible: failures print the exact PRNG seed, and
+//! setting `RMR_TEST_SEED=<that seed>` makes every test here run *only*
+//! that seed — a printed failure replays as a single line.
 
 use rmrw::core::packed::{Packed, PackedFaa};
 use rmrw::sim::algos::fig1::Fig1;
@@ -26,14 +28,25 @@ use std::collections::HashSet;
 
 const CASES: u64 = 64;
 
+/// The PRNG seeds a test battery runs: the usual `tag + case` sweep, or —
+/// when `RMR_TEST_SEED` is set — exactly that one seed, so the seed a
+/// failure prints is directly replayable (`RMR_TEST_SEED=0x… cargo test`).
+fn case_seeds(tag: u64) -> Vec<u64> {
+    if std::env::var("RMR_TEST_SEED").is_ok() {
+        vec![rmr_check::env_seed(0)]
+    } else {
+        (0..CASES).map(|case| tag + case).collect()
+    }
+}
+
 // ---------------------------------------------------------------------
 // PackedFaa vs. a two-field reference model
 // ---------------------------------------------------------------------
 
 #[test]
 fn packed_faa_matches_reference_model() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0x9ac8_0000 + case);
+    for seed in case_seeds(0x9ac8_0000) {
+        let mut rng = SplitMix64::new(seed);
         let cell = PackedFaa::new();
         let mut readers = 0u64;
         let mut writer = false;
@@ -44,29 +57,29 @@ fn packed_faa_matches_reference_model() {
             match rng.gen_index(4) {
                 0 => {
                     let old = cell.add_reader();
-                    assert_eq!(old, Packed::new(writer, readers), "case {case}");
+                    assert_eq!(old, Packed::new(writer, readers), "seed {seed:#x}");
                     readers += 1;
                 }
                 1 if readers > 0 => {
                     let old = cell.sub_reader();
-                    assert_eq!(old, Packed::new(writer, readers), "case {case}");
+                    assert_eq!(old, Packed::new(writer, readers), "seed {seed:#x}");
                     readers -= 1;
                 }
                 2 if !writer => {
                     let old = cell.add_writer();
-                    assert_eq!(old, Packed::new(false, readers), "case {case}");
+                    assert_eq!(old, Packed::new(false, readers), "seed {seed:#x}");
                     writer = true;
                 }
                 3 if writer => {
                     let old = cell.sub_writer();
-                    assert_eq!(old, Packed::new(true, readers), "case {case}");
+                    assert_eq!(old, Packed::new(true, readers), "seed {seed:#x}");
                     writer = false;
                 }
                 _ => {}
             }
-            assert_eq!(cell.load(), Packed::new(writer, readers), "case {case}");
-            assert_eq!(cell.load().writer_waiting(), writer, "case {case}");
-            assert_eq!(cell.load().reader_count(), readers, "case {case}");
+            assert_eq!(cell.load(), Packed::new(writer, readers), "seed {seed:#x}");
+            assert_eq!(cell.load().writer_waiting(), writer, "seed {seed:#x}");
+            assert_eq!(cell.load().reader_count(), readers, "seed {seed:#x}");
         }
     }
 }
@@ -104,8 +117,8 @@ impl RefCc {
 
 #[test]
 fn cc_model_matches_reference() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0xcc00_0000 + case);
+    for seed in case_seeds(0xcc00_0000) {
+        let mut rng = SplitMix64::new(seed);
         let mut cc = CcModel::new(6, 4);
         let mut reference = RefCc::default();
         for _ in 0..rng.gen_index(300) {
@@ -114,7 +127,7 @@ fn cc_model_matches_reference() {
             let kind = if rng.gen_bool(0.5) { AccessKind::Update } else { AccessKind::Read };
             let got = cc.account(pid, rmrw::sim::mem::VarId::from_index(var), kind);
             let want = reference.account(pid, var, kind);
-            assert_eq!(got, want, "case {case}: divergence at pid={pid} var={var} {kind:?}");
+            assert_eq!(got, want, "seed {seed:#x}: divergence at pid={pid} var={var} {kind:?}");
         }
     }
 }
@@ -126,7 +139,7 @@ fn cc_model_matches_reference() {
 /// Drives `alg` with an arbitrary pid schedule, checking `check` after
 /// every step and exclusion throughout.
 fn drive<A: Algorithm>(
-    case: u64,
+    seed: u64,
     alg: A,
     schedule_len: usize,
     rng: &mut SplitMix64,
@@ -141,54 +154,54 @@ fn drive<A: Algorithm>(
         }
         let pid = runnable[rng.gen_index(runnable.len())];
         runner.step(pid);
-        assert!(runner.violations().is_empty(), "case {case}: P1: {:?}", runner.violations());
+        assert!(runner.violations().is_empty(), "seed {seed:#x}: P1: {:?}", runner.violations());
         if let Err(e) = check(runner.algorithm(), runner.config()) {
-            panic!("case {case}: invariant: {e}");
+            panic!("seed {seed:#x}: invariant: {e}");
         }
     }
     // No process may be wedged in a state it cannot leave while others are
     // parked: run a fair round-robin to completion as a liveness epilogue.
     let mut rr = RoundRobin::default();
     runner.run(&mut rr, 1_000_000);
-    assert!(runner.quiescent(), "case {case}: schedule left the system stuck");
-    assert!(runner.violations().is_empty(), "case {case}");
+    assert!(runner.quiescent(), "seed {seed:#x}: schedule left the system stuck");
+    assert!(runner.violations().is_empty(), "seed {seed:#x}");
 }
 
 #[test]
 fn fig1_invariants_hold_under_arbitrary_schedules() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0xf1a0_0000 + case);
+    for seed in case_seeds(0xf1a0_0000) {
+        let mut rng = SplitMix64::new(seed);
         let len = rng.gen_index(600);
-        drive(case, Fig1::new(3), len, &mut rng, 2, fig1_invariants);
+        drive(seed, Fig1::new(3), len, &mut rng, 2, fig1_invariants);
     }
 }
 
 #[test]
 fn fig2_invariants_hold_under_arbitrary_schedules() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0xf2a0_0000 + case);
+    for seed in case_seeds(0xf2a0_0000) {
+        let mut rng = SplitMix64::new(seed);
         let len = rng.gen_index(600);
-        drive(case, Fig2::new(3), len, &mut rng, 2, fig2_invariants);
+        drive(seed, Fig2::new(3), len, &mut rng, 2, fig2_invariants);
     }
 }
 
 #[test]
 fn fig4_safety_holds_under_arbitrary_schedules() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0xf4a0_0000 + case);
+    for seed in case_seeds(0xf4a0_0000) {
+        let mut rng = SplitMix64::new(seed);
         let len = rng.gen_index(600);
-        drive(case, Fig4::new(2, 2), len, &mut rng, 2, |_, _| Ok(()));
+        drive(seed, Fig4::new(2, 2), len, &mut rng, 2, |_, _| Ok(()));
     }
 }
 
 #[test]
 fn fig1_writer_in_cs_excludes_everyone() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0xf1b0_0000 + case);
+    for seed in case_seeds(0xf1b0_0000) {
+        let mut rng = SplitMix64::new(seed);
         let len = rng.gen_index(400);
         // Redundant with the runner's online check, but stated directly
         // from phases as the paper states P1.
-        drive(case, Fig1::new(2), len, &mut rng, 2, |alg, cfg| {
+        drive(seed, Fig1::new(2), len, &mut rng, 2, |alg, cfg| {
             let in_cs: Vec<usize> = (0..alg.processes())
                 .filter(|&p| alg.phase(p, &cfg.locals[p]) == Phase::Cs)
                 .collect();
@@ -208,23 +221,23 @@ fn fig1_writer_in_cs_excludes_everyone() {
 #[test]
 fn registry_never_double_allocates() {
     use rmrw::core::registry::PidRegistry;
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0x81e6_0000 + case);
+    for seed in case_seeds(0x81e6_0000) {
+        let mut rng = SplitMix64::new(seed);
         let reg = PidRegistry::new(8);
         let mut held: Vec<rmrw::core::Pid> = Vec::new();
         for _ in 0..rng.gen_index(200) {
             if rng.gen_bool(0.5) {
                 match reg.allocate() {
                     Ok(pid) => {
-                        assert!(!held.contains(&pid), "case {case}: pid {pid} issued twice");
+                        assert!(!held.contains(&pid), "seed {seed:#x}: pid {pid} issued twice");
                         held.push(pid);
                     }
-                    Err(_) => assert_eq!(held.len(), 8, "case {case}: spurious exhaustion"),
+                    Err(_) => assert_eq!(held.len(), 8, "seed {seed:#x}: spurious exhaustion"),
                 }
             } else if let Some(pid) = held.pop() {
                 reg.release(pid);
             }
-            assert_eq!(reg.allocated(), held.len(), "case {case}");
+            assert_eq!(reg.allocated(), held.len(), "seed {seed:#x}");
         }
     }
 }
@@ -235,8 +248,8 @@ fn registry_never_double_allocates() {
 
 #[test]
 fn dsm_model_matches_definition() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0xd500_0000 + case);
+    for seed in case_seeds(0xd500_0000) {
+        let mut rng = SplitMix64::new(seed);
         let n_vars = 1 + rng.gen_index(5);
         let homes: Vec<usize> = (0..n_vars).map(|_| rng.gen_index(4)).collect();
         let mut dsm = DsmModel::new(homes.clone());
@@ -245,7 +258,7 @@ fn dsm_model_matches_definition() {
             let var = rng.gen_index(n_vars);
             let kind = if rng.gen_bool(0.5) { AccessKind::Update } else { AccessKind::Read };
             let got = dsm.account(pid, rmrw::sim::mem::VarId::from_index(var), kind);
-            assert_eq!(got, homes[var] != pid, "case {case}");
+            assert_eq!(got, homes[var] != pid, "seed {seed:#x}");
         }
     }
 }

@@ -17,6 +17,7 @@ use rmr_baselines::{
 };
 use rmr_bench::cli::{json_string, BenchArgs};
 use rmr_bench::workloads::{run_mixed, Workload};
+use rmr_bravo::Bravo;
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
 use rmr_core::raw::RawRwLock;
 use rmr_core::registry::Pid;
@@ -142,6 +143,20 @@ fn main() {
     );
     throughput(&mut tp, "tournament-tree", || TournamentRwLock::new(THREADS), ops_per_thread, reps);
     throughput(&mut tp, "std-rwlock", || StdRwLock::new(THREADS), ops_per_thread, reps);
+    throughput(
+        &mut tp,
+        "bravo-ticket-rw",
+        || Bravo::new(TicketRwLock::new(THREADS)),
+        ops_per_thread,
+        reps,
+    );
+    throughput(
+        &mut tp,
+        "bravo-fig3-sf",
+        || Bravo::new(MwmrStarvationFree::new(THREADS)),
+        ops_per_thread,
+        reps,
+    );
 
     let mut un: Vec<UncontendedEntry> = Vec::new();
     uncontended(&mut un, "fig3-starvation-free", &MwmrStarvationFree::new(4), iters);
@@ -153,6 +168,8 @@ fn main() {
     uncontended(&mut un, "tournament-tree-n4", &TournamentRwLock::new(4), iters);
     uncontended(&mut un, "tournament-tree-n64", &TournamentRwLock::new(64), iters);
     uncontended(&mut un, "std-rwlock", &StdRwLock::new(4), iters);
+    uncontended(&mut un, "bravo-ticket-rw", &Bravo::new(TicketRwLock::new(4)), iters);
+    uncontended(&mut un, "bravo-fig3-sf", &Bravo::new(MwmrStarvationFree::new(4)), iters);
 
     // One blob, hand-rolled (the workspace carries no serialization dep).
     println!("{{");

@@ -15,6 +15,7 @@
 //! ```
 
 use rmr_bench::cli::{BenchArgs, Table};
+use rmr_bravo::{Bravo, BravoConfig};
 use rmr_check::exhaustive;
 use rmr_check::harness::{
     mutex_trial, randomized_batteries, rw_trial, try_rw_trial, CheckReport, Scenario, Trial,
@@ -113,6 +114,56 @@ fn main() {
             )
         };
         reports.extend(run_modes("ticket-rw-try", big, None, &budgets));
+    }
+
+    // The Bravo wrapper (rmr-bravo): wrapper state and inner lock both
+    // over `Sched`, small tables so collisions occur and the revocation
+    // scan stays cheap per schedule. Quiescence = table fully drained
+    // (plus the inner lock's own notion where one exists).
+    let bravo_cfg = BravoConfig { table_slots: 4, rebias_after: 2, initial_bias: true };
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            let lock = Arc::new(Bravo::new_in(
+                rmr_baselines::TicketRwLock::new_in(8, Sched),
+                bravo_cfg,
+                Sched,
+            ));
+            let q = Arc::clone(&lock);
+            rw_trial(lock, Scenario::new(2, 1, 2), move || q.is_quiescent())
+        };
+        let small: &dyn Fn() -> Trial = &|| {
+            let lock = Arc::new(Bravo::new_in(
+                rmr_baselines::TicketRwLock::new_in(8, Sched),
+                BravoConfig { table_slots: 2, ..bravo_cfg },
+                Sched,
+            ));
+            let q = Arc::clone(&lock);
+            rw_trial(lock, Scenario::new(1, 1, 1), move || q.is_quiescent())
+        };
+        reports.extend(run_modes("bravo-ticket-rw", big, Some(small), &budgets));
+    }
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            let lock =
+                Arc::new(Bravo::new_in(MwmrStarvationFree::new_in(3, Sched), bravo_cfg, Sched));
+            let q = Arc::clone(&lock);
+            rw_trial(lock, Scenario::new(2, 1, 2), move || {
+                q.is_quiescent() && q.inner().is_quiescent()
+            })
+        };
+        reports.extend(run_modes("bravo-fig3-sf", big, None, &budgets));
+    }
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            let lock = Arc::new(Bravo::new_in(
+                rmr_baselines::TicketRwLock::new_in(8, Sched),
+                bravo_cfg,
+                Sched,
+            ));
+            let q = Arc::clone(&lock);
+            try_rw_trial(lock, Scenario::new(2, 1, 2), move || q.is_quiescent())
+        };
+        reports.extend(run_modes("bravo-ticket-rw-try", big, None, &budgets));
     }
 
     let mut table = Table::new(&[

@@ -84,6 +84,59 @@ pub fn run_mixed<L: RawRwLock + 'static>(
     WorkloadResult { ops: (workload.threads * workload.ops_per_thread) as u64, elapsed }
 }
 
+/// Runs a read-mostly workload where **only thread 0 ever writes**: the
+/// designated writer flips a seeded coin per operation (read with
+/// probability `read_ratio`), every other thread reads unconditionally.
+/// Single-writer-safe by construction, so the same driver measures the
+/// SWMR locks (Figures 1–2) and the multi-writer ones — which is what the
+/// Bravo read-mostly sweep (`bravo_table`) needs. With `read_ratio = 1.0`
+/// nobody writes at all (the 100% mix). Panics on lost updates like
+/// [`run_mixed`].
+pub fn run_read_mostly<L: RawRwLock + 'static>(
+    lock: Arc<L>,
+    workload: Workload,
+    seed: u64,
+) -> WorkloadResult {
+    assert!(workload.threads <= lock.max_processes());
+    let counter = Arc::new(AtomicU64::new(0));
+    let writes_done = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..workload.threads {
+        let lock = Arc::clone(&lock);
+        let counter = Arc::clone(&counter);
+        let writes_done = Arc::clone(&writes_done);
+        handles.push(std::thread::spawn(move || {
+            let pid = Pid::from_index(t);
+            let mut rng = SplitMix64::new(seed ^ (t as u64) << 32);
+            let mut local_writes = 0u64;
+            for _ in 0..workload.ops_per_thread {
+                if t != 0 || rng.gen_bool(workload.read_ratio) {
+                    let tok = lock.read_lock(pid);
+                    std::hint::black_box(counter.load(Ordering::Relaxed));
+                    lock.read_unlock(pid, tok);
+                } else {
+                    let tok = lock.write_lock(pid);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    local_writes += 1;
+                    lock.write_unlock(pid, tok);
+                }
+            }
+            writes_done.fetch_add(local_writes, Ordering::SeqCst);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(
+        counter.load(Ordering::SeqCst),
+        writes_done.load(Ordering::SeqCst),
+        "lost update under {workload:?}"
+    );
+    WorkloadResult { ops: (workload.threads * workload.ops_per_thread) as u64, elapsed }
+}
+
 /// E9 measurement: writer entry latency while `reader_threads` churn reads
 /// continuously. Returns per-write-attempt latencies.
 pub fn writer_latency_under_read_storm<L: RawRwLock + 'static>(
@@ -144,6 +197,15 @@ mod tests {
             run_mixed(lock, Workload { threads: 4, read_ratio: 0.7, ops_per_thread: 200 }, 42);
         assert_eq!(res.ops, 800);
         assert!(res.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn read_mostly_single_writer_loses_no_updates() {
+        // Safe on a single-writer lock: only thread 0 writes.
+        let lock = Arc::new(rmr_core::swmr::SwmrWriterPriority::new());
+        let res =
+            run_read_mostly(lock, Workload { threads: 4, read_ratio: 0.9, ops_per_thread: 200 }, 7);
+        assert_eq!(res.ops, 800);
     }
 
     #[test]

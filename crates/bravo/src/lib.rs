@@ -1,0 +1,706 @@
+//! **rmr-bravo** — a reader-biased fast path over *any* reader-writer
+//! lock, after Dice & Kogan's BRAVO (*"BRAVO — Biased Locking for
+//! Reader-Writer Locks"*, USENIX ATC 2019; PAPERS.md).
+//!
+//! The paper's locks achieve O(1) RMR, but every reader still performs at
+//! least one store to a *shared* gate or indicator on the hot path; under
+//! read-mostly traffic those stores are the coherence bottleneck. BRAVO's
+//! observation is that the reader path of an existing lock can be skipped
+//! entirely while the lock is **biased** toward readers: a reader instead
+//! publishes itself in a *distributed visible-readers table* (one slot per
+//! cache line, chosen by hashing the reader's pid), and a writer **revokes**
+//! the bias — flip the bias word off, then scan the table and wait for
+//! every published reader to drain — before entering its critical section.
+//!
+//! [`Bravo<L, B>`] packages that protocol as a wrapper implementing
+//! [`RawRwLock`] around any inner lock `L: RawRwLock`, so every consumer of
+//! the capability tier — the typed [`RwLock`](rmr_core::rwlock::RwLock)
+//! front end, the benches, the `rmr-check` schedule explorer — works
+//! unchanged. Like every lock in this workspace it is generic over the
+//! memory backend `B` ([`Native`] by default), so the fast path can be
+//! RMR-accounted with `Counting` and model-checked with `Sched` on the
+//! *shipped* code.
+//!
+//! # The protocol
+//!
+//! Shared state added by the wrapper: a bias flag `rbias`, a fixed-capacity
+//! table of cache-padded slots (`0` = empty, else `pid + 1`), and a
+//! slow-read counter for the re-bias policy.
+//!
+//! * **Reader fast path.** If `rbias` is set, CAS the slot `hash(pid)` from
+//!   empty to `pid + 1`, then **re-check** `rbias`. Still set → the reader
+//!   is in (zero operations on the inner lock). Cleared → a revocation is
+//!   racing; retract the slot and fall back to the slow path. A CAS lost to
+//!   a hash collision also falls back. Fast unlock is one store (slot ←
+//!   empty) to the reader's *own* cache line.
+//! * **Reader slow path.** `inner.read_lock`, exactly as without the
+//!   wrapper, plus one counter bump for the re-bias policy.
+//! * **Writer.** `inner.write_lock` first; then, if `rbias` is set: clear
+//!   it and scan the table, waiting for each published slot to drain.
+//!   Writer unlock is a pure pass-through.
+//! * **Re-bias.** Revocation leaves the bias off (readers go through `L`
+//!   again). After `rebias_after` slow reads, the slow path switches the
+//!   bias back on. The policy is a deterministic counter — **time-free by
+//!   design**, unlike the original BRAVO's timestamp inhibition — so
+//!   schedules under the `Sched` backend replay bit-for-bit.
+//!
+//! # Why revocation preserves exclusion
+//!
+//! The exclusion predicate (`rmr_sim::predicates::rw_exclusion`, P1) needs:
+//! no fast reader inside its read session while the writer is in the CS.
+//! The writer's order is *clear `rbias`, then scan*; the reader's order is
+//! *publish, then re-check `rbias`*. All operations are SeqCst, so in the
+//! total order either the reader's re-check precedes the writer's clear —
+//! then the publish precedes the scan and the writer waits for that slot —
+//! or the re-check observes the cleared flag and the reader retracts
+//! without ever entering. There is no third interleaving; the re-check
+//! after publish is the linchpin (and exactly what the seeded
+//! `SkipRevocationScan` mutant in `rmr-check` breaks).
+//!
+//! # RMR cost — an honest accounting
+//!
+//! Readers get cheaper: in the biased steady state a read passage performs
+//! **zero** operations on the inner lock and only own-cache-line traffic on
+//! the table (the CC model charges nothing for a sole-holder update).
+//! Writers pay: a revoking writer's scan is **O(table size)** RMRs on top
+//! of the inner lock's cost — the wrapper deliberately trades the paper's
+//! per-writer O(1) bound for reader throughput, which is the right trade
+//! only for read-mostly traffic. `bravo_table` in `rmr-bench` measures
+//! both sides.
+//!
+//! # Example
+//!
+//! ```
+//! use rmr_bravo::Bravo;
+//! use rmr_core::mwmr::MwmrStarvationFree;
+//! use rmr_core::RwLock;
+//!
+//! // Any RawRwLock can be wrapped; multi-writer inner locks keep the
+//! // typed write path.
+//! let lock = RwLock::with_raw(0u64, Bravo::new(MwmrStarvationFree::new(8)));
+//! *lock.write() += 1;
+//! assert_eq!(*lock.read(), 1);
+//! ```
+//!
+//! Wrapping a single-writer lock keeps the compile-time write restriction:
+//! `Bravo<L>` implements [`RawMultiWriter`] only when `L` does.
+//!
+//! ```compile_fail
+//! use rmr_bravo::Bravo;
+//! use rmr_core::swmr::SwmrWriterPriority;
+//! use rmr_core::RwLock;
+//!
+//! let lock = RwLock::with_raw_and_capacity(0u32, Bravo::new(SwmrWriterPriority::new()), 2);
+//! let _ = lock.write(); // ERROR: Bravo<SwmrWriterPriority> is not RawMultiWriter
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
+use rmr_core::registry::Pid;
+use rmr_mutex::mem::{Backend, Native, SharedBool, SharedWord};
+use rmr_mutex::{spin_until, CachePadded};
+use std::fmt;
+
+/// An empty visible-readers slot; published slots hold `pid + 1`.
+const EMPTY: u64 = 0;
+
+/// Fibonacci-hash multiplier for spreading pids over the table.
+const HASH_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Configuration of the wrapper's table and re-bias policy.
+///
+/// # Example
+///
+/// ```
+/// use rmr_bravo::{Bravo, BravoConfig};
+/// use rmr_baselines::TicketRwLock;
+///
+/// let cfg = BravoConfig { table_slots: 8, rebias_after: 4, ..BravoConfig::default() };
+/// let lock = Bravo::with_config(TicketRwLock::new(4), cfg);
+/// assert_eq!(lock.table_slots(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BravoConfig {
+    /// Visible-readers slots (rounded up to a power of two, min 1). More
+    /// slots mean fewer hash collisions (collisions fall back to the slow
+    /// path) but a longer revocation scan for writers.
+    pub table_slots: usize,
+    /// Slow reads after a revocation before the bias switches back on;
+    /// `0` disables re-biasing (one revocation turns the wrapper off for
+    /// good). Deliberately a counter, not a clock: the policy must be
+    /// deterministic under the `Sched` backend.
+    pub rebias_after: u32,
+    /// Whether the lock starts biased toward readers.
+    pub initial_bias: bool,
+}
+
+impl Default for BravoConfig {
+    fn default() -> Self {
+        Self { table_slots: 64, rebias_after: 64, initial_bias: true }
+    }
+}
+
+/// Proof of a held [`Bravo`] read session: either a published table slot
+/// (fast path) or the inner lock's own token (slow path).
+pub struct BravoReadToken<T> {
+    path: ReadPath<T>,
+}
+
+enum ReadPath<T> {
+    Fast { slot: usize },
+    Slow(T),
+}
+
+impl<T> BravoReadToken<T> {
+    /// True if this session took the biased fast path (never touched the
+    /// inner lock).
+    pub fn is_fast(&self) -> bool {
+        matches!(self.path, ReadPath::Fast { .. })
+    }
+}
+
+impl<T> fmt::Debug for BravoReadToken<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.path {
+            ReadPath::Fast { slot } => {
+                f.debug_struct("BravoReadToken::Fast").field("slot", slot).finish()
+            }
+            ReadPath::Slow(_) => f.debug_struct("BravoReadToken::Slow").finish_non_exhaustive(),
+        }
+    }
+}
+
+/// A reader-biased fast path bolted onto the inner lock `L` (see the
+/// module docs for the protocol).
+///
+/// Implements [`RawRwLock`] always, and passes through the capability
+/// tier: [`RawTryReadLock`] where `L` has it, [`RawTryRwLock`] where `L`
+/// has it, and (crucially for the typed front end) [`RawMultiWriter`]
+/// **only** where `L` is one — wrapping a single-writer algorithm keeps
+/// `RwLock::write()` a compile error.
+pub struct Bravo<L, B: Backend = Native> {
+    inner: L,
+    /// The bias word: readers may use the table iff set.
+    rbias: B::Bool,
+    /// Slow reads since construction; drives the counter re-bias policy.
+    slow_reads: B::Word,
+    /// Completed revocations (diagnostics; bumped inside the writer's
+    /// already-expensive revocation, never on a reader path).
+    revocations: B::Word,
+    /// The visible-readers table, one slot per cache line.
+    slots: Box<[CachePadded<B::Word>]>,
+    rebias_after: u64,
+}
+
+impl<L: RawRwLock> Bravo<L> {
+    /// Wraps `inner` with the default [`BravoConfig`] over the [`Native`]
+    /// backend.
+    pub fn new(inner: L) -> Self {
+        Self::with_config(inner, BravoConfig::default())
+    }
+
+    /// Wraps `inner` with an explicit configuration over [`Native`].
+    pub fn with_config(inner: L, config: BravoConfig) -> Self {
+        Self::new_in(inner, config, Native)
+    }
+}
+
+impl<L: RawRwLock, B: Backend> Bravo<L, B> {
+    /// Wraps `inner` over the given memory backend. The wrapper's own
+    /// shared variables (bias word, table, counters) live on `B`; the
+    /// inner lock keeps whatever backend it was built with, which is what
+    /// lets a `Counting` inner lock prove the fast path performs zero
+    /// operations on it.
+    pub fn new_in(inner: L, config: BravoConfig, _backend: B) -> Self {
+        let slots = config.table_slots.max(1).next_power_of_two();
+        Self {
+            inner,
+            rbias: B::Bool::new(config.initial_bias),
+            slow_reads: B::Word::new(0),
+            revocations: B::Word::new(0),
+            slots: (0..slots).map(|_| CachePadded::new(B::Word::new(EMPTY))).collect(),
+            rebias_after: u64::from(config.rebias_after),
+        }
+    }
+
+    /// The wrapped lock.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Number of visible-readers slots (a power of two).
+    pub fn table_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the lock is currently biased toward readers.
+    pub fn bias(&self) -> bool {
+        self.rbias.load()
+    }
+
+    /// Completed bias revocations so far.
+    pub fn revocations(&self) -> u64 {
+        self.revocations.load()
+    }
+
+    /// Number of currently published visible-reader slots.
+    pub fn published(&self) -> usize {
+        self.slots.iter().filter(|s| s.load() != EMPTY).count()
+    }
+
+    /// The table slot `pid` hashes to (exposed so tests and the bench
+    /// verifier can reason about collisions).
+    pub fn slot_index(&self, pid: Pid) -> usize {
+        ((pid.index() as u64).wrapping_mul(HASH_MUL) >> 33) as usize & (self.slots.len() - 1)
+    }
+
+    /// Checker entry point: the visible-readers table has fully drained.
+    /// At-rest bias may legitimately be either value (it records history,
+    /// not occupancy); combine with the inner lock's own `is_quiescent`
+    /// where one exists.
+    pub fn is_quiescent(&self) -> bool {
+        self.published() == 0
+    }
+
+    /// Attempts the biased fast path. `Some(slot)` means the caller is in
+    /// (published + bias re-checked); `None` means bias off, collision, or
+    /// a racing revocation — take the slow path.
+    fn try_fast_read(&self, pid: Pid) -> Option<usize> {
+        if !self.rbias.load() {
+            return None;
+        }
+        let slot = self.slot_index(pid);
+        if self.slots[slot].compare_exchange(EMPTY, pid.index() as u64 + 1).is_err() {
+            return None; // hash collision: someone else is published here
+        }
+        // The linchpin re-check: a revoking writer clears the bias before
+        // scanning, so either this load still sees the bias (and the scan
+        // will see our published slot), or we retract and go slow.
+        if self.rbias.load() {
+            return Some(slot);
+        }
+        self.slots[slot].store(EMPTY);
+        None
+    }
+
+    /// The counter re-bias policy. Must only be called while holding the
+    /// inner read lock: that is what guarantees no writer is inside its
+    /// critical section at the instant the bias switches back on.
+    fn note_slow_read(&self) {
+        if self.rebias_after == 0 {
+            return;
+        }
+        let n = self.slow_reads.fetch_add(1) + 1;
+        if n.is_multiple_of(self.rebias_after) {
+            self.rbias.store(true);
+        }
+    }
+
+    /// Writer-side bias revocation: clear the bias word, then scan the
+    /// table and wait for every published reader to drain. Must be called
+    /// while holding the inner write lock.
+    fn revoke(&self) {
+        if !self.rbias.load() {
+            return;
+        }
+        self.rbias.store(false);
+        for slot in self.slots.iter() {
+            spin_until(|| slot.load() == EMPTY);
+        }
+        self.revocations.fetch_add(1);
+    }
+}
+
+impl<L: RawRwLock, B: Backend> RawRwLock for Bravo<L, B> {
+    type ReadToken = BravoReadToken<L::ReadToken>;
+    type WriteToken = L::WriteToken;
+
+    fn read_lock(&self, pid: Pid) -> Self::ReadToken {
+        if let Some(slot) = self.try_fast_read(pid) {
+            return BravoReadToken { path: ReadPath::Fast { slot } };
+        }
+        let token = self.inner.read_lock(pid);
+        self.note_slow_read();
+        BravoReadToken { path: ReadPath::Slow(token) }
+    }
+
+    fn read_unlock(&self, pid: Pid, token: Self::ReadToken) {
+        match token.path {
+            ReadPath::Fast { slot } => {
+                debug_assert_eq!(slot, self.slot_index(pid), "token returned by a foreign pid");
+                self.slots[slot].store(EMPTY);
+            }
+            ReadPath::Slow(t) => self.inner.read_unlock(pid, t),
+        }
+    }
+
+    fn write_lock(&self, pid: Pid) -> Self::WriteToken {
+        let token = self.inner.write_lock(pid);
+        self.revoke();
+        token
+    }
+
+    fn write_unlock(&self, pid: Pid, token: Self::WriteToken) {
+        self.inner.write_unlock(pid, token);
+    }
+
+    fn max_processes(&self) -> usize {
+        self.inner.max_processes()
+    }
+}
+
+// SAFETY: writer-writer exclusion is delegated verbatim to the inner lock
+// (`write_lock` is inner-first); the wrapper only adds readers that every
+// writer drains before entering. So `Bravo<L>` excludes concurrent writers
+// exactly when `L` does.
+unsafe impl<L: RawMultiWriter, B: Backend> RawMultiWriter for Bravo<L, B> {}
+
+impl<L: RawTryReadLock, B: Backend> RawTryReadLock for Bravo<L, B> {
+    fn try_read_lock(&self, pid: Pid) -> Option<Self::ReadToken> {
+        if let Some(slot) = self.try_fast_read(pid) {
+            return Some(BravoReadToken { path: ReadPath::Fast { slot } });
+        }
+        let token = self.inner.try_read_lock(pid)?;
+        self.note_slow_read();
+        Some(BravoReadToken { path: ReadPath::Slow(token) })
+    }
+}
+
+impl<L: RawTryRwLock, B: Backend> RawTryRwLock for Bravo<L, B> {
+    /// Bounded write attempt: inner `try_write_lock`, then a **one-shot**
+    /// revocation — clear the bias and scan the table once, without
+    /// waiting. An all-empty scan proves no fast reader can be inside
+    /// (same SeqCst argument as the blocking revocation), so the attempt
+    /// succeeds and stays bounded by the table size. Any published slot
+    /// fails the attempt, and the failure path **restores the bias it
+    /// cleared**: `revoke` keys its scan off the bias word, so leaving it
+    /// cleared with readers still published would let a later *blocking*
+    /// writer skip the scan and enter over a fast reader — the
+    /// cleared-bias state is only ever allowed to persist once the table
+    /// has been observed (or made) empty.
+    fn try_write_lock(&self, pid: Pid) -> Option<Self::WriteToken> {
+        let token = self.inner.try_write_lock(pid)?;
+        let was_biased = self.rbias.load();
+        if was_biased {
+            self.rbias.store(false);
+        }
+        if self.slots.iter().any(|slot| slot.load() != EMPTY) {
+            // Back out: un-clear the bias first (we hold the inner write
+            // lock, so no revocation or re-bias can race this store),
+            // then release. Fast readers resume as if the attempt never
+            // happened.
+            if was_biased {
+                self.rbias.store(true);
+            }
+            self.inner.write_unlock(pid, token);
+            return None;
+        }
+        Some(token)
+    }
+}
+
+impl<L: RawRwLock, B: Backend> fmt::Debug for Bravo<L, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bravo")
+            .field("bias", &self.bias())
+            .field("published", &self.published())
+            .field("table_slots", &self.table_slots())
+            .field("revocations", &self.revocations())
+            .field("rebias_after", &self.rebias_after)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmr_baselines::TicketRwLock;
+    use rmr_core::mwmr::MwmrStarvationFree;
+    use rmr_core::RwLock;
+    use rmr_mutex::mem::{self, Counting};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn pid(i: usize) -> Pid {
+        Pid::from_index(i)
+    }
+
+    #[test]
+    fn fast_path_publishes_and_retracts() {
+        let lock = Bravo::new(TicketRwLock::new(4));
+        assert!(lock.bias());
+        let t = lock.read_lock(pid(0));
+        assert!(t.is_fast());
+        assert_eq!(lock.published(), 1);
+        assert!(!lock.is_quiescent());
+        lock.read_unlock(pid(0), t);
+        assert_eq!(lock.published(), 0);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn collision_falls_back_to_the_slow_path() {
+        // One slot: every pid hashes to it, so a second concurrent reader
+        // must go through the inner lock.
+        let cfg = BravoConfig { table_slots: 1, ..BravoConfig::default() };
+        let lock = Bravo::with_config(TicketRwLock::new(4), cfg);
+        let a = lock.read_lock(pid(0));
+        let b = lock.read_lock(pid(1));
+        assert!(a.is_fast());
+        assert!(!b.is_fast(), "colliding reader must not share the slot");
+        lock.read_unlock(pid(1), b);
+        lock.read_unlock(pid(0), a);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn writer_revokes_and_waits_for_published_readers() {
+        let lock = Arc::new(Bravo::new(TicketRwLock::new(4)));
+        let t = lock.read_lock(pid(0));
+        assert!(t.is_fast());
+
+        let w_in = Arc::new(AtomicBool::new(false));
+        let l2 = Arc::clone(&lock);
+        let w_in2 = Arc::clone(&w_in);
+        let w = std::thread::spawn(move || {
+            let () = l2.write_lock(pid(1));
+            w_in2.store(true, Ordering::SeqCst);
+            l2.write_unlock(pid(1), ());
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!w_in.load(Ordering::SeqCst), "writer entered over a published fast reader");
+        assert!(!lock.bias(), "revocation must clear the bias before the scan");
+
+        lock.read_unlock(pid(0), t);
+        w.join().unwrap();
+        assert!(w_in.load(Ordering::SeqCst));
+        assert_eq!(lock.revocations(), 1);
+    }
+
+    #[test]
+    fn readers_after_revocation_take_the_slow_path() {
+        let lock = Bravo::new(TicketRwLock::new(4));
+        let () = lock.write_lock(pid(0));
+        lock.write_unlock(pid(0), ());
+        assert!(!lock.bias());
+        let t = lock.read_lock(pid(1));
+        assert!(!t.is_fast());
+        lock.read_unlock(pid(1), t);
+    }
+
+    #[test]
+    fn counter_policy_rebiases_after_n_slow_reads() {
+        let cfg = BravoConfig { rebias_after: 3, ..BravoConfig::default() };
+        let lock = Bravo::with_config(TicketRwLock::new(4), cfg);
+        let () = lock.write_lock(pid(0));
+        lock.write_unlock(pid(0), ());
+        assert!(!lock.bias());
+        for i in 0..3 {
+            assert!(!lock.bias(), "rebias fired early, after {i} slow reads");
+            let t = lock.read_lock(pid(1));
+            assert!(!t.is_fast());
+            lock.read_unlock(pid(1), t);
+        }
+        assert!(lock.bias(), "3 slow reads must restore the bias");
+        let t = lock.read_lock(pid(1));
+        assert!(t.is_fast());
+        lock.read_unlock(pid(1), t);
+    }
+
+    #[test]
+    fn rebias_zero_disables_the_policy() {
+        let cfg = BravoConfig { rebias_after: 0, ..BravoConfig::default() };
+        let lock = Bravo::with_config(TicketRwLock::new(4), cfg);
+        let () = lock.write_lock(pid(0));
+        lock.write_unlock(pid(0), ());
+        for _ in 0..100 {
+            let t = lock.read_lock(pid(1));
+            assert!(!t.is_fast());
+            lock.read_unlock(pid(1), t);
+        }
+        assert!(!lock.bias());
+    }
+
+    #[test]
+    fn try_read_uses_the_fast_path() {
+        let lock = Bravo::new(TicketRwLock::new(4));
+        let t = lock.try_read_lock(pid(0)).expect("biased try_read");
+        assert!(t.is_fast());
+        lock.read_unlock(pid(0), t);
+    }
+
+    #[test]
+    fn try_write_revokes_once_and_stays_bounded() {
+        let lock = Bravo::new(TicketRwLock::new(4));
+        // Uncontended: the one-shot revocation finds an empty table.
+        lock.try_write_lock(pid(0)).expect("uncontended try_write");
+        lock.write_unlock(pid(0), ());
+        assert!(!lock.bias());
+
+        // A published fast reader bounds the next attempt to a failure —
+        // and the failure must restore the bias it cleared (leaving it
+        // revoked would desynchronize the bias word from the table; see
+        // the regression test below).
+        let cfg = BravoConfig::default();
+        let lock = Bravo::with_config(TicketRwLock::new(4), cfg);
+        let rt = lock.read_lock(pid(1));
+        assert!(rt.is_fast());
+        assert!(lock.try_write_lock(pid(0)).is_none(), "must fail, not wait");
+        assert!(lock.bias(), "failed try_write must restore the bias");
+        lock.read_unlock(pid(1), rt);
+        lock.try_write_lock(pid(0)).expect("drained table");
+        lock.write_unlock(pid(0), ());
+    }
+
+    #[test]
+    fn blocking_writer_after_failed_try_write_still_waits_for_fast_reader() {
+        // Regression: a failed try_write clears the bias to scan, and
+        // must NOT leave it cleared — revoke() keys its scan off the bias
+        // word, so a later blocking writer would skip the scan and enter
+        // the critical section over the still-published fast reader.
+        let lock = Arc::new(Bravo::new(TicketRwLock::new(4)));
+        let rt = lock.read_lock(pid(0));
+        assert!(rt.is_fast());
+        assert!(lock.try_write_lock(pid(1)).is_none());
+
+        let w_in = Arc::new(AtomicBool::new(false));
+        let l2 = Arc::clone(&lock);
+        let w_in2 = Arc::clone(&w_in);
+        let w = std::thread::spawn(move || {
+            let () = l2.write_lock(pid(2));
+            w_in2.store(true, Ordering::SeqCst);
+            l2.write_unlock(pid(2), ());
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            !w_in.load(Ordering::SeqCst),
+            "writer entered the CS over a published fast reader (bias/table desync)"
+        );
+        lock.read_unlock(pid(0), rt);
+        w.join().unwrap();
+        assert!(w_in.load(Ordering::SeqCst));
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn table_slots_round_up_to_powers_of_two() {
+        let cfg = BravoConfig { table_slots: 5, ..BravoConfig::default() };
+        let lock = Bravo::with_config(TicketRwLock::new(4), cfg);
+        assert_eq!(lock.table_slots(), 8);
+        let cfg = BravoConfig { table_slots: 0, ..BravoConfig::default() };
+        let lock = Bravo::with_config(TicketRwLock::new(4), cfg);
+        assert_eq!(lock.table_slots(), 1);
+        // slot_index stays in range even for the 1-slot table.
+        assert_eq!(lock.slot_index(pid(7)), 0);
+    }
+
+    #[test]
+    fn biased_steady_state_performs_zero_inner_lock_ops() {
+        // The acceptance criterion of the subsystem: inner lock over
+        // `Counting`, wrapper over `Native` — the thread tally then counts
+        // *only* inner-lock operations, and a biased read passage must
+        // score zero.
+        let lock: Bravo<TicketRwLock<Counting>, Native> =
+            Bravo::new_in(TicketRwLock::new_in(4, Counting), BravoConfig::default(), Native);
+        mem::set_thread_slot(1);
+        // Warm-up (still fast: the CAS/store hit only Native table slots).
+        let t = lock.read_lock(pid(0));
+        assert!(t.is_fast());
+        lock.read_unlock(pid(0), t);
+
+        mem::reset_thread_tally();
+        for _ in 0..100 {
+            let t = lock.read_lock(pid(0));
+            lock.read_unlock(pid(0), t);
+        }
+        let tally = mem::thread_tally();
+        assert_eq!(tally.ops, 0, "biased read passages touched the inner lock: {tally:?}");
+
+        // Contrast: after a revocation the slow path pays the inner cost.
+        let () = lock.write_lock(pid(1));
+        lock.write_unlock(pid(1), ());
+        mem::reset_thread_tally();
+        let t = lock.read_lock(pid(0));
+        lock.read_unlock(pid(0), t);
+        assert!(mem::thread_tally().ops > 0, "slow path must go through the inner lock");
+    }
+
+    #[test]
+    fn typed_rwlock_front_end_compiles_and_works() {
+        let lock = RwLock::with_raw(vec![1u8], Bravo::new(MwmrStarvationFree::new(4)));
+        lock.write().push(2);
+        assert_eq!(*lock.read(), vec![1, 2]);
+        assert!(lock.try_read().is_some());
+    }
+
+    #[test]
+    fn typed_concurrent_increments_are_not_lost() {
+        let lock = Arc::new(RwLock::with_raw(0u64, Bravo::new(TicketRwLock::new(8))));
+        let mut threads = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    if i % 4 == 0 {
+                        *lock.write() += 1;
+                    } else {
+                        let _ = *lock.read();
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*lock.read(), 200);
+        assert!(lock.raw().is_quiescent());
+    }
+
+    #[test]
+    fn raw_exclusion_stress() {
+        // Readers hammer the fast path while writers revoke and re-bias
+        // churns: the protected pair must never tear.
+        let lock = Arc::new(Bravo::with_config(
+            TicketRwLock::new(8),
+            BravoConfig { table_slots: 8, rebias_after: 4, initial_bias: true },
+        ));
+        let cell = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut threads = Vec::new();
+        for t in 0..4 {
+            let lock = Arc::clone(&lock);
+            let cell = Arc::clone(&cell);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    if (t + i) % 5 == 0 {
+                        let () = lock.write_lock(pid(t));
+                        let v = cell.load(Ordering::SeqCst);
+                        cell.store(v + 1, Ordering::SeqCst);
+                        lock.write_unlock(pid(t), ());
+                    } else {
+                        let tok = lock.read_lock(pid(t));
+                        let _ = cell.load(Ordering::SeqCst);
+                        lock.read_unlock(pid(t), tok);
+                    }
+                }
+            }));
+        }
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(cell.load(Ordering::SeqCst), 400, "lost update: exclusion broke");
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn debug_formats() {
+        let lock = Bravo::new(TicketRwLock::new(2));
+        let s = format!("{lock:?}");
+        assert!(s.contains("Bravo") && s.contains("bias"), "{s}");
+        let t = lock.read_lock(pid(0));
+        assert!(format!("{t:?}").contains("Fast"));
+        lock.read_unlock(pid(0), t);
+    }
+}

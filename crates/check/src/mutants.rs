@@ -12,8 +12,8 @@
 //! The copies live here, not in the production crates — shipping broken
 //! locks behind a flag would be a footgun — and are kept line-for-line
 //! parallel to their originals (`swmr/writer_priority.rs`, `tas.rs`,
-//! `anderson.rs`) so a diff against the real code shows exactly the
-//! seeded bug and nothing else.
+//! `anderson.rs`, `rmr-bravo/src/lib.rs`) so a diff against the real code
+//! shows exactly the seeded bug and nothing else.
 
 use rmr_core::packed::{Packed, PackedFaa};
 use rmr_core::raw::{RawRwLock, RawTryReadLock};
@@ -48,6 +48,10 @@ pub enum Mutation {
     /// Anderson unlock skips closing its own slot: both slots end up
     /// open and two later tickets enter together.
     SkipSlotClose,
+    /// Bravo writer flips the bias word off but skips the visible-readers
+    /// slot scan: a published fast reader is still inside its read session
+    /// when the writer enters the critical section.
+    SkipRevocationScan,
 }
 
 // ---------------------------------------------------------------------
@@ -352,6 +356,149 @@ impl<B: Backend> RawMutex for MutantAnderson<B> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Bravo wrapper copy with the skipped revocation scan
+// ---------------------------------------------------------------------
+
+/// Proof of a held mutant Bravo read session (mirror of
+/// `rmr_bravo::BravoReadToken` over the ticket inner lock).
+#[derive(Debug)]
+pub enum MutantBravoReadToken {
+    /// Fast path: a published visible-readers slot.
+    Fast {
+        /// The published slot index.
+        slot: usize,
+    },
+    /// Slow path: the inner ticket lock's (unit) token.
+    Slow,
+}
+
+/// A line-for-line copy of `rmr_bravo::Bravo` over a
+/// [`rmr_baselines::TicketRwLock`] inner lock, carrying
+/// [`Mutation::SkipRevocationScan`] (or [`Mutation::None`] for the
+/// control copy). Always instantiated over [`Sched`] by the battery.
+pub struct MutantBravo<B: Backend = Sched> {
+    mutation: Mutation,
+    inner: rmr_baselines::TicketRwLock<B>,
+    rbias: B::Bool,
+    slow_reads: B::Word,
+    slots: Box<[B::Word]>,
+    rebias_after: u64,
+}
+
+impl<B: Backend> MutantBravo<B> {
+    /// Creates the mutant around a fresh ticket lock: `table_slots`
+    /// visible-readers slots (rounded up to a power of two), re-bias
+    /// after `rebias_after` slow reads, initially biased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutation` is not `None`/`SkipRevocationScan`.
+    pub fn new_in(mutation: Mutation, table_slots: usize, rebias_after: u32, _backend: B) -> Self {
+        assert!(
+            matches!(mutation, Mutation::None | Mutation::SkipRevocationScan),
+            "{mutation:?} is not a Bravo mutation"
+        );
+        let slots = table_slots.max(1).next_power_of_two();
+        Self {
+            mutation,
+            inner: rmr_baselines::TicketRwLock::new_in(usize::MAX, B::default()),
+            rbias: B::Bool::new(true),
+            slow_reads: B::Word::new(0),
+            slots: (0..slots).map(|_| B::Word::new(0)).collect(),
+            rebias_after: u64::from(rebias_after),
+        }
+    }
+
+    fn slot_index(&self, pid: Pid) -> usize {
+        ((pid.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33) as usize
+            & (self.slots.len() - 1)
+    }
+
+    fn try_fast_read(&self, pid: Pid) -> Option<usize> {
+        if !self.rbias.load() {
+            return None;
+        }
+        let slot = self.slot_index(pid);
+        if self.slots[slot].compare_exchange(0, pid.index() as u64 + 1).is_err() {
+            return None;
+        }
+        if self.rbias.load() {
+            return Some(slot);
+        }
+        self.slots[slot].store(0);
+        None
+    }
+
+    fn note_slow_read(&self) {
+        if self.rebias_after == 0 {
+            return;
+        }
+        let n = self.slow_reads.fetch_add(1) + 1;
+        if n.is_multiple_of(self.rebias_after) {
+            self.rbias.store(true);
+        }
+    }
+
+    fn revoke(&self) {
+        if !self.rbias.load() {
+            return;
+        }
+        self.rbias.store(false);
+        if self.mutation != Mutation::SkipRevocationScan {
+            for slot in self.slots.iter() {
+                // MUTATION POINT: the mutant enters without this wait.
+                spin_until(|| slot.load() == 0);
+            }
+        }
+    }
+
+    /// Mirror of the real wrapper's quiescence entry point.
+    pub fn is_quiescent(&self) -> bool {
+        self.slots.iter().all(|s| s.load() == 0)
+    }
+}
+
+impl<B: Backend> fmt::Debug for MutantBravo<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutantBravo").field("mutation", &self.mutation).finish()
+    }
+}
+
+impl<B: Backend> RawRwLock for MutantBravo<B> {
+    type ReadToken = MutantBravoReadToken;
+    type WriteToken = ();
+
+    fn read_lock(&self, pid: Pid) -> MutantBravoReadToken {
+        if let Some(slot) = self.try_fast_read(pid) {
+            return MutantBravoReadToken::Fast { slot };
+        }
+        let () = self.inner.read_lock(pid);
+        self.note_slow_read();
+        MutantBravoReadToken::Slow
+    }
+
+    fn read_unlock(&self, pid: Pid, token: MutantBravoReadToken) {
+        match token {
+            MutantBravoReadToken::Fast { slot } => self.slots[slot].store(0),
+            MutantBravoReadToken::Slow => self.inner.read_unlock(pid, ()),
+        }
+    }
+
+    fn write_lock(&self, pid: Pid) {
+        let () = self.inner.write_lock(pid);
+        self.revoke();
+    }
+
+    fn write_unlock(&self, pid: Pid, (): ()) {
+        self.inner.write_unlock(pid, ());
+    }
+
+    fn max_processes(&self) -> usize {
+        usize::MAX
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +521,14 @@ mod tests {
             let t = anderson.lock();
             anderson.unlock(t);
         }
+
+        let bravo = MutantBravo::new_in(Mutation::None, 2, 2, Sched);
+        let r = bravo.read_lock(Pid::from_index(0));
+        assert!(matches!(r, MutantBravoReadToken::Fast { .. }));
+        bravo.read_unlock(Pid::from_index(0), r);
+        bravo.write_lock(Pid::from_index(1));
+        bravo.write_unlock(Pid::from_index(1), ());
+        assert!(bravo.is_quiescent());
     }
 
     #[test]
@@ -386,5 +541,11 @@ mod tests {
     #[should_panic(expected = "not a TTAS mutation")]
     fn ttas_rejects_foreign_mutations() {
         let _ = MutantTtas::new_in(Mutation::SkipGateClose, Sched);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Bravo mutation")]
+    fn bravo_rejects_foreign_mutations() {
+        let _ = MutantBravo::new_in(Mutation::SkipGateClose, 2, 2, Sched);
     }
 }

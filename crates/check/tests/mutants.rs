@@ -10,7 +10,7 @@
 
 use rmr_check::exhaustive;
 use rmr_check::harness::{mutex_trial, randomized_batteries, run_trial, rw_trial, Scenario, Trial};
-use rmr_check::mutants::{MutantAnderson, MutantFig1, MutantTtas, Mutation};
+use rmr_check::mutants::{MutantAnderson, MutantBravo, MutantFig1, MutantTtas, Mutation};
 use rmr_mutex::sched::{Replay, RunError};
 use rmr_mutex::Sched;
 use std::sync::Arc;
@@ -38,6 +38,14 @@ fn ttas_trial(mutation: Mutation) -> Trial {
 
 fn anderson_trial(mutation: Mutation) -> Trial {
     mutex_trial(Arc::new(MutantAnderson::new_in(mutation, 2, Sched)), 2, 3)
+}
+
+fn bravo_trial(mutation: Mutation, scenario: Scenario) -> Trial {
+    // 2 table slots, re-bias after 2 slow reads: revocation, collision and
+    // re-bias all reachable within small scenarios.
+    let lock = Arc::new(MutantBravo::new_in(mutation, 2, 2, Sched));
+    let q = Arc::clone(&lock);
+    rw_trial(lock, scenario, move || mutation != Mutation::None || q.is_quiescent())
 }
 
 /// Escalating hunt: PCT, then uniform random walks, then bounded DFS on
@@ -160,6 +168,23 @@ fn ttas_wrong_cas_expected_is_caught() {
 #[test]
 fn anderson_control_passes_the_mutant_budgets() {
     assert_control_passes("anderson-control", || anderson_trial(Mutation::None));
+}
+
+#[test]
+fn bravo_control_passes_the_mutant_budgets() {
+    assert_control_passes("bravo-control", || bravo_trial(Mutation::None, Scenario::new(2, 1, 2)));
+}
+
+#[test]
+fn bravo_skip_revocation_scan_is_caught() {
+    // The writer enters over a still-published fast reader: an exclusion
+    // violation or a torn read, depending on who the oracle trips first.
+    assert_caught(
+        "bravo-skip-revocation-scan",
+        || bravo_trial(Mutation::SkipRevocationScan, Scenario::new(2, 1, 2)),
+        || bravo_trial(Mutation::SkipRevocationScan, Scenario::new(1, 1, 1)),
+        &["P1 violated", "torn read"],
+    );
 }
 
 #[test]

@@ -68,6 +68,14 @@
 //! access tallied under the paper's CC and DSM cost models — experiment
 //! E13 (`real_rmr_table` in `rmr-bench`) verifies the O(1) claim on these
 //! real implementations, not just on `rmr-sim`'s line-level models.
+//!
+//! # Composing locks
+//!
+//! Everything above is stated against [`raw::RawRwLock`], so capability-
+//! preserving wrappers compose with the whole stack. The `rmr-bravo`
+//! crate layers a BRAVO-style reader-biased fast path over any of these
+//! locks (`Bravo<L>`), and plugs into [`RwLock`], the RMR accounting and
+//! the `rmr-check` schedule explorer unchanged.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

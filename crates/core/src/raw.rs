@@ -17,6 +17,15 @@
 //! `try_read` only where `L: RawTryReadLock` and `try_write` only where
 //! `L: RawTryRwLock`, so "does this policy support try?" is a compile-time
 //! question.
+//!
+//! The tier also composes: a *wrapper* lock can implement [`RawRwLock`]
+//! around another [`RawRwLock`] and conditionally forward each capability
+//! (`RawTryReadLock where L: RawTryReadLock`, and — because it is the
+//! marker `&mut T` safety hangs on — [`RawMultiWriter`] **only** where the
+//! inner lock is one). `rmr-bravo`'s `Bravo<L>` reader-biased fast path is
+//! the workspace's reference wrapper: wrapping a single-writer algorithm
+//! keeps the typed `write()` path a compile error, exactly as for the bare
+//! lock.
 
 use crate::registry::Pid;
 

@@ -8,6 +8,7 @@
 //! |---|---|---|
 //! | [`core`] | `rmr-core` | the paper's five lock algorithms + typed `RwLock` API |
 //! | [`mutex`] | `rmr-mutex` | Anderson's array lock (the paper's `M`), classic spin locks, memory backends (incl. the `Sched` scheduling backend) |
+//! | [`bravo`] | `rmr-bravo` | BRAVO-style reader-biased fast path (`Bravo<L>`) over any raw lock |
 //! | [`baselines`] | `rmr-baselines` | the prior-art lock classes the paper improves on |
 //! | [`sim`] | `rmr-sim` | the abstract machine: model checking, RMR cost models, invariants |
 //!
@@ -30,7 +31,19 @@
 //!
 //! For pinned pids (explicit registration) use [`core`]'s
 //! `RwLock::register`; for the statically-enforced single-writer split of
-//! Figures 1–2 use `rmrw::core::swmr_rwlock`.
+//! Figures 1–2 use `rmrw::core::swmr_rwlock`. For read-mostly traffic,
+//! wrap any lock in [`bravo`]'s `Bravo` to give readers a biased fast
+//! path that skips the inner lock entirely while no writer is active:
+//!
+//! ```
+//! use rmrw::bravo::Bravo;
+//! use rmrw::core::mwmr::MwmrStarvationFree;
+//! use rmrw::core::RwLock;
+//!
+//! let lock = RwLock::with_raw(0u32, Bravo::new(MwmrStarvationFree::new(8)));
+//! *lock.write() += 1;
+//! assert_eq!(*lock.read(), 1);
+//! ```
 //!
 //! See the workspace README for the paper map, DESIGN.md for the system
 //! inventory, and EXPERIMENTS.md for how to reproduce the measurements.
@@ -38,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use rmr_baselines as baselines;
+pub use rmr_bravo as bravo;
 pub use rmr_core as core;
 pub use rmr_mutex as mutex;
 pub use rmr_sim as sim;

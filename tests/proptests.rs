@@ -9,6 +9,8 @@
 //!   paper's proof invariants must hold after **every** step of **any**
 //!   schedule the generator dreams up;
 //! * the pid registry never double-issues;
+//! * the pid lease reclaim against `rmr-bravo`'s visible-readers table:
+//!   a leaked fast-path guard pins its pid *and* its published slot;
 //! * the DSM model charges an RMR exactly when the home differs.
 //!
 //! Every case is reproducible: failures print the exact PRNG seed, and
@@ -238,6 +240,91 @@ fn registry_never_double_allocates() {
                 reg.release(pid);
             }
             assert_eq!(reg.allocated(), held.len(), "seed {seed:#x}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PidRegistry × Bravo: leaked fast-path guards pin pid AND slot
+// ---------------------------------------------------------------------
+
+/// A leaked (`mem::forget`) fast-path read guard leaves its raw read
+/// session — here: its visible-readers table slot — open forever. The
+/// thread-exit lease reclaim must then keep the pid reserved (re-issuing
+/// it would let a second thread CAS against a slot mid-session), and
+/// nothing may unpublish the slot behind the leaked guard's back.
+#[test]
+fn bravo_leaked_fast_guard_pins_pid_and_slot() {
+    use rmrw::baselines::TicketRwLock;
+    use rmrw::bravo::Bravo;
+    use rmrw::core::RwLock;
+    use std::sync::Arc;
+
+    for seed in case_seeds(0xb2a7_0000) {
+        let mut rng = SplitMix64::new(seed);
+        let lock = Arc::new(RwLock::with_raw(0u8, Bravo::new(TicketRwLock::new(8))));
+        let warmups = rng.gen_index(16);
+        let l2 = Arc::clone(&lock);
+        std::thread::spawn(move || {
+            // Clean passages first: each publishes and retracts a slot.
+            for _ in 0..warmups {
+                let _ = *l2.read();
+            }
+            assert_eq!(l2.raw().published(), 0, "seed {seed:#x}: clean reads left a slot");
+            std::mem::forget(l2.read()); // an uncontended read is fast-path
+        })
+        .join()
+        .unwrap();
+
+        // The slot stays published (the read session never ended) …
+        assert_eq!(lock.raw().published(), 1, "seed {seed:#x}: leaked slot vanished");
+        assert!(!lock.raw().is_quiescent(), "seed {seed:#x}");
+        // … and the lease reclaim kept the pid reserved rather than
+        // returning it for re-issue.
+        assert_eq!(lock.registered(), 1, "seed {seed:#x}: leaked pid was reclaimed");
+        // A bounded write attempt must observe the reader and fail, not
+        // wait on a session that will never end.
+        assert!(lock.try_write().is_none(), "seed {seed:#x}: try_write ignored the leaked reader");
+    }
+}
+
+/// Clean thread exits reclaim their leased pids as usual, and that
+/// reclaim must not free (or unpublish) a slot that is still published by
+/// a *different*, leaked session.
+#[test]
+fn bravo_thread_exit_reclaim_spares_published_slots() {
+    use rmrw::baselines::TicketRwLock;
+    use rmrw::bravo::Bravo;
+    use rmrw::core::RwLock;
+    use std::sync::Arc;
+
+    for seed in case_seeds(0xb2a8_0000) {
+        let mut rng = SplitMix64::new(seed);
+        let lock = Arc::new(RwLock::with_raw(0u8, Bravo::new(TicketRwLock::new(8))));
+
+        // One thread leaks a fast-path guard: its pid and slot are pinned.
+        let l2 = Arc::clone(&lock);
+        std::thread::spawn(move || std::mem::forget(l2.read())).join().unwrap();
+        assert_eq!((lock.registered(), lock.raw().published()), (1, 1), "seed {seed:#x}");
+
+        // A churn of clean reader threads: their leases must come and go
+        // without touching the leaked session's pid or slot.
+        for _ in 0..1 + rng.gen_index(4) {
+            let l2 = Arc::clone(&lock);
+            let reads = 1 + rng.gen_index(8);
+            std::thread::spawn(move || {
+                for _ in 0..reads {
+                    let _ = *l2.read();
+                }
+            })
+            .join()
+            .unwrap();
+            assert_eq!(lock.registered(), 1, "seed {seed:#x}: clean exit freed the leaked pid");
+            assert_eq!(
+                lock.raw().published(),
+                1,
+                "seed {seed:#x}: clean exit unpublished the leaked slot"
+            );
         }
     }
 }

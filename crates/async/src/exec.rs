@@ -1,0 +1,117 @@
+//! A hand-rolled, dependency-free executor: [`block_on`] drives one
+//! future to completion on the calling thread, waiting between polls
+//! through a [`Parker`].
+//!
+//! The parker is the only pluggable part, and it is exactly the seam the
+//! deterministic checker uses: `rmr-check`'s `SchedParker` waits by
+//! spinning on a `Sched`-backed flag, so under the cooperative scheduler
+//! an executor's idle wait is an ordinary futile-spin — explored,
+//! stall-detected, and replayed like any other — and a lost wake-up
+//! surfaces as a deterministic deadlock report instead of a hung test.
+
+use crate::park::{Parker, ThreadParker};
+use std::future::Future;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Adapter: any [`Parker`] is a `std::task::Wake`, so the executor's
+/// waker is just `Waker::from(Arc<ParkWake<P>>)` — no hand-written
+/// vtables.
+struct ParkWake<P: Parker>(Arc<P>);
+
+impl<P: Parker> Wake for ParkWake<P> {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// A [`Waker`] that unparks `parker` — for harnesses that poll futures by
+/// hand (the checker's cancellation trials do).
+pub fn parker_waker<P: Parker>(parker: Arc<P>) -> Waker {
+    Waker::from(Arc::new(ParkWake(parker)))
+}
+
+/// Runs `future` to completion on the calling thread, parking the thread
+/// between polls.
+///
+/// # Example
+///
+/// ```
+/// let v = rmr_async::exec::block_on(async { 40 + 2 });
+/// assert_eq!(v, 42);
+/// ```
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    block_on_with(future, Arc::new(ThreadParker::current()))
+}
+
+/// Runs `future` to completion, waiting through an explicit [`Parker`] —
+/// the checker passes a `Sched`-backed one so the wait itself is a
+/// scheduled, replayable operation.
+pub fn block_on_with<F: Future, P: Parker>(future: F, parker: Arc<P>) -> F::Output {
+    let waker = parker_waker(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => parker.park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::pin::Pin;
+
+    #[test]
+    fn ready_future_completes_without_parking() {
+        assert_eq!(block_on(async { 7 }), 7);
+    }
+
+    /// A future that is Pending `n` times, each time handing its waker to
+    /// another thread that wakes it.
+    struct CountDown {
+        n: u32,
+    }
+
+    impl Future for CountDown {
+        type Output = u32;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+            if self.n == 0 {
+                return Poll::Ready(0);
+            }
+            self.n -= 1;
+            let waker = cx.waker().clone();
+            std::thread::spawn(move || waker.wake());
+            Poll::Pending
+        }
+    }
+
+    #[test]
+    fn cross_thread_wakeups_drive_the_loop() {
+        assert_eq!(block_on(CountDown { n: 5 }), 0);
+    }
+
+    #[test]
+    fn wake_by_ref_also_unparks() {
+        struct WakeByRefOnce(bool);
+        impl Future for WakeByRefOnce {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.0 {
+                    return Poll::Ready(());
+                }
+                self.0 = true;
+                cx.waker().wake_by_ref(); // immediate self-wake
+                Poll::Pending
+            }
+        }
+        block_on(WakeByRefOnce(false));
+    }
+}

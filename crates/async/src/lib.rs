@@ -1,0 +1,87 @@
+//! **rmr-async** — a waker-parking async front end over the workspace's
+//! reader-writer locks.
+//!
+//! The paper's locks achieve O(1) RMR by *spinning on local variables*; a
+//! service tier serving heavy traffic cannot afford a core per waiter.
+//! This crate adds the fourth way to wait: [`AsyncRwLock<T, L, B>`] wraps
+//! any [`RawRwLock`](rmr_core::raw::RawRwLock) so that `read().await`
+//! *suspends* — the would-be spin becomes `Poll::Pending` plus a waker
+//! parked in a cache-padded per-pid [`WakerTable`], and
+//! the lock's release paths deliver the wake-ups (writer exit and
+//! last-reader exit wake everyone parked; a completed read entry re-polls
+//! parked readers).
+//!
+//! Three design commitments, spelled out in DESIGN.md §11:
+//!
+//! * **The real locks, not a re-implementation.** Every acquisition
+//!   attempt is one call into the shipped locks' bounded non-blocking
+//!   tier, so *per-attempt admission* and *exclusion* are exactly the
+//!   wrapped lock's; the async layer only decides when to retry. One
+//!   honest consequence: a parked future has **no queue presence** in
+//!   the raw lock (its failed attempts fully unwind), so fairness
+//!   guarantees that depend on waiting in line — e.g. the ticket lock's
+//!   FIFO blocking new readers behind a waiting writer — do **not**
+//!   transfer. Under continuously *overlapping* read sessions an
+//!   awaiting writer can starve; use [`AsyncRwLock::write_blocking`]
+//!   (which does wait in the raw queue) where cross-class fairness is a
+//!   requirement. See DESIGN.md §11.
+//! * **Cancel-safety by construction.** A pending future holds no lock
+//!   state between polls (the try tier's failure path unwinds the doorway
+//!   announcement before returning), so dropping it only has to clear a
+//!   waker slot and return a pid — which its `Drop` does.
+//! * **Model-checkable.** The parking state is generic over the memory
+//!   backend, and the executor's wait is a pluggable [`Parker`]
+//!   — `rmr-check` runs this exact code under the deterministic `Sched`
+//!   scheduler, where a lost wake-up is a replayable deadlock report, and
+//!   keeps a seeded `DropWakeup` mutant to prove the battery would see one.
+//!
+//! No external dependencies: the executor ([`exec::block_on`]) and the
+//! waker plumbing are hand-rolled over `std`.
+//!
+//! # Example
+//!
+//! ```
+//! use rmr_async::exec::block_on;
+//! use rmr_async::AsyncRwLock;
+//! use rmr_baselines::TicketRwLock;
+//! use rmr_bravo::Bravo;
+//! use std::sync::Arc;
+//!
+//! // Reader-biased fast path + parking: fast readers never touch the
+//! // inner lock, writers revoke, and nobody spins while waiting.
+//! let lock = Arc::new(AsyncRwLock::with_raw_and_capacity(
+//!     0u64,
+//!     Bravo::new(TicketRwLock::new(8)),
+//!     8,
+//! ));
+//! let mut threads = Vec::new();
+//! for _ in 0..4 {
+//!     let lock = Arc::clone(&lock);
+//!     threads.push(std::thread::spawn(move || {
+//!         block_on(async {
+//!             for i in 0..100u64 {
+//!                 if i % 10 == 0 {
+//!                     *lock.write().await += 1;
+//!                 } else {
+//!                     let _ = *lock.read().await;
+//!                 }
+//!             }
+//!         })
+//!     }));
+//! }
+//! for t in threads {
+//!     t.join().unwrap();
+//! }
+//! block_on(async { assert_eq!(*lock.read().await, 40) });
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod exec;
+pub mod lock;
+pub mod park;
+
+pub use exec::{block_on, block_on_with};
+pub use lock::{AsyncRead, AsyncReadGuard, AsyncRwLock, AsyncWrite, AsyncWriteGuard};
+pub use park::{Parker, ThreadParker, WakerTable};

@@ -1,0 +1,568 @@
+//! [`AsyncRwLock`] — the typed, waker-parking front end.
+//!
+//! # How parking composes with the raw locks
+//!
+//! The raw locks block by *spinning*; a service tier cannot burn a core
+//! per waiter. This module converts every futile-spin point into
+//! `Poll::Pending` **without re-entering the locks' blocking paths at
+//! all**: an acquisition attempt is one bounded call into the lock's
+//! non-blocking tier ([`RawTryReadLock`] / [`RawTryRwLock`]), whose
+//! failure path retires through the ordinary exit section — so a pending
+//! future holds *no* lock state between polls, which is what makes
+//! dropping it mid-acquisition (future cancellation) safe by
+//! construction: the doorway announcement was already unwound inside the
+//! failed attempt.
+//!
+//! A failed attempt parks the task's waker in the per-pid
+//! [`WakerTable`] and **retries once** before returning `Pending` — the
+//! retry is the lost-wakeup linchpin (see the protocol argument below).
+//! Wake-ups ride the release paths:
+//!
+//! * a write guard drop wakes every parked future (readers and writers —
+//!   who may actually proceed is the raw lock's policy, and losers simply
+//!   re-park);
+//! * the last read guard drop also wakes everyone: almost always that
+//!   means parked writers, but a reader can transiently park behind
+//!   another *reader* (a raw read entry is not atomic — e.g. the ticket
+//!   lock's drawn-ticket-to-grant-bump window — and an attempt failing
+//!   inside that window parks), so a completed read entry additionally
+//!   re-polls parked readers. The model-checked battery caught exactly
+//!   this reader-parked-behind-reader stranding in an earlier version
+//!   that woke only writers;
+//! * a Bravo-wrapped lock's fast-path readers stay zero-inner-op: the
+//!   async layer touches only its own counters and table, never the
+//!   inner lock.
+//!
+//! # Why no wake-up is lost
+//!
+//! A future parks only after the sequence *attempt fails → register waker
+//! → attempt fails again*. Every operation is SeqCst, so when the second
+//! attempt fails some holder `H` exists at that point; `H`'s release runs
+//! strictly later, and its wake scan therefore observes the registration.
+//! Any *other* failed attempt leaves the lock state untouched (the try
+//! tier is abortable), so "holder exists" is the only way an attempt can
+//! fail — the wake-delivering release is always still in the future when
+//! a future parks. Spurious wake-ups (thundering herd on writer exit,
+//! stale wakers) merely cause a re-poll that re-parks.
+//!
+//! Liveness is per-release, not per-class: because a pending future has
+//! no queue presence in the raw lock, anti-starvation policies that rely
+//! on standing in line (ticket FIFO, Figure 4's writer priority) do not
+//! protect an *awaiting* writer — continuously overlapping read sessions
+//! can keep `write().await` parked indefinitely (each wake-up's retry
+//! finds the lock read-held). Where that matters, take the writer
+//! through [`AsyncRwLock::write_blocking`] (a real queue entry) or bound
+//! reader overlap.
+//!
+//! # Writers on locks without a try tier
+//!
+//! The paper's core locks deliberately do not implement [`RawTryRwLock`]
+//! (their writer doorway is irrevocable), so `write().await` is a compile
+//! error on them — exactly like the typed [`RwLock`]'s capability gating.
+//! [`AsyncRwLock::write_blocking`] is the escape hatch: a *blocking*
+//! writer acquisition (intended for a dedicated writer thread or a
+//! `spawn_blocking`-style offload) whose release still wakes parked
+//! async readers. Its spin loops run under a
+//! [`park hint`](rmr_mutex::spin::with_park_hint) that yields the core
+//! from the first futile iteration, so a blocking writer stranded on an
+//! executor thread degrades politely instead of burning hot.
+//!
+//! [`RawTryReadLock`]: rmr_core::raw::RawTryReadLock
+//! [`RawTryRwLock`]: rmr_core::raw::RawTryRwLock
+//! [`RwLock`]: rmr_core::rwlock::RwLock
+//! [`WakerTable`]: crate::park::WakerTable
+
+use crate::park::{WaitKind, WakerTable};
+use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
+use rmr_core::registry::{Pid, PidRegistry};
+use rmr_mutex::mem::{Backend, Native, SharedWord};
+use rmr_mutex::{spin, CachePadded};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::future::Future;
+use std::ops::{Deref, DerefMut};
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// An async reader-writer lock over any raw lock `L`, generic over the
+/// memory backend `B` of its own parking state (the raw lock keeps
+/// whatever backend it was built with).
+///
+/// `read().await` suits services that must not burn a core per waiter;
+/// the cost model is spelled out in DESIGN.md §11 (parking trades the
+/// paper's RMR-bounded spinning for wake-up latency and an O(capacity)
+/// release-path scan *when waiters exist*).
+///
+/// Each acquisition leases a [`Pid`] from the lock's registry for exactly
+/// the guard's (or pending future's) lifetime, so futures may migrate
+/// threads freely — there is no thread-local leasing here.
+///
+/// # Example
+///
+/// ```
+/// use rmr_async::exec::block_on;
+/// use rmr_async::AsyncRwLock;
+/// use rmr_baselines::TicketRwLock;
+///
+/// let lock = AsyncRwLock::with_raw(0u64, TicketRwLock::new(4));
+/// block_on(async {
+///     *lock.write().await += 1;
+///     assert_eq!(*lock.read().await, 1);
+/// });
+/// ```
+pub struct AsyncRwLock<T: ?Sized, L, B: Backend = Native> {
+    raw: L,
+    registry: PidRegistry,
+    table: WakerTable<B>,
+    /// Currently held async read guards; the 1 → 0 transition wakes
+    /// parked writers.
+    readers: CachePadded<B::Word>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: same argument as `rmr_core::rwlock::RwLock` — the raw lock
+// guarantees `&mut T` never coexists with any other access and `&T` only
+// with other `&T`; the parking layer never hands out access, it only
+// schedules retries.
+unsafe impl<T: ?Sized + Send, L: RawRwLock, B: Backend> Send for AsyncRwLock<T, L, B> {}
+unsafe impl<T: ?Sized + Send + Sync, L: RawRwLock, B: Backend> Sync for AsyncRwLock<T, L, B> {}
+
+impl<T, L: RawRwLock> AsyncRwLock<T, L> {
+    /// Wraps `value` behind `raw` over the [`Native`] backend, sizing the
+    /// pid registry and waker table to `raw.max_processes()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raw lock reports an unbounded process count
+    /// (`usize::MAX`) — use [`AsyncRwLock::with_raw_and_capacity`].
+    pub fn with_raw(value: T, raw: L) -> Self {
+        Self::with_raw_in(value, raw, Native)
+    }
+
+    /// Wraps `value` behind `raw` over [`Native`] with an explicit
+    /// capacity — the maximum number of *concurrent* acquisitions
+    /// (pending futures plus held guards).
+    pub fn with_raw_and_capacity(value: T, raw: L, capacity: usize) -> Self {
+        Self::with_raw_and_capacity_in(value, raw, capacity, Native)
+    }
+}
+
+impl<T, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
+    /// Like [`AsyncRwLock::with_raw`], with the parking state (waker
+    /// table, reader counter) over an explicit backend — `Sched` is what
+    /// lets `rmr-check` model-check the parking protocol on this very
+    /// code.
+    pub fn with_raw_in(value: T, raw: L, backend: B) -> Self {
+        let cap = raw.max_processes();
+        assert!(cap != usize::MAX, "raw lock has no process bound; use with_raw_and_capacity");
+        Self::with_raw_and_capacity_in(value, raw, cap, backend)
+    }
+
+    /// Like [`AsyncRwLock::with_raw_and_capacity`], over an explicit
+    /// backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds `raw.max_processes()`.
+    pub fn with_raw_and_capacity_in(value: T, raw: L, capacity: usize, _backend: B) -> Self {
+        assert!(
+            capacity <= raw.max_processes(),
+            "capacity {capacity} exceeds the raw lock's bound {}",
+            raw.max_processes()
+        );
+        Self {
+            raw,
+            registry: PidRegistry::new(capacity),
+            table: WakerTable::new(capacity),
+            readers: CachePadded::new(B::Word::new(0)),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
+    /// The underlying raw lock.
+    pub fn raw(&self) -> &L {
+        &self.raw
+    }
+
+    /// Mutable access without locking — safe because `&mut self` proves
+    /// exclusive ownership.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Maximum number of concurrent acquisitions (pids / waker slots).
+    pub fn max_processes(&self) -> usize {
+        self.registry.capacity()
+    }
+
+    /// Pids currently leased to guards or pending futures (approximate
+    /// under concurrency). Checker entry point: zero once every future
+    /// and guard is gone.
+    pub fn registered(&self) -> usize {
+        self.registry.allocated()
+    }
+
+    /// Read futures currently parked (approximate under concurrency).
+    pub fn parked_readers(&self) -> usize {
+        self.table.parked_readers()
+    }
+
+    /// Write futures currently parked (approximate under concurrency).
+    pub fn parked_writers(&self) -> usize {
+        self.table.parked_writers()
+    }
+
+    /// Async read guards currently held (approximate under concurrency).
+    pub fn reading(&self) -> usize {
+        self.readers.load() as usize
+    }
+
+    /// Wake-ups delivered by the release paths so far (diagnostics).
+    pub fn wakeups(&self) -> u64 {
+        self.table.wakeups()
+    }
+
+    /// Checker entry point: nothing parked, nothing held, no pid leased.
+    /// Combine with the raw lock's own `is_quiescent` where one exists.
+    pub fn is_quiescent(&self) -> bool {
+        self.table.parked_readers() == 0
+            && self.table.parked_writers() == 0
+            && self.readers.load() == 0
+            && self.registry.allocated() == 0
+    }
+
+    fn allocate_pid(&self) -> Pid {
+        self.registry.allocate().unwrap_or_else(|e| {
+            panic!(
+                "cannot lease a pid for an async acquisition: {e}; size the capacity to the \
+                 maximum number of concurrent acquisitions (pending futures + held guards)"
+            )
+        })
+    }
+
+    fn finish_read(&self, pid: Pid, token: L::ReadToken) -> AsyncReadGuard<'_, T, L, B> {
+        self.readers.fetch_add(1);
+        // A raw read *entry* is not atomic (e.g. the ticket lock's
+        // drawn-ticket-to-grant-bump window), and a concurrent reader's
+        // attempt failing inside that window parks it behind *us* — a
+        // reader. The window is closed now, so re-poll any parked
+        // readers; the common case is one load of a zero counter.
+        if self.table.parked_readers() > 0 {
+            self.table.wake_readers();
+        }
+        AsyncReadGuard { lock: self, pid, token: Some(token) }
+    }
+
+    fn finish_write(&self, pid: Pid, token: L::WriteToken) -> AsyncWriteGuard<'_, T, L, B> {
+        AsyncWriteGuard { lock: self, pid, token: Some(token) }
+    }
+}
+
+impl<T: ?Sized, L: RawTryReadLock, B: Backend> AsyncRwLock<T, L, B> {
+    /// Acquires the lock for reading, suspending (never spinning) while a
+    /// writer is in the way.
+    ///
+    /// Cancel-safe: dropping the returned future before completion
+    /// unwinds everything — the doorway announcement (inside the failed
+    /// bounded attempt), the parked waker, and the leased pid.
+    ///
+    /// # Panics
+    ///
+    /// The future's first poll panics if the lock's capacity is
+    /// exhausted (more concurrent acquisitions than `max_processes()`).
+    pub fn read(&self) -> AsyncRead<'_, T, L, B> {
+        AsyncRead { lock: self, pid: None, done: false }
+    }
+
+    /// Attempts to acquire the lock for reading without blocking or
+    /// suspending — one bounded attempt, exactly [`RawTryReadLock`]'s.
+    #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
+    pub fn try_read(&self) -> Option<AsyncReadGuard<'_, T, L, B>> {
+        let pid = self.registry.allocate().ok()?;
+        match self.raw.try_read_lock(pid) {
+            Some(token) => Some(self.finish_read(pid, token)),
+            None => {
+                self.registry.release(pid);
+                None
+            }
+        }
+    }
+}
+
+impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend> AsyncRwLock<T, L, B> {
+    /// Acquires the lock for writing, suspending while readers or another
+    /// writer are in the way.
+    ///
+    /// Requires the full non-blocking tier ([`RawTryRwLock`]): the
+    /// paper's core locks cannot abort a started write doorway, so on
+    /// them this method does not exist — use
+    /// [`AsyncRwLock::write_blocking`] from a thread that may block.
+    /// Cancel-safe for the same reason as [`AsyncRwLock::read`].
+    ///
+    /// ```compile_fail
+    /// use rmr_async::AsyncRwLock;
+    /// use rmr_core::mwmr::MwmrStarvationFree;
+    ///
+    /// let lock = AsyncRwLock::with_raw(0u32, MwmrStarvationFree::new(2));
+    /// let _ = lock.write(); // ERROR: MwmrStarvationFree is not RawTryRwLock
+    /// ```
+    pub fn write(&self) -> AsyncWrite<'_, T, L, B> {
+        AsyncWrite { lock: self, pid: None, done: false }
+    }
+
+    /// Attempts to acquire the lock for writing without blocking or
+    /// suspending.
+    #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
+    pub fn try_write(&self) -> Option<AsyncWriteGuard<'_, T, L, B>> {
+        let pid = self.registry.allocate().ok()?;
+        match self.raw.try_write_lock(pid) {
+            Some(token) => Some(self.finish_write(pid, token)),
+            None => {
+                self.registry.release(pid);
+                None
+            }
+        }
+    }
+}
+
+impl<T: ?Sized, L: RawMultiWriter, B: Backend> AsyncRwLock<T, L, B> {
+    /// Acquires the lock for writing by *blocking* (the raw lock's own
+    /// spin, under a yield-first [`park hint`](rmr_mutex::spin::with_park_hint)).
+    ///
+    /// This is the writer path for locks without [`RawTryRwLock`] (the
+    /// paper's core locks): call it from a dedicated writer thread or a
+    /// `spawn_blocking`-style offload, never from inside a future. The
+    /// returned guard is the ordinary [`AsyncWriteGuard`], so its drop
+    /// wakes parked async readers exactly like `write().await`'s.
+    pub fn write_blocking(&self) -> AsyncWriteGuard<'_, T, L, B> {
+        let pid = self.allocate_pid();
+        let token = spin::with_park_hint(std::thread::yield_now, || self.raw.write_lock(pid));
+        self.finish_write(pid, token)
+    }
+}
+
+impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncRwLock<T, L, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deliberately does not read `data` (would need the lock).
+        f.debug_struct("AsyncRwLock")
+            .field("max_processes", &self.max_processes())
+            .field("registered", &self.registered())
+            .field("parked_readers", &self.parked_readers())
+            .field("parked_writers", &self.parked_writers())
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Futures
+// ---------------------------------------------------------------------
+
+/// Future of [`AsyncRwLock::read`]. One bounded attempt per poll; parks
+/// the waker (and retries once) on failure.
+#[must_use = "futures do nothing unless polled"]
+pub struct AsyncRead<'l, T: ?Sized, L: RawRwLock, B: Backend> {
+    lock: &'l AsyncRwLock<T, L, B>,
+    /// Leased on first poll; consumed by the guard on success, returned
+    /// by Drop on cancellation.
+    pid: Option<Pid>,
+    done: bool,
+}
+
+impl<'l, T: ?Sized, L: RawTryReadLock, B: Backend> Future for AsyncRead<'l, T, L, B> {
+    type Output = AsyncReadGuard<'l, T, L, B>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        assert!(!this.done, "AsyncRead polled after completion");
+        let lock = this.lock;
+        let pid = *this.pid.get_or_insert_with(|| lock.allocate_pid());
+        if let Some(token) = lock.raw.try_read_lock(pid) {
+            lock.table.deregister(pid.index());
+            this.pid = None;
+            this.done = true;
+            return Poll::Ready(lock.finish_read(pid, token));
+        }
+        lock.table.register(pid.index(), WaitKind::Reader, cx.waker());
+        // The lost-wakeup linchpin: a release between the failed attempt
+        // and the registration must not strand us, so try once more now
+        // that the waker is visible to release scans.
+        if let Some(token) = lock.raw.try_read_lock(pid) {
+            lock.table.deregister(pid.index());
+            this.pid = None;
+            this.done = true;
+            return Poll::Ready(lock.finish_read(pid, token));
+        }
+        Poll::Pending
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncRead<'_, T, L, B> {
+    fn drop(&mut self) {
+        if let Some(pid) = self.pid.take() {
+            // Cancelled mid-acquisition: the failed bounded attempt
+            // already unwound the doorway, so only the parked waker and
+            // the pid lease remain.
+            self.lock.table.deregister(pid.index());
+            self.lock.registry.release(pid);
+        }
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncRead<'_, T, L, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncRead").field("pid", &self.pid).field("done", &self.done).finish()
+    }
+}
+
+/// Future of [`AsyncRwLock::write`]. Same protocol as [`AsyncRead`] with
+/// the writer wait kind.
+#[must_use = "futures do nothing unless polled"]
+pub struct AsyncWrite<'l, T: ?Sized, L: RawRwLock, B: Backend> {
+    lock: &'l AsyncRwLock<T, L, B>,
+    pid: Option<Pid>,
+    done: bool,
+}
+
+impl<'l, T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend> Future
+    for AsyncWrite<'l, T, L, B>
+{
+    type Output = AsyncWriteGuard<'l, T, L, B>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        assert!(!this.done, "AsyncWrite polled after completion");
+        let lock = this.lock;
+        let pid = *this.pid.get_or_insert_with(|| lock.allocate_pid());
+        if let Some(token) = lock.raw.try_write_lock(pid) {
+            lock.table.deregister(pid.index());
+            this.pid = None;
+            this.done = true;
+            return Poll::Ready(lock.finish_write(pid, token));
+        }
+        lock.table.register(pid.index(), WaitKind::Writer, cx.waker());
+        if let Some(token) = lock.raw.try_write_lock(pid) {
+            lock.table.deregister(pid.index());
+            this.pid = None;
+            this.done = true;
+            return Poll::Ready(lock.finish_write(pid, token));
+        }
+        Poll::Pending
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncWrite<'_, T, L, B> {
+    fn drop(&mut self) {
+        if let Some(pid) = self.pid.take() {
+            self.lock.table.deregister(pid.index());
+            self.lock.registry.release(pid);
+        }
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncWrite<'_, T, L, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncWrite").field("pid", &self.pid).field("done", &self.done).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Guards
+// ---------------------------------------------------------------------
+
+/// RAII shared access; the drop releases the raw lock and, when it was
+/// the last reader out, wakes parked writers.
+///
+/// Unlike the sync [`ReadGuard`](rmr_core::rwlock::ReadGuard), this guard
+/// is `Send` (where `T` and the token allow): its pid is owned by the
+/// guard alone — never thread-leased, never reusable elsewhere — so
+/// whichever thread drops the guard is, for the raw contract's purposes,
+/// that pid. Futures holding a guard across an `.await` can therefore
+/// migrate threads.
+#[must_use = "dropping the guard immediately releases the read lock"]
+pub struct AsyncReadGuard<'l, T: ?Sized, L: RawRwLock, B: Backend> {
+    lock: &'l AsyncRwLock<T, L, B>,
+    pid: Pid,
+    token: Option<L::ReadToken>,
+}
+
+impl<T: ?Sized, L: RawRwLock, B: Backend> Deref for AsyncReadGuard<'_, T, L, B> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the raw lock admits no writer while this read session
+        // is open.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncReadGuard<'_, T, L, B> {
+    fn drop(&mut self) {
+        let token = self.token.take().expect("read token taken twice");
+        self.lock.raw.read_unlock(self.pid, token);
+        // Raw release first, then the wake: a woken waiter's attempt must
+        // be able to succeed. Only the last reader out scans — and it
+        // wakes *everyone*, not just writers: a reader parked behind
+        // another reader's entry window (see `finish_read`) may have this
+        // release as its only remaining wake source.
+        if self.lock.readers.fetch_sub(1) == 1 {
+            self.lock.table.wake_all();
+        }
+        self.lock.registry.release(self.pid);
+    }
+}
+
+impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncReadGuard<'_, T, L, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AsyncReadGuard").field(&&**self).finish()
+    }
+}
+
+/// RAII exclusive access; the drop releases the raw lock and wakes every
+/// parked future (readers and writers — the raw lock's policy arbitrates,
+/// losers re-park).
+///
+/// `Send` for the same reason as [`AsyncReadGuard`].
+#[must_use = "dropping the guard immediately releases the write lock"]
+pub struct AsyncWriteGuard<'l, T: ?Sized, L: RawRwLock, B: Backend> {
+    lock: &'l AsyncRwLock<T, L, B>,
+    pid: Pid,
+    token: Option<L::WriteToken>,
+}
+
+impl<T: ?Sized, L: RawRwLock, B: Backend> Deref for AsyncWriteGuard<'_, T, L, B> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: this write session excludes all other access.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock, B: Backend> DerefMut for AsyncWriteGuard<'_, T, L, B> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: this write session excludes all other access.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncWriteGuard<'_, T, L, B> {
+    fn drop(&mut self) {
+        let token = self.token.take().expect("write token taken twice");
+        self.lock.raw.write_unlock(self.pid, token);
+        self.lock.table.wake_all();
+        self.lock.registry.release(self.pid);
+    }
+}
+
+impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncWriteGuard<'_, T, L, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AsyncWriteGuard").field(&&**self).finish()
+    }
+}

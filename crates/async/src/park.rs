@@ -1,0 +1,490 @@
+//! The parking layer: the [`Parker`] abstraction and the per-pid
+//! [`WakerTable`].
+//!
+//! Parking splits into two halves:
+//!
+//! * **How a suspended acquisition is resumed** — the [`WakerTable`], a
+//!   fixed-capacity array of cache-padded slots (one per pid) in which a
+//!   pending future leaves its [`Waker`] before going to sleep, and from
+//!   which the release paths of [`AsyncRwLock`](crate::lock::AsyncRwLock)
+//!   deliver wake-ups.
+//! * **How an executor waits between polls** — the [`Parker`] trait.
+//!   [`ThreadParker`] blocks the OS thread (`std::thread::park`), which is
+//!   what the shipped [`block_on`](crate::exec::block_on) uses; `rmr-check`
+//!   supplies a `SchedParker` whose wait is a spin on a `Sched`-backed flag,
+//!   so the deterministic scheduler explores and replays executor wake-ups
+//!   exactly like any other shared-memory race.
+//!
+//! # The slot state machine
+//!
+//! Each slot is one backend word (`EMPTY`, `PARKED_READER`,
+//! `PARKED_WRITER`, `TAKING`) guarding an adjacent waker cell. The word is
+//! the *only* cross-thread synchronization — there is no mutex, so a slot
+//! transition can never block a scheduled turn:
+//!
+//! * The slot's **owner** (the one future currently leasing that pid) moves
+//!   `EMPTY → PARKED_kind`, writing the waker cell first — while `EMPTY`
+//!   the owner has exclusive cell access, because every other transition
+//!   starts from `PARKED`.
+//! * A **releaser** claims a parked waker with a `PARKED → TAKING` CAS
+//!   (exactly one claimant can win), reads the cell, stores `EMPTY`, and
+//!   only then invokes the waker. `TAKING` is the in-flight-delivery
+//!   window; it lasts two operations.
+//! * The owner cancels (future dropped) or retires (lock acquired) with a
+//!   `PARKED → EMPTY` CAS; losing that CAS to a releaser means a wake is in
+//!   flight, and the owner waits out the two-operation `TAKING` window
+//!   before the pid can be reused — otherwise a wake meant for the old
+//!   future could be consumed by a new future's registration and lost.
+//!
+//! All state values are small constants (never pointers), so `Sched`
+//! replays observe identical values run after run.
+
+use rmr_mutex::mem::{Backend, SharedWord};
+use rmr_mutex::{spin_until, CachePadded};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::task::Waker;
+
+/// How an executor waits between polls, and how anyone wakes it.
+///
+/// Implementations must tolerate spurious unparks (a [`Parker::park`] may
+/// return without a matching unpark) and *token semantics*: an unpark that
+/// arrives while the thread is not parked must make the **next** park
+/// return immediately, or wake-ups delivered between a `Poll::Pending` and
+/// the executor's park would be lost.
+pub trait Parker: Send + Sync + 'static {
+    /// Blocks the calling context until [`Parker::unpark`] is (or was
+    /// already) called.
+    fn park(&self);
+
+    /// Releases a parked (or about-to-park) context. Callable from any
+    /// thread.
+    fn unpark(&self);
+}
+
+/// [`Parker`] over `std::thread::park`: the production executor's wait
+/// primitive.
+///
+/// # Example
+///
+/// ```
+/// use rmr_async::park::{Parker, ThreadParker};
+/// use std::sync::Arc;
+///
+/// let parker = Arc::new(ThreadParker::current());
+/// let p2 = Arc::clone(&parker);
+/// let t = std::thread::spawn(move || p2.unpark());
+/// parker.park(); // returns once the token is delivered
+/// t.join().unwrap();
+/// ```
+pub struct ThreadParker {
+    token: std::sync::atomic::AtomicBool,
+    thread: std::thread::Thread,
+}
+
+impl ThreadParker {
+    /// A parker whose [`Parker::park`] must be called from the *current*
+    /// thread (the one this constructor runs on).
+    pub fn current() -> Self {
+        Self { token: std::sync::atomic::AtomicBool::new(false), thread: std::thread::current() }
+    }
+}
+
+impl Parker for ThreadParker {
+    fn park(&self) {
+        use std::sync::atomic::Ordering;
+        // `thread::park` may return spuriously; the token is the truth.
+        while !self.token.swap(false, Ordering::SeqCst) {
+            std::thread::park();
+        }
+    }
+
+    fn unpark(&self) {
+        use std::sync::atomic::Ordering;
+        self.token.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+}
+
+impl fmt::Debug for ThreadParker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadParker").field("thread", &self.thread.id()).finish()
+    }
+}
+
+/// Which side of the lock a parked future is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKind {
+    /// Waiting to read; woken by writer exits.
+    Reader,
+    /// Waiting to write; woken by writer exits and last-reader exits.
+    Writer,
+}
+
+/// Slot state: no one is parked here.
+const EMPTY: u64 = 0;
+/// Slot state: the owner parked a reader waker.
+const PARKED_READER: u64 = 1;
+/// Slot state: the owner parked a writer waker.
+const PARKED_WRITER: u64 = 2;
+/// Slot state: a releaser claimed the waker and is about to deliver it.
+const TAKING: u64 = 3;
+
+impl WaitKind {
+    fn parked_word(self) -> u64 {
+        match self {
+            WaitKind::Reader => PARKED_READER,
+            WaitKind::Writer => PARKED_WRITER,
+        }
+    }
+}
+
+struct Slot<B: Backend> {
+    state: B::Word,
+    /// Written only by the slot's owner while `state == EMPTY`; read only
+    /// by the releaser that won the `PARKED → TAKING` CAS. The state
+    /// machine is the synchronization.
+    cell: UnsafeCell<Option<Waker>>,
+}
+
+// SAFETY: cross-thread access to `cell` is serialized by the slot state
+// machine documented on the module (owner-exclusive while EMPTY,
+// claimant-exclusive while TAKING); `Waker` itself is Send + Sync.
+unsafe impl<B: Backend> Sync for Slot<B> {}
+unsafe impl<B: Backend> Send for Slot<B> {}
+
+/// The cache-padded waker-slot table: one slot per pid, plus parked-side
+/// counters that let the release paths skip the scan entirely when nobody
+/// is waiting.
+///
+/// # Example
+///
+/// ```
+/// use rmr_async::park::{WaitKind, WakerTable};
+/// use rmr_mutex::mem::Native;
+/// use std::task::Waker;
+///
+/// let table: WakerTable<Native> = WakerTable::new(4);
+/// table.register(1, WaitKind::Writer, Waker::noop());
+/// assert_eq!(table.parked_writers(), 1);
+/// assert_eq!(table.wake_writers(), 1); // delivers (and consumes) the waker
+/// assert_eq!(table.parked_writers(), 0);
+/// ```
+pub struct WakerTable<B: Backend> {
+    slots: Box<[CachePadded<Slot<B>>]>,
+    parked_readers: CachePadded<B::Word>,
+    parked_writers: CachePadded<B::Word>,
+    /// Wake-ups delivered so far (diagnostics; bumped on the release path
+    /// only, never while registering).
+    wakeups: CachePadded<B::Word>,
+}
+
+impl<B: Backend> WakerTable<B> {
+    /// A table with `capacity` slots, one per pid in `0..capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "waker table capacity must be positive");
+        Self {
+            slots: (0..capacity)
+                .map(|_| {
+                    CachePadded::new(Slot {
+                        state: B::Word::new(EMPTY),
+                        cell: UnsafeCell::new(None),
+                    })
+                })
+                .collect(),
+            parked_readers: CachePadded::new(B::Word::new(0)),
+            parked_writers: CachePadded::new(B::Word::new(0)),
+            wakeups: CachePadded::new(B::Word::new(0)),
+        }
+    }
+
+    /// Number of slots (pids) the table serves.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Readers currently parked (approximate under concurrency).
+    pub fn parked_readers(&self) -> usize {
+        self.parked_readers.load() as usize
+    }
+
+    /// Writers currently parked (approximate under concurrency).
+    pub fn parked_writers(&self) -> usize {
+        self.parked_writers.load() as usize
+    }
+
+    /// Total wake-ups delivered since construction (diagnostics).
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load()
+    }
+
+    fn parked_count(&self, kind: WaitKind) -> &B::Word {
+        match kind {
+            WaitKind::Reader => &self.parked_readers,
+            WaitKind::Writer => &self.parked_writers,
+        }
+    }
+
+    /// Parks `waker` in `pid`'s slot (owner-only: at most one future may
+    /// lease a pid at a time). Re-registering while already parked
+    /// refreshes the stored waker; a delivery in flight toward a
+    /// *previous* registration is waited out (the two-operation `TAKING`
+    /// window) so the **latest** waker is always the parked one — the
+    /// Future contract lets each poll arrive with a different waker, and
+    /// a stale delivery must never substitute for parking the fresh one.
+    pub fn register(&self, pid: usize, kind: WaitKind, waker: &Waker) {
+        let slot = &self.slots[pid];
+        loop {
+            match slot.state.load() {
+                EMPTY => {
+                    // Owner-exclusive while EMPTY: write the cell, then
+                    // publish. Publication uses a plain store — no other
+                    // party transitions out of EMPTY.
+                    unsafe { *slot.cell.get() = Some(waker.clone()) };
+                    slot.state.store(kind.parked_word());
+                    self.parked_count(kind).fetch_add(1);
+                    return;
+                }
+                TAKING => {
+                    // The claimant stores EMPTY within two operations and
+                    // then fires the superseded waker — a harmless
+                    // spurious re-poll.
+                    spin_until(|| slot.state.load() != TAKING);
+                }
+                parked => {
+                    debug_assert_eq!(
+                        parked,
+                        kind.parked_word(),
+                        "slot {pid} parked under a foreign kind"
+                    );
+                    // Still parked from an earlier poll: reclaim the slot
+                    // to refresh the waker. Losing the CAS means a
+                    // releaser got there first; loop to the TAKING arm.
+                    // The decrement keys off the *observed* word so the
+                    // counters stay right even if the single-owner
+                    // discipline is violated upstream.
+                    let observed =
+                        if parked == PARKED_READER { WaitKind::Reader } else { WaitKind::Writer };
+                    if slot.state.compare_exchange(parked, EMPTY).is_ok() {
+                        self.parked_count(observed).fetch_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clears `pid`'s slot (owner-only): the future was cancelled or went
+    /// on to acquire the lock. Waits out an in-flight delivery (`TAKING`,
+    /// a two-operation window) so the pid can be safely re-leased — a
+    /// wake delivered across a pid reuse would otherwise be consumed by
+    /// the wrong future.
+    pub fn deregister(&self, pid: usize) {
+        let slot = &self.slots[pid];
+        loop {
+            match slot.state.load() {
+                EMPTY => return,
+                TAKING => {
+                    // The claimant stores EMPTY within two operations;
+                    // its wake then lands on this (already finished)
+                    // future, which is harmlessly spurious.
+                    spin_until(|| slot.state.load() != TAKING);
+                }
+                parked => {
+                    let kind =
+                        if parked == PARKED_READER { WaitKind::Reader } else { WaitKind::Writer };
+                    if slot.state.compare_exchange(parked, EMPTY).is_ok() {
+                        self.parked_count(kind).fetch_sub(1);
+                        // Owner-exclusive again: drop the stored waker.
+                        unsafe { *slot.cell.get() = None };
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers every parked *writer* waker. Returns the number of
+    /// wake-ups delivered.
+    pub fn wake_writers(&self) -> usize {
+        if self.parked_writers.load() == 0 {
+            return 0;
+        }
+        self.wake_matching(false, true)
+    }
+
+    /// Delivers every parked *reader* waker (the read-entry-completed
+    /// path: the transient entry window that made a concurrent reader's
+    /// attempt fail has closed). Returns the number of wake-ups
+    /// delivered.
+    pub fn wake_readers(&self) -> usize {
+        if self.parked_readers.load() == 0 {
+            return 0;
+        }
+        self.wake_matching(true, false)
+    }
+
+    /// Delivers every parked waker, reader and writer (the writer exit
+    /// and last-reader exit paths). Returns the number of wake-ups
+    /// delivered.
+    pub fn wake_all(&self) -> usize {
+        if self.parked_readers.load() == 0 && self.parked_writers.load() == 0 {
+            return 0;
+        }
+        self.wake_matching(true, true)
+    }
+
+    fn wake_matching(&self, include_readers: bool, include_writers: bool) -> usize {
+        let mut woken = 0;
+        for slot in self.slots.iter() {
+            let state = slot.state.load();
+            let kind = match state {
+                PARKED_READER if include_readers => WaitKind::Reader,
+                PARKED_WRITER if include_writers => WaitKind::Writer,
+                _ => continue,
+            };
+            if slot.state.compare_exchange(state, TAKING).is_err() {
+                continue; // the owner retired it, or another releaser won
+            }
+            self.parked_count(kind).fetch_sub(1);
+            // Claimant-exclusive while TAKING.
+            let waker = unsafe { (*slot.cell.get()).take() };
+            slot.state.store(EMPTY);
+            if let Some(waker) = waker {
+                self.wakeups.fetch_add(1);
+                woken += 1;
+                waker.wake();
+            }
+        }
+        woken
+    }
+}
+
+impl<B: Backend> fmt::Debug for WakerTable<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WakerTable")
+            .field("capacity", &self.capacity())
+            .field("parked_readers", &self.parked_readers())
+            .field("parked_writers", &self.parked_writers())
+            .field("wakeups", &self.wakeups())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmr_mutex::mem::Native;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::task::Wake;
+
+    /// A waker that counts its deliveries.
+    struct CountingWake(AtomicU64);
+
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting() -> (Arc<CountingWake>, Waker) {
+        let w = Arc::new(CountingWake(AtomicU64::new(0)));
+        (Arc::clone(&w), Waker::from(Arc::clone(&w)))
+    }
+
+    #[test]
+    fn register_wake_round_trip() {
+        let table: WakerTable<Native> = WakerTable::new(2);
+        let (count, waker) = counting();
+        table.register(0, WaitKind::Reader, &waker);
+        assert_eq!((table.parked_readers(), table.parked_writers()), (1, 0));
+        assert_eq!(table.wake_writers(), 0, "no writer parked");
+        assert_eq!(count.0.load(Ordering::SeqCst), 0);
+        assert_eq!(table.wake_all(), 1);
+        assert_eq!(count.0.load(Ordering::SeqCst), 1);
+        assert_eq!(table.parked_readers(), 0);
+        assert_eq!(table.wakeups(), 1);
+    }
+
+    #[test]
+    fn deregister_drops_without_waking() {
+        let table: WakerTable<Native> = WakerTable::new(1);
+        let (count, waker) = counting();
+        table.register(0, WaitKind::Writer, &waker);
+        table.deregister(0);
+        assert_eq!(table.parked_writers(), 0);
+        assert_eq!(table.wake_all(), 0);
+        assert_eq!(count.0.load(Ordering::SeqCst), 0, "cancelled waker must not fire");
+    }
+
+    #[test]
+    fn reregistration_refreshes_the_waker() {
+        let table: WakerTable<Native> = WakerTable::new(1);
+        let (old_count, old_waker) = counting();
+        let (new_count, new_waker) = counting();
+        table.register(0, WaitKind::Writer, &old_waker);
+        table.register(0, WaitKind::Writer, &new_waker);
+        assert_eq!(table.parked_writers(), 1, "refresh must not double-count");
+        assert_eq!(table.wake_writers(), 1);
+        assert_eq!(old_count.0.load(Ordering::SeqCst), 0, "stale waker fired");
+        assert_eq!(new_count.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wake_writers_leaves_readers_parked() {
+        let table: WakerTable<Native> = WakerTable::new(4);
+        let (r, rw) = counting();
+        let (w, ww) = counting();
+        table.register(0, WaitKind::Reader, &rw);
+        table.register(1, WaitKind::Writer, &ww);
+        assert_eq!(table.wake_writers(), 1);
+        assert_eq!((r.0.load(Ordering::SeqCst), w.0.load(Ordering::SeqCst)), (0, 1));
+        assert_eq!((table.parked_readers(), table.parked_writers()), (1, 0));
+        assert_eq!(table.wake_all(), 1);
+        assert_eq!(r.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_wakes_deliver_exactly_once() {
+        for _ in 0..50 {
+            let table: Arc<WakerTable<Native>> = Arc::new(WakerTable::new(8));
+            let (count, waker) = counting();
+            for pid in 0..8 {
+                table.register(pid, WaitKind::Writer, &waker);
+            }
+            let mut threads = Vec::new();
+            for _ in 0..4 {
+                let table = Arc::clone(&table);
+                threads.push(std::thread::spawn(move || table.wake_all()));
+            }
+            let woken: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+            assert_eq!(woken, 8, "each parked waker delivered exactly once");
+            assert_eq!(count.0.load(Ordering::SeqCst), 8);
+            assert_eq!(table.parked_writers(), 0);
+        }
+    }
+
+    #[test]
+    fn thread_parker_token_survives_early_unpark() {
+        let p = ThreadParker::current();
+        p.unpark(); // token delivered before the park
+        p.park(); // must return immediately
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: WakerTable<Native> = WakerTable::new(0);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let table: WakerTable<Native> = WakerTable::new(2);
+        let s = format!("{table:?}");
+        assert!(s.contains("WakerTable") && s.contains("parked_readers"), "{s}");
+    }
+}

@@ -1,0 +1,287 @@
+//! The perf-trajectory gate: diffs a freshly regenerated `bench_summary`
+//! blob against the committed `BENCH_<pr>.json` (BENCH_SCHEMA.md) and
+//! fails on a missing row or a throughput regression beyond the
+//! threshold — so a perf cliff surfaces in review, not in production.
+//!
+//! ```text
+//! cargo run --release -p rmr-bench --bin bench_diff -- \
+//!     BENCH_5.json bench_summary.json [--max-regress 30] [--json]
+//! ```
+//!
+//! Gate semantics:
+//!
+//! * **Schema** — both blobs must carry the same `schema` id. A `quick`
+//!   flag mismatch is warned about (the amortization profiles differ —
+//!   diff like against like) but does not fail the gate by itself.
+//! * **Missing rows** — every `(lock, read_pct)` throughput row and every
+//!   `(lock, op)` uncontended row of the committed blob must exist in the
+//!   fresh one. Rows only the fresh blob has are fine (a new lock is not
+//!   a schema bump) and are reported as `new`.
+//! * **Throughput regression** — gated on the *host-normalized* ratio:
+//!   the gate first computes the median of `fresh / committed` across all
+//!   throughput rows (the host factor — a CI runner that is uniformly 2×
+//!   slower than the machine that committed the trajectory shifts every
+//!   row equally), then fails any row whose normalized throughput is more
+//!   than `--max-regress` percent (default 30) below that factor. One
+//!   lock falling off a cliff trips the gate; the whole fleet drifting
+//!   together does not (by design — that is a host change, and the raw
+//!   deltas stay visible in the table). Uncontended `ns_per_op` drift is
+//!   *reported* but not gated: single-thread nanosecond latencies on a
+//!   shared CI runner are too noisy to block on.
+//!
+//! Treat a red gate on new hardware as a prompt to refresh the
+//! trajectory, per BENCH_SCHEMA.md.
+
+use rmr_bench::cli::Table;
+use rmr_bench::jsonio::Json;
+use std::process::ExitCode;
+
+struct Args {
+    committed: String,
+    fresh: String,
+    max_regress_pct: f64,
+    json: bool,
+}
+
+fn usage() -> String {
+    "perf-trajectory gate: diff a fresh bench_summary blob against the committed trajectory\n\n\
+     Usage: cargo run --release -p rmr-bench --bin bench_diff -- \
+     <committed.json> <fresh.json> [--max-regress <pct>] [--json]\n\n\
+     Options:\n  \
+     --max-regress <pct>  throughput drop (percent) that fails the gate (default 30)\n  \
+     --json               emit the diff table as JSON instead of markdown\n  \
+     --help               print this message"
+        .into()
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut max_regress_pct = 30.0;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--max-regress" => {
+                let value = args.next().unwrap_or_default();
+                max_regress_pct = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-regress needs a number, got {value:?}\n\n{}", usage());
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{}", usage());
+                std::process::exit(2);
+            }
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!("expected exactly two files, got {}\n\n{}", positional.len(), usage());
+        std::process::exit(2);
+    }
+    let fresh = positional.pop().expect("len checked");
+    let committed = positional.pop().expect("len checked");
+    Args { committed, fresh, max_regress_pct, json }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// One comparable row: section, identity key, and the compared metric.
+struct Row {
+    section: &'static str,
+    lock: String,
+    key: String,
+    metric: f64,
+}
+
+/// Flattens a blob's `throughput` and `uncontended` arrays into keyed
+/// rows; exits 2 on shape violations (a malformed blob is an
+/// infrastructure failure, not a perf regression).
+fn rows_of(blob: &Json, path: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (section, key_field, metric_field) in
+        [("throughput", "read_pct", "ops_per_sec"), ("uncontended", "op", "ns_per_op")]
+    {
+        let entries = blob.get(section).and_then(Json::as_array).unwrap_or_else(|| {
+            eprintln!("{path}: missing `{section}` array");
+            std::process::exit(2);
+        });
+        for entry in entries {
+            let lock = entry.get("lock").and_then(Json::as_str);
+            let key = entry.get(key_field).map(|k| match k {
+                Json::Num(n) => format!("{n}"),
+                Json::Str(s) => s.clone(),
+                other => format!("{other:?}"),
+            });
+            let metric = entry.get(metric_field).and_then(Json::as_f64);
+            match (lock, key, metric) {
+                (Some(lock), Some(key), Some(metric)) => {
+                    rows.push(Row { section, lock: lock.into(), key, metric });
+                }
+                _ => {
+                    eprintln!("{path}: malformed `{section}` entry: {entry:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    rows
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let committed = load(&args.committed);
+    let fresh = load(&args.fresh);
+
+    let committed_schema = committed.get("schema").and_then(Json::as_str).unwrap_or("<none>");
+    let fresh_schema = fresh.get("schema").and_then(Json::as_str).unwrap_or("<none>");
+    if committed_schema != fresh_schema {
+        eprintln!(
+            "schema mismatch: {} has {committed_schema:?}, {} has {fresh_schema:?} — \
+             regenerate the trajectory (BENCH_SCHEMA.md)",
+            args.committed, args.fresh
+        );
+        return ExitCode::from(1);
+    }
+
+    if committed.get("quick").and_then(Json::as_bool) != fresh.get("quick").and_then(Json::as_bool)
+    {
+        eprintln!(
+            "bench-diff: WARNING — `quick` flags differ between {} and {}; iteration-count \
+             amortization differs, diff like against like (BENCH_SCHEMA.md)",
+            args.committed, args.fresh
+        );
+    }
+
+    let committed_rows = rows_of(&committed, &args.committed);
+    let fresh_rows = rows_of(&fresh, &args.fresh);
+    let find = |section: &str, lock: &str, key: &str| {
+        fresh_rows
+            .iter()
+            .find(|r| r.section == section && r.lock == lock && r.key == key)
+            .map(|r| r.metric)
+    };
+
+    // The host factor: the median fresh/committed throughput ratio. A
+    // uniformly slower (or faster) host moves every row by this factor;
+    // the gate fires on rows that fall substantially below it.
+    let mut ratios: Vec<f64> = committed_rows
+        .iter()
+        .filter(|r| r.section == "throughput")
+        .filter_map(|r| Some(find(r.section, &r.lock, &r.key)? / r.metric))
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let host_factor = if ratios.is_empty() { 1.0 } else { ratios[ratios.len() / 2] };
+
+    let mut table = Table::new(&[
+        ("section", "section"),
+        ("lock", "lock"),
+        ("key", "key"),
+        ("committed", "committed"),
+        ("fresh", "fresh"),
+        ("delta", "delta_pct"),
+        ("normalized", "normalized_pct"),
+        ("status", "status"),
+    ]);
+    let mut failures: Vec<String> = Vec::new();
+    for row in &committed_rows {
+        let (fresh_metric, delta_pct, norm_pct, status) =
+            match find(row.section, &row.lock, &row.key) {
+                None => {
+                    failures.push(format!("{}/{}/{}: row missing", row.section, row.lock, row.key));
+                    (String::new(), String::new(), String::new(), "MISSING")
+                }
+                Some(metric) => {
+                    let delta = (metric / row.metric - 1.0) * 100.0;
+                    let normalized = (metric / (row.metric * host_factor) - 1.0) * 100.0;
+                    // Throughput: higher is better, gate on normalized
+                    // drops. The uncontended latency rows are report-only
+                    // (see module docs).
+                    let status =
+                        if row.section == "throughput" && -normalized > args.max_regress_pct {
+                            failures.push(format!(
+                                "{}/{}/{}: {:.0} -> {:.0} ops/s ({normalized:+.1}% vs the host \
+                             factor {host_factor:.2}, gate {:.0}%)",
+                                row.section,
+                                row.lock,
+                                row.key,
+                                row.metric,
+                                metric,
+                                args.max_regress_pct
+                            ));
+                            "REGRESSED"
+                        } else {
+                            "ok"
+                        };
+                    (
+                        format!("{metric:.1}"),
+                        format!("{delta:+.1}%"),
+                        if row.section == "throughput" {
+                            format!("{normalized:+.1}%")
+                        } else {
+                            String::new()
+                        },
+                        status,
+                    )
+                }
+            };
+        table.row(vec![
+            row.section.into(),
+            row.lock.clone(),
+            row.key.clone(),
+            format!("{:.1}", row.metric),
+            fresh_metric,
+            delta_pct,
+            norm_pct,
+            status.into(),
+        ]);
+    }
+    for row in &fresh_rows {
+        let known = committed_rows
+            .iter()
+            .any(|c| c.section == row.section && c.lock == row.lock && c.key == row.key);
+        if !known {
+            table.row(vec![
+                row.section.into(),
+                row.lock.clone(),
+                row.key.clone(),
+                String::new(),
+                format!("{:.1}", row.metric),
+                String::new(),
+                String::new(),
+                "new".into(),
+            ]);
+        }
+    }
+    print!("{}", table.emit(args.json));
+
+    if failures.is_empty() {
+        eprintln!(
+            "bench-diff: {} rows compared against {} (host factor {host_factor:.2}), none \
+             beyond the {:.0}% gate",
+            committed_rows.len(),
+            args.committed,
+            args.max_regress_pct
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench-diff FAILED: {f}");
+        }
+        ExitCode::from(1)
+    }
+}

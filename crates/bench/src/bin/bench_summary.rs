@@ -12,11 +12,12 @@
 //! cargo run --release -p rmr-bench --bin bench_summary [-- --quick] > BENCH_host.json
 //! ```
 
+use rmr_async::AsyncRwLock;
 use rmr_baselines::{
     CentralizedRwLock, DistributedFlagRwLock, StdRwLock, TicketRwLock, TournamentRwLock,
 };
 use rmr_bench::cli::{json_string, BenchArgs};
-use rmr_bench::workloads::{run_mixed, Workload};
+use rmr_bench::workloads::{run_async_mixed, run_mixed, Workload};
 use rmr_bravo::Bravo;
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
 use rmr_core::raw::RawRwLock;
@@ -24,8 +25,12 @@ use rmr_core::registry::Pid;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Stable schema identifier; see BENCH_SCHEMA.md.
-const SCHEMA: &str = "rmr-bench-summary/v1";
+/// Stable schema identifier; see BENCH_SCHEMA.md. v2: `ops_per_sec` is
+/// the **best rep** (max over the timed repetitions), not the pooled
+/// rate — one descheduled rep on a noisy host no longer halves a row,
+/// which is what makes the `bench_diff` trajectory gate stable enough to
+/// block CI on.
+const SCHEMA: &str = "rmr-bench-summary/v2";
 const SEED: u64 = 0xBEEF;
 const THREADS: usize = 4;
 
@@ -42,6 +47,23 @@ struct UncontendedEntry {
     ns_per_op: f64,
 }
 
+/// The schema-v2 aggregation rule, in one place: one warm-up run (which
+/// also validates — the workload drivers panic on lost updates), then
+/// `reps` timed runs keeping the **fastest** rate. A rep that lost its
+/// timeslice measures the scheduler, not the lock, and would poison the
+/// trajectory diff.
+fn best_of_reps(reps: u32, run: impl Fn() -> rmr_bench::workloads::WorkloadResult) -> (u64, f64) {
+    run(); // warm-up
+    let mut ops = 0u64;
+    let mut best = 0f64;
+    for _ in 0..reps {
+        let res = run();
+        ops = res.ops;
+        best = best.max(res.ops_per_sec());
+    }
+    (ops, best)
+}
+
 fn throughput<L: RawRwLock + 'static>(
     out: &mut Vec<ThroughputEntry>,
     name: &'static str,
@@ -52,19 +74,8 @@ fn throughput<L: RawRwLock + 'static>(
     for read_pct in [50u32, 90, 99] {
         let workload =
             Workload { threads: THREADS, read_ratio: f64::from(read_pct) / 100.0, ops_per_thread };
-        // Warm-up (also validates: run_mixed panics on lost updates).
-        run_mixed(Arc::new(make()), workload, SEED);
-        // Sum the per-run elapsed times measured inside run_mixed, so
-        // lock construction and this loop's overhead are excluded; the
-        // ops_per_thread count is sized so thread startup is noise.
-        let mut ops = 0u64;
-        let mut secs = 0f64;
-        for _ in 0..reps {
-            let res = run_mixed(Arc::new(make()), workload, SEED);
-            ops += res.ops;
-            secs += res.elapsed.as_secs_f64();
-        }
-        out.push(ThroughputEntry { lock: name, read_pct, ops, ops_per_sec: ops as f64 / secs });
+        let (ops, best) = best_of_reps(reps, || run_mixed(Arc::new(make()), workload, SEED));
+        out.push(ThroughputEntry { lock: name, read_pct, ops, ops_per_sec: best });
     }
 }
 
@@ -102,7 +113,7 @@ fn main() {
         "Perf-trajectory snapshot: throughput + uncontended latency as one JSON blob",
     );
     let (ops_per_thread, reps, iters) =
-        if args.quick { (300, 2, 5_000) } else { (2_000, 3, 50_000) };
+        if args.quick { (300, 3, 5_000) } else { (2_000, 3, 50_000) };
 
     let mut tp: Vec<ThroughputEntry> = Vec::new();
     throughput(
@@ -157,6 +168,16 @@ fn main() {
         ops_per_thread,
         reps,
     );
+    // The async tier (rmr-async): the same mixed workload with every
+    // operation a read()/write() await pair — parking and wake-ups on the
+    // measured path, so a wake-path regression shows in the trajectory.
+    for read_pct in [50u32, 90, 99] {
+        let workload =
+            Workload { threads: THREADS, read_ratio: f64::from(read_pct) / 100.0, ops_per_thread };
+        let make = || Arc::new(AsyncRwLock::with_raw(0u64, TicketRwLock::new(THREADS)));
+        let (ops, best) = best_of_reps(reps, || run_async_mixed(make(), workload, SEED));
+        tp.push(ThroughputEntry { lock: "async-ticket-rw", read_pct, ops, ops_per_sec: best });
+    }
 
     let mut un: Vec<UncontendedEntry> = Vec::new();
     uncontended(&mut un, "fig3-starvation-free", &MwmrStarvationFree::new(4), iters);

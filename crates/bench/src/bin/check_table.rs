@@ -14,8 +14,10 @@
 //! cargo run --release -p rmr-bench --bin check_table -- [--quick] [--json]
 //! ```
 
+use rmr_async::lock::AsyncRwLock;
 use rmr_bench::cli::{BenchArgs, Table};
 use rmr_bravo::{Bravo, BravoConfig};
+use rmr_check::async_exec::{async_cancel_trial, async_read_blocking_write_trial, async_rw_trial};
 use rmr_check::exhaustive;
 use rmr_check::harness::{
     mutex_trial, randomized_batteries, rw_trial, try_rw_trial, CheckReport, Scenario, Trial,
@@ -164,6 +166,75 @@ fn main() {
             try_rw_trial(lock, Scenario::new(2, 1, 2), move || q.is_quiescent())
         };
         reports.extend(run_modes("bravo-ticket-rw-try", big, None, &budgets));
+    }
+
+    // The async tier (rmr-async): futures over the Sched backend — waker
+    // table, parked counters and the executors' parker flags all
+    // scheduled, so parking races are explored at the same atomicity as
+    // the sync locks. Quiescence = nothing parked, nothing held, no pid
+    // leased (plus the raw lock's own notion where one exists).
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            let lock = Arc::new(AsyncRwLock::with_raw_and_capacity_in(
+                (),
+                rmr_baselines::TicketRwLock::new_in(8, Sched),
+                8,
+                Sched,
+            ));
+            let q = Arc::clone(&lock);
+            async_rw_trial(lock, Scenario::new(2, 1, 2), move || q.is_quiescent())
+        };
+        let small: &dyn Fn() -> Trial = &|| {
+            let lock = Arc::new(AsyncRwLock::with_raw_and_capacity_in(
+                (),
+                rmr_baselines::TicketRwLock::new_in(4, Sched),
+                4,
+                Sched,
+            ));
+            let q = Arc::clone(&lock);
+            async_rw_trial(lock, Scenario::new(1, 1, 1), move || q.is_quiescent())
+        };
+        reports.extend(run_modes("async-ticket-rw", big, Some(small), &budgets));
+    }
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            let lock =
+                Arc::new(AsyncRwLock::with_raw_in((), MwmrStarvationFree::new_in(4, Sched), Sched));
+            let q = Arc::clone(&lock);
+            async_read_blocking_write_trial(lock, Scenario::new(2, 1, 2), move || {
+                q.is_quiescent() && q.raw().is_quiescent()
+            })
+        };
+        reports.extend(run_modes("async-fig3-sf", big, None, &budgets));
+    }
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            let lock = Arc::new(AsyncRwLock::with_raw_and_capacity_in(
+                (),
+                Bravo::new_in(rmr_baselines::TicketRwLock::new_in(8, Sched), bravo_cfg, Sched),
+                8,
+                Sched,
+            ));
+            let q = Arc::clone(&lock);
+            async_rw_trial(lock, Scenario::new(2, 1, 2), move || {
+                q.is_quiescent() && q.raw().is_quiescent()
+            })
+        };
+        reports.extend(run_modes("async-bravo-ticket", big, None, &budgets));
+    }
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            async_cancel_trial(
+                Arc::new(AsyncRwLock::with_raw_and_capacity_in(
+                    (),
+                    rmr_baselines::TicketRwLock::new_in(8, Sched),
+                    8,
+                    Sched,
+                )),
+                Scenario::new(2, 1, 2),
+            )
+        };
+        reports.extend(run_modes("async-cancel", big, None, &budgets));
     }
 
     let mut table = Table::new(&[

@@ -1,0 +1,392 @@
+//! A minimal JSON *reader* to pair with the workspace's hand-rolled JSON
+//! emitters (`cli::Table::json`, `bench_summary`) — the offline-build
+//! policy rules out a serde dependency, and the only consumer is the
+//! `bench_diff` trajectory gate, which needs objects, arrays, strings,
+//! numbers and booleans, nothing exotic.
+//!
+//! Numbers are parsed as `f64` (every number the emitters produce fits),
+//! strings support the escapes the emitters write plus `\uXXXX`, and
+//! input must be a single JSON value followed only by whitespace.
+//!
+//! # Example
+//!
+//! ```
+//! use rmr_bench::jsonio::Json;
+//!
+//! let v = Json::parse(r#"{"schema": "x/v1", "rows": [{"n": 1.5}, {"n": 2}]}"#).unwrap();
+//! assert_eq!(v.get("schema").unwrap().as_str(), Some("x/v1"));
+//! let rows = v.get("rows").unwrap().as_array().unwrap();
+//! assert_eq!(rows[1].get("n").unwrap().as_f64(), Some(2.0));
+//! ```
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys keep the last).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { message: message.into(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not emitted by our writers;
+                            // map them to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is &str, so the
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xc0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was a valid &str"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| ParseError { message: format!("invalid number `{text}`"), offset: start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_table_emitter() {
+        // The exact shape `cli::Table::json` produces.
+        let mut t = crate::cli::Table::new(&[("lock", "lock"), ("ops/s", "ops_per_sec")]);
+        t.row(vec!["ticket-rw".into(), "12345.6".into()]);
+        t.row(vec!["a \"quoted\" name".into(), "-0.5".into()]);
+        let parsed = Json::parse(&t.json()).unwrap();
+        let rows = parsed.as_array().unwrap();
+        assert_eq!(rows[0].get("lock").unwrap().as_str(), Some("ticket-rw"));
+        assert_eq!(rows[0].get("ops_per_sec").unwrap().as_f64(), Some(12345.6));
+        assert_eq!(rows[1].get("lock").unwrap().as_str(), Some("a \"quoted\" name"));
+        assert_eq!(rows[1].get("ops_per_sec").unwrap().as_f64(), Some(-0.5));
+    }
+
+    #[test]
+    fn parses_the_bench_summary_shape() {
+        let blob = r#"{
+          "schema": "rmr-bench-summary/v1",
+          "quick": true,
+          "seed": 48879,
+          "throughput": [
+            {"lock": "ticket-rw", "read_pct": 99, "ops": 2400, "ops_per_sec": 1234567.8}
+          ],
+          "uncontended": []
+        }"#;
+        let v = Json::parse(blob).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("rmr-bench-summary/v1"));
+        assert_eq!(v.get("quick").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("seed").unwrap().as_f64(), Some(48879.0));
+        let tp = v.get("throughput").unwrap().as_array().unwrap();
+        assert_eq!(tp.len(), 1);
+        assert_eq!(tp[0].get("read_pct").unwrap().as_f64(), Some(99.0));
+        assert!(v.get("uncontended").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = Json::parse(r#""a\nb\t\"c\" A é""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\nb\t\"c\" A é"));
+    }
+
+    #[test]
+    fn null_bool_and_nested_values() {
+        let v = Json::parse(r#"{"a": null, "b": [true, false, {"c": []}]}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Null));
+        let b = v.get("b").unwrap().as_array().unwrap();
+        assert_eq!(b[0].as_bool(), Some(true));
+        assert!(b[2].get("c").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last() {
+        let v = Json::parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn scientific_notation_numbers() {
+        let v = Json::parse("[1e3, -2.5E-2, 0.0]").unwrap();
+        let a = v.as_array().unwrap();
+        assert_eq!(a[0].as_f64(), Some(1000.0));
+        assert_eq!(a[1].as_f64(), Some(-0.025));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        for (text, needle) in [
+            ("{", "expected `\"`"),
+            ("[1,]", "expected a JSON value"),
+            (r#"{"a" 1}"#, "expected `:`"),
+            ("tru", "expected `true`"),
+            ("1 2", "trailing characters"),
+            (r#""unterminated"#, "unterminated string"),
+            ("", "expected a JSON value"),
+        ] {
+            let err = Json::parse(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn accessors_return_none_on_type_mismatch() {
+        let v = Json::parse("[1]").unwrap();
+        assert_eq!(v.get("k"), None);
+        assert_eq!(v.as_str(), None);
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(v.as_array().unwrap()[0].as_array(), None);
+    }
+}

@@ -1,7 +1,10 @@
-//! Real-thread workload drivers for the throughput benches and the
-//! priority-behavior experiment (E9, E11).
+//! Real-thread workload drivers for the throughput benches, the
+//! priority-behavior experiment (E9, E11), and the async-tier throughput
+//! sweep (E16).
 
-use rmr_core::raw::RawRwLock;
+use rmr_async::exec::block_on;
+use rmr_async::lock::AsyncRwLock;
+use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
 use rmr_sim::rng::SplitMix64;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -137,6 +140,100 @@ pub fn run_read_mostly<L: RawRwLock + 'static>(
     WorkloadResult { ops: (workload.threads * workload.ops_per_thread) as u64, elapsed }
 }
 
+/// E16: the mixed workload through the async tier — one executor
+/// ([`block_on`]) per thread, every operation a `read().await` /
+/// `write().await` pair on the protected counter, so the suspension,
+/// parking and wake-up machinery is on the measured path. Requires the
+/// full non-blocking tier (`write().await` needs [`RawTryRwLock`]).
+/// Panics on lost updates like [`run_mixed`].
+pub fn run_async_mixed<L>(
+    lock: Arc<AsyncRwLock<u64, L>>,
+    workload: Workload,
+    seed: u64,
+) -> WorkloadResult
+where
+    L: RawTryRwLock + RawMultiWriter + 'static,
+{
+    assert!(workload.threads <= lock.max_processes());
+    let writes_done = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..workload.threads {
+        let lock = Arc::clone(&lock);
+        let writes_done = Arc::clone(&writes_done);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(seed ^ (t as u64) << 32);
+            let mut local_writes = 0u64;
+            block_on(async {
+                for _ in 0..workload.ops_per_thread {
+                    if rng.gen_bool(workload.read_ratio) {
+                        std::hint::black_box(*lock.read().await);
+                    } else {
+                        *lock.write().await += 1;
+                        local_writes += 1;
+                    }
+                }
+            });
+            writes_done.fetch_add(local_writes, Ordering::SeqCst);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let total = block_on(async { *lock.read().await });
+    assert_eq!(total, writes_done.load(Ordering::SeqCst), "lost update under {workload:?}");
+    WorkloadResult { ops: (workload.threads * workload.ops_per_thread) as u64, elapsed }
+}
+
+/// E16: the read-mostly async workload for locks *without* a revocable
+/// write attempt (the paper's core locks): every thread awaits its reads;
+/// **only thread 0 ever writes**, through
+/// [`AsyncRwLock::write_blocking`] — the designated-writer shape a
+/// service over these locks would actually deploy. Panics on lost
+/// updates.
+pub fn run_async_read_mostly<L>(
+    lock: Arc<AsyncRwLock<u64, L>>,
+    workload: Workload,
+    seed: u64,
+) -> WorkloadResult
+where
+    L: RawTryReadLock + RawMultiWriter + 'static,
+{
+    assert!(workload.threads <= lock.max_processes());
+    let writes_done = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..workload.threads {
+        let lock = Arc::clone(&lock);
+        let writes_done = Arc::clone(&writes_done);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(seed ^ (t as u64) << 32);
+            let mut local_writes = 0u64;
+            block_on(async {
+                for _ in 0..workload.ops_per_thread {
+                    if t != 0 || rng.gen_bool(workload.read_ratio) {
+                        std::hint::black_box(*lock.read().await);
+                    } else {
+                        // The designated writer blocks; it is alone on
+                        // this executor, so nothing else is starved.
+                        *lock.write_blocking() += 1;
+                        local_writes += 1;
+                    }
+                }
+            });
+            writes_done.fetch_add(local_writes, Ordering::SeqCst);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let total = block_on(async { *lock.read().await });
+    assert_eq!(total, writes_done.load(Ordering::SeqCst), "lost update under {workload:?}");
+    WorkloadResult { ops: (workload.threads * workload.ops_per_thread) as u64, elapsed }
+}
+
 /// E9 measurement: writer entry latency while `reader_threads` churn reads
 /// continuously. Returns per-write-attempt latencies.
 pub fn writer_latency_under_read_storm<L: RawRwLock + 'static>(
@@ -205,6 +302,29 @@ mod tests {
         let lock = Arc::new(rmr_core::swmr::SwmrWriterPriority::new());
         let res =
             run_read_mostly(lock, Workload { threads: 4, read_ratio: 0.9, ops_per_thread: 200 }, 7);
+        assert_eq!(res.ops, 800);
+    }
+
+    #[test]
+    fn async_mixed_workload_loses_no_updates() {
+        let lock = Arc::new(AsyncRwLock::with_raw(0u64, rmr_baselines::TicketRwLock::new(4)));
+        let res = run_async_mixed(
+            lock,
+            Workload { threads: 4, read_ratio: 0.7, ops_per_thread: 200 },
+            42,
+        );
+        assert_eq!(res.ops, 800);
+        assert!(res.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn async_read_mostly_single_writer_loses_no_updates() {
+        let lock = Arc::new(AsyncRwLock::with_raw(0u64, MwmrStarvationFree::new(4)));
+        let res = run_async_read_mostly(
+            lock,
+            Workload { threads: 4, read_ratio: 0.9, ops_per_thread: 200 },
+            7,
+        );
         assert_eq!(res.ops, 800);
     }
 

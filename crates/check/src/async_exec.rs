@@ -1,0 +1,260 @@
+//! The deterministic async executor: `rmr-async` futures under the
+//! [`Sched`] scheduler.
+//!
+//! DESIGN.md §9's argument — one yield point per `Backend` operation
+//! explores the complete interleaving space — carries over to the async
+//! tier unchanged, because `rmr-async` put *all* of its cross-task state
+//! (waker-slot words, parked counters, the reader count) on the backend
+//! vocabulary and made the executor's wait a pluggable [`Parker`].
+//! [`SchedParker`] closes the loop:
+//! its `park` is a spin on a `Sched`-backed flag, so an idle executor is
+//! an ordinary stalled spinner to the controller — descheduled until some
+//! other task's wake-up flips the flag (visible progress), and reported
+//! as a **deadlock, with a replayable decision sequence**, if no task
+//! ever will. A lost wake-up, the async tier's characteristic bug, is
+//! therefore not a hang but a seeded, single-line-replayable failure —
+//! which the `DropWakeup` mutant battery demonstrates by omission.
+//!
+//! Each scheduled task runs one future to completion through
+//! [`block_on_sched`]; the controller interleaves the tasks at every
+//! shared-memory operation *inside* the polls, exactly as it does for the
+//! sync locks. The trial builders here mirror [`crate::harness`]'s: same
+//! [`RwOracle`], same [`Scenario`] accounting, same quiescence hooks —
+//! plus the cancellation trial, which drops pending futures mid-protocol
+//! and lets the post-run checks prove nothing stays pinned.
+
+use crate::harness::{RwOracle, Scenario, TaskBody, Trial};
+use rmr_async::exec::{block_on_with, parker_waker};
+use rmr_async::lock::AsyncRwLock;
+use rmr_async::park::Parker;
+use rmr_core::raw::{RawMultiWriter, RawTryReadLock, RawTryRwLock};
+use rmr_mutex::mem::{Backend, SharedBool};
+use rmr_mutex::{spin_until, Sched};
+use std::fmt;
+use std::future::Future;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+type SchedBool = <Sched as Backend>::Bool;
+
+/// A [`Parker`] whose wait is a spin on a [`Sched`]-backed flag: parking
+/// becomes futile-op stalling (the controller deschedules the task), the
+/// wake-up's flag store is visible progress (the controller revives it),
+/// and a wait nobody will end is a deadlock report.
+pub struct SchedParker {
+    token: SchedBool,
+}
+
+impl SchedParker {
+    /// A fresh parker (one per executor; build it inside the task so its
+    /// flag joins the schedule's variable set deterministically).
+    pub fn new() -> Self {
+        Self { token: SchedBool::new(false) }
+    }
+}
+
+impl Default for SchedParker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parker for SchedParker {
+    fn park(&self) {
+        // swap, not load: consuming the token keeps the unpark-before-park
+        // case correct, and a false→false swap is exactly the futile
+        // operation the stall detector keys on.
+        spin_until(|| self.token.swap(false));
+    }
+
+    fn unpark(&self) {
+        self.token.store(true);
+    }
+}
+
+impl fmt::Debug for SchedParker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedParker").finish_non_exhaustive()
+    }
+}
+
+/// Runs `future` to completion on the calling [`Sched`] task, waiting
+/// through a fresh [`SchedParker`]. The deterministic `block_on`.
+pub fn block_on_sched<F: Future>(future: F) -> F::Output {
+    block_on_with(future, Arc::new(SchedParker::new()))
+}
+
+/// Builds a [`Trial`] driving `AsyncRwLock` readers *and* writers through
+/// the async tier (`read().await` / `write().await`) under the
+/// deterministic executor. `quiescent` is the lock-specific at-rest check
+/// (pass `move || lock.is_quiescent()` plus any inner-lock notion).
+pub fn async_rw_trial<L>(
+    lock: Arc<AsyncRwLock<(), L, Sched>>,
+    scenario: Scenario,
+    quiescent: impl Fn() -> bool + 'static,
+) -> Trial
+where
+    L: RawTryRwLock + RawMultiWriter + 'static,
+{
+    assert!(!scenario.try_readers && !scenario.try_writers, "use async_cancel_trial");
+    let oracle = Arc::new(RwOracle::new());
+    let mut tasks: Vec<TaskBody> = Vec::new();
+    for _ in 0..scenario.readers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            block_on_sched(async {
+                for _ in 0..scenario.attempts {
+                    let guard = lock.read().await;
+                    oracle.reader_cs();
+                    drop(guard);
+                }
+            });
+        }));
+    }
+    for _ in 0..scenario.writers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            block_on_sched(async {
+                for _ in 0..scenario.attempts {
+                    let guard = lock.write().await;
+                    oracle.writer_cs();
+                    drop(guard);
+                }
+            });
+        }));
+    }
+    Trial { tasks, post: async_settle_post(oracle, scenario, quiescent) }
+}
+
+/// Like [`async_rw_trial`], but writers use
+/// [`AsyncRwLock::write_blocking`] — the writer endpoint for raw locks
+/// without a revocable write attempt (the paper's core locks). Readers
+/// still suspend; the blocking writers' release paths must wake them.
+pub fn async_read_blocking_write_trial<L>(
+    lock: Arc<AsyncRwLock<(), L, Sched>>,
+    scenario: Scenario,
+    quiescent: impl Fn() -> bool + 'static,
+) -> Trial
+where
+    L: RawTryReadLock + RawMultiWriter + 'static,
+{
+    assert!(!scenario.try_readers && !scenario.try_writers, "use async_cancel_trial");
+    let oracle = Arc::new(RwOracle::new());
+    let mut tasks: Vec<TaskBody> = Vec::new();
+    for _ in 0..scenario.readers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            block_on_sched(async {
+                for _ in 0..scenario.attempts {
+                    let guard = lock.read().await;
+                    oracle.reader_cs();
+                    drop(guard);
+                }
+            });
+        }));
+    }
+    for _ in 0..scenario.writers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            for _ in 0..scenario.attempts {
+                let guard = lock.write_blocking();
+                oracle.writer_cs();
+                drop(guard);
+            }
+        }));
+    }
+    Trial { tasks, post: async_settle_post(oracle, scenario, quiescent) }
+}
+
+/// The cancellation trial: readers poll a `read()` future **once** and
+/// drop it wherever that leaves them — mid-doorway, parked, or holding
+/// the guard — while writers run full `write().await` passages to create
+/// the contention windows. Accounting treats a dropped pending future as
+/// an aborted read attempt; the post-run quiescence check is the
+/// cancel-safety oracle (no pid, waker slot, or reader count stays
+/// pinned).
+pub fn async_cancel_trial<L>(lock: Arc<AsyncRwLock<(), L, Sched>>, scenario: Scenario) -> Trial
+where
+    L: RawTryRwLock + RawMultiWriter + 'static,
+{
+    let oracle = Arc::new(RwOracle::new());
+    let mut tasks: Vec<TaskBody> = Vec::new();
+    for _ in 0..scenario.readers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            let waker = parker_waker(Arc::new(SchedParker::new()));
+            let mut cx = Context::from_waker(&waker);
+            for _ in 0..scenario.attempts {
+                let mut future = std::pin::pin!(lock.read());
+                match future.as_mut().poll(&mut cx) {
+                    Poll::Ready(guard) => {
+                        oracle.reader_cs();
+                        drop(guard);
+                    }
+                    // The drop under test: `future` falls here while its
+                    // waker is parked and its pid is leased.
+                    Poll::Pending => oracle.read_abort(),
+                }
+            }
+        }));
+    }
+    for _ in 0..scenario.writers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            block_on_sched(async {
+                for _ in 0..scenario.attempts {
+                    let guard = lock.write().await;
+                    oracle.writer_cs();
+                    drop(guard);
+                }
+            });
+        }));
+    }
+    let scenario = Scenario { try_readers: true, ..scenario };
+    let quiesce = Arc::clone(&lock);
+    Trial { tasks, post: async_settle_post(oracle, scenario, move || quiesce.is_quiescent()) }
+}
+
+fn async_settle_post(
+    oracle: Arc<RwOracle>,
+    scenario: Scenario,
+    quiescent: impl Fn() -> bool + 'static,
+) -> Box<dyn FnOnce() -> Result<(), String>> {
+    Box::new(move || {
+        oracle.settle(&scenario)?;
+        if !quiescent() {
+            return Err("async lock is not quiescent after a clean run".into());
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmr_mutex::sched::{run_tasks, RoundRobin};
+
+    #[test]
+    fn sched_parker_runs_natively_off_tasks() {
+        // Off scheduler tasks the Sched backend executes natively, so the
+        // parker is an ordinary spin-flag — unpark-then-park returns.
+        let p = SchedParker::new();
+        p.unpark();
+        p.park();
+    }
+
+    #[test]
+    fn block_on_sched_drives_a_future_under_the_scheduler() {
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(|| {
+            assert_eq!(block_on_sched(async { 6 * 7 }), 42);
+        })];
+        let out = run_tasks(tasks, &mut RoundRobin::default(), 1_000);
+        assert!(out.result.is_ok(), "{:?}", out.result);
+    }
+}

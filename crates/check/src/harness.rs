@@ -669,7 +669,7 @@ pub fn random_battery(
 /// uniform random-walk battery — with the per-mode seed bases derived
 /// from `base` and the label in exactly one place, so every caller
 /// (tests, `check_table`) agrees on the scheme and the `RMR_TEST_SEED`
-/// override (see [`battery_seeds`]) replays a printed seed under both
+/// override (see `battery_seeds`) replays a printed seed under both
 /// modes.
 pub fn randomized_batteries(
     lock: &str,

@@ -32,9 +32,16 @@
 //! itself — deadlock and budget exhaustion. Every failure prints a
 //! one-line replay recipe; [`harness::replay`] reruns it exactly.
 //!
+//! The same machinery checks the **async tier**: [`async_exec`] runs
+//! `rmr-async` futures under the scheduler (each task a deterministic
+//! executor whose idle wait is a `Sched` spin), so parking races are
+//! explored per shared-memory operation and a lost wake-up is a
+//! replayable deadlock report, not a hung test.
+//!
 //! The deliberately broken locks in [`mutants`] prove the checker has
 //! teeth: each seeded bug (dropped gate store, wrong CAS expected value,
-//! skipped side flip, …) must be caught within a bounded schedule budget.
+//! skipped side flip, dropped wake-up, …) must be caught within a
+//! bounded schedule budget.
 //!
 //! # Example
 //!
@@ -63,11 +70,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod async_exec;
 pub mod dfs;
 pub mod harness;
 pub mod mutants;
 pub mod strategies;
 
+pub use async_exec::{block_on_sched, SchedParker};
 pub use dfs::{exhaustive, DfsStrategy};
 pub use harness::{
     pct_battery, random_battery, randomized_batteries, replay, rw_trial, CheckFailure, CheckReport,

@@ -52,6 +52,11 @@ pub enum Mutation {
     /// slot scan: a published fast reader is still inside its read session
     /// when the writer enters the critical section.
     SkipRevocationScan,
+    /// Async write-release skips the wake-up scan: futures parked behind
+    /// the writer (their retry-after-register found it still holding) are
+    /// never re-polled — the parking tier's characteristic lost-wakeup
+    /// bug, surfacing as a deterministic deadlock report.
+    DropWakeup,
 }
 
 // ---------------------------------------------------------------------
@@ -499,6 +504,122 @@ impl<B: Backend> RawRwLock for MutantBravo<B> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Async parking-protocol copy with the dropped write-release wake-up
+// ---------------------------------------------------------------------
+
+/// A line-for-line copy of `rmr-async`'s acquisition/release protocol
+/// (the `AsyncRead`/`AsyncWrite` poll bodies and the guard drops) over a
+/// [`rmr_baselines::TicketRwLock`] inner lock, carrying
+/// [`Mutation::DropWakeup`] (or [`Mutation::None`] for the control).
+/// The waker table is the *production* `rmr_async::WakerTable` — the
+/// seeded bug lives in the release path that is supposed to drive it.
+/// Acquire/release are explicit (no RAII guards) so the mutation point is
+/// a plain skipped call. Always instantiated over [`Sched`] by the
+/// battery.
+pub struct MutantAsyncRw<B: Backend = Sched> {
+    mutation: Mutation,
+    inner: rmr_baselines::TicketRwLock<B>,
+    table: rmr_async::park::WakerTable<B>,
+    readers: B::Word,
+}
+
+impl<B: Backend> MutantAsyncRw<B> {
+    /// Creates the mutant with `capacity` waker slots (task pids must be
+    /// in `0..capacity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutation` is not `None`/`DropWakeup`.
+    pub fn new_in(mutation: Mutation, capacity: usize, _backend: B) -> Self {
+        assert!(
+            matches!(mutation, Mutation::None | Mutation::DropWakeup),
+            "{mutation:?} is not an async mutation"
+        );
+        Self {
+            mutation,
+            inner: rmr_baselines::TicketRwLock::new_in(capacity, B::default()),
+            table: rmr_async::park::WakerTable::new(capacity),
+            readers: B::Word::new(0),
+        }
+    }
+
+    /// The async read acquisition: bounded attempt, park, retry — the
+    /// same poll body as `rmr_async::lock::AsyncRead`.
+    pub fn read_acquire(&self, pid: Pid) -> impl std::future::Future<Output = ()> + '_ {
+        use rmr_async::park::WaitKind;
+        std::future::poll_fn(move |cx| {
+            if self.inner.try_read_lock(pid).is_some() {
+                self.finish_read(pid);
+                return std::task::Poll::Ready(());
+            }
+            self.table.register(pid.index(), WaitKind::Reader, cx.waker());
+            if self.inner.try_read_lock(pid).is_some() {
+                self.finish_read(pid);
+                return std::task::Poll::Ready(());
+            }
+            std::task::Poll::Pending
+        })
+    }
+
+    /// Mirror of `AsyncRwLock::finish_read`: count the session and
+    /// re-poll readers parked behind this entry's transient window.
+    fn finish_read(&self, pid: Pid) {
+        self.table.deregister(pid.index());
+        self.readers.fetch_add(1);
+        if self.table.parked_readers() > 0 {
+            self.table.wake_readers();
+        }
+    }
+
+    /// Read release: the last reader out wakes everything parked.
+    pub fn read_release(&self, pid: Pid) {
+        self.inner.read_unlock(pid, ());
+        if self.readers.fetch_sub(1) == 1 {
+            self.table.wake_all();
+        }
+    }
+
+    /// The async write acquisition (same protocol, writer wait kind).
+    pub fn write_acquire(&self, pid: Pid) -> impl std::future::Future<Output = ()> + '_ {
+        use rmr_async::park::WaitKind;
+        use rmr_core::raw::RawTryRwLock;
+        std::future::poll_fn(move |cx| {
+            if self.inner.try_write_lock(pid).is_some() {
+                self.table.deregister(pid.index());
+                return std::task::Poll::Ready(());
+            }
+            self.table.register(pid.index(), WaitKind::Writer, cx.waker());
+            if self.inner.try_write_lock(pid).is_some() {
+                self.table.deregister(pid.index());
+                return std::task::Poll::Ready(());
+            }
+            std::task::Poll::Pending
+        })
+    }
+
+    /// Write release: must wake everything parked behind the writer.
+    pub fn write_release(&self, pid: Pid) {
+        self.inner.write_unlock(pid, ());
+        if self.mutation != Mutation::DropWakeup {
+            self.table.wake_all(); // MUTATION POINT: the mutant never wakes
+        }
+    }
+
+    /// Mirror of the real wrapper's quiescence entry point.
+    pub fn is_quiescent(&self) -> bool {
+        self.table.parked_readers() == 0
+            && self.table.parked_writers() == 0
+            && self.readers.load() == 0
+    }
+}
+
+impl<B: Backend> fmt::Debug for MutantAsyncRw<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutantAsyncRw").field("mutation", &self.mutation).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +650,21 @@ mod tests {
         bravo.write_lock(Pid::from_index(1));
         bravo.write_unlock(Pid::from_index(1), ());
         assert!(bravo.is_quiescent());
+
+        let asynk = MutantAsyncRw::new_in(Mutation::None, 2, Sched);
+        crate::async_exec::block_on_sched(async {
+            asynk.read_acquire(Pid::from_index(0)).await;
+            asynk.read_release(Pid::from_index(0));
+            asynk.write_acquire(Pid::from_index(1)).await;
+            asynk.write_release(Pid::from_index(1));
+        });
+        assert!(asynk.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an async mutation")]
+    fn async_rejects_foreign_mutations() {
+        let _ = MutantAsyncRw::new_in(Mutation::SkipGateClose, 2, Sched);
     }
 
     #[test]

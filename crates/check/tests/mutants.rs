@@ -8,9 +8,15 @@
 //! faithful copy, so a red battery always means a real bug, never a
 //! flaky harness.
 
+use rmr_check::async_exec::block_on_sched;
 use rmr_check::exhaustive;
-use rmr_check::harness::{mutex_trial, randomized_batteries, run_trial, rw_trial, Scenario, Trial};
-use rmr_check::mutants::{MutantAnderson, MutantBravo, MutantFig1, MutantTtas, Mutation};
+use rmr_check::harness::{
+    mutex_trial, randomized_batteries, run_trial, rw_trial, RwOracle, Scenario, TaskBody, Trial,
+};
+use rmr_check::mutants::{
+    MutantAnderson, MutantAsyncRw, MutantBravo, MutantFig1, MutantTtas, Mutation,
+};
+use rmr_core::registry::Pid;
 use rmr_mutex::sched::{Replay, RunError};
 use rmr_mutex::Sched;
 use std::sync::Arc;
@@ -38,6 +44,57 @@ fn ttas_trial(mutation: Mutation) -> Trial {
 
 fn anderson_trial(mutation: Mutation) -> Trial {
     mutex_trial(Arc::new(MutantAnderson::new_in(mutation, 2, Sched)), 2, 3)
+}
+
+/// Async readers and writers (deterministic executors, one per task)
+/// over the mutant's explicit acquire/release protocol. The write
+/// release is the mutation point: [`Mutation::DropWakeup`] never wakes,
+/// so a reader that parked behind the writer spins its parker forever —
+/// a deadlock (or budget) report, exactly like the Figure 1 lost-permit
+/// mutant.
+fn async_trial(mutation: Mutation, scenario: Scenario) -> Trial {
+    let lock = Arc::new(MutantAsyncRw::new_in(mutation, scenario.tasks(), Sched));
+    let oracle = Arc::new(RwOracle::new());
+    let mut tasks: Vec<TaskBody> = Vec::new();
+    for r in 0..scenario.readers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            let pid = Pid::from_index(r);
+            block_on_sched(async {
+                for _ in 0..scenario.attempts {
+                    lock.read_acquire(pid).await;
+                    oracle.reader_cs();
+                    lock.read_release(pid);
+                }
+            });
+        }));
+    }
+    for w in 0..scenario.writers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            let pid = Pid::from_index(scenario.readers + w);
+            block_on_sched(async {
+                for _ in 0..scenario.attempts {
+                    lock.write_acquire(pid).await;
+                    oracle.writer_cs();
+                    lock.write_release(pid);
+                }
+            });
+        }));
+    }
+    let q = Arc::clone(&lock);
+    Trial {
+        tasks,
+        post: Box::new(move || {
+            oracle.settle(&scenario)?;
+            if mutation == Mutation::None && !q.is_quiescent() {
+                return Err("async mutant control is not quiescent after a clean run".into());
+            }
+            Ok(())
+        }),
+    }
 }
 
 fn bravo_trial(mutation: Mutation, scenario: Scenario) -> Trial {
@@ -184,6 +241,23 @@ fn bravo_skip_revocation_scan_is_caught() {
         || bravo_trial(Mutation::SkipRevocationScan, Scenario::new(2, 1, 2)),
         || bravo_trial(Mutation::SkipRevocationScan, Scenario::new(1, 1, 1)),
         &["P1 violated", "torn read"],
+    );
+}
+
+#[test]
+fn async_control_passes_the_mutant_budgets() {
+    assert_control_passes("async-control", || async_trial(Mutation::None, Scenario::new(2, 1, 2)));
+}
+
+#[test]
+fn async_drop_wakeup_is_caught() {
+    // A reader must park behind the writer before the writer's (skipped)
+    // release wake — 2 writer passages give every strategy that window.
+    assert_caught(
+        "async-drop-wakeup",
+        || async_trial(Mutation::DropWakeup, Scenario::new(2, 1, 2)),
+        || async_trial(Mutation::DropWakeup, Scenario::new(1, 1, 2)),
+        &["deadlock", "budget"],
     );
 }
 

@@ -26,6 +26,15 @@
 //! the workspace's reference wrapper: wrapping a single-writer algorithm
 //! keeps the typed `write()` path a compile error, exactly as for the bare
 //! lock.
+//!
+//! The capability tier is also what powers the **async front end**
+//! (`rmr-async`): `AsyncRwLock::read().await` is gated on
+//! [`RawTryReadLock`] and `write().await` on [`RawTryRwLock`] +
+//! [`RawMultiWriter`], because a pending future must hold *no* lock state
+//! between polls — exactly the guarantee the bounded, abortable attempts
+//! provide. Locks whose writer doorway is irrevocable (the paper's core
+//! locks) therefore get async reads plus a blocking writer endpoint, with
+//! the same compile-time gating as the sync front end.
 
 use crate::registry::Pid;
 

@@ -68,7 +68,7 @@ mod mcs;
 pub mod mem;
 mod pad;
 pub mod sched;
-mod spin;
+pub mod spin;
 mod tas;
 mod ticket;
 

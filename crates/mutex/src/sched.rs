@@ -25,7 +25,7 @@
 //!
 //! # Execution model
 //!
-//! [`run_tasks`] spawns one OS thread per task, but the [`Controller`]
+//! [`run_tasks`] spawns one OS thread per task, but the controller
 //! grants the *turn* to exactly one task at a time. A turn spans one
 //! `Backend` operation plus all task-local code up to the next operation
 //! (or task exit). Tasks park at yield points; a [`Strategy`] picks who

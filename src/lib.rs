@@ -9,6 +9,7 @@
 //! | [`core`] | `rmr-core` | the paper's five lock algorithms + typed `RwLock` API |
 //! | [`mutex`] | `rmr-mutex` | Anderson's array lock (the paper's `M`), classic spin locks, memory backends (incl. the `Sched` scheduling backend) |
 //! | [`bravo`] | `rmr-bravo` | BRAVO-style reader-biased fast path (`Bravo<L>`) over any raw lock |
+//! | [`async_lock`] | `rmr-async` | waker-parking async front end (`AsyncRwLock<T, L>`): `read().await` instead of spinning, plus a dependency-free `block_on` |
 //! | [`baselines`] | `rmr-baselines` | the prior-art lock classes the paper improves on |
 //! | [`sim`] | `rmr-sim` | the abstract machine: model checking, RMR cost models, invariants |
 //!
@@ -45,11 +46,29 @@
 //! assert_eq!(*lock.read(), 1);
 //! ```
 //!
+//! Services that must not burn a core per waiter use [`async_lock`]'s
+//! `AsyncRwLock` instead: a blocked `read().await` suspends (waker
+//! parked, core released) and the lock's release paths wake it — over
+//! any of the same raw locks, Bravo-wrapped included:
+//!
+//! ```
+//! use rmrw::async_lock::exec::block_on;
+//! use rmrw::async_lock::AsyncRwLock;
+//! use rmrw::baselines::TicketRwLock;
+//!
+//! let lock = AsyncRwLock::with_raw(0u32, TicketRwLock::new(8));
+//! block_on(async {
+//!     *lock.write().await += 1;
+//!     assert_eq!(*lock.read().await, 1);
+//! });
+//! ```
+//!
 //! See the workspace README for the paper map, DESIGN.md for the system
 //! inventory, and EXPERIMENTS.md for how to reproduce the measurements.
 
 #![warn(missing_docs)]
 
+pub use rmr_async as async_lock;
 pub use rmr_baselines as baselines;
 pub use rmr_bravo as bravo;
 pub use rmr_core as core;

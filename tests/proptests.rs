@@ -349,3 +349,235 @@ fn dsm_model_matches_definition() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Waker table: random park/wake/cancel sequences against a model
+// ---------------------------------------------------------------------
+
+/// A waker that counts its deliveries, so the tests can equate "woken"
+/// with an observable number rather than scheduler behavior.
+struct CountingWake(std::sync::atomic::AtomicU64);
+
+impl std::task::Wake for CountingWake {
+    fn wake(self: std::sync::Arc<Self>) {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// Random single-threaded op sequences over the `rmr-async` waker table,
+/// checked against a reference model after **every** op: the parked-side
+/// counters always agree with the model, `wake_*` delivers exactly the
+/// modeled set (each registration woken at most once), and a
+/// `deregister` (the cancellation path) removes a registration without
+/// ever firing its waker.
+#[test]
+fn waker_table_random_park_wake_cancel_matches_model() {
+    use rmrw::async_lock::park::{WaitKind, WakerTable};
+    use rmrw::mutex::Native;
+    use std::collections::HashMap;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::task::Waker;
+
+    const SLOTS: usize = 6;
+    for seed in case_seeds(0xaa51_0000) {
+        let mut rng = SplitMix64::new(seed);
+        let table: WakerTable<Native> = WakerTable::new(SLOTS);
+        let counters: Vec<Arc<CountingWake>> = (0..SLOTS)
+            .map(|_| Arc::new(CountingWake(std::sync::atomic::AtomicU64::new(0))))
+            .collect();
+        let wakers: Vec<Waker> = counters.iter().map(|c| Waker::from(Arc::clone(c))).collect();
+        let mut wakes_expected = [0u64; SLOTS];
+        // The model: which pid is parked, and as what.
+        let mut model: HashMap<usize, WaitKind> = HashMap::new();
+
+        for _ in 0..rng.gen_index(200) {
+            let pid = rng.gen_index(SLOTS);
+            match rng.gen_index(5) {
+                0 | 1 => {
+                    let kind = if rng.gen_bool(0.5) { WaitKind::Reader } else { WaitKind::Writer };
+                    // Single-owner discipline: re-registering is legal
+                    // only under the same kind (a future never changes
+                    // role mid-flight).
+                    let kind = *model.entry(pid).or_insert(kind);
+                    table.register(pid, kind, &wakers[pid]);
+                }
+                2 => {
+                    table.deregister(pid);
+                    model.remove(&pid);
+                }
+                3 => {
+                    let woken: Vec<usize> = model
+                        .iter()
+                        .filter(|(_, k)| **k == WaitKind::Writer)
+                        .map(|(p, _)| *p)
+                        .collect();
+                    assert_eq!(table.wake_writers(), woken.len(), "seed {seed:#x}");
+                    for p in woken {
+                        wakes_expected[p] += 1;
+                        model.remove(&p);
+                    }
+                }
+                _ => {
+                    let woken: Vec<usize> = model.keys().copied().collect();
+                    assert_eq!(table.wake_all(), woken.len(), "seed {seed:#x}");
+                    for p in woken {
+                        wakes_expected[p] += 1;
+                        model.remove(&p);
+                    }
+                }
+            }
+            let readers = model.values().filter(|k| **k == WaitKind::Reader).count();
+            let writers = model.values().filter(|k| **k == WaitKind::Writer).count();
+            assert_eq!(
+                (table.parked_readers(), table.parked_writers()),
+                (readers, writers),
+                "seed {seed:#x}: counters diverged from the model"
+            );
+            for (p, c) in counters.iter().enumerate() {
+                assert_eq!(
+                    c.0.load(Ordering::SeqCst),
+                    wakes_expected[p],
+                    "seed {seed:#x}: pid {p} saw an unexpected wake"
+                );
+            }
+        }
+    }
+}
+
+/// Multi-threaded stress: owner threads randomly park/cancel while wake
+/// scans race them. Invariants: deliveries never exceed registrations
+/// (a waker fires at most once per park), and after the owners retire
+/// and a final scan runs, nothing is left parked.
+#[test]
+fn waker_table_concurrent_park_wake_cancel_leaves_nothing_parked() {
+    use rmrw::async_lock::park::{WaitKind, WakerTable};
+    use rmrw::mutex::Native;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::task::Waker;
+
+    const OWNERS: usize = 4;
+    for seed in case_seeds(0xaa51_1000) {
+        let table: Arc<WakerTable<Native>> = Arc::new(WakerTable::new(OWNERS));
+        let delivered = Arc::new(CountingWake(std::sync::atomic::AtomicU64::new(0)));
+        let registrations = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+        let mut threads = Vec::new();
+        for pid in 0..OWNERS {
+            let table = Arc::clone(&table);
+            let delivered = Arc::clone(&delivered);
+            let registrations = Arc::clone(&registrations);
+            threads.push(std::thread::spawn(move || {
+                let waker = Waker::from(Arc::clone(&delivered));
+                let mut rng = SplitMix64::new(seed ^ (pid as u64) << 17);
+                let mut kind = WaitKind::Reader;
+                for _ in 0..200 {
+                    let next = if rng.gen_bool(0.5) { WaitKind::Reader } else { WaitKind::Writer };
+                    if next != kind {
+                        // A future's wait kind is fixed for its lifetime;
+                        // switching kinds models dropping the pending
+                        // future and starting a new one on the same pid.
+                        table.deregister(pid);
+                        kind = next;
+                    }
+                    table.register(pid, kind, &waker);
+                    registrations.fetch_add(1, Ordering::SeqCst);
+                    if rng.gen_bool(0.5) {
+                        table.deregister(pid); // the cancellation path
+                    }
+                }
+                table.deregister(pid);
+            }));
+        }
+        {
+            let table = Arc::clone(&table);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..400 {
+                    if i % 3 == 0 {
+                        table.wake_writers();
+                    } else {
+                        table.wake_all();
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        table.wake_all();
+        assert_eq!(
+            (table.parked_readers(), table.parked_writers()),
+            (0, 0),
+            "seed {seed:#x}: a slot stayed parked after every owner retired"
+        );
+        assert!(
+            delivered.0.load(Ordering::SeqCst) <= registrations.load(Ordering::SeqCst),
+            "seed {seed:#x}: more deliveries than registrations"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cancelled async futures: nothing stays pinned (extends the
+// PidRegistry × guard-leak battery with the async acquisition path)
+// ---------------------------------------------------------------------
+
+/// Random rounds of "writer holds → read futures go pending → a random
+/// subset is dropped mid-acquisition": a dropped pending future must
+/// release its pid and waker slot, while a *leaked guard* (`mem::forget`)
+/// must keep its pid pinned — same contract as the sync front end.
+#[test]
+fn cancelled_async_future_never_pins_pid_or_slot() {
+    use rmrw::async_lock::exec::parker_waker;
+    use rmrw::async_lock::{AsyncRwLock, ThreadParker};
+    use rmrw::baselines::TicketRwLock;
+    use std::future::Future;
+    use std::sync::Arc;
+    use std::task::{Context, Poll};
+
+    for seed in case_seeds(0xaa51_2000) {
+        let mut rng = SplitMix64::new(seed);
+        let lock = AsyncRwLock::with_raw(0u64, TicketRwLock::new(8));
+        let waker = parker_waker(Arc::new(ThreadParker::current()));
+        let mut cx = Context::from_waker(&waker);
+
+        for _ in 0..1 + rng.gen_index(8) {
+            let writer = lock.try_write().expect("uncontended writer");
+            let pending = 1 + rng.gen_index(4);
+            let mut futures = Vec::new();
+            for _ in 0..pending {
+                let mut fut = Box::pin(lock.read());
+                assert!(
+                    fut.as_mut().poll(&mut cx).is_pending(),
+                    "seed {seed:#x}: read went through a held write lock"
+                );
+                futures.push(fut);
+            }
+            assert_eq!(lock.parked_readers(), pending, "seed {seed:#x}");
+            assert_eq!(lock.registered(), pending + 1, "seed {seed:#x}");
+            // Drop a random subset mid-acquisition, in random order.
+            while !futures.is_empty() {
+                let victim = rng.gen_index(futures.len());
+                drop(futures.swap_remove(victim));
+            }
+            assert_eq!(
+                (lock.parked_readers(), lock.registered()),
+                (0, 1),
+                "seed {seed:#x}: a cancelled future left a slot or pid pinned"
+            );
+            drop(writer);
+            assert!(lock.is_quiescent(), "seed {seed:#x}");
+        }
+
+        // Contrast: a *leaked guard* is a live session, and must pin its
+        // pid exactly like the sync front end's leaked guards.
+        let leak = AsyncRwLock::with_raw(0u64, TicketRwLock::new(4));
+        std::mem::forget(match Box::pin(leak.read()).as_mut().poll(&mut cx) {
+            Poll::Ready(guard) => guard,
+            Poll::Pending => panic!("seed {seed:#x}: uncontended read must be ready"),
+        });
+        assert_eq!(leak.registered(), 1, "seed {seed:#x}: leaked guard must pin its pid");
+        assert_eq!(leak.parked_readers(), 0, "seed {seed:#x}: but never a waker slot");
+    }
+}

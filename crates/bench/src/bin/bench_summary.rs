@@ -17,11 +17,12 @@ use rmr_baselines::{
     CentralizedRwLock, DistributedFlagRwLock, StdRwLock, TicketRwLock, TournamentRwLock,
 };
 use rmr_bench::cli::{json_string, BenchArgs};
-use rmr_bench::workloads::{run_async_mixed, run_mixed, Workload};
+use rmr_bench::workloads::{run_async_mixed, run_mixed, run_snapshot_read_mostly, Workload};
 use rmr_bravo::Bravo;
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
 use rmr_core::raw::RawRwLock;
 use rmr_core::registry::Pid;
+use rmr_swap::{RetireEager, Snapshot};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -36,7 +37,10 @@ const THREADS: usize = 4;
 
 struct ThroughputEntry {
     lock: &'static str,
-    read_pct: u32,
+    // f64 so the snapshot tier's 99.9 mix fits; integral percentages
+    // Display as before ("50", not "50.0"), so committed rows keep their
+    // keys.
+    read_pct: f64,
     ops: u64,
     ops_per_sec: f64,
 }
@@ -71,9 +75,8 @@ fn throughput<L: RawRwLock + 'static>(
     ops_per_thread: usize,
     reps: u32,
 ) {
-    for read_pct in [50u32, 90, 99] {
-        let workload =
-            Workload { threads: THREADS, read_ratio: f64::from(read_pct) / 100.0, ops_per_thread };
+    for read_pct in [50.0f64, 90.0, 99.0] {
+        let workload = Workload { threads: THREADS, read_ratio: read_pct / 100.0, ops_per_thread };
         let (ops, best) = best_of_reps(reps, || run_mixed(Arc::new(make()), workload, SEED));
         out.push(ThroughputEntry { lock: name, read_pct, ops, ops_per_sec: best });
     }
@@ -112,8 +115,15 @@ fn main() {
         "bench_summary",
         "Perf-trajectory snapshot: throughput + uncontended latency as one JSON blob",
     );
+    // Quick mode runs more, longer reps than it used to (300 ops × 3):
+    // the committed trajectory is a --quick blob, and on a small CI host
+    // a 4-thread rep measuring ~100µs of work is scheduler jitter, not
+    // lock behavior — the best-of envelope only stabilizes once reps
+    // outnumber the bad-timeslice draws. Both sides of the bench_diff
+    // gate regenerate under the same profile, so this is not a schema
+    // change.
     let (ops_per_thread, reps, iters) =
-        if args.quick { (300, 3, 5_000) } else { (2_000, 3, 50_000) };
+        if args.quick { (600, 8, 5_000) } else { (2_000, 3, 50_000) };
 
     let mut tp: Vec<ThroughputEntry> = Vec::new();
     throughput(
@@ -171,12 +181,22 @@ fn main() {
     // The async tier (rmr-async): the same mixed workload with every
     // operation a read()/write() await pair — parking and wake-ups on the
     // measured path, so a wake-path regression shows in the trajectory.
-    for read_pct in [50u32, 90, 99] {
-        let workload =
-            Workload { threads: THREADS, read_ratio: f64::from(read_pct) / 100.0, ops_per_thread };
+    for read_pct in [50.0f64, 90.0, 99.0] {
+        let workload = Workload { threads: THREADS, read_ratio: read_pct / 100.0, ops_per_thread };
         let make = || Arc::new(AsyncRwLock::with_raw(0u64, TicketRwLock::new(THREADS)));
         let (ops, best) = best_of_reps(reps, || run_async_mixed(make(), workload, SEED));
         tp.push(ThroughputEntry { lock: "async-ticket-rw", read_pct, ops, ops_per_sec: best });
+    }
+    // The snapshot tier (rmr-swap): read-mostly only — `Snapshot` is not
+    // a lock, so it gets its designated-writer driver; the mixes sit
+    // where the tier is meant to live (99%+ reads; 100% = nobody ever
+    // swaps).
+    for read_pct in [99.0f64, 99.9, 100.0] {
+        let workload = Workload { threads: THREADS, read_ratio: read_pct / 100.0, ops_per_thread };
+        let make =
+            || Arc::new(Snapshot::with_raw(0u64, MwmrStarvationFree::new(THREADS), RetireEager));
+        let (ops, best) = best_of_reps(reps, || run_snapshot_read_mostly(make(), workload, SEED));
+        tp.push(ThroughputEntry { lock: "swap-snapshot", read_pct, ops, ops_per_sec: best });
     }
 
     let mut un: Vec<UncontendedEntry> = Vec::new();

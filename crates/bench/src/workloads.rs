@@ -1,12 +1,13 @@
 //! Real-thread workload drivers for the throughput benches, the
-//! priority-behavior experiment (E9, E11), and the async-tier throughput
-//! sweep (E16).
+//! priority-behavior experiment (E9, E11), the async-tier throughput
+//! sweep (E16), and the snapshot-tier sweep (E17).
 
 use rmr_async::exec::block_on;
 use rmr_async::lock::AsyncRwLock;
 use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
 use rmr_sim::rng::SplitMix64;
+use rmr_swap::{RetirePolicy, Snapshot};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -137,6 +138,55 @@ pub fn run_read_mostly<L: RawRwLock + 'static>(
         writes_done.load(Ordering::SeqCst),
         "lost update under {workload:?}"
     );
+    WorkloadResult { ops: (workload.threads * workload.ops_per_thread) as u64, elapsed }
+}
+
+/// E17: the read-mostly workload over the epoch-swap snapshot tier.
+/// `Snapshot` is not a lock (reads pin an immutable version, writes
+/// copy-swap-retire), so it gets its own driver with the same shape as
+/// [`run_read_mostly`]: **only thread 0 ever writes**, flipping the
+/// seeded coin per operation; every other thread pins and dereferences
+/// snapshots unconditionally. The payload is the counter itself, so the
+/// lost-update check is the final snapshot's value. Panics on lost
+/// updates like [`run_mixed`].
+pub fn run_snapshot_read_mostly<L, P>(
+    snap: Arc<Snapshot<u64, L, P>>,
+    workload: Workload,
+    seed: u64,
+) -> WorkloadResult
+where
+    L: RawRwLock + 'static,
+    P: RetirePolicy,
+{
+    assert!(workload.threads <= snap.capacity());
+    let writes_done = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..workload.threads {
+        let snap = Arc::clone(&snap);
+        let writes_done = Arc::clone(&writes_done);
+        handles.push(std::thread::spawn(move || {
+            let pid = Pid::from_index(t);
+            let mut rng = SplitMix64::new(seed ^ (t as u64) << 32);
+            let mut local_writes = 0u64;
+            for _ in 0..workload.ops_per_thread {
+                if t != 0 || rng.gen_bool(workload.read_ratio) {
+                    let guard = snap.load_with(pid);
+                    std::hint::black_box(*guard);
+                } else {
+                    snap.update_with(pid, |c| c + 1);
+                    local_writes += 1;
+                }
+            }
+            writes_done.fetch_add(local_writes, Ordering::SeqCst);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let final_value = *snap.load_with(Pid::from_index(0));
+    assert_eq!(final_value, writes_done.load(Ordering::SeqCst), "lost update under {workload:?}");
     WorkloadResult { ops: (workload.threads * workload.ops_per_thread) as u64, elapsed }
 }
 
@@ -303,6 +353,23 @@ mod tests {
         let res =
             run_read_mostly(lock, Workload { threads: 4, read_ratio: 0.9, ops_per_thread: 200 }, 7);
         assert_eq!(res.ops, 800);
+    }
+
+    #[test]
+    fn snapshot_read_mostly_loses_no_updates() {
+        use rmr_swap::{RetireBatched, RetireEager};
+        for_policy(RetireEager);
+        for_policy(RetireBatched { high_water: 4 });
+        fn for_policy<P: RetirePolicy>(policy: P) {
+            let snap = Arc::new(Snapshot::with_raw(0u64, MwmrStarvationFree::new(4), policy));
+            let res = run_snapshot_read_mostly(
+                snap,
+                Workload { threads: 4, read_ratio: 0.9, ops_per_thread: 200 },
+                7,
+            );
+            assert_eq!(res.ops, 800);
+            assert!(res.ops_per_sec() > 0.0);
+        }
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! The copies live here, not in the production crates — shipping broken
 //! locks behind a flag would be a footgun — and are kept line-for-line
 //! parallel to their originals (`swmr/writer_priority.rs`, `tas.rs`,
-//! `anderson.rs`, `rmr-bravo/src/lib.rs`) so a diff against the real code
-//! shows exactly the seeded bug and nothing else.
+//! `anderson.rs`, `rmr-bravo/src/lib.rs`, `rmr-swap/src/lib.rs`) so a
+//! diff against the real code shows exactly the seeded bug and nothing
+//! else.
 
 use rmr_core::packed::{Packed, PackedFaa};
 use rmr_core::raw::{RawRwLock, RawTryReadLock};
@@ -57,6 +58,11 @@ pub enum Mutation {
     /// never re-polled — the parking tier's characteristic lost-wakeup
     /// bug, surfacing as a deterministic deadlock report.
     DropWakeup,
+    /// Epoch-swap writer's grace-period scan skips slot 0: a payload is
+    /// freed while the reader in that slot still pins it with a published
+    /// epoch — the snapshot tier's characteristic use-after-free, caught
+    /// by the freed-flag oracle instead of actual UB.
+    PrematureRetire,
 }
 
 // ---------------------------------------------------------------------
@@ -620,6 +626,125 @@ impl<B: Backend> fmt::Debug for MutantAsyncRw<B> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Epoch-swap snapshot copy with the skipped grace-scan slot
+// ---------------------------------------------------------------------
+
+/// A model of `rmr-swap`'s epoch-swap protocol over a bounded arena,
+/// carrying [`Mutation::PrematureRetire`] (the writer's grace-period scan
+/// skips slot 0) or [`Mutation::None`] for the control copy.
+///
+/// Payloads are arena *indices* with a freed flag instead of heap
+/// pointers, so the seeded reclamation bug surfaces as a caught oracle
+/// panic ("freed payload observed …") rather than actual use-after-free
+/// UB the checker could not observe deterministically. Single-writer by
+/// construction: the real tier serializes writers through a raw lock, so
+/// one writer task models the serialized install stream and the mutation
+/// point — the grace scan — is exercised without dragging a lock copy in.
+/// Always instantiated over [`Sched`] by the battery.
+pub struct MutantSwap<B: Backend = Sched> {
+    mutation: Mutation,
+    /// The global epoch `G` (starts at 1; 0 is the empty-slot sentinel).
+    epoch: B::Word,
+    /// Arena index of the current payload.
+    payload: B::Word,
+    /// The reader epoch table (the registry's epoch slots, sans padding).
+    slots: Box<[B::Word]>,
+    /// Freed flag per arena cell — the reclamation oracle.
+    freed: Box<[B::Bool]>,
+    /// Bump allocator over the arena (cell 0 is the initial payload).
+    next_cell: B::Word,
+}
+
+impl<B: Backend> MutantSwap<B> {
+    /// Creates the model with `slots` reader slots and an arena of
+    /// `arena_cells` payload cells (must cover one install per writer
+    /// passage plus the initial payload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutation` is not `None`/`PrematureRetire`.
+    pub fn new_in(mutation: Mutation, slots: usize, arena_cells: usize, _backend: B) -> Self {
+        assert!(
+            matches!(mutation, Mutation::None | Mutation::PrematureRetire),
+            "{mutation:?} is not a Swap mutation"
+        );
+        assert!(slots > 0 && arena_cells > 0);
+        Self {
+            mutation,
+            epoch: B::Word::new(1),
+            payload: B::Word::new(0),
+            slots: (0..slots).map(|_| B::Word::new(0)).collect(),
+            freed: (0..arena_cells).map(|_| B::Bool::new(false)).collect(),
+            next_cell: B::Word::new(0),
+        }
+    }
+
+    /// One reader pin passage (the `Snapshot::load` body) plus the
+    /// oracle: the pinned payload must not be freed while this slot's
+    /// epoch pins it.
+    ///
+    /// # Panics
+    ///
+    /// Panics — the caught-bug signal — if the pinned payload's freed
+    /// flag is set.
+    pub fn reader_passage(&self, pid: Pid) {
+        let slot = &self.slots[pid.index()];
+        let e = self.epoch.load();
+        slot.store(e); // publish, then load — the linchpin order
+        let mut p = self.payload.load();
+        let e2 = self.epoch.load();
+        if e2 != e {
+            slot.store(e2);
+            p = self.payload.load();
+        }
+        // CS: dereference the snapshot. In the real tier this is the
+        // guard's `Deref`; here the freed flag stands in for the heap.
+        assert!(
+            !self.freed[p as usize].load(),
+            "freed payload observed while an epoch pins it (cell {p})"
+        );
+        slot.store(0); // guard drop clears the pin
+    }
+
+    /// One writer install passage (the `Snapshot::store` body under its
+    /// serialized write session): swap the payload, bump the epoch,
+    /// grace-scan the reader table, free the retiree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is exhausted or a cell is freed twice.
+    pub fn writer_passage(&self) {
+        let idx = self.next_cell.fetch_add(1) + 1;
+        assert!((idx as usize) < self.freed.len(), "arena exhausted; size it to the trial");
+        let old = self.payload.swap(idx);
+        let r = self.epoch.fetch_add(1) + 1;
+        let start = usize::from(self.mutation == Mutation::PrematureRetire);
+        for slot in start..self.slots.len() {
+            // MUTATION POINT: the mutant starts at slot 1, never waiting
+            // out a pin published in slot 0.
+            spin_until(|| {
+                let e = self.slots[slot].load();
+                e == 0 || e >= r
+            });
+        }
+        let was = self.freed[old as usize].swap(true);
+        assert!(!was, "payload cell {old} freed twice");
+    }
+
+    /// Mirror of the real tier's quiescence entry point: no published
+    /// epoch, and the current payload is live.
+    pub fn is_quiescent(&self) -> bool {
+        self.slots.iter().all(|s| s.load() == 0) && !self.freed[self.payload.load() as usize].load()
+    }
+}
+
+impl<B: Backend> fmt::Debug for MutantSwap<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutantSwap").field("mutation", &self.mutation).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,6 +784,13 @@ mod tests {
             asynk.write_release(Pid::from_index(1));
         });
         assert!(asynk.is_quiescent());
+
+        let swap = MutantSwap::new_in(Mutation::None, 2, 4, Sched);
+        swap.reader_passage(Pid::from_index(0));
+        swap.writer_passage();
+        swap.reader_passage(Pid::from_index(1));
+        swap.writer_passage();
+        assert!(swap.is_quiescent());
     }
 
     #[test]
@@ -683,5 +815,11 @@ mod tests {
     #[should_panic(expected = "not a Bravo mutation")]
     fn bravo_rejects_foreign_mutations() {
         let _ = MutantBravo::new_in(Mutation::SkipGateClose, 2, 2, Sched);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Swap mutation")]
+    fn swap_rejects_foreign_mutations() {
+        let _ = MutantSwap::new_in(Mutation::SkipGateClose, 2, 4, Sched);
     }
 }

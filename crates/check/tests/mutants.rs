@@ -14,7 +14,7 @@ use rmr_check::harness::{
     mutex_trial, randomized_batteries, run_trial, rw_trial, RwOracle, Scenario, TaskBody, Trial,
 };
 use rmr_check::mutants::{
-    MutantAnderson, MutantAsyncRw, MutantBravo, MutantFig1, MutantTtas, Mutation,
+    MutantAnderson, MutantAsyncRw, MutantBravo, MutantFig1, MutantSwap, MutantTtas, Mutation,
 };
 use rmr_core::registry::Pid;
 use rmr_mutex::sched::{Replay, RunError};
@@ -91,6 +91,49 @@ fn async_trial(mutation: Mutation, scenario: Scenario) -> Trial {
             oracle.settle(&scenario)?;
             if mutation == Mutation::None && !q.is_quiescent() {
                 return Err("async mutant control is not quiescent after a clean run".into());
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Readers pin epoch-stamped snapshots; one writer task models the
+/// lock-serialized install stream (swap, epoch bump, grace scan, free).
+/// The scan is the mutation point: [`Mutation::PrematureRetire`] skips
+/// slot 0, so the reader publishing there can observe a freed payload —
+/// the freed-flag oracle panics inside the read session.
+fn swap_mutant_trial(
+    mutation: Mutation,
+    readers: usize,
+    reader_attempts: u64,
+    writer_passages: u64,
+) -> Trial {
+    let arena = writer_passages as usize + 2;
+    let model = Arc::new(MutantSwap::new_in(mutation, readers, arena, Sched));
+    let mut tasks: Vec<TaskBody> = Vec::new();
+    for r in 0..readers {
+        let model = Arc::clone(&model);
+        tasks.push(Box::new(move || {
+            let pid = Pid::from_index(r);
+            for _ in 0..reader_attempts {
+                model.reader_passage(pid);
+            }
+        }));
+    }
+    {
+        let model = Arc::clone(&model);
+        tasks.push(Box::new(move || {
+            for _ in 0..writer_passages {
+                model.writer_passage();
+            }
+        }));
+    }
+    let q = Arc::clone(&model);
+    Trial {
+        tasks,
+        post: Box::new(move || {
+            if mutation == Mutation::None && !q.is_quiescent() {
+                return Err("swap mutant control is not quiescent after a clean run".into());
             }
             Ok(())
         }),
@@ -241,6 +284,26 @@ fn bravo_skip_revocation_scan_is_caught() {
         || bravo_trial(Mutation::SkipRevocationScan, Scenario::new(2, 1, 2)),
         || bravo_trial(Mutation::SkipRevocationScan, Scenario::new(1, 1, 1)),
         &["P1 violated", "torn read"],
+    );
+}
+
+#[test]
+fn swap_control_passes_the_mutant_budgets() {
+    assert_control_passes("swap-control", || swap_mutant_trial(Mutation::None, 2, 2, 2));
+}
+
+#[test]
+fn swap_premature_retire_is_caught() {
+    // The reader in slot 0 pins a payload; the mutant writer's grace scan
+    // starts at slot 1, frees it anyway, and the reader's freed-flag
+    // oracle trips inside the read session. One reader keeps the mutant
+    // scan a no-op, so the whole race is the single-window interleaving
+    // "publish/load → full writer passage → dereference".
+    assert_caught(
+        "swap-premature-retire",
+        || swap_mutant_trial(Mutation::PrematureRetire, 2, 2, 2),
+        || swap_mutant_trial(Mutation::PrematureRetire, 1, 1, 2),
+        &["freed payload observed"],
     );
 }
 

@@ -94,8 +94,8 @@ pub use rmr_mutex::mem;
 pub use raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 pub use registry::{Pid, PidRegistry, RegistryFull};
 pub use rwlock::{
-    LockHandle, ReadGuard, ReaderPriorityRwLock, RwLock, StarvationFreeRwLock, WriteGuard,
-    WriterPriorityRwLock,
+    lease_pid, release_pid, LockHandle, PidSource, ReadGuard, ReaderPriorityRwLock, RwLock,
+    StarvationFreeRwLock, WriteGuard, WriterPriorityRwLock,
 };
 pub use side::{AtomicSide, Side};
 

@@ -6,8 +6,13 @@
 //! [`Pid`] from a fixed-capacity [`PidRegistry`]; the registry capacity is
 //! the `n` of the theorems ("O(n) shared variables", Anderson-lock slots).
 
-use rmr_mutex::mem::{Backend, Native, SharedBool};
+use rmr_mutex::mem::{Backend, Native, SharedBool, SharedWord};
+use rmr_mutex::CachePadded;
 use std::fmt;
+
+/// Sentinel stored in an epoch slot that has nothing published. Epoch
+/// counters start at 1 precisely so 0 can mean "empty".
+const EPOCH_EMPTY: u64 = 0;
 
 /// A process identifier: a small dense integer in `0..capacity`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,6 +70,25 @@ impl std::error::Error for RegistryFull {}
 /// Allocation is O(capacity) (a scan with one CAS per probed slot) — pids
 /// are allocated at registration time, never on the lock fast path.
 ///
+/// # The epoch table
+///
+/// Alongside the `in_use` bitmap, the registry carries one cache-padded
+/// *epoch slot* per pid. The `rmr-swap` snapshot tier uses it as the
+/// reader epoch table: a reader publishes the global epoch it is reading
+/// under ([`PidRegistry::publish_epoch`]) before loading the payload
+/// pointer, and clears the slot ([`PidRegistry::clear_epoch`]) when its
+/// guard drops. A writer's grace-period scan ranges over
+/// [`PidRegistry::min_published_epoch`]. The table lives here rather than
+/// in `rmr-swap` because the hard part — lease/churn/leak semantics of
+/// *who owns a slot* — is exactly what the registry already solves: a
+/// leaked guard keeps its pid reserved, and a reserved pid keeps its
+/// published epoch pinned.
+///
+/// Each slot is padded to its own cache line so a reader's publish/clear
+/// stores never contend with a neighbor's — the stores stay local (zero
+/// cache-coherence RMRs in steady state), which is the whole point of the
+/// snapshot tier.
+///
 /// # Example
 ///
 /// ```
@@ -80,6 +104,7 @@ impl std::error::Error for RegistryFull {}
 /// ```
 pub struct PidRegistry<B: Backend = Native> {
     in_use: Box<[B::Bool]>,
+    epochs: Box<[CachePadded<B::Word>]>,
 }
 
 impl PidRegistry {
@@ -99,7 +124,10 @@ impl<B: Backend> PidRegistry<B> {
     pub fn new_in(capacity: usize, _backend: B) -> Self {
         assert!(capacity > 0, "registry capacity must be positive");
         assert!(u32::try_from(capacity).is_ok(), "registry capacity too large");
-        Self { in_use: (0..capacity).map(|_| B::Bool::new(false)).collect() }
+        Self {
+            in_use: (0..capacity).map(|_| B::Bool::new(false)).collect(),
+            epochs: (0..capacity).map(|_| CachePadded::new(B::Word::new(EPOCH_EMPTY))).collect(),
+        }
     }
 
     /// Number of pids this registry manages.
@@ -131,10 +159,71 @@ impl<B: Backend> PidRegistry<B> {
     /// # Panics
     ///
     /// Panics (in debug builds) if the pid was not allocated, which indicates
-    /// a double release.
+    /// a double release — or if the pid still has a published epoch, which
+    /// indicates a snapshot guard was dropped out of order (the epoch must
+    /// be cleared before its pid can be re-issued, or the next holder would
+    /// inherit a stale pin).
     pub fn release(&self, pid: Pid) {
+        debug_assert_eq!(
+            self.epochs[pid.index()].load(),
+            EPOCH_EMPTY,
+            "released pid {pid} with a published epoch still pinned"
+        );
         let was = self.in_use[pid.index()].swap(false);
         debug_assert!(was, "released pid {pid} that was not allocated");
+    }
+
+    // -----------------------------------------------------------------
+    // The reader epoch table (see the type-level docs)
+    // -----------------------------------------------------------------
+
+    /// Publishes `epoch` in `pid`'s epoch slot: from this store until
+    /// [`PidRegistry::clear_epoch`], every payload retired at an epoch
+    /// greater than `epoch` is pinned against reclamation.
+    ///
+    /// The store targets the pid's own cache-padded slot, so in steady
+    /// state (the publisher is the slot's sole cached holder) it costs
+    /// zero cache-coherence RMRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is 0 (the empty sentinel).
+    pub fn publish_epoch(&self, pid: Pid, epoch: u64) {
+        assert!(epoch != EPOCH_EMPTY, "epoch 0 is the empty sentinel");
+        self.epochs[pid.index()].store(epoch);
+    }
+
+    /// Clears `pid`'s epoch slot, releasing whatever its published epoch
+    /// pinned. Idempotent.
+    pub fn clear_epoch(&self, pid: Pid) {
+        self.epochs[pid.index()].store(EPOCH_EMPTY);
+    }
+
+    /// The epoch published in slot `index`, or `None` if the slot is
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity()`.
+    pub fn published_epoch(&self, index: usize) -> Option<u64> {
+        match self.epochs[index].load() {
+            EPOCH_EMPTY => None,
+            e => Some(e),
+        }
+    }
+
+    /// The minimum epoch published across all slots, or `None` if no slot
+    /// has anything published. One bounded O(capacity) scan — this is the
+    /// grace-period read a retiring writer performs: every retired payload
+    /// whose retirement epoch is ≤ the returned minimum is reclaimable.
+    pub fn min_published_epoch(&self) -> Option<u64> {
+        (0..self.capacity()).filter_map(|i| self.published_epoch(i)).min()
+    }
+
+    /// Number of slots with a published epoch (approximate under
+    /// concurrency, exact at rest — the quiescence check).
+    pub fn published_epochs(&self) -> usize {
+        (0..self.capacity()).filter(|&i| self.published_epoch(i).is_some()).count()
     }
 }
 
@@ -251,5 +340,63 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 8, "duplicate pid among winners");
+    }
+
+    #[test]
+    fn epoch_publish_clear_round_trip() {
+        let reg = PidRegistry::new(3);
+        let pid = reg.allocate().unwrap();
+        assert_eq!(reg.published_epoch(pid.index()), None);
+        reg.publish_epoch(pid, 7);
+        assert_eq!(reg.published_epoch(pid.index()), Some(7));
+        reg.publish_epoch(pid, 9); // republish overwrites
+        assert_eq!(reg.published_epoch(pid.index()), Some(9));
+        reg.clear_epoch(pid);
+        assert_eq!(reg.published_epoch(pid.index()), None);
+        reg.clear_epoch(pid); // idempotent
+        reg.release(pid);
+    }
+
+    #[test]
+    fn min_published_epoch_scans_all_slots() {
+        let reg = PidRegistry::new(4);
+        assert_eq!(reg.min_published_epoch(), None);
+        assert_eq!(reg.published_epochs(), 0);
+        let a = reg.allocate().unwrap();
+        let b = reg.allocate().unwrap();
+        let c = reg.allocate().unwrap();
+        reg.publish_epoch(a, 12);
+        reg.publish_epoch(b, 3);
+        reg.publish_epoch(c, 44);
+        assert_eq!(reg.min_published_epoch(), Some(3));
+        assert_eq!(reg.published_epochs(), 3);
+        reg.clear_epoch(b);
+        assert_eq!(reg.min_published_epoch(), Some(12));
+        assert_eq!(reg.published_epochs(), 2);
+        for pid in [a, c] {
+            reg.clear_epoch(pid);
+        }
+        assert_eq!(reg.min_published_epoch(), None);
+        for pid in [a, b, c] {
+            reg.release(pid);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sentinel")]
+    fn epoch_zero_is_rejected() {
+        let reg = PidRegistry::new(1);
+        let pid = reg.allocate().unwrap();
+        reg.publish_epoch(pid, 0);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert-only oracle")]
+    #[should_panic(expected = "published epoch still pinned")]
+    fn release_with_published_epoch_is_caught() {
+        let reg = PidRegistry::new(1);
+        let pid = reg.allocate().unwrap();
+        reg.publish_epoch(pid, 1);
+        reg.release(pid);
     }
 }

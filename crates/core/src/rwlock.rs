@@ -82,15 +82,85 @@ thread_local! {
     static LEASES: LeaseTable = LeaseTable::default();
 }
 
-/// How a guard came by its pid; decides what its drop must undo.
-#[derive(Clone, Copy, PartialEq, Eq)]
-pub(crate) enum PidSource {
+/// How a guard came by its pid; decides what its release must undo.
+///
+/// Returned by [`lease_pid`] and consumed by [`release_pid`]. Mostly an
+/// internal detail of the guard machinery, but public so other tiers that
+/// borrow a pid per passage (the `rmr-swap` snapshot guards) can share the
+/// same thread-local lease cache instead of duplicating it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PidSource {
     /// Owned by a [`LockHandle`]; the handle releases it.
     Handle,
     /// The thread's cached lease; clear the busy flag on drop.
     Lease,
     /// Allocated just for this (nested) guard; return it on drop.
     Transient,
+}
+
+/// Leases a pid from `registry` for the calling thread: the thread's
+/// cached lease if it is free, a transient pid if the lease is mid-attempt
+/// (a nested guard), a fresh cached lease otherwise.
+///
+/// This is the leasing engine behind [`RwLock::read`] / [`RwLock::write`],
+/// exposed so sibling tiers (e.g. `rmr-swap`'s `Snapshot::load`) can
+/// participate in the same per-thread cache. Every successful call must be
+/// paired with exactly one [`release_pid`] with the returned source.
+pub fn lease_pid(registry: &Arc<PidRegistry>) -> Result<(Pid, PidSource), RegistryFull> {
+    let key = Arc::as_ptr(registry);
+    let leased = LEASES.try_with(|table| {
+        let mut entries = table.entries.borrow_mut();
+        // Fast path: cached-lease hit, no table maintenance.
+        if let Some(e) = entries.iter().find(|e| std::ptr::eq(e.reg.as_ptr(), key)) {
+            if e.busy.get() {
+                // Nested acquisition: the cached pid is mid-attempt.
+                let pid = registry.allocate()?;
+                return Ok((pid, PidSource::Transient));
+            }
+            e.busy.set(true);
+            return Ok((e.pid, PidSource::Lease));
+        }
+        // Miss (first acquisition against this registry on this thread):
+        // sweep leases whose lock is gone before growing the table. Dead
+        // entries are harmless until now — their Weak pins the
+        // allocation, so the key can never collide.
+        entries.retain(|e| e.reg.strong_count() > 0);
+        let pid = registry.allocate()?;
+        entries.push(LeaseEntry { reg: Arc::downgrade(registry), pid, busy: Cell::new(true) });
+        Ok((pid, PidSource::Lease))
+    });
+    // During thread teardown the lease table may already be destroyed
+    // (acquiring from another thread_local's destructor, which
+    // std::sync::RwLock supports). Fall back to a transient pid —
+    // matching the try_with tolerance on the release side.
+    leased.unwrap_or_else(|_destroyed| registry.allocate().map(|pid| (pid, PidSource::Transient)))
+}
+
+/// Releases whatever hold `source` has on `pid`: the inverse of
+/// [`lease_pid`] (guard drops and failed try-acquires share this).
+pub fn release_pid(registry: &Arc<PidRegistry>, pid: Pid, source: PidSource) {
+    match source {
+        PidSource::Handle => {}
+        PidSource::Transient => registry.release(pid),
+        PidSource::Lease => {
+            let key = Arc::as_ptr(registry);
+            let cleared = LEASES.try_with(|table| {
+                if let Ok(entries) = table.entries.try_borrow() {
+                    if let Some(e) = entries.iter().find(|e| std::ptr::eq(e.reg.as_ptr(), key)) {
+                        e.busy.set(false);
+                    }
+                }
+            });
+            // During thread teardown the table may already be destroyed.
+            // Its Drop deliberately *skipped* this pid (the guard was
+            // still open, busy = true), so the guard must return it to
+            // the registry itself or the slot would leak; no double
+            // release is possible for the same reason.
+            if cleared.is_err() {
+                registry.release(pid);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -260,12 +330,21 @@ impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
     /// lease an extra pid for the inner guard, so nesting never violates
     /// the raw locks' "one attempt at a time per pid" contract.
     ///
-    /// Nesting still carries `std::sync::RwLock`'s deadlock semantics,
+    /// # Deadlock
+    ///
+    /// Nesting carries `std::sync::RwLock`'s deadlock semantics,
     /// policy-sharpened: a nested *read* deadlocks if a writer is already
-    /// waiting, except under the reader-priority policy (RP1 lets the
-    /// inner reader overtake the waiting writer); a nested *write* while
-    /// holding any guard on the same thread always deadlocks. Avoid
-    /// holding a guard across calls that may re-acquire.
+    /// waiting — under the starvation-free policy (FIFO doorway) and
+    /// especially the writer-priority policy (WP1 makes the waiting writer
+    /// overtake the inner reader, which in turn can never drain while the
+    /// outer guard is held), so a reentrant read on a writer-priority lock
+    /// self-deadlocks whenever a reload is pending. Only the
+    /// reader-priority policy is immune (RP1 lets the inner reader
+    /// overtake the waiting writer). A nested *write* while holding any
+    /// guard on the same thread always deadlocks. Avoid holding a guard
+    /// across calls that may re-acquire — or, for read-mostly data where
+    /// reentrant reads are structural, use `rmr-swap`'s `Snapshot`, whose
+    /// wait-free `load` never blocks and is safely reentrant.
     ///
     /// # Panics
     ///
@@ -317,49 +396,15 @@ impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
         self.registry.allocated()
     }
 
-    /// Leases a pid for the calling thread: the cached lease if free, a
-    /// transient pid if the lease is mid-attempt (nested guard), a fresh
-    /// cached lease otherwise.
+    /// Leases a pid for the calling thread — see [`lease_pid`].
     fn lease(&self) -> Result<(Pid, PidSource), RegistryFull> {
-        let key = Arc::as_ptr(&self.registry);
-        let leased = LEASES.try_with(|table| {
-            let mut entries = table.entries.borrow_mut();
-            // Fast path: cached-lease hit, no table maintenance.
-            if let Some(e) = entries.iter().find(|e| std::ptr::eq(e.reg.as_ptr(), key)) {
-                if e.busy.get() {
-                    // Nested acquisition: the cached pid is mid-attempt.
-                    let pid = self.registry.allocate()?;
-                    return Ok((pid, PidSource::Transient));
-                }
-                e.busy.set(true);
-                return Ok((e.pid, PidSource::Lease));
-            }
-            // Miss (first acquisition of this lock on this thread): sweep
-            // leases whose lock is gone before growing the table. Dead
-            // entries are harmless until now — their Weak pins the
-            // allocation, so the key can never collide.
-            entries.retain(|e| e.reg.strong_count() > 0);
-            let pid = self.registry.allocate()?;
-            entries.push(LeaseEntry {
-                reg: Arc::downgrade(&self.registry),
-                pid,
-                busy: Cell::new(true),
-            });
-            Ok((pid, PidSource::Lease))
-        });
-        // During thread teardown the lease table may already be destroyed
-        // (acquiring from another thread_local's destructor, which
-        // std::sync::RwLock supports). Fall back to a transient pid —
-        // matching the try_with tolerance on the release side.
-        leased.unwrap_or_else(|_destroyed| {
-            self.registry.allocate().map(|pid| (pid, PidSource::Transient))
-        })
+        lease_pid(&self.registry)
     }
 
     /// Returns a pid obtained from [`RwLock::lease`] without a guard having
     /// consumed it (the raw try-acquire failed).
     fn unlease(&self, pid: Pid, source: PidSource) {
-        release_pid_source(&self.registry, pid, source);
+        release_pid(&self.registry, pid, source);
     }
 
     pub(crate) fn read_guard(
@@ -392,6 +437,13 @@ impl<T: ?Sized, L: RawMultiWriter> RwLock<T, L> {
     /// provide — use their [`SwmrWriter`](crate::swmr_rwlock::SwmrWriter)
     /// endpoint instead.
     ///
+    /// # Deadlock
+    ///
+    /// A nested `write` while this thread holds *any* guard on the same
+    /// lock always deadlocks, under every policy: the writer's entry waits
+    /// for the critical section to drain, and the outer guard never will.
+    /// See [`RwLock::read`] for the full nesting matrix.
+    ///
     /// # Panics
     ///
     /// Panics if the registry is exhausted.
@@ -414,33 +466,6 @@ impl<T: ?Sized, L: RawMultiWriter> RwLock<T, L> {
     /// Runs `f` with exclusive access (convenience over [`RwLock::write`]).
     pub fn write_with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
         f(&mut self.write())
-    }
-}
-
-/// Releases whatever hold `source` has on `pid` (guard drop and failed
-/// try-acquire share this).
-fn release_pid_source(registry: &Arc<PidRegistry>, pid: Pid, source: PidSource) {
-    match source {
-        PidSource::Handle => {}
-        PidSource::Transient => registry.release(pid),
-        PidSource::Lease => {
-            let key = Arc::as_ptr(registry);
-            let cleared = LEASES.try_with(|table| {
-                if let Ok(entries) = table.entries.try_borrow() {
-                    if let Some(e) = entries.iter().find(|e| std::ptr::eq(e.reg.as_ptr(), key)) {
-                        e.busy.set(false);
-                    }
-                }
-            });
-            // During thread teardown the table may already be destroyed.
-            // Its Drop deliberately *skipped* this pid (the guard was
-            // still open, busy = true), so the guard must return it to
-            // the registry itself or the slot would leak; no double
-            // release is possible for the same reason.
-            if cleared.is_err() {
-                registry.release(pid);
-            }
-        }
     }
 }
 
@@ -652,7 +677,7 @@ impl<T: ?Sized, L: RawRwLock> Drop for ReadGuard<'_, T, L> {
     fn drop(&mut self) {
         let token = self.token.take().expect("read token taken twice");
         self.lock.raw.read_unlock(self.pid, token);
-        release_pid_source(&self.lock.registry, self.pid, self.source);
+        release_pid(&self.lock.registry, self.pid, self.source);
     }
 }
 
@@ -701,7 +726,7 @@ impl<T: ?Sized, L: RawRwLock> Drop for WriteGuard<'_, T, L> {
     fn drop(&mut self) {
         let token = self.token.take().expect("write token taken twice");
         self.lock.raw.write_unlock(self.pid, token);
-        release_pid_source(&self.lock.registry, self.pid, self.source);
+        release_pid(&self.lock.registry, self.pid, self.source);
     }
 }
 

@@ -1,19 +1,30 @@
-//! Configuration hot-reload under the writer-priority lock (Theorem 5):
-//! the scenario where stale reads are costly, so a pending update must not
-//! be starved by the read storm.
+//! Configuration hot-reload over the epoch-swap snapshot tier: the
+//! scenario where reads vastly outnumber reloads, so the read path should
+//! pay nothing — `Snapshot::load` is wait-free and performs zero remote
+//! memory references in steady state, and a reload never blocks a reader
+//! (readers pinning the old version keep it alive until they drop).
 //!
 //! Many worker threads consult a shared `Config` on every request; an
-//! operator thread occasionally replaces it. With `RwLock::writer_priority`
-//! the reload proceeds ahead of all readers that arrived after it (WP1),
-//! and the unstoppable-writers property (WP2) bounds its entry once the
-//! critical section drains. No thread registers anything — the lock is
-//! used exactly like `std::sync::RwLock`.
+//! operator thread occasionally replaces it with `Snapshot::store`. The
+//! scenario runs once per retirement policy, because the policy is the
+//! knob a deployment actually turns:
+//!
+//! * **eager** — the operator waits out readers still pinning the old
+//!   version inside each reload, so at most one retired config is ever
+//!   outstanding (bounded memory, reload pays the grace period);
+//! * **batched** — reloads return immediately and retired configs age in
+//!   a list until the high-water mark triggers a scan (fast reloads, and
+//!   `peak retired` shows the memory the deployment traded for them).
+//!
+//! No thread registers anything — pids are leased behind the scenes, and
+//! a worker could even nest a second `load` inside its first (snapshot
+//! reads are safely reentrant, unlike lock reads).
 //!
 //! ```text
 //! cargo run --release --example config_hot_reload
 //! ```
 
-use rmrw::core::rwlock::WriterPriorityRwLock;
+use rmrw::swap::{RetireBatched, RetireEager, RetirePolicy, Snapshot};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,9 +49,13 @@ impl Config {
 const WORKERS: usize = 3;
 const RELOADS: u64 = 40;
 
-fn main() {
-    let lock: Arc<WriterPriorityRwLock<Config>> =
-        Arc::new(WriterPriorityRwLock::writer_priority(Config::v(0), WORKERS + 1));
+fn run(label: &str, policy: impl RetirePolicy + Copy) {
+    let snap: Arc<Snapshot<Config, _, _>> = Arc::new(Snapshot::with_raw_and_capacity(
+        Config::v(0),
+        rmrw::core::mwmr::MwmrStarvationFree::new(WORKERS + 1),
+        policy,
+        WORKERS + 1,
+    ));
 
     let stop = Arc::new(AtomicBool::new(false));
     let requests = Arc::new(AtomicU64::new(0));
@@ -48,14 +63,14 @@ fn main() {
     let mut workers = Vec::new();
 
     for _ in 0..WORKERS {
-        let lock = Arc::clone(&lock);
+        let snap = Arc::clone(&snap);
         let stop = Arc::clone(&stop);
         let requests = Arc::clone(&requests);
         let torn = Arc::clone(&torn_reads);
         workers.push(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                let cfg = lock.read();
-                // A torn config would have version/rate_limit out of sync.
+                let cfg = snap.load(); // wait-free; pins this version
+                                       // A torn config would have version/rate_limit out of sync.
                 if cfg.rate_limit as u64 != 100 + cfg.version {
                     torn.fetch_add(1, Ordering::Relaxed);
                 }
@@ -66,30 +81,44 @@ fn main() {
     }
 
     // The operator performs RELOADS hot reloads and tracks how long each
-    // write-lock acquisition took against the storm.
+    // store took against the read storm (for eager retirement this
+    // includes waiting out the pins on the outgoing version).
+    let t_start = Instant::now();
     let mut waits = Vec::with_capacity(RELOADS as usize);
     for version in 1..=RELOADS {
         std::thread::sleep(Duration::from_millis(3));
         let t0 = Instant::now();
-        let mut guard = lock.write();
+        snap.store(Config::v(version));
         waits.push(t0.elapsed());
-        *guard = Config::v(version);
     }
 
     stop.store(true, Ordering::Relaxed);
     for w in workers {
         w.join().unwrap();
     }
+    let elapsed = t_start.elapsed();
 
     let max = waits.iter().max().expect("reloads happened");
     let mean: Duration = waits.iter().sum::<Duration>() / waits.len() as u32;
-    println!("config_hot_reload (writer-priority, {WORKERS} workers, {RELOADS} reloads)");
-    println!("  requests served : {}", requests.load(Ordering::Relaxed));
+    let served = requests.load(Ordering::Relaxed);
+    println!("config_hot_reload [{label}] ({WORKERS} workers, {RELOADS} reloads)");
+    println!("  requests served : {served}");
+    println!("  reads/sec       : {:.0}", served as f64 / elapsed.as_secs_f64());
     println!("  torn reads      : {}", torn_reads.load(Ordering::Relaxed));
-    println!("  reload wait mean: {mean:?}");
-    println!("  reload wait max : {max:?}");
+    println!("  reload mean     : {mean:?}");
+    println!("  reload max      : {max:?}");
+    println!("  swaps installed : {}", snap.swaps());
+    println!("  peak retired    : {}", snap.peak_retired());
     assert_eq!(torn_reads.load(Ordering::Relaxed), 0, "readers saw a torn config");
+    assert_eq!(snap.load().version, RELOADS);
 
-    assert_eq!(lock.read().version, RELOADS);
-    println!("final config version: {RELOADS} (all reloads landed, none starved)");
+    // Everything unpinned and (after a final scan) reclaimed.
+    snap.reclaim();
+    assert!(snap.is_quiescent(), "retired configs or pins outlived the run");
+    println!("  final version   : {RELOADS} (all reloads landed; retired configs reclaimed)\n");
+}
+
+fn main() {
+    run("eager", RetireEager);
+    run("batched", RetireBatched { high_water: 8 });
 }

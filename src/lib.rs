@@ -10,6 +10,7 @@
 //! | [`mutex`] | `rmr-mutex` | Anderson's array lock (the paper's `M`), classic spin locks, memory backends (incl. the `Sched` scheduling backend) |
 //! | [`bravo`] | `rmr-bravo` | BRAVO-style reader-biased fast path (`Bravo<L>`) over any raw lock |
 //! | [`async_lock`] | `rmr-async` | waker-parking async front end (`AsyncRwLock<T, L>`): `read().await` instead of spinning, plus a dependency-free `block_on` |
+//! | [`swap`] | `rmr-swap` | epoch-swap snapshot tier (`Snapshot<T>`): zero-RMR wait-free reads, copy-swap-retire writes with an RCU-style retirement knob |
 //! | [`baselines`] | `rmr-baselines` | the prior-art lock classes the paper improves on |
 //! | [`sim`] | `rmr-sim` | the abstract machine: model checking, RMR cost models, invariants |
 //!
@@ -46,6 +47,25 @@
 //! assert_eq!(*lock.read(), 1);
 //! ```
 //!
+//! For data that is read overwhelmingly more than it is written (config,
+//! routing tables, feature flags), [`swap`]'s `Snapshot` goes one step
+//! further than Bravo: a read is wait-free and performs zero remote
+//! memory references in steady state; writers pay a payload copy plus
+//! deferred reclamation. Snapshot reads are also safely reentrant, where
+//! a nested lock read can self-deadlock behind a waiting writer:
+//!
+//! ```
+//! use rmrw::swap::Snapshot;
+//!
+//! let snap = Snapshot::new(vec![1u32, 2, 3], 8);
+//! let outer = snap.load(); // wait-free, pins this version
+//! assert_eq!(outer.len(), 3);
+//! assert_eq!(snap.load().len(), 3); // nested load: fine
+//! drop(outer);
+//! snap.update(|v| v.iter().map(|x| x * 2).collect());
+//! assert_eq!(snap.load()[0], 2);
+//! ```
+//!
 //! Services that must not burn a core per waiter use [`async_lock`]'s
 //! `AsyncRwLock` instead: a blocked `read().await` suspends (waker
 //! parked, core released) and the lock's release paths wake it — over
@@ -74,3 +94,4 @@ pub use rmr_bravo as bravo;
 pub use rmr_core as core;
 pub use rmr_mutex as mutex;
 pub use rmr_sim as sim;
+pub use rmr_swap as swap;

@@ -330,6 +330,180 @@ fn bravo_thread_exit_reclaim_spares_published_slots() {
 }
 
 // ---------------------------------------------------------------------
+// PidRegistry × epoch table: leaked snapshot guards pin pid AND epoch
+// ---------------------------------------------------------------------
+
+/// A leaked (`mem::forget`) snapshot guard leaves its read session — its
+/// published epoch — open forever. The pin must block reclamation
+/// *boundedly*: after `k` subsequent stores, **exactly** `k` payloads sit
+/// retired (every version since the pin, nothing more), the lease
+/// reclaim keeps the pid reserved, and the epoch stays published.
+#[test]
+fn swap_leaked_guard_pins_pid_and_epoch() {
+    use rmrw::core::mwmr::MwmrStarvationFree;
+    use rmrw::swap::{RetireBatched, Snapshot};
+    use std::sync::Arc;
+
+    for seed in case_seeds(0x54a9_1000) {
+        let mut rng = SplitMix64::new(seed);
+        // Batched with an unreachable high-water mark: the leaked pin
+        // must never make a *writer* wait (that is eager's contract), so
+        // the stores below all return immediately.
+        let snap = Arc::new(Snapshot::with_raw(
+            0u64,
+            MwmrStarvationFree::new(8),
+            RetireBatched { high_water: usize::MAX },
+        ));
+        let warmups = rng.gen_index(16);
+        let s2 = Arc::clone(&snap);
+        std::thread::spawn(move || {
+            // Clean passages first: each publishes and clears an epoch.
+            for _ in 0..warmups {
+                let _ = *s2.load();
+            }
+            assert_eq!(s2.published(), 0, "seed {seed:#x}: clean loads left an epoch published");
+            std::mem::forget(s2.load());
+        })
+        .join()
+        .unwrap();
+
+        // The epoch stays published (the pin never ended) and the lease
+        // reclaim kept the pid reserved rather than re-issuing it.
+        assert_eq!(snap.published(), 1, "seed {seed:#x}: leaked epoch vanished");
+        assert_eq!(snap.registry().allocated(), 1, "seed {seed:#x}: leaked pid was reclaimed");
+        assert!(!snap.is_quiescent(), "seed {seed:#x}");
+
+        // k stores against the pin: each retires its predecessor, and the
+        // pinned epoch (older than every retiree) forbids freeing any of
+        // them — exactly k retired, no more, no fewer, store after store.
+        let k = 1 + rng.gen_index(16);
+        for i in 1..=k as u64 {
+            snap.store(i);
+            snap.reclaim();
+            assert_eq!(
+                snap.retired(),
+                i as usize,
+                "seed {seed:#x}: reclamation not blocked exactly by the pin"
+            );
+        }
+        assert_eq!(*snap.load(), k as u64, "seed {seed:#x}: stores must proceed past the pin");
+    }
+}
+
+/// Clean thread exits reclaim their leased pids as usual, and that
+/// reclaim must never clear (un-pin) an epoch that is still published by
+/// a *different*, leaked session — un-pinning would let a writer free the
+/// payload under the leaked guard.
+#[test]
+fn swap_thread_exit_reclaim_spares_published_epochs() {
+    use rmrw::core::mwmr::MwmrStarvationFree;
+    use rmrw::swap::{RetireBatched, Snapshot};
+    use std::sync::Arc;
+
+    for seed in case_seeds(0x54a9_2000) {
+        let mut rng = SplitMix64::new(seed);
+        let snap = Arc::new(Snapshot::with_raw(
+            0u64,
+            MwmrStarvationFree::new(8),
+            RetireBatched { high_water: usize::MAX },
+        ));
+
+        // One thread leaks a guard: its pid and epoch are pinned.
+        let s2 = Arc::clone(&snap);
+        std::thread::spawn(move || std::mem::forget(s2.load())).join().unwrap();
+        assert_eq!((snap.registry().allocated(), snap.published()), (1, 1), "seed {seed:#x}");
+
+        // Establish this thread's own cached lease up front (it stays
+        // allocated for the thread's lifetime — that is the cache), so
+        // the churn below has a stable allocation baseline.
+        let _ = *snap.load();
+        let baseline = snap.registry().allocated();
+
+        // A churn of clean reader threads (with interleaved stores so the
+        // epochs they publish actually differ): their leases must come
+        // and go without touching the leaked session's pid or epoch.
+        for round in 0..1 + rng.gen_index(4) {
+            if rng.gen_bool(0.5) {
+                snap.store(round as u64);
+            }
+            let s2 = Arc::clone(&snap);
+            let reads = 1 + rng.gen_index(8);
+            std::thread::spawn(move || {
+                for _ in 0..reads {
+                    let _ = *s2.load();
+                }
+            })
+            .join()
+            .unwrap();
+            assert_eq!(
+                snap.registry().allocated(),
+                baseline,
+                "seed {seed:#x}: clean exit freed the leaked pid"
+            );
+            assert_eq!(
+                snap.published(),
+                1,
+                "seed {seed:#x}: clean exit un-pinned the leaked epoch"
+            );
+        }
+    }
+}
+
+/// Dropped guards always unpin: random interleavings of open / drop /
+/// store on one thread (nested guards draw distinct transient pids, so
+/// several can be open at once) keep the published-epoch count equal to
+/// the open-guard count at every step, and a final drop-all + reclaim
+/// leaves the snapshot fully quiescent.
+#[test]
+fn swap_dropped_guards_always_unpin() {
+    use rmrw::core::mwmr::MwmrStarvationFree;
+    use rmrw::swap::{RetireBatched, Snapshot};
+
+    const MAX_OPEN: usize = 6;
+    for seed in case_seeds(0x54a9_3000) {
+        let mut rng = SplitMix64::new(seed);
+        // Capacity: up to MAX_OPEN pinned guards + the store path's own
+        // transient pid while guards keep the cached lease busy.
+        let snap = Snapshot::with_raw(
+            0u64,
+            MwmrStarvationFree::new(MAX_OPEN + 2),
+            RetireBatched { high_water: usize::MAX },
+        );
+        let mut value = 0u64;
+        let mut open = Vec::new();
+        for _ in 0..rng.gen_index(200) {
+            match rng.gen_index(3) {
+                0 if open.len() < MAX_OPEN => {
+                    let guard = snap.load();
+                    assert_eq!(*guard, value, "seed {seed:#x}: fresh guard saw a stale snapshot");
+                    open.push((guard, value));
+                }
+                1 if !open.is_empty() => {
+                    drop(open.swap_remove(rng.gen_index(open.len())));
+                }
+                2 => {
+                    value += 1;
+                    snap.store(value);
+                }
+                _ => {}
+            }
+            for (guard, pinned) in &open {
+                assert_eq!(**guard, *pinned, "seed {seed:#x}: snapshot drifted under its guard");
+            }
+            assert_eq!(
+                snap.published(),
+                open.len(),
+                "seed {seed:#x}: published epochs diverged from open guards"
+            );
+        }
+        drop(open);
+        snap.reclaim();
+        assert_eq!(snap.published(), 0, "seed {seed:#x}: a dropped guard left its epoch pinned");
+        assert!(snap.is_quiescent(), "seed {seed:#x}: retired payloads survived a full reclaim");
+    }
+}
+
+// ---------------------------------------------------------------------
 // DSM model: an access is remote exactly when the home differs
 // ---------------------------------------------------------------------
 

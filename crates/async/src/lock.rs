@@ -36,9 +36,11 @@
 //! # Why no wake-up is lost
 //!
 //! A future parks only after the sequence *attempt fails → register waker
-//! → attempt fails again*. Every operation is SeqCst, so when the second
-//! attempt fails some holder `H` exists at that point; `H`'s release runs
-//! strictly later, and its wake scan therefore observes the registration.
+//! → attempt fails again*. The parked-count announce in the registration
+//! and the release paths' scan-skip checks are SeqCst (sites AS-ANNOUNCE
+//! and AS-COUNT, DESIGN.md §13), so when the second attempt fails some
+//! holder `H` exists at that point; `H`'s release runs strictly later,
+//! and its wake scan therefore observes the registration.
 //! Any *other* failed attempt leaves the lock state untouched (the try
 //! tier is abortable), so "holder exists" is the only way an attempt can
 //! fail — the wake-delivering release is always still in the future when
@@ -75,7 +77,7 @@
 use crate::park::{WaitKind, WakerTable};
 use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::{Pid, PidRegistry};
-use rmr_mutex::mem::{Backend, Native, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedWord};
 use rmr_mutex::{spin, CachePadded};
 use std::cell::UnsafeCell;
 use std::fmt;
@@ -221,7 +223,8 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
 
     /// Async read guards currently held (approximate under concurrency).
     pub fn reading(&self) -> usize {
-        self.readers.load() as usize
+        // Diagnostic snapshot only.
+        self.readers.load(MemOrdering::Relaxed) as usize
     }
 
     /// Wake-ups delivered by the release paths so far (diagnostics).
@@ -234,7 +237,7 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
     pub fn is_quiescent(&self) -> bool {
         self.table.parked_readers() == 0
             && self.table.parked_writers() == 0
-            && self.readers.load() == 0
+            && self.readers.load(MemOrdering::Relaxed) == 0
             && self.registry.allocated() == 0
     }
 
@@ -248,7 +251,10 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
     }
 
     fn finish_read(&self, pid: Pid, token: L::ReadToken) -> AsyncReadGuard<'_, T, L, B> {
-        self.readers.fetch_add(1);
+        // SeqCst: this counter's 1 → 0 edge (in the guard drop) gates a
+        // wake_all scan, the same lost-wakeup square as AS-COUNT; keep
+        // both ends of the guard count in the total order.
+        self.readers.fetch_add(1, MemOrdering::SeqCst);
         // A raw read *entry* is not atomic (e.g. the ticket lock's
         // drawn-ticket-to-grant-bump window), and a concurrent reader's
         // attempt failing inside that window parks it behind *us* — a
@@ -511,7 +517,10 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncReadGuard<'_, T, L, B> {
         // wakes *everyone*, not just writers: a reader parked behind
         // another reader's entry window (see `finish_read`) may have this
         // release as its only remaining wake source.
-        if self.lock.readers.fetch_sub(1) == 1 {
+        // SeqCst: the last-reader edge decides whether anyone scans at
+        // all — it must be ordered after the raw release above and
+        // before the wake scan's skip checks (the AS-COUNT square).
+        if self.lock.readers.fetch_sub(1, MemOrdering::SeqCst) == 1 {
             self.lock.table.wake_all();
         }
         self.lock.registry.release(self.pid);

@@ -39,7 +39,7 @@
 //! All state values are small constants (never pointers), so `Sched`
 //! replays observe identical values run after run.
 
-use rmr_mutex::mem::{Backend, SharedWord};
+use rmr_mutex::mem::{Backend, Ordering as MemOrdering, SharedWord};
 use rmr_mutex::{spin_until, CachePadded};
 use std::cell::UnsafeCell;
 use std::fmt;
@@ -209,17 +209,21 @@ impl<B: Backend> WakerTable<B> {
 
     /// Readers currently parked (approximate under concurrency).
     pub fn parked_readers(&self) -> usize {
-        self.parked_readers.load() as usize
+        // Site AS-COUNT (DESIGN.md §13): release paths key their wake
+        // scans off this value, making it the load half of the
+        // park-announce SB square (see `register`) — SeqCst, not Relaxed.
+        self.parked_readers.load(MemOrdering::SeqCst) as usize
     }
 
     /// Writers currently parked (approximate under concurrency).
     pub fn parked_writers(&self) -> usize {
-        self.parked_writers.load() as usize
+        // Site AS-COUNT: same SB square as `parked_readers`.
+        self.parked_writers.load(MemOrdering::SeqCst) as usize
     }
 
     /// Total wake-ups delivered since construction (diagnostics).
     pub fn wakeups(&self) -> u64 {
-        self.wakeups.load()
+        self.wakeups.load(MemOrdering::Relaxed)
     }
 
     fn parked_count(&self, kind: WaitKind) -> &B::Word {
@@ -239,21 +243,33 @@ impl<B: Backend> WakerTable<B> {
     pub fn register(&self, pid: usize, kind: WaitKind, waker: &Waker) {
         let slot = &self.slots[pid];
         loop {
-            match slot.state.load() {
+            // Acquire: an EMPTY observed here may have been stored by a
+            // claimant that just read the cell (`wake_matching`); the
+            // owner is about to rewrite the cell and must happen-after
+            // that take.
+            match slot.state.load(MemOrdering::Acquire) {
                 EMPTY => {
                     // Owner-exclusive while EMPTY: write the cell, then
-                    // publish. Publication uses a plain store — no other
-                    // party transitions out of EMPTY.
+                    // publish. Release pairs with the claimant's Acquire
+                    // CAS so the cloned waker is visible to the take.
                     unsafe { *slot.cell.get() = Some(waker.clone()) };
-                    slot.state.store(kind.parked_word());
-                    self.parked_count(kind).fetch_add(1);
+                    slot.state.store(kind.parked_word(), MemOrdering::Release);
+                    // Site AS-ANNOUNCE: the announce half of the
+                    // park-announce SB square — the caller re-tries the
+                    // lock after this bump, and a releaser checks the
+                    // count after its unlock (site AS-COUNT); only the
+                    // total order over both pairs rules out the lost
+                    // wakeup. SeqCst (an RMW besides, which drains the
+                    // store buffer in the checked weak model).
+                    self.parked_count(kind).fetch_add(1, MemOrdering::SeqCst);
                     return;
                 }
                 TAKING => {
                     // The claimant stores EMPTY within two operations and
                     // then fires the superseded waker — a harmless
-                    // spurious re-poll.
-                    spin_until(|| slot.state.load() != TAKING);
+                    // spurious re-poll. Relaxed: the loop-top Acquire
+                    // load re-reads before any cell access.
+                    spin_until(|| slot.state.load(MemOrdering::Relaxed) != TAKING);
                 }
                 parked => {
                     debug_assert_eq!(
@@ -269,8 +285,15 @@ impl<B: Backend> WakerTable<B> {
                     // discipline is violated upstream.
                     let observed =
                         if parked == PARKED_READER { WaitKind::Reader } else { WaitKind::Writer };
-                    if slot.state.compare_exchange(parked, EMPTY).is_ok() {
-                        self.parked_count(observed).fetch_sub(1);
+                    // Relaxed CAS: success proves no claimant touched the
+                    // slot since our own Release publish, so the cell's
+                    // last writer was this owner — nothing to acquire.
+                    if slot
+                        .state
+                        .compare_exchange(parked, EMPTY, MemOrdering::Relaxed, MemOrdering::Relaxed)
+                        .is_ok()
+                    {
+                        self.parked_count(observed).fetch_sub(1, MemOrdering::Relaxed);
                     }
                 }
             }
@@ -285,19 +308,29 @@ impl<B: Backend> WakerTable<B> {
     pub fn deregister(&self, pid: usize) {
         let slot = &self.slots[pid];
         loop {
-            match slot.state.load() {
+            // Acquire for the same reason as `register`'s loop-top load:
+            // waiting out TAKING must happen-after the claimant's take
+            // before the pid (and so the cell) can be re-leased.
+            match slot.state.load(MemOrdering::Acquire) {
                 EMPTY => return,
                 TAKING => {
                     // The claimant stores EMPTY within two operations;
                     // its wake then lands on this (already finished)
-                    // future, which is harmlessly spurious.
-                    spin_until(|| slot.state.load() != TAKING);
+                    // future, which is harmlessly spurious. Relaxed: the
+                    // loop-top Acquire load re-reads.
+                    spin_until(|| slot.state.load(MemOrdering::Relaxed) != TAKING);
                 }
                 parked => {
                     let kind =
                         if parked == PARKED_READER { WaitKind::Reader } else { WaitKind::Writer };
-                    if slot.state.compare_exchange(parked, EMPTY).is_ok() {
-                        self.parked_count(kind).fetch_sub(1);
+                    // Relaxed CAS: as in `register`, success proves the
+                    // cell's last writer was this owner.
+                    if slot
+                        .state
+                        .compare_exchange(parked, EMPTY, MemOrdering::Relaxed, MemOrdering::Relaxed)
+                        .is_ok()
+                    {
+                        self.parked_count(kind).fetch_sub(1, MemOrdering::Relaxed);
                         // Owner-exclusive again: drop the stored waker.
                         unsafe { *slot.cell.get() = None };
                         return;
@@ -310,7 +343,11 @@ impl<B: Backend> WakerTable<B> {
     /// Delivers every parked *writer* waker. Returns the number of
     /// wake-ups delivered.
     pub fn wake_writers(&self) -> usize {
-        if self.parked_writers.load() == 0 {
+        // Site AS-COUNT: the load half of the park-announce SB square —
+        // this skip check runs after the caller's raw release, and must
+        // not be reordered before it or a just-announced parker is
+        // stranded. SeqCst.
+        if self.parked_writers.load(MemOrdering::SeqCst) == 0 {
             return 0;
         }
         self.wake_matching(false, true)
@@ -321,7 +358,8 @@ impl<B: Backend> WakerTable<B> {
     /// attempt fail has closed). Returns the number of wake-ups
     /// delivered.
     pub fn wake_readers(&self) -> usize {
-        if self.parked_readers.load() == 0 {
+        // Site AS-COUNT: SeqCst skip check, as in `wake_writers`.
+        if self.parked_readers.load(MemOrdering::SeqCst) == 0 {
             return 0;
         }
         self.wake_matching(true, false)
@@ -331,7 +369,10 @@ impl<B: Backend> WakerTable<B> {
     /// and last-reader exit paths). Returns the number of wake-ups
     /// delivered.
     pub fn wake_all(&self) -> usize {
-        if self.parked_readers.load() == 0 && self.parked_writers.load() == 0 {
+        // Site AS-COUNT: SeqCst skip checks, as in `wake_writers`.
+        if self.parked_readers.load(MemOrdering::SeqCst) == 0
+            && self.parked_writers.load(MemOrdering::SeqCst) == 0
+        {
             return 0;
         }
         self.wake_matching(true, true)
@@ -340,21 +381,31 @@ impl<B: Backend> WakerTable<B> {
     fn wake_matching(&self, include_readers: bool, include_writers: bool) -> usize {
         let mut woken = 0;
         for slot in self.slots.iter() {
-            let state = slot.state.load();
+            // Relaxed: a pure hint — the CAS below re-checks with the
+            // ordering that matters.
+            let state = slot.state.load(MemOrdering::Relaxed);
             let kind = match state {
                 PARKED_READER if include_readers => WaitKind::Reader,
                 PARKED_WRITER if include_writers => WaitKind::Writer,
                 _ => continue,
             };
-            if slot.state.compare_exchange(state, TAKING).is_err() {
+            // Acquire on success pairs with the owner's Release publish:
+            // the cloned waker in the cell is visible before the take.
+            if slot
+                .state
+                .compare_exchange(state, TAKING, MemOrdering::Acquire, MemOrdering::Relaxed)
+                .is_err()
+            {
                 continue; // the owner retired it, or another releaser won
             }
-            self.parked_count(kind).fetch_sub(1);
+            self.parked_count(kind).fetch_sub(1, MemOrdering::Relaxed);
             // Claimant-exclusive while TAKING.
             let waker = unsafe { (*slot.cell.get()).take() };
-            slot.state.store(EMPTY);
+            // Release: publishes the take to the next owner write (the
+            // loop-top Acquire loads in `register`/`deregister`).
+            slot.state.store(EMPTY, MemOrdering::Release);
             if let Some(waker) = waker {
-                self.wakeups.fetch_add(1);
+                self.wakeups.fetch_add(1, MemOrdering::Relaxed);
                 woken += 1;
                 waker.wake();
             }

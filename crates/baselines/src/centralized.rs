@@ -2,7 +2,7 @@
 
 use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
-use rmr_mutex::mem::{Backend, Native, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering, SharedWord};
 use rmr_mutex::{RawMutex, TtasLock};
 use std::fmt;
 
@@ -64,7 +64,7 @@ impl<B: Backend> CentralizedRwLock<B> {
 
     /// Number of readers currently in the critical section (diagnostic).
     pub fn readers_inside(&self) -> u64 {
-        self.read_count.load()
+        self.read_count.load(Ordering::Relaxed)
     }
 }
 
@@ -74,7 +74,10 @@ impl<B: Backend> RawRwLock for CentralizedRwLock<B> {
 
     fn read_lock(&self, _pid: Pid) {
         let m = self.count_mutex.lock();
-        if self.read_count.fetch_add(1) == 0 {
+        // Relaxed: every access to read_count happens under count_mutex,
+        // whose Acquire/Release handoff already orders them; the RMW is only
+        // for interface parity with the lock-free diagnostics read.
+        if self.read_count.fetch_add(1, Ordering::Relaxed) == 0 {
             // First reader locks the resource on behalf of the group.
             let r = self.resource.lock();
             // TtasLock tokens are zero-sized; ownership transfers to the
@@ -86,7 +89,8 @@ impl<B: Backend> RawRwLock for CentralizedRwLock<B> {
 
     fn read_unlock(&self, _pid: Pid, (): ()) {
         let m = self.count_mutex.lock();
-        if self.read_count.fetch_sub(1) == 1 {
+        // Relaxed: protected by count_mutex (see read_lock).
+        if self.read_count.fetch_sub(1, Ordering::Relaxed) == 1 {
             // Last reader out releases the resource.
             self.resource.unlock(());
         }
@@ -115,12 +119,13 @@ impl<B: Backend> RawTryReadLock for CentralizedRwLock<B> {
         if !self.count_mutex.try_lock() {
             return None;
         }
-        let granted = if self.read_count.fetch_add(1) == 0 {
+        // Relaxed: protected by count_mutex (see read_lock).
+        let granted = if self.read_count.fetch_add(1, Ordering::Relaxed) == 0 {
             // First reader must take the resource on the group's behalf; if
             // a writer holds it, undo the registration.
             let ok = self.resource.try_lock();
             if !ok {
-                self.read_count.fetch_sub(1);
+                self.read_count.fetch_sub(1, Ordering::Relaxed);
             }
             ok
         } else {

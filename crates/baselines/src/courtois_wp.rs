@@ -3,7 +3,7 @@
 
 use rmr_core::raw::RawRwLock;
 use rmr_core::registry::Pid;
-use rmr_mutex::mem::{Backend, Native, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering, SharedWord};
 use rmr_mutex::{RawMutex, TtasLock};
 use std::fmt;
 
@@ -82,7 +82,7 @@ impl<B: Backend> CourtoisWriterPrefRwLock<B> {
 
     /// Number of writers waiting or writing (diagnostic).
     pub fn writers_interested(&self) -> u64 {
-        self.write_count.load()
+        self.write_count.load(Ordering::Relaxed)
     }
 }
 
@@ -94,7 +94,9 @@ impl<B: Backend> RawRwLock for CourtoisWriterPrefRwLock<B> {
         self.entry_gate.lock();
         self.read_gate.lock();
         self.read_count_mutex.lock();
-        if self.read_count.fetch_add(1) == 0 {
+        // Relaxed: read_count is only ever touched under read_count_mutex,
+        // whose Acquire/Release handoff already orders the accesses.
+        if self.read_count.fetch_add(1, Ordering::Relaxed) == 0 {
             self.resource.lock();
         }
         self.read_count_mutex.unlock(());
@@ -104,7 +106,8 @@ impl<B: Backend> RawRwLock for CourtoisWriterPrefRwLock<B> {
 
     fn read_unlock(&self, _pid: Pid, (): ()) {
         self.read_count_mutex.lock();
-        if self.read_count.fetch_sub(1) == 1 {
+        // Relaxed: protected by read_count_mutex (see read_lock).
+        if self.read_count.fetch_sub(1, Ordering::Relaxed) == 1 {
             self.resource.unlock(());
         }
         self.read_count_mutex.unlock(());
@@ -112,7 +115,8 @@ impl<B: Backend> RawRwLock for CourtoisWriterPrefRwLock<B> {
 
     fn write_lock(&self, _pid: Pid) {
         self.write_count_mutex.lock();
-        if self.write_count.fetch_add(1) == 0 {
+        // Relaxed: write_count is only ever touched under write_count_mutex.
+        if self.write_count.fetch_add(1, Ordering::Relaxed) == 0 {
             // First interested writer shuts the reader gate.
             self.read_gate.lock();
         }
@@ -123,7 +127,8 @@ impl<B: Backend> RawRwLock for CourtoisWriterPrefRwLock<B> {
     fn write_unlock(&self, _pid: Pid, (): ()) {
         self.resource.unlock(());
         self.write_count_mutex.lock();
-        if self.write_count.fetch_sub(1) == 1 {
+        // Relaxed: protected by write_count_mutex (see write_lock).
+        if self.write_count.fetch_sub(1, Ordering::Relaxed) == 1 {
             // Last interested writer reopens the reader gate.
             self.read_gate.unlock(());
         }
@@ -142,7 +147,7 @@ unsafe impl<B: Backend> rmr_core::raw::RawMultiWriter for CourtoisWriterPrefRwLo
 impl<B: Backend> fmt::Debug for CourtoisWriterPrefRwLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CourtoisWriterPrefRwLock")
-            .field("readers_inside", &self.read_count.load())
+            .field("readers_inside", &self.read_count.load(Ordering::Relaxed))
             .field("writers_interested", &self.writers_interested())
             .finish()
     }

@@ -3,7 +3,7 @@
 
 use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
-use rmr_mutex::mem::{Backend, Native, SharedBool};
+use rmr_mutex::mem::{Backend, Native, Ordering, SharedBool};
 use rmr_mutex::CachePadded;
 use rmr_mutex::{spin_until, RawMutex, TtasLock};
 use std::fmt;
@@ -68,7 +68,7 @@ impl<B: Backend> DistributedFlagRwLock<B> {
 
     /// Number of raised reader flags (diagnostic; O(n) scan).
     pub fn readers_visible(&self) -> usize {
-        self.reader_flags.iter().filter(|f| f.load()).count()
+        self.reader_flags.iter().filter(|f| f.load(Ordering::Relaxed)).count()
     }
 }
 
@@ -79,33 +79,51 @@ impl<B: Backend> RawRwLock for DistributedFlagRwLock<B> {
     fn read_lock(&self, pid: Pid) {
         let flag = &self.reader_flags[pid.index()];
         loop {
-            flag.store(true);
-            if !self.writer_present.load() {
+            // Site BL-FLAGS, a Dekker square: the reader raises its flag and
+            // then reads writer_present; the writer raises writer_present and
+            // then scans the flags. SC of these four accesses is the whole
+            // mutual-exclusion argument ("one of us observes the other"), so
+            // both store/load pairs are SeqCst. Demoting this raise is the
+            // `WrongOrdering::DemoteFlagRaise` mutant (DESIGN.md §13).
+            flag.store(true, Ordering::SeqCst);
+            if !self.writer_present.load(Ordering::SeqCst) {
                 // Flag-then-check: the writer's check-then-scan order
                 // guarantees one of us observes the other.
                 return;
             }
             // Retreat so the writer's scan can finish, then wait it out.
-            flag.store(false);
-            spin_until(|| !self.writer_present.load());
+            // Relaxed: the reader is not in the CS, so there is nothing to
+            // publish; coherence alone delivers the lowered flag to the
+            // writer's Acquire scan.
+            flag.store(false, Ordering::Relaxed);
+            // Acquire pairs with the writer's Release in write_unlock so the
+            // reader's critical-section reads see the writer's writes.
+            spin_until(|| !self.writer_present.load(Ordering::Acquire));
         }
     }
 
     fn read_unlock(&self, pid: Pid, (): ()) {
-        self.reader_flags[pid.index()].store(false);
+        // Release: the writer's Acquire scan must order this reader's
+        // critical-section reads before the writer's subsequent writes.
+        self.reader_flags[pid.index()].store(false, Ordering::Release);
     }
 
     fn write_lock(&self, _pid: Pid) {
         self.writer_mutex.lock();
-        self.writer_present.store(true);
-        // O(n): drain every reader slot.
+        // Store half of site BL-FLAGS (see read_lock): SeqCst so it cannot
+        // pass the flag scan below.
+        self.writer_present.store(true, Ordering::SeqCst);
+        // O(n): drain every reader slot. Acquire pairs with the readers'
+        // Release in read_unlock.
         for flag in self.reader_flags.iter() {
-            spin_until(|| !flag.load());
+            spin_until(|| !flag.load(Ordering::Acquire));
         }
     }
 
     fn write_unlock(&self, _pid: Pid, (): ()) {
-        self.writer_present.store(false);
+        // Release publishes the writer's critical-section writes to readers
+        // spinning on writer_present with Acquire.
+        self.writer_present.store(false, Ordering::Release);
         self.writer_mutex.unlock(());
     }
 
@@ -122,12 +140,13 @@ impl<B: Backend> RawTryReadLock for DistributedFlagRwLock<B> {
     fn try_read_lock(&self, pid: Pid) -> Option<()> {
         let flag = &self.reader_flags[pid.index()];
         // One round of the blocking loop, with "park" replaced by "abort":
-        // flag-then-check keeps the same visibility argument.
-        flag.store(true);
-        if !self.writer_present.load() {
+        // flag-then-check keeps the same visibility argument (site BL-FLAGS).
+        flag.store(true, Ordering::SeqCst);
+        if !self.writer_present.load(Ordering::SeqCst) {
             Some(())
         } else {
-            flag.store(false);
+            // Abort: nothing to publish (never entered the CS).
+            flag.store(false, Ordering::Relaxed);
             None
         }
     }
@@ -138,10 +157,13 @@ impl<B: Backend> RawTryRwLock for DistributedFlagRwLock<B> {
         if !self.writer_mutex.try_lock() {
             return None;
         }
-        self.writer_present.store(true);
-        // One scan instead of n spin-waits; any raised flag aborts.
-        if self.reader_flags.iter().any(|f| f.load()) {
-            self.writer_present.store(false);
+        self.writer_present.store(true, Ordering::SeqCst); // site BL-FLAGS
+                                                           // One scan instead of n spin-waits; any raised flag aborts. Acquire
+                                                           // pairs with the readers' Release in read_unlock.
+        if self.reader_flags.iter().any(|f| f.load(Ordering::Acquire)) {
+            // Abort: the writer wrote nothing, so there is nothing to
+            // publish; coherence delivers the lowered flag.
+            self.writer_present.store(false, Ordering::Relaxed);
             self.writer_mutex.unlock(());
             return None;
         }
@@ -154,7 +176,7 @@ impl<B: Backend> fmt::Debug for DistributedFlagRwLock<B> {
         f.debug_struct("DistributedFlagRwLock")
             .field("slots", &self.reader_flags.len())
             .field("readers_visible", &self.readers_visible())
-            .field("writer_present", &self.writer_present.load())
+            .field("writer_present", &self.writer_present.load(Ordering::Relaxed))
             .finish()
     }
 }

@@ -2,7 +2,7 @@
 
 use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
-use rmr_mutex::mem::{Backend, Native, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering, SharedWord};
 use rmr_mutex::spin_until;
 use std::fmt;
 
@@ -76,7 +76,9 @@ impl<B: Backend> TicketRwLock<B> {
     }
 
     fn take_ticket(&self) -> u32 {
-        self.users.fetch_add(1) as u32
+        // Relaxed: drawing a ticket only needs the RMW's atomicity; the
+        // holder synchronizes later through the grant word.
+        self.users.fetch_add(1, Ordering::Relaxed) as u32
     }
 }
 
@@ -86,23 +88,32 @@ impl<B: Backend> RawRwLock for TicketRwLock<B> {
 
     fn read_lock(&self, _pid: Pid) {
         let ticket = self.take_ticket();
-        spin_until(|| read_grant(self.grants.load()) == ticket);
-        // Let the next queued reader in right behind us.
-        self.grants.fetch_add(READ_GRANT_UNIT);
+        // Acquire pairs with the Release grant bumps of earlier exiters so
+        // this reader sees the last writer's critical-section writes.
+        spin_until(|| read_grant(self.grants.load(Ordering::Acquire)) == ticket);
+        // Let the next queued reader in right behind us. Relaxed: the RMW
+        // continues the release sequence headed by the last Release bump, so
+        // the next reader's Acquire spin still synchronizes with the last
+        // writer; this reader has nothing of its own to publish.
+        self.grants.fetch_add(READ_GRANT_UNIT, Ordering::Relaxed);
     }
 
     fn read_unlock(&self, _pid: Pid, (): ()) {
-        self.grants.fetch_add(1); // write_grant += 1
+        // Release: a writer admitted by this bump must order its writes
+        // after this reader's critical-section reads.
+        self.grants.fetch_add(1, Ordering::Release); // write_grant += 1
     }
 
     fn write_lock(&self, _pid: Pid) {
         let ticket = self.take_ticket();
-        spin_until(|| write_grant(self.grants.load()) == ticket);
+        // Acquire pairs with the Release bumps of every earlier exiter.
+        spin_until(|| write_grant(self.grants.load(Ordering::Acquire)) == ticket);
     }
 
     fn write_unlock(&self, _pid: Pid, (): ()) {
-        // Both grants advance past this writer's ticket.
-        self.grants.fetch_add(READ_GRANT_UNIT + 1);
+        // Both grants advance past this writer's ticket. Release publishes
+        // the writer's critical-section writes to the Acquire spins.
+        self.grants.fetch_add(READ_GRANT_UNIT + 1, Ordering::Release);
     }
 
     fn max_processes(&self) -> usize {
@@ -121,38 +132,47 @@ unsafe impl<B: Backend> rmr_core::raw::RawMultiWriter for TicketRwLock<B> {}
 /// abort once enqueued).
 impl<B: Backend> RawTryReadLock for TicketRwLock<B> {
     fn try_read_lock(&self, _pid: Pid) -> Option<()> {
-        let u = self.users.load();
+        let u = self.users.load(Ordering::Relaxed);
         // Our ticket would be `u`; it is served the moment read_grant == u
         // (every earlier arrival has entered as a reader or fully exited).
-        if read_grant(self.grants.load()) != u as u32 {
+        // Acquire as in read_lock: this observation admits us to the CS.
+        if read_grant(self.grants.load(Ordering::Acquire)) != u as u32 {
             return None;
         }
-        if self.users.compare_exchange(u, u + 1).is_err() {
+        // Relaxed: the grant cannot advance past an undrawn ticket, so the
+        // Acquire observation above stays valid; the CAS only needs to
+        // atomically claim ticket `u`.
+        if self.users.compare_exchange(u, u + 1, Ordering::Relaxed, Ordering::Relaxed).is_err() {
             return None; // someone else drew ticket u
         }
-        // Granted immediately; let the next queued reader in behind us.
-        self.grants.fetch_add(READ_GRANT_UNIT);
+        // Granted immediately; let the next queued reader in behind us
+        // (Relaxed for the same release-sequence reason as read_lock).
+        self.grants.fetch_add(READ_GRANT_UNIT, Ordering::Relaxed);
         Some(())
     }
 }
 
 impl<B: Backend> RawTryRwLock for TicketRwLock<B> {
     fn try_write_lock(&self, _pid: Pid) -> Option<()> {
-        let u = self.users.load();
+        let u = self.users.load(Ordering::Relaxed);
         // A writer's ticket is served only when ALL earlier arrivals have
-        // exited: write_grant == u.
-        if write_grant(self.grants.load()) != u as u32 {
+        // exited: write_grant == u (Acquire admits us to the CS).
+        if write_grant(self.grants.load(Ordering::Acquire)) != u as u32 {
             return None;
         }
-        self.users.compare_exchange(u, u + 1).is_ok().then_some(())
+        // Relaxed: as in try_read_lock, the observation cannot go stale.
+        self.users
+            .compare_exchange(u, u + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+            .then_some(())
     }
 }
 
 impl<B: Backend> fmt::Debug for TicketRwLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let g = self.grants.load();
+        let g = self.grants.load(Ordering::Relaxed);
         f.debug_struct("TicketRwLock")
-            .field("users", &(self.users.load() as u32))
+            .field("users", &(self.users.load(Ordering::Relaxed) as u32))
             .field("read_grant", &read_grant(g))
             .field("write_grant", &write_grant(g))
             .finish()

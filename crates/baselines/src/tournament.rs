@@ -2,7 +2,7 @@
 
 use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
-use rmr_mutex::mem::{Backend, Native, SharedBool, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering, SharedBool, SharedWord};
 use rmr_mutex::CachePadded;
 use rmr_mutex::{spin_until, RawMutex, TtasLock};
 use std::fmt;
@@ -82,7 +82,7 @@ impl<B: Backend> TournamentRwLock<B> {
 
     /// Number of readers currently registered at the root (diagnostic).
     pub fn root_count(&self) -> u64 {
-        self.nodes[1].load()
+        self.nodes[1].load(Ordering::Relaxed)
     }
 
     fn leaf_of(&self, pid: Pid) -> usize {
@@ -94,7 +94,12 @@ impl<B: Backend> TournamentRwLock<B> {
     fn climb(&self, leaf: usize) {
         let mut node = leaf;
         while node >= 1 {
-            self.nodes[node].fetch_add(1);
+            // Only the root participates in the register-then-check Dekker
+            // square with the writer (site BL-TREE); the lower counters
+            // exist for the Θ(log n) RMR cost profile and carry no
+            // synchronization.
+            let order = if node == 1 { Ordering::SeqCst } else { Ordering::Relaxed };
+            self.nodes[node].fetch_add(1, order);
             node /= 2;
         }
     }
@@ -103,7 +108,12 @@ impl<B: Backend> TournamentRwLock<B> {
     fn descend(&self, leaf: usize) {
         let mut node = leaf;
         while node >= 1 {
-            self.nodes[node].fetch_sub(1);
+            // Release at the root: on the exit path the writer's Acquire
+            // drain spin must order this reader's critical-section reads
+            // before the writer's writes. (The retreat path shares the
+            // helper and needs nothing; lower counters are cost-model-only.)
+            let order = if node == 1 { Ordering::Release } else { Ordering::Relaxed };
+            self.nodes[node].fetch_sub(1, order);
             node /= 2;
         }
     }
@@ -117,13 +127,15 @@ impl<B: Backend> RawRwLock for TournamentRwLock<B> {
         let leaf = self.leaf_of(pid);
         loop {
             self.climb(leaf);
-            if !self.writer_present.load() {
-                // Register-then-check vs. the writer's flag-then-drain:
-                // SeqCst guarantees one side observes the other.
+            // Site BL-TREE: register-then-check vs. the writer's
+            // flag-then-drain — SeqCst on the root RMW and on this load
+            // guarantees one side observes the other.
+            if !self.writer_present.load(Ordering::SeqCst) {
                 return;
             }
             self.descend(leaf);
-            spin_until(|| !self.writer_present.load());
+            // Acquire pairs with the writer's Release in write_unlock.
+            spin_until(|| !self.writer_present.load(Ordering::Acquire));
         }
     }
 
@@ -133,12 +145,17 @@ impl<B: Backend> RawRwLock for TournamentRwLock<B> {
 
     fn write_lock(&self, _pid: Pid) {
         self.writer_mutex.lock();
-        self.writer_present.store(true);
-        spin_until(|| self.nodes[1].load() == 0);
+        // Store half of site BL-TREE: SeqCst so it cannot pass the drain
+        // scan below.
+        self.writer_present.store(true, Ordering::SeqCst);
+        // Acquire pairs with the readers' Release root decrements.
+        spin_until(|| self.nodes[1].load(Ordering::Acquire) == 0);
     }
 
     fn write_unlock(&self, _pid: Pid, (): ()) {
-        self.writer_present.store(false);
+        // Release publishes the writer's critical-section writes to readers
+        // spinning on writer_present with Acquire.
+        self.writer_present.store(false, Ordering::Release);
         self.writer_mutex.unlock(());
     }
 
@@ -156,7 +173,8 @@ impl<B: Backend> RawTryReadLock for TournamentRwLock<B> {
         let leaf = self.leaf_of(pid);
         // One round of the blocking loop; "park" becomes "abort".
         self.climb(leaf);
-        if !self.writer_present.load() {
+        if !self.writer_present.load(Ordering::SeqCst) {
+            // Site BL-TREE, as in read_lock.
             Some(())
         } else {
             self.descend(leaf);
@@ -170,10 +188,12 @@ impl<B: Backend> RawTryRwLock for TournamentRwLock<B> {
         if !self.writer_mutex.try_lock() {
             return None;
         }
-        self.writer_present.store(true);
-        // One root test instead of the drain spin; registered readers abort.
-        if self.nodes[1].load() != 0 {
-            self.writer_present.store(false);
+        self.writer_present.store(true, Ordering::SeqCst); // site BL-TREE
+                                                           // One root test instead of the drain spin; registered readers abort.
+                                                           // Acquire pairs with the readers' Release root decrements.
+        if self.nodes[1].load(Ordering::Acquire) != 0 {
+            // Abort: the writer wrote nothing, so nothing to publish.
+            self.writer_present.store(false, Ordering::Relaxed);
             self.writer_mutex.unlock(());
             return None;
         }
@@ -186,7 +206,7 @@ impl<B: Backend> fmt::Debug for TournamentRwLock<B> {
         f.debug_struct("TournamentRwLock")
             .field("levels", &self.levels())
             .field("root_count", &self.root_count())
-            .field("writer_present", &self.writer_present.load())
+            .field("writer_present", &self.writer_present.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -221,7 +241,7 @@ mod tests {
         lock.read_unlock(pid(5), b);
         assert_eq!(lock.root_count(), 0);
         for node in lock.nodes.iter() {
-            assert_eq!(node.load(), 0, "leaked tree count");
+            assert_eq!(node.load(Ordering::SeqCst), 0, "leaked tree count");
         }
     }
 

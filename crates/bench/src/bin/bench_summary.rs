@@ -22,6 +22,7 @@ use rmr_bravo::Bravo;
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
 use rmr_core::raw::RawRwLock;
 use rmr_core::registry::Pid;
+use rmr_mutex::mem::SeqCstNative;
 use rmr_swap::{RetireEager, Snapshot};
 use std::sync::Arc;
 use std::time::Instant;
@@ -211,6 +212,28 @@ fn main() {
     uncontended(&mut un, "std-rwlock", &StdRwLock::new(4), iters);
     uncontended(&mut un, "bravo-ticket-rw", &Bravo::new(TicketRwLock::new(4)), iters);
     uncontended(&mut un, "bravo-fig3-sf", &Bravo::new(MwmrStarvationFree::new(4)), iters);
+    // The SeqCst-everywhere policy twins (E18): the same locks through
+    // `SeqCstNative`, so the trajectory tracks what the per-site ordering
+    // relaxation is worth — and a future sweep that quietly re-promotes
+    // sites shows up as the `@seqcst` gap closing.
+    uncontended(
+        &mut un,
+        "fig3-starvation-free@seqcst",
+        &MwmrStarvationFree::new_in(4, SeqCstNative),
+        iters,
+    );
+    uncontended(
+        &mut un,
+        "fig4-writer-priority@seqcst",
+        &MwmrWriterPriority::new_in(4, SeqCstNative),
+        iters,
+    );
+    uncontended(
+        &mut un,
+        "distributed-flag@seqcst",
+        &DistributedFlagRwLock::new_in(4, SeqCstNative),
+        iters,
+    );
 
     // One blob, hand-rolled (the workspace carries no serialization dep).
     println!("{{");

@@ -20,10 +20,13 @@ use rmr_bravo::{Bravo, BravoConfig};
 use rmr_check::async_exec::{async_cancel_trial, async_read_blocking_write_trial, async_rw_trial};
 use rmr_check::exhaustive;
 use rmr_check::harness::{
-    mutex_trial, randomized_batteries, rw_trial, try_rw_trial, CheckReport, Scenario, Trial,
+    mutex_trial, randomized_batteries, randomized_batteries_in, rw_trial, try_rw_trial,
+    CheckReport, Scenario, Trial,
 };
+use rmr_check::litmus::litmus_suite;
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
 use rmr_core::swmr::{SwmrReaderPriority, SwmrWriterPriority};
+use rmr_mutex::sched::MemoryModel;
 use rmr_mutex::{AndersonLock, McsLock, Sched, TasLock, TicketLock, TtasLock};
 use std::sync::Arc;
 
@@ -237,6 +240,84 @@ fn main() {
         reports.extend(run_modes("async-cancel", big, None, &budgets));
     }
 
+    // The weak-memory re-run: the same trials under the store-buffer
+    // model, so the relaxed orderings the sweep left behind (DESIGN.md
+    // §13) are exercised against real reorderings, not just against
+    // sequential consistency. Mode column reads `…/sb`.
+    macro_rules! weak_rw {
+        ($label:expr, $make:expr) => {{
+            let big: &dyn Fn() -> Trial = &|| {
+                let lock = Arc::new($make);
+                let q = Arc::clone(&lock);
+                rw_trial(lock, Scenario::new(2, 1, 2), move || q.is_quiescent())
+            };
+            randomized_batteries_in(
+                $label,
+                big,
+                0xe14,
+                budgets.randomized,
+                3,
+                40_000,
+                MemoryModel::StoreBuffer,
+            )
+        }};
+    }
+    reports.extend(weak_rw!("fig1-swmr-wp", SwmrWriterPriority::new_in(Sched)));
+    reports.extend(weak_rw!("fig2-swmr-rp", SwmrReaderPriority::new_in(Sched)));
+    reports.extend(weak_rw!("fig3-mwmr-sf", MwmrStarvationFree::new_in(3, Sched)));
+    reports.extend(weak_rw!("fig3-mwmr-rp", MwmrReaderPriority::new_in(3, Sched)));
+    reports.extend(weak_rw!("fig4-mwmr-wp", MwmrWriterPriority::new_in(3, Sched)));
+    reports.extend(weak_rw!(
+        "bravo-ticket-rw",
+        Bravo::new_in(rmr_baselines::TicketRwLock::new_in(8, Sched), bravo_cfg, Sched)
+    ));
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            rw_trial(
+                Arc::new(rmr_baselines::DistributedFlagRwLock::new_in(3, Sched)),
+                Scenario::new(2, 1, 2),
+                || true,
+            )
+        };
+        reports.extend(randomized_batteries_in(
+            "flags",
+            big,
+            0xe14,
+            budgets.randomized,
+            3,
+            40_000,
+            MemoryModel::StoreBuffer,
+        ));
+    }
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            let lock = Arc::new(AsyncRwLock::with_raw_and_capacity_in(
+                (),
+                rmr_baselines::TicketRwLock::new_in(8, Sched),
+                8,
+                Sched,
+            ));
+            let q = Arc::clone(&lock);
+            async_rw_trial(lock, Scenario::new(2, 1, 2), move || q.is_quiescent())
+        };
+        reports.extend(randomized_batteries_in(
+            "async-ticket-rw",
+            big,
+            0xe14,
+            budgets.randomized,
+            3,
+            40_000,
+            MemoryModel::StoreBuffer,
+        ));
+    }
+
+    // The litmus pins: exact full-tree statements about the memory model
+    // itself. The relaxed outcomes the store-buffer mode must exhibit
+    // (MP stale read, SB both-zero) and the ones it must forbid
+    // (release-fronted flushes, SeqCst drains, IRIW disagreement) are
+    // checked against their pinned expectations.
+    let litmus = litmus_suite();
+
     let mut table = Table::new(&[
         ("lock", "lock"),
         ("mode", "mode"),
@@ -255,6 +336,21 @@ fn main() {
         ]);
         if let Some(f) = &r.failure {
             failures.push(format!("{}: {f}", r.lock));
+        }
+    }
+    for r in &litmus {
+        table.row(vec![
+            format!("litmus-{}", r.name),
+            format!("litmus/{}", r.model),
+            r.schedules.to_string(),
+            r.steps.to_string(),
+            if r.passed() { "ok".into() } else { "FAIL".into() },
+        ]);
+        if !r.passed() {
+            failures.push(format!(
+                "litmus-{}: expected observed={}, got observed={}",
+                r.name, r.expect_observed, r.observed
+            ));
         }
     }
     print!("{}", table.emit(args.json));

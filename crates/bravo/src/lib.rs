@@ -49,13 +49,21 @@
 //! The exclusion predicate (`rmr_sim::predicates::rw_exclusion`, P1) needs:
 //! no fast reader inside its read session while the writer is in the CS.
 //! The writer's order is *clear `rbias`, then scan*; the reader's order is
-//! *publish, then re-check `rbias`*. All operations are SeqCst, so in the
-//! total order either the reader's re-check precedes the writer's clear —
-//! then the publish precedes the scan and the writer waits for that slot —
-//! or the re-check observes the cleared flag and the reader retracts
-//! without ever entering. There is no third interleaving; the re-check
-//! after publish is the linchpin (and exactly what the seeded
-//! `SkipRevocationScan` mutant in `rmr-check` breaks).
+//! *publish, then re-check `rbias`*. The four accesses that carry this
+//! argument — the reader's publish CAS and bias re-check, the writer's
+//! bias clear and slot scan — are `SeqCst` (sites BR-PUB, BR-RECHECK,
+//! BR-CLEAR, BR-SCAN in DESIGN.md §13), so in the single total order
+//! either the reader's re-check precedes the writer's clear — then the
+//! publish precedes the scan and the writer waits for that slot — or the
+//! re-check observes the cleared flag and the reader retracts without
+//! ever entering. There is no third interleaving; the re-check after
+//! publish is the linchpin (and exactly what the seeded
+//! `SkipRevocationScan` mutant in `rmr-check` breaks). Every other
+//! access — bias pre-checks, the re-bias store, retract, counters — is
+//! deliberately weaker, with the justification written at each site; the
+//! `Sched` backend's `StoreBuffer` mode re-checks the whole protocol
+//! under store reordering, and the `WrongOrdering::DemoteBiasClear`
+//! mutant in `rmr-check` proves a demoted bias clear would be caught.
 //!
 //! # RMR cost — an honest accounting
 //!
@@ -99,7 +107,7 @@
 
 use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
-use rmr_mutex::mem::{Backend, Native, SharedBool, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedBool, SharedWord};
 use rmr_mutex::{spin_until, CachePadded};
 use std::fmt;
 
@@ -237,17 +245,20 @@ impl<L: RawRwLock, B: Backend> Bravo<L, B> {
 
     /// Whether the lock is currently biased toward readers.
     pub fn bias(&self) -> bool {
-        self.rbias.load()
+        // Diagnostic snapshot only; no synchronization rides on it.
+        self.rbias.load(MemOrdering::Relaxed)
     }
 
     /// Completed bias revocations so far.
     pub fn revocations(&self) -> u64 {
-        self.revocations.load()
+        // Diagnostic snapshot only.
+        self.revocations.load(MemOrdering::Relaxed)
     }
 
     /// Number of currently published visible-reader slots.
     pub fn published(&self) -> usize {
-        self.slots.iter().filter(|s| s.load() != EMPTY).count()
+        // Diagnostic/quiescence snapshot; callers quote it only at rest.
+        self.slots.iter().filter(|s| s.load(MemOrdering::Relaxed) != EMPTY).count()
     }
 
     /// The table slot `pid` hashes to (exposed so tests and the bench
@@ -268,20 +279,39 @@ impl<L: RawRwLock, B: Backend> Bravo<L, B> {
     /// (published + bias re-checked); `None` means bias off, collision, or
     /// a racing revocation — take the slow path.
     fn try_fast_read(&self, pid: Pid) -> Option<usize> {
-        if !self.rbias.load() {
+        // Relaxed pre-check: purely an optimization hint. A stale `true`
+        // is corrected by the SeqCst re-check below; a stale `false` only
+        // costs a slow-path detour.
+        if !self.rbias.load(MemOrdering::Relaxed) {
             return None;
         }
         let slot = self.slot_index(pid);
-        if self.slots[slot].compare_exchange(EMPTY, pid.index() as u64 + 1).is_err() {
+        // Site BR-PUB (DESIGN.md §13): the publish half of the
+        // publish-then-re-check SB square — SeqCst so it cannot be
+        // reordered after the re-check. Failure is a pure backoff, so
+        // Relaxed there.
+        if self.slots[slot]
+            .compare_exchange(
+                EMPTY,
+                pid.index() as u64 + 1,
+                MemOrdering::SeqCst,
+                MemOrdering::Relaxed,
+            )
+            .is_err()
+        {
             return None; // hash collision: someone else is published here
         }
-        // The linchpin re-check: a revoking writer clears the bias before
-        // scanning, so either this load still sees the bias (and the scan
-        // will see our published slot), or we retract and go slow.
-        if self.rbias.load() {
+        // Site BR-RECHECK: the linchpin re-check — a revoking writer
+        // clears the bias before scanning, so either this SeqCst load
+        // still sees the bias (and the scan will see our published slot),
+        // or we retract and go slow. Demoting the *writer's* half of this
+        // square is the `WrongOrdering::DemoteBiasClear` mutant.
+        if self.rbias.load(MemOrdering::SeqCst) {
             return Some(slot);
         }
-        self.slots[slot].store(EMPTY);
+        // Retract before ever entering the CS: nothing was read under the
+        // failed publish, so no ordering obligation — Relaxed.
+        self.slots[slot].store(EMPTY, MemOrdering::Relaxed);
         None
     }
 
@@ -292,9 +322,14 @@ impl<L: RawRwLock, B: Backend> Bravo<L, B> {
         if self.rebias_after == 0 {
             return;
         }
-        let n = self.slow_reads.fetch_add(1) + 1;
+        // Relaxed: the counter is a policy heuristic, not a synchronizer.
+        let n = self.slow_reads.fetch_add(1, MemOrdering::Relaxed) + 1;
         if n.is_multiple_of(self.rebias_after) {
-            self.rbias.store(true);
+            // Relaxed: we hold the inner read lock, so any writer that
+            // could act on this bias first completes `inner.write_lock`,
+            // and a correct inner lock's read-unlock → write-lock handoff
+            // is itself a happens-before edge that carries this store.
+            self.rbias.store(true, MemOrdering::Relaxed);
         }
     }
 
@@ -302,14 +337,27 @@ impl<L: RawRwLock, B: Backend> Bravo<L, B> {
     /// table and wait for every published reader to drain. Must be called
     /// while holding the inner write lock.
     fn revoke(&self) {
-        if !self.rbias.load() {
+        // Relaxed: the bias was last set by a slow reader holding the
+        // inner read lock (or retained from init), and we hold the inner
+        // write lock — the inner handoff already ordered that store
+        // before this load.
+        if !self.rbias.load(MemOrdering::Relaxed) {
             return;
         }
-        self.rbias.store(false);
+        // Site BR-CLEAR: the writer's half of the revocation SB square.
+        // MUST be SeqCst, not Release — a buffered (reordered-late) clear
+        // would let the scan below run while a fast reader's SeqCst
+        // re-check still observes the stale bias: both enter. This is the
+        // `WrongOrdering::DemoteBiasClear` mutant in `rmr-check`.
+        self.rbias.store(false, MemOrdering::SeqCst);
         for slot in self.slots.iter() {
-            spin_until(|| slot.load() == EMPTY);
+            // Site BR-SCAN: SeqCst keeps the scan after the clear in the
+            // total order (the SB half) and acquires each reader's
+            // retract/unlock store before the writer enters the CS.
+            spin_until(|| slot.load(MemOrdering::SeqCst) == EMPTY);
         }
-        self.revocations.fetch_add(1);
+        // Diagnostics only.
+        self.revocations.fetch_add(1, MemOrdering::Relaxed);
     }
 }
 
@@ -330,7 +378,9 @@ impl<L: RawRwLock, B: Backend> RawRwLock for Bravo<L, B> {
         match token.path {
             ReadPath::Fast { slot } => {
                 debug_assert_eq!(slot, self.slot_index(pid), "token returned by a foreign pid");
-                self.slots[slot].store(EMPTY);
+                // Release: publishes the read session's effects to the
+                // revoking writer, whose SeqCst scan load acquires it.
+                self.slots[slot].store(EMPTY, MemOrdering::Release);
             }
             ReadPath::Slow(t) => self.inner.read_unlock(pid, t),
         }
@@ -382,17 +432,23 @@ impl<L: RawTryRwLock, B: Backend> RawTryRwLock for Bravo<L, B> {
     /// has been observed (or made) empty.
     fn try_write_lock(&self, pid: Pid) -> Option<Self::WriteToken> {
         let token = self.inner.try_write_lock(pid)?;
-        let was_biased = self.rbias.load();
+        // Relaxed pre-check: same inner-handoff argument as `revoke`.
+        let was_biased = self.rbias.load(MemOrdering::Relaxed);
         if was_biased {
-            self.rbias.store(false);
+            // Site BR-CLEAR (one-shot variant): same SB square as the
+            // blocking revocation — SeqCst for the same reason.
+            self.rbias.store(false, MemOrdering::SeqCst);
         }
-        if self.slots.iter().any(|slot| slot.load() != EMPTY) {
+        // Site BR-SCAN (one-shot variant): SeqCst, as in `revoke`.
+        if self.slots.iter().any(|slot| slot.load(MemOrdering::SeqCst) != EMPTY) {
             // Back out: un-clear the bias first (we hold the inner write
             // lock, so no revocation or re-bias can race this store),
             // then release. Fast readers resume as if the attempt never
-            // happened.
+            // happened. Relaxed: a reader acting on this restored bias
+            // re-checks it with SeqCst after publishing, and the store is
+            // also carried by the write-unlock handoff below.
             if was_biased {
-                self.rbias.store(true);
+                self.rbias.store(true, MemOrdering::Relaxed);
             }
             self.inner.write_unlock(pid, token);
             return None;

@@ -28,7 +28,7 @@ use rmr_async::exec::{block_on_with, parker_waker};
 use rmr_async::lock::AsyncRwLock;
 use rmr_async::park::Parker;
 use rmr_core::raw::{RawMultiWriter, RawTryReadLock, RawTryRwLock};
-use rmr_mutex::mem::{Backend, SharedBool};
+use rmr_mutex::mem::{Backend, Ordering as MemOrdering, SharedBool};
 use rmr_mutex::{spin_until, Sched};
 use std::fmt;
 use std::future::Future;
@@ -63,12 +63,14 @@ impl Parker for SchedParker {
     fn park(&self) {
         // swap, not load: consuming the token keeps the unpark-before-park
         // case correct, and a false→false swap is exactly the futile
-        // operation the stall detector keys on.
-        spin_until(|| self.token.swap(false));
+        // operation the stall detector keys on. Acquire pairs with the
+        // unpark's Release so the parked task sees whatever the waker
+        // published before waking it.
+        spin_until(|| self.token.swap(false, MemOrdering::Acquire));
     }
 
     fn unpark(&self) {
-        self.token.store(true);
+        self.token.store(true, MemOrdering::Release);
     }
 }
 

@@ -20,8 +20,8 @@
 //! trial makes identical choices, so the choice tree explored is exactly
 //! the tree of distinct executions at the chosen bound.
 
-use crate::harness::{run_trial, CheckFailure, CheckReport, Trial};
-use rmr_mutex::sched::{PickView, Strategy};
+use crate::harness::{run_trial_in, CheckFailure, CheckReport, Trial};
+use rmr_mutex::sched::{MemoryModel, PickView, Strategy};
 
 /// One recorded decision: which option index was taken, out of how many.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,14 +119,34 @@ pub fn exhaustive(
     budget: u64,
     max_schedules: u64,
 ) -> CheckReport {
-    let mode = format!("dfs(p={preemption_bound})");
+    exhaustive_in(lock, mk, preemption_bound, budget, max_schedules, MemoryModel::SeqCst)
+}
+
+/// [`exhaustive`] under an explicit [`MemoryModel`]. Under
+/// [`MemoryModel::StoreBuffer`] the choice tree includes the flush
+/// decisions (each pending buffered store is one more option at its
+/// decision points), so the bounded exploration covers weak-memory
+/// reorderings too. Flushing a buffer while another task could continue
+/// counts as a preemption like any other task switch.
+pub fn exhaustive_in(
+    lock: &str,
+    mk: impl Fn() -> Trial,
+    preemption_bound: u32,
+    budget: u64,
+    max_schedules: u64,
+    model: MemoryModel,
+) -> CheckReport {
+    let mode = match model {
+        MemoryModel::SeqCst => format!("dfs(p={preemption_bound})"),
+        MemoryModel::StoreBuffer => format!("dfs(p={preemption_bound})/sb"),
+    };
     let mut prefix: Vec<u32> = Vec::new();
     let mut schedules = 0;
     let mut steps = 0;
     let mut truncated = false;
     let failure = loop {
         let mut strategy = DfsStrategy::new(prefix.clone(), preemption_bound);
-        let outcome = run_trial(mk(), &mut strategy, budget);
+        let outcome = run_trial_in(mk(), &mut strategy, budget, model);
         schedules += 1;
         steps += outcome.steps;
         if let Err(err) = outcome.result {

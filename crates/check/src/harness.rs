@@ -15,8 +15,8 @@
 use crate::strategies::{Pct, RandomWalk};
 use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
-use rmr_mutex::mem::{Backend, SharedWord};
-use rmr_mutex::sched::{run_tasks, Replay, RunOutcome, Strategy};
+use rmr_mutex::mem::{Backend, Ordering as MemOrdering, SharedWord};
+use rmr_mutex::sched::{run_tasks_in, MemoryModel, Replay, RunOutcome, Strategy};
 use rmr_mutex::{RawMutex, Sched};
 use rmr_sim::predicates::{mutex_exclusion, rw_exclusion, Occupancy};
 use std::fmt;
@@ -142,8 +142,11 @@ impl RwOracle {
         if let Err(msg) = rw_exclusion(Occupancy { writers, readers }) {
             panic!("{msg}");
         }
-        let a = self.x.load();
-        let b = self.y.load();
+        // Oracle instrumentation, not protocol under test: SeqCst keeps the
+        // data cells out of the ordering argument, so a torn pair always
+        // means the *lock* let a writer in — even under the weak model.
+        let a = self.x.load(MemOrdering::SeqCst);
+        let b = self.y.load(MemOrdering::SeqCst);
         if a != b {
             panic!("torn read: x = {a} but y = {b} (a writer ran inside a read session)");
         }
@@ -160,8 +163,8 @@ impl RwOracle {
             panic!("{msg}");
         }
         let k = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
-        self.x.store(k);
-        self.y.store(k);
+        self.x.store(k, MemOrdering::SeqCst);
+        self.y.store(k, MemOrdering::SeqCst);
         self.writes.fetch_add(1, Ordering::SeqCst);
         self.writers_in.fetch_sub(1, Ordering::SeqCst);
     }
@@ -256,12 +259,14 @@ impl MutexOracle {
             panic!("{msg}");
         }
         let k = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
-        self.x.store(k);
-        let seen = self.y.load();
+        // SeqCst for the same reason as `RwOracle::reader_cs`: the cells
+        // are the oracle's, not the lock's.
+        self.x.store(k, MemOrdering::SeqCst);
+        let seen = self.y.load(MemOrdering::SeqCst);
         if seen != k - 1 {
             panic!("torn pair: y = {seen}, expected {} (another holder interleaved)", k - 1);
         }
-        self.y.store(k);
+        self.y.store(k, MemOrdering::SeqCst);
         self.passages.fetch_add(1, Ordering::SeqCst);
         self.holders.fetch_sub(1, Ordering::SeqCst);
     }
@@ -558,11 +563,23 @@ pub fn reason_of(err: &rmr_mutex::sched::RunError) -> String {
     }
 }
 
-/// Runs one trial under one strategy and folds the post-run check into
+/// Runs one trial under one strategy — [`MemoryModel::SeqCst`]; see
+/// [`run_trial_in`] for the weak mode — and folds the post-run check into
 /// the outcome.
 pub fn run_trial(trial: Trial, strategy: &mut dyn Strategy, budget: u64) -> RunOutcome {
+    run_trial_in(trial, strategy, budget, MemoryModel::SeqCst)
+}
+
+/// Runs one trial under one strategy and memory model and folds the
+/// post-run check into the outcome.
+pub fn run_trial_in(
+    trial: Trial,
+    strategy: &mut dyn Strategy,
+    budget: u64,
+    model: MemoryModel,
+) -> RunOutcome {
     let Trial { tasks, post } = trial;
-    let mut outcome = run_tasks(tasks, strategy, budget);
+    let mut outcome = run_tasks_in(tasks, strategy, budget, model);
     if outcome.result.is_ok() {
         if let Err(msg) = post() {
             outcome.result = Err(rmr_mutex::sched::RunError::Panic {
@@ -587,6 +604,19 @@ fn battery_seeds(base: u64, count: u64) -> Vec<u64> {
     }
 }
 
+/// Suffix a battery's mode label carries when it runs under the weak
+/// model, so a report (and a replay line) always names the model that
+/// produced it.
+fn mode_label(base: String, model: MemoryModel) -> String {
+    match model {
+        MemoryModel::SeqCst => base,
+        MemoryModel::StoreBuffer => format!("{base}/sb"),
+    }
+}
+
+// One argument per knob a battery varies; bundling them into a struct
+// would just rename the call sites.
+#[allow(clippy::too_many_arguments)]
 fn seeded_battery(
     lock: &str,
     mode: String,
@@ -595,12 +625,13 @@ fn seeded_battery(
     base_seed: u64,
     count: u64,
     budget: u64,
+    model: MemoryModel,
 ) -> CheckReport {
     let mut steps = 0;
     let mut schedules = 0;
     for seed in battery_seeds(base_seed, count) {
         let mut strategy = mk_strategy(seed);
-        let outcome = run_trial(mk(), strategy.as_mut(), budget);
+        let outcome = run_trial_in(mk(), strategy.as_mut(), budget, model);
         steps += outcome.steps;
         schedules += 1;
         if let Err(err) = outcome.result {
@@ -634,14 +665,31 @@ pub fn pct_battery(
     depth: usize,
     budget: u64,
 ) -> CheckReport {
+    pct_battery_in(lock, mk, base_seed, count, depth, budget, MemoryModel::SeqCst)
+}
+
+/// [`pct_battery`] under an explicit [`MemoryModel`]. Under
+/// [`MemoryModel::StoreBuffer`] the strategy also decides flush points,
+/// so the same seed scheme explores weak-memory interleavings; the mode
+/// label gains a `/sb` suffix.
+pub fn pct_battery_in(
+    lock: &str,
+    mk: impl Fn() -> Trial,
+    base_seed: u64,
+    count: u64,
+    depth: usize,
+    budget: u64,
+    model: MemoryModel,
+) -> CheckReport {
     seeded_battery(
         lock,
-        format!("pct(d={depth})"),
+        mode_label(format!("pct(d={depth})"), model),
         mk,
         |seed| Box::new(Pct::new(seed, depth, 256)),
         base_seed,
         count,
         budget,
+        model,
     )
 }
 
@@ -654,14 +702,27 @@ pub fn random_battery(
     count: u64,
     budget: u64,
 ) -> CheckReport {
+    random_battery_in(lock, mk, base_seed, count, budget, MemoryModel::SeqCst)
+}
+
+/// [`random_battery`] under an explicit [`MemoryModel`].
+pub fn random_battery_in(
+    lock: &str,
+    mk: impl Fn() -> Trial,
+    base_seed: u64,
+    count: u64,
+    budget: u64,
+    model: MemoryModel,
+) -> CheckReport {
     seeded_battery(
         lock,
-        "random".into(),
+        mode_label("random".into(), model),
         mk,
         |seed| Box::new(RandomWalk::new(seed)),
         base_seed,
         count,
         budget,
+        model,
     )
 }
 
@@ -679,6 +740,21 @@ pub fn randomized_batteries(
     depth: usize,
     budget: u64,
 ) -> Vec<CheckReport> {
+    randomized_batteries_in(lock, mk, base, count, depth, budget, MemoryModel::SeqCst)
+}
+
+/// [`randomized_batteries`] under an explicit [`MemoryModel`] — the
+/// entry point the weak-memory batteries and the `Demote*` ordering
+/// mutants use.
+pub fn randomized_batteries_in(
+    lock: &str,
+    mk: impl Fn() -> Trial,
+    base: u64,
+    count: u64,
+    depth: usize,
+    budget: u64,
+    model: MemoryModel,
+) -> Vec<CheckReport> {
     // FNV-1a over the label so distinct locks sharing a base get distinct
     // seed sequences (label *length* would collide: the five core-lock
     // labels are all 12 characters).
@@ -687,13 +763,20 @@ pub fn randomized_batteries(
         base = (base ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
     }
     vec![
-        pct_battery(lock, &mk, base, count, depth, budget),
-        random_battery(lock, &mk, base ^ 0xa5a5, count, budget),
+        pct_battery_in(lock, &mk, base, count, depth, budget, model),
+        random_battery_in(lock, &mk, base ^ 0xa5a5, count, budget, model),
     ]
 }
 
 /// Replays a recorded decision sequence against a fresh trial — the
-/// deterministic reproduction of a [`CheckFailure`].
+/// deterministic reproduction of a [`CheckFailure`]. Replay under the
+/// model the failure was found under: flush points are recorded
+/// decisions too, so a weak-mode schedule only replays in weak mode.
 pub fn replay(trial: Trial, schedule: Vec<u16>, budget: u64) -> RunOutcome {
     run_trial(trial, &mut Replay::new(schedule), budget)
+}
+
+/// [`replay`] under an explicit [`MemoryModel`].
+pub fn replay_in(trial: Trial, schedule: Vec<u16>, budget: u64, model: MemoryModel) -> RunOutcome {
+    run_trial_in(trial, &mut Replay::new(schedule), budget, model)
 }

@@ -73,15 +73,17 @@
 pub mod async_exec;
 pub mod dfs;
 pub mod harness;
+pub mod litmus;
 pub mod mutants;
 pub mod strategies;
 
 pub use async_exec::{block_on_sched, SchedParker};
-pub use dfs::{exhaustive, DfsStrategy};
+pub use dfs::{exhaustive, exhaustive_in, DfsStrategy};
 pub use harness::{
-    pct_battery, random_battery, randomized_batteries, replay, rw_trial, CheckFailure, CheckReport,
-    Scenario, Trial,
+    pct_battery, random_battery, randomized_batteries, randomized_batteries_in, replay, replay_in,
+    rw_trial, CheckFailure, CheckReport, Scenario, Trial,
 };
+pub use litmus::{litmus_suite, LitmusReport};
 pub use strategies::{Pct, RandomWalk};
 
 /// Base seed for the randomized suites: the value of the `RMR_TEST_SEED`

@@ -1,0 +1,339 @@
+//! Litmus tests pinning the weak memory model's semantics.
+//!
+//! The store-buffer mode ([`MemoryModel::StoreBuffer`]) is only evidence
+//! if its *own* behavior is pinned: a model that silently forbade the
+//! reorderings it claims to explore would pass every battery vacuously.
+//! Each test here is a classic litmus shape — message passing (MP), store
+//! buffering (SB, the Dekker square), and independent reads of
+//! independent writes (IRIW) — run to **schedule exhaustion** under the
+//! DFS explorer, with the distinguished relaxed outcome pinned one way:
+//!
+//! * `mp-relaxed` — data and flag both published with `Relaxed` stores:
+//!   the flag may flush before the data (the model reorders independent
+//!   relaxed stores), so the stale outcome `flag = 1, data = 0` **must**
+//!   be observed.
+//! * `mp-release` — same program, flag published with `Release`: a
+//!   release store flushes only from the buffer front, so the data store
+//!   flushes first and the stale outcome **must not** appear.
+//! * `sb-relaxed` — the Dekker square with `Release` stores: both stores
+//!   park in their writers' buffers past the cross reads, so the
+//!   both-read-zero outcome **must** be observed. This is the exact shape
+//!   the `Demote*` mutants reintroduce into the locks.
+//! * `sb-seqcst` — the Dekker square as the locks actually write it
+//!   (SeqCst stores drain the buffer): both-read-zero **must not**
+//!   appear.
+//! * `mp-relaxed-sc` — the `mp-relaxed` program under
+//!   [`MemoryModel::SeqCst`]: the stale outcome **must not** appear,
+//!   pinning that the weak mode (not the scheduler) is what unlocks it.
+//! * `iriw` — two readers disagreeing on the order of two independent
+//!   SeqCst writes **must not** appear: buffered stores land in a single
+//!   shared memory, so the model is multi-copy atomic (TSO-like). This is
+//!   a documented *limitation* — the model checks store→load reordering,
+//!   the only relaxation the per-site policy in DESIGN.md §13 leans on,
+//!   and cannot witness non-MCA behaviors (ARM/POWER IRIW).
+//!
+//! A pinned-allowed outcome that stops appearing, or a pinned-forbidden
+//! outcome that appears, fails the suite — guarding both the model's
+//! soundness and its strength against regressions.
+
+use crate::dfs::{next_prefix, DfsStrategy};
+use rmr_mutex::mem::{Backend, Ordering, SharedWord};
+use rmr_mutex::sched::{run_tasks_in, MemoryModel};
+use rmr_mutex::Sched;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::Arc;
+
+type Word = <Sched as Backend>::Word;
+
+/// Step budget per schedule — litmus programs are a handful of
+/// operations, so this only trips if the model livelocks.
+const BUDGET: u64 = 2_000;
+
+/// DFS preemption bound. The programs are 4–6 operations per task with
+/// no spins, so this is effectively unbounded — every schedule (and
+/// every flush order) is explored.
+const PREEMPTIONS: u32 = 16;
+
+/// Result of one litmus test: whether the distinguished outcome was
+/// observed across the exhaustively explored schedules, and whether it
+/// was supposed to be.
+#[derive(Debug, Clone)]
+pub struct LitmusReport {
+    /// Test name, e.g. `mp-relaxed`.
+    pub name: &'static str,
+    /// Model label: `sb` (store buffer) or `sc`.
+    pub model: &'static str,
+    /// Schedules explored (the full tree — never truncated).
+    pub schedules: u64,
+    /// Scheduler steps across all schedules.
+    pub steps: u64,
+    /// The distinguished relaxed outcome was observed in some schedule.
+    pub observed: bool,
+    /// The pin: whether the outcome must be observable.
+    pub expect_observed: bool,
+}
+
+impl LitmusReport {
+    /// True when observation matched the pin.
+    pub fn passed(&self) -> bool {
+        self.observed == self.expect_observed
+    }
+}
+
+impl fmt::Display for LitmusReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} schedules, {} steps — outcome {}, pinned {} — {}",
+            self.name,
+            self.model,
+            self.schedules,
+            self.steps,
+            if self.observed { "seen" } else { "unseen" },
+            if self.expect_observed { "allowed" } else { "forbidden" },
+            if self.passed() { "ok" } else { "FAIL" }
+        )
+    }
+}
+
+/// One litmus program: fresh shared state plus task bodies that record
+/// their reads into plain (un-scheduled) result cells.
+struct Program {
+    tasks: Vec<Box<dyn FnOnce() + Send>>,
+    results: Arc<Vec<AtomicU64>>,
+}
+
+/// Explores every schedule of `mk`'s program under `model` and reports
+/// whether any schedule's recorded results satisfy `distinguished`.
+///
+/// # Panics
+///
+/// Panics if a schedule fails to run cleanly (litmus programs have no
+/// spins and cannot deadlock) or the DFS tree is unexpectedly huge —
+/// either means the model itself regressed.
+fn explore(
+    name: &'static str,
+    mk: impl Fn() -> Program,
+    model: MemoryModel,
+    expect_observed: bool,
+    distinguished: impl Fn(&[u64]) -> bool,
+) -> LitmusReport {
+    const MAX_SCHEDULES: u64 = 100_000;
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut schedules = 0;
+    let mut steps = 0;
+    let mut observed = false;
+    loop {
+        let program = mk();
+        let mut strategy = DfsStrategy::new(prefix.clone(), PREEMPTIONS);
+        let outcome = run_tasks_in(program.tasks, &mut strategy, BUDGET, model);
+        schedules += 1;
+        steps += outcome.steps;
+        if let Err(err) = outcome.result {
+            panic!("litmus {name}: schedule failed to complete: {err}");
+        }
+        let results: Vec<u64> =
+            program.results.iter().map(|r| r.load(StdOrdering::SeqCst)).collect();
+        observed = observed || distinguished(&results);
+        match next_prefix(&strategy.choices) {
+            Some(next) => prefix = next,
+            None => break,
+        }
+        assert!(schedules < MAX_SCHEDULES, "litmus {name}: schedule tree blew past the cap");
+    }
+    let model = match model {
+        MemoryModel::SeqCst => "sc",
+        MemoryModel::StoreBuffer => "sb",
+    };
+    LitmusReport { name, model, schedules, steps, observed, expect_observed }
+}
+
+/// Message passing: T0 writes data then raises a flag; T1 reads the flag
+/// then the data. `results = [flag_seen, data_seen]`; the stale outcome
+/// is `flag_seen = 1, data_seen = 0`.
+fn mp_program(data_order: Ordering, flag_order: Ordering) -> Program {
+    let data = Arc::new(Word::new(0));
+    let flag = Arc::new(Word::new(0));
+    let results: Arc<Vec<AtomicU64>> = Arc::new((0..2).map(|_| AtomicU64::new(0)).collect());
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    {
+        let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+        tasks.push(Box::new(move || {
+            data.store(1, data_order);
+            flag.store(1, flag_order);
+        }));
+    }
+    {
+        let results = Arc::clone(&results);
+        tasks.push(Box::new(move || {
+            let f = flag.load(Ordering::Acquire);
+            let d = data.load(Ordering::Acquire);
+            results[0].store(f, StdOrdering::SeqCst);
+            results[1].store(d, StdOrdering::SeqCst);
+        }));
+    }
+    Program { tasks, results }
+}
+
+fn mp_stale(results: &[u64]) -> bool {
+    results[0] == 1 && results[1] == 0
+}
+
+/// Store buffering (the Dekker square): each task stores its own
+/// variable then loads the other's. `results = [r0, r1]`; the relaxed
+/// outcome is both reading 0.
+fn sb_program(store_order: Ordering) -> Program {
+    let x = Arc::new(Word::new(0));
+    let y = Arc::new(Word::new(0));
+    let results: Arc<Vec<AtomicU64>> = Arc::new((0..2).map(|_| AtomicU64::new(0)).collect());
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    {
+        let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+        let results = Arc::clone(&results);
+        tasks.push(Box::new(move || {
+            x.store(1, store_order);
+            results[0].store(y.load(Ordering::Acquire), StdOrdering::SeqCst);
+        }));
+    }
+    {
+        let results = Arc::clone(&results);
+        tasks.push(Box::new(move || {
+            y.store(1, store_order);
+            results[1].store(x.load(Ordering::Acquire), StdOrdering::SeqCst);
+        }));
+    }
+    Program { tasks, results }
+}
+
+fn sb_both_zero(results: &[u64]) -> bool {
+    results[0] == 0 && results[1] == 0
+}
+
+/// IRIW: two writers store independent variables; two readers each read
+/// both in opposite orders. `results = [r1, r2, r3, r4]`; the non-MCA
+/// outcome is the readers disagreeing on the write order
+/// (`1, 0, 1, 0`).
+fn iriw_program() -> Program {
+    let x = Arc::new(Word::new(0));
+    let y = Arc::new(Word::new(0));
+    let results: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    {
+        let x = Arc::clone(&x);
+        tasks.push(Box::new(move || x.store(1, Ordering::SeqCst)));
+    }
+    {
+        let y = Arc::clone(&y);
+        tasks.push(Box::new(move || y.store(1, Ordering::SeqCst)));
+    }
+    {
+        let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+        let results = Arc::clone(&results);
+        tasks.push(Box::new(move || {
+            results[0].store(x.load(Ordering::SeqCst), StdOrdering::SeqCst);
+            results[1].store(y.load(Ordering::SeqCst), StdOrdering::SeqCst);
+        }));
+    }
+    {
+        let results = Arc::clone(&results);
+        tasks.push(Box::new(move || {
+            results[2].store(y.load(Ordering::SeqCst), StdOrdering::SeqCst);
+            results[3].store(x.load(Ordering::SeqCst), StdOrdering::SeqCst);
+        }));
+    }
+    Program { tasks, results }
+}
+
+fn iriw_disagree(results: &[u64]) -> bool {
+    results[0] == 1 && results[1] == 0 && results[2] == 1 && results[3] == 0
+}
+
+/// Runs the full litmus suite (module docs) and returns one report per
+/// test. Every report must pass; `check_table` prints them as the
+/// `litmus` row group and the `litmus` integration test asserts them.
+pub fn litmus_suite() -> Vec<LitmusReport> {
+    vec![
+        explore(
+            "mp-relaxed",
+            || mp_program(Ordering::Relaxed, Ordering::Relaxed),
+            MemoryModel::StoreBuffer,
+            true,
+            mp_stale,
+        ),
+        explore(
+            "mp-release",
+            || mp_program(Ordering::Relaxed, Ordering::Release),
+            MemoryModel::StoreBuffer,
+            false,
+            mp_stale,
+        ),
+        explore(
+            "mp-relaxed-sc",
+            || mp_program(Ordering::Relaxed, Ordering::Relaxed),
+            MemoryModel::SeqCst,
+            false,
+            mp_stale,
+        ),
+        explore(
+            "sb-relaxed",
+            || sb_program(Ordering::Release),
+            MemoryModel::StoreBuffer,
+            true,
+            sb_both_zero,
+        ),
+        explore(
+            "sb-seqcst",
+            || sb_program(Ordering::SeqCst),
+            MemoryModel::StoreBuffer,
+            false,
+            sb_both_zero,
+        ),
+        explore("iriw", iriw_program, MemoryModel::StoreBuffer, false, iriw_disagree),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mp_relaxed_reorders_and_release_restores_order() {
+        let stale_relaxed = explore(
+            "mp-relaxed",
+            || mp_program(Ordering::Relaxed, Ordering::Relaxed),
+            MemoryModel::StoreBuffer,
+            true,
+            mp_stale,
+        );
+        assert!(stale_relaxed.passed(), "{stale_relaxed}");
+        let stale_release = explore(
+            "mp-release",
+            || mp_program(Ordering::Relaxed, Ordering::Release),
+            MemoryModel::StoreBuffer,
+            false,
+            mp_stale,
+        );
+        assert!(stale_release.passed(), "{stale_release}");
+    }
+
+    #[test]
+    fn sb_square_needs_seqcst() {
+        let relaxed = explore(
+            "sb-relaxed",
+            || sb_program(Ordering::Release),
+            MemoryModel::StoreBuffer,
+            true,
+            sb_both_zero,
+        );
+        assert!(relaxed.passed(), "{relaxed}");
+        let seqcst = explore(
+            "sb-seqcst",
+            || sb_program(Ordering::SeqCst),
+            MemoryModel::StoreBuffer,
+            false,
+            sb_both_zero,
+        );
+        assert!(seqcst.passed(), "{seqcst}");
+    }
+}

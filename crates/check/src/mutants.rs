@@ -12,16 +12,28 @@
 //! The copies live here, not in the production crates — shipping broken
 //! locks behind a flag would be a footgun — and are kept line-for-line
 //! parallel to their originals (`swmr/writer_priority.rs`, `tas.rs`,
-//! `anderson.rs`, `rmr-bravo/src/lib.rs`, `rmr-swap/src/lib.rs`) so a
-//! diff against the real code shows exactly the seeded bug and nothing
-//! else.
+//! `anderson.rs`, `rmr-baselines/src/flags.rs`, `rmr-bravo/src/lib.rs`,
+//! `rmr-swap/src/lib.rs`) so a diff against the real code shows exactly
+//! the seeded bug and nothing else. That includes per-access memory
+//! orderings: every copy carries its original's orderings verbatim, so
+//! the *ordering itself* can be a mutation point.
+//!
+//! The `Demote*` mutations are exactly that: each weakens one store the
+//! per-site policy (DESIGN.md §13) proves must be SeqCst, from SeqCst to
+//! Release. Under [`rmr_mutex::sched::MemoryModel::SeqCst`] the demotion is
+//! invisible — the control batteries pass either way — but under
+//! [`rmr_mutex::sched::MemoryModel::StoreBuffer`] the demoted store parks in the
+//! mutating task's store buffer past the store→load (Dekker) edge it was
+//! guarding, and the battery catches the violation. They are the
+//! evidence that the weak mode actually distinguishes the orderings the
+//! relaxation sweep left strong.
 
 use rmr_core::packed::{Packed, PackedFaa};
 use rmr_core::raw::{RawRwLock, RawTryReadLock};
 use rmr_core::registry::Pid;
 use rmr_core::{AtomicSide, Side};
-use rmr_mutex::mem::{Backend, SharedBool, SharedWord};
-use rmr_mutex::{spin_until, RawMutex, Sched};
+use rmr_mutex::mem::{Backend, Ordering, SharedBool, SharedWord};
+use rmr_mutex::{spin_until, RawMutex, Sched, TtasLock};
 use std::fmt;
 
 /// Which seeded bug a mutant lock carries. `None` is the control: the
@@ -63,6 +75,28 @@ pub enum Mutation {
     /// epoch — the snapshot tier's characteristic use-after-free, caught
     /// by the freed-flag oracle instead of actual UB.
     PrematureRetire,
+    /// Flags-baseline reader demotes its flag raise (site BL-FLAGS) from
+    /// SeqCst to Release. The raise parks in the reader's store buffer:
+    /// the reader checks `writer_present`, sees false, and enters while a
+    /// writer that raised `writer_present` scans flags that all read
+    /// false — both sides of the Dekker square miss each other and both
+    /// enter. Invisible under SC; caught under `MemoryModel::StoreBuffer`.
+    DemoteFlagRaise,
+    /// Bravo writer demotes the bias clear (site BR-CLEAR) from SeqCst to
+    /// Release. The clear parks in the writer's store buffer while the
+    /// revocation scan runs against it; a fast reader that published its
+    /// slot *after* the scan passed it re-checks the bias, still observes
+    /// the stale `true`, and keeps its fast read session while the writer
+    /// is in the critical section. Invisible under SC; caught under
+    /// `MemoryModel::StoreBuffer`.
+    DemoteBiasClear,
+    /// Epoch-swap reader demotes the epoch publish (site SW-PUB) from
+    /// SeqCst to Release. The publish parks in the reader's store buffer
+    /// past the payload load it must precede: a concurrent writer's
+    /// grace scan sees the slot still empty, frees the payload the reader
+    /// pinned, and the freed-flag oracle fires. Invisible under SC;
+    /// caught under `MemoryModel::StoreBuffer`.
+    DemotePublishEpoch,
 }
 
 // ---------------------------------------------------------------------
@@ -124,46 +158,46 @@ impl<B: Backend> MutantFig1<B> {
     }
 
     fn writer_enter(&self) -> MutantWriteToken {
-        let prev = self.d.load(); // line 2
+        let prev = self.d.load(Ordering::Relaxed); // line 2
         let curr = !prev;
         if self.mutation != Mutation::SkipSideFlip {
-            self.d.store(curr); // line 3 — MUTATION POINT
+            self.d.store(curr, Ordering::Relaxed); // line 3 — MUTATION POINT
         }
         let p = prev.index();
-        self.permits[p].store(false); // line 4
-        let old = self.counts[p].add_writer(); // line 5
+        self.permits[p].store(false, Ordering::Relaxed); // line 4
+        let old = self.counts[p].add_writer(Ordering::SeqCst); // line 5
         if old != Packed::ZERO {
-            spin_until(|| self.permits[p].load()); // line 6
+            spin_until(|| self.permits[p].load(Ordering::Acquire)); // line 6
         }
-        self.counts[p].sub_writer(); // line 7
+        self.counts[p].sub_writer(Ordering::SeqCst); // line 7
         if self.mutation != Mutation::SkipGateClose {
-            self.gates[p].store(false); // line 8 — MUTATION POINT
+            self.gates[p].store(false, Ordering::Release); // line 8 — MUTATION POINT
         }
-        self.exit_permit.store(false); // line 9
-        let old = self.exit_count.add_writer(); // line 10
+        self.exit_permit.store(false, Ordering::Relaxed); // line 9
+        let old = self.exit_count.add_writer(Ordering::SeqCst); // line 10
         if old != Packed::ZERO {
-            spin_until(|| self.exit_permit.load()); // line 11
+            spin_until(|| self.exit_permit.load(Ordering::Acquire)); // line 11
         }
-        self.exit_count.sub_writer(); // line 12
+        self.exit_count.sub_writer(Ordering::SeqCst); // line 12
         MutantWriteToken { curr } // line 13: CS
     }
 
     fn writer_exit(&self, token: MutantWriteToken) {
-        self.gates[token.curr.index()].store(true); // line 14
+        self.gates[token.curr.index()].store(true, Ordering::Release); // line 14
     }
 
     fn reader_doorway(&self) -> Side {
-        let mut d = self.d.load(); // line 16
-        self.counts[d.index()].add_reader(); // line 17
-        let d2 = self.d.load(); // line 18
+        let mut d = self.d.load(Ordering::Relaxed); // line 16
+        self.counts[d.index()].add_reader(Ordering::SeqCst); // line 17
+        let d2 = self.d.load(Ordering::Relaxed); // line 18
         if d != d2 {
             // line 19
-            self.counts[d2.index()].add_reader(); // line 20
-            d = self.d.load(); // line 21
+            self.counts[d2.index()].add_reader(Ordering::SeqCst); // line 20
+            d = self.d.load(Ordering::Relaxed); // line 21
             let other = !d;
-            let old = self.counts[other.index()].sub_reader(); // line 22
+            let old = self.counts[other.index()].sub_reader(Ordering::SeqCst); // line 22
             if old == Packed::ONE_ONE {
-                self.permits[other.index()].store(true); // line 23
+                self.permits[other.index()].store(true, Ordering::Release); // line 23
             }
         }
         d
@@ -171,32 +205,32 @@ impl<B: Backend> MutantFig1<B> {
 
     fn reader_enter(&self) -> MutantReadToken {
         let d = self.reader_doorway();
-        spin_until(|| self.gates[d.index()].load()); // line 24
+        spin_until(|| self.gates[d.index()].load(Ordering::Acquire)); // line 24
         MutantReadToken { d } // line 25: CS
     }
 
     fn reader_exit(&self, token: MutantReadToken) {
         let d = token.d.index();
-        self.exit_count.add_reader(); // line 26
-        let old = self.counts[d].sub_reader(); // line 27
+        self.exit_count.add_reader(Ordering::SeqCst); // line 26
+        let old = self.counts[d].sub_reader(Ordering::SeqCst); // line 27
         if old == Packed::ONE_ONE && self.mutation != Mutation::SkipReaderPermit {
-            self.permits[d].store(true); // line 28 — MUTATION POINT
+            self.permits[d].store(true, Ordering::Release); // line 28 — MUTATION POINT
         }
-        let old = self.exit_count.sub_reader(); // line 29
+        let old = self.exit_count.sub_reader(Ordering::SeqCst); // line 29
         if old == Packed::ONE_ONE {
-            self.exit_permit.store(true); // line 30
+            self.exit_permit.store(true, Ordering::Release); // line 30
         }
     }
 
     /// Mirror of the real lock's quiescence entry point (the control copy
     /// must satisfy it after clean runs).
     pub fn is_quiescent(&self) -> bool {
-        let d = self.d.load();
-        self.counts[0].load() == Packed::ZERO
-            && self.counts[1].load() == Packed::ZERO
-            && self.exit_count.load() == Packed::ZERO
-            && self.gates[d.index()].load()
-            && !self.gates[(!d).index()].load()
+        let d = self.d.load(Ordering::Relaxed);
+        self.counts[0].load(Ordering::Relaxed) == Packed::ZERO
+            && self.counts[1].load(Ordering::Relaxed) == Packed::ZERO
+            && self.exit_count.load(Ordering::Relaxed) == Packed::ZERO
+            && self.gates[d.index()].load(Ordering::Relaxed)
+            && !self.gates[(!d).index()].load(Ordering::Relaxed)
     }
 }
 
@@ -234,7 +268,7 @@ impl<B: Backend> RawRwLock for MutantFig1<B> {
 impl<B: Backend> RawTryReadLock for MutantFig1<B> {
     fn try_read_lock(&self, _pid: Pid) -> Option<MutantReadToken> {
         let d = self.reader_doorway();
-        if self.gates[d.index()].load() {
+        if self.gates[d.index()].load(Ordering::Acquire) {
             Some(MutantReadToken { d })
         } else {
             self.reader_exit(MutantReadToken { d });
@@ -280,22 +314,31 @@ impl<B: Backend> RawMutex for MutantTtas<B> {
 
     fn lock(&self) {
         loop {
-            let seen = self.flag.load(); // test
+            let seen = self.flag.load(Ordering::Relaxed); // test
             if self.mutation == Mutation::WrongCasExpected {
                 // MUTATION: expected = the value just read. When `seen`
                 // is already true this succeeds vacuously and admits a
                 // second holder.
-                if self.flag.compare_exchange(seen, true).is_ok() {
+                if self
+                    .flag
+                    .compare_exchange(seen, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
                     return;
                 }
-            } else if !seen && self.flag.compare_exchange(false, true).is_ok() {
+            } else if !seen
+                && self
+                    .flag
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
                 return; // test&set
             }
         }
     }
 
     fn unlock(&self, _token: ()) {
-        self.flag.store(false);
+        self.flag.store(false, Ordering::Release);
     }
 }
 
@@ -350,16 +393,16 @@ impl<B: Backend> RawMutex for MutantAnderson<B> {
     type Token = u64;
 
     fn lock(&self) -> u64 {
-        let ticket = self.next_ticket.fetch_add(1);
-        spin_until(|| self.slot(ticket).load());
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        spin_until(|| self.slot(ticket).load(Ordering::Acquire));
         ticket
     }
 
     fn unlock(&self, ticket: u64) {
         if self.mutation != Mutation::SkipSlotClose {
-            self.slot(ticket).store(false); // MUTATION POINT
+            self.slot(ticket).store(false, Ordering::Relaxed); // MUTATION POINT
         }
-        self.slot(ticket.wrapping_add(1)).store(true);
+        self.slot(ticket.wrapping_add(1)).store(true, Ordering::Release);
     }
 
     fn capacity(&self) -> Option<usize> {
@@ -386,8 +429,9 @@ pub enum MutantBravoReadToken {
 
 /// A line-for-line copy of `rmr_bravo::Bravo` over a
 /// [`rmr_baselines::TicketRwLock`] inner lock, carrying
-/// [`Mutation::SkipRevocationScan`] (or [`Mutation::None`] for the
-/// control copy). Always instantiated over [`Sched`] by the battery.
+/// [`Mutation::SkipRevocationScan`] or [`Mutation::DemoteBiasClear`] (or
+/// [`Mutation::None`] for the control copy). Always instantiated over
+/// [`Sched`] by the battery.
 pub struct MutantBravo<B: Backend = Sched> {
     mutation: Mutation,
     inner: rmr_baselines::TicketRwLock<B>,
@@ -404,10 +448,14 @@ impl<B: Backend> MutantBravo<B> {
     ///
     /// # Panics
     ///
-    /// Panics if `mutation` is not `None`/`SkipRevocationScan`.
+    /// Panics if `mutation` is not `None`/`SkipRevocationScan`/
+    /// `DemoteBiasClear`.
     pub fn new_in(mutation: Mutation, table_slots: usize, rebias_after: u32, _backend: B) -> Self {
         assert!(
-            matches!(mutation, Mutation::None | Mutation::SkipRevocationScan),
+            matches!(
+                mutation,
+                Mutation::None | Mutation::SkipRevocationScan | Mutation::DemoteBiasClear
+            ),
             "{mutation:?} is not a Bravo mutation"
         );
         let slots = table_slots.max(1).next_power_of_two();
@@ -427,17 +475,20 @@ impl<B: Backend> MutantBravo<B> {
     }
 
     fn try_fast_read(&self, pid: Pid) -> Option<usize> {
-        if !self.rbias.load() {
+        if !self.rbias.load(Ordering::Relaxed) {
             return None;
         }
         let slot = self.slot_index(pid);
-        if self.slots[slot].compare_exchange(0, pid.index() as u64 + 1).is_err() {
+        if self.slots[slot]
+            .compare_exchange(0, pid.index() as u64 + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
             return None;
         }
-        if self.rbias.load() {
+        if self.rbias.load(Ordering::SeqCst) {
             return Some(slot);
         }
-        self.slots[slot].store(0);
+        self.slots[slot].store(0, Ordering::Relaxed);
         None
     }
 
@@ -445,28 +496,36 @@ impl<B: Backend> MutantBravo<B> {
         if self.rebias_after == 0 {
             return;
         }
-        let n = self.slow_reads.fetch_add(1) + 1;
+        let n = self.slow_reads.fetch_add(1, Ordering::Relaxed) + 1;
         if n.is_multiple_of(self.rebias_after) {
-            self.rbias.store(true);
+            self.rbias.store(true, Ordering::Relaxed);
         }
     }
 
     fn revoke(&self) {
-        if !self.rbias.load() {
+        if !self.rbias.load(Ordering::Relaxed) {
             return;
         }
-        self.rbias.store(false);
+        // Site BR-CLEAR: the original is SeqCst so the clear cannot pass
+        // the slot scan below (the fast readers' publish/re-check is the
+        // other half of the square).
+        let order = if self.mutation == Mutation::DemoteBiasClear {
+            Ordering::Release // MUTATION POINT: the clear parks in the buffer
+        } else {
+            Ordering::SeqCst
+        };
+        self.rbias.store(false, order);
         if self.mutation != Mutation::SkipRevocationScan {
             for slot in self.slots.iter() {
                 // MUTATION POINT: the mutant enters without this wait.
-                spin_until(|| slot.load() == 0);
+                spin_until(|| slot.load(Ordering::SeqCst) == 0);
             }
         }
     }
 
     /// Mirror of the real wrapper's quiescence entry point.
     pub fn is_quiescent(&self) -> bool {
-        self.slots.iter().all(|s| s.load() == 0)
+        self.slots.iter().all(|s| s.load(Ordering::Relaxed) == 0)
     }
 }
 
@@ -491,7 +550,7 @@ impl<B: Backend> RawRwLock for MutantBravo<B> {
 
     fn read_unlock(&self, pid: Pid, token: MutantBravoReadToken) {
         match token {
-            MutantBravoReadToken::Fast { slot } => self.slots[slot].store(0),
+            MutantBravoReadToken::Fast { slot } => self.slots[slot].store(0, Ordering::Release),
             MutantBravoReadToken::Slow => self.inner.read_unlock(pid, ()),
         }
     }
@@ -572,7 +631,9 @@ impl<B: Backend> MutantAsyncRw<B> {
     /// re-poll readers parked behind this entry's transient window.
     fn finish_read(&self, pid: Pid) {
         self.table.deregister(pid.index());
-        self.readers.fetch_add(1);
+        // Site AS-COUNT's counterpart: the 1 → 0 edge of this counter gates
+        // the read-release wake_all scan, so it is SeqCst like the original.
+        self.readers.fetch_add(1, Ordering::SeqCst);
         if self.table.parked_readers() > 0 {
             self.table.wake_readers();
         }
@@ -581,7 +642,7 @@ impl<B: Backend> MutantAsyncRw<B> {
     /// Read release: the last reader out wakes everything parked.
     pub fn read_release(&self, pid: Pid) {
         self.inner.read_unlock(pid, ());
-        if self.readers.fetch_sub(1) == 1 {
+        if self.readers.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.table.wake_all();
         }
     }
@@ -616,7 +677,7 @@ impl<B: Backend> MutantAsyncRw<B> {
     pub fn is_quiescent(&self) -> bool {
         self.table.parked_readers() == 0
             && self.table.parked_writers() == 0
-            && self.readers.load() == 0
+            && self.readers.load(Ordering::Relaxed) == 0
     }
 }
 
@@ -632,7 +693,9 @@ impl<B: Backend> fmt::Debug for MutantAsyncRw<B> {
 
 /// A model of `rmr-swap`'s epoch-swap protocol over a bounded arena,
 /// carrying [`Mutation::PrematureRetire`] (the writer's grace-period scan
-/// skips slot 0) or [`Mutation::None`] for the control copy.
+/// skips slot 0), [`Mutation::DemotePublishEpoch`] (the reader's epoch
+/// publish weakens from SeqCst to Release), or [`Mutation::None`] for
+/// the control copy.
 ///
 /// Payloads are arena *indices* with a freed flag instead of heap
 /// pointers, so the seeded reclamation bug surfaces as a caught oracle
@@ -663,10 +726,14 @@ impl<B: Backend> MutantSwap<B> {
     ///
     /// # Panics
     ///
-    /// Panics if `mutation` is not `None`/`PrematureRetire`.
+    /// Panics if `mutation` is not `None`/`PrematureRetire`/
+    /// `DemotePublishEpoch`.
     pub fn new_in(mutation: Mutation, slots: usize, arena_cells: usize, _backend: B) -> Self {
         assert!(
-            matches!(mutation, Mutation::None | Mutation::PrematureRetire),
+            matches!(
+                mutation,
+                Mutation::None | Mutation::PrematureRetire | Mutation::DemotePublishEpoch
+            ),
             "{mutation:?} is not a Swap mutation"
         );
         assert!(slots > 0 && arena_cells > 0);
@@ -690,21 +757,29 @@ impl<B: Backend> MutantSwap<B> {
     /// flag is set.
     pub fn reader_passage(&self, pid: Pid) {
         let slot = &self.slots[pid.index()];
-        let e = self.epoch.load();
-        slot.store(e); // publish, then load — the linchpin order
-        let mut p = self.payload.load();
-        let e2 = self.epoch.load();
+        let e = self.epoch.load(Ordering::Relaxed);
+        // Site SW-PUB: publish, then load — the linchpin order. The
+        // original is SeqCst so the publish cannot pass the payload load.
+        let order = if self.mutation == Mutation::DemotePublishEpoch {
+            Ordering::Release // MUTATION POINT: the publish parks in the buffer
+        } else {
+            Ordering::SeqCst
+        };
+        slot.store(e, order);
+        let mut p = self.payload.load(Ordering::SeqCst); // site SW-LOAD
+        let e2 = self.epoch.load(Ordering::SeqCst);
         if e2 != e {
-            slot.store(e2);
-            p = self.payload.load();
+            slot.store(e2, order); // republish under the same policy
+            p = self.payload.load(Ordering::SeqCst);
         }
         // CS: dereference the snapshot. In the real tier this is the
         // guard's `Deref`; here the freed flag stands in for the heap.
+        // SeqCst so the oracle itself stays out of the ordering argument.
         assert!(
-            !self.freed[p as usize].load(),
+            !self.freed[p as usize].load(Ordering::SeqCst),
             "freed payload observed while an epoch pins it (cell {p})"
         );
-        slot.store(0); // guard drop clears the pin
+        slot.store(0, Ordering::Release); // guard drop clears the pin
     }
 
     /// One writer install passage (the `Snapshot::store` body under its
@@ -715,33 +790,150 @@ impl<B: Backend> MutantSwap<B> {
     ///
     /// Panics if the arena is exhausted or a cell is freed twice.
     pub fn writer_passage(&self) {
-        let idx = self.next_cell.fetch_add(1) + 1;
+        let idx = self.next_cell.fetch_add(1, Ordering::Relaxed) + 1;
         assert!((idx as usize) < self.freed.len(), "arena exhausted; size it to the trial");
-        let old = self.payload.swap(idx);
-        let r = self.epoch.fetch_add(1) + 1;
+        let old = self.payload.swap(idx, Ordering::SeqCst); // site SW-SWAP
+        let r = self.epoch.fetch_add(1, Ordering::SeqCst) + 1; // site SW-BUMP
         let start = usize::from(self.mutation == Mutation::PrematureRetire);
         for slot in start..self.slots.len() {
             // MUTATION POINT: the mutant starts at slot 1, never waiting
             // out a pin published in slot 0.
             spin_until(|| {
-                let e = self.slots[slot].load();
+                let e = self.slots[slot].load(Ordering::SeqCst); // site SW-SCAN
                 e == 0 || e >= r
             });
         }
-        let was = self.freed[old as usize].swap(true);
+        let was = self.freed[old as usize].swap(true, Ordering::SeqCst);
         assert!(!was, "payload cell {old} freed twice");
     }
 
     /// Mirror of the real tier's quiescence entry point: no published
     /// epoch, and the current payload is live.
     pub fn is_quiescent(&self) -> bool {
-        self.slots.iter().all(|s| s.load() == 0) && !self.freed[self.payload.load() as usize].load()
+        self.slots.iter().all(|s| s.load(Ordering::Relaxed) == 0)
+            && !self.freed[self.payload.load(Ordering::Relaxed) as usize].load(Ordering::Relaxed)
     }
 }
 
 impl<B: Backend> fmt::Debug for MutantSwap<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MutantSwap").field("mutation", &self.mutation).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distributed-flags baseline copy with the demoted flag raise
+// ---------------------------------------------------------------------
+
+/// A line-for-line copy of [`rmr_baselines::DistributedFlagRwLock`]
+/// carrying [`Mutation::DemoteFlagRaise`] (or [`Mutation::None`] for the
+/// control copy). The lock's exclusion rests on a textbook Dekker square
+/// (site BL-FLAGS): reader raises its flag then reads `writer_present`;
+/// writer raises `writer_present` then scans the flags. The mutation
+/// weakens the reader's raise from SeqCst to Release — a change with no
+/// observable effect under sequential consistency, which is exactly why
+/// the battery must run it under [`rmr_mutex::sched::MemoryModel::StoreBuffer`]
+/// to catch it. Always instantiated over [`Sched`] by the battery.
+pub struct MutantFlags<B: Backend = Sched> {
+    mutation: Mutation,
+    reader_flags: Box<[B::Bool]>,
+    writer_mutex: TtasLock<B>,
+    writer_present: B::Bool,
+}
+
+impl<B: Backend> MutantFlags<B> {
+    /// Creates the mutant with `max_processes` reader slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutation` is not `None`/`DemoteFlagRaise` or
+    /// `max_processes` is 0.
+    pub fn new_in(mutation: Mutation, max_processes: usize, _backend: B) -> Self {
+        assert!(
+            matches!(mutation, Mutation::None | Mutation::DemoteFlagRaise),
+            "{mutation:?} is not a flags mutation"
+        );
+        assert!(max_processes > 0, "max_processes must be positive");
+        Self {
+            mutation,
+            reader_flags: (0..max_processes).map(|_| B::Bool::new(false)).collect(),
+            writer_mutex: TtasLock::new_in(B::default()),
+            writer_present: B::Bool::new(false),
+        }
+    }
+
+    fn raise_order(&self) -> Ordering {
+        // Site BL-FLAGS: the original raise is SeqCst so it cannot pass the
+        // writer_present check that follows it.
+        if self.mutation == Mutation::DemoteFlagRaise {
+            Ordering::Release // MUTATION POINT: the raise parks in the buffer
+        } else {
+            Ordering::SeqCst
+        }
+    }
+
+    /// Mirror of the real baseline's quiescence condition: every flag down
+    /// and no writer present.
+    pub fn is_quiescent(&self) -> bool {
+        self.reader_flags.iter().all(|f| !f.load(Ordering::Relaxed))
+            && !self.writer_present.load(Ordering::Relaxed)
+    }
+}
+
+impl<B: Backend> fmt::Debug for MutantFlags<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutantFlags").field("mutation", &self.mutation).finish()
+    }
+}
+
+impl<B: Backend> RawRwLock for MutantFlags<B> {
+    type ReadToken = ();
+    type WriteToken = ();
+
+    fn read_lock(&self, pid: Pid) {
+        let flag = &self.reader_flags[pid.index()];
+        loop {
+            flag.store(true, self.raise_order());
+            if !self.writer_present.load(Ordering::SeqCst) {
+                return;
+            }
+            flag.store(false, Ordering::Relaxed);
+            spin_until(|| !self.writer_present.load(Ordering::Acquire));
+        }
+    }
+
+    fn read_unlock(&self, pid: Pid, (): ()) {
+        self.reader_flags[pid.index()].store(false, Ordering::Release);
+    }
+
+    fn write_lock(&self, _pid: Pid) {
+        self.writer_mutex.lock();
+        self.writer_present.store(true, Ordering::SeqCst);
+        for flag in self.reader_flags.iter() {
+            spin_until(|| !flag.load(Ordering::Acquire));
+        }
+    }
+
+    fn write_unlock(&self, _pid: Pid, (): ()) {
+        self.writer_present.store(false, Ordering::Release);
+        self.writer_mutex.unlock(());
+    }
+
+    fn max_processes(&self) -> usize {
+        self.reader_flags.len()
+    }
+}
+
+impl<B: Backend> RawTryReadLock for MutantFlags<B> {
+    fn try_read_lock(&self, pid: Pid) -> Option<()> {
+        let flag = &self.reader_flags[pid.index()];
+        flag.store(true, self.raise_order());
+        if !self.writer_present.load(Ordering::SeqCst) {
+            Some(())
+        } else {
+            flag.store(false, Ordering::Relaxed);
+            None
+        }
     }
 }
 
@@ -791,6 +983,13 @@ mod tests {
         swap.reader_passage(Pid::from_index(1));
         swap.writer_passage();
         assert!(swap.is_quiescent());
+
+        let flags = MutantFlags::new_in(Mutation::None, 2, Sched);
+        flags.read_lock(Pid::from_index(0));
+        flags.read_unlock(Pid::from_index(0), ());
+        flags.write_lock(Pid::from_index(1));
+        flags.write_unlock(Pid::from_index(1), ());
+        assert!(flags.is_quiescent());
     }
 
     #[test]
@@ -821,5 +1020,11 @@ mod tests {
     #[should_panic(expected = "not a Swap mutation")]
     fn swap_rejects_foreign_mutations() {
         let _ = MutantSwap::new_in(Mutation::SkipGateClose, 2, 4, Sched);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a flags mutation")]
+    fn flags_rejects_foreign_mutations() {
+        let _ = MutantFlags::new_in(Mutation::SkipGateClose, 2, Sched);
     }
 }

@@ -55,6 +55,10 @@ pub struct Pct {
     /// Next demotion priority; counts down so each demoted task lands
     /// strictly below every earlier demotion.
     next_low: u64,
+    /// Salt for the pseudo-priorities of decision ids beyond the task
+    /// range — the weak memory model's store-buffer flush points, which
+    /// the scheduler exposes as virtual runnable ids ≥ `n_tasks`.
+    salt: u64,
 }
 
 impl Pct {
@@ -71,6 +75,7 @@ impl Pct {
             priorities: Vec::new(),
             change_points: Vec::new(),
             next_low: u64::MAX / 2,
+            salt: 0,
         }
     }
 
@@ -86,6 +91,18 @@ impl Pct {
             rank -= 1;
         }
         self.change_points = (1..self.depth).map(|_| self.rng.next_u64() % self.horizon).collect();
+        self.salt = self.rng.next_u64();
+    }
+
+    /// Priority of a runnable id: real tasks carry their drawn (possibly
+    /// demoted) priority; virtual flush ids get a stable seeded
+    /// pseudo-priority, so weak-mode flushes interleave with task steps
+    /// under the same max-priority rule instead of panicking.
+    fn priority(&self, id: usize) -> u64 {
+        self.priorities
+            .get(id)
+            .copied()
+            .unwrap_or_else(|| self.salt ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 }
 
@@ -97,11 +114,15 @@ impl Strategy for Pct {
         let pick = *view
             .runnable
             .iter()
-            .max_by_key(|&&t| self.priorities[t])
+            .max_by_key(|&&t| self.priority(t))
             .expect("runnable is never empty");
         if self.change_points.contains(&view.decision) {
-            self.priorities[pick] = self.next_low;
-            self.next_low -= 1;
+            // Demote real tasks only; a flush id has no priority slot (and
+            // demoting one would starve the store buffer it drains).
+            if let Some(p) = self.priorities.get_mut(pick) {
+                *p = self.next_low;
+                self.next_low -= 1;
+            }
         }
         pick
     }

@@ -1,0 +1,29 @@
+//! The litmus suite pinned end to end (see `rmr_check::litmus`).
+//!
+//! Every test in the suite explores its full schedule tree, so these are
+//! exact statements about the model, not sampled ones: the relaxed
+//! outcomes the store-buffer mode must exhibit are exhibited, and the
+//! ones it must forbid (release-fronted flushes, SeqCst drains,
+//! multi-copy atomicity) never appear.
+
+use rmr_check::litmus::litmus_suite;
+
+#[test]
+fn litmus_suite_matches_the_pinned_outcomes() {
+    let reports = litmus_suite();
+    assert_eq!(reports.len(), 6, "suite shape changed — update the pins deliberately");
+    for report in &reports {
+        assert!(report.passed(), "{report}");
+        // A litmus run that explored a single schedule would prove
+        // nothing; every program here has real interleavings.
+        assert!(report.schedules > 1, "{}: degenerate exploration", report.name);
+    }
+    // The headline pair: the weak model shows the SB reordering the
+    // Demote* mutants reintroduce, and only the weak model shows it.
+    let by_name = |n: &str| reports.iter().find(|r| r.name == n).expect("missing litmus test");
+    assert!(by_name("sb-relaxed").observed);
+    assert!(!by_name("sb-seqcst").observed);
+    assert!(by_name("mp-relaxed").observed);
+    assert!(!by_name("mp-relaxed-sc").observed);
+    assert!(!by_name("iriw").observed);
+}

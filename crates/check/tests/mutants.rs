@@ -9,15 +9,17 @@
 //! flaky harness.
 
 use rmr_check::async_exec::block_on_sched;
-use rmr_check::exhaustive;
 use rmr_check::harness::{
-    mutex_trial, randomized_batteries, run_trial, rw_trial, RwOracle, Scenario, TaskBody, Trial,
+    mutex_trial, randomized_batteries, randomized_batteries_in, run_trial, run_trial_in, rw_trial,
+    RwOracle, Scenario, TaskBody, Trial,
 };
 use rmr_check::mutants::{
-    MutantAnderson, MutantAsyncRw, MutantBravo, MutantFig1, MutantSwap, MutantTtas, Mutation,
+    MutantAnderson, MutantAsyncRw, MutantBravo, MutantFig1, MutantFlags, MutantSwap, MutantTtas,
+    Mutation,
 };
+use rmr_check::{exhaustive, exhaustive_in};
 use rmr_core::registry::Pid;
-use rmr_mutex::sched::{Replay, RunError};
+use rmr_mutex::sched::{MemoryModel, Replay, RunError};
 use rmr_mutex::Sched;
 use std::sync::Arc;
 
@@ -140,6 +142,12 @@ fn swap_mutant_trial(
     }
 }
 
+fn flags_trial(mutation: Mutation, scenario: Scenario) -> Trial {
+    let lock = Arc::new(MutantFlags::new_in(mutation, scenario.tasks(), Sched));
+    let q = Arc::clone(&lock);
+    rw_trial(lock, scenario, move || mutation != Mutation::None || q.is_quiescent())
+}
+
 fn bravo_trial(mutation: Mutation, scenario: Scenario) -> Trial {
     // 2 table slots, re-bias after 2 slow reads: revocation, collision and
     // re-bias all reachable within small scenarios.
@@ -207,6 +215,71 @@ fn assert_caught(
 /// The control copy must pass both battery styles at the mutants' budgets.
 fn assert_control_passes(label: &str, mk: impl Fn() -> Trial) {
     for report in randomized_batteries(label, mk, 0x0c0a_7401, CONTROL_SCHEDULES, 3, BUDGET) {
+        assert!(report.passed(), "{report}");
+    }
+}
+
+/// [`assert_caught`] under [`MemoryModel::StoreBuffer`]: the escalating
+/// hunt (PCT, random walks, bounded DFS with flush decisions in the
+/// tree) plus a weak-model replay of the recorded schedule. This is what
+/// the `Demote*` ordering mutants answer to — they are *invisible* under
+/// sequential consistency by construction (see
+/// `sc_cannot_see_the_ordering_mutants`), so catching them here is the
+/// proof that the weak mode guards the relaxation sweep.
+fn assert_caught_weak(
+    label: &str,
+    mk: impl Fn() -> Trial,
+    mk_small: impl Fn() -> Trial,
+    expected_any: &[&str],
+) {
+    let model = MemoryModel::StoreBuffer;
+    let randomized =
+        randomized_batteries_in(label, &mk, 0x0b5e_55ed, MUTANT_SCHEDULES, 3, BUDGET, model)
+            .into_iter()
+            .find_map(|report| report.failure);
+    let (failure, replay_big) = if let Some(f) = randomized {
+        (f, true)
+    } else if let Some(f) =
+        exhaustive_in(label, &mk_small, 2, BUDGET, MUTANT_DFS_CAP, model).failure
+    {
+        (f, false)
+    } else {
+        panic!("{label}: ordering mutant survived weak-model PCT, random and DFS exploration");
+    };
+    assert!(
+        expected_any.iter().any(|s| failure.reason.contains(s)),
+        "{label}: unexpected failure class: {failure}"
+    );
+
+    // Determinism holds under the weak model too: flush decisions are
+    // recorded decisions, so the replay reproduces the exact failure.
+    let fresh = if replay_big { mk() } else { mk_small() };
+    let mut strategy = Replay::new(failure.schedule.clone());
+    let replayed = run_trial_in(fresh, &mut strategy, BUDGET, model);
+    let err = replayed.result.expect_err("replay of a failing weak schedule came back clean");
+    assert_eq!(replayed.schedule, failure.schedule, "{label}: replay took different decisions");
+    if let RunError::Panic { message, .. } = err {
+        assert!(
+            expected_any.iter().any(|s| message.contains(s)),
+            "{label}: replayed into a different failure: {message}"
+        );
+    }
+}
+
+/// The control copy must also pass the *weak-model* batteries at the
+/// same budgets: a catch only counts if the un-mutated twin survives the
+/// identical exploration.
+fn assert_control_passes_weak(label: &str, mk: impl Fn() -> Trial) {
+    let reports = randomized_batteries_in(
+        label,
+        mk,
+        0x0c0a_7401,
+        CONTROL_SCHEDULES,
+        3,
+        BUDGET,
+        MemoryModel::StoreBuffer,
+    );
+    for report in reports {
         assert!(report.passed(), "{report}");
     }
 }
@@ -331,5 +404,91 @@ fn anderson_skip_slot_close_is_caught() {
         || anderson_trial(Mutation::SkipSlotClose),
         || anderson_trial(Mutation::SkipSlotClose),
         &["mutual exclusion violated", "torn pair"],
+    );
+}
+
+// ---------------------------------------------------------------------
+// The ordering mutants (`Demote*`): each demotes exactly one SeqCst
+// store to Release at a site DESIGN.md §13 proves must stay SeqCst.
+// Under sequential consistency the demotion changes nothing — the SC
+// batteries must pass it. Under the store buffer the demoted store can
+// sit buffered across the protocol's Dekker window, and the batteries
+// must catch it. Together the pair shows the weak mode (not luck, not
+// the oracles alone) is what polices the relaxation sweep.
+// ---------------------------------------------------------------------
+
+#[test]
+fn flags_control_passes_the_weak_budgets() {
+    assert_control_passes("flags-control", || flags_trial(Mutation::None, Scenario::new(2, 1, 2)));
+    assert_control_passes_weak("flags-control", || {
+        flags_trial(Mutation::None, Scenario::new(2, 1, 2))
+    });
+}
+
+#[test]
+fn bravo_and_swap_controls_pass_the_weak_budgets() {
+    assert_control_passes_weak("bravo-control", || {
+        bravo_trial(Mutation::None, Scenario::new(2, 1, 2))
+    });
+    assert_control_passes_weak("swap-control", || swap_mutant_trial(Mutation::None, 2, 2, 2));
+}
+
+#[test]
+fn sc_cannot_see_the_ordering_mutants() {
+    // The demotions are no-ops under sequential consistency: every store
+    // is applied immediately whatever its ordering, so the SC batteries
+    // (the mutants' own budgets) must come back green. This is the
+    // "invisible half" of the Demote* proof — a mutant the SC batteries
+    // caught would be a protocol bug, not an ordering bug.
+    assert_control_passes("flags-demote-sc", || {
+        flags_trial(Mutation::DemoteFlagRaise, Scenario::new(2, 1, 2))
+    });
+    assert_control_passes("bravo-demote-sc", || {
+        bravo_trial(Mutation::DemoteBiasClear, Scenario::new(2, 1, 2))
+    });
+    assert_control_passes("swap-demote-sc", || {
+        swap_mutant_trial(Mutation::DemotePublishEpoch, 2, 2, 2)
+    });
+}
+
+#[test]
+fn flags_demote_flag_raise_is_caught_under_the_weak_model() {
+    // Site BL-FLAGS: the reader's flag raise is one half of a Dekker
+    // square. Buffered, the raise is invisible to the writer's scan while
+    // the reader's SeqCst `writer_present` check (a buffer drain + native
+    // load) still sees no writer: both sides enter.
+    assert_caught_weak(
+        "flags-demote-flag-raise",
+        || flags_trial(Mutation::DemoteFlagRaise, Scenario::new(2, 1, 2)),
+        || flags_trial(Mutation::DemoteFlagRaise, Scenario::new(1, 1, 1)),
+        &["P1 violated", "torn read"],
+    );
+}
+
+#[test]
+fn bravo_demote_bias_clear_is_caught_under_the_weak_model() {
+    // Site BR-CLEAR: the revoking writer's bias clear sits buffered, so a
+    // fast reader's SeqCst re-check still sees the bias up after the
+    // writer's (already passed) revocation scan: reader and writer
+    // overlap in the critical section.
+    assert_caught_weak(
+        "bravo-demote-bias-clear",
+        || bravo_trial(Mutation::DemoteBiasClear, Scenario::new(2, 1, 2)),
+        || bravo_trial(Mutation::DemoteBiasClear, Scenario::new(1, 1, 1)),
+        &["P1 violated", "torn read"],
+    );
+}
+
+#[test]
+fn swap_demote_publish_epoch_is_caught_under_the_weak_model() {
+    // Site SW-PUB: the reader's epoch publication sits buffered, so the
+    // writer's grace scan reads slot 0 and frees the payload the reader
+    // is still dereferencing — the freed-flag oracle trips inside the
+    // read session.
+    assert_caught_weak(
+        "swap-demote-publish-epoch",
+        || swap_mutant_trial(Mutation::DemotePublishEpoch, 2, 2, 2),
+        || swap_mutant_trial(Mutation::DemotePublishEpoch, 1, 1, 2),
+        &["freed payload observed"],
     );
 }

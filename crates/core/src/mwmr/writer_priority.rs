@@ -30,7 +30,7 @@ use crate::raw::{RawMultiWriter, RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::side::Side;
 use crate::swmr::writer_priority::{ReadSession, SwmrWriterPriority, WriteSession, WriterAttempt};
-use rmr_mutex::mem::{Backend, Native, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedWord};
 use rmr_mutex::CachePadded;
 use rmr_mutex::{spin_until, AndersonLock, RawMutex};
 use std::fmt;
@@ -183,18 +183,23 @@ impl<M: RawMutex, B: Backend> MwmrWriterPriority<M, B> {
         &self.swmr
     }
 
-    fn load_wtoken(&self) -> WToken {
-        WToken::decode(self.wtoken.load())
+    fn load_wtoken(&self, order: MemOrdering) -> WToken {
+        WToken::decode(self.wtoken.load(order))
     }
 
     fn cas_wtoken(&self, from: WToken, to: WToken) -> bool {
-        self.wtoken.compare_exchange(from.encode(), to.encode()).is_ok()
+        // All CASes on `W-token` stay SeqCst: the token is one corner of the
+        // Figure 4 Dekker square (see site F4-TOKEN below) and the handoff
+        // CAS on line 19 must be totally ordered against Wcount's F&As.
+        self.wtoken
+            .compare_exchange(from.encode(), to.encode(), MemOrdering::SeqCst, MemOrdering::SeqCst)
+            .is_ok()
     }
 
     /// Number of writers currently in their try or critical section
     /// (`Wcount`). Diagnostic; may be stale.
     pub fn writers_pending(&self) -> u64 {
-        self.wcount.load()
+        self.wcount.load(MemOrdering::Relaxed)
     }
 
     /// True when the construction is at rest: no writer between doorway
@@ -222,15 +227,22 @@ impl<M: RawMutex, B: Backend> RawRwLock for MwmrWriterPriority<M, B> {
 
     /// Figure 4 lines 2–14.
     fn write_lock(&self, pid: Pid) -> WriteToken<M> {
-        self.wcount.fetch_add(1); // line 2: F&A(Wcount, 1)
-        let t = self.load_wtoken(); // line 3: t ← W-token
+        // Site F4-TOKEN, the store-buffering square of Figure 4: an arriving
+        // writer F&As Wcount and then reads W-token (lines 2–3); an exiting
+        // writer stores W-token ← p and then reads Wcount (lines 15, 18).
+        // Sequential consistency of exactly these four accesses is what
+        // guarantees "either the arriver sees the pid and preempts the
+        // handoff, or the exiter sees Wcount > 0 and leaves the session
+        // open" — so all four are SeqCst (DESIGN.md §13).
+        self.wcount.fetch_add(1, MemOrdering::SeqCst); // line 2: F&A(Wcount, 1)
+        let t = self.load_wtoken(MemOrdering::SeqCst); // line 3: t ← W-token
         if let WToken::Process(_) = t {
             // line 4: if (t ∈ PID)
             // line 5: CAS(W-token, t, false) — preempt a pending handoff to
             // the readers; failure means the race resolved another way.
             let _ = self.cas_wtoken(t, WToken::False);
         }
-        let t = self.load_wtoken(); // line 6: t ← W-token
+        let t = self.load_wtoken(MemOrdering::SeqCst); // line 6: t ← W-token (site F4-TOKEN)
         if let WToken::Sde(side) = t {
             // line 7: if (t ∈ {0, 1})
             // line 8: D ← t — the SWWP doorway, executed on the writers'
@@ -242,7 +254,7 @@ impl<M: RawMutex, B: Backend> RawRwLock for MwmrWriterPriority<M, B> {
         let mutex_token = self.mutex.lock(); // line 9: acquire(M)
         let curr_d = self.swmr.direction(); // line 10: currD ← D, prevD ← ¬currD
         let prev_d = !curr_d;
-        if let WToken::Sde(_) = self.load_wtoken() {
+        if let WToken::Sde(_) = self.load_wtoken(MemOrdering::SeqCst) {
             // line 11: if (W-token ∈ {0, 1}) — the previous writer exited
             // SWWP, so we must compete with the readers.
             // line 12: wait till Gate[prevD] — the previous writer may have
@@ -265,10 +277,16 @@ impl<M: RawMutex, B: Backend> RawRwLock for MwmrWriterPriority<M, B> {
     fn write_unlock(&self, pid: Pid, token: WriteToken<M>) {
         // line 15: W-token ← p (plain write; W-token is a CAS variable but
         // the paper stores here unconditionally).
-        self.wtoken.store(WToken::Process(pid).encode());
-        self.wcount.fetch_sub(1); // line 16: F&A(Wcount, -1)
+        // Store half of site F4-TOKEN: SeqCst, not Release — if this store
+        // could pass the line-18 load of Wcount, an exiting writer could miss
+        // a concurrent arriver *and* that arriver could miss the pid, losing
+        // the handoff both ways (readers slip in past a waiting writer,
+        // breaking WP1).
+        self.wtoken.store(WToken::Process(pid).encode(), MemOrdering::SeqCst);
+        self.wcount.fetch_sub(1, MemOrdering::SeqCst); // line 16: F&A(Wcount, -1)
         self.mutex.unlock(token.mutex_token); // line 17: release(M)
-        if self.wcount.load() == 0 {
+                                              // Load half of site F4-TOKEN (see write_lock lines 2–3).
+        if self.wcount.load(MemOrdering::SeqCst) == 0 {
             // line 18: if (Wcount = 0)
             // line 19: if (CAS(W-token, p, prevD)) — hand the next session's
             // side to the writers; fails if a newer writer already owns the
@@ -318,8 +336,8 @@ impl<M: RawMutex, B: Backend> fmt::Debug for MwmrWriterPriority<M, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MwmrWriterPriority")
             .field("max_processes", &self.max_processes)
-            .field("wcount", &self.wcount.load())
-            .field("wtoken", &self.load_wtoken())
+            .field("wcount", &self.wcount.load(MemOrdering::Relaxed))
+            .field("wtoken", &self.load_wtoken(MemOrdering::Relaxed))
             .field("inner", &self.swmr)
             .finish()
     }
@@ -358,7 +376,7 @@ mod tests {
         }
         // After each solo attempt the handoff CAS succeeds, so the token
         // must hold a side again.
-        assert!(matches!(lock.load_wtoken(), WToken::Sde(_)));
+        assert!(matches!(lock.load_wtoken(MemOrdering::SeqCst), WToken::Sde(_)));
     }
 
     #[test]

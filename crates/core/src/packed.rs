@@ -10,7 +10,7 @@
 //! the two fields can never carry into each other, so one hardware
 //! `fetch_add` implements the paper's componentwise `F&A` exactly.
 
-use rmr_mutex::mem::{Backend, Native, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering, SharedWord};
 use std::fmt;
 
 /// Bit used for the `writer-waiting` component.
@@ -70,13 +70,14 @@ impl fmt::Debug for Packed {
 ///
 /// ```
 /// use rmr_core::packed::{Packed, PackedFaa};
+/// use rmr_mutex::mem::Ordering::SeqCst;
 ///
 /// let c = PackedFaa::new();
-/// assert_eq!(c.add_reader(), Packed::ZERO);      // F&A(C, [0, 1])  -> old [0,0]
-/// assert_eq!(c.add_writer(), Packed::new(false, 1)); // F&A(C, [1, 0])
-/// assert_eq!(c.sub_reader(), Packed::ONE_ONE);   // F&A(C, [0,-1]) -> old [1,1]
-/// assert_eq!(c.sub_writer(), Packed::new(true, 0));
-/// assert_eq!(c.load(), Packed::ZERO);
+/// assert_eq!(c.add_reader(SeqCst), Packed::ZERO);      // F&A(C, [0, 1])  -> old [0,0]
+/// assert_eq!(c.add_writer(SeqCst), Packed::new(false, 1)); // F&A(C, [1, 0])
+/// assert_eq!(c.sub_reader(SeqCst), Packed::ONE_ONE);   // F&A(C, [0,-1]) -> old [1,1]
+/// assert_eq!(c.sub_writer(SeqCst), Packed::new(true, 0));
+/// assert_eq!(c.load(SeqCst), Packed::ZERO);
 /// ```
 pub struct PackedFaa<B: Backend = Native>(B::Word);
 
@@ -97,32 +98,32 @@ impl<B: Backend> PackedFaa<B> {
     /// `F&A(·, \[1, 0\])`: sets the writer-waiting flag. Returns the old value.
     ///
     /// Caller contract (upheld by the algorithms): the flag is currently 0.
-    pub fn add_writer(&self) -> Packed {
-        Packed(self.0.fetch_add(WRITER_BIT))
+    pub fn add_writer(&self, order: Ordering) -> Packed {
+        Packed(self.0.fetch_add(WRITER_BIT, order))
     }
 
     /// `F&A(·, [-1, 0])`: clears the writer-waiting flag. Returns the old value.
     ///
     /// Caller contract: the flag is currently 1.
-    pub fn sub_writer(&self) -> Packed {
-        Packed(self.0.fetch_sub(WRITER_BIT))
+    pub fn sub_writer(&self, order: Ordering) -> Packed {
+        Packed(self.0.fetch_sub(WRITER_BIT, order))
     }
 
     /// `F&A(·, \[0, 1\])`: registers one reader. Returns the old value.
-    pub fn add_reader(&self) -> Packed {
-        Packed(self.0.fetch_add(1))
+    pub fn add_reader(&self, order: Ordering) -> Packed {
+        Packed(self.0.fetch_add(1, order))
     }
 
     /// `F&A(·, [0, -1])`: retires one reader. Returns the old value.
     ///
     /// Caller contract: the reader count is currently ≥ 1.
-    pub fn sub_reader(&self) -> Packed {
-        Packed(self.0.fetch_sub(1))
+    pub fn sub_reader(&self, order: Ordering) -> Packed {
+        Packed(self.0.fetch_sub(1, order))
     }
 
     /// Atomic read of the current value.
-    pub fn load(&self) -> Packed {
-        Packed(self.0.load())
+    pub fn load(&self, order: Ordering) -> Packed {
+        Packed(self.0.load(order))
     }
 }
 
@@ -134,7 +135,8 @@ impl<B: Backend> Default for PackedFaa<B> {
 
 impl<B: Backend> fmt::Debug for PackedFaa<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PackedFaa({:?})", self.load())
+        // Diagnostic snapshot only; no synchronization rides on it.
+        write!(f, "PackedFaa({:?})", self.load(Ordering::Relaxed))
     }
 }
 
@@ -153,43 +155,45 @@ mod tests {
         }
     }
 
+    use Ordering::SeqCst;
+
     #[test]
     fn faa_returns_previous_value() {
         let v = PackedFaa::new();
-        assert_eq!(v.add_reader(), Packed::ZERO);
-        assert_eq!(v.add_reader(), Packed::new(false, 1));
-        assert_eq!(v.add_writer(), Packed::new(false, 2));
-        assert_eq!(v.load(), Packed::new(true, 2));
-        assert_eq!(v.sub_reader(), Packed::new(true, 2));
-        assert_eq!(v.sub_reader(), Packed::ONE_ONE);
-        assert_eq!(v.sub_writer(), Packed::new(true, 0));
-        assert_eq!(v.load(), Packed::ZERO);
+        assert_eq!(v.add_reader(SeqCst), Packed::ZERO);
+        assert_eq!(v.add_reader(SeqCst), Packed::new(false, 1));
+        assert_eq!(v.add_writer(SeqCst), Packed::new(false, 2));
+        assert_eq!(v.load(SeqCst), Packed::new(true, 2));
+        assert_eq!(v.sub_reader(SeqCst), Packed::new(true, 2));
+        assert_eq!(v.sub_reader(SeqCst), Packed::ONE_ONE);
+        assert_eq!(v.sub_writer(SeqCst), Packed::new(true, 0));
+        assert_eq!(v.load(SeqCst), Packed::ZERO);
     }
 
     #[test]
     fn one_one_is_the_wakeup_test_value() {
         let v = PackedFaa::new();
-        v.add_reader();
-        v.add_writer();
+        v.add_reader(SeqCst);
+        v.add_writer(SeqCst);
         // The last reader out observes [1, 1] and must wake the writer.
-        assert_eq!(v.sub_reader(), Packed::ONE_ONE);
-        assert!(v.sub_writer().writer_waiting());
+        assert_eq!(v.sub_reader(SeqCst), Packed::ONE_ONE);
+        assert!(v.sub_writer(SeqCst).writer_waiting());
     }
 
     #[test]
     fn fields_do_not_interfere() {
         let v = PackedFaa::new();
         for _ in 0..1000 {
-            v.add_reader();
+            v.add_reader(SeqCst);
         }
-        v.add_writer();
-        assert_eq!(v.load(), Packed::new(true, 1000));
-        v.sub_writer();
-        assert_eq!(v.load(), Packed::new(false, 1000));
+        v.add_writer(SeqCst);
+        assert_eq!(v.load(SeqCst), Packed::new(true, 1000));
+        v.sub_writer(SeqCst);
+        assert_eq!(v.load(SeqCst), Packed::new(false, 1000));
         for _ in 0..1000 {
-            v.sub_reader();
+            v.sub_reader(SeqCst);
         }
-        assert_eq!(v.load(), Packed::ZERO);
+        assert_eq!(v.load(SeqCst), Packed::ZERO);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`Pid`] from a fixed-capacity [`PidRegistry`]; the registry capacity is
 //! the `n` of the theorems ("O(n) shared variables", Anderson-lock slots).
 
-use rmr_mutex::mem::{Backend, Native, SharedBool, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering, SharedBool, SharedWord};
 use rmr_mutex::CachePadded;
 use std::fmt;
 
@@ -137,7 +137,8 @@ impl<B: Backend> PidRegistry<B> {
 
     /// Number of pids currently allocated (approximate under concurrency).
     pub fn allocated(&self) -> usize {
-        self.in_use.iter().filter(|b| b.load()).count()
+        // Diagnostic snapshot only; no synchronization rides on it.
+        self.in_use.iter().filter(|b| b.load(Ordering::Relaxed)).count()
     }
 
     /// Claims a free pid.
@@ -147,7 +148,11 @@ impl<B: Backend> PidRegistry<B> {
     /// Returns [`RegistryFull`] if every pid is in use.
     pub fn allocate(&self) -> Result<Pid, RegistryFull> {
         for (i, slot) in self.in_use.iter().enumerate() {
-            if slot.compare_exchange(false, true).is_ok() {
+            // Acquire on success: taking the slot synchronizes with the
+            // previous holder's Release in `release`, so the new holder
+            // inherits a quiesced pid (epoch slot seen cleared). Relaxed
+            // on failure: a taken slot is just skipped.
+            if slot.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
                 return Ok(Pid(i as u32));
             }
         }
@@ -165,11 +170,15 @@ impl<B: Backend> PidRegistry<B> {
     /// inherit a stale pin).
     pub fn release(&self, pid: Pid) {
         debug_assert_eq!(
-            self.epochs[pid.index()].load(),
+            self.epochs[pid.index()].load(Ordering::Relaxed),
             EPOCH_EMPTY,
             "released pid {pid} with a published epoch still pinned"
         );
-        let was = self.in_use[pid.index()].swap(false);
+        // Release: publishes everything this holder did under the pid
+        // (in particular its epoch-slot clear) to the next allocator's
+        // Acquire CAS. A swap rather than a store only to return the old
+        // value for the double-release debug check.
+        let was = self.in_use[pid.index()].swap(false, Ordering::Release);
         debug_assert!(was, "released pid {pid} that was not allocated");
     }
 
@@ -190,13 +199,23 @@ impl<B: Backend> PidRegistry<B> {
     /// Panics if `epoch` is 0 (the empty sentinel).
     pub fn publish_epoch(&self, pid: Pid, epoch: u64) {
         assert!(epoch != EPOCH_EMPTY, "epoch 0 is the empty sentinel");
-        self.epochs[pid.index()].store(epoch);
+        // SeqCst — this store is one half of a store-buffer pattern and
+        // may NOT be demoted: the reader publishes, then re-loads the
+        // global epoch/payload; the writer swaps the payload, then scans
+        // this table. Only the SC total order makes "writer missed the
+        // publication ⇒ reader sees the new payload" exhaustive; with a
+        // Release store the publication could sit in a write buffer while
+        // the reader pins a payload the writer already freed. Guarded by
+        // the `WrongOrdering::DemotePublishEpoch` mutant (DESIGN.md §13).
+        self.epochs[pid.index()].store(epoch, Ordering::SeqCst);
     }
 
     /// Clears `pid`'s epoch slot, releasing whatever its published epoch
     /// pinned. Idempotent.
     pub fn clear_epoch(&self, pid: Pid) {
-        self.epochs[pid.index()].store(EPOCH_EMPTY);
+        // Release: the reader's payload accesses must complete before the
+        // unpin becomes visible, or the writer could reclaim under them.
+        self.epochs[pid.index()].store(EPOCH_EMPTY, Ordering::Release);
     }
 
     /// The epoch published in slot `index`, or `None` if the slot is
@@ -206,7 +225,12 @@ impl<B: Backend> PidRegistry<B> {
     ///
     /// Panics if `index >= capacity()`.
     pub fn published_epoch(&self, index: usize) -> Option<u64> {
-        match self.epochs[index].load() {
+        // SeqCst: the grace-period scan is the load half of the
+        // store-buffer pattern described at `publish_epoch` — it must be
+        // ordered after the writer's epoch bump in the single total
+        // order, or the scan could miss a publication the bump did not
+        // forestall.
+        match self.epochs[index].load(Ordering::SeqCst) {
             EPOCH_EMPTY => None,
             e => Some(e),
         }

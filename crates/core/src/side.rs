@@ -1,6 +1,6 @@
 //! The two "sides" of the paper's side-toggling scheme.
 
-use rmr_mutex::mem::{Backend, Native, SharedBool};
+use rmr_mutex::mem::{Backend, Native, Ordering, SharedBool};
 use std::fmt;
 use std::ops::Not;
 
@@ -90,18 +90,18 @@ impl<B: Backend> AtomicSide<B> {
         Self(B::Bool::new(side == Side::One))
     }
 
-    /// Atomic read.
-    pub fn load(&self) -> Side {
-        if self.0.load() {
+    /// Atomic read with the given ordering.
+    pub fn load(&self, order: Ordering) -> Side {
+        if self.0.load(order) {
             Side::One
         } else {
             Side::Zero
         }
     }
 
-    /// Atomic write.
-    pub fn store(&self, side: Side) {
-        self.0.store(side == Side::One);
+    /// Atomic write with the given ordering.
+    pub fn store(&self, side: Side, order: Ordering) {
+        self.0.store(side == Side::One, order);
     }
 }
 
@@ -113,7 +113,8 @@ impl<B: Backend> Default for AtomicSide<B> {
 
 impl<B: Backend> fmt::Debug for AtomicSide<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "AtomicSide({:?})", self.load())
+        // Diagnostic snapshot only; no synchronization rides on it.
+        write!(f, "AtomicSide({:?})", self.load(Ordering::Relaxed))
     }
 }
 
@@ -144,16 +145,16 @@ mod tests {
     #[test]
     fn atomic_side_round_trips() {
         let d = AtomicSide::new(Side::Zero);
-        assert_eq!(d.load(), Side::Zero);
-        d.store(Side::One);
-        assert_eq!(d.load(), Side::One);
-        d.store(Side::Zero);
-        assert_eq!(d.load(), Side::Zero);
+        assert_eq!(d.load(Ordering::SeqCst), Side::Zero);
+        d.store(Side::One, Ordering::SeqCst);
+        assert_eq!(d.load(Ordering::SeqCst), Side::One);
+        d.store(Side::Zero, Ordering::Release);
+        assert_eq!(d.load(Ordering::Acquire), Side::Zero);
     }
 
     #[test]
     fn default_is_side_zero() {
         assert_eq!(Side::default(), Side::Zero);
-        assert_eq!(AtomicSide::<Native>::default().load(), Side::Zero);
+        assert_eq!(AtomicSide::<Native>::default().load(Ordering::SeqCst), Side::Zero);
     }
 }

@@ -22,7 +22,7 @@
 use crate::raw::{RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::side::{AtomicSide, Side};
-use rmr_mutex::mem::{Backend, Native, SharedBool, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedBool, SharedWord};
 use rmr_mutex::spin_until;
 use rmr_mutex::CachePadded;
 use std::fmt;
@@ -148,18 +148,45 @@ impl<B: Backend> SwmrReaderPriority<B> {
     // The nested `if`s deliberately mirror the paper's lines 10-16.
     #[allow(clippy::collapsible_if)]
     pub fn promote(&self, pid: Pid) {
-        let x = self.x.load(); // line 10: x ← X
+        // X is the CAS linchpin of §4.3's subtle features (A) and (B);
+        // the C = 0 trustworthiness argument totally orders X's accesses
+        // against the F&As on C and the Permit flag, so every access to X
+        // stays SeqCst (DESIGN.md §13, site F2-X).
+        let x = self.x.load(MemOrdering::SeqCst); // line 10: x ← X
         if x != X_TRUE {
             // line 11: if (x ≠ true)
-            let stamped = self.x.compare_exchange(x, encode_pid(pid)).is_ok(); // line 12: if (CAS(X, x, i))
+            let stamped = self
+                .x
+                .compare_exchange(x, encode_pid(pid), MemOrdering::SeqCst, MemOrdering::SeqCst)
+                .is_ok(); // line 12: if (CAS(X, x, i))
             if stamped {
-                if !self.permit.load() {
+                // Dekker-style pattern: the writer stores Permit ← false and
+                // then reads C; promoters F&A C and then read Permit. Both
+                // halves stay SeqCst (DESIGN.md §13, site F2-PERMIT).
+                if !self.permit.load(MemOrdering::SeqCst) {
                     // line 13: if (¬Permit)
-                    if self.count.load() == 0 {
+                    // Load half of the store-buffering pattern with the
+                    // writer's Permit ← false: must be SeqCst so that a
+                    // reader whose F&A(C) preceded the writer's D/Permit
+                    // stores is guaranteed visible here.
+                    if self.count.load(MemOrdering::SeqCst) == 0 {
                         // line 14: if (C = 0)
-                        let promoted = self.x.compare_exchange(encode_pid(pid), X_TRUE).is_ok(); // line 15: if (CAS(X, i, true))
+                        let promoted = self
+                            .x
+                            .compare_exchange(
+                                encode_pid(pid),
+                                X_TRUE,
+                                MemOrdering::SeqCst,
+                                MemOrdering::SeqCst,
+                            )
+                            .is_ok(); // line 15: if (CAS(X, i, true))
                         if promoted {
-                            self.permit.store(true); // line 16
+                            // Handoff: wakes the writer spinning on line 5.
+                            // Release publishes the promotion (X = true) and
+                            // everything before it to the writer's Acquire
+                            // spin; uniqueness is enforced by the line-15 CAS,
+                            // not by this store's ordering.
+                            self.permit.store(true, MemOrdering::Release); // line 16
                         }
                     }
                 }
@@ -180,11 +207,21 @@ impl<B: Backend> SwmrReaderPriority<B> {
             !self.session_active.load(Ordering::SeqCst),
             "second writer entered the single-writer role"
         );
-        let d = !self.d.load(); // line 2: D ← ¬D
-        self.d.store(d);
-        self.permit.store(false); // line 3: Permit ← false
+        // Only the (unique) writer role writes D, so its own read-back is
+        // Relaxed; the store must be SeqCst: the proof's stale-direction
+        // argument orders a reader's line-19 load of D against this store
+        // *and* that reader's earlier F&A(C) against the line-14 scan, an
+        // IRIW-style appeal to the single total order (DESIGN.md §13,
+        // site F2-D).
+        let d = !self.d.load(MemOrdering::Relaxed); // line 2: D ← ¬D
+        self.d.store(d, MemOrdering::SeqCst);
+        // Store half of the Dekker pattern with C (see promote, line 14):
+        // must be SeqCst so no promoter can read a stale Permit = true after
+        // its F&A(C) was counted (DESIGN.md §13, site F2-PERMIT).
+        self.permit.store(false, MemOrdering::SeqCst); // line 3: Permit ← false
         self.promote(pid); // line 4: Promote()
-        spin_until(|| self.permit.load()); // line 5: wait till Permit
+                           // Acquire pairs with the promoter's Release store on line 16.
+        spin_until(|| self.permit.load(MemOrdering::Acquire)); // line 5: wait till Permit
         let was = self.session_active.swap(true, Ordering::SeqCst);
         debug_assert!(!was);
         WriteSession { d } // line 6: CRITICAL SECTION
@@ -195,9 +232,15 @@ impl<B: Backend> SwmrReaderPriority<B> {
         let was = self.session_active.swap(false, Ordering::SeqCst);
         debug_assert!(was, "write_unlock without an open write session");
         let d = session.d;
-        self.gate(!d).store(false); // line 7: Gate[D̄] ← false
-        self.gate(d).store(true); // line 8: Gate[D] ← true
-        self.x.store(encode_pid(pid)); // line 9: X ← i
+        // Relaxed: this close must be visible before X can next become
+        // true, and it is — it is sequenced before the line-9 SeqCst store
+        // of X, and any later promotion reaches parked readers through the
+        // SeqCst/Release chain on Permit and X, which carries this store
+        // with it (DESIGN.md §13, site F2-GATE).
+        self.gate(!d).store(false, MemOrdering::Relaxed); // line 7: Gate[D̄] ← false
+                                                          // Handoff releasing the readers parked on line 24 (Acquire spin).
+        self.gate(d).store(true, MemOrdering::Release); // line 8: Gate[D] ← true
+        self.x.store(encode_pid(pid), MemOrdering::SeqCst); // line 9: X ← i (site F2-X)
     }
 
     // ------------------------------------------------------------------
@@ -210,17 +253,29 @@ impl<B: Backend> SwmrReaderPriority<B> {
     /// any in-flight line-15 promotion that observed `C = 0` before this
     /// reader registered, preserving mutual exclusion.
     pub fn read_lock(&self, pid: Pid) -> ReadSession {
-        self.count.fetch_add(1); // line 18: F&A(C, 1)
-        let d = self.d.load(); // line 19: d ← D
-        let x = self.x.load(); // line 20: x ← X
+        // SeqCst F&A: the registration must be totally ordered against the
+        // writer's Permit ← false / C scan (site F2-PERMIT).
+        self.count.fetch_add(1, MemOrdering::SeqCst); // line 18: F&A(C, 1)
+                                                      // SeqCst: a reader that misses the writer's store of D here must be
+                                                      // unable to observe X = true on line 23 — that implication is the
+                                                      // IRIW-style appeal of site F2-D and needs both accesses in the
+                                                      // single total order.
+        let d = self.d.load(MemOrdering::SeqCst); // line 19: d ← D
+        let x = self.x.load(MemOrdering::SeqCst); // line 20: x ← X (site F2-X)
         if x != X_TRUE {
             // line 21: if (x ∈ PID)
             // line 22: CAS(X, x, i) — outcome deliberately ignored.
-            let _ = self.x.compare_exchange(x, encode_pid(pid));
+            let _ = self.x.compare_exchange(
+                x,
+                encode_pid(pid),
+                MemOrdering::SeqCst,
+                MemOrdering::SeqCst,
+            );
         }
-        if self.x.load() == X_TRUE {
-            // line 23: if (X = true)
-            spin_until(|| self.gate(d).load()); // line 24
+        if self.x.load(MemOrdering::SeqCst) == X_TRUE {
+            // line 23: if (X = true) — site F2-X
+            // Acquire pairs with the Release gate-open on line 8.
+            spin_until(|| self.gate(d).load(MemOrdering::Acquire)); // line 24
         }
         ReadSession { d } // line 25: CRITICAL SECTION
     }
@@ -252,16 +307,22 @@ impl<B: Backend> SwmrReaderPriority<B> {
     /// lock.write_unlock(writer, w);
     /// ```
     pub fn try_read_lock(&self, pid: Pid) -> Option<ReadSession> {
-        self.count.fetch_add(1); // line 18: F&A(C, 1)
-        let d = self.d.load(); // line 19: d ← D
-        let x = self.x.load(); // line 20: x ← X
+        // Orderings as in `read_lock`; see the annotations there.
+        self.count.fetch_add(1, MemOrdering::SeqCst); // line 18: F&A(C, 1)
+        let d = self.d.load(MemOrdering::SeqCst); // line 19: d ← D
+        let x = self.x.load(MemOrdering::SeqCst); // line 20: x ← X
         if x != X_TRUE {
             // line 21–22: stamp our pid (subtle feature A), as in read_lock.
-            let _ = self.x.compare_exchange(x, encode_pid(pid));
+            let _ = self.x.compare_exchange(
+                x,
+                encode_pid(pid),
+                MemOrdering::SeqCst,
+                MemOrdering::SeqCst,
+            );
         }
-        if self.x.load() == X_TRUE {
+        if self.x.load(MemOrdering::SeqCst) == X_TRUE {
             // Would park on Gate[d]: abort through the exit section.
-            self.count.fetch_sub(1); // line 26
+            self.count.fetch_sub(1, MemOrdering::SeqCst); // line 26
             self.promote(pid); // line 27
             None
         } else {
@@ -273,7 +334,9 @@ impl<B: Backend> SwmrReaderPriority<B> {
     /// one `Promote` (at most three more shared-memory operations).
     pub fn read_unlock(&self, pid: Pid, session: ReadSession) {
         let _ = session;
-        self.count.fetch_sub(1); // line 26: F&A(C, -1)
+        // SeqCst: the retirement is the F&A half of site F2-PERMIT — a
+        // promoter's subsequent Permit/C reads must be ordered after it.
+        self.count.fetch_sub(1, MemOrdering::SeqCst); // line 26: F&A(C, -1)
         self.promote(pid); // line 27: Promote()
     }
 
@@ -283,22 +346,22 @@ impl<B: Backend> SwmrReaderPriority<B> {
 
     /// Current value of `D`.
     pub fn direction(&self) -> Side {
-        self.d.load()
+        self.d.load(MemOrdering::Relaxed)
     }
 
     /// Whether `Gate[side]` is open. Diagnostic; may be stale.
     pub fn gate_is_open(&self, side: Side) -> bool {
-        self.gate(side).load()
+        self.gate(side).load(MemOrdering::Relaxed)
     }
 
     /// Number of registered readers (`C`). Diagnostic; may be stale.
     pub fn reader_count(&self) -> u64 {
-        self.count.load()
+        self.count.load(MemOrdering::Relaxed)
     }
 
     /// Whether `X = true` (the writer owns or is entering the CS).
     pub fn writer_promoted(&self) -> bool {
-        self.x.load() == X_TRUE
+        self.x.load(MemOrdering::Relaxed) == X_TRUE
     }
 
     /// True when the lock is at rest: no registered reader (`C = 0`), no
@@ -327,7 +390,7 @@ impl<B: Backend> fmt::Debug for SwmrReaderPriority<B> {
             .field("d", &self.direction())
             .field("c", &self.reader_count())
             .field("x_is_true", &self.writer_promoted())
-            .field("permit", &self.permit.load())
+            .field("permit", &self.permit.load(MemOrdering::Relaxed))
             .finish()
     }
 }

@@ -23,7 +23,7 @@ use crate::packed::{Packed, PackedFaa};
 use crate::raw::{RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::side::{AtomicSide, Side};
-use rmr_mutex::mem::{Backend, Native, SharedBool};
+use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedBool};
 use rmr_mutex::spin_until;
 use rmr_mutex::CachePadded;
 use std::fmt;
@@ -202,9 +202,16 @@ impl<B: Backend> SwmrWriterPriority<B> {
             !self.session_active.load(Ordering::SeqCst),
             "writer doorway while a write session is still open"
         );
-        let prev = self.d.load(); // line 2: prevD ← D, currD ← ¬prevD
+        // Relaxed: D is written only by the writer role, so this read of
+        // our own last store needs no cross-thread ordering.
+        let prev = self.d.load(MemOrdering::Relaxed); // line 2: prevD ← D, currD ← ¬prevD
         let curr = !prev;
-        self.d.store(curr); // line 3: D ← currD
+        // Relaxed: the announce's visibility is carried by the SeqCst F&A
+        // on C[prevD] at line 5 — any reader whose registration F&A
+        // follows it inherits this store via the RMW release chain and
+        // re-reads D at its line 18; any reader registered before it is
+        // drained at line 6. (See DESIGN.md §13, site F1-L3.)
+        self.d.store(curr, MemOrdering::Relaxed); // line 3: D ← currD
         WriterAttempt { curr, prev }
     }
 
@@ -213,26 +220,43 @@ impl<B: Backend> SwmrWriterPriority<B> {
     pub fn writer_waiting_room(&self, attempt: WriterAttempt) -> WriteSession {
         let prev = self.side(attempt.prev);
 
-        prev.permit.store(false); // line 4: Permit[prevD] ← false
-        let old = prev.count.add_writer(); // line 5: F&A(C[prevD], [1, 0])
+        // Relaxed reset: sequenced before the SeqCst F&A at line 5, and a
+        // reader sets Permit[prevD] only after observing that F&A's writer
+        // bit (line 22/28), so the RMW chain already orders reset-then-set.
+        prev.permit.store(false, MemOrdering::Relaxed); // line 4: Permit[prevD] ← false
+                                                        // SeqCst: the paper's announce-then-wait F&A — its place in the
+                                                        // single total order versus the readers' registration F&As (line
+                                                        // 17) is what makes "every reader is either waited for here or
+                                                        // diverted at its line 18" exhaustive.
+        let old = prev.count.add_writer(MemOrdering::SeqCst); // line 5: F&A(C[prevD], [1, 0])
         debug_assert!(!old.writer_waiting(), "writer-waiting flag already set on C[prevD]");
         if old != Packed::ZERO {
-            // line 6: wait till Permit[prevD]
-            spin_until(|| prev.permit.load());
+            // line 6: wait till Permit[prevD]. Acquire pairs with the last
+            // reader's Release store (line 28) so its exit is visible.
+            spin_until(|| prev.permit.load(MemOrdering::Acquire));
         }
-        let old = prev.count.sub_writer(); // line 7: F&A(C[prevD], [-1, 0])
+        // SeqCst: the release half of the RMW chain that hands the
+        // writer's D announce to late registrants (see line 3).
+        let old = prev.count.sub_writer(MemOrdering::SeqCst); // line 7: F&A(C[prevD], [-1, 0])
         debug_assert!(old.writer_waiting());
 
-        prev.gate.store(false); // line 8: Gate[prevD] ← false
+        // Release: conservatively keeps the close ordered after the side
+        // drain above. (Late side-prevD registrants are diverted by their
+        // line-18 re-check, which would license Relaxed, but the close is
+        // writer-slow-path code where Release is free.)
+        prev.gate.store(false, MemOrdering::Release); // line 8: Gate[prevD] ← false
 
-        self.exit_permit.store(false); // line 9: ExitPermit ← false
-        let old = self.exit_count.add_writer(); // line 10: F&A(EC, [1, 0])
+        // Relaxed reset: same argument as line 4, via the line-10 F&A and
+        // the readers' line 29/30.
+        self.exit_permit.store(false, MemOrdering::Relaxed); // line 9: ExitPermit ← false
+                                                             // SeqCst: announce-then-wait on the exit section, as at line 5.
+        let old = self.exit_count.add_writer(MemOrdering::SeqCst); // line 10: F&A(EC, [1, 0])
         debug_assert!(!old.writer_waiting());
         if old != Packed::ZERO {
-            // line 11: wait till ExitPermit
-            spin_until(|| self.exit_permit.load());
+            // line 11: wait till ExitPermit. Acquire pairs with line 30.
+            spin_until(|| self.exit_permit.load(MemOrdering::Acquire));
         }
-        let old = self.exit_count.sub_writer(); // line 12: F&A(EC, [-1, 0])
+        let old = self.exit_count.sub_writer(MemOrdering::SeqCst); // line 12: F&A(EC, [-1, 0])
         debug_assert!(old.writer_waiting());
 
         let was = self.session_active.swap(true, Ordering::SeqCst);
@@ -251,8 +275,10 @@ impl<B: Backend> SwmrWriterPriority<B> {
     pub fn writer_exit(&self, session: WriteSession) {
         let was = self.session_active.swap(false, Ordering::SeqCst);
         debug_assert!(was, "writer_exit without an open write session");
-        // line 14: Gate[D] ← true (D still equals the session's currD)
-        self.side(session.curr).gate.store(true);
+        // line 14: Gate[D] ← true (D still equals the session's currD).
+        // Release: hands the write session's CS writes to every reader
+        // whose Acquire gate spin (line 24) observes the open.
+        self.side(session.curr).gate.store(true, MemOrdering::Release);
     }
 
     /// Alias for [`Self::writer_exit`], for symmetry with `write_lock`.
@@ -268,21 +294,30 @@ impl<B: Backend> SwmrWriterPriority<B> {
     /// in `D`, re-registering if the writer toggled `D` mid-doorway.
     /// Bounded; the returned side is the one whose gate admits this reader.
     fn reader_doorway(&self) -> Side {
-        let mut d = self.d.load(); // line 16: d ← D
-        self.side(d).count.add_reader(); // line 17: F&A(C[d], [0, 1])
-        let d2 = self.d.load(); // line 18: d′ ← D
+        // Relaxed: a stale D here only picks the wrong side provisionally;
+        // the SeqCst F&A at line 17 and the re-check at line 18 divert us.
+        let mut d = self.d.load(MemOrdering::Relaxed); // line 16: d ← D
+                                                       // SeqCst: the registration F&A — its order against the writer's
+                                                       // line 5/7 F&As decides "waited for" vs "diverted", and reading
+                                                       // the writer's release RMW carries the writer's D announce into
+                                                       // the re-check below.
+        self.side(d).count.add_reader(MemOrdering::SeqCst); // line 17: F&A(C[d], [0, 1])
+                                                            // Relaxed: freshness is inherited from the line-17 F&A (see above);
+                                                            // no further ordering is needed on the load itself.
+        let d2 = self.d.load(MemOrdering::Relaxed); // line 18: d′ ← D
         if d != d2 {
             // line 19: if (d ≠ d′)
-            self.side(d2).count.add_reader(); // line 20: F&A(C[d′], [0, 1])
-            d = self.d.load(); // line 21: d ← D
-                               // Registered on both sides; retire from the one we don't belong
-                               // to (d̄, the complement of the side just re-read).
+            self.side(d2).count.add_reader(MemOrdering::SeqCst); // line 20: F&A(C[d′], [0, 1])
+            d = self.d.load(MemOrdering::Relaxed); // line 21: d ← D
+                                                   // Registered on both sides; retire from the one we don't belong
+                                                   // to (d̄, the complement of the side just re-read).
             let other = !d;
-            let old = self.side(other).count.sub_reader(); // line 22: F&A(C[d̄], [0, -1])
+            let old = self.side(other).count.sub_reader(MemOrdering::SeqCst); // line 22: F&A(C[d̄], [0, -1])
             if old == Packed::ONE_ONE {
                 // line 23: Permit[d̄] ← true — we were the last side-d̄
-                // reader and the writer is waiting on that side.
-                self.side(other).permit.store(true);
+                // reader and the writer is waiting on that side. Release
+                // pairs with the writer's Acquire spin at line 6.
+                self.side(other).permit.store(true, MemOrdering::Release);
             }
         }
         d
@@ -295,8 +330,9 @@ impl<B: Backend> SwmrWriterPriority<B> {
     /// through in a bounded number of steps.
     pub fn read_lock(&self) -> ReadSession {
         let d = self.reader_doorway();
-        // line 24: wait till Gate[d]
-        spin_until(|| self.side(d).gate.load());
+        // line 24: wait till Gate[d]. Acquire pairs with the writer's
+        // Release open (line 14), making the write session's data visible.
+        spin_until(|| self.side(d).gate.load(MemOrdering::Acquire));
         ReadSession { side: d } // line 25: CRITICAL SECTION
     }
 
@@ -324,7 +360,8 @@ impl<B: Backend> SwmrWriterPriority<B> {
     /// ```
     pub fn try_read_lock(&self) -> Option<ReadSession> {
         let d = self.reader_doorway();
-        if self.side(d).gate.load() {
+        // Acquire: an open gate admits us exactly as at line 24.
+        if self.side(d).gate.load(MemOrdering::Acquire) {
             Some(ReadSession { side: d })
         } else {
             // Writer active on our side: retire through the exit section.
@@ -337,14 +374,19 @@ impl<B: Backend> SwmrWriterPriority<B> {
     /// shared-memory operations, no waiting.
     pub fn read_unlock(&self, session: ReadSession) {
         let d = session.side;
-        self.exit_count.add_reader(); // line 26: F&A(EC, [0, 1])
-        let old = self.side(d).count.sub_reader(); // line 27: F&A(C[d], [0, -1])
+        // SeqCst F&As: the exit-section counters run the same
+        // announce-then-wake protocol as the try section; their place in
+        // the total order against the writer's line 10/12 is load-bearing.
+        self.exit_count.add_reader(MemOrdering::SeqCst); // line 26: F&A(EC, [0, 1])
+        let old = self.side(d).count.sub_reader(MemOrdering::SeqCst); // line 27: F&A(C[d], [0, -1])
         if old == Packed::ONE_ONE {
-            self.side(d).permit.store(true); // line 28
+            // Release pairs with the writer's Acquire spin at line 6.
+            self.side(d).permit.store(true, MemOrdering::Release); // line 28
         }
-        let old = self.exit_count.sub_reader(); // line 29: F&A(EC, [0, -1])
+        let old = self.exit_count.sub_reader(MemOrdering::SeqCst); // line 29: F&A(EC, [0, -1])
         if old == Packed::ONE_ONE {
-            self.exit_permit.store(true); // line 30
+            // Release pairs with the writer's Acquire spin at line 11.
+            self.exit_permit.store(true, MemOrdering::Release); // line 30
         }
     }
 
@@ -354,24 +396,41 @@ impl<B: Backend> SwmrWriterPriority<B> {
 
     /// Reads `D` (Fig. 4 line 10 reads `currD ← D`).
     pub fn direction(&self) -> Side {
-        self.d.load()
+        // Acquire: Fig. 4 readers call this after their registration F&A
+        // and writers under lock M; Acquire is already stronger than
+        // either caller needs, and keeps the helper caller-agnostic.
+        self.d.load(MemOrdering::Acquire)
     }
 
     /// Writes `D ← side` — the doorway performed *on the writers' behalf*
     /// by Figure 4 line 8. Concurrent callers always write the same value
     /// (see the Fig. 4 analysis in DESIGN.md), so the store is idempotent.
     pub fn set_direction(&self, side: Side) {
-        self.d.store(side);
+        // SeqCst: Fig. 4's proxy doorway (its line 8) is a cross-writer
+        // announce whose total-order position against the readers'
+        // registration F&As the Fig. 4 proof uses directly; unlike the
+        // single-writer line 3 there is no adjacent same-thread RMW on the
+        // partner variable to carry a weaker store.
+        self.d.store(side, MemOrdering::SeqCst);
     }
 
     /// Whether `Gate[side]` is open (Fig. 4 line 12 waits on this).
     pub fn gate_is_open(&self, side: Side) -> bool {
-        self.side(side).gate.load()
+        // Acquire: doubles as Fig. 4's line-12 wait predicate, pairing
+        // with the Release open at line 14.
+        self.side(side).gate.load(MemOrdering::Acquire)
     }
 
     /// Diagnostic snapshot `(C\[0\], C\[1\], EC)`; values may be stale.
     pub fn counters(&self) -> (Packed, Packed, Packed) {
-        (self.sides[0].count.load(), self.sides[1].count.load(), self.exit_count.load())
+        // Relaxed: diagnostic/at-rest reads; the quiescence oracle runs
+        // after the worker threads have been joined, and a join is already
+        // a synchronization point.
+        (
+            self.sides[0].count.load(MemOrdering::Relaxed),
+            self.sides[1].count.load(MemOrdering::Relaxed),
+            self.exit_count.load(MemOrdering::Relaxed),
+        )
     }
 
     /// True when the lock is at rest: every counter (`C\[0\]`, `C\[1\]`,
@@ -382,7 +441,8 @@ impl<B: Backend> SwmrWriterPriority<B> {
     /// meaningful while no attempt is in flight.
     pub fn is_quiescent(&self) -> bool {
         let (c0, c1, ec) = self.counters();
-        let d = self.d.load();
+        // Relaxed: at-rest read, see `counters`.
+        let d = self.d.load(MemOrdering::Relaxed);
         c0 == Packed::ZERO
             && c1 == Packed::ZERO
             && ec == Packed::ZERO
@@ -401,7 +461,7 @@ impl<B: Backend> fmt::Debug for SwmrWriterPriority<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (c0, c1, ec) = self.counters();
         f.debug_struct("SwmrWriterPriority")
-            .field("d", &self.d.load())
+            .field("d", &self.d.load(MemOrdering::Relaxed))
             .field("c0", &c0)
             .field("c1", &c1)
             .field("ec", &ec)

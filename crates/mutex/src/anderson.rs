@@ -1,6 +1,6 @@
 //! T. E. Anderson's array-based queueing lock (IEEE TPDS 1990).
 
-use crate::mem::{Backend, Native, SharedBool, SharedWord};
+use crate::mem::{Backend, Native, Ordering, SharedBool, SharedWord};
 use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::RawMutex;
@@ -93,8 +93,9 @@ impl<B: Backend> AndersonLock<B> {
     /// waiter holds that ticket). Intended for tests and diagnostics only;
     /// the answer may be stale by the time it returns.
     pub fn is_free_hint(&self) -> bool {
-        let next = self.next_ticket.load();
-        self.slot(next).load()
+        // Diagnostic snapshot only; no synchronization rides on it.
+        let next = self.next_ticket.load(Ordering::Relaxed);
+        self.slot(next).load(Ordering::Relaxed)
     }
 }
 
@@ -104,16 +105,26 @@ impl<B: Backend> RawMutex for AndersonLock<B> {
     fn lock(&self) -> AndersonToken {
         // Doorway: one F&A — this both registers the request and fixes the
         // FCFS order, giving the bounded doorway required of lock M.
-        let ticket = self.next_ticket.fetch_add(1);
-        // Waiting room: local spin on our own cache line.
-        spin_until(|| self.slot(ticket).load());
+        // Relaxed: the draw only needs the counter's atomicity; the CS
+        // happens-before edge comes from the slot Acquire/Release pair.
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        // Waiting room: local spin on our own cache line. Acquire pairs
+        // with the predecessor's Release store that opened this slot.
+        spin_until(|| self.slot(ticket).load(Ordering::Acquire));
         AndersonToken { ticket }
     }
 
     fn unlock(&self, token: AndersonToken) {
         // Close our slot for its next lap, then open the successor's slot.
-        self.slot(token.ticket).store(false);
-        self.slot(token.ticket.wrapping_add(1)).store(true);
+        // The reset may be Relaxed: the Release below orders it before the
+        // successor's wake-up, and every later reader of our slot (the
+        // wrap-around waiter, capacity tickets later) is reached only
+        // through that chain of Release/Acquire handoffs, so coherence
+        // places the reset before any future `true`.
+        self.slot(token.ticket).store(false, Ordering::Relaxed);
+        // Release: publishes the CS writes (and the reset above) to the
+        // successor's Acquire spin load.
+        self.slot(token.ticket.wrapping_add(1)).store(true, Ordering::Release);
     }
 
     fn capacity(&self) -> Option<usize> {
@@ -123,9 +134,10 @@ impl<B: Backend> RawMutex for AndersonLock<B> {
 
 impl<B: Backend> fmt::Debug for AndersonLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Diagnostic snapshot only; no synchronization rides on it.
         f.debug_struct("AndersonLock")
             .field("capacity", &(self.mask + 1))
-            .field("next_ticket", &self.next_ticket.load())
+            .field("next_ticket", &self.next_ticket.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -176,10 +188,10 @@ mod tests {
         // Start the ticket counter near u64::MAX; since capacity is a power
         // of two, masking stays consistent across the wrap.
         let lock = AndersonLock::new(4);
-        lock.next_ticket.store(u64::MAX - 1);
+        lock.next_ticket.store(u64::MAX - 1, Ordering::SeqCst);
         // Open the slot the next ticket maps to, closing slot 0 first.
-        lock.slots[0].store(false);
-        lock.slot(u64::MAX - 1).store(true);
+        lock.slots[0].store(false, Ordering::SeqCst);
+        lock.slot(u64::MAX - 1).store(true, Ordering::SeqCst);
         for _ in 0..8 {
             let t = lock.lock();
             lock.unlock(t);

@@ -20,12 +20,18 @@
 //!
 //! # Memory ordering
 //!
-//! All algorithms in this workspace are transcribed from papers that assume
-//! sequential consistency, so every atomic access uses
-//! [`Ordering::SeqCst`](core::sync::atomic::Ordering::SeqCst). This is a
-//! deliberate fidelity-over-speed decision, documented once here and assumed
-//! everywhere — concretely, it is baked into the shared-variable vocabulary
-//! of the [`mem`] module.
+//! The algorithms in this workspace are transcribed from papers that assume
+//! sequential consistency, but each atomic access now carries the **weakest
+//! [`Ordering`](mem::Ordering) its proof obligation permits**, annotated
+//! and justified at the call site (DESIGN.md §13). Cross-variable
+//! store-then-load patterns that the proofs genuinely rely on (the paper
+//! locks' announce-then-scan passages, Bravo's publish/re-check, the swap
+//! tier's epoch publication) remain `SeqCst`; lock handoffs are
+//! Release/Acquire pairs; ticket draws and diagnostics are `Relaxed`. The
+//! policy is *verified, not trusted*: the [`sched`] backend's
+//! [`StoreBuffer`](sched::MemoryModel::StoreBuffer) mode model-checks the
+//! shipped code under store reordering, and `rmr-check`'s `WrongOrdering`
+//! mutants prove each relaxation class would be caught if demoted too far.
 //!
 //! # Memory backends
 //!

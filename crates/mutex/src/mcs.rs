@@ -1,6 +1,6 @@
 //! Mellor-Crummey & Scott queue lock (ACM TOCS 1991).
 
-use crate::mem::{Backend, Native, SharedBool, SharedWord};
+use crate::mem::{Backend, Native, Ordering, SharedBool, SharedWord};
 use crate::spin::spin_until;
 use crate::RawMutex;
 use std::fmt;
@@ -86,7 +86,8 @@ impl<B: Backend> McsLock<B> {
 
     /// True if no thread holds or waits for the lock. Diagnostic only.
     pub fn is_free_hint(&self) -> bool {
-        self.tail.load() == 0
+        // Diagnostic snapshot only; no synchronization rides on it.
+        self.tail.load(Ordering::Relaxed) == 0
     }
 }
 
@@ -96,16 +97,25 @@ impl<B: Backend> RawMutex for McsLock<B> {
     fn lock(&self) -> McsToken<B> {
         let node: *mut Node<B> =
             Box::into_raw(Box::new(Node { locked: B::Bool::new(true), next: B::Word::new(0) }));
-        let pred = decode::<B>(self.tail.swap(encode(node)));
+        // AcqRel: the release side publishes our freshly initialized node
+        // to whoever reads the tail next (a successor's swap or the
+        // holder's unlock CAS); the acquire side, on an uncontended
+        // acquisition (pred == null), synchronizes with the previous
+        // holder's releasing tail CAS so its CS writes are visible.
+        let pred = decode::<B>(self.tail.swap(encode(node), Ordering::AcqRel));
         if !pred.is_null() {
             // SAFETY: `pred` is freed by its owner only after it has either
             // (a) won the tail CAS in unlock — impossible once we replaced it
             // as tail — or (b) observed and woken its successor, which
             // requires this store to have happened first.
-            unsafe { (*pred).next.store(encode(node)) };
+            // Release: the predecessor's Acquire load of `next` must see
+            // our node fully initialized before it writes `locked`.
+            unsafe { (*pred).next.store(encode(node), Ordering::Release) };
             // SAFETY: we own `node` until unlock; only the predecessor writes
             // `locked`, exactly once.
-            spin_until(|| !unsafe { (*node).locked.load() });
+            // Acquire: pairs with the predecessor's Release handoff store,
+            // making its CS writes visible before we enter.
+            spin_until(|| !unsafe { (*node).locked.load(Ordering::Acquire) });
         }
         McsToken { node }
     }
@@ -115,20 +125,32 @@ impl<B: Backend> RawMutex for McsLock<B> {
         // SAFETY: `node` came from the matching `lock` and is still owned by
         // the caller; nobody frees it but us.
         unsafe {
-            let mut next = decode::<B>((*node).next.load());
+            // Acquire: a non-null read must also see the successor's node
+            // initialization (paired with its Release link store) before
+            // we dereference it below.
+            let mut next = decode::<B>((*node).next.load(Ordering::Acquire));
             if next.is_null() {
                 // No visible successor: try to swing the tail back to empty.
-                if self.tail.compare_exchange(encode(node), 0).is_ok() {
+                // Release on success: the next acquirer's AcqRel tail swap
+                // reads 0 from this CAS and must see our CS writes.
+                // Relaxed on failure: it only tells us a successor is
+                // mid-enqueue; the Acquire spin below synchronizes with it.
+                if self
+                    .tail
+                    .compare_exchange(encode(node), 0, Ordering::Release, Ordering::Relaxed)
+                    .is_ok()
+                {
                     drop(Box::from_raw(node));
                     return;
                 }
                 // A successor is mid-enqueue; wait for it to link itself.
                 spin_until(|| {
-                    next = decode::<B>((*node).next.load());
+                    next = decode::<B>((*node).next.load(Ordering::Acquire));
                     !next.is_null()
                 });
             }
-            (*next).locked.store(false);
+            // Release: hands our CS writes to the successor's Acquire spin.
+            (*next).locked.store(false, Ordering::Release);
             drop(Box::from_raw(node));
         }
     }
@@ -139,7 +161,10 @@ impl<B: Backend> Drop for McsLock<B> {
         // A leaked token leaks its node; a held lock at drop time is a
         // caller bug. Nothing to free on the happy path: every node is
         // reclaimed by its own unlock.
-        debug_assert!(self.tail.load() == 0, "McsLock dropped while held or contended");
+        debug_assert!(
+            self.tail.load(Ordering::Relaxed) == 0,
+            "McsLock dropped while held or contended"
+        );
     }
 }
 

@@ -5,13 +5,17 @@
 //! of shared variables — boolean flags (gates, permits, lock slots) and
 //! 64-bit words (counters, CAS cells, the packed two-component fetch&add
 //! variables of `rmr-core`). This module abstracts that vocabulary behind
-//! the [`Backend`] trait so the *same* lock code can run in two modes:
+//! the [`Backend`] trait so the *same* lock code can run in several modes:
 //!
 //! * [`Native`] — `#[repr(transparent)]` newtypes over `std::sync::atomic`
-//!   types, every method `#[inline]` and `SeqCst` (the workspace-wide
-//!   ordering policy, DESIGN.md §5). After monomorphization this is
-//!   exactly the pre-backend code: zero cost, and the default everywhere
+//!   types, every method `#[inline]` and forwarding its [`Ordering`]
+//!   argument verbatim. After monomorphization this is exactly the
+//!   hand-written code: zero cost, and the default everywhere
 //!   (`Lock<B = Native>`), so public APIs are unchanged.
+//! * [`SeqCstNative`] — [`Native`] with every ordering argument *ignored*
+//!   and strengthened to `SeqCst`: the pre-relaxation workspace policy as
+//!   a selectable backend, kept so the `uncontended_table` bench (E18) can
+//!   measure exactly what the per-site relaxation buys on real silicon.
 //! * [`Counting`] — the same `std` atomics plus per-variable *cached-copy
 //!   accounting* that replicates `rmr-sim`'s CC and DSM cost models on the
 //!   shipped implementations. Every access tallies, in thread-local
@@ -21,10 +25,29 @@
 //!   actually deploy is O(1) RMR" (experiment E13, the `real_rmr_table`
 //!   binary in `rmr-bench`).
 //!
-//! A third backend, [`Sched`](crate::sched::Sched), lives in
+//! A fourth backend, [`Sched`](crate::sched::Sched), lives in
 //! [`crate::sched`]: it routes every operation through a deterministic
 //! cooperative scheduler so the shipped lock code can be model-checked
 //! interleaving by interleaving (the `rmr-check` crate, experiment E14).
+//! Its weak-memory mode is the machine check behind every relaxed
+//! annotation in the workspace (DESIGN.md §13).
+//!
+//! # The ordering policy (DESIGN.md §5 and §13)
+//!
+//! Until PR 7 every operation was `SeqCst` — a blanket rule baked into the
+//! vocabulary. The vocabulary now takes an explicit [`Ordering`] per call,
+//! and every call site in the workspace annotates the *weakest ordering
+//! its proof obligation permits*, with the invariant argument written at
+//! the site and collected in DESIGN.md §13. The annotations are verified,
+//! not trusted: the `Sched` backend's weak-memory mode (per-task store
+//! buffers with nondeterministic flush points) re-runs the full `rmr-check`
+//! batteries over the relaxed code, and `WrongOrdering` mutants prove the
+//! batteries would catch a demotion of each load-bearing site.
+//!
+//! The RMR *accounting* is deliberately ordering-blind: [`Counting`]
+//! charges a read or an update identically whatever the annotation, so the
+//! E13/E17 acceptance proofs hold under any policy (pinned by a seeded
+//! property test in `rmr-bench`).
 //!
 //! # The cost models (must match `rmr-sim/src/cost.rs`)
 //!
@@ -60,20 +83,25 @@
 //! # Example
 //!
 //! ```
-//! use rmr_mutex::mem::{self, Backend, Counting, SharedWord};
+//! use rmr_mutex::mem::{self, Backend, Counting, Ordering, SharedWord};
 //!
 //! let w = <Counting as Backend>::Word::new(0);
 //! mem::set_thread_slot(3);
 //! mem::reset_thread_tally();
-//! w.fetch_add(1); // update by slot 3: CC RMR (not sole holder), DSM RMR (home is slot 0)
-//! let _ = w.load(); // sole holder now: cached, CC-free; still a DSM RMR
+//! // update by slot 3: CC RMR (not sole holder), DSM RMR (home is slot 0)
+//! w.fetch_add(1, Ordering::SeqCst);
+//! // sole holder now: cached, CC-free; still a DSM RMR — and the tally is
+//! // identical whatever ordering the call is annotated with
+//! let _ = w.load(Ordering::Relaxed);
 //! let t = mem::thread_tally();
 //! assert_eq!((t.cc, t.dsm, t.ops), (1, 2, 2));
 //! ```
 
 use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64};
+
+pub use std::sync::atomic::Ordering;
 
 /// Maximum number of concurrently measured threads under [`Counting`]
 /// (one bit per thread in each variable's cached-copy set, like
@@ -96,10 +124,10 @@ pub const DSM_HOME: usize = 0;
 /// `new_in(.., backend)` constructors let callers pick the backend by
 /// value without turbofish.
 ///
-/// All operations are sequentially consistent — the workspace-wide
-/// ordering policy (see `rmr-mutex`'s crate docs) is baked into the
-/// vocabulary rather than repeated at ~200 call sites, which is also the
-/// seam where per-site orderings could later be introduced in one place.
+/// Every operation takes an explicit [`Ordering`]; call sites annotate the
+/// weakest ordering their invariant argument permits (DESIGN.md §13), and
+/// the `Sched` backend's weak-memory mode verifies those arguments by
+/// model checking the relaxed code.
 pub trait Backend: Copy + Default + Send + Sync + 'static {
     /// A shared boolean (gates, permits, flags, lock slots).
     type Bool: SharedBool;
@@ -110,9 +138,20 @@ pub trait Backend: Copy + Default + Send + Sync + 'static {
 
     /// Short, stable name for reports ("native", "counting").
     const NAME: &'static str;
+
+    /// A memory fence with the given ordering, affecting this backend's
+    /// variables. For the std-atomic backends this is
+    /// `std::sync::atomic::fence`; the `Sched` backend routes it through
+    /// the scheduler (in weak-memory mode a `Release`-or-stronger fence
+    /// drains the calling task's store buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is `Relaxed` (like `std::sync::atomic::fence`).
+    fn fence(order: Ordering);
 }
 
-/// A shared atomic boolean; all operations are `SeqCst`.
+/// A shared atomic boolean; every operation takes an explicit [`Ordering`].
 pub trait SharedBool: Send + Sync + 'static {
     /// Creates the variable holding `value`.
     fn new(value: bool) -> Self
@@ -120,19 +159,28 @@ pub trait SharedBool: Send + Sync + 'static {
         Self: Sized;
 
     /// Atomic read.
-    fn load(&self) -> bool;
+    fn load(&self, order: Ordering) -> bool;
 
     /// Atomic write.
-    fn store(&self, value: bool);
+    fn store(&self, value: bool, order: Ordering);
 
     /// Atomic swap; returns the previous value.
-    fn swap(&self, value: bool) -> bool;
+    fn swap(&self, value: bool, order: Ordering) -> bool;
 
     /// Atomic compare-and-swap; `Ok(previous)` iff the exchange happened.
-    fn compare_exchange(&self, current: bool, new: bool) -> Result<bool, bool>;
+    /// `success`/`failure` follow the `std` contract (`failure` must not
+    /// be `Release` or `AcqRel`).
+    fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool>;
 }
 
-/// A shared atomic 64-bit word; all operations are `SeqCst`.
+/// A shared atomic 64-bit word; every operation takes an explicit
+/// [`Ordering`].
 pub trait SharedWord: Send + Sync + 'static {
     /// Creates the variable holding `value`.
     fn new(value: u64) -> Self
@@ -140,22 +188,30 @@ pub trait SharedWord: Send + Sync + 'static {
         Self: Sized;
 
     /// Atomic read.
-    fn load(&self) -> u64;
+    fn load(&self, order: Ordering) -> u64;
 
     /// Atomic write.
-    fn store(&self, value: u64);
+    fn store(&self, value: u64, order: Ordering);
 
     /// Atomic swap; returns the previous value.
-    fn swap(&self, value: u64) -> u64;
+    fn swap(&self, value: u64, order: Ordering) -> u64;
 
     /// Wrapping atomic fetch&add; returns the previous value.
-    fn fetch_add(&self, delta: u64) -> u64;
+    fn fetch_add(&self, delta: u64, order: Ordering) -> u64;
 
     /// Wrapping atomic fetch&subtract; returns the previous value.
-    fn fetch_sub(&self, delta: u64) -> u64;
+    fn fetch_sub(&self, delta: u64, order: Ordering) -> u64;
 
     /// Atomic compare-and-swap; `Ok(previous)` iff the exchange happened.
-    fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64>;
+    /// `success`/`failure` follow the `std` contract (`failure` must not
+    /// be `Release` or `AcqRel`).
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64>;
 }
 
 // ---------------------------------------------------------------------
@@ -163,7 +219,10 @@ pub trait SharedWord: Send + Sync + 'static {
 // ---------------------------------------------------------------------
 
 /// The production backend: transparent wrappers over `std::sync::atomic`,
-/// zero-cost after monomorphization. The default backend of every lock.
+/// zero-cost after monomorphization — each method is a single direct
+/// delegation that forwards its [`Ordering`] argument verbatim, so the
+/// per-site annotations reach the hardware unchanged. The default backend
+/// of every lock.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Native;
 
@@ -172,6 +231,11 @@ impl Backend for Native {
     type Word = NativeWord;
 
     const NAME: &'static str = "native";
+
+    #[inline]
+    fn fence(order: Ordering) {
+        std::sync::atomic::fence(order);
+    }
 }
 
 /// [`Native`]'s boolean: a `#[repr(transparent)]` `AtomicBool`.
@@ -186,23 +250,29 @@ impl SharedBool for NativeBool {
     }
 
     #[inline]
-    fn load(&self) -> bool {
-        self.0.load(Ordering::SeqCst)
+    fn load(&self, order: Ordering) -> bool {
+        self.0.load(order)
     }
 
     #[inline]
-    fn store(&self, value: bool) {
-        self.0.store(value, Ordering::SeqCst);
+    fn store(&self, value: bool, order: Ordering) {
+        self.0.store(value, order);
     }
 
     #[inline]
-    fn swap(&self, value: bool) -> bool {
-        self.0.swap(value, Ordering::SeqCst)
+    fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.0.swap(value, order)
     }
 
     #[inline]
-    fn compare_exchange(&self, current: bool, new: bool) -> Result<bool, bool> {
-        self.0.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.0.compare_exchange(current, new, success, failure)
     }
 }
 
@@ -218,32 +288,156 @@ impl SharedWord for NativeWord {
     }
 
     #[inline]
-    fn load(&self) -> u64 {
+    fn load(&self, order: Ordering) -> u64 {
+        self.0.load(order)
+    }
+
+    #[inline]
+    fn store(&self, value: u64, order: Ordering) {
+        self.0.store(value, order);
+    }
+
+    #[inline]
+    fn swap(&self, value: u64, order: Ordering) -> u64 {
+        self.0.swap(value, order)
+    }
+
+    #[inline]
+    fn fetch_add(&self, delta: u64, order: Ordering) -> u64 {
+        self.0.fetch_add(delta, order)
+    }
+
+    #[inline]
+    fn fetch_sub(&self, delta: u64, order: Ordering) -> u64 {
+        self.0.fetch_sub(delta, order)
+    }
+
+    #[inline]
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.0.compare_exchange(current, new, success, failure)
+    }
+}
+
+// ---------------------------------------------------------------------
+// SeqCstNative: the pre-relaxation policy as a selectable backend
+// ---------------------------------------------------------------------
+
+/// [`Native`] with every [`Ordering`] argument ignored and strengthened to
+/// `SeqCst` — the workspace's pre-PR-7 blanket policy, preserved as a
+/// backend so its cost is measurable rather than historical. The
+/// `uncontended_table` bench (E18) runs every lock once over [`Native`]
+/// (per-site orderings) and once over this backend (blanket `SeqCst`); the
+/// delta is what the relaxation bought on the host.
+///
+/// Semantically this backend is always correct wherever [`Native`] is:
+/// strengthening orderings never introduces behaviors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeqCstNative;
+
+impl Backend for SeqCstNative {
+    type Bool = SeqCstBool;
+    type Word = SeqCstWord;
+
+    const NAME: &'static str = "seqcst";
+
+    #[inline]
+    fn fence(order: Ordering) {
+        // Keep std's Relaxed panic, then strengthen.
+        assert!(order != Ordering::Relaxed, "there is no such thing as a relaxed fence");
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+}
+
+/// [`SeqCstNative`]'s boolean: a `#[repr(transparent)]` `AtomicBool`
+/// that upgrades every operation to `SeqCst`.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct SeqCstBool(AtomicBool);
+
+impl SharedBool for SeqCstBool {
+    #[inline]
+    fn new(value: bool) -> Self {
+        Self(AtomicBool::new(value))
+    }
+
+    #[inline]
+    fn load(&self, _order: Ordering) -> bool {
         self.0.load(Ordering::SeqCst)
     }
 
     #[inline]
-    fn store(&self, value: u64) {
+    fn store(&self, value: bool, _order: Ordering) {
         self.0.store(value, Ordering::SeqCst);
     }
 
     #[inline]
-    fn swap(&self, value: u64) -> u64 {
+    fn swap(&self, value: bool, _order: Ordering) -> bool {
         self.0.swap(value, Ordering::SeqCst)
     }
 
     #[inline]
-    fn fetch_add(&self, delta: u64) -> u64 {
+    fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.0.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+}
+
+/// [`SeqCstNative`]'s word: a `#[repr(transparent)]` `AtomicU64` that
+/// upgrades every operation to `SeqCst`.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct SeqCstWord(AtomicU64);
+
+impl SharedWord for SeqCstWord {
+    #[inline]
+    fn new(value: u64) -> Self {
+        Self(AtomicU64::new(value))
+    }
+
+    #[inline]
+    fn load(&self, _order: Ordering) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn store(&self, value: u64, _order: Ordering) {
+        self.0.store(value, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn swap(&self, value: u64, _order: Ordering) -> u64 {
+        self.0.swap(value, Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn fetch_add(&self, delta: u64, _order: Ordering) -> u64 {
         self.0.fetch_add(delta, Ordering::SeqCst)
     }
 
     #[inline]
-    fn fetch_sub(&self, delta: u64) -> u64 {
+    fn fetch_sub(&self, delta: u64, _order: Ordering) -> u64 {
         self.0.fetch_sub(delta, Ordering::SeqCst)
     }
 
     #[inline]
-    fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64> {
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<u64, u64> {
         self.0.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
     }
 }
@@ -255,6 +449,14 @@ impl SharedWord for NativeWord {
 /// The measurement backend: identical visible semantics to [`Native`],
 /// with every access charged to the calling thread's CC/DSM tallies as
 /// described in the module docs.
+///
+/// The accounting is **ordering-blind**: a read is a read and an update is
+/// an update whatever [`Ordering`] the call is annotated with (the RMR
+/// cost models predate the C++ memory model and charge coherence traffic,
+/// not fences), and the underlying atomics run `SeqCst` so the recorded
+/// semantics never depend on the annotation either. A seeded property
+/// test in `rmr-bench` pins this, keeping the E13/E17 acceptance proofs
+/// valid under any ordering policy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counting;
 
@@ -263,6 +465,13 @@ impl Backend for Counting {
     type Word = CountingWord;
 
     const NAME: &'static str = "counting";
+
+    #[inline]
+    fn fence(order: Ordering) {
+        // A fence is not a shared-memory access: no copy-set traffic, no
+        // tally. (Neither cost model charges for fences.)
+        std::sync::atomic::fence(order);
+    }
 }
 
 /// Per-thread measurement state: the claimed slot plus the running
@@ -378,6 +587,8 @@ impl CopySet {
 }
 
 /// [`Counting`]'s boolean: an `AtomicBool` plus its cached-copy set.
+/// Ordering arguments are ignored (see [`Counting`]): the accounting and
+/// the recorded value are both annotation-independent by construction.
 pub struct CountingBool {
     value: AtomicBool,
     copies: CopySet,
@@ -388,22 +599,28 @@ impl SharedBool for CountingBool {
         Self { value: AtomicBool::new(value), copies: CopySet::new() }
     }
 
-    fn load(&self) -> bool {
+    fn load(&self, _order: Ordering) -> bool {
         self.copies.read();
         self.value.load(Ordering::SeqCst)
     }
 
-    fn store(&self, value: bool) {
+    fn store(&self, value: bool, _order: Ordering) {
         self.copies.update();
         self.value.store(value, Ordering::SeqCst);
     }
 
-    fn swap(&self, value: bool) -> bool {
+    fn swap(&self, value: bool, _order: Ordering) -> bool {
         self.copies.update();
         self.value.swap(value, Ordering::SeqCst)
     }
 
-    fn compare_exchange(&self, current: bool, new: bool) -> Result<bool, bool> {
+    fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
         self.copies.update();
         self.value.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
     }
@@ -416,6 +633,7 @@ impl fmt::Debug for CountingBool {
 }
 
 /// [`Counting`]'s word: an `AtomicU64` plus its cached-copy set.
+/// Ordering arguments are ignored (see [`Counting`]).
 pub struct CountingWord {
     value: AtomicU64,
     copies: CopySet,
@@ -426,32 +644,38 @@ impl SharedWord for CountingWord {
         Self { value: AtomicU64::new(value), copies: CopySet::new() }
     }
 
-    fn load(&self) -> u64 {
+    fn load(&self, _order: Ordering) -> u64 {
         self.copies.read();
         self.value.load(Ordering::SeqCst)
     }
 
-    fn store(&self, value: u64) {
+    fn store(&self, value: u64, _order: Ordering) {
         self.copies.update();
         self.value.store(value, Ordering::SeqCst);
     }
 
-    fn swap(&self, value: u64) -> u64 {
+    fn swap(&self, value: u64, _order: Ordering) -> u64 {
         self.copies.update();
         self.value.swap(value, Ordering::SeqCst)
     }
 
-    fn fetch_add(&self, delta: u64) -> u64 {
+    fn fetch_add(&self, delta: u64, _order: Ordering) -> u64 {
         self.copies.update();
         self.value.fetch_add(delta, Ordering::SeqCst)
     }
 
-    fn fetch_sub(&self, delta: u64) -> u64 {
+    fn fetch_sub(&self, delta: u64, _order: Ordering) -> u64 {
         self.copies.update();
         self.value.fetch_sub(delta, Ordering::SeqCst)
     }
 
-    fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64> {
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<u64, u64> {
         self.copies.update();
         self.value.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
     }
@@ -466,6 +690,7 @@ impl fmt::Debug for CountingWord {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use Ordering::{Acquire, Relaxed, Release, SeqCst};
 
     /// Runs `f` with a clean slot/tally and returns the tally it produced.
     /// Serialized via the harness's per-test threads: each test body runs
@@ -484,32 +709,75 @@ mod tests {
         assert_eq!(align_of::<NativeBool>(), align_of::<AtomicBool>());
         assert_eq!(size_of::<NativeWord>(), size_of::<AtomicU64>());
         assert_eq!(align_of::<NativeWord>(), align_of::<AtomicU64>());
+        assert_eq!(size_of::<SeqCstBool>(), size_of::<AtomicBool>());
+        assert_eq!(size_of::<SeqCstWord>(), size_of::<AtomicU64>());
     }
 
     #[test]
     fn native_semantics_round_trip() {
         let b = NativeBool::new(false);
-        assert!(!b.swap(true));
-        assert!(b.load());
-        assert_eq!(b.compare_exchange(true, false), Ok(true));
-        assert_eq!(b.compare_exchange(true, false), Err(false));
+        assert!(!b.swap(true, Acquire));
+        assert!(b.load(Relaxed));
+        assert_eq!(b.compare_exchange(true, false, SeqCst, Relaxed), Ok(true));
+        assert_eq!(b.compare_exchange(true, false, Relaxed, Relaxed), Err(false));
 
         let w = NativeWord::new(5);
-        assert_eq!(w.fetch_add(2), 5);
-        assert_eq!(w.fetch_sub(1), 7);
-        assert_eq!(w.swap(0), 6);
-        w.store(9);
-        assert_eq!(w.compare_exchange(9, 10), Ok(9));
-        assert_eq!(w.load(), 10);
+        assert_eq!(w.fetch_add(2, Relaxed), 5);
+        assert_eq!(w.fetch_sub(1, SeqCst), 7);
+        assert_eq!(w.swap(0, Ordering::AcqRel), 6);
+        w.store(9, Release);
+        assert_eq!(w.compare_exchange(9, 10, Ordering::AcqRel, Acquire), Ok(9));
+        assert_eq!(w.load(Acquire), 10);
+    }
+
+    #[test]
+    fn seqcst_backend_matches_native_semantics() {
+        // Same results for the same single-threaded op sequence whatever
+        // the (ignored) annotations — the strengthened backend differs
+        // only in fencing, never in values.
+        let n = NativeWord::new(1);
+        let s = SeqCstWord::new(1);
+        assert_eq!(n.fetch_add(3, Relaxed), s.fetch_add(3, Relaxed));
+        assert_eq!(n.swap(7, Release), s.swap(7, Release));
+        assert_eq!(
+            n.compare_exchange(7, 9, Acquire, Relaxed),
+            s.compare_exchange(7, 9, Acquire, Relaxed)
+        );
+        assert_eq!(n.load(Relaxed), s.load(Relaxed));
+        let nb = NativeBool::new(false);
+        let sb = SeqCstBool::new(false);
+        assert_eq!(nb.swap(true, Relaxed), sb.swap(true, Relaxed));
+        assert_eq!(nb.load(Acquire), sb.load(Acquire));
+    }
+
+    #[test]
+    fn fences_execute() {
+        Native::fence(SeqCst);
+        Native::fence(Acquire);
+        Native::fence(Release);
+        SeqCstNative::fence(Acquire);
+        Counting::fence(SeqCst);
+    }
+
+    #[test]
+    #[should_panic]
+    fn relaxed_fence_panics() {
+        Native::fence(Relaxed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn seqcst_backend_relaxed_fence_panics() {
+        SeqCstNative::fence(Relaxed);
     }
 
     #[test]
     fn counting_cold_read_then_cached_reads() {
         let w = CountingWord::new(0);
         let t = tally_of(1, || {
-            let _ = w.load(); // cold miss
-            let _ = w.load(); // cached
-            let _ = w.load(); // cached
+            let _ = w.load(SeqCst); // cold miss
+            let _ = w.load(Acquire); // cached — annotation changes nothing
+            let _ = w.load(Relaxed); // cached
         });
         assert_eq!(t, Tally { cc: 1, dsm: 3, ops: 3 });
     }
@@ -518,18 +786,18 @@ mod tests {
     fn counting_update_invalidates_other_holders() {
         let w = CountingWord::new(0);
         let _ = tally_of(1, || {
-            let _ = w.load();
+            let _ = w.load(SeqCst);
         });
         // Slot 2 updates: invalidates slot 1's copy; slot 2 becomes sole
         // holder so its next update is free.
         let t2 = tally_of(2, || {
-            w.fetch_add(1);
-            w.fetch_add(1);
+            w.fetch_add(1, Relaxed);
+            w.fetch_add(1, SeqCst);
         });
         assert_eq!((t2.cc, t2.ops), (1, 2));
         // Slot 1 must re-fetch.
         let t1 = tally_of(1, || {
-            let _ = w.load();
+            let _ = w.load(SeqCst);
         });
         assert_eq!(t1.cc, 1);
     }
@@ -538,15 +806,15 @@ mod tests {
     fn counting_failed_cas_still_charges() {
         let w = CountingWord::new(7);
         let _ = tally_of(1, || {
-            let _ = w.load();
+            let _ = w.load(SeqCst);
         });
         let t = tally_of(2, || {
-            assert!(w.compare_exchange(99, 0).is_err());
+            assert!(w.compare_exchange(99, 0, SeqCst, Relaxed).is_err());
         });
         assert_eq!(t.cc, 1, "a failed CAS still performs the coherence transaction");
         // ... and it invalidated slot 1's copy, like the sim's model.
         let t1 = tally_of(1, || {
-            let _ = w.load();
+            let _ = w.load(SeqCst);
         });
         assert_eq!(t1.cc, 1);
     }
@@ -555,13 +823,13 @@ mod tests {
     fn counting_dsm_home_is_slot_zero() {
         let b = CountingBool::new(false);
         let home = tally_of(DSM_HOME, || {
-            b.store(true);
-            let _ = b.load();
+            b.store(true, Release);
+            let _ = b.load(Acquire);
         });
         assert_eq!(home.dsm, 0, "home accesses are DSM-free");
         let away = tally_of(3, || {
-            let _ = b.load();
-            let _ = b.load(); // every remote poll is charged
+            let _ = b.load(SeqCst);
+            let _ = b.load(SeqCst); // every remote poll is charged
         });
         assert_eq!(away.dsm, 2);
     }
@@ -569,10 +837,10 @@ mod tests {
     #[test]
     fn counting_bool_semantics_match_native() {
         let b = CountingBool::new(true);
-        assert!(b.load());
-        assert!(b.swap(false));
-        assert_eq!(b.compare_exchange(false, true), Ok(false));
-        assert_eq!(b.compare_exchange(false, true), Err(true));
+        assert!(b.load(SeqCst));
+        assert!(b.swap(false, SeqCst));
+        assert_eq!(b.compare_exchange(false, true, SeqCst, SeqCst), Ok(false));
+        assert_eq!(b.compare_exchange(false, true, SeqCst, SeqCst), Err(true));
     }
 
     #[test]
@@ -585,5 +853,6 @@ mod tests {
     fn backend_names() {
         assert_eq!(Native::NAME, "native");
         assert_eq!(Counting::NAME, "counting");
+        assert_eq!(SeqCstNative::NAME, "seqcst");
     }
 }

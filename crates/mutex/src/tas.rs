@@ -1,6 +1,6 @@
 //! Test-and-set and test-and-test-and-set locks (RMR-model baselines).
 
-use crate::mem::{Backend, Native, SharedBool};
+use crate::mem::{Backend, Native, Ordering, SharedBool};
 use crate::spin::SpinWait;
 use crate::RawMutex;
 use std::fmt;
@@ -49,7 +49,9 @@ impl<B: Backend> TasLock<B> {
 
     /// Attempts to acquire without waiting; `true` on success.
     pub fn try_lock(&self) -> bool {
-        !self.held.swap(true)
+        // Acquire: a successful swap must see every write released by the
+        // previous holder's unlock store before the critical section runs.
+        !self.held.swap(true, Ordering::Acquire)
     }
 }
 
@@ -58,19 +60,24 @@ impl<B: Backend> RawMutex for TasLock<B> {
 
     fn lock(&self) {
         let mut spin = SpinWait::new();
-        while self.held.swap(true) {
+        // Acquire on the winning swap pairs with the Release unlock store;
+        // losing iterations need no ordering, but the swap is one op.
+        while self.held.swap(true, Ordering::Acquire) {
             spin.spin();
         }
     }
 
     fn unlock(&self, (): ()) {
-        self.held.store(false);
+        // Release: publishes the critical section's writes to the next
+        // holder, whose Acquire swap synchronizes with this store.
+        self.held.store(false, Ordering::Release);
     }
 }
 
 impl<B: Backend> fmt::Debug for TasLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TasLock").field("held", &self.held.load()).finish()
+        // Diagnostic snapshot only; no synchronization rides on it.
+        f.debug_struct("TasLock").field("held", &self.held.load(Ordering::Relaxed)).finish()
     }
 }
 
@@ -132,7 +139,9 @@ impl<B: Backend> TtasLock<B> {
     /// lock.unlock(());
     /// ```
     pub fn try_lock(&self) -> bool {
-        !self.held.load() && !self.held.swap(true)
+        // The pre-check is a heuristic (Relaxed): correctness rides
+        // entirely on the Acquire swap that follows.
+        !self.held.load(Ordering::Relaxed) && !self.held.swap(true, Ordering::Acquire)
     }
 }
 
@@ -142,25 +151,31 @@ impl<B: Backend> RawMutex for TtasLock<B> {
     fn lock(&self) {
         let mut spin = SpinWait::new();
         loop {
-            // Local phase: spin on the cached value.
-            while self.held.load() {
+            // Local phase: spin on the cached value. Relaxed — a stale
+            // "free" only costs a futile swap attempt; a stale "held" only
+            // delays; the Acquire swap below carries the synchronization.
+            while self.held.load(Ordering::Relaxed) {
                 spin.spin();
             }
-            // Global phase: one RMW attempt.
-            if !self.held.swap(true) {
+            // Global phase: one RMW attempt. Acquire pairs with the
+            // Release unlock store of the previous holder.
+            if !self.held.swap(true, Ordering::Acquire) {
                 return;
             }
         }
     }
 
     fn unlock(&self, (): ()) {
-        self.held.store(false);
+        // Release: publishes the critical section's writes to the next
+        // holder's Acquire swap.
+        self.held.store(false, Ordering::Release);
     }
 }
 
 impl<B: Backend> fmt::Debug for TtasLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TtasLock").field("held", &self.held.load()).finish()
+        // Diagnostic snapshot only; no synchronization rides on it.
+        f.debug_struct("TtasLock").field("held", &self.held.load(Ordering::Relaxed)).finish()
     }
 }
 

@@ -1,6 +1,6 @@
 //! Ticket (Lamport bakery-style counter) lock.
 
-use crate::mem::{Backend, Native, SharedWord};
+use crate::mem::{Backend, Native, Ordering, SharedWord};
 use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::RawMutex;
@@ -57,7 +57,7 @@ impl<B: Backend> TicketLock<B> {
 
     /// Number of lock acquisitions completed or in progress. Diagnostic.
     pub fn tickets_issued(&self) -> u64 {
-        self.next_ticket.load()
+        self.next_ticket.load(Ordering::Relaxed)
     }
 }
 
@@ -65,21 +65,29 @@ impl<B: Backend> RawMutex for TicketLock<B> {
     type Token = TicketToken;
 
     fn lock(&self) -> TicketToken {
-        let ticket = self.next_ticket.fetch_add(1);
-        spin_until(|| self.now_serving.load() == ticket);
+        // Relaxed: the ticket draw only needs the counter's own atomicity
+        // (unique, ordered tickets); all happens-before for the critical
+        // section comes from the now_serving Acquire/Release pair.
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        // Acquire: observing our ticket synchronizes with the previous
+        // holder's Release unlock, making its CS writes visible.
+        spin_until(|| self.now_serving.load(Ordering::Acquire) == ticket);
         TicketToken { ticket }
     }
 
     fn unlock(&self, token: TicketToken) {
-        self.now_serving.store(token.ticket.wrapping_add(1));
+        // Release: publishes the critical section's writes to the waiter
+        // whose Acquire load observes the new serving number.
+        self.now_serving.store(token.ticket.wrapping_add(1), Ordering::Release);
     }
 }
 
 impl<B: Backend> fmt::Debug for TicketLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Diagnostic snapshot only; no synchronization rides on it.
         f.debug_struct("TicketLock")
-            .field("next_ticket", &self.next_ticket.load())
-            .field("now_serving", &self.now_serving.load())
+            .field("next_ticket", &self.next_ticket.load(Ordering::Relaxed))
+            .field("now_serving", &self.now_serving.load(Ordering::Relaxed))
             .finish()
     }
 }

@@ -17,8 +17,12 @@
 //!
 //! Shared state: a global epoch counter `G` (starts at 1), the current
 //! payload pointer `P`, and one cache-padded epoch slot per pid in the
-//! lock's [`PidRegistry`] (0 = empty). All operations are sequentially
-//! consistent.
+//! lock's [`PidRegistry`] (0 = empty). The accesses that carry the
+//! grace-period argument — the reader's epoch publish and payload load,
+//! the writer's payload swap, epoch bump, and table scan (sites SW-PUB,
+//! SW-LOAD, SW-SWAP, SW-BUMP, SW-SCAN in DESIGN.md §13) — are `SeqCst`;
+//! everything else (the initial epoch read, lock-protected accesses,
+//! diagnostics) is relaxed, with the justification at each site.
 //!
 //! *Reader pin* ([`Snapshot::load`]):
 //!
@@ -127,7 +131,7 @@ use rmr_core::mwmr::MwmrStarvationFree;
 use rmr_core::raw::RawRwLock;
 use rmr_core::registry::{Pid, PidRegistry};
 use rmr_core::rwlock::{lease_pid, release_pid, PidSource};
-use rmr_mutex::mem::{Backend, Native, SharedWord};
+use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedWord};
 use rmr_mutex::spin_until;
 use std::fmt;
 use std::marker::PhantomData;
@@ -342,10 +346,21 @@ where
     /// the epoch once (see the module docs for why this order is the
     /// exclusion linchpin).
     fn pin(&self, pid: Pid) -> (*const T, u64) {
-        let mut e = self.epoch.load();
+        // Relaxed: G is monotone, so a stale read here only publishes a
+        // lower epoch, which over-pins — safe (module docs). The ordering
+        // the proof needs starts at the publish below.
+        let mut e = self.epoch.load(MemOrdering::Relaxed);
+        // `publish_epoch` is SeqCst (site SW-PUB, in the registry).
         self.registry.publish_epoch(pid, e);
-        let mut p = self.payload.load();
-        let e2 = self.epoch.load();
+        // Site SW-LOAD: the load half of the reader's publish-then-load
+        // SB square. SeqCst keeps it after the publish in the single
+        // total order — a writer's scan that misses the publication must
+        // imply this load sees the post-swap payload.
+        let mut p = self.payload.load(MemOrdering::SeqCst);
+        // SeqCst re-check: ordered after the payload load, so it cannot
+        // miss the bump of an install whose payload we just observed —
+        // that is what bounds a guard's over-pin to one epoch of slack.
+        let e2 = self.epoch.load(MemOrdering::SeqCst);
         if e2 != e {
             // An install landed mid-pin. Our published epoch is merely
             // stale (it over-pins, which is safe); republish the fresh
@@ -353,7 +368,7 @@ where
             // reclamation beyond one round. Exactly one bounded retry:
             // wait-freedom does not depend on writers pausing.
             self.registry.publish_epoch(pid, e2);
-            p = self.payload.load();
+            p = self.payload.load(MemOrdering::SeqCst); // site SW-LOAD again
             e = e2;
         }
         (p as *const T, e)
@@ -368,7 +383,9 @@ where
         // SAFETY: we hold the write lock, so no other writer can swap or
         // retire the current payload out from under us; readers never
         // mutate it.
-        let current = unsafe { &*(self.payload.load() as *const T) };
+        // Relaxed: the last swap was performed under this same lock, so
+        // the lock handoff already ordered it before this load.
+        let current = unsafe { &*(self.payload.load(MemOrdering::Relaxed) as *const T) };
         let next = f(current);
         self.install(next);
         self.lock.write_unlock(pid, token);
@@ -384,8 +401,13 @@ where
     /// Swap-and-retire, under the caller's write session.
     fn install(&self, next: T) {
         let new_ptr = Box::into_raw(Box::new(next)) as u64;
-        let old = self.payload.swap(new_ptr);
-        let r = self.epoch.fetch_add(1) + 1;
+        // Site SW-SWAP: the store half of the writer's swap-then-scan SB
+        // square — SeqCst so the grace scan below is ordered after it.
+        let old = self.payload.swap(new_ptr, MemOrdering::SeqCst);
+        // Site SW-BUMP: SeqCst keeps the bump between the swap and the
+        // scan in the total order; a reader's re-check that sees the new
+        // payload must also be able to see the bumped epoch.
+        let r = self.epoch.fetch_add(1, MemOrdering::SeqCst) + 1;
         self.swaps.fetch_add(1, Ordering::Relaxed);
 
         let pending = {
@@ -467,7 +489,8 @@ where
 
     /// The current global epoch (= number of installs + 1).
     pub fn current_epoch(&self) -> u64 {
-        self.epoch.load()
+        // Diagnostic snapshot only.
+        self.epoch.load(MemOrdering::Relaxed)
     }
 
     /// Total installs ([`Snapshot::update`] + [`Snapshot::store`]).
@@ -565,8 +588,10 @@ where
 {
     fn drop(&mut self) {
         // `&mut self` proves no guard is alive (guards borrow the
-        // snapshot), so the current payload and every retiree are ours.
-        let current = self.payload.load();
+        // snapshot), so the current payload and every retiree are ours —
+        // Relaxed: whatever synchronization delivered `&mut` ordered all
+        // prior swaps before us.
+        let current = self.payload.load(MemOrdering::Relaxed);
         // SAFETY: `current` came from `Box::into_raw` and nothing pins it.
         unsafe { drop(Box::from_raw(current as *mut T)) };
         let retired = self.retired.get_mut().expect("retired list poisoned");
@@ -585,7 +610,7 @@ where
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Snapshot")
-            .field("epoch", &self.epoch.load())
+            .field("epoch", &self.epoch.load(MemOrdering::Relaxed))
             .field("swaps", &self.swaps.load(Ordering::Relaxed))
             .field("capacity", &self.registry.capacity())
             .finish_non_exhaustive()

@@ -27,6 +27,7 @@ use rmrw::sim::machine::{Algorithm, Phase, Role};
 use rmrw::sim::rng::SplitMix64;
 use rmrw::sim::runner::{Config, RoundRobin, Runner};
 use std::collections::HashSet;
+use std::sync::atomic::Ordering;
 
 const CASES: u64 = 64;
 
@@ -58,30 +59,34 @@ fn packed_faa_matches_reference_model() {
             // when the algorithms would never issue them.
             match rng.gen_index(4) {
                 0 => {
-                    let old = cell.add_reader();
+                    let old = cell.add_reader(Ordering::AcqRel);
                     assert_eq!(old, Packed::new(writer, readers), "seed {seed:#x}");
                     readers += 1;
                 }
                 1 if readers > 0 => {
-                    let old = cell.sub_reader();
+                    let old = cell.sub_reader(Ordering::AcqRel);
                     assert_eq!(old, Packed::new(writer, readers), "seed {seed:#x}");
                     readers -= 1;
                 }
                 2 if !writer => {
-                    let old = cell.add_writer();
+                    let old = cell.add_writer(Ordering::AcqRel);
                     assert_eq!(old, Packed::new(false, readers), "seed {seed:#x}");
                     writer = true;
                 }
                 3 if writer => {
-                    let old = cell.sub_writer();
+                    let old = cell.sub_writer(Ordering::AcqRel);
                     assert_eq!(old, Packed::new(true, readers), "seed {seed:#x}");
                     writer = false;
                 }
                 _ => {}
             }
-            assert_eq!(cell.load(), Packed::new(writer, readers), "seed {seed:#x}");
-            assert_eq!(cell.load().writer_waiting(), writer, "seed {seed:#x}");
-            assert_eq!(cell.load().reader_count(), readers, "seed {seed:#x}");
+            assert_eq!(
+                cell.load(Ordering::Acquire),
+                Packed::new(writer, readers),
+                "seed {seed:#x}"
+            );
+            assert_eq!(cell.load(Ordering::Acquire).writer_waiting(), writer, "seed {seed:#x}");
+            assert_eq!(cell.load(Ordering::Acquire).reader_count(), readers, "seed {seed:#x}");
         }
     }
 }

@@ -79,11 +79,13 @@ use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::{Pid, PidRegistry};
 use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedWord};
 use rmr_mutex::{spin, CachePadded};
+use rmr_obs::{Event, Metric, NoopRecorder, Recorder};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::future::Future;
 use std::ops::{Deref, DerefMut};
 use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
 use std::task::{Context, Poll};
 
 /// An async reader-writer lock over any raw lock `L`, generic over the
@@ -112,13 +114,20 @@ use std::task::{Context, Poll};
 ///     assert_eq!(*lock.read().await, 1);
 /// });
 /// ```
-pub struct AsyncRwLock<T: ?Sized, L, B: Backend = Native> {
+pub struct AsyncRwLock<T: ?Sized, L, B: Backend = Native, R: Recorder = NoopRecorder> {
     raw: L,
     registry: PidRegistry,
     table: WakerTable<B>,
     /// Currently held async read guards; the 1 → 0 transition wakes
     /// parked writers.
     readers: CachePadded<B::Word>,
+    /// Passages reported here; inert by default ([`AsyncRwLock::with_recorder`]).
+    recorder: R,
+    /// `recorder.now()` at the latest wake scan — the subtrahend for
+    /// [`Metric::WakeToGrantNs`]. A plain `std` atomic (never `B`-typed):
+    /// recorder-private state must stay invisible to the `Counting`
+    /// backend and the `Sched` explorer alike.
+    wake_ts: CachePadded<AtomicU64>,
     data: UnsafeCell<T>,
 }
 
@@ -126,8 +135,14 @@ pub struct AsyncRwLock<T: ?Sized, L, B: Backend = Native> {
 // guarantees `&mut T` never coexists with any other access and `&T` only
 // with other `&T`; the parking layer never hands out access, it only
 // schedules retries.
-unsafe impl<T: ?Sized + Send, L: RawRwLock, B: Backend> Send for AsyncRwLock<T, L, B> {}
-unsafe impl<T: ?Sized + Send + Sync, L: RawRwLock, B: Backend> Sync for AsyncRwLock<T, L, B> {}
+unsafe impl<T: ?Sized + Send, L: RawRwLock, B: Backend, R: Recorder> Send
+    for AsyncRwLock<T, L, B, R>
+{
+}
+unsafe impl<T: ?Sized + Send + Sync, L: RawRwLock, B: Backend, R: Recorder> Sync
+    for AsyncRwLock<T, L, B, R>
+{
+}
 
 impl<T, L: RawRwLock> AsyncRwLock<T, L> {
     /// Wraps `value` behind `raw` over the [`Native`] backend, sizing the
@@ -177,8 +192,22 @@ impl<T, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
             registry: PidRegistry::new(capacity),
             table: WakerTable::new(capacity),
             readers: CachePadded::new(B::Word::new(0)),
+            recorder: NoopRecorder,
+            wake_ts: CachePadded::new(AtomicU64::new(0)),
             data: UnsafeCell::new(value),
         }
+    }
+}
+
+impl<T, L: RawRwLock, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
+    /// Re-types the lock to report every passage — acquires, releases,
+    /// parks, wakes, cancellations, wake-to-grant latency — to
+    /// `recorder`. Pass an `Arc<StatsRecorder>` and keep a clone for
+    /// reading; with the default [`NoopRecorder`] every hook const-folds
+    /// away.
+    pub fn with_recorder<R2: Recorder>(self, recorder: R2) -> AsyncRwLock<T, L, B, R2> {
+        let Self { raw, registry, table, readers, recorder: _, wake_ts, data } = self;
+        AsyncRwLock { raw, registry, table, readers, recorder, wake_ts, data }
     }
 
     /// Consumes the lock, returning the protected value.
@@ -187,10 +216,15 @@ impl<T, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
     }
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
+impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
     /// The underlying raw lock.
     pub fn raw(&self) -> &L {
         &self.raw
+    }
+
+    /// The recorder passages are reported to.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
     /// Mutable access without locking — safe because `&mut self` proves
@@ -250,7 +284,7 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
         })
     }
 
-    fn finish_read(&self, pid: Pid, token: L::ReadToken) -> AsyncReadGuard<'_, T, L, B> {
+    fn finish_read(&self, pid: Pid, token: L::ReadToken) -> AsyncReadGuard<'_, T, L, B, R> {
         // SeqCst: this counter's 1 → 0 edge (in the guard drop) gates a
         // wake_all scan, the same lost-wakeup square as AS-COUNT; keep
         // both ends of the guard count in the total order.
@@ -261,17 +295,44 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
         // reader. The window is closed now, so re-poll any parked
         // readers; the common case is one load of a zero counter.
         if self.table.parked_readers() > 0 {
-            self.table.wake_readers();
+            self.wake_scan(pid.index(), WakerTable::wake_readers);
         }
         AsyncReadGuard { lock: self, pid, token: Some(token) }
     }
 
-    fn finish_write(&self, pid: Pid, token: L::WriteToken) -> AsyncWriteGuard<'_, T, L, B> {
+    fn finish_write(&self, pid: Pid, token: L::WriteToken) -> AsyncWriteGuard<'_, T, L, B, R> {
         AsyncWriteGuard { lock: self, pid, token: Some(token) }
+    }
+
+    /// Runs one wake scan, stamping [`Self::wake_ts`] first (so a woken
+    /// future can attribute its grant) and crediting the delivered
+    /// wake-ups to `pid`.
+    fn wake_scan(&self, pid: usize, scan: impl FnOnce(&WakerTable<B>) -> usize) {
+        if R::ENABLED {
+            self.wake_ts.store(self.recorder.now(), StdOrdering::Relaxed);
+        }
+        let woken = scan(&self.table);
+        if R::ENABLED && woken > 0 {
+            self.recorder.add(pid, Event::AsyncWake, woken as u64);
+        }
+    }
+
+    /// Records one granted (future-completing) acquisition: the acquire
+    /// event, its latency since the future's first poll, and — when the
+    /// future had parked — the wake-to-grant latency.
+    fn grant_obs(&self, pid: usize, write: bool, t0: u64, parked: bool) {
+        let now = self.recorder.now();
+        self.recorder.count(pid, if write { Event::WriteAcquire } else { Event::ReadAcquire });
+        let metric = if write { Metric::WriteAcquireNs } else { Metric::ReadAcquireNs };
+        self.recorder.record(pid, metric, now.saturating_sub(t0));
+        if parked {
+            let woke = self.wake_ts.load(StdOrdering::Relaxed);
+            self.recorder.record(pid, Metric::WakeToGrantNs, now.saturating_sub(woke));
+        }
     }
 }
 
-impl<T: ?Sized, L: RawTryReadLock, B: Backend> AsyncRwLock<T, L, B> {
+impl<T: ?Sized, L: RawTryReadLock, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
     /// Acquires the lock for reading, suspending (never spinning) while a
     /// writer is in the way.
     ///
@@ -283,16 +344,21 @@ impl<T: ?Sized, L: RawTryReadLock, B: Backend> AsyncRwLock<T, L, B> {
     ///
     /// The future's first poll panics if the lock's capacity is
     /// exhausted (more concurrent acquisitions than `max_processes()`).
-    pub fn read(&self) -> AsyncRead<'_, T, L, B> {
-        AsyncRead { lock: self, pid: None, done: false }
+    pub fn read(&self) -> AsyncRead<'_, T, L, B, R> {
+        AsyncRead { lock: self, pid: None, done: false, parked: false, t0: 0 }
     }
 
     /// Attempts to acquire the lock for reading without blocking or
     /// suspending — one bounded attempt, exactly [`RawTryReadLock`]'s.
     #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
-    pub fn try_read(&self) -> Option<AsyncReadGuard<'_, T, L, B>> {
+    pub fn try_read(&self) -> Option<AsyncReadGuard<'_, T, L, B, R>> {
         let pid = self.registry.allocate().ok()?;
-        match self.raw.try_read_lock(pid) {
+        let token = self.raw.try_read_lock(pid);
+        if R::ENABLED {
+            let ev = if token.is_some() { Event::TryReadOk } else { Event::TryReadFail };
+            self.recorder.count(pid.index(), ev);
+        }
+        match token {
             Some(token) => Some(self.finish_read(pid, token)),
             None => {
                 self.registry.release(pid);
@@ -302,7 +368,7 @@ impl<T: ?Sized, L: RawTryReadLock, B: Backend> AsyncRwLock<T, L, B> {
     }
 }
 
-impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend> AsyncRwLock<T, L, B> {
+impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
     /// Acquires the lock for writing, suspending while readers or another
     /// writer are in the way.
     ///
@@ -319,16 +385,21 @@ impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend> AsyncRwLock<T, L, 
     /// let lock = AsyncRwLock::with_raw(0u32, MwmrStarvationFree::new(2));
     /// let _ = lock.write(); // ERROR: MwmrStarvationFree is not RawTryRwLock
     /// ```
-    pub fn write(&self) -> AsyncWrite<'_, T, L, B> {
-        AsyncWrite { lock: self, pid: None, done: false }
+    pub fn write(&self) -> AsyncWrite<'_, T, L, B, R> {
+        AsyncWrite { lock: self, pid: None, done: false, parked: false, t0: 0 }
     }
 
     /// Attempts to acquire the lock for writing without blocking or
     /// suspending.
     #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
-    pub fn try_write(&self) -> Option<AsyncWriteGuard<'_, T, L, B>> {
+    pub fn try_write(&self) -> Option<AsyncWriteGuard<'_, T, L, B, R>> {
         let pid = self.registry.allocate().ok()?;
-        match self.raw.try_write_lock(pid) {
+        let token = self.raw.try_write_lock(pid);
+        if R::ENABLED {
+            let ev = if token.is_some() { Event::TryWriteOk } else { Event::TryWriteFail };
+            self.recorder.count(pid.index(), ev);
+        }
+        match token {
             Some(token) => Some(self.finish_write(pid, token)),
             None => {
                 self.registry.release(pid);
@@ -338,7 +409,7 @@ impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend> AsyncRwLock<T, L, 
     }
 }
 
-impl<T: ?Sized, L: RawMultiWriter, B: Backend> AsyncRwLock<T, L, B> {
+impl<T: ?Sized, L: RawMultiWriter, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
     /// Acquires the lock for writing by *blocking* (the raw lock's own
     /// spin, under a yield-first [`park hint`](rmr_mutex::spin::with_park_hint)).
     ///
@@ -347,14 +418,20 @@ impl<T: ?Sized, L: RawMultiWriter, B: Backend> AsyncRwLock<T, L, B> {
     /// `spawn_blocking`-style offload, never from inside a future. The
     /// returned guard is the ordinary [`AsyncWriteGuard`], so its drop
     /// wakes parked async readers exactly like `write().await`'s.
-    pub fn write_blocking(&self) -> AsyncWriteGuard<'_, T, L, B> {
+    pub fn write_blocking(&self) -> AsyncWriteGuard<'_, T, L, B, R> {
         let pid = self.allocate_pid();
+        let t0 = if R::ENABLED { self.recorder.now() } else { 0 };
         let token = spin::with_park_hint(std::thread::yield_now, || self.raw.write_lock(pid));
+        if R::ENABLED {
+            self.grant_obs(pid.index(), true, t0, false);
+        }
         self.finish_write(pid, token)
     }
 }
 
-impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncRwLock<T, L, B> {
+impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend, R: Recorder> fmt::Debug
+    for AsyncRwLock<T, L, B, R>
+{
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Deliberately does not read `data` (would need the lock).
         f.debug_struct("AsyncRwLock")
@@ -373,26 +450,44 @@ impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncRwLoc
 /// Future of [`AsyncRwLock::read`]. One bounded attempt per poll; parks
 /// the waker (and retries once) on failure.
 #[must_use = "futures do nothing unless polled"]
-pub struct AsyncRead<'l, T: ?Sized, L: RawRwLock, B: Backend> {
-    lock: &'l AsyncRwLock<T, L, B>,
+pub struct AsyncRead<'l, T: ?Sized, L: RawRwLock, B: Backend, R: Recorder = NoopRecorder> {
+    lock: &'l AsyncRwLock<T, L, B, R>,
     /// Leased on first poll; consumed by the guard on success, returned
     /// by Drop on cancellation.
     pid: Option<Pid>,
     done: bool,
+    /// Whether this future ever returned `Pending` — a granted parked
+    /// future records its wake-to-grant latency.
+    parked: bool,
+    /// `recorder.now()` at the first poll (0 when inert).
+    t0: u64,
 }
 
-impl<'l, T: ?Sized, L: RawTryReadLock, B: Backend> Future for AsyncRead<'l, T, L, B> {
-    type Output = AsyncReadGuard<'l, T, L, B>;
+impl<'l, T: ?Sized, L: RawTryReadLock, B: Backend, R: Recorder> Future
+    for AsyncRead<'l, T, L, B, R>
+{
+    type Output = AsyncReadGuard<'l, T, L, B, R>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
         assert!(!this.done, "AsyncRead polled after completion");
         let lock = this.lock;
-        let pid = *this.pid.get_or_insert_with(|| lock.allocate_pid());
+        let pid = match this.pid {
+            Some(pid) => pid,
+            None => {
+                if R::ENABLED {
+                    this.t0 = lock.recorder.now();
+                }
+                *this.pid.insert(lock.allocate_pid())
+            }
+        };
         if let Some(token) = lock.raw.try_read_lock(pid) {
             lock.table.deregister(pid.index());
             this.pid = None;
             this.done = true;
+            if R::ENABLED {
+                lock.grant_obs(pid.index(), false, this.t0, this.parked);
+            }
             return Poll::Ready(lock.finish_read(pid, token));
         }
         lock.table.register(pid.index(), WaitKind::Reader, cx.waker());
@@ -403,13 +498,20 @@ impl<'l, T: ?Sized, L: RawTryReadLock, B: Backend> Future for AsyncRead<'l, T, L
             lock.table.deregister(pid.index());
             this.pid = None;
             this.done = true;
+            if R::ENABLED {
+                lock.grant_obs(pid.index(), false, this.t0, this.parked);
+            }
             return Poll::Ready(lock.finish_read(pid, token));
         }
+        if R::ENABLED {
+            lock.recorder.count(pid.index(), Event::AsyncPark);
+        }
+        this.parked = true;
         Poll::Pending
     }
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncRead<'_, T, L, B> {
+impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> Drop for AsyncRead<'_, T, L, B, R> {
     fn drop(&mut self) {
         if let Some(pid) = self.pid.take() {
             // Cancelled mid-acquisition: the failed bounded attempt
@@ -417,11 +519,14 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncRead<'_, T, L, B> {
             // the pid lease remain.
             self.lock.table.deregister(pid.index());
             self.lock.registry.release(pid);
+            if R::ENABLED {
+                self.lock.recorder.count(pid.index(), Event::AsyncCancel);
+            }
         }
     }
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncRead<'_, T, L, B> {
+impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> fmt::Debug for AsyncRead<'_, T, L, B, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AsyncRead").field("pid", &self.pid).field("done", &self.done).finish()
     }
@@ -430,26 +535,39 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncRead<'_, T, L, B> 
 /// Future of [`AsyncRwLock::write`]. Same protocol as [`AsyncRead`] with
 /// the writer wait kind.
 #[must_use = "futures do nothing unless polled"]
-pub struct AsyncWrite<'l, T: ?Sized, L: RawRwLock, B: Backend> {
-    lock: &'l AsyncRwLock<T, L, B>,
+pub struct AsyncWrite<'l, T: ?Sized, L: RawRwLock, B: Backend, R: Recorder = NoopRecorder> {
+    lock: &'l AsyncRwLock<T, L, B, R>,
     pid: Option<Pid>,
     done: bool,
+    parked: bool,
+    t0: u64,
 }
 
-impl<'l, T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend> Future
-    for AsyncWrite<'l, T, L, B>
+impl<'l, T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend, R: Recorder> Future
+    for AsyncWrite<'l, T, L, B, R>
 {
-    type Output = AsyncWriteGuard<'l, T, L, B>;
+    type Output = AsyncWriteGuard<'l, T, L, B, R>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
         assert!(!this.done, "AsyncWrite polled after completion");
         let lock = this.lock;
-        let pid = *this.pid.get_or_insert_with(|| lock.allocate_pid());
+        let pid = match this.pid {
+            Some(pid) => pid,
+            None => {
+                if R::ENABLED {
+                    this.t0 = lock.recorder.now();
+                }
+                *this.pid.insert(lock.allocate_pid())
+            }
+        };
         if let Some(token) = lock.raw.try_write_lock(pid) {
             lock.table.deregister(pid.index());
             this.pid = None;
             this.done = true;
+            if R::ENABLED {
+                lock.grant_obs(pid.index(), true, this.t0, this.parked);
+            }
             return Poll::Ready(lock.finish_write(pid, token));
         }
         lock.table.register(pid.index(), WaitKind::Writer, cx.waker());
@@ -457,22 +575,32 @@ impl<'l, T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend> Future
             lock.table.deregister(pid.index());
             this.pid = None;
             this.done = true;
+            if R::ENABLED {
+                lock.grant_obs(pid.index(), true, this.t0, this.parked);
+            }
             return Poll::Ready(lock.finish_write(pid, token));
         }
+        if R::ENABLED {
+            lock.recorder.count(pid.index(), Event::AsyncPark);
+        }
+        this.parked = true;
         Poll::Pending
     }
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncWrite<'_, T, L, B> {
+impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> Drop for AsyncWrite<'_, T, L, B, R> {
     fn drop(&mut self) {
         if let Some(pid) = self.pid.take() {
             self.lock.table.deregister(pid.index());
             self.lock.registry.release(pid);
+            if R::ENABLED {
+                self.lock.recorder.count(pid.index(), Event::AsyncCancel);
+            }
         }
     }
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncWrite<'_, T, L, B> {
+impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> fmt::Debug for AsyncWrite<'_, T, L, B, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AsyncWrite").field("pid", &self.pid).field("done", &self.done).finish()
     }
@@ -492,13 +620,13 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncWrite<'_, T, L, B>
 /// that pid. Futures holding a guard across an `.await` can therefore
 /// migrate threads.
 #[must_use = "dropping the guard immediately releases the read lock"]
-pub struct AsyncReadGuard<'l, T: ?Sized, L: RawRwLock, B: Backend> {
-    lock: &'l AsyncRwLock<T, L, B>,
+pub struct AsyncReadGuard<'l, T: ?Sized, L: RawRwLock, B: Backend, R: Recorder = NoopRecorder> {
+    lock: &'l AsyncRwLock<T, L, B, R>,
     pid: Pid,
     token: Option<L::ReadToken>,
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend> Deref for AsyncReadGuard<'_, T, L, B> {
+impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> Deref for AsyncReadGuard<'_, T, L, B, R> {
     type Target = T;
 
     fn deref(&self) -> &T {
@@ -508,10 +636,13 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> Deref for AsyncReadGuard<'_, T, L, B> 
     }
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncReadGuard<'_, T, L, B> {
+impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> Drop for AsyncReadGuard<'_, T, L, B, R> {
     fn drop(&mut self) {
         let token = self.token.take().expect("read token taken twice");
         self.lock.raw.read_unlock(self.pid, token);
+        if R::ENABLED {
+            self.lock.recorder.count(self.pid.index(), Event::ReadRelease);
+        }
         // Raw release first, then the wake: a woken waiter's attempt must
         // be able to succeed. Only the last reader out scans — and it
         // wakes *everyone*, not just writers: a reader parked behind
@@ -521,13 +652,15 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncReadGuard<'_, T, L, B> {
         // all — it must be ordered after the raw release above and
         // before the wake scan's skip checks (the AS-COUNT square).
         if self.lock.readers.fetch_sub(1, MemOrdering::SeqCst) == 1 {
-            self.lock.table.wake_all();
+            self.lock.wake_scan(self.pid.index(), WakerTable::wake_all);
         }
         self.lock.registry.release(self.pid);
     }
 }
 
-impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncReadGuard<'_, T, L, B> {
+impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend, R: Recorder> fmt::Debug
+    for AsyncReadGuard<'_, T, L, B, R>
+{
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("AsyncReadGuard").field(&&**self).finish()
     }
@@ -539,13 +672,13 @@ impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncReadG
 ///
 /// `Send` for the same reason as [`AsyncReadGuard`].
 #[must_use = "dropping the guard immediately releases the write lock"]
-pub struct AsyncWriteGuard<'l, T: ?Sized, L: RawRwLock, B: Backend> {
-    lock: &'l AsyncRwLock<T, L, B>,
+pub struct AsyncWriteGuard<'l, T: ?Sized, L: RawRwLock, B: Backend, R: Recorder = NoopRecorder> {
+    lock: &'l AsyncRwLock<T, L, B, R>,
     pid: Pid,
     token: Option<L::WriteToken>,
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend> Deref for AsyncWriteGuard<'_, T, L, B> {
+impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> Deref for AsyncWriteGuard<'_, T, L, B, R> {
     type Target = T;
 
     fn deref(&self) -> &T {
@@ -554,23 +687,30 @@ impl<T: ?Sized, L: RawRwLock, B: Backend> Deref for AsyncWriteGuard<'_, T, L, B>
     }
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend> DerefMut for AsyncWriteGuard<'_, T, L, B> {
+impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> DerefMut
+    for AsyncWriteGuard<'_, T, L, B, R>
+{
     fn deref_mut(&mut self) -> &mut T {
         // SAFETY: this write session excludes all other access.
         unsafe { &mut *self.lock.data.get() }
     }
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend> Drop for AsyncWriteGuard<'_, T, L, B> {
+impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> Drop for AsyncWriteGuard<'_, T, L, B, R> {
     fn drop(&mut self) {
         let token = self.token.take().expect("write token taken twice");
         self.lock.raw.write_unlock(self.pid, token);
-        self.lock.table.wake_all();
+        if R::ENABLED {
+            self.lock.recorder.count(self.pid.index(), Event::WriteRelease);
+        }
+        self.lock.wake_scan(self.pid.index(), WakerTable::wake_all);
         self.lock.registry.release(self.pid);
     }
 }
 
-impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend> fmt::Debug for AsyncWriteGuard<'_, T, L, B> {
+impl<T: fmt::Debug + ?Sized, L: RawRwLock, B: Backend, R: Recorder> fmt::Debug
+    for AsyncWriteGuard<'_, T, L, B, R>
+{
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("AsyncWriteGuard").field(&&**self).finish()
     }

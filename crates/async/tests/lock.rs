@@ -265,6 +265,55 @@ fn guards_are_send() {
 }
 
 #[test]
+fn recorder_sees_parks_wakes_grants_and_cancels() {
+    use rmr_obs::{Event, Metric, StatsRecorder};
+    let rec = Arc::new(StatsRecorder::new(8));
+    let lock =
+        Arc::new(AsyncRwLock::with_raw(0u64, TicketRwLock::new(8)).with_recorder(Arc::clone(&rec)));
+
+    // Uncontended passages: acquire/release counts and latency samples,
+    // no parks, no wakes.
+    block_on(async {
+        *lock.write().await += 1;
+        assert_eq!(*lock.read().await, 1);
+    });
+    assert_eq!(rec.counter(Event::WriteAcquire), 1);
+    assert_eq!(rec.counter(Event::WriteRelease), 1);
+    assert_eq!(rec.counter(Event::ReadAcquire), 1);
+    assert_eq!(rec.counter(Event::ReadRelease), 1);
+    assert_eq!(rec.samples(Metric::WriteAcquireNs), 1);
+    assert_eq!(rec.counter(Event::AsyncPark), 0);
+    assert_eq!(rec.counter(Event::AsyncWake), 0);
+
+    // A reader parked behind a held writer: park, then wake + grant with
+    // a wake-to-grant latency sample.
+    let wg = block_on(lock.write());
+    let l2 = Arc::clone(&lock);
+    let reader = std::thread::spawn(move || block_on(async { *l2.read().await }));
+    let mut waited = 0;
+    while lock.parked_readers() == 0 && waited < 2_000 {
+        std::thread::sleep(Duration::from_millis(1));
+        waited += 1;
+    }
+    assert_eq!(lock.parked_readers(), 1);
+    assert!(rec.counter(Event::AsyncPark) >= 1, "the parked reader must be counted");
+    drop(wg);
+    assert_eq!(reader.join().unwrap(), 1);
+    assert!(rec.counter(Event::AsyncWake) >= 1, "the write release woke the reader");
+    assert_eq!(rec.samples(Metric::WakeToGrantNs), 1, "one parked grant, one latency sample");
+
+    // A cancelled pending future is an AsyncCancel, not an acquire.
+    let wg = block_on(lock.write());
+    {
+        let mut fut = pin!(lock.read());
+        assert!(poll_once(fut.as_mut()).is_pending());
+    }
+    drop(wg);
+    assert_eq!(rec.counter(Event::AsyncCancel), 1);
+    assert!(lock.is_quiescent());
+}
+
+#[test]
 fn debug_formats() {
     let lock = ticket_lock(9);
     assert!(format!("{lock:?}").contains("AsyncRwLock"));

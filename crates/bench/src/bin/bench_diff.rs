@@ -28,6 +28,16 @@
 //!   deltas stay visible in the table). Uncontended `ns_per_op` drift is
 //!   *reported* but not gated: single-thread nanosecond latencies on a
 //!   shared CI runner are too noisy to block on.
+//! * **p99 latency regression** (schema v3) — the `latency` rows carry
+//!   log-bucket p50/p99 acquire latencies from the instrumented `@obs`
+//!   runs. The p99 column is gated with the same normalized >30% rule,
+//!   direction flipped (lower is better), under its *own* host factor
+//!   (nanoseconds scale inversely to ops/sec, so the throughput factor
+//!   cannot be reused). The buckets are octaves, so a single-bucket tail
+//!   jump (+100%) trips the gate by construction — a p99 that moved a
+//!   whole bucket while the rest of the fleet held still is exactly the
+//!   tail regression the section exists to catch. p50 drift is reported
+//!   via the table but not gated.
 //!
 //! Treat a red gate on new hardware as a prompt to refresh the
 //! trajectory, per BENCH_SCHEMA.md.
@@ -113,13 +123,22 @@ struct Row {
 /// infrastructure failure, not a perf regression).
 fn rows_of(blob: &Json, path: &str) -> Vec<Row> {
     let mut rows = Vec::new();
-    for (section, key_field, metric_field) in
-        [("throughput", "read_pct", "ops_per_sec"), ("uncontended", "op", "ns_per_op")]
-    {
-        let entries = blob.get(section).and_then(Json::as_array).unwrap_or_else(|| {
-            eprintln!("{path}: missing `{section}` array");
-            std::process::exit(2);
-        });
+    for (section, key_field, metric_field) in [
+        ("throughput", "read_pct", "ops_per_sec"),
+        ("uncontended", "op", "ns_per_op"),
+        ("latency", "op", "p99_ns"),
+    ] {
+        let entries = match blob.get(section).and_then(Json::as_array) {
+            Some(entries) => entries,
+            // `latency` arrived with schema v3; tolerate its absence so
+            // the binary can still diff a pair of pre-v3 blobs (the
+            // schema equality check upstream keeps mixed pairs out).
+            None if section == "latency" => continue,
+            None => {
+                eprintln!("{path}: missing `{section}` array");
+                std::process::exit(2);
+            }
+        };
         for entry in entries {
             let lock = entry.get("lock").and_then(Json::as_str);
             let key = entry.get(key_field).map(|k| match k {
@@ -176,16 +195,26 @@ fn main() -> ExitCode {
             .map(|r| r.metric)
     };
 
-    // The host factor: the median fresh/committed throughput ratio. A
-    // uniformly slower (or faster) host moves every row by this factor;
-    // the gate fires on rows that fall substantially below it.
-    let mut ratios: Vec<f64> = committed_rows
-        .iter()
-        .filter(|r| r.section == "throughput")
-        .filter_map(|r| Some(find(r.section, &r.lock, &r.key)? / r.metric))
-        .collect();
-    ratios.sort_by(|a, b| a.total_cmp(b));
-    let host_factor = if ratios.is_empty() { 1.0 } else { ratios[ratios.len() / 2] };
+    // The host factor: the median fresh/committed ratio within a
+    // section. A uniformly slower (or faster) host moves every row by
+    // this factor; the gate fires on rows that diverge substantially
+    // from it. Latency (nanoseconds, scales inversely to ops/sec) gets
+    // its own factor rather than reusing the throughput one.
+    let factor_for = |section: &str| {
+        let mut ratios: Vec<f64> = committed_rows
+            .iter()
+            .filter(|r| r.section == section)
+            .filter_map(|r| Some(find(r.section, &r.lock, &r.key)? / r.metric))
+            .collect();
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        if ratios.is_empty() {
+            1.0
+        } else {
+            ratios[ratios.len() / 2]
+        }
+    };
+    let host_factor = factor_for("throughput");
+    let latency_factor = factor_for("latency");
 
     let mut table = Table::new(&[
         ("section", "section"),
@@ -206,34 +235,42 @@ fn main() -> ExitCode {
                     (String::new(), String::new(), String::new(), "MISSING")
                 }
                 Some(metric) => {
+                    let factor =
+                        if row.section == "latency" { latency_factor } else { host_factor };
                     let delta = (metric / row.metric - 1.0) * 100.0;
-                    let normalized = (metric / (row.metric * host_factor) - 1.0) * 100.0;
+                    let normalized = (metric / (row.metric * factor) - 1.0) * 100.0;
                     // Throughput: higher is better, gate on normalized
-                    // drops. The uncontended latency rows are report-only
-                    // (see module docs).
-                    let status =
-                        if row.section == "throughput" && -normalized > args.max_regress_pct {
-                            failures.push(format!(
-                                "{}/{}/{}: {:.0} -> {:.0} ops/s ({normalized:+.1}% vs the host \
-                             factor {host_factor:.2}, gate {:.0}%)",
-                                row.section,
-                                row.lock,
-                                row.key,
-                                row.metric,
-                                metric,
-                                args.max_regress_pct
-                            ));
-                            "REGRESSED"
-                        } else {
-                            "ok"
-                        };
+                    // drops. Latency (p99): lower is better, gate on
+                    // normalized rises. The uncontended rows are
+                    // report-only (see module docs).
+                    let gated = match row.section {
+                        "throughput" => -normalized > args.max_regress_pct,
+                        "latency" => normalized > args.max_regress_pct,
+                        _ => false,
+                    };
+                    let status = if gated {
+                        let unit = if row.section == "throughput" { "ops/s" } else { "ns p99" };
+                        failures.push(format!(
+                            "{}/{}/{}: {:.0} -> {:.0} {unit} ({normalized:+.1}% vs the host \
+                             factor {factor:.2}, gate {:.0}%)",
+                            row.section,
+                            row.lock,
+                            row.key,
+                            row.metric,
+                            metric,
+                            args.max_regress_pct
+                        ));
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
                     (
                         format!("{metric:.1}"),
                         format!("{delta:+.1}%"),
-                        if row.section == "throughput" {
-                            format!("{normalized:+.1}%")
-                        } else {
+                        if row.section == "uncontended" {
                             String::new()
+                        } else {
+                            format!("{normalized:+.1}%")
                         },
                         status,
                     )

@@ -22,7 +22,10 @@ use rmr_bravo::Bravo;
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
 use rmr_core::raw::RawRwLock;
 use rmr_core::registry::Pid;
+use rmr_core::swmr::SwmrWriterPriority;
+use rmr_core::Observed;
 use rmr_mutex::mem::SeqCstNative;
+use rmr_obs::{Metric, StatsRecorder};
 use rmr_swap::{RetireEager, Snapshot};
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,8 +34,12 @@ use std::time::Instant;
 /// the **best rep** (max over the timed repetitions), not the pooled
 /// rate — one descheduled rep on a noisy host no longer halves a row,
 /// which is what makes the `bench_diff` trajectory gate stable enough to
-/// block CI on.
-const SCHEMA: &str = "rmr-bench-summary/v2";
+/// block CI on. v3: `@obs` twin rows (the same tiers instrumented with a
+/// live `StatsRecorder`, so the trajectory tracks what observability
+/// costs — the `@seqcst` pattern applied to the rmr-obs tier) and the
+/// `latency` array (log-bucket p50/p99 acquire latencies from the
+/// instrumented contended runs; `bench_diff` gates the p99 column).
+const SCHEMA: &str = "rmr-bench-summary/v3";
 const SEED: u64 = 0xBEEF;
 const THREADS: usize = 4;
 
@@ -50,6 +57,44 @@ struct UncontendedEntry {
     lock: &'static str,
     op: &'static str,
     ns_per_op: f64,
+}
+
+struct LatencyEntry {
+    lock: &'static str,
+    op: &'static str,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// The best-rep rule applied to tails: one quantile per *rep* (each rep
+/// gets a fresh recorder), keeping the minimum across reps. A pooled
+/// histogram lets a single descheduled rep own the p99 forever, and the
+/// log buckets are octaves — one such rep flips a gated row by +100%.
+/// The per-rep minimum is the same envelope `ops_per_sec` already uses:
+/// the best the lock demonstrably achieves, which is the stable quantity
+/// a trajectory can diff.
+struct LatencyMin {
+    p50: u64,
+    p99: u64,
+}
+
+impl LatencyMin {
+    fn new() -> Self {
+        Self { p50: u64::MAX, p99: u64::MAX }
+    }
+
+    fn absorb(&mut self, rec: &StatsRecorder, metric: Metric) {
+        if rec.samples(metric) == 0 {
+            return; // e.g. the 100%-read snapshot mix never grace-scans
+        }
+        self.p50 = self.p50.min(rec.quantile(metric, 0.50));
+        self.p99 = self.p99.min(rec.quantile(metric, 0.99));
+    }
+
+    fn push(self, out: &mut Vec<LatencyEntry>, lock: &'static str, op: &'static str) {
+        assert!(self.p99 != u64::MAX, "{lock}/{op}: no rep recorded a latency sample");
+        out.push(LatencyEntry { lock, op, p50_ns: self.p50, p99_ns: self.p99 });
+    }
 }
 
 /// The schema-v2 aggregation rule, in one place: one warm-up run (which
@@ -200,6 +245,79 @@ fn main() {
         tp.push(ThroughputEntry { lock: "swap-snapshot", read_pct, ops, ops_per_sec: best });
     }
 
+    // The `@obs` twins (E19): the same tiers instrumented with a live
+    // `StatsRecorder`, following the `@seqcst` twin-row pattern — the
+    // gap between a row and its twin is what observability costs, and a
+    // hook that quietly lands on a fast path shows up as the `@obs` gap
+    // widening across PRs. Each timed rep gets a fresh recorder; the
+    // per-rep histograms feed the best-rep latency envelope below.
+    let mut lat: Vec<LatencyEntry> = Vec::new();
+    let (mut bravo_read, mut bravo_write) = (LatencyMin::new(), LatencyMin::new());
+    for read_pct in [50.0f64, 90.0, 99.0] {
+        let workload = Workload { threads: THREADS, read_ratio: read_pct / 100.0, ops_per_thread };
+        let run = |rec: &Arc<StatsRecorder>| {
+            let lock = Observed::new(Bravo::new(TicketRwLock::new(THREADS)), Arc::clone(rec));
+            run_mixed(Arc::new(lock), workload, SEED)
+        };
+        run(&Arc::new(StatsRecorder::new(THREADS))); // warm-up
+        let (mut ops, mut best) = (0u64, 0f64);
+        for _ in 0..reps {
+            let rec = Arc::new(StatsRecorder::new(THREADS));
+            let res = run(&rec);
+            ops = res.ops;
+            best = best.max(res.ops_per_sec());
+            bravo_read.absorb(&rec, Metric::ReadAcquireNs);
+            bravo_write.absorb(&rec, Metric::WriteAcquireNs);
+        }
+        tp.push(ThroughputEntry { lock: "bravo-ticket-rw@obs", read_pct, ops, ops_per_sec: best });
+    }
+    bravo_read.push(&mut lat, "bravo-ticket-rw@obs", "read");
+    bravo_write.push(&mut lat, "bravo-ticket-rw@obs", "write");
+    let (mut async_read, mut async_write) = (LatencyMin::new(), LatencyMin::new());
+    for read_pct in [50.0f64, 90.0, 99.0] {
+        let workload = Workload { threads: THREADS, read_ratio: read_pct / 100.0, ops_per_thread };
+        let run = |rec: &Arc<StatsRecorder>| {
+            let lock = AsyncRwLock::with_raw(0u64, TicketRwLock::new(THREADS))
+                .with_recorder(Arc::clone(rec));
+            run_async_mixed(Arc::new(lock), workload, SEED)
+        };
+        run(&Arc::new(StatsRecorder::new(THREADS))); // warm-up
+        let (mut ops, mut best) = (0u64, 0f64);
+        for _ in 0..reps {
+            let rec = Arc::new(StatsRecorder::new(THREADS));
+            let res = run(&rec);
+            ops = res.ops;
+            best = best.max(res.ops_per_sec());
+            async_read.absorb(&rec, Metric::ReadAcquireNs);
+            async_write.absorb(&rec, Metric::WriteAcquireNs);
+        }
+        tp.push(ThroughputEntry { lock: "async-ticket-rw@obs", read_pct, ops, ops_per_sec: best });
+    }
+    async_read.push(&mut lat, "async-ticket-rw@obs", "read");
+    async_write.push(&mut lat, "async-ticket-rw@obs", "write");
+    // The snapshot tier has no acquire path; its tail-latency story is
+    // the writer's grace scan, reported under the `grace-scan` op.
+    let mut swap_scan = LatencyMin::new();
+    for read_pct in [99.0f64, 99.9, 100.0] {
+        let workload = Workload { threads: THREADS, read_ratio: read_pct / 100.0, ops_per_thread };
+        let run = |rec: &Arc<StatsRecorder>| {
+            let snap = Snapshot::with_raw(0u64, MwmrStarvationFree::new(THREADS), RetireEager)
+                .with_recorder(Arc::clone(rec));
+            run_snapshot_read_mostly(Arc::new(snap), workload, SEED)
+        };
+        run(&Arc::new(StatsRecorder::new(THREADS))); // warm-up
+        let (mut ops, mut best) = (0u64, 0f64);
+        for _ in 0..reps {
+            let rec = Arc::new(StatsRecorder::new(THREADS));
+            let res = run(&rec);
+            ops = res.ops;
+            best = best.max(res.ops_per_sec());
+            swap_scan.absorb(&rec, Metric::GraceScanNs);
+        }
+        tp.push(ThroughputEntry { lock: "swap-snapshot@obs", read_pct, ops, ops_per_sec: best });
+    }
+    swap_scan.push(&mut lat, "swap-snapshot@obs", "grace-scan");
+
     let mut un: Vec<UncontendedEntry> = Vec::new();
     uncontended(&mut un, "fig3-starvation-free", &MwmrStarvationFree::new(4), iters);
     uncontended(&mut un, "fig3-reader-priority", &MwmrReaderPriority::new(4), iters);
@@ -234,6 +352,27 @@ fn main() {
         &DistributedFlagRwLock::new_in(4, SeqCstNative),
         iters,
     );
+    // The `@obs` twins for the single-thread constants, where a stray
+    // nanosecond is most visible. fig1 is single-writer, so the paper's
+    // flagship lock lives here rather than in the multi-writer mixed
+    // workload; its bare row lands alongside the twin so the pair is
+    // diffable in one place. The twins run a *live* `StatsRecorder` —
+    // the NoopRecorder build is bit-identical to the bare rows by
+    // construction (obs_table proves it op-for-op over `Counting`), so a
+    // noop twin would just re-measure the base row.
+    uncontended(&mut un, "fig1-swmr-wp", &SwmrWriterPriority::new(), iters);
+    uncontended(
+        &mut un,
+        "fig1-swmr-wp@obs",
+        &Observed::new(SwmrWriterPriority::new(), Arc::new(StatsRecorder::new(4))),
+        iters,
+    );
+    uncontended(
+        &mut un,
+        "bravo-ticket-rw@obs",
+        &Observed::new(Bravo::new(TicketRwLock::new(4)), Arc::new(StatsRecorder::new(4))),
+        iters,
+    );
 
     // One blob, hand-rolled (the workspace carries no serialization dep).
     println!("{{");
@@ -261,6 +400,18 @@ fn main() {
             json_string(e.op),
             e.ns_per_op,
             if i + 1 == un.len() { "" } else { "," }
+        );
+    }
+    println!("  ],");
+    println!("  \"latency\": [");
+    for (i, e) in lat.iter().enumerate() {
+        println!(
+            "    {{\"lock\": {}, \"op\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{}",
+            json_string(e.lock),
+            json_string(e.op),
+            e.p50_ns,
+            e.p99_ns,
+            if i + 1 == lat.len() { "" } else { "," }
         );
     }
     println!("  ]");

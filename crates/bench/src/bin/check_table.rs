@@ -24,6 +24,7 @@ use rmr_check::harness::{
     CheckReport, Scenario, Trial,
 };
 use rmr_check::litmus::litmus_suite;
+use rmr_check::obs::{guard_balance_trial, obs_recorder, park_wake_trial};
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
 use rmr_core::swmr::{SwmrReaderPriority, SwmrWriterPriority};
 use rmr_mutex::sched::MemoryModel;
@@ -238,6 +239,39 @@ fn main() {
             )
         };
         reports.extend(run_modes("async-cancel", big, None, &budgets));
+    }
+
+    // The observability batteries (rmr-check::obs): instrumented locks
+    // where the recorder's own numbers join the post-run oracle — the
+    // counter ledger must balance exactly against the scenario, and the
+    // drained deterministic trace must keep park/wake causality closed
+    // (every park later granted or cancelled, ring lossless). Rows are
+    // named `obs/*` so coverage is visible here like `/sb` and
+    // `litmus/*`.
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            guard_balance_trial(
+                MwmrStarvationFree::new_in(3, Sched),
+                Scenario::new(2, 1, 2),
+                obs_recorder(4, 256),
+            )
+        };
+        reports.extend(run_modes("obs/guard-balance", big, None, &budgets));
+    }
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            let lock = Arc::new(
+                AsyncRwLock::with_raw_and_capacity_in(
+                    (),
+                    rmr_baselines::TicketRwLock::new_in(8, Sched),
+                    8,
+                    Sched,
+                )
+                .with_recorder(obs_recorder(8, 1024)),
+            );
+            park_wake_trial(lock, Scenario::new(2, 1, 2))
+        };
+        reports.extend(run_modes("obs/park-wake", big, None, &budgets));
     }
 
     // The weak-memory re-run: the same trials under the store-buffer

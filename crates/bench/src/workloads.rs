@@ -6,6 +6,7 @@ use rmr_async::exec::block_on;
 use rmr_async::lock::AsyncRwLock;
 use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
+use rmr_obs::Recorder;
 use rmr_sim::rng::SplitMix64;
 use rmr_swap::{RetirePolicy, Snapshot};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -149,14 +150,15 @@ pub fn run_read_mostly<L: RawRwLock + 'static>(
 /// snapshots unconditionally. The payload is the counter itself, so the
 /// lost-update check is the final snapshot's value. Panics on lost
 /// updates like [`run_mixed`].
-pub fn run_snapshot_read_mostly<L, P>(
-    snap: Arc<Snapshot<u64, L, P>>,
+pub fn run_snapshot_read_mostly<L, P, R>(
+    snap: Arc<Snapshot<u64, L, P, rmr_mutex::mem::Native, R>>,
     workload: Workload,
     seed: u64,
 ) -> WorkloadResult
 where
     L: RawRwLock + 'static,
     P: RetirePolicy,
+    R: Recorder + 'static,
 {
     assert!(workload.threads <= snap.capacity());
     let writes_done = Arc::new(AtomicU64::new(0));
@@ -196,13 +198,14 @@ where
 /// parking and wake-up machinery is on the measured path. Requires the
 /// full non-blocking tier (`write().await` needs [`RawTryRwLock`]).
 /// Panics on lost updates like [`run_mixed`].
-pub fn run_async_mixed<L>(
-    lock: Arc<AsyncRwLock<u64, L>>,
+pub fn run_async_mixed<L, R>(
+    lock: Arc<AsyncRwLock<u64, L, rmr_mutex::mem::Native, R>>,
     workload: Workload,
     seed: u64,
 ) -> WorkloadResult
 where
     L: RawTryRwLock + RawMultiWriter + 'static,
+    R: Recorder + 'static,
 {
     assert!(workload.threads <= lock.max_processes());
     let writes_done = Arc::new(AtomicU64::new(0));
@@ -242,13 +245,14 @@ where
 /// [`AsyncRwLock::write_blocking`] — the designated-writer shape a
 /// service over these locks would actually deploy. Panics on lost
 /// updates.
-pub fn run_async_read_mostly<L>(
-    lock: Arc<AsyncRwLock<u64, L>>,
+pub fn run_async_read_mostly<L, R>(
+    lock: Arc<AsyncRwLock<u64, L, rmr_mutex::mem::Native, R>>,
     workload: Workload,
     seed: u64,
 ) -> WorkloadResult
 where
     L: RawTryReadLock + RawMultiWriter + 'static,
+    R: Recorder + 'static,
 {
     assert!(workload.threads <= lock.max_processes());
     let writes_done = Arc::new(AtomicU64::new(0));

@@ -109,6 +109,7 @@ use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
 use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedBool, SharedWord};
 use rmr_mutex::{spin_until, CachePadded};
+use rmr_obs::{Event, NoopRecorder, Recorder};
 use std::fmt;
 
 /// An empty visible-readers slot; published slots hold `pid + 1`.
@@ -188,8 +189,15 @@ impl<T> fmt::Debug for BravoReadToken<T> {
 /// has it, and (crucially for the typed front end) [`RawMultiWriter`]
 /// **only** where `L` is one — wrapping a single-writer algorithm keeps
 /// `RwLock::write()` a compile error.
-pub struct Bravo<L, B: Backend = Native> {
+/// The third type parameter is an `rmr-obs` [`Recorder`] (default:
+/// inert [`NoopRecorder`], hooks const-fold away). With a live recorder
+/// ([`Bravo::with_recorder`]) every passage reports which path it took
+/// ([`Event::BravoFastRead`] / [`Event::BravoSlowRead`]) plus the
+/// policy transitions ([`Event::BravoRevoke`] / [`Event::BravoRebias`]) —
+/// the wrapper's bias effectiveness becomes directly measurable.
+pub struct Bravo<L, B: Backend = Native, R: Recorder = NoopRecorder> {
     inner: L,
+    recorder: R,
     /// The bias word: readers may use the table iff set.
     rbias: B::Bool,
     /// Slow reads since construction; drives the counter re-bias policy.
@@ -225,12 +233,35 @@ impl<L: RawRwLock, B: Backend> Bravo<L, B> {
         let slots = config.table_slots.max(1).next_power_of_two();
         Self {
             inner,
+            recorder: NoopRecorder,
             rbias: B::Bool::new(config.initial_bias),
             slow_reads: B::Word::new(0),
             revocations: B::Word::new(0),
             slots: (0..slots).map(|_| CachePadded::new(B::Word::new(EMPTY))).collect(),
             rebias_after: u64::from(config.rebias_after),
         }
+    }
+}
+
+impl<L: RawRwLock, B: Backend, R: Recorder> Bravo<L, B, R> {
+    /// Replaces the wrapper's recorder, re-typing the wrapper — see the
+    /// struct docs. Builder-style because the recorder is a type
+    /// parameter (that is what lets disabled hooks const-fold away).
+    pub fn with_recorder<R2: Recorder>(self, recorder: R2) -> Bravo<L, B, R2> {
+        Bravo {
+            inner: self.inner,
+            recorder,
+            rbias: self.rbias,
+            slow_reads: self.slow_reads,
+            revocations: self.revocations,
+            slots: self.slots,
+            rebias_after: self.rebias_after,
+        }
+    }
+
+    /// The wrapper's recorder (the default is the inert [`NoopRecorder`]).
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
     /// The wrapped lock.
@@ -317,10 +348,11 @@ impl<L: RawRwLock, B: Backend> Bravo<L, B> {
 
     /// The counter re-bias policy. Must only be called while holding the
     /// inner read lock: that is what guarantees no writer is inside its
-    /// critical section at the instant the bias switches back on.
-    fn note_slow_read(&self) {
+    /// critical section at the instant the bias switches back on. Returns
+    /// whether this read restored the bias (the observability hook).
+    fn note_slow_read(&self) -> bool {
         if self.rebias_after == 0 {
-            return;
+            return false;
         }
         // Relaxed: the counter is a policy heuristic, not a synchronizer.
         let n = self.slow_reads.fetch_add(1, MemOrdering::Relaxed) + 1;
@@ -330,19 +362,22 @@ impl<L: RawRwLock, B: Backend> Bravo<L, B> {
             // and a correct inner lock's read-unlock → write-lock handoff
             // is itself a happens-before edge that carries this store.
             self.rbias.store(true, MemOrdering::Relaxed);
+            return true;
         }
+        false
     }
 
     /// Writer-side bias revocation: clear the bias word, then scan the
     /// table and wait for every published reader to drain. Must be called
-    /// while holding the inner write lock.
-    fn revoke(&self) {
+    /// while holding the inner write lock. Returns whether a revocation
+    /// actually happened (the observability hook).
+    fn revoke(&self) -> bool {
         // Relaxed: the bias was last set by a slow reader holding the
         // inner read lock (or retained from init), and we hold the inner
         // write lock — the inner handoff already ordered that store
         // before this load.
         if !self.rbias.load(MemOrdering::Relaxed) {
-            return;
+            return false;
         }
         // Site BR-CLEAR: the writer's half of the revocation SB square.
         // MUST be SeqCst, not Release — a buffered (reordered-late) clear
@@ -358,19 +393,29 @@ impl<L: RawRwLock, B: Backend> Bravo<L, B> {
         }
         // Diagnostics only.
         self.revocations.fetch_add(1, MemOrdering::Relaxed);
+        true
     }
 }
 
-impl<L: RawRwLock, B: Backend> RawRwLock for Bravo<L, B> {
+impl<L: RawRwLock, B: Backend, R: Recorder> RawRwLock for Bravo<L, B, R> {
     type ReadToken = BravoReadToken<L::ReadToken>;
     type WriteToken = L::WriteToken;
 
     fn read_lock(&self, pid: Pid) -> Self::ReadToken {
         if let Some(slot) = self.try_fast_read(pid) {
+            if R::ENABLED {
+                self.recorder.count(pid.index(), Event::BravoFastRead);
+            }
             return BravoReadToken { path: ReadPath::Fast { slot } };
         }
         let token = self.inner.read_lock(pid);
-        self.note_slow_read();
+        let rebiased = self.note_slow_read();
+        if R::ENABLED {
+            self.recorder.count(pid.index(), Event::BravoSlowRead);
+            if rebiased {
+                self.recorder.count(pid.index(), Event::BravoRebias);
+            }
+        }
         BravoReadToken { path: ReadPath::Slow(token) }
     }
 
@@ -388,7 +433,10 @@ impl<L: RawRwLock, B: Backend> RawRwLock for Bravo<L, B> {
 
     fn write_lock(&self, pid: Pid) -> Self::WriteToken {
         let token = self.inner.write_lock(pid);
-        self.revoke();
+        let revoked = self.revoke();
+        if R::ENABLED && revoked {
+            self.recorder.count(pid.index(), Event::BravoRevoke);
+        }
         token
     }
 
@@ -405,20 +453,29 @@ impl<L: RawRwLock, B: Backend> RawRwLock for Bravo<L, B> {
 // (`write_lock` is inner-first); the wrapper only adds readers that every
 // writer drains before entering. So `Bravo<L>` excludes concurrent writers
 // exactly when `L` does.
-unsafe impl<L: RawMultiWriter, B: Backend> RawMultiWriter for Bravo<L, B> {}
+unsafe impl<L: RawMultiWriter, B: Backend, R: Recorder> RawMultiWriter for Bravo<L, B, R> {}
 
-impl<L: RawTryReadLock, B: Backend> RawTryReadLock for Bravo<L, B> {
+impl<L: RawTryReadLock, B: Backend, R: Recorder> RawTryReadLock for Bravo<L, B, R> {
     fn try_read_lock(&self, pid: Pid) -> Option<Self::ReadToken> {
         if let Some(slot) = self.try_fast_read(pid) {
+            if R::ENABLED {
+                self.recorder.count(pid.index(), Event::BravoFastRead);
+            }
             return Some(BravoReadToken { path: ReadPath::Fast { slot } });
         }
         let token = self.inner.try_read_lock(pid)?;
-        self.note_slow_read();
+        let rebiased = self.note_slow_read();
+        if R::ENABLED {
+            self.recorder.count(pid.index(), Event::BravoSlowRead);
+            if rebiased {
+                self.recorder.count(pid.index(), Event::BravoRebias);
+            }
+        }
         Some(BravoReadToken { path: ReadPath::Slow(token) })
     }
 }
 
-impl<L: RawTryRwLock, B: Backend> RawTryRwLock for Bravo<L, B> {
+impl<L: RawTryRwLock, B: Backend, R: Recorder> RawTryRwLock for Bravo<L, B, R> {
     /// Bounded write attempt: inner `try_write_lock`, then a **one-shot**
     /// revocation — clear the bias and scan the table once, without
     /// waiting. An all-empty scan proves no fast reader can be inside
@@ -457,7 +514,7 @@ impl<L: RawTryRwLock, B: Backend> RawTryRwLock for Bravo<L, B> {
     }
 }
 
-impl<L: RawRwLock, B: Backend> fmt::Debug for Bravo<L, B> {
+impl<L: RawRwLock, B: Backend, R: Recorder> fmt::Debug for Bravo<L, B, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Bravo")
             .field("bias", &self.bias())
@@ -682,6 +739,63 @@ mod tests {
         let t = lock.read_lock(pid(0));
         lock.read_unlock(pid(0), t);
         assert!(mem::thread_tally().ops > 0, "slow path must go through the inner lock");
+    }
+
+    #[test]
+    fn instrumented_steady_state_still_performs_zero_inner_lock_ops() {
+        // Tentpole acceptance criterion: attach a live StatsRecorder and
+        // the biased read passage must STILL score zero inner-lock
+        // operations (and zero CC RMRs) — the recorder writes only to the
+        // calling pid's own cache-padded slot via plain std atomics,
+        // which the Counting backend does not (and must not) see.
+        use rmr_obs::StatsRecorder;
+        let rec = Arc::new(StatsRecorder::new(8));
+        let lock: Bravo<TicketRwLock<Counting>, Native, Arc<StatsRecorder>> =
+            Bravo::new_in(TicketRwLock::new_in(4, Counting), BravoConfig::default(), Native)
+                .with_recorder(Arc::clone(&rec));
+        mem::set_thread_slot(1);
+        let t = lock.read_lock(pid(0));
+        assert!(t.is_fast());
+        lock.read_unlock(pid(0), t);
+
+        mem::reset_thread_tally();
+        for _ in 0..100 {
+            let t = lock.read_lock(pid(0));
+            lock.read_unlock(pid(0), t);
+        }
+        let tally = mem::thread_tally();
+        assert_eq!(tally.ops, 0, "instrumentation leaked onto the inner lock: {tally:?}");
+        assert_eq!(tally.cc, 0, "instrumentation cost CC RMRs: {tally:?}");
+        assert_eq!(rec.counter(Event::BravoFastRead), 101);
+        assert_eq!(rec.counter(Event::BravoSlowRead), 0);
+    }
+
+    #[test]
+    fn recorder_sees_path_split_revocation_and_rebias() {
+        use rmr_obs::StatsRecorder;
+        let rec = Arc::new(StatsRecorder::new(8));
+        let cfg = BravoConfig { rebias_after: 2, ..BravoConfig::default() };
+        let lock = Bravo::with_config(TicketRwLock::new(4), cfg).with_recorder(Arc::clone(&rec));
+
+        let t = lock.read_lock(pid(0));
+        assert!(t.is_fast());
+        lock.read_unlock(pid(0), t);
+        let () = lock.write_lock(pid(1));
+        lock.write_unlock(pid(1), ());
+        assert_eq!(rec.counter(Event::BravoRevoke), 1);
+
+        // Two slow reads: the second restores the bias.
+        for _ in 0..2 {
+            let t = lock.read_lock(pid(0));
+            assert!(!t.is_fast());
+            lock.read_unlock(pid(0), t);
+        }
+        assert_eq!(rec.counter(Event::BravoSlowRead), 2);
+        assert_eq!(rec.counter(Event::BravoRebias), 1);
+        let t = lock.read_lock(pid(0));
+        assert!(t.is_fast());
+        lock.read_unlock(pid(0), t);
+        assert_eq!(rec.counter(Event::BravoFastRead), 2);
     }
 
     #[test]

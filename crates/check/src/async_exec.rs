@@ -30,6 +30,7 @@ use rmr_async::park::Parker;
 use rmr_core::raw::{RawMultiWriter, RawTryReadLock, RawTryRwLock};
 use rmr_mutex::mem::{Backend, Ordering as MemOrdering, SharedBool};
 use rmr_mutex::{spin_until, Sched};
+use rmr_obs::Recorder;
 use std::fmt;
 use std::future::Future;
 use std::sync::Arc;
@@ -90,13 +91,14 @@ pub fn block_on_sched<F: Future>(future: F) -> F::Output {
 /// the async tier (`read().await` / `write().await`) under the
 /// deterministic executor. `quiescent` is the lock-specific at-rest check
 /// (pass `move || lock.is_quiescent()` plus any inner-lock notion).
-pub fn async_rw_trial<L>(
-    lock: Arc<AsyncRwLock<(), L, Sched>>,
+pub fn async_rw_trial<L, R>(
+    lock: Arc<AsyncRwLock<(), L, Sched, R>>,
     scenario: Scenario,
     quiescent: impl Fn() -> bool + 'static,
 ) -> Trial
 where
     L: RawTryRwLock + RawMultiWriter + 'static,
+    R: Recorder + 'static,
 {
     assert!(!scenario.try_readers && !scenario.try_writers, "use async_cancel_trial");
     let oracle = Arc::new(RwOracle::new());
@@ -134,13 +136,14 @@ where
 /// [`AsyncRwLock::write_blocking`] — the writer endpoint for raw locks
 /// without a revocable write attempt (the paper's core locks). Readers
 /// still suspend; the blocking writers' release paths must wake them.
-pub fn async_read_blocking_write_trial<L>(
-    lock: Arc<AsyncRwLock<(), L, Sched>>,
+pub fn async_read_blocking_write_trial<L, R>(
+    lock: Arc<AsyncRwLock<(), L, Sched, R>>,
     scenario: Scenario,
     quiescent: impl Fn() -> bool + 'static,
 ) -> Trial
 where
     L: RawTryReadLock + RawMultiWriter + 'static,
+    R: Recorder + 'static,
 {
     assert!(!scenario.try_readers && !scenario.try_writers, "use async_cancel_trial");
     let oracle = Arc::new(RwOracle::new());
@@ -179,9 +182,13 @@ where
 /// an aborted read attempt; the post-run quiescence check is the
 /// cancel-safety oracle (no pid, waker slot, or reader count stays
 /// pinned).
-pub fn async_cancel_trial<L>(lock: Arc<AsyncRwLock<(), L, Sched>>, scenario: Scenario) -> Trial
+pub fn async_cancel_trial<L, R>(
+    lock: Arc<AsyncRwLock<(), L, Sched, R>>,
+    scenario: Scenario,
+) -> Trial
 where
     L: RawTryRwLock + RawMultiWriter + 'static,
+    R: Recorder + 'static,
 {
     let oracle = Arc::new(RwOracle::new());
     let mut tasks: Vec<TaskBody> = Vec::new();

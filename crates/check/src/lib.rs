@@ -75,6 +75,7 @@ pub mod dfs;
 pub mod harness;
 pub mod litmus;
 pub mod mutants;
+pub mod obs;
 pub mod strategies;
 
 pub use async_exec::{block_on_sched, SchedParker};

@@ -1,0 +1,162 @@
+//! Observability batteries: model-checking the recorder hooks
+//! themselves.
+//!
+//! The `rmr-obs` tier promises two things its unit tests cannot fully
+//! establish: the hooks fire *consistently with the protocol* under
+//! every interleaving (no passage is double-counted, dropped, or
+//! misattributed when the schedule is adversarial), and a recorded
+//! trace tells a causally sensible story. These trials run instrumented
+//! locks — a [`StatsRecorder`] over the deterministic [`TickClock`], so
+//! trace timestamps are a pure function of the schedule — under the
+//! same `Sched` explorer as the lock batteries, and make the recorder's
+//! own numbers part of the post-run oracle:
+//!
+//! * **guard balance** (`obs/guard-balance`): over an [`Observed`]-
+//!   wrapped raw lock driven by sync passages, every acquisition the
+//!   recorder saw has exactly one matching release, and the totals
+//!   equal the scenario's passage count — the counters are exact, not
+//!   merely monotone.
+//! * **park/wake** (`obs/park-wake`): over an instrumented
+//!   [`AsyncRwLock`], every `AsyncPark` in the drained trace is
+//!   followed by a same-pid grant (`ReadAcquire`/`WriteAcquire`) or an
+//!   `AsyncCancel` — no parked future vanishes — and the bounded ring
+//!   dropped nothing, so that claim is about the whole run.
+
+use crate::harness::{RwOracle, Scenario, TaskBody, Trial};
+use rmr_async::lock::AsyncRwLock;
+use rmr_core::observed::Observed;
+use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryRwLock};
+use rmr_core::registry::PidRegistry;
+use rmr_mutex::Sched;
+use rmr_obs::{Event, StatsRecorder, TickClock, TraceEvent};
+use std::sync::Arc;
+
+/// The recorder every obs battery uses: deterministic virtual time, a
+/// bounded trace ring sized generously enough that a clean small-
+/// configuration run must not drop events.
+pub type ObsRecorder = Arc<StatsRecorder<TickClock>>;
+
+/// A fresh [`ObsRecorder`] for `capacity` pids with a `ring`-entry
+/// trace.
+pub fn obs_recorder(capacity: usize, ring: usize) -> ObsRecorder {
+    Arc::new(StatsRecorder::with_clock(capacity, TickClock::new()).with_ring(ring))
+}
+
+/// Builds the `obs/guard-balance` trial: `scenario` sync passages
+/// through an [`Observed`]-wrapped `raw` lock, with the recorder's
+/// ledger audited post-run — acquire/release counts must balance *and*
+/// equal the passage totals exactly.
+pub fn guard_balance_trial<L>(raw: L, scenario: Scenario, rec: ObsRecorder) -> Trial
+where
+    L: RawRwLock + RawMultiWriter + 'static,
+{
+    assert!(!scenario.try_readers && !scenario.try_writers, "blocking passages only");
+    let lock = Arc::new(Observed::new(raw, Arc::clone(&rec)));
+    let registry = Arc::new(PidRegistry::new(lock.max_processes()));
+    let oracle = Arc::new(RwOracle::new());
+    let mut tasks: Vec<TaskBody> = Vec::new();
+    for _ in 0..scenario.readers {
+        let lock = Arc::clone(&lock);
+        let registry = Arc::clone(&registry);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            let pid = registry.allocate().expect("registry sized to the scenario");
+            for _ in 0..scenario.attempts {
+                let token = lock.read_lock(pid);
+                oracle.reader_cs();
+                lock.read_unlock(pid, token);
+            }
+            registry.release(pid);
+        }));
+    }
+    for _ in 0..scenario.writers {
+        let lock = Arc::clone(&lock);
+        let registry = Arc::clone(&registry);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            let pid = registry.allocate().expect("registry sized to the scenario");
+            for _ in 0..scenario.attempts {
+                let token = lock.write_lock(pid);
+                oracle.writer_cs();
+                lock.write_unlock(pid, token);
+            }
+            registry.release(pid);
+        }));
+    }
+    let expected_reads = (scenario.readers as u64) * u64::from(scenario.attempts);
+    let expected_writes = (scenario.writers as u64) * u64::from(scenario.attempts);
+    let post = Box::new(move || {
+        oracle.settle(&scenario)?;
+        balance(&rec, Event::ReadAcquire, Event::ReadRelease, expected_reads)?;
+        balance(&rec, Event::WriteAcquire, Event::WriteRelease, expected_writes)?;
+        ring_lossless(&rec)
+    });
+    Trial { tasks, post }
+}
+
+/// Builds the `obs/park-wake` trial: `scenario` async passages through
+/// an instrumented [`AsyncRwLock`], with the drained trace audited
+/// post-run — every park is eventually granted (same-pid acquire) or
+/// cancelled, and the ring dropped nothing.
+pub fn park_wake_trial<L>(
+    lock: Arc<AsyncRwLock<(), L, Sched, ObsRecorder>>,
+    scenario: Scenario,
+) -> Trial
+where
+    L: RawTryRwLock + RawMultiWriter + 'static,
+{
+    let rec = Arc::clone(lock.recorder());
+    let quiesce = Arc::clone(&lock);
+    let inner = crate::async_exec::async_rw_trial(lock, scenario, move || quiesce.is_quiescent());
+    let Trial { tasks, post } = inner;
+    let post = Box::new(move || {
+        post()?;
+        ring_lossless(&rec)?;
+        park_wake_causality(&rec.drain_trace())
+    });
+    Trial { tasks, post }
+}
+
+fn balance(rec: &ObsRecorder, acq: Event, rel: Event, expected: u64) -> Result<(), String> {
+    let a = rec.counter(acq);
+    let r = rec.counter(rel);
+    if a != r || a != expected {
+        return Err(format!(
+            "guard ledger off: {acq:?}={a} {rel:?}={r}, scenario performed {expected}"
+        ));
+    }
+    Ok(())
+}
+
+fn ring_lossless(rec: &ObsRecorder) -> Result<(), String> {
+    let dropped = rec.ring().map(|r| r.dropped()).unwrap_or(0);
+    if dropped > 0 {
+        return Err(format!("trace ring dropped {dropped} events; size the ring to the run"));
+    }
+    Ok(())
+}
+
+/// The park/wake causality oracle: in trace order, a pid that parked
+/// must later be granted or cancel before the run ends.
+fn park_wake_causality(trace: &[TraceEvent]) -> Result<(), String> {
+    let mut outstanding: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+    for (i, ev) in trace.iter().enumerate() {
+        match ev.as_event() {
+            Some(Event::AsyncPark) => {
+                outstanding.insert(ev.pid, i);
+            }
+            Some(Event::ReadAcquire | Event::WriteAcquire | Event::AsyncCancel) => {
+                outstanding.remove(&ev.pid);
+            }
+            _ => {}
+        }
+    }
+    if let Some((pid, at)) = outstanding.into_iter().next() {
+        return Err(format!(
+            "pid {pid} parked at trace index {at} and was never granted or cancelled \
+             ({} trace events total)",
+            trace.len()
+        ));
+    }
+    Ok(())
+}

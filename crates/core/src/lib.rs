@@ -75,12 +75,16 @@
 //! preserving wrappers compose with the whole stack. The `rmr-bravo`
 //! crate layers a BRAVO-style reader-biased fast path over any of these
 //! locks (`Bravo<L>`), and plugs into [`RwLock`], the RMR accounting and
-//! the `rmr-check` schedule explorer unchanged.
+//! the `rmr-check` schedule explorer unchanged. [`observed::Observed`]
+//! does the same for observability: it reports every passage of any raw
+//! lock to an `rmr-obs` recorder, and the typed front end carries the
+//! same hooks directly ([`RwLock::with_recorder`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod mwmr;
+pub mod observed;
 pub mod packed;
 pub mod raw;
 pub mod registry;
@@ -91,6 +95,7 @@ pub mod swmr_rwlock;
 
 pub use rmr_mutex::mem;
 
+pub use observed::Observed;
 pub use raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 pub use registry::{Pid, PidRegistry, RegistryFull};
 pub use rwlock::{

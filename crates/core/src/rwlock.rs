@@ -26,8 +26,10 @@
 //! exposes [`RwLock::try_read`] / [`RwLock::try_write`].
 
 use crate::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
+use crate::observed::{acquire_begin, acquire_end};
 use crate::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
 use crate::registry::{Pid, PidRegistry, RegistryFull};
+use rmr_obs::{Event, NoopRecorder, Recorder};
 use std::cell::{Cell, RefCell, UnsafeCell};
 use std::fmt;
 use std::marker::PhantomData;
@@ -201,17 +203,31 @@ pub fn release_pid(registry: &Arc<PidRegistry>, pid: Pid, source: PidSource) {
 /// }
 /// assert_eq!(*lock.read(), 400);
 /// ```
-pub struct RwLock<T: ?Sized, L> {
+///
+/// # Observability
+///
+/// The third type parameter is an `rmr-obs` [`Recorder`], defaulted to
+/// [`NoopRecorder`]: every hook sits behind `if R::ENABLED { … }`, which
+/// const-folds away, so the default lock is bit-identical to the
+/// uninstrumented one (the `Counting` backend proves it op for op).
+/// [`RwLock::with_recorder`] swaps in a live recorder — typically an
+/// `Arc<StatsRecorder>` — and every passage is then counted, classified
+/// contended/uncontended and latency-histogrammed.
+pub struct RwLock<T: ?Sized, L, R = NoopRecorder> {
     pub(crate) raw: L,
     pub(crate) registry: Arc<PidRegistry>,
+    pub(crate) recorder: R,
+    // Must stay the last field: `T: ?Sized` requires the unsized field in
+    // tail position.
     pub(crate) data: UnsafeCell<T>,
 }
 
 // SAFETY: the raw lock guarantees that a `&mut T` (through WriteGuard) never
 // coexists with any other access, and `&T` (ReadGuard) only coexists with
-// other `&T`. Sending the lock additionally moves the value.
-unsafe impl<T: ?Sized + Send, L: RawRwLock> Send for RwLock<T, L> {}
-unsafe impl<T: ?Sized + Send + Sync, L: RawRwLock> Sync for RwLock<T, L> {}
+// other `&T`. Sending the lock additionally moves the value. (`Recorder`
+// already implies `Send + Sync`.)
+unsafe impl<T: ?Sized + Send, L: RawRwLock, R: Recorder> Send for RwLock<T, L, R> {}
+unsafe impl<T: ?Sized + Send + Sync, L: RawRwLock, R: Recorder> Sync for RwLock<T, L, R> {}
 
 /// [`RwLock`] over the no-priority, starvation-free policy (Theorem 3).
 pub type StarvationFreeRwLock<T> = RwLock<T, MwmrStarvationFree>;
@@ -282,7 +298,38 @@ impl<T, L: RawRwLock> RwLock<T, L> {
             "capacity {capacity} exceeds the raw lock's bound {}",
             raw.max_processes()
         );
-        Self { raw, registry: Arc::new(PidRegistry::new(capacity)), data: UnsafeCell::new(value) }
+        Self {
+            raw,
+            registry: Arc::new(PidRegistry::new(capacity)),
+            recorder: NoopRecorder,
+            data: UnsafeCell::new(value),
+        }
+    }
+}
+
+impl<T, L: RawRwLock, R: Recorder> RwLock<T, L, R> {
+    /// Replaces the lock's recorder, re-typing the lock: every subsequent
+    /// passage (leased or handle, blocking or try) reports to `recorder`.
+    ///
+    /// Builder-style, because the recorder is a *type* parameter — that is
+    /// what lets the disabled hooks const-fold to nothing instead of
+    /// costing a runtime branch.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rmr_core::RwLock;
+    /// use rmr_obs::{Event, StatsRecorder};
+    /// use std::sync::Arc;
+    ///
+    /// let rec = Arc::new(StatsRecorder::new(4));
+    /// let lock = RwLock::starvation_free(0u32, 4).with_recorder(Arc::clone(&rec));
+    /// *lock.write() += 1;
+    /// assert_eq!(rec.counter(Event::WriteAcquire), 1);
+    /// assert_eq!(rec.counter(Event::WriteRelease), 1);
+    /// ```
+    pub fn with_recorder<R2: Recorder>(self, recorder: R2) -> RwLock<T, L, R2> {
+        RwLock { raw: self.raw, registry: self.registry, recorder, data: self.data }
     }
 
     /// Consumes the lock, returning the protected value.
@@ -291,7 +338,7 @@ impl<T, L: RawRwLock> RwLock<T, L> {
     }
 }
 
-impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
+impl<T: ?Sized, L: RawRwLock, R: Recorder> RwLock<T, L, R> {
     /// Registers the calling context as a participating process with a
     /// pinned pid.
     ///
@@ -316,7 +363,7 @@ impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
     /// assert_eq!(*handle.read(), vec![1, 2]);
     /// # Ok::<(), rmr_core::RegistryFull>(())
     /// ```
-    pub fn register(&self) -> Result<LockHandle<'_, T, L>, RegistryFull> {
+    pub fn register(&self) -> Result<LockHandle<'_, T, L, R>, RegistryFull> {
         let pid = self.registry.allocate()?;
         Ok(LockHandle { lock: self, pid })
     }
@@ -360,14 +407,14 @@ impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
     /// let lock = RwLock::starvation_free(String::from("hi"), 2);
     /// assert_eq!(lock.read().len(), 2);
     /// ```
-    pub fn read(&self) -> ReadGuard<'_, T, L> {
+    pub fn read(&self) -> ReadGuard<'_, T, L, R> {
         let (pid, source) = self.lease().unwrap_or_else(|e| panic!("{}", lease_panic(e)));
-        let token = self.raw.read_lock(pid);
+        let token = self.locked_read(pid);
         self.read_guard(pid, source, token)
     }
 
     /// Runs `f` with shared access (convenience over [`RwLock::read`]).
-    pub fn read_with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+    pub fn read_with<U>(&self, f: impl FnOnce(&T) -> U) -> U {
         f(&self.read())
     }
 
@@ -380,6 +427,11 @@ impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
     /// The underlying raw lock.
     pub fn raw(&self) -> &L {
         &self.raw
+    }
+
+    /// The lock's recorder (the default is the inert [`NoopRecorder`]).
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
     /// Number of threads that may participate simultaneously.
@@ -407,12 +459,40 @@ impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
         release_pid(&self.registry, pid, source);
     }
 
+    /// The blocking read acquisition, with the observability hooks; shared
+    /// by the leased ([`RwLock::read`]) and pinned ([`LockHandle::read`])
+    /// paths. With the default [`NoopRecorder`] the `R::ENABLED` branch
+    /// const-folds to the bare `read_lock` call.
+    fn locked_read(&self, pid: Pid) -> L::ReadToken {
+        if R::ENABLED {
+            let s = acquire_begin(&self.recorder);
+            let token = self.raw.read_lock(pid);
+            acquire_end(&self.recorder, pid.index(), false, s);
+            token
+        } else {
+            self.raw.read_lock(pid)
+        }
+    }
+
+    /// The blocking write acquisition, with the observability hooks —
+    /// see [`RwLock::locked_read`].
+    fn locked_write(&self, pid: Pid) -> L::WriteToken {
+        if R::ENABLED {
+            let s = acquire_begin(&self.recorder);
+            let token = self.raw.write_lock(pid);
+            acquire_end(&self.recorder, pid.index(), true, s);
+            token
+        } else {
+            self.raw.write_lock(pid)
+        }
+    }
+
     pub(crate) fn read_guard(
         &self,
         pid: Pid,
         source: PidSource,
         token: L::ReadToken,
-    ) -> ReadGuard<'_, T, L> {
+    ) -> ReadGuard<'_, T, L, R> {
         ReadGuard { lock: self, pid, source, token: Some(token), _not_send: PhantomData }
     }
 
@@ -421,12 +501,12 @@ impl<T: ?Sized, L: RawRwLock> RwLock<T, L> {
         pid: Pid,
         source: PidSource,
         token: L::WriteToken,
-    ) -> WriteGuard<'_, T, L> {
+    ) -> WriteGuard<'_, T, L, R> {
         WriteGuard { lock: self, pid, source, token: Some(token), _not_send: PhantomData }
     }
 }
 
-impl<T: ?Sized, L: RawMultiWriter> RwLock<T, L> {
+impl<T: ?Sized, L: RawMultiWriter, R: Recorder> RwLock<T, L, R> {
     /// Acquires the lock for writing with this thread's leased pid,
     /// blocking (spinning) until granted. See [`RwLock::read`] for the
     /// leasing rules.
@@ -457,14 +537,14 @@ impl<T: ?Sized, L: RawMultiWriter> RwLock<T, L> {
     /// *lock.write() += 5;
     /// assert_eq!(*lock.read(), 5);
     /// ```
-    pub fn write(&self) -> WriteGuard<'_, T, L> {
+    pub fn write(&self) -> WriteGuard<'_, T, L, R> {
         let (pid, source) = self.lease().unwrap_or_else(|e| panic!("{}", lease_panic(e)));
-        let token = self.raw.write_lock(pid);
+        let token = self.locked_write(pid);
         self.write_guard(pid, source, token)
     }
 
     /// Runs `f` with exclusive access (convenience over [`RwLock::write`]).
-    pub fn write_with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+    pub fn write_with<U>(&self, f: impl FnOnce(&mut T) -> U) -> U {
         f(&mut self.write())
     }
 }
@@ -476,7 +556,7 @@ fn lease_panic(e: RegistryFull) -> String {
     )
 }
 
-impl<T: ?Sized, L: RawTryReadLock> RwLock<T, L> {
+impl<T: ?Sized, L: RawTryReadLock, R: Recorder> RwLock<T, L, R> {
     /// Attempts to acquire the lock for reading without blocking, with this
     /// thread's leased pid.
     ///
@@ -494,9 +574,14 @@ impl<T: ?Sized, L: RawTryReadLock> RwLock<T, L> {
     /// assert_eq!(*g, 3);
     /// ```
     #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
-    pub fn try_read(&self) -> Option<ReadGuard<'_, T, L>> {
+    pub fn try_read(&self) -> Option<ReadGuard<'_, T, L, R>> {
         let (pid, source) = self.lease().ok()?;
-        match self.raw.try_read_lock(pid) {
+        let token = self.raw.try_read_lock(pid);
+        if R::ENABLED {
+            let ev = if token.is_some() { Event::TryReadOk } else { Event::TryReadFail };
+            self.recorder.count(pid.index(), ev);
+        }
+        match token {
             Some(token) => Some(self.read_guard(pid, source, token)),
             None => {
                 self.unlease(pid, source);
@@ -506,7 +591,7 @@ impl<T: ?Sized, L: RawTryReadLock> RwLock<T, L> {
     }
 }
 
-impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter> RwLock<T, L> {
+impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter, R: Recorder> RwLock<T, L, R> {
     /// Attempts to acquire the lock for writing without blocking, with this
     /// thread's leased pid.
     ///
@@ -526,9 +611,14 @@ impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter> RwLock<T, L> {
     /// assert_eq!(*lock.read(), 1);
     /// ```
     #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
-    pub fn try_write(&self) -> Option<WriteGuard<'_, T, L>> {
+    pub fn try_write(&self) -> Option<WriteGuard<'_, T, L, R>> {
         let (pid, source) = self.lease().ok()?;
-        match self.raw.try_write_lock(pid) {
+        let token = self.raw.try_write_lock(pid);
+        if R::ENABLED {
+            let ev = if token.is_some() { Event::TryWriteOk } else { Event::TryWriteFail };
+            self.recorder.count(pid.index(), ev);
+        }
+        match token {
             Some(token) => Some(self.write_guard(pid, source, token)),
             None => {
                 self.unlease(pid, source);
@@ -538,7 +628,7 @@ impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter> RwLock<T, L> {
     }
 }
 
-impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for RwLock<T, L> {
+impl<T: fmt::Debug + ?Sized, L: RawRwLock, R: Recorder> fmt::Debug for RwLock<T, L, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Deliberately does not read `data` (would need the lock).
         f.debug_struct("RwLock")
@@ -556,48 +646,48 @@ impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for RwLock<T, L> {
 ///
 /// Guard-taking methods borrow the handle mutably: one attempt at a time
 /// per process, enforced at compile time.
-pub struct LockHandle<'l, T: ?Sized, L: RawRwLock> {
-    lock: &'l RwLock<T, L>,
+pub struct LockHandle<'l, T: ?Sized, L: RawRwLock, R: Recorder = NoopRecorder> {
+    lock: &'l RwLock<T, L, R>,
     pid: Pid,
 }
 
-impl<'l, T: ?Sized, L: RawRwLock> LockHandle<'l, T, L> {
+impl<'l, T: ?Sized, L: RawRwLock, R: Recorder> LockHandle<'l, T, L, R> {
     /// The pid this handle registered.
     pub fn pid(&self) -> Pid {
         self.pid
     }
 
     /// Acquires the lock for reading.
-    pub fn read(&mut self) -> ReadGuard<'_, T, L> {
-        let token = self.lock.raw.read_lock(self.pid);
+    pub fn read(&mut self) -> ReadGuard<'_, T, L, R> {
+        let token = self.lock.locked_read(self.pid);
         self.lock.read_guard(self.pid, PidSource::Handle, token)
     }
 
     /// Runs `f` with shared access (convenience over [`Self::read`]).
-    pub fn read_with<R>(&mut self, f: impl FnOnce(&T) -> R) -> R {
+    pub fn read_with<U>(&mut self, f: impl FnOnce(&T) -> U) -> U {
         f(&self.read())
     }
 }
 
-impl<'l, T: ?Sized, L: RawMultiWriter> LockHandle<'l, T, L> {
+impl<'l, T: ?Sized, L: RawMultiWriter, R: Recorder> LockHandle<'l, T, L, R> {
     /// Acquires the lock for writing.
     ///
     /// Requires [`RawMultiWriter`]: any number of handles may exist, so
     /// `&mut T` safety needs writer-writer exclusion from the raw lock
     /// (the single-writer algorithms go through
     /// [`SwmrWriter`](crate::swmr_rwlock::SwmrWriter) instead).
-    pub fn write(&mut self) -> WriteGuard<'_, T, L> {
-        let token = self.lock.raw.write_lock(self.pid);
+    pub fn write(&mut self) -> WriteGuard<'_, T, L, R> {
+        let token = self.lock.locked_write(self.pid);
         self.lock.write_guard(self.pid, PidSource::Handle, token)
     }
 
     /// Runs `f` with exclusive access (convenience over [`Self::write`]).
-    pub fn write_with<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
+    pub fn write_with<U>(&mut self, f: impl FnOnce(&mut T) -> U) -> U {
         f(&mut self.write())
     }
 }
 
-impl<'l, T: ?Sized, L: RawTryReadLock> LockHandle<'l, T, L> {
+impl<'l, T: ?Sized, L: RawTryReadLock, R: Recorder> LockHandle<'l, T, L, R> {
     /// Attempts to acquire the lock for reading without blocking.
     ///
     /// # Example
@@ -611,28 +701,36 @@ impl<'l, T: ?Sized, L: RawTryReadLock> LockHandle<'l, T, L> {
     /// # Ok::<(), rmr_core::RegistryFull>(())
     /// ```
     #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
-    pub fn try_read(&mut self) -> Option<ReadGuard<'_, T, L>> {
-        let token = self.lock.raw.try_read_lock(self.pid)?;
-        Some(self.lock.read_guard(self.pid, PidSource::Handle, token))
+    pub fn try_read(&mut self) -> Option<ReadGuard<'_, T, L, R>> {
+        let token = self.lock.raw.try_read_lock(self.pid);
+        if R::ENABLED {
+            let ev = if token.is_some() { Event::TryReadOk } else { Event::TryReadFail };
+            self.lock.recorder.count(self.pid.index(), ev);
+        }
+        Some(self.lock.read_guard(self.pid, PidSource::Handle, token?))
     }
 }
 
-impl<'l, T: ?Sized, L: RawTryRwLock + RawMultiWriter> LockHandle<'l, T, L> {
+impl<'l, T: ?Sized, L: RawTryRwLock + RawMultiWriter, R: Recorder> LockHandle<'l, T, L, R> {
     /// Attempts to acquire the lock for writing without blocking.
     #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
-    pub fn try_write(&mut self) -> Option<WriteGuard<'_, T, L>> {
-        let token = self.lock.raw.try_write_lock(self.pid)?;
-        Some(self.lock.write_guard(self.pid, PidSource::Handle, token))
+    pub fn try_write(&mut self) -> Option<WriteGuard<'_, T, L, R>> {
+        let token = self.lock.raw.try_write_lock(self.pid);
+        if R::ENABLED {
+            let ev = if token.is_some() { Event::TryWriteOk } else { Event::TryWriteFail };
+            self.lock.recorder.count(self.pid.index(), ev);
+        }
+        Some(self.lock.write_guard(self.pid, PidSource::Handle, token?))
     }
 }
 
-impl<T: ?Sized, L: RawRwLock> Drop for LockHandle<'_, T, L> {
+impl<T: ?Sized, L: RawRwLock, R: Recorder> Drop for LockHandle<'_, T, L, R> {
     fn drop(&mut self) {
         self.lock.registry.release(self.pid);
     }
 }
 
-impl<T: ?Sized, L: RawRwLock> fmt::Debug for LockHandle<'_, T, L> {
+impl<T: ?Sized, L: RawRwLock, R: Recorder> fmt::Debug for LockHandle<'_, T, L, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LockHandle").field("pid", &self.pid).finish()
     }
@@ -650,8 +748,8 @@ impl<T: ?Sized, L: RawRwLock> fmt::Debug for LockHandle<'_, T, L> {
 /// — stamp the pid into shared CAS variables, so unlocking from a thread
 /// that may concurrently reuse the pid would break the raw contract).
 #[must_use = "dropping the guard immediately releases the read lock"]
-pub struct ReadGuard<'l, T: ?Sized, L: RawRwLock> {
-    lock: &'l RwLock<T, L>,
+pub struct ReadGuard<'l, T: ?Sized, L: RawRwLock, R: Recorder = NoopRecorder> {
+    lock: &'l RwLock<T, L, R>,
     pid: Pid,
     source: PidSource,
     token: Option<L::ReadToken>,
@@ -661,9 +759,9 @@ pub struct ReadGuard<'l, T: ?Sized, L: RawRwLock> {
 
 // SAFETY: a shared reference to the guard only exposes `&T` (plus pid
 // metadata); the token is touched solely through `&mut`/drop.
-unsafe impl<T: ?Sized + Sync, L: RawRwLock> Sync for ReadGuard<'_, T, L> {}
+unsafe impl<T: ?Sized + Sync, L: RawRwLock, R: Recorder> Sync for ReadGuard<'_, T, L, R> {}
 
-impl<T: ?Sized, L: RawRwLock> Deref for ReadGuard<'_, T, L> {
+impl<T: ?Sized, L: RawRwLock, R: Recorder> Deref for ReadGuard<'_, T, L, R> {
     type Target = T;
 
     fn deref(&self) -> &T {
@@ -673,15 +771,18 @@ impl<T: ?Sized, L: RawRwLock> Deref for ReadGuard<'_, T, L> {
     }
 }
 
-impl<T: ?Sized, L: RawRwLock> Drop for ReadGuard<'_, T, L> {
+impl<T: ?Sized, L: RawRwLock, R: Recorder> Drop for ReadGuard<'_, T, L, R> {
     fn drop(&mut self) {
         let token = self.token.take().expect("read token taken twice");
         self.lock.raw.read_unlock(self.pid, token);
+        if R::ENABLED {
+            self.lock.recorder.count(self.pid.index(), Event::ReadRelease);
+        }
         release_pid(&self.lock.registry, self.pid, self.source);
     }
 }
 
-impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for ReadGuard<'_, T, L> {
+impl<T: fmt::Debug + ?Sized, L: RawRwLock, R: Recorder> fmt::Debug for ReadGuard<'_, T, L, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("ReadGuard").field(&&**self).finish()
     }
@@ -692,8 +793,8 @@ impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for ReadGuard<'_, T, L> {
 ///
 /// Not `Send` for the same reason as [`ReadGuard`].
 #[must_use = "dropping the guard immediately releases the write lock"]
-pub struct WriteGuard<'l, T: ?Sized, L: RawRwLock> {
-    lock: &'l RwLock<T, L>,
+pub struct WriteGuard<'l, T: ?Sized, L: RawRwLock, R: Recorder = NoopRecorder> {
+    lock: &'l RwLock<T, L, R>,
     pid: Pid,
     source: PidSource,
     token: Option<L::WriteToken>,
@@ -704,9 +805,9 @@ pub struct WriteGuard<'l, T: ?Sized, L: RawRwLock> {
 // SAFETY: a shared reference to the guard only exposes `&T`; exclusive
 // access to `T` requires `&mut WriteGuard`, which shared references cannot
 // produce.
-unsafe impl<T: ?Sized + Sync, L: RawRwLock> Sync for WriteGuard<'_, T, L> {}
+unsafe impl<T: ?Sized + Sync, L: RawRwLock, R: Recorder> Sync for WriteGuard<'_, T, L, R> {}
 
-impl<T: ?Sized, L: RawRwLock> Deref for WriteGuard<'_, T, L> {
+impl<T: ?Sized, L: RawRwLock, R: Recorder> Deref for WriteGuard<'_, T, L, R> {
     type Target = T;
 
     fn deref(&self) -> &T {
@@ -715,22 +816,25 @@ impl<T: ?Sized, L: RawRwLock> Deref for WriteGuard<'_, T, L> {
     }
 }
 
-impl<T: ?Sized, L: RawRwLock> DerefMut for WriteGuard<'_, T, L> {
+impl<T: ?Sized, L: RawRwLock, R: Recorder> DerefMut for WriteGuard<'_, T, L, R> {
     fn deref_mut(&mut self) -> &mut T {
         // SAFETY: this write session excludes all other access.
         unsafe { &mut *self.lock.data.get() }
     }
 }
 
-impl<T: ?Sized, L: RawRwLock> Drop for WriteGuard<'_, T, L> {
+impl<T: ?Sized, L: RawRwLock, R: Recorder> Drop for WriteGuard<'_, T, L, R> {
     fn drop(&mut self) {
         let token = self.token.take().expect("write token taken twice");
         self.lock.raw.write_unlock(self.pid, token);
+        if R::ENABLED {
+            self.lock.recorder.count(self.pid.index(), Event::WriteRelease);
+        }
         release_pid(&self.lock.registry, self.pid, self.source);
     }
 }
 
-impl<T: fmt::Debug + ?Sized, L: RawRwLock> fmt::Debug for WriteGuard<'_, T, L> {
+impl<T: fmt::Debug + ?Sized, L: RawRwLock, R: Recorder> fmt::Debug for WriteGuard<'_, T, L, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("WriteGuard").field(&&**self).finish()
     }
@@ -950,6 +1054,26 @@ mod tests {
         std::thread::spawn(move || std::mem::forget(l2.read())).join().unwrap();
         assert_eq!(lock.registry.allocated(), 1, "leaked pid must stay reserved");
         assert!(lock.register().is_err());
+    }
+
+    #[test]
+    fn recorder_observes_typed_passages() {
+        use rmr_obs::{Event, Metric, StatsRecorder};
+        let rec = Arc::new(StatsRecorder::new(4));
+        let lock = RwLock::starvation_free(0u32, 4).with_recorder(Arc::clone(&rec));
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 1);
+        drop(lock.try_read().expect("no writer active"));
+        // Handle path reports through the same hooks.
+        let mut h = lock.register().unwrap();
+        assert_eq!(*h.read(), 1);
+        assert_eq!(rec.counter(Event::WriteAcquire), 1);
+        assert_eq!(rec.counter(Event::WriteRelease), 1);
+        assert_eq!(rec.counter(Event::ReadAcquire), 2);
+        assert_eq!(rec.counter(Event::ReadRelease), 3);
+        assert_eq!(rec.counter(Event::TryReadOk), 1);
+        assert_eq!(rec.samples(Metric::ReadAcquireNs), 2);
+        assert_eq!(rec.samples(Metric::WriteAcquireNs), 1);
     }
 
     #[test]

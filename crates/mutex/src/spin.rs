@@ -24,6 +24,22 @@ thread_local! {
     /// pointer (not a closure) keeps the cell `Copy` and the per-futile-
     /// iteration check to one thread-local load.
     static PARK_HINT: Cell<Option<fn()>> = const { Cell::new(None) };
+
+    /// Futile spin iterations this thread has ever burned — the
+    /// observability seam: an instrumented acquire samples this before
+    /// and after, and the delta is its spin count (zero ⇒ uncontended).
+    /// Bumped only on the futile path, so the uncontended fast path
+    /// (which never spins) is untouched.
+    static SPIN_TALLY: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total futile spin iterations performed by the calling thread (every
+/// [`SpinWait::spin`] step, hence every futile pass of a `wait till`
+/// loop). Monotone per thread; sample before and after an acquisition
+/// and subtract. Used by `rmr-obs`-instrumented tiers to classify
+/// contended vs. uncontended passages and to tally spin counts.
+pub fn thread_spin_tally() -> u64 {
+    SPIN_TALLY.try_with(Cell::get).unwrap_or(0)
 }
 
 /// Runs `f` with `hint` installed as the calling thread's park hint:
@@ -97,6 +113,7 @@ impl SpinWait {
     /// while. (`try_with`: during thread teardown the hint cell may be
     /// gone; fall back to the default policy rather than panic.)
     pub fn spin(&mut self) {
+        let _ = SPIN_TALLY.try_with(|t| t.set(t.get() + 1));
         if let Some(hint) = PARK_HINT.try_with(Cell::get).ok().flatten() {
             hint();
         } else if self.count < SPINS_BEFORE_YIELD {
@@ -197,6 +214,22 @@ mod tests {
         // Restored: spins count again outside the scope.
         s.spin();
         assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn spin_tally_counts_every_futile_iteration() {
+        let before = thread_spin_tally();
+        let mut s = SpinWait::new();
+        s.spin();
+        s.spin();
+        assert_eq!(thread_spin_tally() - before, 2);
+        let before = thread_spin_tally();
+        let mut n = 0;
+        spin_until(|| {
+            n += 1;
+            n == 4 // three futile iterations
+        });
+        assert_eq!(thread_spin_tally() - before, 3);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Time as a capability, so recorded traces are replayable.
+//!
+//! Hook sites never call `Instant::now` directly — they ask their
+//! [`Recorder`](crate::Recorder), which asks its [`Clock`]. Under the
+//! `Native` memory backend that is [`MonoClock`] (real monotonic
+//! nanoseconds); under the deterministic `Sched` backend the checker
+//! substitutes [`TickClock`], whose "time" is a process-wide virtual
+//! tick counter — every scheduled replay of the same seed yields the
+//! same timestamps, so `rmr-check` batteries can assert on recorded
+//! event sequences exactly.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone time source in unspecified units (nanoseconds for
+/// [`MonoClock`], virtual ticks for [`TickClock`]).
+pub trait Clock: Send + Sync {
+    /// Current time. Must be monotone non-decreasing per thread; cheap
+    /// enough for lock acquire paths.
+    fn now(&self) -> u64;
+}
+
+/// Real monotonic time: nanoseconds since the clock was created.
+pub struct MonoClock {
+    origin: Instant,
+}
+
+impl Default for MonoClock {
+    fn default() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Clock for MonoClock {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+impl fmt::Debug for MonoClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonoClock").finish_non_exhaustive()
+    }
+}
+
+/// Deterministic virtual time: each `now()` is a fresh tick from a
+/// process-local counter.
+///
+/// Under the `Sched` backend the cooperative scheduler serializes all
+/// task steps, so tick order is a pure function of the schedule — the
+/// same seed replays the same trace timestamps. The counter is a plain
+/// `std` atomic (like all recorder state) precisely so it does not
+/// itself become a scheduling point.
+#[derive(Debug, Default)]
+pub struct TickClock {
+    ticks: AtomicU64,
+}
+
+impl TickClock {
+    /// A fresh clock starting at tick 1 (0 is reserved as "never").
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for TickClock {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mono_clock_is_monotone() {
+        let c = MonoClock::default();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn tick_clock_is_strictly_increasing_and_never_zero() {
+        let c = TickClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(a >= 1);
+        assert_eq!(b, a + 1);
+    }
+}

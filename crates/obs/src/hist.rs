@@ -1,0 +1,180 @@
+//! Hand-rolled log-bucketed (HDR-style) histogram with lock-free merge.
+//!
+//! 65 buckets indexed by bit width: value `0` lands in bucket 0, any
+//! other `v` in bucket `64 − v.leading_zeros()`, so bucket `i ≥ 1`
+//! covers `2^(i−1) ..= 2^i − 1`. That is ±50% relative error — plenty
+//! for latency tails, where the question is "microseconds or
+//! milliseconds?", not "1.2µs or 1.3µs" — and it makes every operation
+//! a single `Relaxed` fetch-add on one counter: recording is wait-free
+//! and local, which is what lets the lock tiers call it from inside
+//! their O(1)-RMR passage argument.
+//!
+//! Quantiles are **exactly merge-order invariant**: a quantile is a pure
+//! function of the per-bucket totals, and addition commutes — the
+//! property the seeded proptests in `tests/hist_props.rs` pin down.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per possible bit width.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of `value` (its bit width; 0 for 0).
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Upper bound of bucket `i` — the value a quantile in that bucket
+/// reports (conservative for latencies: never under-reports).
+pub fn bucket_high(i: usize) -> u64 {
+    assert!(i < BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        0
+    } else if i == 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A concurrent log-bucketed histogram. All operations are lock-free;
+/// `record` is wait-free (one `Relaxed` fetch-add).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds this histogram's counts into `dst`, lock-free: per bucket,
+    /// one `Relaxed` load here and one fetch-add there. Samples recorded
+    /// concurrently with the merge may or may not be included, but no
+    /// sample already in either histogram is ever lost — the concurrent
+    /// merge stress test asserts exactly this conservation.
+    pub fn merge_into(&self, dst: &Histogram) {
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n != 0 {
+                dst.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Raw count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0.0–1.0), reported as the upper bound of the
+    /// bucket containing that rank; 0 on an empty histogram.
+    ///
+    /// Rank rule: the smallest bucket whose cumulative count reaches
+    /// `ceil(q · count)` (at least 1), i.e. the bucket holding the
+    /// `⌈q·n⌉`-th smallest sample — matching a sorted-vector reference
+    /// oracle bucket-for-bucket, which the proptests check.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_high(i);
+            }
+        }
+        bucket_high(BUCKETS - 1)
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_high(0), 0);
+        assert_eq!(bucket_high(1), 1);
+        assert_eq!(bucket_high(2), 3);
+        assert_eq!(bucket_high(64), u64::MAX);
+    }
+
+    #[test]
+    fn value_is_within_its_bucket_bounds() {
+        for v in [0u64, 1, 2, 5, 63, 64, 1000, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_high(b));
+            if b > 0 {
+                assert!(v > bucket_high(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_of_single_sample() {
+        let h = Histogram::new();
+        h.record(100); // bucket 7: 64..=127
+        assert_eq!(h.quantile(0.0), 127);
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(1.0), 127);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(100_000);
+        a.merge_into(&b);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.bucket(bucket_of(10)), 2);
+    }
+}

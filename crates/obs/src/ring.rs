@@ -1,0 +1,299 @@
+//! Bounded lock-free event ring and its Chrome `trace_event` rendering.
+//!
+//! A Vyukov-style MPMC ring of fixed-size [`TraceEvent`] records: every
+//! slot carries a sequence number, so producers claim slots with one CAS
+//! on the enqueue cursor and never wait on consumers. When the ring is
+//! full, the *incoming* event is dropped and tallied ([`EventRing::dropped`])
+//! rather than blocking or overwriting — a recorder push must never
+//! stall a lock's acquire path, and silently losing the count would make
+//! the trace lie about coverage.
+//!
+//! [`chrome_trace`] renders a drained trace as the Chrome `trace_event`
+//! JSON object format (instant events, one "thread" per pid), loadable
+//! in `chrome://tracing` or Perfetto for flamegraph-style inspection.
+
+use crate::{Event, Metric};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One recorded occurrence: an [`Event`] count or a [`Metric`] sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Recorder-clock timestamp (nanoseconds or virtual ticks).
+    pub ts: u64,
+    /// The recording pid.
+    pub pid: u32,
+    /// Kind code: `Event` discriminant, or `METRIC_BASE + Metric`
+    /// discriminant.
+    pub code: u16,
+    /// `n` for events, the sample for metrics.
+    pub value: u64,
+}
+
+/// Kind codes at or above this encode a [`Metric`].
+const METRIC_BASE: u16 = 128;
+
+impl TraceEvent {
+    /// A counted-event record.
+    pub fn event(ts: u64, pid: usize, event: Event, n: u64) -> Self {
+        Self { ts, pid: pid as u32, code: event as u16, value: n }
+    }
+
+    /// A metric-sample record.
+    pub fn metric(ts: u64, pid: usize, metric: Metric, value: u64) -> Self {
+        Self { ts, pid: pid as u32, code: METRIC_BASE + metric as u16, value }
+    }
+
+    /// The recorded [`Event`], if this is an event record.
+    pub fn as_event(&self) -> Option<Event> {
+        Event::ALL.get(self.code as usize).copied()
+    }
+
+    /// The recorded [`Metric`], if this is a metric record.
+    pub fn as_metric(&self) -> Option<Metric> {
+        Metric::ALL.get(self.code.checked_sub(METRIC_BASE)? as usize).copied()
+    }
+
+    /// Stable label of whatever this records.
+    pub fn name(&self) -> &'static str {
+        self.as_event()
+            .map(Event::name)
+            .or_else(|| self.as_metric().map(Metric::name))
+            .unwrap_or("unknown")
+    }
+}
+
+struct RingSlot {
+    /// Vyukov sequence: `pos` when free for the producer claiming `pos`,
+    /// `pos + 1` once its record is published.
+    seq: AtomicUsize,
+    cell: UnsafeCell<TraceEvent>,
+}
+
+/// Bounded lock-free MPMC event ring (capacity rounded up to a power of
+/// two, minimum 2). Push never blocks: a full ring drops the incoming
+/// event and counts the drop.
+pub struct EventRing {
+    slots: Box<[RingSlot]>,
+    mask: usize,
+    enqueue: AtomicUsize,
+    dequeue: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots are handed out exclusively by the seq protocol — a
+// producer writes a cell only between claiming `seq == pos` and
+// publishing `seq = pos + 1`; a consumer reads only after observing the
+// published seq. The UnsafeCell is never aliased mutably.
+unsafe impl Send for EventRing {}
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    /// A ring holding at least `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| RingSlot {
+                seq: AtomicUsize::new(i),
+                cell: UnsafeCell::new(TraceEvent { ts: 0, pid: 0, code: 0, value: 0 }),
+            })
+            .collect();
+        Self {
+            slots,
+            mask: cap - 1,
+            enqueue: AtomicUsize::new(0),
+            dequeue: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Appends `ev`; returns `false` (and tallies the drop) if the ring
+    /// is full. Lock-free, never blocks.
+    pub fn push(&self, ev: TraceEvent) -> bool {
+        let mut pos = self.enqueue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - pos as isize {
+                0 => {
+                    match self.enqueue.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS granted this producer slot
+                            // `pos` exclusively until the Release below.
+                            unsafe { *slot.cell.get() = ev };
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return true;
+                        }
+                        Err(now) => pos = now,
+                    }
+                }
+                d if d < 0 => {
+                    // Slot still holds an unconsumed record one lap back:
+                    // the ring is full. Drop-newest.
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                _ => pos = self.enqueue.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Removes and returns the oldest event, if any.
+    pub fn pop(&self) -> Option<TraceEvent> {
+        let mut pos = self.dequeue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - (pos + 1) as isize {
+                0 => {
+                    match self.dequeue.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS granted this consumer slot
+                            // `pos` exclusively until the Release below.
+                            let ev = unsafe { *slot.cell.get() };
+                            slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                            return Some(ev);
+                        }
+                        Err(now) => pos = now,
+                    }
+                }
+                d if d < 0 => return None,
+                _ => pos = self.dequeue.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Drains everything currently enqueued, in enqueue order.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Renders a drained trace as Chrome `trace_event` JSON (object format):
+/// one instant event per record, `tid` = recording pid, timestamps in
+/// microseconds (the clock's ns/1000 — virtual ticks simply read as µs).
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}.{:03},\"pid\":1,\
+             \"tid\":{},\"args\":{{\"value\":{}}}}}",
+            ev.name(),
+            ev.ts / 1000,
+            ev.ts % 1000,
+            ev.pid,
+            ev.value
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_drain() {
+        let ring = EventRing::new(8);
+        for i in 0..5u64 {
+            assert!(ring.push(TraceEvent::event(i, 0, Event::ReadAcquire, 1)));
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(drained.windows(2).all(|w| w[0].ts < w[1].ts));
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_drops_newest_and_counts() {
+        let ring = EventRing::new(2); // capacity exactly 2
+        assert!(ring.push(TraceEvent::event(0, 0, Event::ReadAcquire, 1)));
+        assert!(ring.push(TraceEvent::event(1, 0, Event::ReadAcquire, 1)));
+        assert!(!ring.push(TraceEvent::event(2, 0, Event::ReadAcquire, 1)));
+        assert_eq!(ring.dropped(), 1);
+        // Draining frees the slots again.
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.push(TraceEvent::event(3, 0, Event::ReadAcquire, 1)));
+    }
+
+    #[test]
+    fn concurrent_pushes_lose_nothing_until_full() {
+        use std::sync::Arc;
+        let ring = Arc::new(EventRing::new(1024));
+        let mut threads = Vec::new();
+        for t in 0..4 {
+            let ring = Arc::clone(&ring);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    ring.push(TraceEvent::event(i, t, Event::SnapLoad, 1));
+                }
+            }));
+        }
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.drain().len(), 800);
+    }
+
+    #[test]
+    fn event_and_metric_codes_round_trip() {
+        for e in Event::ALL {
+            let ev = TraceEvent::event(0, 0, e, 1);
+            assert_eq!(ev.as_event(), Some(e));
+            assert_eq!(ev.as_metric(), None);
+        }
+        for m in Metric::ALL {
+            let ev = TraceEvent::metric(0, 0, m, 1);
+            assert_eq!(ev.as_metric(), Some(m));
+            assert_eq!(ev.as_event(), None, "metric codes must not alias events");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_microsecond_formatting() {
+        let json = chrome_trace(&[TraceEvent::event(1_234_567, 3, Event::BravoRevoke, 1)]);
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"tid\":3"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Seeded property tests for the log-bucketed histogram: recorded
+//! quantiles must agree with a sorted-reference oracle bucket-for-bucket
+//! and must be exactly invariant under merge order; concurrent merges
+//! must lose no samples.
+//!
+//! `RMR_TEST_SEED` (decimal or 0x-hex) overrides the base seed, matching
+//! the workspace's other randomized suites; every failure message prints
+//! the concrete seed that produced it.
+
+use rmr_obs::hist::{bucket_high, bucket_of, Histogram};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The workspace's SplitMix64 (re-rolled here: rmr-obs is deliberately
+/// dependency-free, test targets included).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("RMR_TEST_SEED") {
+        Ok(raw) => {
+            let raw = raw.trim();
+            raw.strip_prefix("0x")
+                .or_else(|| raw.strip_prefix("0X"))
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| raw.parse())
+                .unwrap_or_else(|_| panic!("RMR_TEST_SEED must be a u64, got {raw:?}"))
+        }
+        Err(_) => 0x0b5_cafe,
+    }
+}
+
+/// Draws a value whose magnitude spans the full bucket range (uniform
+/// bit width, then uniform within the width), so tails are exercised.
+fn skewed_value(rng: &mut SplitMix64) -> u64 {
+    let width = rng.next_u64() % 64;
+    rng.next_u64() >> width
+}
+
+/// The oracle: the `⌈q·n⌉`-th smallest sample of the sorted reference,
+/// reported at the same log-bucket granularity the histogram uses.
+fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    bucket_high(bucket_of(sorted[rank - 1]))
+}
+
+#[test]
+fn quantiles_match_sorted_reference_oracle() {
+    let base = base_seed();
+    for case in 0..50u64 {
+        let seed = base ^ (case.wrapping_mul(0x9e37_79b9));
+        let mut rng = SplitMix64(seed);
+        let n = 1 + (rng.next_u64() % 2000) as usize;
+        let hist = Histogram::new();
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = skewed_value(&mut rng);
+            hist.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        assert_eq!(hist.count(), n as u64, "seed {seed:#x}: sample count");
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                hist.quantile(q),
+                reference_quantile(&samples, q),
+                "seed {seed:#x}: q={q} disagrees with the sorted reference (n={n})"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_are_invariant_under_merge_order() {
+    let base = base_seed() ^ 0x4d45_5247; // "MERG"
+    for case in 0..30u64 {
+        let seed = base ^ (case.wrapping_mul(0x517c_c1b7_2722_0a95));
+        let mut rng = SplitMix64(seed);
+        // Partition one sample stream into k shard histograms.
+        let k = 2 + (rng.next_u64() % 6) as usize;
+        let n = 1 + (rng.next_u64() % 1500) as usize;
+        let shards: Vec<Histogram> = (0..k).map(|_| Histogram::new()).collect();
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = skewed_value(&mut rng);
+            shards[(rng.next_u64() % k as u64) as usize].record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+
+        // Merge in declaration order and in a seeded shuffle order; both
+        // must agree with each other and with the oracle, exactly.
+        let forward = Histogram::new();
+        for s in &shards {
+            s.merge_into(&forward);
+        }
+        let mut order: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            order.swap(i, (rng.next_u64() % (i as u64 + 1)) as usize);
+        }
+        let shuffled = Histogram::new();
+        for &i in &order {
+            shards[i].merge_into(&shuffled);
+        }
+
+        assert_eq!(forward.count(), n as u64, "seed {seed:#x}");
+        assert_eq!(shuffled.count(), n as u64, "seed {seed:#x}");
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let expect = reference_quantile(&samples, q);
+            assert_eq!(forward.quantile(q), expect, "seed {seed:#x}: q={q} (forward merge)");
+            assert_eq!(
+                shuffled.quantile(q),
+                expect,
+                "seed {seed:#x}: q={q} (merge order {order:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_merges_lose_no_samples() {
+    // Writers hammer per-thread histograms while a reader repeatedly
+    // merges them; after the dust settles, a final merge must account
+    // for every recorded sample (conservation — merge never loses).
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 20_000;
+    let base = base_seed() ^ 0x57_5245_5353; // "WRESS"
+    let shards: Arc<Vec<Histogram>> = Arc::new((0..WRITERS).map(|_| Histogram::new()).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let shards = Arc::clone(&shards);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut merges = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let scratch = Histogram::new();
+                for s in shards.iter() {
+                    s.merge_into(&scratch);
+                }
+                // Mid-run snapshots must never over-count.
+                assert!(scratch.count() <= WRITERS as u64 * PER_WRITER);
+                merges += 1;
+            }
+            merges
+        })
+    };
+
+    let mut writers = Vec::new();
+    for t in 0..WRITERS {
+        let shards = Arc::clone(&shards);
+        let seed = base ^ (t as u64) << 32;
+        writers.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64(seed);
+            for _ in 0..PER_WRITER {
+                shards[t].record(skewed_value(&mut rng));
+            }
+        }));
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let merges = reader.join().unwrap();
+    assert!(merges > 0, "the merging reader never ran");
+
+    let total = Histogram::new();
+    for s in shards.iter() {
+        s.merge_into(&total);
+    }
+    assert_eq!(
+        total.count(),
+        WRITERS as u64 * PER_WRITER,
+        "samples lost under concurrent record/merge (seed base {base:#x})"
+    );
+}

@@ -133,6 +133,7 @@ use rmr_core::registry::{Pid, PidRegistry};
 use rmr_core::rwlock::{lease_pid, release_pid, PidSource};
 use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedWord};
 use rmr_mutex::spin_until;
+use rmr_obs::{Event, Metric, NoopRecorder, Recorder};
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::Deref;
@@ -205,13 +206,18 @@ impl RetirePolicy for RetireBatched {
 ///
 /// See the [module docs](self) for the protocol and its cost model.
 /// Defaults: writers serialize through the paper's starvation-free lock,
-/// retirement is [`RetireEager`], memory is the native backend.
-pub struct Snapshot<T, L = MwmrStarvationFree, P = RetireEager, B = Native>
+/// retirement is [`RetireEager`], memory is the native backend, and the
+/// recorder is the inert [`NoopRecorder`] (hooks const-fold away; swap
+/// it via [`Snapshot::with_recorder`] to count loads/installs and
+/// histogram retire depth and grace-scan duration).
+pub struct Snapshot<T, L = MwmrStarvationFree, P = RetireEager, B = Native, R = NoopRecorder>
 where
     L: RawRwLock,
     P: RetirePolicy,
     B: Backend,
+    R: Recorder,
 {
+    recorder: R,
     /// The global epoch `G`. Starts at 1 (0 is the empty-slot sentinel)
     /// and is bumped once per install, *after* the payload swap.
     epoch: B::Word,
@@ -244,20 +250,22 @@ where
 // on whichever thread runs the scan (needs `T: Send`). Everything else
 // in the struct is already thread-safe (`L: RawRwLock` is `Send + Sync`,
 // backend words are shared-memory cells, the retired list is mutexed).
-unsafe impl<T, L, P, B> Send for Snapshot<T, L, P, B>
+unsafe impl<T, L, P, B, R> Send for Snapshot<T, L, P, B, R>
 where
     T: Send + Sync,
     L: RawRwLock,
     P: RetirePolicy,
     B: Backend,
+    R: Recorder,
 {
 }
-unsafe impl<T, L, P, B> Sync for Snapshot<T, L, P, B>
+unsafe impl<T, L, P, B, R> Sync for Snapshot<T, L, P, B, R>
 where
     T: Send + Sync,
     L: RawRwLock,
     P: RetirePolicy,
     B: Backend,
+    R: Recorder,
 {
 }
 
@@ -312,6 +320,7 @@ where
     /// backend (`Counting` for RMR proofs, `Sched` for model checking).
     pub fn with_raw_in(value: T, lock: L, policy: P, capacity: usize, backend: B) -> Self {
         Snapshot {
+            recorder: NoopRecorder,
             epoch: B::Word::new(1),
             payload: B::Word::new(Box::into_raw(Box::new(value)) as u64),
             registry: Arc::new(PidRegistry::new_in(capacity, backend)),
@@ -323,6 +332,51 @@ where
             _payload_owner: PhantomData,
         }
     }
+}
+
+impl<T, L, P, B, R> Snapshot<T, L, P, B, R>
+where
+    T: Send + Sync,
+    L: RawRwLock,
+    P: RetirePolicy,
+    B: Backend,
+    R: Recorder,
+{
+    /// Replaces the snapshot's recorder, re-typing the cell: every load
+    /// then counts [`Event::SnapLoad`], every install counts
+    /// [`Event::SnapInstall`] plus a [`Metric::RetireDepth`] sample, and
+    /// an eager writer's grace wait is timed as [`Metric::GraceScanNs`].
+    /// Builder-style because the recorder is a type parameter — disabled
+    /// hooks const-fold away.
+    pub fn with_recorder<R2: Recorder>(self, recorder: R2) -> Snapshot<T, L, P, B, R2> {
+        // `Snapshot` has a `Drop` impl, so its fields cannot be moved out
+        // by destructuring; take them by `ptr::read` from a ManuallyDrop
+        // shell instead.
+        let this = std::mem::ManuallyDrop::new(self);
+        // SAFETY: every field is read out exactly once and the shell is
+        // never dropped, so ownership transfers without a double free;
+        // the old recorder is dropped explicitly.
+        unsafe {
+            drop(std::ptr::read(&this.recorder));
+            Snapshot {
+                recorder,
+                epoch: std::ptr::read(&this.epoch),
+                payload: std::ptr::read(&this.payload),
+                registry: std::ptr::read(&this.registry),
+                lock: std::ptr::read(&this.lock),
+                policy: std::ptr::read(&this.policy),
+                retired: std::ptr::read(&this.retired),
+                swaps: std::ptr::read(&this.swaps),
+                peak_retired: std::ptr::read(&this.peak_retired),
+                _payload_owner: PhantomData,
+            }
+        }
+    }
+
+    /// The snapshot's recorder (the default is the inert [`NoopRecorder`]).
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
 
     // -- read side ----------------------------------------------------
 
@@ -333,7 +387,7 @@ where
     /// The pid must not already have an open guard — each pid owns one
     /// epoch slot, and a nested pin would overwrite the outer guard's
     /// published epoch.
-    pub fn load_with(&self, pid: Pid) -> SnapGuard<'_, T, L, P, B> {
+    pub fn load_with(&self, pid: Pid) -> SnapGuard<'_, T, L, P, B, R> {
         debug_assert!(
             self.registry.published_epoch(pid.index()).is_none(),
             "pid {pid} already has an open snapshot guard"
@@ -371,6 +425,9 @@ where
             p = self.payload.load(MemOrdering::SeqCst); // site SW-LOAD again
             e = e2;
         }
+        if R::ENABLED {
+            self.recorder.count(pid.index(), Event::SnapLoad);
+        }
         (p as *const T, e)
     }
 
@@ -387,19 +444,19 @@ where
         // the lock handoff already ordered it before this load.
         let current = unsafe { &*(self.payload.load(MemOrdering::Relaxed) as *const T) };
         let next = f(current);
-        self.install(next);
+        self.install(pid, next);
         self.lock.write_unlock(pid, token);
     }
 
     /// [`Snapshot::store`] with an explicit pid.
     pub fn store_with(&self, pid: Pid, value: T) {
         let token = self.lock.write_lock(pid);
-        self.install(value);
+        self.install(pid, value);
         self.lock.write_unlock(pid, token);
     }
 
     /// Swap-and-retire, under the caller's write session.
-    fn install(&self, next: T) {
+    fn install(&self, pid: Pid, next: T) {
         let new_ptr = Box::into_raw(Box::new(next)) as u64;
         // Site SW-SWAP: the store half of the writer's swap-then-scan SB
         // square — SeqCst so the grace scan below is ordered after it.
@@ -416,8 +473,13 @@ where
             retired.len() as u64
         };
         self.peak_retired.fetch_max(pending, Ordering::Relaxed);
+        if R::ENABLED {
+            self.recorder.count(pid.index(), Event::SnapInstall);
+            self.recorder.record(pid.index(), Metric::RetireDepth, pending);
+        }
 
         if P::EAGER {
+            let grace_t0 = if R::ENABLED { self.recorder.now() } else { 0 };
             // Wait out the grace period for everything retired so far:
             // once every slot is empty or holds an epoch ≥ r, no
             // published epoch is < r, so every retiree (all have epoch
@@ -438,6 +500,10 @@ where
                 if self.retired.lock().expect("retired list poisoned").is_empty() {
                     break;
                 }
+            }
+            if R::ENABLED {
+                let spent = self.recorder.now().saturating_sub(grace_t0);
+                self.recorder.record(pid.index(), Metric::GraceScanNs, spent);
             }
         } else if self.policy.should_scan(pending as usize) {
             self.reclaim();
@@ -528,11 +594,12 @@ where
     }
 }
 
-impl<T, L, P> Snapshot<T, L, P, Native>
+impl<T, L, P, R> Snapshot<T, L, P, Native, R>
 where
     T: Send + Sync,
     L: RawRwLock,
     P: RetirePolicy,
+    R: Recorder,
 {
     /// Takes a wait-free snapshot of the current value with this
     /// thread's leased pid: one pointer load plus an epoch stamp in the
@@ -551,7 +618,7 @@ where
     ///
     /// Panics if the registry is exhausted (more simultaneous readers
     /// than capacity — remember nested guards take an extra pid each).
-    pub fn load(&self) -> SnapGuard<'_, T, L, P, Native> {
+    pub fn load(&self) -> SnapGuard<'_, T, L, P, Native, R> {
         let (pid, source) = lease_pid(&self.registry)
             .unwrap_or_else(|e| panic!("cannot lease a pid for a snapshot read: {e}"));
         let lease = Some(LeaseToken { registry: &self.registry, pid, source });
@@ -580,11 +647,12 @@ where
     }
 }
 
-impl<T, L, P, B> Drop for Snapshot<T, L, P, B>
+impl<T, L, P, B, R> Drop for Snapshot<T, L, P, B, R>
 where
     L: RawRwLock,
     P: RetirePolicy,
     B: Backend,
+    R: Recorder,
 {
     fn drop(&mut self) {
         // `&mut self` proves no guard is alive (guards borrow the
@@ -602,11 +670,12 @@ where
     }
 }
 
-impl<T, L, P, B> fmt::Debug for Snapshot<T, L, P, B>
+impl<T, L, P, B, R> fmt::Debug for Snapshot<T, L, P, B, R>
 where
     L: RawRwLock,
     P: RetirePolicy,
     B: Backend,
+    R: Recorder,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Snapshot")
@@ -645,13 +714,14 @@ impl Drop for LeaseToken<'_> {
 /// Holding the guard blocks no one's *progress* — writers keep
 /// installing — but pins memory (and, under [`RetireEager`], makes the
 /// writer's grace wait spin until the guard drops).
-pub struct SnapGuard<'s, T, L, P, B = Native>
+pub struct SnapGuard<'s, T, L, P, B = Native, R = NoopRecorder>
 where
     L: RawRwLock,
     P: RetirePolicy,
     B: Backend,
+    R: Recorder,
 {
-    snap: &'s Snapshot<T, L, P, B>,
+    snap: &'s Snapshot<T, L, P, B, R>,
     pid: Pid,
     epoch: u64,
     value: *const T,
@@ -664,11 +734,12 @@ where
     _not_send: PhantomData<*const ()>,
 }
 
-impl<T, L, P, B> SnapGuard<'_, T, L, P, B>
+impl<T, L, P, B, R> SnapGuard<'_, T, L, P, B, R>
 where
     L: RawRwLock,
     P: RetirePolicy,
     B: Backend,
+    R: Recorder,
 {
     /// The epoch this guard published — every payload retired at a
     /// later epoch is pinned until the guard drops.
@@ -682,11 +753,12 @@ where
     }
 }
 
-impl<T, L, P, B> Deref for SnapGuard<'_, T, L, P, B>
+impl<T, L, P, B, R> Deref for SnapGuard<'_, T, L, P, B, R>
 where
     L: RawRwLock,
     P: RetirePolicy,
     B: Backend,
+    R: Recorder,
 {
     type Target = T;
 
@@ -699,11 +771,12 @@ where
     }
 }
 
-impl<T, L, P, B> Drop for SnapGuard<'_, T, L, P, B>
+impl<T, L, P, B, R> Drop for SnapGuard<'_, T, L, P, B, R>
 where
     L: RawRwLock,
     P: RetirePolicy,
     B: Backend,
+    R: Recorder,
 {
     fn drop(&mut self) {
         // Unpin first; the lease token (if any) then releases the pid —
@@ -712,12 +785,13 @@ where
     }
 }
 
-impl<T, L, P, B> fmt::Debug for SnapGuard<'_, T, L, P, B>
+impl<T, L, P, B, R> fmt::Debug for SnapGuard<'_, T, L, P, B, R>
 where
     T: fmt::Debug,
     L: RawRwLock,
     P: RetirePolicy,
     B: Backend,
+    R: Recorder,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SnapGuard")
@@ -947,5 +1021,23 @@ mod tests {
         let g = snap.load();
         assert!(format!("{snap:?}").contains("Snapshot"));
         assert!(format!("{g:?}").contains("epoch"));
+    }
+
+    #[test]
+    fn recorder_sees_loads_installs_and_grace_scans() {
+        use rmr_obs::StatsRecorder;
+        let rec = Arc::new(StatsRecorder::new(4));
+        let snap = Snapshot::new(1u64, 4).with_recorder(Arc::clone(&rec));
+        assert_eq!(*snap.load(), 1);
+        snap.store(2); // eager: install + grace scan
+        snap.update(|v| v + 1); // install (update reads under the lock, not via pin)
+        assert_eq!(*snap.load(), 3);
+
+        assert_eq!(rec.counter(Event::SnapLoad), 2);
+        assert_eq!(rec.counter(Event::SnapInstall), 2);
+        assert_eq!(rec.samples(Metric::RetireDepth), 2);
+        assert_eq!(rec.samples(Metric::GraceScanNs), 2, "one grace scan per eager install");
+        // With no pinned reader, nothing outlives its install.
+        assert!(snap.is_quiescent());
     }
 }

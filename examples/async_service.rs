@@ -6,7 +6,12 @@
 //! (`write().await`). The lock is the Bravo-wrapped ticket lock behind
 //! `AsyncRwLock`, so the composition stacks all three ideas: the raw
 //! lock's admission policy, BRAVO's zero-inner-op biased read path, and
-//! waker parking instead of busy-waiting.
+//! waker parking instead of busy-waiting. A shared `rmr-obs`
+//! `StatsRecorder` carries the service's bookkeeping — `UserHit`/
+//! `UserPut` replace the per-worker counter plumbing this example used
+//! to thread through join handles — and, because the same recorder is
+//! attached to the lock, the park/wake traffic and wake-to-grant tail
+//! come out of the identical object.
 //!
 //! ```text
 //! cargo run --release --example async_service
@@ -16,6 +21,7 @@ use rmrw::async_lock::exec::block_on;
 use rmrw::async_lock::AsyncRwLock;
 use rmrw::baselines::TicketRwLock;
 use rmrw::bravo::Bravo;
+use rmrw::obs::{Event, Metric, Recorder, StatsRecorder};
 use rmrw::sim::rng::SplitMix64;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -28,44 +34,40 @@ const KEYS: u64 = 1024;
 const PUT_ONE_IN: u64 = 64;
 
 fn main() {
+    let rec = Arc::new(StatsRecorder::new(WORKERS));
     let table: HashMap<u64, u64> = (0..KEYS / 2).map(|k| (k, k * k)).collect();
-    let service = Arc::new(AsyncRwLock::with_raw_and_capacity(
-        table,
-        Bravo::new(TicketRwLock::new(WORKERS)),
-        WORKERS,
-    ));
+    let service = Arc::new(
+        AsyncRwLock::with_raw_and_capacity(table, Bravo::new(TicketRwLock::new(WORKERS)), WORKERS)
+            .with_recorder(Arc::clone(&rec)),
+    );
 
     let t0 = Instant::now();
     let mut workers = Vec::new();
     for w in 0..WORKERS {
         let service = Arc::clone(&service);
+        let rec = Arc::clone(&rec);
         workers.push(std::thread::spawn(move || {
             let mut rng = SplitMix64::new(0xA51_0000 ^ w as u64);
-            let mut hits = 0u64;
-            let mut puts = 0u64;
             block_on(async {
                 for _ in 0..REQUESTS_PER_WORKER {
                     let key = rng.gen_index(KEYS as usize) as u64;
                     if rng.gen_index(PUT_ONE_IN as usize) == 0 {
                         service.write().await.insert(key, key * key);
-                        puts += 1;
+                        rec.count(w, Event::UserPut);
                     } else if service.read().await.contains_key(&key) {
-                        hits += 1;
+                        rec.count(w, Event::UserHit);
                     }
                 }
             });
-            (hits, puts)
         }));
     }
-    let mut hits = 0u64;
-    let mut puts = 0u64;
     for worker in workers {
-        let (h, p) = worker.join().expect("worker panicked");
-        hits += h;
-        puts += p;
+        worker.join().expect("worker panicked");
     }
     let elapsed = t0.elapsed();
 
+    let hits = rec.counter(Event::UserHit);
+    let puts = rec.counter(Event::UserPut);
     let requests = (WORKERS * REQUESTS_PER_WORKER) as u64;
     let gets = requests - puts;
     println!("async_service: {WORKERS} workers × {REQUESTS_PER_WORKER} requests");
@@ -75,8 +77,11 @@ fn main() {
     );
     println!("  mix        : {gets} GETs ({hits} hits), {puts} PUTs");
     println!(
-        "  parking    : {} wake-ups delivered; {} readers / {} writers still parked",
+        "  parking    : {} parks, {} wake-ups delivered; wake-to-grant p99 ≤{} ns; \
+         {} readers / {} writers still parked",
+        rec.counter(Event::AsyncPark),
         service.wakeups(),
+        rec.quantile(Metric::WakeToGrantNs, 0.99),
         service.parked_readers(),
         service.parked_writers()
     );
@@ -88,6 +93,11 @@ fn main() {
 
     assert!(service.is_quiescent(), "service must quiesce once the workers are gone");
     assert!(service.raw().is_quiescent(), "visible-readers table must drain");
+    assert_eq!(
+        rec.counter(Event::WriteAcquire),
+        puts,
+        "every PUT is exactly one write acquisition"
+    );
     let size = block_on(async { service.read().await.len() });
     println!("  table size : {size} keys");
 }

@@ -11,6 +11,7 @@
 //! | [`bravo`] | `rmr-bravo` | BRAVO-style reader-biased fast path (`Bravo<L>`) over any raw lock |
 //! | [`async_lock`] | `rmr-async` | waker-parking async front end (`AsyncRwLock<T, L>`): `read().await` instead of spinning, plus a dependency-free `block_on` |
 //! | [`swap`] | `rmr-swap` | epoch-swap snapshot tier (`Snapshot<T>`): zero-RMR wait-free reads, copy-swap-retire writes with an RCU-style retirement knob |
+//! | [`obs`] | `rmr-obs` | zero-cost-when-off observability: `Recorder` hooks in every tier, counters + log-bucket histograms (`StatsRecorder`), replayable Chrome-trace event ring |
 //! | [`baselines`] | `rmr-baselines` | the prior-art lock classes the paper improves on |
 //! | [`sim`] | `rmr-sim` | the abstract machine: model checking, RMR cost models, invariants |
 //!
@@ -83,6 +84,22 @@
 //! });
 //! ```
 //!
+//! Every tier accepts an [`obs`] recorder via `with_recorder` — the
+//! default `NoopRecorder` compiles the hooks away entirely (proven
+//! op-for-op by E19), while a `StatsRecorder` yields counters, p50/p99
+//! latency histograms and an optional replayable event trace:
+//!
+//! ```
+//! use rmrw::core::RwLock;
+//! use rmrw::obs::{Event, StatsRecorder};
+//! use std::sync::Arc;
+//!
+//! let rec = Arc::new(StatsRecorder::new(8));
+//! let lock = RwLock::starvation_free(0u32, 8).with_recorder(Arc::clone(&rec));
+//! *lock.write() += 1;
+//! assert_eq!(rec.counter(Event::WriteAcquire), 1);
+//! ```
+//!
 //! See the workspace README for the paper map, DESIGN.md for the system
 //! inventory, and EXPERIMENTS.md for how to reproduce the measurements.
 
@@ -93,5 +110,6 @@ pub use rmr_baselines as baselines;
 pub use rmr_bravo as bravo;
 pub use rmr_core as core;
 pub use rmr_mutex as mutex;
+pub use rmr_obs as obs;
 pub use rmr_sim as sim;
 pub use rmr_swap as swap;

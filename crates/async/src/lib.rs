@@ -13,18 +13,17 @@
 //!
 //! Three design commitments, spelled out in DESIGN.md §11:
 //!
-//! * **The real locks, not a re-implementation.** Every acquisition
-//!   attempt is one call into the shipped locks' bounded non-blocking
-//!   tier, so *per-attempt admission* and *exclusion* are exactly the
-//!   wrapped lock's; the async layer only decides when to retry. One
-//!   honest consequence: a parked future has **no queue presence** in
-//!   the raw lock (its failed attempts fully unwind), so fairness
-//!   guarantees that depend on waiting in line — e.g. the ticket lock's
-//!   FIFO blocking new readers behind a waiting writer — do **not**
-//!   transfer. Under continuously *overlapping* read sessions an
-//!   awaiting writer can starve; use [`AsyncRwLock::write_blocking`]
-//!   (which does wait in the raw queue) where cross-class fairness is a
-//!   requirement. See DESIGN.md §11.
+//! * **The real locks, not a re-implementation.** Every read attempt is
+//!   one call into the shipped locks' bounded non-blocking tier, and
+//!   every awaited *write* holds a revocable
+//!   [`RawParkedWaiters`](rmr_core::raw::RawParkedWaiters) doorway — a
+//!   genuine queue presence in the raw lock, counted like a queued
+//!   process — so *admission*, *exclusion* **and** the paper's
+//!   cross-class fairness transfer to `write().await`: once the doorway
+//!   is tokened, the raw lock bounds how many late readers can bypass
+//!   the parked writer (the `async-fair` batteries in `rmr-check` hold
+//!   it to that bound). The async layer only decides when to re-poll.
+//!   See DESIGN.md §11 and §15.
 //! * **Cancel-safety by construction.** A pending future holds no lock
 //!   state between polls (the try tier's failure path unwinds the doorway
 //!   announcement before returning), so dropping it only has to clear a

@@ -4,14 +4,25 @@
 //!
 //! The raw locks block by *spinning*; a service tier cannot burn a core
 //! per waiter. This module converts every futile-spin point into
-//! `Poll::Pending` **without re-entering the locks' blocking paths at
-//! all**: an acquisition attempt is one bounded call into the lock's
-//! non-blocking tier ([`RawTryReadLock`] / [`RawTryRwLock`]), whose
-//! failure path retires through the ordinary exit section — so a pending
-//! future holds *no* lock state between polls, which is what makes
-//! dropping it mid-acquisition (future cancellation) safe by
-//! construction: the doorway announcement was already unwound inside the
-//! failed attempt.
+//! `Poll::Pending`:
+//!
+//! * **Readers** make one bounded call per poll into the lock's
+//!   non-blocking tier ([`RawTryReadLock`]), whose failure path retires
+//!   through the ordinary exit section — a pending read future holds
+//!   *no* lock state between polls, so dropping it mid-acquisition
+//!   (future cancellation) is safe by construction.
+//! * **Writers** hold a real queue position: `write().await` claims the
+//!   lock's single *writer doorway* ([`RawParkedWaiters`]) and keeps the
+//!   parked [`WriteDoorway`](rmr_core::raw::RawParkedWaiters::WriteDoorway)
+//!   across polls — the awaiting writer is **tokened**, counted by the
+//!   raw lock exactly like a blocking writer standing in line, so the
+//!   lock's own anti-starvation policy (ticket FIFO, Figure 1's
+//!   writer-priority doorway) protects it and readers cannot bypass it
+//!   more than the lock's bound allows (`QUEUED` locks; `rmr-check`'s
+//!   bounded-bypass oracle enforces k = in-flight readers).
+//!   Cancellation-safety is restored *revocably*: dropping the future
+//!   calls `cancel_write`, which unwinds or hands off the half-entered
+//!   passage (each lock's documented zombie/adoption protocol).
 //!
 //! A failed attempt parks the task's waker in the per-pid
 //! [`WakerTable`] and **retries once** before returning `Pending` — the
@@ -29,6 +40,13 @@
 //!   re-polls parked readers. The model-checked battery caught exactly
 //!   this reader-parked-behind-reader stranding in an earlier version
 //!   that woke only writers;
+//! * **every** read guard drop re-polls parked *writers* while any
+//!   exist: a tokened doorway typically becomes grantable when one
+//!   *side* of the lock drains (Figure 1's previous-side count, a ticket
+//!   predecessor), long before the global reader count reaches zero —
+//!   waking only on last-reader-out would strand the doorway behind
+//!   overlapping read sessions, the very starvation the token exists to
+//!   end. The common no-writer case is one `SeqCst` load;
 //! * a Bravo-wrapped lock's fast-path readers stay zero-inner-op: the
 //!   async layer touches only its own counters and table, never the
 //!   inner lock.
@@ -47,35 +65,41 @@
 //! a future parks. Spurious wake-ups (thundering herd on writer exit,
 //! stale wakers) merely cause a re-poll that re-parks.
 //!
-//! Liveness is per-release, not per-class: because a pending future has
-//! no queue presence in the raw lock, anti-starvation policies that rely
-//! on standing in line (ticket FIFO, Figure 4's writer priority) do not
-//! protect an *awaiting* writer — continuously overlapping read sessions
-//! can keep `write().await` parked indefinitely (each wake-up's retry
-//! finds the lock read-held). Where that matters, take the writer
-//! through [`AsyncRwLock::write_blocking`] (a real queue entry) or bound
-//! reader overlap.
+//! # The writer-claim word
 //!
-//! # Writers on locks without a try tier
+//! [`RawParkedWaiters`] grants **one** doorway per lock at a time; the
+//! async tier serializes its writers through a word-sized claim
+//! (CAS 0 → 1 to start a doorway, store 0 on guard drop or cancel).
+//! Losers park as writers and re-CAS on wake — so on a *single-writer*
+//! paper lock (Figure 1), concurrent `write().await` callers are safe:
+//! the claim word is the serialization the `RawMultiWriter` bound used
+//! to demand, which is why that gate is lifted for `write()`.
+//! [`AsyncRwLock::try_write`] still requires `RawMultiWriter` (a bounded
+//! attempt never takes the claim).
 //!
-//! The paper's core locks deliberately do not implement [`RawTryRwLock`]
-//! (their writer doorway is irrevocable), so `write().await` is a compile
-//! error on them — exactly like the typed [`RwLock`]'s capability gating.
-//! [`AsyncRwLock::write_blocking`] is the escape hatch: a *blocking*
-//! writer acquisition (intended for a dedicated writer thread or a
-//! `spawn_blocking`-style offload) whose release still wakes parked
-//! async readers. Its spin loops run under a
-//! [`park hint`](rmr_mutex::spin::with_park_hint) that yields the core
-//! from the first futile iteration, so a blocking writer stranded on an
-//! executor thread degrades politely instead of burning hot.
+//! Fairness across classes is the raw lock's, not the claim word's: the
+//! claim hands the doorway to *some* awaiting writer (wake order is the
+//! waiter-FIFO, but a fresh `write()` can CAS first); once claimed, the
+//! doorway's queue position is what readers must respect.
 //!
+//! # `write_blocking` (deprecated)
+//!
+//! [`AsyncRwLock::write_blocking`] predates the doorway: a *blocking*
+//! writer acquisition through the raw lock's own spin (under a
+//! [`park hint`](rmr_mutex::spin::with_park_hint)), for locks that offer
+//! `RawMultiWriter`. `write().await` + [`block_on`](crate::exec::block_on)
+//! now covers every lock with a doorway — including the core SWMR locks,
+//! which never had `write_blocking` — so this method is deprecated and
+//! kept only for multi-writer locks without a fair doorway.
+//!
+//! [`RawParkedWaiters`]: rmr_core::raw::RawParkedWaiters
 //! [`RawTryReadLock`]: rmr_core::raw::RawTryReadLock
 //! [`RawTryRwLock`]: rmr_core::raw::RawTryRwLock
 //! [`RwLock`]: rmr_core::rwlock::RwLock
 //! [`WakerTable`]: crate::park::WakerTable
 
 use crate::park::{WaitKind, WakerTable};
-use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
+use rmr_core::raw::{RawMultiWriter, RawParkedWaiters, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::{Pid, PidRegistry};
 use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedWord};
 use rmr_mutex::{spin, CachePadded};
@@ -121,6 +145,10 @@ pub struct AsyncRwLock<T: ?Sized, L, B: Backend = Native, R: Recorder = NoopReco
     /// Currently held async read guards; the 1 → 0 transition wakes
     /// parked writers.
     readers: CachePadded<B::Word>,
+    /// The writer-claim word (see the module docs): 1 while some writer
+    /// future or blocking writer owns the lock's single doorway, from
+    /// `start_write` until the guard drops or the future cancels.
+    writer_claim: CachePadded<B::Word>,
     /// Passages reported here; inert by default ([`AsyncRwLock::with_recorder`]).
     recorder: R,
     /// `recorder.now()` at the latest wake scan — the subtrahend for
@@ -192,6 +220,7 @@ impl<T, L: RawRwLock, B: Backend> AsyncRwLock<T, L, B> {
             registry: PidRegistry::new(capacity),
             table: WakerTable::new(capacity),
             readers: CachePadded::new(B::Word::new(0)),
+            writer_claim: CachePadded::new(B::Word::new(0)),
             recorder: NoopRecorder,
             wake_ts: CachePadded::new(AtomicU64::new(0)),
             data: UnsafeCell::new(value),
@@ -206,8 +235,8 @@ impl<T, L: RawRwLock, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
     /// reading; with the default [`NoopRecorder`] every hook const-folds
     /// away.
     pub fn with_recorder<R2: Recorder>(self, recorder: R2) -> AsyncRwLock<T, L, B, R2> {
-        let Self { raw, registry, table, readers, recorder: _, wake_ts, data } = self;
-        AsyncRwLock { raw, registry, table, readers, recorder, wake_ts, data }
+        let Self { raw, registry, table, readers, writer_claim, recorder: _, wake_ts, data } = self;
+        AsyncRwLock { raw, registry, table, readers, writer_claim, recorder, wake_ts, data }
     }
 
     /// Consumes the lock, returning the protected value.
@@ -266,13 +295,31 @@ impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
         self.table.wakeups()
     }
 
-    /// Checker entry point: nothing parked, nothing held, no pid leased.
-    /// Combine with the raw lock's own `is_quiescent` where one exists.
+    /// Checker entry point: nothing parked, nothing held, no pid leased,
+    /// no doorway claimed. Combine with the raw lock's own
+    /// `is_quiescent` where one exists.
     pub fn is_quiescent(&self) -> bool {
         self.table.parked_readers() == 0
             && self.table.parked_writers() == 0
             && self.readers.load(MemOrdering::Relaxed) == 0
             && self.registry.allocated() == 0
+            && self.writer_claim.load(MemOrdering::Relaxed) == 0
+    }
+
+    /// One bounded attempt to claim the lock's single writer doorway.
+    fn claim_doorway(&self) -> bool {
+        // Site AS-CLAIM: both ends of the claim word ride the same
+        // lost-wakeup square as AS-COUNT — the freeing store (guard drop
+        // / cancel) precedes a wake scan, the claiming CAS follows a
+        // waker registration — so both are SeqCst.
+        self.writer_claim.compare_exchange(0, 1, MemOrdering::SeqCst, MemOrdering::SeqCst).is_ok()
+    }
+
+    /// Frees the doorway claim. The caller must follow with a wake scan
+    /// so a parked claimer re-CASes.
+    fn release_doorway_claim(&self) {
+        // Site AS-CLAIM: see `claim_doorway`.
+        self.writer_claim.store(0, MemOrdering::SeqCst);
     }
 
     fn allocate_pid(&self) -> Pid {
@@ -300,8 +347,13 @@ impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
         AsyncReadGuard { lock: self, pid, token: Some(token) }
     }
 
-    fn finish_write(&self, pid: Pid, token: L::WriteToken) -> AsyncWriteGuard<'_, T, L, B, R> {
-        AsyncWriteGuard { lock: self, pid, token: Some(token) }
+    fn finish_write(
+        &self,
+        pid: Pid,
+        token: L::WriteToken,
+        claimed: bool,
+    ) -> AsyncWriteGuard<'_, T, L, B, R> {
+        AsyncWriteGuard { lock: self, pid, token: Some(token), claimed }
     }
 
     /// Runs one wake scan, stamping [`Self::wake_ts`] first (so a woken
@@ -368,29 +420,44 @@ impl<T: ?Sized, L: RawTryReadLock, B: Backend, R: Recorder> AsyncRwLock<T, L, B,
     }
 }
 
-impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
+impl<T: ?Sized, L: RawParkedWaiters, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
     /// Acquires the lock for writing, suspending while readers or another
     /// writer are in the way.
     ///
-    /// Requires the full non-blocking tier ([`RawTryRwLock`]): the
-    /// paper's core locks cannot abort a started write doorway, so on
-    /// them this method does not exist — use
-    /// [`AsyncRwLock::write_blocking`] from a thread that may block.
-    /// Cancel-safe for the same reason as [`AsyncRwLock::read`].
+    /// Requires only [`RawParkedWaiters`] — **every** lock in the
+    /// workspace, including the paper's single-writer core locks: the
+    /// writer-claim word serializes concurrent `write()` callers (see
+    /// the module docs), and the claimed doorway is a *real, tokened
+    /// queue position* the raw lock counts like a blocking writer, so on
+    /// `QUEUED` locks readers cannot bypass an awaiting writer beyond
+    /// the lock's bound.
+    ///
+    /// Cancel-safe: dropping the future before completion unwinds
+    /// everything — a parked doorway is revoked through the lock's own
+    /// `cancel_write` protocol, the claim is freed (waking the next
+    /// claimer), and the waker and pid lease are returned.
+    ///
+    /// Locks without any write capability stay a compile error:
     ///
     /// ```compile_fail
     /// use rmr_async::AsyncRwLock;
     /// use rmr_core::mwmr::MwmrStarvationFree;
     ///
     /// let lock = AsyncRwLock::with_raw(0u32, MwmrStarvationFree::new(2));
-    /// let _ = lock.write(); // ERROR: MwmrStarvationFree is not RawTryRwLock
+    /// let _ = lock.write(); // ERROR: MwmrStarvationFree is not RawParkedWaiters
     /// ```
     pub fn write(&self) -> AsyncWrite<'_, T, L, B, R> {
-        AsyncWrite { lock: self, pid: None, done: false, parked: false, t0: 0 }
+        AsyncWrite { lock: self, pid: None, stage: WriteStage::Claiming, parked: false, t0: 0 }
     }
+}
 
+impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend, R: Recorder> AsyncRwLock<T, L, B, R> {
     /// Attempts to acquire the lock for writing without blocking or
-    /// suspending.
+    /// suspending — one bounded attempt, exactly [`RawTryRwLock`]'s.
+    ///
+    /// Keeps the [`RawMultiWriter`] bound (unlike [`AsyncRwLock::write`]):
+    /// a bounded attempt never takes the writer-claim word, so on a
+    /// single-writer lock it could race the claimed doorway.
     #[must_use = "a silently dropped guard releases the lock at once; check the Option"]
     pub fn try_write(&self) -> Option<AsyncWriteGuard<'_, T, L, B, R>> {
         let pid = self.registry.allocate().ok()?;
@@ -400,7 +467,7 @@ impl<T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend, R: Recorder> Async
             self.recorder.count(pid.index(), ev);
         }
         match token {
-            Some(token) => Some(self.finish_write(pid, token)),
+            Some(token) => Some(self.finish_write(pid, token, false)),
             None => {
                 self.registry.release(pid);
                 None
@@ -413,11 +480,22 @@ impl<T: ?Sized, L: RawMultiWriter, B: Backend, R: Recorder> AsyncRwLock<T, L, B,
     /// Acquires the lock for writing by *blocking* (the raw lock's own
     /// spin, under a yield-first [`park hint`](rmr_mutex::spin::with_park_hint)).
     ///
-    /// This is the writer path for locks without [`RawTryRwLock`] (the
-    /// paper's core locks): call it from a dedicated writer thread or a
+    /// Call it from a dedicated writer thread or a
     /// `spawn_blocking`-style offload, never from inside a future. The
     /// returned guard is the ordinary [`AsyncWriteGuard`], so its drop
     /// wakes parked async readers exactly like `write().await`'s.
+    ///
+    /// Deprecated: this writer bypasses the claim word and holds no
+    /// revocable doorway, so it predates — and forfeits — the tokened
+    /// fairness story. `write().await` (or
+    /// [`block_on`](crate::exec::block_on)`(lock.write())` from sync
+    /// code) now works on every lock with a doorway, including the core
+    /// SWMR locks this method was the escape hatch for.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use write().await (or block_on(lock.write()) from sync code); every lock now \
+                carries a RawParkedWaiters doorway"
+    )]
     pub fn write_blocking(&self) -> AsyncWriteGuard<'_, T, L, B, R> {
         let pid = self.allocate_pid();
         let t0 = if R::ENABLED { self.recorder.now() } else { 0 };
@@ -425,7 +503,7 @@ impl<T: ?Sized, L: RawMultiWriter, B: Backend, R: Recorder> AsyncRwLock<T, L, B,
         if R::ENABLED {
             self.grant_obs(pid.index(), true, t0, false);
         }
-        self.finish_write(pid, token)
+        self.finish_write(pid, token, false)
     }
 }
 
@@ -503,6 +581,19 @@ impl<'l, T: ?Sized, L: RawTryReadLock, B: Backend, R: Recorder> Future
             }
             return Poll::Ready(lock.finish_read(pid, token));
         }
+        // A failed attempt is not a silent no-op to a *tokened doorway*:
+        // its transient admission announcement (fig. 1's `C[side]`
+        // increment, a conditionally-drawn ticket probe) may be exactly
+        // what a parked writer's last `poll_write` observed before it
+        // parked — and the attempt's unwind, unlike a read session's
+        // exit, passes through no release path. Re-polling parked
+        // writers after the unwind closes that square: either the
+        // writer's re-poll already ran after our unwind (it is granted),
+        // or its SeqCst parked announce precedes its re-poll and this
+        // SeqCst count check sees it.
+        if lock.table.parked_writers() > 0 {
+            lock.wake_scan(pid.index(), WakerTable::wake_writers);
+        }
         if R::ENABLED {
             lock.recorder.count(pid.index(), Event::AsyncPark);
         }
@@ -532,25 +623,64 @@ impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> fmt::Debug for AsyncRead<
     }
 }
 
-/// Future of [`AsyncRwLock::write`]. Same protocol as [`AsyncRead`] with
-/// the writer wait kind.
+/// Where an [`AsyncWrite`] passage stands between polls.
+enum WriteStage<D> {
+    /// No claim yet: CAS the writer-claim word each poll, parking as a
+    /// writer on failure (woken when a guard drop / cancel frees it).
+    Claiming,
+    /// Claim held; the raw lock's revocable doorway is parked in here
+    /// between polls — this *is* the tokened queue position. The
+    /// `Option` is only transiently `None` inside a poll.
+    Doorway(Option<D>),
+    /// Granted; the guard owns everything now.
+    Done,
+}
+
+/// Future of [`AsyncRwLock::write`]: claim the writer doorway, then poll
+/// the parked [`WriteDoorway`](RawParkedWaiters::WriteDoorway) — a real,
+/// tokened queue position in the raw lock — to the grant.
 #[must_use = "futures do nothing unless polled"]
-pub struct AsyncWrite<'l, T: ?Sized, L: RawRwLock, B: Backend, R: Recorder = NoopRecorder> {
+pub struct AsyncWrite<'l, T: ?Sized, L: RawParkedWaiters, B: Backend, R: Recorder = NoopRecorder> {
     lock: &'l AsyncRwLock<T, L, B, R>,
+    /// Leased on first poll; consumed by the guard on success, returned
+    /// by Drop on cancellation.
     pid: Option<Pid>,
-    done: bool,
+    stage: WriteStage<L::WriteDoorway>,
+    /// Whether this future ever returned `Pending` — a granted parked
+    /// future records its wake-to-grant latency.
     parked: bool,
+    /// `recorder.now()` at the first poll (0 when inert).
     t0: u64,
 }
 
-impl<'l, T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend, R: Recorder> Future
+// The future owns the doorway by value and holds no self-references, so
+// pinning is not structural — `poll` may freely `get_mut` even when the
+// lock's doorway type is not `Unpin`.
+impl<T: ?Sized, L: RawParkedWaiters, B: Backend, R: Recorder> Unpin for AsyncWrite<'_, T, L, B, R> {}
+
+impl<'l, T: ?Sized, L: RawParkedWaiters, B: Backend, R: Recorder> AsyncWrite<'l, T, L, B, R> {
+    /// Grant epilogue: retire the waker, hand pid + token + claim to the
+    /// guard.
+    fn complete(&mut self, pid: Pid, token: L::WriteToken) -> AsyncWriteGuard<'l, T, L, B, R> {
+        let lock = self.lock;
+        lock.table.deregister(pid.index());
+        self.pid = None;
+        self.stage = WriteStage::Done;
+        if R::ENABLED {
+            lock.grant_obs(pid.index(), true, self.t0, self.parked);
+        }
+        lock.finish_write(pid, token, true)
+    }
+}
+
+impl<'l, T: ?Sized, L: RawParkedWaiters, B: Backend, R: Recorder> Future
     for AsyncWrite<'l, T, L, B, R>
 {
     type Output = AsyncWriteGuard<'l, T, L, B, R>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
-        assert!(!this.done, "AsyncWrite polled after completion");
+        assert!(!matches!(this.stage, WriteStage::Done), "AsyncWrite polled after completion");
         let lock = this.lock;
         let pid = match this.pid {
             Some(pid) => pid,
@@ -561,48 +691,87 @@ impl<'l, T: ?Sized, L: RawTryRwLock + RawMultiWriter, B: Backend, R: Recorder> F
                 *this.pid.insert(lock.allocate_pid())
             }
         };
-        if let Some(token) = lock.raw.try_write_lock(pid) {
-            lock.table.deregister(pid.index());
-            this.pid = None;
-            this.done = true;
-            if R::ENABLED {
-                lock.grant_obs(pid.index(), true, this.t0, this.parked);
+        if matches!(this.stage, WriteStage::Claiming) {
+            if !lock.claim_doorway() {
+                lock.table.register(pid.index(), WaitKind::Writer, cx.waker());
+                // The lost-wakeup linchpin: the claim may have been freed
+                // (and its wake scanned past us) between the failed CAS
+                // and the registration — retry now that the waker is
+                // visible.
+                if !lock.claim_doorway() {
+                    if R::ENABLED {
+                        lock.recorder.count(pid.index(), Event::AsyncPark);
+                    }
+                    this.parked = true;
+                    return Poll::Pending;
+                }
             }
-            return Poll::Ready(lock.finish_write(pid, token));
+            // Claim won: take the real queue position. From here on the
+            // raw lock counts this passage like a blocking writer's.
+            this.stage = WriteStage::Doorway(Some(lock.raw.start_write(pid)));
         }
+        let doorway = match &mut this.stage {
+            WriteStage::Doorway(doorway) => doorway.take().expect("doorway parked between polls"),
+            _ => unreachable!("Claiming was advanced above, Done asserted on entry"),
+        };
+        let doorway = match lock.raw.poll_write(pid, doorway) {
+            Ok(token) => return Poll::Ready(this.complete(pid, token)),
+            Err(doorway) => doorway,
+        };
         lock.table.register(pid.index(), WaitKind::Writer, cx.waker());
-        if let Some(token) = lock.raw.try_write_lock(pid) {
-            lock.table.deregister(pid.index());
-            this.pid = None;
-            this.done = true;
-            if R::ENABLED {
-                lock.grant_obs(pid.index(), true, this.t0, this.parked);
+        // Same linchpin, doorway flavor: the release that would have
+        // granted us may have scanned before the registration.
+        match lock.raw.poll_write(pid, doorway) {
+            Ok(token) => Poll::Ready(this.complete(pid, token)),
+            Err(doorway) => {
+                this.stage = WriteStage::Doorway(Some(doorway));
+                if R::ENABLED {
+                    lock.recorder.count(pid.index(), Event::AsyncPark);
+                }
+                this.parked = true;
+                Poll::Pending
             }
-            return Poll::Ready(lock.finish_write(pid, token));
         }
-        if R::ENABLED {
-            lock.recorder.count(pid.index(), Event::AsyncPark);
-        }
-        this.parked = true;
-        Poll::Pending
     }
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> Drop for AsyncWrite<'_, T, L, B, R> {
+impl<T: ?Sized, L: RawParkedWaiters, B: Backend, R: Recorder> Drop for AsyncWrite<'_, T, L, B, R> {
     fn drop(&mut self) {
-        if let Some(pid) = self.pid.take() {
-            self.lock.table.deregister(pid.index());
-            self.lock.registry.release(pid);
-            if R::ENABLED {
-                self.lock.recorder.count(pid.index(), Event::AsyncCancel);
+        let Some(pid) = self.pid.take() else { return };
+        // Cancelled mid-acquisition.
+        if let WriteStage::Doorway(doorway) = &mut self.stage {
+            // Revoke the half-entered passage through the lock's own
+            // cancellation protocol (unwind or zombie-handoff), free the
+            // claim, then wake everyone: cancellation may have reopened
+            // reader admission, and the claim is up for grabs.
+            if let Some(doorway) = doorway.take() {
+                self.lock.raw.cancel_write(pid, doorway);
             }
+            self.lock.release_doorway_claim();
+            self.lock.table.deregister(pid.index());
+            self.lock.wake_scan(pid.index(), WakerTable::wake_all);
+        } else {
+            // Claiming stage: no lock state exists beyond the parked
+            // waker and the pid lease.
+            self.lock.table.deregister(pid.index());
+        }
+        self.lock.registry.release(pid);
+        if R::ENABLED {
+            self.lock.recorder.count(pid.index(), Event::AsyncCancel);
         }
     }
 }
 
-impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> fmt::Debug for AsyncWrite<'_, T, L, B, R> {
+impl<T: ?Sized, L: RawParkedWaiters, B: Backend, R: Recorder> fmt::Debug
+    for AsyncWrite<'_, T, L, B, R>
+{
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("AsyncWrite").field("pid", &self.pid).field("done", &self.done).finish()
+        let stage = match self.stage {
+            WriteStage::Claiming => "claiming",
+            WriteStage::Doorway(_) => "doorway",
+            WriteStage::Done => "done",
+        };
+        f.debug_struct("AsyncWrite").field("pid", &self.pid).field("stage", &stage).finish()
     }
 }
 
@@ -644,15 +813,24 @@ impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> Drop for AsyncReadGuard<'
             self.lock.recorder.count(self.pid.index(), Event::ReadRelease);
         }
         // Raw release first, then the wake: a woken waiter's attempt must
-        // be able to succeed. Only the last reader out scans — and it
-        // wakes *everyone*, not just writers: a reader parked behind
-        // another reader's entry window (see `finish_read`) may have this
-        // release as its only remaining wake source.
+        // be able to succeed. The last reader out wakes *everyone*, not
+        // just writers: a reader parked behind another reader's entry
+        // window (see `finish_read`) may have this release as its only
+        // remaining wake source.
         // SeqCst: the last-reader edge decides whether anyone scans at
         // all — it must be ordered after the raw release above and
         // before the wake scan's skip checks (the AS-COUNT square).
         if self.lock.readers.fetch_sub(1, MemOrdering::SeqCst) == 1 {
             self.lock.wake_scan(self.pid.index(), WakerTable::wake_all);
+        } else if self.lock.table.parked_writers() > 0 {
+            // Not the last reader, but a *tokened doorway* may already be
+            // grantable: Figure 1's writer waits only for its previous
+            // side (a ticket writer only for its predecessor), so the
+            // drain it needs can complete long before the global count
+            // hits zero. Re-poll parked writers on every reader exit
+            // while any exist — the no-writer common case is this one
+            // SeqCst load (site AS-COUNT).
+            self.lock.wake_scan(self.pid.index(), WakerTable::wake_writers);
         }
         self.lock.registry.release(self.pid);
     }
@@ -676,6 +854,9 @@ pub struct AsyncWriteGuard<'l, T: ?Sized, L: RawRwLock, B: Backend, R: Recorder 
     lock: &'l AsyncRwLock<T, L, B, R>,
     pid: Pid,
     token: Option<L::WriteToken>,
+    /// Whether this guard owns the writer-claim word (true for doorway
+    /// passages, false for `try_write` / `write_blocking`).
+    claimed: bool,
 }
 
 impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> Deref for AsyncWriteGuard<'_, T, L, B, R> {
@@ -702,6 +883,11 @@ impl<T: ?Sized, L: RawRwLock, B: Backend, R: Recorder> Drop for AsyncWriteGuard<
         self.lock.raw.write_unlock(self.pid, token);
         if R::ENABLED {
             self.lock.recorder.count(self.pid.index(), Event::WriteRelease);
+        }
+        // Free the doorway claim *before* the wake scan so a woken
+        // claimer's CAS succeeds (the AS-CLAIM square).
+        if self.claimed {
+            self.lock.release_doorway_claim();
         }
         self.lock.wake_scan(self.pid.index(), WakerTable::wake_all);
         self.lock.registry.release(self.pid);

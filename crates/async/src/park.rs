@@ -36,8 +36,26 @@
 //!   before the pid can be reused — otherwise a wake meant for the old
 //!   future could be consumed by a new future's registration and lost.
 //!
-//! All state values are small constants (never pointers), so `Sched`
-//! replays observe identical values run after run.
+//! # The intrusive waiter list
+//!
+//! Wake scans do **not** sweep the slot array: the table threads the
+//! parked slots onto an intrusive FIFO (per-slot `next`/`prev` indices,
+//! living inside the same cache-padded slot the future already owns), so
+//! a wake walks exactly the parked waiters — **O(waiters), not
+//! O(capacity)** — and never inspects an empty slot. The list ends and
+//! every link are guarded by one word-sized spinlock (`queue_lock`) whose
+//! critical sections are a handful of index writes, never a wait; the
+//! slot *state machine* above stays the cross-thread synchronization for
+//! the waker cell itself. Registration links at the tail **before** the
+//! parked-count announce (so any scan the announce un-skips also finds
+//! the node); cancellation unlinks **before** the slot dance (so a pid is
+//! never re-leased while still threaded). The cancel/unlink race against
+//! a concurrent wake is arbitrated by the `PARKED → TAKING` claim CAS
+//! exactly as before — a claimant that loses simply skips the node — and
+//! is explored by the `Sched` cancellation batteries in `rmr-check`.
+//! Links are deliberately indices, not pointers, so `Sched` replays
+//! observe identical values run after run; all state values are likewise
+//! small constants.
 
 use rmr_mutex::mem::{Backend, Ordering as MemOrdering, SharedWord};
 use rmr_mutex::{spin_until, CachePadded};
@@ -139,12 +157,30 @@ impl WaitKind {
     }
 }
 
+/// Absent link ("null" index).
+const NIL: usize = usize::MAX;
+
 struct Slot<B: Backend> {
     state: B::Word,
     /// Written only by the slot's owner while `state == EMPTY`; read only
     /// by the releaser that won the `PARKED → TAKING` CAS. The state
     /// machine is the synchronization.
     cell: UnsafeCell<Option<Waker>>,
+    /// Intrusive FIFO links (slot indices, [`NIL`] when absent) and the
+    /// threaded flag — read and written **only** while holding the
+    /// table's `queue_lock` word. Plain cells, not atomics: the spinlock
+    /// is the synchronization, and keeping them invisible to the
+    /// `Counting` backend is what makes the O(waiters) wake-cost
+    /// assertion exact.
+    next: UnsafeCell<usize>,
+    prev: UnsafeCell<usize>,
+    linked: UnsafeCell<bool>,
+}
+
+/// The FIFO's end indices, guarded by `queue_lock` like the links.
+struct QueueEnds {
+    head: usize,
+    tail: usize,
 }
 
 // SAFETY: cross-thread access to `cell` is serialized by the slot state
@@ -177,7 +213,17 @@ pub struct WakerTable<B: Backend> {
     /// Wake-ups delivered so far (diagnostics; bumped on the release path
     /// only, never while registering).
     wakeups: CachePadded<B::Word>,
+    /// Word-sized test-and-set spinlock guarding `queue` and every slot's
+    /// links (see the module docs).
+    queue_lock: CachePadded<B::Word>,
+    queue: UnsafeCell<QueueEnds>,
 }
+
+// SAFETY: `queue` and the slots' link cells are only touched while
+// holding the `queue_lock` word (see `with_queue`); everything else is
+// atomics plus the slot state machine already argued at `Slot`.
+unsafe impl<B: Backend> Sync for WakerTable<B> {}
+unsafe impl<B: Backend> Send for WakerTable<B> {}
 
 impl<B: Backend> WakerTable<B> {
     /// A table with `capacity` slots, one per pid in `0..capacity`.
@@ -193,13 +239,98 @@ impl<B: Backend> WakerTable<B> {
                     CachePadded::new(Slot {
                         state: B::Word::new(EMPTY),
                         cell: UnsafeCell::new(None),
+                        next: UnsafeCell::new(NIL),
+                        prev: UnsafeCell::new(NIL),
+                        linked: UnsafeCell::new(false),
                     })
                 })
                 .collect(),
             parked_readers: CachePadded::new(B::Word::new(0)),
             parked_writers: CachePadded::new(B::Word::new(0)),
             wakeups: CachePadded::new(B::Word::new(0)),
+            queue_lock: CachePadded::new(B::Word::new(0)),
+            queue: UnsafeCell::new(QueueEnds { head: NIL, tail: NIL }),
         }
+    }
+
+    /// Runs `f` with the intrusive FIFO locked. The critical sections are
+    /// a bounded handful of index writes (link, unlink, claim) — never a
+    /// wait — so the spin here is only ever contention, not blocking.
+    fn with_queue<O>(&self, f: impl FnOnce(&mut QueueEnds) -> O) -> O {
+        spin_until(|| {
+            // Acquire on success pairs with the Release unlock below, so
+            // every link written under the previous holder is visible.
+            self.queue_lock
+                .compare_exchange(0, 1, MemOrdering::Acquire, MemOrdering::Relaxed)
+                .is_ok()
+        });
+        // SAFETY: the lock word is held — exclusive access to the ends
+        // and every slot's link cells.
+        let out = f(unsafe { &mut *self.queue.get() });
+        self.queue_lock.store(0, MemOrdering::Release);
+        out
+    }
+
+    /// Threads `pid` onto the FIFO tail. No-op when already threaded (a
+    /// waker refresh keeps its queue position). Caller holds `queue_lock`.
+    fn link_tail(&self, q: &mut QueueEnds, pid: usize) {
+        let slot = &self.slots[pid];
+        // SAFETY: queue lock held (caller contract).
+        unsafe {
+            if *slot.linked.get() {
+                return;
+            }
+            *slot.linked.get() = true;
+            *slot.next.get() = NIL;
+            *slot.prev.get() = q.tail;
+            if q.tail == NIL {
+                q.head = pid;
+            } else {
+                *self.slots[q.tail].next.get() = pid;
+            }
+            q.tail = pid;
+        }
+    }
+
+    /// Unthreads `pid` from the FIFO. No-op when not threaded. Caller
+    /// holds `queue_lock`.
+    fn unlink(&self, q: &mut QueueEnds, pid: usize) {
+        let slot = &self.slots[pid];
+        // SAFETY: queue lock held (caller contract).
+        unsafe {
+            if !*slot.linked.get() {
+                return;
+            }
+            *slot.linked.get() = false;
+            let next = *slot.next.get();
+            let prev = *slot.prev.get();
+            if prev == NIL {
+                q.head = next;
+            } else {
+                *self.slots[prev].next.get() = next;
+            }
+            if next == NIL {
+                q.tail = prev;
+            } else {
+                *self.slots[next].prev.get() = prev;
+            }
+        }
+    }
+
+    /// The parked pids in FIFO (park) order — diagnostic snapshot for
+    /// tests and the reference-model stress; racing parks/wakes make it
+    /// approximate, exact only at rest.
+    pub fn parked_fifo(&self) -> Vec<usize> {
+        self.with_queue(|q| {
+            let mut pids = Vec::new();
+            let mut pid = q.head;
+            while pid != NIL {
+                pids.push(pid);
+                // SAFETY: queue lock held.
+                pid = unsafe { *self.slots[pid].next.get() };
+            }
+            pids
+        })
     }
 
     /// Number of slots (pids) the table serves.
@@ -254,6 +385,12 @@ impl<B: Backend> WakerTable<B> {
                     // CAS so the cloned waker is visible to the take.
                     unsafe { *slot.cell.get() = Some(waker.clone()) };
                     slot.state.store(kind.parked_word(), MemOrdering::Release);
+                    // Thread onto the FIFO *before* the announce: a scan
+                    // that the announce below stops from skipping takes
+                    // the queue lock after this release and so finds the
+                    // node. (A refresh is already threaded and keeps its
+                    // position — `link_tail` no-ops.)
+                    self.with_queue(|q| self.link_tail(q, pid));
                     // Site AS-ANNOUNCE: the announce half of the
                     // park-announce SB square — the caller re-tries the
                     // lock after this bump, and a releaser checks the
@@ -307,6 +444,13 @@ impl<B: Backend> WakerTable<B> {
     /// the wrong future.
     pub fn deregister(&self, pid: usize) {
         let slot = &self.slots[pid];
+        // Unthread first (the cancel/unlink linchpin): once this returns,
+        // no scan can reach the node, so the slot dance below — and the
+        // pid re-lease after it — can never race a walk that still holds
+        // our index. A wake that *already* claimed the slot (`TAKING`)
+        // has unlinked it itself; `unlink` then no-ops and the dance
+        // waits out the delivery as before.
+        self.with_queue(|q| self.unlink(q, pid));
         loop {
             // Acquire for the same reason as `register`'s loop-top load:
             // waiting out TAKING must happen-after the claimant's take
@@ -379,36 +523,61 @@ impl<B: Backend> WakerTable<B> {
     }
 
     fn wake_matching(&self, include_readers: bool, include_writers: bool) -> usize {
-        let mut woken = 0;
-        for slot in self.slots.iter() {
-            // Relaxed: a pure hint — the CAS below re-checks with the
-            // ordering that matters.
-            let state = slot.state.load(MemOrdering::Relaxed);
-            let kind = match state {
-                PARKED_READER if include_readers => WaitKind::Reader,
-                PARKED_WRITER if include_writers => WaitKind::Writer,
-                _ => continue,
-            };
-            // Acquire on success pairs with the owner's Release publish:
-            // the cloned waker in the cell is visible before the take.
-            if slot
-                .state
-                .compare_exchange(state, TAKING, MemOrdering::Acquire, MemOrdering::Relaxed)
-                .is_err()
-            {
-                continue; // the owner retired it, or another releaser won
+        // Claim under the queue lock (bounded index work, no user code);
+        // deliver outside it, so a `wake()` that synchronously re-polls a
+        // future can re-register without self-deadlocking on the lock.
+        let mut wakers: Vec<Waker> = Vec::new();
+        self.with_queue(|q| {
+            let mut pid = q.head;
+            // The walk touches only threaded nodes — parked (or
+            // mid-refresh) waiters — never an empty slot: O(waiters).
+            while pid != NIL {
+                let slot = &self.slots[pid];
+                // SAFETY: queue lock held; read the link before any claim
+                // below rewires it.
+                let next = unsafe { *slot.next.get() };
+                // Relaxed: a pure hint — the CAS below re-checks with the
+                // ordering that matters.
+                let state = slot.state.load(MemOrdering::Relaxed);
+                let kind = match state {
+                    PARKED_READER if include_readers => WaitKind::Reader,
+                    PARKED_WRITER if include_writers => WaitKind::Writer,
+                    // Wrong side, or the owner is mid-dance (EMPTY while
+                    // refreshing, TAKING under another releaser): leave
+                    // it threaded and move on.
+                    _ => {
+                        pid = next;
+                        continue;
+                    }
+                };
+                // Acquire on success pairs with the owner's Release
+                // publish: the cloned waker in the cell is visible before
+                // the take. Failure means the owner retired or refreshed
+                // concurrently — skip, the node stays theirs to unthread.
+                if slot
+                    .state
+                    .compare_exchange(state, TAKING, MemOrdering::Acquire, MemOrdering::Relaxed)
+                    .is_ok()
+                {
+                    self.parked_count(kind).fetch_sub(1, MemOrdering::Relaxed);
+                    // Claimant-exclusive while TAKING.
+                    let waker = unsafe { (*slot.cell.get()).take() };
+                    // Release: publishes the take to the next owner write
+                    // (the loop-top Acquire loads in `register` /
+                    // `deregister`).
+                    slot.state.store(EMPTY, MemOrdering::Release);
+                    self.unlink(q, pid);
+                    if let Some(waker) = waker {
+                        self.wakeups.fetch_add(1, MemOrdering::Relaxed);
+                        wakers.push(waker);
+                    }
+                }
+                pid = next;
             }
-            self.parked_count(kind).fetch_sub(1, MemOrdering::Relaxed);
-            // Claimant-exclusive while TAKING.
-            let waker = unsafe { (*slot.cell.get()).take() };
-            // Release: publishes the take to the next owner write (the
-            // loop-top Acquire loads in `register`/`deregister`).
-            slot.state.store(EMPTY, MemOrdering::Release);
-            if let Some(waker) = waker {
-                self.wakeups.fetch_add(1, MemOrdering::Relaxed);
-                woken += 1;
-                waker.wake();
-            }
+        });
+        let woken = wakers.len();
+        for waker in wakers {
+            waker.wake();
         }
         woken
     }
@@ -537,5 +706,59 @@ mod tests {
         let table: WakerTable<Native> = WakerTable::new(2);
         let s = format!("{table:?}");
         assert!(s.contains("WakerTable") && s.contains("parked_readers"), "{s}");
+    }
+
+    #[test]
+    fn fifo_preserves_park_order_and_unthreads_on_wake() {
+        let table: WakerTable<Native> = WakerTable::new(8);
+        let (_, waker) = counting();
+        for pid in [5, 0, 3] {
+            table.register(pid, WaitKind::Writer, &waker);
+        }
+        assert_eq!(table.parked_fifo(), vec![5, 0, 3], "tail-linked in park order");
+        // A waker refresh keeps the queue position.
+        table.register(0, WaitKind::Writer, &waker);
+        assert_eq!(table.parked_fifo(), vec![5, 0, 3], "refresh must not re-queue");
+        assert_eq!(table.wake_writers(), 3);
+        assert_eq!(table.parked_fifo(), Vec::<usize>::new(), "wake unthreads what it claims");
+    }
+
+    #[test]
+    fn deregister_unthreads_a_middle_node() {
+        let table: WakerTable<Native> = WakerTable::new(8);
+        let (count, waker) = counting();
+        for pid in [2, 6, 1] {
+            table.register(pid, WaitKind::Reader, &waker);
+        }
+        table.deregister(6);
+        assert_eq!(table.parked_fifo(), vec![2, 1]);
+        assert_eq!(table.wake_readers(), 2);
+        assert_eq!(count.0.load(Ordering::SeqCst), 2, "unthreaded node must not fire");
+        assert_eq!(table.parked_fifo(), Vec::<usize>::new());
+    }
+
+    /// The acceptance assertion for the intrusive list: a wake performs
+    /// the same number of backend operations no matter how large the
+    /// table is — it walks the waiter list, inspecting **no** empty
+    /// slots. (The links themselves are plain cells, invisible to
+    /// `Counting`, so the tally is exactly the skip checks + queue lock +
+    /// per-waiter claim dance.)
+    #[test]
+    fn wake_cost_is_o_waiters_not_o_capacity() {
+        use rmr_mutex::mem::{self, Counting};
+
+        fn wake_ops(capacity: usize) -> u64 {
+            let table: WakerTable<Counting> = WakerTable::new(capacity);
+            let (_, waker) = counting();
+            table.register(0, WaitKind::Writer, &waker);
+            table.register(1, WaitKind::Reader, &waker);
+            mem::reset_thread_tally();
+            assert_eq!(table.wake_all(), 2);
+            mem::thread_tally().ops
+        }
+
+        let small = wake_ops(8);
+        let large = wake_ops(512);
+        assert_eq!(small, large, "wake cost must not scale with table capacity");
     }
 }

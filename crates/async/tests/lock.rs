@@ -161,10 +161,12 @@ fn try_tier_is_bounded() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn write_blocking_serves_locks_without_a_try_tier() {
-    // Fig. 3 has no RawTryRwLock, so `write().await` does not compile on
-    // it — `write_blocking` is the writer endpoint, and its release must
-    // wake parked async readers.
+    // Fig. 3 has no doorway (`RawParkedWaiters`), so `write().await` does
+    // not compile on it — the deprecated `write_blocking` remains the
+    // writer endpoint there, and its release must wake parked async
+    // readers.
     let lock = Arc::new(AsyncRwLock::with_raw(0u64, MwmrStarvationFree::new(8)));
     let wg = lock.write_blocking();
     let l2 = Arc::clone(&lock);

@@ -1,0 +1,317 @@
+//! Seeded randomized properties for the doorway/token lifecycle and the
+//! intrusive waiter list.
+//!
+//! Two families, both driven by a splitmix-style generator so every trial
+//! is replayable: the *token lifecycle* properties pin the
+//! `RawParkedWaiters` contract at the `AsyncRwLock` boundary (a cancelled
+//! `write()` future — dropped at a random poll depth — must revoke its
+//! doorway so completely that readers and a successor writer proceed as
+//! if it never existed, while a *leaked* guard must keep its pid and its
+//! raw-lock hold pinned forever), and the *intrusive list* properties
+//! stress `WakerTable`'s FIFO against a `VecDeque` reference model.
+//!
+//! `RMR_TEST_SEED` (decimal or 0x-hex) overrides the base seed, matching
+//! the workspace's other randomized suites; every assertion carries the
+//! trial seed so a failure replays exactly.
+
+use rmr_async::exec::block_on;
+use rmr_async::park::{WaitKind, WakerTable};
+use rmr_async::AsyncRwLock;
+use rmr_baselines::TicketRwLock;
+use rmr_core::raw::{RawParkedWaiters, RawTryReadLock};
+use rmr_core::swmr::SwmrWriterPriority;
+use rmr_mutex::mem::Native;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+fn base_seed() -> u64 {
+    match std::env::var("RMR_TEST_SEED") {
+        Ok(raw) => {
+            let raw = raw.trim();
+            raw.strip_prefix("0x")
+                .or_else(|| raw.strip_prefix("0X"))
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| raw.parse())
+                .unwrap_or_else(|_| panic!("RMR_TEST_SEED must be a u64, got {raw:?}"))
+        }
+        Err(_) => 0x0d00_d0a7,
+    }
+}
+
+/// splitmix64: tiny, dependency-free, and full-period — the same
+/// generator family the checker's schedule sampler uses.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Polls `future` exactly once with a throwaway waker.
+fn poll_once<F: Future>(future: std::pin::Pin<&mut F>) -> Poll<F::Output> {
+    let waker = rmr_async::exec::parker_waker(Arc::new(rmr_async::ThreadParker::current()));
+    future.poll(&mut Context::from_waker(&waker))
+}
+
+/// The token-lifecycle property over one lock: under `readers` held read
+/// guards, a `write()` future polled `polls` times parks (drawing its
+/// doorway token); dropping it must revoke the token so that (a) no
+/// writer stays announced, (b) only the guards' pids stay leased, (c) a
+/// reader admitted *after* the cancel is not blocked by a ghost doorway,
+/// and (d) a successor `write().await` completes.
+fn cancelled_write_revokes_its_token<L>(lock: &AsyncRwLock<u64, L>, readers: usize, polls: usize)
+where
+    L: RawTryReadLock + RawParkedWaiters,
+{
+    let guards: Vec<_> = (0..readers).map(|_| block_on(lock.read())).collect();
+    {
+        let mut fut = pin!(lock.write());
+        for _ in 0..polls {
+            assert!(
+                poll_once(fut.as_mut()).is_pending(),
+                "write must park under {readers} read guards"
+            );
+        }
+        assert_eq!(lock.parked_writers(), 1, "the polled writer must be announced");
+        // `fut` dropped here: the doorway is cancelled mid-token.
+    }
+    assert_eq!(lock.parked_writers(), 0, "cancelled write left its announce behind");
+    assert_eq!(lock.registered(), readers, "cancelled write left its pid leased");
+    // While the admitted readers are still inside, the cancelled token is
+    // a *zombie*: deferred, still holding its queue position (that is the
+    // fairness contract — cancel must not reorder the queue). Readers
+    // arriving now queue behind it exactly as behind a live writer.
+    drop(guards);
+    // Once the in-flight sessions exit, the exit paths' zombie checks
+    // (TK-ZCHECK / F1's helping scan) retire the abandoned token without
+    // any live writer adopting it. A bounded number of reader attempts —
+    // each may perform the helping — must then get through; an attempt
+    // that *never* succeeds is a leaked token.
+    let mut cleared = false;
+    for _ in 0..4 {
+        if let Some(late) = lock.try_read() {
+            drop(late);
+            cleared = true;
+            break;
+        }
+    }
+    assert!(cleared, "cancelled doorway still blocks readers after the session drained");
+    assert!(lock.is_quiescent(), "cancel must drain to quiescence");
+    block_on(async {
+        *lock.write().await += 1;
+    });
+    assert!(lock.is_quiescent());
+}
+
+#[test]
+fn cancelled_write_futures_never_leak_a_token() {
+    let seed = base_seed();
+    for trial in 0..64u64 {
+        let mut rng = Rng(seed ^ (trial.wrapping_mul(0x9e37_79b9)));
+        let readers = 1 + rng.below(3) as usize;
+        let polls = 1 + rng.below(4) as usize;
+        // Ticket: the doorway token is a drawn ticket (conditional try
+        // tier). Fig. 1: the doorway is the paper's registered writer
+        // (zombie-cancel protocol). Both must revoke cleanly.
+        let ticket = AsyncRwLock::with_raw(0u64, TicketRwLock::new(8));
+        cancelled_write_revokes_its_token(&ticket, readers, polls);
+        let fig1 = AsyncRwLock::with_raw_and_capacity(0u64, SwmrWriterPriority::<Native>::new(), 8);
+        cancelled_write_revokes_its_token(&fig1, readers, polls);
+    }
+}
+
+#[test]
+fn leaked_guards_still_pin_their_pids() {
+    let seed = base_seed();
+    for trial in 0..32u64 {
+        let mut rng = Rng(seed ^ (trial.wrapping_mul(0x517c_c1b7)));
+        let leaked = 1 + rng.below(3) as usize;
+        let lock = AsyncRwLock::with_raw(0u64, TicketRwLock::new(8));
+        for _ in 0..leaked {
+            std::mem::forget(block_on(lock.read()));
+        }
+        assert_eq!(
+            lock.registered(),
+            leaked,
+            "a forgotten guard must keep its pid leased (seed {seed:#x}, trial {trial})"
+        );
+        assert!(!lock.is_quiescent(), "leaked guards must keep the lock non-quiescent");
+        assert!(
+            lock.try_write().is_none(),
+            "a forgotten read guard must keep the raw lock held (seed {seed:#x}, trial {trial})"
+        );
+        // Readers can still share the session; their pids recycle.
+        let before = lock.registered();
+        drop(lock.try_read().expect("read-sharing must survive leaked read guards"));
+        assert_eq!(lock.registered(), before);
+    }
+}
+
+/// One reference-model step: the table and a `VecDeque` of
+/// `(pid, kind)` entries must agree on FIFO order after every operation.
+struct Model {
+    fifo: VecDeque<(usize, WaitKind)>,
+}
+
+impl Model {
+    fn order(&self) -> Vec<usize> {
+        self.fifo.iter().map(|&(pid, _)| pid).collect()
+    }
+
+    fn contains(&self, pid: usize) -> Option<WaitKind> {
+        self.fifo.iter().find(|&&(p, _)| p == pid).map(|&(_, k)| k)
+    }
+
+    fn remove(&mut self, pid: usize) {
+        self.fifo.retain(|&(p, _)| p != pid);
+    }
+
+    fn drain(&mut self, readers: bool, writers: bool) -> usize {
+        let before = self.fifo.len();
+        self.fifo.retain(|&(_, k)| match k {
+            WaitKind::Reader => !readers,
+            WaitKind::Writer => !writers,
+        });
+        before - self.fifo.len()
+    }
+}
+
+struct NoopWake;
+
+impl Wake for NoopWake {
+    fn wake(self: Arc<Self>) {}
+}
+
+#[test]
+fn intrusive_list_matches_the_reference_model() {
+    const CAPACITY: usize = 16;
+    const OPS: usize = 400;
+    let seed = base_seed();
+    for trial in 0..16u64 {
+        let mut rng = Rng(seed ^ (trial.wrapping_mul(0xff51_afd7)));
+        let table: WakerTable<Native> = WakerTable::new(CAPACITY);
+        let mut model = Model { fifo: VecDeque::new() };
+        let waker = Waker::from(Arc::new(NoopWake));
+        for op in 0..OPS {
+            let ctx = format!("seed {seed:#x}, trial {trial}, op {op}");
+            match rng.below(10) {
+                // Register (or refresh) dominates: it is the only op that
+                // grows the list, and refreshes must keep their position.
+                0..=5 => {
+                    let pid = rng.below(CAPACITY as u64) as usize;
+                    // A pid already parked keeps its kind (the single-
+                    // owner contract forbids switching sides mid-park).
+                    let kind = model.contains(pid).unwrap_or(if rng.below(2) == 0 {
+                        WaitKind::Reader
+                    } else {
+                        WaitKind::Writer
+                    });
+                    let was_parked = model.contains(pid).is_some();
+                    table.register(pid, kind, &waker);
+                    if !was_parked {
+                        model.fifo.push_back((pid, kind));
+                    }
+                }
+                6..=7 => {
+                    let pid = rng.below(CAPACITY as u64) as usize;
+                    table.deregister(pid);
+                    model.remove(pid);
+                }
+                8 => {
+                    let woken = table.wake_writers();
+                    assert_eq!(woken, model.drain(false, true), "wake_writers count ({ctx})");
+                }
+                _ => {
+                    let woken = if rng.below(2) == 0 {
+                        let woken = table.wake_readers();
+                        assert_eq!(woken, model.drain(true, false), "wake_readers count ({ctx})");
+                        woken
+                    } else {
+                        let woken = table.wake_all();
+                        assert_eq!(woken, model.drain(true, true), "wake_all count ({ctx})");
+                        woken
+                    };
+                    let _ = woken;
+                }
+            }
+            assert_eq!(table.parked_fifo(), model.order(), "FIFO order diverged ({ctx})");
+            let readers = model.fifo.iter().filter(|&&(_, k)| k == WaitKind::Reader).count();
+            let writers = model.fifo.len() - readers;
+            assert_eq!(
+                (table.parked_readers(), table.parked_writers()),
+                (readers, writers),
+                "parked counts diverged ({ctx})"
+            );
+        }
+        // Drain and verify the table forgets everything.
+        for pid in 0..CAPACITY {
+            table.deregister(pid);
+        }
+        assert_eq!(table.parked_fifo(), Vec::<usize>::new());
+        assert_eq!((table.parked_readers(), table.parked_writers()), (0, 0));
+    }
+}
+
+/// Concurrent stress: owner threads park/cancel their own pid at random
+/// while a releaser thread sweeps `wake_all`. The table must never
+/// deliver more wake-ups than registrations, and must drain to empty
+/// once every owner deregisters — the cancel/unlink race in its
+/// schedule-exhaustive form lives in `rmr-check`'s async battery; this
+/// is the long random soak over real threads.
+#[test]
+fn intrusive_list_survives_concurrent_cancel_vs_wake() {
+    const OWNERS: usize = 4;
+    const ROUNDS: usize = 300;
+    let seed = base_seed();
+    let table: Arc<WakerTable<Native>> = Arc::new(WakerTable::new(OWNERS));
+    let registrations = Arc::new(AtomicU64::new(0));
+    let mut threads = Vec::new();
+    for pid in 0..OWNERS {
+        let table = Arc::clone(&table);
+        let registrations = Arc::clone(&registrations);
+        threads.push(std::thread::spawn(move || {
+            let mut rng = Rng(seed ^ (pid as u64).wrapping_mul(0xc2b2_ae35));
+            let waker = Waker::from(Arc::new(NoopWake));
+            for _ in 0..ROUNDS {
+                let kind = if rng.below(2) == 0 { WaitKind::Reader } else { WaitKind::Writer };
+                table.register(pid, kind, &waker);
+                registrations.fetch_add(1, Ordering::SeqCst);
+                if rng.below(2) == 0 {
+                    std::thread::yield_now();
+                }
+                table.deregister(pid);
+            }
+        }));
+    }
+    {
+        let table = Arc::clone(&table);
+        threads.push(std::thread::spawn(move || {
+            for _ in 0..ROUNDS * 2 {
+                table.wake_all();
+                std::thread::yield_now();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(table.parked_fifo(), Vec::<usize>::new(), "soak must drain the FIFO");
+    assert_eq!((table.parked_readers(), table.parked_writers()), (0, 0));
+    assert!(
+        table.wakeups() <= registrations.load(Ordering::SeqCst),
+        "more deliveries than registrations (seed {seed:#x})"
+    );
+}

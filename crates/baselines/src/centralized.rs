@@ -142,6 +142,13 @@ impl<B: Backend> RawTryRwLock for CentralizedRwLock<B> {
     }
 }
 
+rmr_core::advisory_parked_waiters! {
+    /// Advisory doorway (`QUEUED = false`): the centralized counter keeps
+    /// no writer queue to park in, so `write().await` polls `try_write`
+    /// with no bypass bound.
+    impl[B: Backend] RawParkedWaiters for CentralizedRwLock<B>
+}
+
 impl<B: Backend> fmt::Debug for CentralizedRwLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CentralizedRwLock")

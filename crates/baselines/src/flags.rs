@@ -171,6 +171,13 @@ impl<B: Backend> RawTryRwLock for DistributedFlagRwLock<B> {
     }
 }
 
+rmr_core::advisory_parked_waiters! {
+    /// Advisory doorway (`QUEUED = false`): a parked writer holds neither
+    /// the writer mutex nor the `writer_present` flag, so readers stream
+    /// past with no bypass bound.
+    impl[B: Backend] RawParkedWaiters for DistributedFlagRwLock<B>
+}
+
 impl<B: Backend> fmt::Debug for DistributedFlagRwLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DistributedFlagRwLock")

@@ -1,6 +1,6 @@
 //! A task-fair (FIFO) ticket reader-writer lock.
 
-use rmr_core::raw::{RawRwLock, RawTryReadLock, RawTryRwLock};
+use rmr_core::raw::{RawParkedWaiters, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
 use rmr_mutex::mem::{Backend, Native, Ordering, SharedWord};
 use rmr_mutex::spin_until;
@@ -57,6 +57,13 @@ pub struct TicketRwLock<B: Backend = Native> {
     users: B::Word,
     /// `[read_grant : 32 | write_grant : 32]`.
     grants: B::Word,
+    /// An **abandoned writer ticket** awaiting deferred completion: `0` =
+    /// none, else `ticket + 1` (widened to u64, so ticket 0 stays
+    /// representable). Written by `cancel_write`; claimed (CAS) either by
+    /// the exiter whose grant bump brings the abandoned ticket to the head
+    /// of the queue, by the canceller's own head re-check, or by the next
+    /// `start_write`, which *adopts* the ticket and its FIFO position.
+    zombie: B::Word,
     max_processes: usize,
 }
 
@@ -72,13 +79,40 @@ impl<B: Backend> TicketRwLock<B> {
     /// [`TicketRwLock::new`]).
     pub fn new_in(max_processes: usize, _backend: B) -> Self {
         assert!(max_processes > 0, "max_processes must be positive");
-        Self { users: B::Word::new(0), grants: B::Word::new(0), max_processes }
+        Self {
+            users: B::Word::new(0),
+            grants: B::Word::new(0),
+            zombie: B::Word::new(0),
+            max_processes,
+        }
     }
 
     fn take_ticket(&self) -> u32 {
         // Relaxed: drawing a ticket only needs the RMW's atomicity; the
         // holder synchronizes later through the grant word.
         self.users.fetch_add(1, Ordering::Relaxed) as u32
+    }
+
+    /// The exiter half of the deferred write cancellation: after a grant
+    /// bump produced `new_grants`, check whether the writer ticket now at
+    /// the head of the queue is abandoned, and if so claim it and bump
+    /// past it (the empty write passage).
+    ///
+    /// Site TK-ZCHECK: the load must be SeqCst — it forms a store-buffer
+    /// square with `cancel_write`'s publish-then-recheck (the exiter does
+    /// bump-then-check, the canceller does publish-then-recheck; SeqCst on
+    /// all four keeps at least one side from missing the other, so an
+    /// abandoned head ticket is always skipped by someone).
+    fn skip_abandoned_head(&self, new_grants: u64) {
+        let z = self.zombie.load(Ordering::SeqCst);
+        if z != 0
+            && write_grant(new_grants) == (z - 1) as u32
+            && self.zombie.compare_exchange(z, 0, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+        {
+            // Release: continues the grant chain exactly like write_unlock
+            // (the skipped passage published nothing of its own).
+            self.grants.fetch_add(READ_GRANT_UNIT + 1, Ordering::Release);
+        }
     }
 }
 
@@ -101,7 +135,8 @@ impl<B: Backend> RawRwLock for TicketRwLock<B> {
     fn read_unlock(&self, _pid: Pid, (): ()) {
         // Release: a writer admitted by this bump must order its writes
         // after this reader's critical-section reads.
-        self.grants.fetch_add(1, Ordering::Release); // write_grant += 1
+        let old = self.grants.fetch_add(1, Ordering::Release); // write_grant += 1
+        self.skip_abandoned_head(old + 1);
     }
 
     fn write_lock(&self, _pid: Pid) {
@@ -113,7 +148,8 @@ impl<B: Backend> RawRwLock for TicketRwLock<B> {
     fn write_unlock(&self, _pid: Pid, (): ()) {
         // Both grants advance past this writer's ticket. Release publishes
         // the writer's critical-section writes to the Acquire spins.
-        self.grants.fetch_add(READ_GRANT_UNIT + 1, Ordering::Release);
+        let old = self.grants.fetch_add(READ_GRANT_UNIT + 1, Ordering::Release);
+        self.skip_abandoned_head(old + READ_GRANT_UNIT + 1);
     }
 
     fn max_processes(&self) -> usize {
@@ -128,8 +164,10 @@ unsafe impl<B: Backend> rmr_core::raw::RawMultiWriter for TicketRwLock<B> {}
 /// The try tier draws a ticket **conditionally**: a CAS on the dispenser
 /// that only goes through when the would-be ticket is already granted, so
 /// a failed attempt leaves no queue entry behind (drawing a ticket
-/// unconditionally would commit the caller to waiting — FIFO admits no
-/// abort once enqueued).
+/// unconditionally would commit the caller to waiting — plain FIFO admits
+/// no abort once enqueued; only the [`RawParkedWaiters`] doorway below,
+/// with its deferred ticket-skipping machinery, can revoke a real queue
+/// entry).
 impl<B: Backend> RawTryReadLock for TicketRwLock<B> {
     fn try_read_lock(&self, _pid: Pid) -> Option<()> {
         let u = self.users.load(Ordering::Relaxed);
@@ -165,6 +203,64 @@ impl<B: Backend> RawTryRwLock for TicketRwLock<B> {
             .compare_exchange(u, u + 1, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
             .then_some(())
+    }
+}
+
+/// A drawn-but-not-granted writer ticket: proof of a real FIFO queue
+/// position (readers and writers arriving later are served after it).
+#[derive(Debug, Clone, Copy)]
+pub struct TicketDoorway {
+    ticket: u32,
+}
+
+// SAFETY: `poll_write` grants only when `write_grant == ticket`, the exact
+// admission condition of `write_lock` — every earlier arrival has exited,
+// and no later arrival can be served before this ticket is bumped past.
+unsafe impl<B: Backend> RawParkedWaiters for TicketRwLock<B> {
+    /// Queued: `start_write` draws a **real** ticket, so every reader and
+    /// writer arriving afterwards is served strictly behind the parked
+    /// doorway — the FIFO bypass bound is zero-past-the-in-flight set.
+    const QUEUED: bool = true;
+
+    type WriteDoorway = TicketDoorway;
+
+    fn start_write(&self, _pid: Pid) -> TicketDoorway {
+        // Adopt an abandoned predecessor's ticket — and its queue position
+        // — rather than drawing a fresh one behind it. Site TK-ZADOPT
+        // (SeqCst: totally ordered against the exiters' claim CAS).
+        let z = self.zombie.load(Ordering::SeqCst);
+        if z != 0 && self.zombie.compare_exchange(z, 0, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+        {
+            return TicketDoorway { ticket: (z - 1) as u32 };
+        }
+        TicketDoorway { ticket: self.take_ticket() }
+    }
+
+    fn poll_write(&self, _pid: Pid, doorway: TicketDoorway) -> Result<(), TicketDoorway> {
+        // Acquire admits us to the CS exactly as write_lock's spin does.
+        if write_grant(self.grants.load(Ordering::Acquire)) == doorway.ticket {
+            Ok(())
+        } else {
+            Err(doorway)
+        }
+    }
+
+    fn cancel_write(&self, _pid: Pid, doorway: TicketDoorway) {
+        // Site TK-ZPUB: publish the abandoned ticket, then re-check the
+        // head. SeqCst on both — the other half of TK-ZCHECK's square: if
+        // our ticket was already at the head when we published, every
+        // exiter's bump-then-check preceded the publish, so nobody else
+        // will skip it; the re-check below catches exactly that case.
+        self.zombie.store(doorway.ticket as u64 + 1, Ordering::SeqCst);
+        if write_grant(self.grants.load(Ordering::SeqCst)) == doorway.ticket
+            && self
+                .zombie
+                .compare_exchange(doorway.ticket as u64 + 1, 0, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            // The empty write passage: bump both grants past our ticket.
+            self.grants.fetch_add(READ_GRANT_UNIT + 1, Ordering::Release);
+        }
     }
 }
 
@@ -249,5 +345,59 @@ mod tests {
     #[test]
     fn exclusion_stress() {
         rw_exclusion_stress(TicketRwLock::new(8), 2, 4, 100);
+    }
+
+    #[test]
+    fn doorway_draws_a_real_queue_position() {
+        use rmr_core::raw::RawParkedWaiters;
+        let lock = TicketRwLock::new(4);
+        let d = lock.start_write(pid(0));
+        // FIFO teeth: a reader arriving after the doorway queues behind it.
+        assert!(lock.try_read_lock(pid(1)).is_none(), "reader bypassed a parked doorway");
+        let t = lock.poll_write(pid(0), d).expect("queue head, uncontended");
+        lock.write_unlock(pid(0), t);
+        assert!(lock.try_read_lock(pid(1)).is_some());
+        lock.read_unlock(pid(1), ());
+    }
+
+    #[test]
+    fn cancel_at_queue_head_reopens_admission() {
+        use rmr_core::raw::RawParkedWaiters;
+        let lock = TicketRwLock::new(4);
+        let d = lock.start_write(pid(0));
+        lock.cancel_write(pid(0), d);
+        let t = lock.try_read_lock(pid(1)).expect("cancel must bump past the abandoned ticket");
+        lock.read_unlock(pid(1), t);
+    }
+
+    #[test]
+    fn exiter_skips_abandoned_ticket_behind_reader() {
+        use rmr_core::raw::RawParkedWaiters;
+        let lock = TicketRwLock::new(4);
+        let r = lock.read_lock(pid(1)); // ticket 0, in CS
+        let d = lock.start_write(pid(0)); // ticket 1, queued behind the reader
+        let d = lock.poll_write(pid(0), d).expect_err("reader still in CS");
+        lock.cancel_write(pid(0), d); // not at head: deferred to the exiter
+        assert!(lock.try_read_lock(pid(2)).is_none(), "abandoned ticket still heads the queue");
+        lock.read_unlock(pid(1), r); // exiter's bump claims and skips it
+        let t = lock.try_read_lock(pid(2)).expect("queue drained past the abandoned ticket");
+        lock.read_unlock(pid(2), t);
+    }
+
+    #[test]
+    fn adoption_preserves_the_fifo_position() {
+        use rmr_core::raw::RawParkedWaiters;
+        let lock = TicketRwLock::new(4);
+        let r = lock.read_lock(pid(1));
+        let d = lock.start_write(pid(0));
+        let ticket = d.ticket;
+        let d = lock.poll_write(pid(0), d).expect_err("reader still in CS");
+        lock.cancel_write(pid(0), d);
+        // Re-start before any exit: the same ticket comes back.
+        let d2 = lock.start_write(pid(0));
+        assert_eq!(d2.ticket, ticket, "adoption must reuse the abandoned ticket");
+        lock.read_unlock(pid(1), r);
+        let t = lock.poll_write(pid(0), d2).expect("reader gone, adopted ticket at head");
+        lock.write_unlock(pid(0), t);
     }
 }

@@ -201,6 +201,13 @@ impl<B: Backend> RawTryRwLock for TournamentRwLock<B> {
     }
 }
 
+rmr_core::advisory_parked_waiters! {
+    /// Advisory doorway (`QUEUED = false`): a parked writer holds neither
+    /// the writer mutex nor the root test, so readers stream past with no
+    /// bypass bound.
+    impl[B: Backend] RawParkedWaiters for TournamentRwLock<B>
+}
+
 impl<B: Backend> fmt::Debug for TournamentRwLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TournamentRwLock")

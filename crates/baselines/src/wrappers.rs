@@ -125,6 +125,13 @@ impl RawTryRwLock for StdRwLock {
     }
 }
 
+rmr_core::advisory_parked_waiters! {
+    /// Advisory doorway (`QUEUED = false`): `std`'s `RwLock` exposes no
+    /// queued-intent handle, so `write().await` polls `try_write` with no
+    /// bypass bound.
+    impl[] RawParkedWaiters for StdRwLock
+}
+
 impl fmt::Debug for StdRwLock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("StdRwLock").field("max_processes", &self.max_processes).finish()

@@ -7,10 +7,12 @@
 //!   bare ticket-rw (spinning) vs. `AsyncRwLock` over ticket-rw vs.
 //!   `AsyncRwLock` over Bravo-wrapped ticket-rw, with the wake-ups each
 //!   configuration delivered — the visible price of parking.
-//! * **Read-mostly sweep** for a core lock (Fig. 3, which has no
-//!   revocable write attempt): every thread awaits reads, thread 0
-//!   writes through `write_blocking` — the designated-writer service
-//!   shape.
+//! * **Read-mostly sweep** for a core lock (Fig. 3, which has no writer
+//!   doorway — no `RawParkedWaiters`, so no `write().await`): every
+//!   thread awaits reads, thread 0 writes through the deprecated
+//!   `write_blocking` — the designated-writer service shape these locks
+//!   still require. (Doorway-bearing locks measure the awaited writer in
+//!   E20's `async-fair` rows instead.)
 //! * **The acceptance proof**: over a `Counting` inner lock, a biased
 //!   Bravo fast-path read passage through the async tier must perform
 //!   **zero** operations on the inner lock — parking adds nothing to

@@ -17,7 +17,9 @@ use rmr_baselines::{
     CentralizedRwLock, DistributedFlagRwLock, StdRwLock, TicketRwLock, TournamentRwLock,
 };
 use rmr_bench::cli::{json_string, BenchArgs};
-use rmr_bench::workloads::{run_async_mixed, run_mixed, run_snapshot_read_mostly, Workload};
+use rmr_bench::workloads::{
+    run_async_mixed, run_async_writer_latency, run_mixed, run_snapshot_read_mostly, Workload,
+};
 use rmr_bravo::Bravo;
 use rmr_core::mwmr::{MwmrReaderPriority, MwmrStarvationFree, MwmrWriterPriority};
 use rmr_core::raw::RawRwLock;
@@ -295,6 +297,30 @@ fn main() {
     }
     async_read.push(&mut lat, "async-ticket-rw@obs", "read");
     async_write.push(&mut lat, "async-ticket-rw@obs", "write");
+    // The `async-fair` rows (E20): the writer's grant latency under
+    // sustained read pressure, tokened (`write().await` holds a real
+    // doorway in the raw queue) vs untokened (the bare try-poll shape
+    // this redesign replaced). The tokened p99 is the gated row; the
+    // untokened twin stays in the blob so the gap — what the waiter
+    // token is worth at the tail — is diffable across PRs.
+    for (op, tokened) in [("write-tokened", true), ("write-untokened", false)] {
+        let readers = THREADS - 1;
+        let (writes, between) = (8, ops_per_thread / 8);
+        let run = || {
+            let lock = Arc::new(AsyncRwLock::with_raw(0u64, TicketRwLock::new(THREADS)));
+            run_async_writer_latency(lock, readers, ops_per_thread, writes, between, tokened)
+        };
+        run(); // warm-up
+        let mut env = LatencyMin::new();
+        for _ in 0..reps {
+            let mut samples = run();
+            samples.sort_unstable();
+            let idx = |q: f64| ((samples.len() - 1) as f64 * q).round() as usize;
+            env.p50 = env.p50.min(samples[idx(0.50)]);
+            env.p99 = env.p99.min(samples[idx(0.99)]);
+        }
+        env.push(&mut lat, "async-fair-ticket", op);
+    }
     // The snapshot tier has no acquire path; its tail-latency story is
     // the writer's grace scan, reported under the `grace-scan` op.
     let mut swap_scan = LatencyMin::new();

@@ -17,7 +17,10 @@
 use rmr_async::lock::AsyncRwLock;
 use rmr_bench::cli::{BenchArgs, Table};
 use rmr_bravo::{Bravo, BravoConfig};
-use rmr_check::async_exec::{async_cancel_trial, async_read_blocking_write_trial, async_rw_trial};
+use rmr_check::async_exec::{
+    async_cancel_trial, async_fair_trial, async_read_blocking_write_trial, async_rw_trial,
+    async_write_cancel_trial,
+};
 use rmr_check::exhaustive;
 use rmr_check::harness::{
     mutex_trial, randomized_batteries, randomized_batteries_in, rw_trial, try_rw_trial,
@@ -239,6 +242,58 @@ fn main() {
             )
         };
         reports.extend(run_modes("async-cancel", big, None, &budgets));
+    }
+
+    // The doorway tier (`RawParkedWaiters`): `write().await` on queued
+    // doorways, held to the bounded-bypass oracle — once the writer's
+    // first Pending tokened its doorway, at most the in-flight read set
+    // may complete ahead of the grant — plus the writer-side cancel
+    // trial (drop mid-drain must revoke the doorway and wake the
+    // bystanders). `async-fair-fig1` is `write().await` model-checked on
+    // a core paper lock, DFS included.
+    {
+        let big: &dyn Fn() -> Trial = &|| {
+            let lock = Arc::new(AsyncRwLock::with_raw_and_capacity_in(
+                (),
+                rmr_baselines::TicketRwLock::new_in(8, Sched),
+                8,
+                Sched,
+            ));
+            let q = Arc::clone(&lock);
+            async_fair_trial(lock, Scenario::new(2, 1, 2), move || q.is_quiescent())
+        };
+        reports.extend(run_modes("async-fair-ticket", big, None, &budgets));
+    }
+    {
+        let mk_fig1 = |capacity| {
+            Arc::new(AsyncRwLock::with_raw_and_capacity_in(
+                (),
+                SwmrWriterPriority::new_in(Sched),
+                capacity,
+                Sched,
+            ))
+        };
+        let big: &dyn Fn() -> Trial = &|| {
+            let lock = mk_fig1(8);
+            let q = Arc::clone(&lock);
+            async_fair_trial(lock, Scenario::new(2, 1, 2), move || {
+                q.is_quiescent() && q.raw().is_quiescent()
+            })
+        };
+        let small: &dyn Fn() -> Trial = &|| {
+            let lock = mk_fig1(4);
+            let q = Arc::clone(&lock);
+            async_fair_trial(lock, Scenario::new(1, 1, 1), move || {
+                q.is_quiescent() && q.raw().is_quiescent()
+            })
+        };
+        reports.extend(run_modes("async-fair-fig1", big, Some(small), &budgets));
+
+        let big: &dyn Fn() -> Trial =
+            &|| async_write_cancel_trial(mk_fig1(8), Scenario::new(2, 1, 2));
+        let small: &dyn Fn() -> Trial =
+            &|| async_write_cancel_trial(mk_fig1(4), Scenario::new(1, 1, 1));
+        reports.extend(run_modes("async-write-cancel-fig1", big, Some(small), &budgets));
     }
 
     // The observability batteries (rmr-check::obs): instrumented locks

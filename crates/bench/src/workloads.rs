@@ -4,7 +4,7 @@
 
 use rmr_async::exec::block_on;
 use rmr_async::lock::AsyncRwLock;
-use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
+use rmr_core::raw::{RawMultiWriter, RawParkedWaiters, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
 use rmr_obs::Recorder;
 use rmr_sim::rng::SplitMix64;
@@ -196,15 +196,15 @@ where
 /// ([`block_on`]) per thread, every operation a `read().await` /
 /// `write().await` pair on the protected counter, so the suspension,
 /// parking and wake-up machinery is on the measured path. Requires the
-/// full non-blocking tier (`write().await` needs [`RawTryRwLock`]).
-/// Panics on lost updates like [`run_mixed`].
+/// bounded read tier plus a writer doorway (`write().await` needs
+/// [`RawParkedWaiters`]). Panics on lost updates like [`run_mixed`].
 pub fn run_async_mixed<L, R>(
     lock: Arc<AsyncRwLock<u64, L, rmr_mutex::mem::Native, R>>,
     workload: Workload,
     seed: u64,
 ) -> WorkloadResult
 where
-    L: RawTryRwLock + RawMultiWriter + 'static,
+    L: RawTryReadLock + RawParkedWaiters + 'static,
     R: Recorder + 'static,
 {
     assert!(workload.threads <= lock.max_processes());
@@ -239,12 +239,13 @@ where
     WorkloadResult { ops: (workload.threads * workload.ops_per_thread) as u64, elapsed }
 }
 
-/// E16: the read-mostly async workload for locks *without* a revocable
-/// write attempt (the paper's core locks): every thread awaits its reads;
-/// **only thread 0 ever writes**, through
-/// [`AsyncRwLock::write_blocking`] — the designated-writer shape a
-/// service over these locks would actually deploy. Panics on lost
-/// updates.
+/// E16: the read-mostly async workload for locks *without* a writer
+/// doorway (`RawParkedWaiters` — the Fig. 3–5 multi-writer locks; Fig. 1
+/// and the baselines take `write().await` and are measured in E20
+/// instead): every thread awaits its reads; **only thread 0 ever
+/// writes**, through the deprecated [`AsyncRwLock::write_blocking`] —
+/// the designated-writer shape a service over these locks would actually
+/// deploy. Panics on lost updates.
 pub fn run_async_read_mostly<L, R>(
     lock: Arc<AsyncRwLock<u64, L, rmr_mutex::mem::Native, R>>,
     workload: Workload,
@@ -271,7 +272,13 @@ where
                     } else {
                         // The designated writer blocks; it is alone on
                         // this executor, so nothing else is starved.
-                        *lock.write_blocking() += 1;
+                        // (Deprecated endpoint, kept deliberately: fig. 3
+                        // has no doorway, so `write().await` cannot
+                        // compile here.)
+                        #[allow(deprecated)]
+                        {
+                            *lock.write_blocking() += 1;
+                        }
                         local_writes += 1;
                     }
                 }
@@ -286,6 +293,76 @@ where
     let total = block_on(async { *lock.read().await });
     assert_eq!(total, writes_done.load(Ordering::SeqCst), "lost update under {workload:?}");
     WorkloadResult { ops: (workload.threads * workload.ops_per_thread) as u64, elapsed }
+}
+
+/// E20: the writer's grant latency under sustained async read pressure —
+/// the `async-fair` trajectory rows. `readers` threads run
+/// `reads_per_reader` awaited reads each; one writer thread alternates
+/// `reads_between_writes` awaited reads with a **timed** write passage,
+/// `writes` of them. `tokened` selects the writer endpoint under
+/// measurement:
+///
+/// * `true` — `write().await`: the doorway is tokened on the first miss
+///   and the raw lock bounds how many late readers bypass it, so the
+///   tail is the in-flight drain, not the read storm's duration.
+/// * `false` — the untokened shape this redesign replaced: a bare
+///   `try_write` poll loop with no queue presence, whose grant waits
+///   for a gap in *overlapping* read sessions (unbounded under
+///   pressure; here bounded by the readers running out of work).
+///
+/// Returns the per-write grant latencies in nanoseconds. Panics on lost
+/// updates like the other drivers.
+pub fn run_async_writer_latency<L, R>(
+    lock: Arc<AsyncRwLock<u64, L, rmr_mutex::mem::Native, R>>,
+    readers: usize,
+    reads_per_reader: usize,
+    writes: usize,
+    reads_between_writes: usize,
+    tokened: bool,
+) -> Vec<u64>
+where
+    L: RawTryReadLock + RawTryRwLock + RawMultiWriter + RawParkedWaiters + 'static,
+    R: Recorder + 'static,
+{
+    assert!(readers < lock.max_processes(), "readers + the writer need pids");
+    let mut handles = Vec::new();
+    for _ in 0..readers {
+        let lock = Arc::clone(&lock);
+        handles.push(std::thread::spawn(move || {
+            block_on(async {
+                for _ in 0..reads_per_reader {
+                    std::hint::black_box(*lock.read().await);
+                }
+            });
+        }));
+    }
+    let mut latencies = Vec::with_capacity(writes);
+    for _ in 0..writes {
+        block_on(async {
+            for _ in 0..reads_between_writes {
+                std::hint::black_box(*lock.read().await);
+            }
+        });
+        let t0 = Instant::now();
+        let mut guard = if tokened {
+            block_on(lock.write())
+        } else {
+            loop {
+                if let Some(guard) = lock.try_write() {
+                    break guard;
+                }
+                std::thread::yield_now();
+            }
+        };
+        latencies.push(t0.elapsed().as_nanos() as u64);
+        *guard += 1;
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = block_on(async { *lock.read().await });
+    assert_eq!(total, writes as u64, "lost update in the writer-latency driver");
+    latencies
 }
 
 /// E9 measurement: writer entry latency while `reader_threads` churn reads

@@ -105,7 +105,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryReadLock, RawTryRwLock};
+use rmr_core::raw::{RawMultiWriter, RawParkedWaiters, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
 use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedBool, SharedWord};
 use rmr_mutex::{spin_until, CachePadded};
@@ -514,6 +514,123 @@ impl<L: RawTryRwLock, B: Backend, R: Recorder> RawTryRwLock for Bravo<L, B, R> {
     }
 }
 
+/// A parked [`Bravo`] write passage: the inner lock's own doorway first,
+/// then — once the inner lock granted — a **staged revocation** (bias
+/// cleared; each poll is one bounded table scan).
+#[must_use = "an abandoned doorway must be cancelled with cancel_write"]
+pub enum BravoDoorway<D, T> {
+    /// Still waiting on the inner lock's doorway. The bias is untouched,
+    /// so fast readers are unaffected.
+    Inner(D),
+    /// Inner write lock granted and held (`token`); the bias has been
+    /// cleared (site BR-CLEAR, recorded in `was_biased` so a cancel can
+    /// restore it), and each poll scans the table once waiting for the
+    /// published readers to drain.
+    Revoking {
+        /// The inner lock's write token, held across polls.
+        token: T,
+        /// Whether this passage cleared the bias (and must restore it on
+        /// cancel / count the revocation on grant).
+        was_biased: bool,
+    },
+}
+
+impl<D, T> fmt::Debug for BravoDoorway<D, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Inner(_) => f.debug_struct("BravoDoorway::Inner").finish_non_exhaustive(),
+            Self::Revoking { was_biased, .. } => f
+                .debug_struct("BravoDoorway::Revoking")
+                .field("was_biased", was_biased)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+// SAFETY: a granted poll holds the inner lock's own write token *and* has
+// observed an all-empty table after clearing the bias — exactly the
+// exclusion proof of `write_lock` (inner grant, then revocation), just
+// staged across bounded polls. `cancel_write` unwinds precisely like
+// `try_write_lock`'s failure path: restore the bias it cleared (sound —
+// the inner write lock is still held), then release the inner lock.
+unsafe impl<L: RawParkedWaiters, B: Backend, R: Recorder> RawParkedWaiters for Bravo<L, B, R> {
+    /// **Advisory for fairness purposes** even when `L` is queued: while
+    /// the bias is on, fast readers enter through the table without ever
+    /// consulting the inner lock, so a doorway parked in `Inner` stage
+    /// has **no bypass bound** — arbitrarily many biased readers can
+    /// stream past before the inner grant. (Once the inner lock grants,
+    /// the bias clear closes admission and the drain is bounded by the
+    /// in-flight readers — but a static `QUEUED = true` would promise the
+    /// bound from token time, which the biased window breaks.) This is
+    /// BRAVO's deliberate trade: reader throughput over writer latency.
+    const QUEUED: bool = false;
+    type WriteDoorway = BravoDoorway<L::WriteDoorway, L::WriteToken>;
+
+    fn start_write(&self, pid: Pid) -> Self::WriteDoorway {
+        BravoDoorway::Inner(self.inner.start_write(pid))
+    }
+
+    fn poll_write(
+        &self,
+        pid: Pid,
+        doorway: Self::WriteDoorway,
+    ) -> Result<Self::WriteToken, Self::WriteDoorway> {
+        let (token, was_biased) = match doorway {
+            BravoDoorway::Inner(inner) => match self.inner.poll_write(pid, inner) {
+                Ok(token) => {
+                    // Inner write lock granted: run the revocation's first
+                    // half now, while we are here. Relaxed pre-check and
+                    // SeqCst clear exactly as in `revoke` — we hold the
+                    // inner write lock, so the same arguments apply.
+                    let was_biased = self.rbias.load(MemOrdering::Relaxed);
+                    if was_biased {
+                        // Site BR-CLEAR (staged variant): SeqCst for the
+                        // same SB-square reason as the blocking revocation.
+                        self.rbias.store(false, MemOrdering::SeqCst);
+                    }
+                    (token, was_biased)
+                }
+                Err(inner) => return Err(BravoDoorway::Inner(inner)),
+            },
+            BravoDoorway::Revoking { token, was_biased } => (token, was_biased),
+        };
+        // Site BR-SCAN (staged variant): one bounded pass per poll. An
+        // all-empty scan after the clear proves no fast reader can be
+        // inside (the one-shot `try_write_lock` argument verbatim); a
+        // published slot parks the writer until that reader drains — its
+        // unlock is what re-polls us in the async tier.
+        if self.slots.iter().any(|slot| slot.load(MemOrdering::SeqCst) != EMPTY) {
+            return Err(BravoDoorway::Revoking { token, was_biased });
+        }
+        if was_biased {
+            // Diagnostics only, as in `revoke`.
+            self.revocations.fetch_add(1, MemOrdering::Relaxed);
+            if R::ENABLED {
+                self.recorder.count(pid.index(), Event::BravoRevoke);
+            }
+        }
+        Ok(token)
+    }
+
+    fn cancel_write(&self, pid: Pid, doorway: Self::WriteDoorway) {
+        match doorway {
+            BravoDoorway::Inner(inner) => self.inner.cancel_write(pid, inner),
+            BravoDoorway::Revoking { token, was_biased } => {
+                // The `try_write_lock` failure path: un-clear the bias
+                // first (we hold the inner write lock, so no revocation
+                // or re-bias can race this store), then release. Leaving
+                // the bias cleared with readers still published would let
+                // a later blocking writer skip its scan — see the try
+                // tier's comment.
+                if was_biased {
+                    self.rbias.store(true, MemOrdering::Relaxed);
+                }
+                self.inner.write_unlock(pid, token);
+            }
+        }
+    }
+}
+
 impl<L: RawRwLock, B: Backend, R: Recorder> fmt::Debug for Bravo<L, B, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Bravo")
@@ -872,5 +989,65 @@ mod tests {
         let t = lock.read_lock(pid(0));
         assert!(format!("{t:?}").contains("Fast"));
         lock.read_unlock(pid(0), t);
+    }
+
+    #[test]
+    fn doorway_revokes_bias_after_inner_grant() {
+        let lock = Bravo::new(TicketRwLock::new(4));
+        // A published fast reader holds the passage in the Revoking stage.
+        let r = lock.read_lock(pid(0));
+        assert!(r.is_fast());
+        let d = lock.start_write(pid(1));
+        // Inner ticket grants immediately (the fast reader never queued
+        // there), so this poll clears the bias and parks on the drain.
+        let d = lock.poll_write(pid(1), d).expect_err("published reader still inside");
+        assert!(matches!(d, BravoDoorway::Revoking { was_biased: true, .. }));
+        assert!(!lock.bias(), "doorway poll must have cleared the bias");
+        // A new reader can no longer take the fast path.
+        assert!(lock.try_read_lock(pid(2)).is_none(), "inner write held + bias off");
+        lock.read_unlock(pid(0), r);
+        lock.poll_write(pid(1), d).expect("table drained");
+        assert_eq!(lock.revocations(), 1);
+        lock.write_unlock(pid(1), ());
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn cancel_in_revoking_stage_restores_bias_and_releases_inner() {
+        let lock = Bravo::new(TicketRwLock::new(4));
+        let r = lock.read_lock(pid(0));
+        let d = lock.start_write(pid(1));
+        let d = lock.poll_write(pid(1), d).expect_err("fast reader published");
+        lock.cancel_write(pid(1), d);
+        assert!(lock.bias(), "cancel must restore the bias it cleared");
+        // The inner lock was released: both paths admit readers again.
+        let r2 = lock.read_lock(pid(2));
+        assert!(r2.is_fast(), "bias restored, fast path live again");
+        lock.read_unlock(pid(2), r2);
+        lock.read_unlock(pid(0), r);
+        // And a fresh writer passage completes normally.
+        lock.write_lock(pid(3));
+        lock.write_unlock(pid(3), ());
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn cancel_in_inner_stage_forwards_to_the_inner_doorway() {
+        let lock = Bravo::new(TicketRwLock::new(4));
+        // Hold the inner lock through a *slow* reader so the inner ticket
+        // doorway actually queues.
+        let r = lock.try_fast_read(pid(0));
+        assert!(r.is_some());
+        lock.slots[r.unwrap()].store(EMPTY, MemOrdering::Relaxed); // retract helper probe
+        lock.inner.read_lock(pid(0));
+        let d = lock.start_write(pid(1));
+        let d = lock.poll_write(pid(1), d).expect_err("inner reader ahead in the queue");
+        assert!(matches!(d, BravoDoorway::Inner(_)));
+        lock.cancel_write(pid(1), d);
+        lock.inner.read_unlock(pid(0), ());
+        assert!(lock.bias(), "inner-stage cancel never touched the bias");
+        lock.write_lock(pid(2));
+        lock.write_unlock(pid(2), ());
+        assert!(lock.is_quiescent());
     }
 }

@@ -27,7 +27,7 @@ use crate::harness::{RwOracle, Scenario, TaskBody, Trial};
 use rmr_async::exec::{block_on_with, parker_waker};
 use rmr_async::lock::AsyncRwLock;
 use rmr_async::park::Parker;
-use rmr_core::raw::{RawMultiWriter, RawTryReadLock, RawTryRwLock};
+use rmr_core::raw::{RawMultiWriter, RawParkedWaiters, RawTryReadLock};
 use rmr_mutex::mem::{Backend, Ordering as MemOrdering, SharedBool};
 use rmr_mutex::{spin_until, Sched};
 use rmr_obs::Recorder;
@@ -97,7 +97,7 @@ pub fn async_rw_trial<L, R>(
     quiescent: impl Fn() -> bool + 'static,
 ) -> Trial
 where
-    L: RawTryRwLock + RawMultiWriter + 'static,
+    L: RawTryReadLock + RawParkedWaiters + 'static,
     R: Recorder + 'static,
 {
     assert!(!scenario.try_readers && !scenario.try_writers, "use async_cancel_trial");
@@ -132,10 +132,11 @@ where
     Trial { tasks, post: async_settle_post(oracle, scenario, quiescent) }
 }
 
-/// Like [`async_rw_trial`], but writers use
-/// [`AsyncRwLock::write_blocking`] — the writer endpoint for raw locks
-/// without a revocable write attempt (the paper's core locks). Readers
-/// still suspend; the blocking writers' release paths must wake them.
+/// Like [`async_rw_trial`], but writers use the deprecated
+/// [`AsyncRwLock::write_blocking`] — still the writer endpoint for raw
+/// locks without a `RawParkedWaiters` doorway (the Fig. 3–5 multi-writer
+/// locks). Readers still suspend; the blocking writers' release paths
+/// must wake them.
 pub fn async_read_blocking_write_trial<L, R>(
     lock: Arc<AsyncRwLock<(), L, Sched, R>>,
     scenario: Scenario,
@@ -166,6 +167,10 @@ where
         let oracle = Arc::clone(&oracle);
         tasks.push(Box::new(move || {
             for _ in 0..scenario.attempts {
+                // Deprecated on purpose: fig. 3 has no doorway, and an
+                // OS-parking `block_on(write())` would deadlock the Sched
+                // scheduler — the raw-queue spin is the right wait here.
+                #[allow(deprecated)]
                 let guard = lock.write_blocking();
                 oracle.writer_cs();
                 drop(guard);
@@ -187,7 +192,7 @@ pub fn async_cancel_trial<L, R>(
     scenario: Scenario,
 ) -> Trial
 where
-    L: RawTryRwLock + RawMultiWriter + 'static,
+    L: RawTryReadLock + RawParkedWaiters + 'static,
     R: Recorder + 'static,
 {
     let oracle = Arc::new(RwOracle::new());
@@ -226,6 +231,148 @@ where
         }));
     }
     let scenario = Scenario { try_readers: true, ..scenario };
+    let quiesce = Arc::clone(&lock);
+    Trial { tasks, post: async_settle_post(oracle, scenario, move || quiesce.is_quiescent()) }
+}
+
+/// The **bounded-bypass** fairness trial: one writer manually polls
+/// `write()` — recording the oracle's completed-read count at its first
+/// `Poll::Pending`, the moment its doorway is tokened and counted like a
+/// queued process — while readers churn through `read().await`. At the
+/// grant the writer asserts that no more than `scenario.readers` reads
+/// completed past the tokened doorway: a queued doorway (`L::QUEUED`)
+/// fails every reader attempt arriving after `start_write`, so only the
+/// read sessions already admitted (at most one per reader task) may
+/// still finish ahead of the writer. A doorway that *claims* the queue
+/// position but drops the token (the seeded `DropWaiterToken` mutant)
+/// lets readers stream past and trips the oracle.
+///
+/// # Panics
+///
+/// Panics unless `scenario.writers == 1` (the bound is per-waiter) and
+/// `L::QUEUED` (an advisory doorway honestly promises no bound — the
+/// trial would be vacuous, not lenient).
+pub fn async_fair_trial<L, R>(
+    lock: Arc<AsyncRwLock<(), L, Sched, R>>,
+    scenario: Scenario,
+    quiescent: impl Fn() -> bool + 'static,
+) -> Trial
+where
+    L: RawTryReadLock + RawParkedWaiters + 'static,
+    R: Recorder + 'static,
+{
+    assert!(!scenario.try_readers && !scenario.try_writers, "use async_write_cancel_trial");
+    assert_eq!(scenario.writers, 1, "the bounded-bypass oracle tracks a single tokened waiter");
+    assert!(L::QUEUED, "the bounded-bypass oracle needs a queued doorway");
+    let oracle = Arc::new(RwOracle::new());
+    let bound = scenario.readers;
+    let mut tasks: Vec<TaskBody> = Vec::new();
+    for _ in 0..scenario.readers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            block_on_sched(async {
+                for _ in 0..scenario.attempts {
+                    let guard = lock.read().await;
+                    oracle.reader_cs();
+                    drop(guard);
+                }
+            });
+        }));
+    }
+    {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            let parker = Arc::new(SchedParker::new());
+            let waker = parker_waker(Arc::clone(&parker));
+            let mut cx = Context::from_waker(&waker);
+            for _ in 0..scenario.attempts {
+                let mut future = std::pin::pin!(lock.write());
+                // Completed reads at the first Pending — a lower bound on
+                // the count at `start_write`, so the bypass tally below
+                // never over-counts (no false positives on the control).
+                let mut tokened_at = None;
+                let guard = loop {
+                    match future.as_mut().poll(&mut cx) {
+                        Poll::Ready(guard) => break guard,
+                        Poll::Pending => {
+                            if tokened_at.is_none() {
+                                tokened_at = Some(oracle.totals().0);
+                            }
+                            parker.park();
+                        }
+                    }
+                };
+                if let Some(reads_at_token) = tokened_at {
+                    let bypassed = oracle.totals().0 - reads_at_token;
+                    assert!(
+                        bypassed <= bound,
+                        "bounded bypass violated: {bypassed} reads completed past the \
+                         tokened writer (bound {bound})"
+                    );
+                }
+                oracle.writer_cs();
+                drop(guard);
+            }
+        }));
+    }
+    Trial { tasks, post: async_settle_post(oracle, scenario, quiescent) }
+}
+
+/// The writer-side cancellation trial: writers poll a `write()` future
+/// **once** and drop it wherever that leaves them — claim word held,
+/// doorway tokened mid-drain, or holding the guard — while readers run
+/// full `read().await` passages to create the drain windows. This is the
+/// schedule exploration of the cancel/unlink race: the drop must revoke
+/// the doorway (fig. 1's deferred-zombie protocol, the ticket's
+/// abandoned-head skip), free the claim word, unthread the intrusive
+/// waiter node, and wake the bystanders — or the post-run quiescence
+/// check reports what stayed pinned.
+pub fn async_write_cancel_trial<L, R>(
+    lock: Arc<AsyncRwLock<(), L, Sched, R>>,
+    scenario: Scenario,
+) -> Trial
+where
+    L: RawTryReadLock + RawParkedWaiters + 'static,
+    R: Recorder + 'static,
+{
+    let oracle = Arc::new(RwOracle::new());
+    let mut tasks: Vec<TaskBody> = Vec::new();
+    for _ in 0..scenario.readers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            block_on_sched(async {
+                for _ in 0..scenario.attempts {
+                    let guard = lock.read().await;
+                    oracle.reader_cs();
+                    drop(guard);
+                }
+            });
+        }));
+    }
+    for _ in 0..scenario.writers {
+        let lock = Arc::clone(&lock);
+        let oracle = Arc::clone(&oracle);
+        tasks.push(Box::new(move || {
+            let waker = parker_waker(Arc::new(SchedParker::new()));
+            let mut cx = Context::from_waker(&waker);
+            for _ in 0..scenario.attempts {
+                let mut future = std::pin::pin!(lock.write());
+                match future.as_mut().poll(&mut cx) {
+                    Poll::Ready(guard) => {
+                        oracle.writer_cs();
+                        drop(guard);
+                    }
+                    // The drop under test: `future` falls here holding the
+                    // claim word and (usually) a tokened doorway.
+                    Poll::Pending => oracle.write_abort(),
+                }
+            }
+        }));
+    }
+    let scenario = Scenario { try_writers: true, ..scenario };
     let quiesce = Arc::clone(&lock);
     Trial { tasks, post: async_settle_post(oracle, scenario, move || quiesce.is_quiescent()) }
 }

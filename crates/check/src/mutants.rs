@@ -29,7 +29,7 @@
 //! relaxation sweep left strong.
 
 use rmr_core::packed::{Packed, PackedFaa};
-use rmr_core::raw::{RawRwLock, RawTryReadLock};
+use rmr_core::raw::{RawParkedWaiters, RawRwLock, RawTryReadLock, RawTryRwLock};
 use rmr_core::registry::Pid;
 use rmr_core::{AtomicSide, Side};
 use rmr_mutex::mem::{Backend, Ordering, SharedBool, SharedWord};
@@ -97,6 +97,13 @@ pub enum Mutation {
     /// pinned, and the freed-flag oracle fires. Invisible under SC;
     /// caught under `MemoryModel::StoreBuffer`.
     DemotePublishEpoch,
+    /// The doorway wrapper claims `QUEUED = true` but `start_write` never
+    /// draws the ticket: `poll_write` degrades to a bare `try_write_lock`
+    /// with no queue presence, so readers stream past the "tokened"
+    /// writer without bound — the bug `async_fair_trial`'s bounded-bypass
+    /// oracle exists to catch (a refactor that keeps the doorway shape
+    /// but loses the token is exactly one dropped call).
+    DropWaiterToken,
 }
 
 // ---------------------------------------------------------------------
@@ -684,6 +691,125 @@ impl<B: Backend> MutantAsyncRw<B> {
 impl<B: Backend> fmt::Debug for MutantAsyncRw<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MutantAsyncRw").field("mutation", &self.mutation).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Doorway wrapper with the dropped waiter token
+// ---------------------------------------------------------------------
+
+/// A capability-preserving wrapper over the production
+/// [`rmr_baselines::TicketRwLock`] whose [`RawParkedWaiters`] impl is a
+/// line-for-line copy of the inner forwarding — except that
+/// [`Mutation::DropWaiterToken`] skips the `start_write` forward, so the
+/// "doorway" holds no ticket and `poll_write` is a bare
+/// `try_write_lock`. The wrapper still advertises `QUEUED = true`: it
+/// *claims* the parked writer is counted like a queued process while
+/// readers in fact stream past it unboundedly, which is precisely the
+/// contract breach `rmr_check::async_exec::async_fair_trial`'s
+/// bounded-bypass oracle polices. [`Mutation::None`] is the faithful
+/// forwarder and must pass the identical battery.
+pub struct MutantTokenlessTicket<B: Backend = Sched> {
+    mutation: Mutation,
+    inner: rmr_baselines::TicketRwLock<B>,
+}
+
+/// The mutant's doorway: the real ticket when faithful, nothing when the
+/// token was dropped.
+#[derive(Debug)]
+pub enum MutantDoorway<B: Backend> {
+    /// Faithful forward of the inner lock's drawn ticket.
+    Queued(<rmr_baselines::TicketRwLock<B> as RawParkedWaiters>::WriteDoorway),
+    /// MUTATION POINT: the "queue position" that was never drawn.
+    Tokenless,
+}
+
+impl<B: Backend> MutantTokenlessTicket<B> {
+    /// Creates the wrapper over a fresh inner ticket lock for `capacity`
+    /// processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutation` is not `None`/`DropWaiterToken`.
+    pub fn new_in(mutation: Mutation, capacity: usize, _backend: B) -> Self {
+        assert!(
+            matches!(mutation, Mutation::None | Mutation::DropWaiterToken),
+            "{mutation:?} is not a doorway mutation"
+        );
+        Self { mutation, inner: rmr_baselines::TicketRwLock::new_in(capacity, B::default()) }
+    }
+}
+
+impl<B: Backend> RawRwLock for MutantTokenlessTicket<B> {
+    type ReadToken = ();
+    type WriteToken = ();
+
+    fn read_lock(&self, pid: Pid) {
+        self.inner.read_lock(pid)
+    }
+
+    fn read_unlock(&self, pid: Pid, (): ()) {
+        self.inner.read_unlock(pid, ())
+    }
+
+    fn write_lock(&self, pid: Pid) {
+        self.inner.write_lock(pid)
+    }
+
+    fn write_unlock(&self, pid: Pid, (): ()) {
+        self.inner.write_unlock(pid, ())
+    }
+
+    fn max_processes(&self) -> usize {
+        self.inner.max_processes()
+    }
+}
+
+impl<B: Backend> RawTryReadLock for MutantTokenlessTicket<B> {
+    fn try_read_lock(&self, pid: Pid) -> Option<()> {
+        self.inner.try_read_lock(pid)
+    }
+}
+
+// SAFETY: both variants grant through the inner ticket lock's own
+// admission checks (`poll_write` / `try_write_lock`), so exclusion is the
+// inner lock's. The mutant's lie is about *fairness* (QUEUED without a
+// queue position), never about exclusion — the fairness oracle, not the
+// exclusion oracle, must be what catches it.
+unsafe impl<B: Backend> RawParkedWaiters for MutantTokenlessTicket<B> {
+    const QUEUED: bool = true;
+
+    type WriteDoorway = MutantDoorway<B>;
+
+    fn start_write(&self, pid: Pid) -> MutantDoorway<B> {
+        if self.mutation == Mutation::DropWaiterToken {
+            MutantDoorway::Tokenless // MUTATION POINT: no ticket drawn
+        } else {
+            MutantDoorway::Queued(self.inner.start_write(pid))
+        }
+    }
+
+    fn poll_write(&self, pid: Pid, doorway: MutantDoorway<B>) -> Result<(), MutantDoorway<B>> {
+        match doorway {
+            MutantDoorway::Queued(d) => {
+                self.inner.poll_write(pid, d).map_err(MutantDoorway::Queued)
+            }
+            MutantDoorway::Tokenless => {
+                self.inner.try_write_lock(pid).ok_or(MutantDoorway::Tokenless)
+            }
+        }
+    }
+
+    fn cancel_write(&self, pid: Pid, doorway: MutantDoorway<B>) {
+        if let MutantDoorway::Queued(d) = doorway {
+            self.inner.cancel_write(pid, d);
+        }
+    }
+}
+
+impl<B: Backend> fmt::Debug for MutantTokenlessTicket<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutantTokenlessTicket").field("mutation", &self.mutation).finish()
     }
 }
 

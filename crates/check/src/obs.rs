@@ -25,7 +25,7 @@
 use crate::harness::{RwOracle, Scenario, TaskBody, Trial};
 use rmr_async::lock::AsyncRwLock;
 use rmr_core::observed::Observed;
-use rmr_core::raw::{RawMultiWriter, RawRwLock, RawTryRwLock};
+use rmr_core::raw::{RawMultiWriter, RawParkedWaiters, RawRwLock, RawTryReadLock};
 use rmr_core::registry::PidRegistry;
 use rmr_mutex::Sched;
 use rmr_obs::{Event, StatsRecorder, TickClock, TraceEvent};
@@ -103,7 +103,7 @@ pub fn park_wake_trial<L>(
     scenario: Scenario,
 ) -> Trial
 where
-    L: RawTryRwLock + RawMultiWriter + 'static,
+    L: RawTryReadLock + RawParkedWaiters + 'static,
 {
     let rec = Arc::clone(lock.recorder());
     let quiesce = Arc::clone(&lock);

@@ -14,8 +14,8 @@ use rmr_check::harness::{
     RwOracle, Scenario, TaskBody, Trial,
 };
 use rmr_check::mutants::{
-    MutantAnderson, MutantAsyncRw, MutantBravo, MutantFig1, MutantFlags, MutantSwap, MutantTtas,
-    Mutation,
+    MutantAnderson, MutantAsyncRw, MutantBravo, MutantFig1, MutantFlags, MutantSwap,
+    MutantTokenlessTicket, MutantTtas, Mutation,
 };
 use rmr_check::{exhaustive, exhaustive_in};
 use rmr_core::registry::Pid;
@@ -383,6 +383,46 @@ fn swap_premature_retire_is_caught() {
 #[test]
 fn async_control_passes_the_mutant_budgets() {
     assert_control_passes("async-control", || async_trial(Mutation::None, Scenario::new(2, 1, 2)));
+}
+
+/// The fairness trial over the doorway mutant: the production
+/// `AsyncRwLock` drives the wrapper's (possibly tokenless) doorway, and
+/// the bounded-bypass oracle must distinguish the faithful forward from
+/// the dropped token.
+fn async_fair_mutant_trial(mutation: Mutation, scenario: Scenario) -> Trial {
+    let capacity = scenario.tasks().max(4);
+    let lock = Arc::new(rmr_async::lock::AsyncRwLock::with_raw_and_capacity_in(
+        (),
+        MutantTokenlessTicket::new_in(mutation, capacity, Sched),
+        capacity,
+        Sched,
+    ));
+    let q = Arc::clone(&lock);
+    rmr_check::async_exec::async_fair_trial(lock, scenario, move || {
+        mutation != Mutation::None || q.is_quiescent()
+    })
+}
+
+#[test]
+fn async_fair_control_passes_the_mutant_budgets() {
+    assert_control_passes("async-fair-control", || {
+        async_fair_mutant_trial(Mutation::None, Scenario::new(2, 1, 2))
+    });
+}
+
+#[test]
+fn async_drop_waiter_token_is_caught() {
+    // With the token dropped, the readers' remaining passages all clear
+    // the "parked" writer's bare try-polling: any schedule that parks the
+    // writer early sees more than `readers` bypasses at the grant. 3
+    // reader attempts guarantee the overshoot is reachable (up to 6
+    // bypasses against a bound of 2).
+    assert_caught(
+        "async-drop-waiter-token",
+        || async_fair_mutant_trial(Mutation::DropWaiterToken, Scenario::new(2, 1, 3)),
+        || async_fair_mutant_trial(Mutation::DropWaiterToken, Scenario::new(1, 1, 3)),
+        &["bounded bypass violated"],
+    );
 }
 
 #[test]

@@ -178,6 +178,35 @@ impl<L: RawTryRwLock, R: Recorder> RawTryRwLock for Observed<L, R> {
 // lock's, and the marker is only claimed where the inner lock claims it.
 unsafe impl<L: RawMultiWriter, R: Recorder> RawMultiWriter for Observed<L, R> {}
 
+// SAFETY: pure forwarding — a granted poll carries exactly the inner
+// doorway's exclusion, and the queued/advisory classification is inherited.
+unsafe impl<L: crate::raw::RawParkedWaiters, R: Recorder> crate::raw::RawParkedWaiters
+    for Observed<L, R>
+{
+    const QUEUED: bool = L::QUEUED;
+    type WriteDoorway = L::WriteDoorway;
+
+    fn start_write(&self, pid: Pid) -> Self::WriteDoorway {
+        self.inner.start_write(pid)
+    }
+
+    fn poll_write(
+        &self,
+        pid: Pid,
+        doorway: Self::WriteDoorway,
+    ) -> Result<Self::WriteToken, Self::WriteDoorway> {
+        let result = self.inner.poll_write(pid, doorway);
+        if R::ENABLED && result.is_ok() {
+            self.recorder.count(pid.index(), Event::WriteAcquire);
+        }
+        result
+    }
+
+    fn cancel_write(&self, pid: Pid, doorway: Self::WriteDoorway) {
+        self.inner.cancel_write(pid, doorway);
+    }
+}
+
 impl<L, R> fmt::Debug for Observed<L, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Observed").finish_non_exhaustive()

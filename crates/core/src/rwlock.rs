@@ -387,11 +387,18 @@ impl<T: ?Sized, L: RawRwLock, R: Recorder> RwLock<T, L, R> {
     /// outer guard is held), so a reentrant read on a writer-priority lock
     /// self-deadlocks whenever a reload is pending. Only the
     /// reader-priority policy is immune (RP1 lets the inner reader
-    /// overtake the waiting writer). A nested *write* while holding any
-    /// guard on the same thread always deadlocks. Avoid holding a guard
-    /// across calls that may re-acquire — or, for read-mostly data where
-    /// reentrant reads are structural, use `rmr-swap`'s `Snapshot`, whose
-    /// wait-free `load` never blocks and is safely reentrant.
+    /// overtake the waiting writer). "Waiting" is not only a blocked
+    /// thread: since the doorway redesign, a parked `write().await`
+    /// future on the same raw lock holds a tokened queue position
+    /// ([`RawParkedWaiters`](crate::raw::RawParkedWaiters), `QUEUED`
+    /// doorways) that closes the reader admission path exactly like a
+    /// blocked writer — a nested read can therefore deadlock against a
+    /// suspended *future*, though dropping that future revokes its
+    /// position and unwedges the reader. A nested *write* while holding
+    /// any guard on the same thread always deadlocks. Avoid holding a
+    /// guard across calls that may re-acquire — or, for read-mostly data
+    /// where reentrant reads are structural, use `rmr-swap`'s `Snapshot`,
+    /// whose wait-free `load` never blocks and is safely reentrant.
     ///
     /// # Panics
     ///
@@ -522,7 +529,14 @@ impl<T: ?Sized, L: RawMultiWriter, R: Recorder> RwLock<T, L, R> {
     /// A nested `write` while this thread holds *any* guard on the same
     /// lock always deadlocks, under every policy: the writer's entry waits
     /// for the critical section to drain, and the outer guard never will.
-    /// See [`RwLock::read`] for the full nesting matrix.
+    /// The same holds against parked asynchronous state: blocking here
+    /// while a `write().await` future on the same raw lock sits suspended
+    /// with its doorway token
+    /// ([`RawParkedWaiters`](crate::raw::RawParkedWaiters)) deadlocks if
+    /// nothing ever polls or drops that future — the token is a real
+    /// queue position, not a lazy retry, and only its revocation
+    /// (dropping the future) or its grant clears it. See [`RwLock::read`]
+    /// for the full nesting matrix.
     ///
     /// # Panics
     ///

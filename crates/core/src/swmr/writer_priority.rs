@@ -18,16 +18,47 @@
 //! `Gate[d]`, which the writer opens when it leaves. Every busy-wait is a
 //! local spin on a boolean that changes at most once per wait, which is
 //! where the O(1) RMR bound comes from.
+//!
+//! # Beyond the figure: the revocable doorway
+//!
+//! [`SwmrWriterPriority::start_write`] / [`SwmrWriterPriority::poll_write`]
+//! / [`SwmrWriterPriority::cancel_write`] split `write_lock` at its two
+//! waits so an asynchronous writer can park *while still counted by the
+//! lock* (the `RawParkedWaiters` capability). The only state Figure 1
+//! cannot unwind — an announce on `C[prevD]` with readers still holding
+//! the side — is handled by **helping**: the cancel publishes the
+//! abandoned passage in a `Zombie` word and the last reader out (the one
+//! that observes `[1, 1]`, exactly the reader that would have woken the
+//! writer) completes it on the canceller's behalf. See DESIGN.md §15.
 
 use crate::packed::{Packed, PackedFaa};
-use crate::raw::{RawRwLock, RawTryReadLock};
+use crate::raw::{RawParkedWaiters, RawRwLock, RawTryReadLock};
 use crate::registry::Pid;
 use crate::side::{AtomicSide, Side};
-use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedBool};
+use rmr_mutex::mem::{Backend, Native, Ordering as MemOrdering, SharedBool, SharedWord};
 use rmr_mutex::spin_until;
 use rmr_mutex::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `Zombie` encodings: an *abandoned* write passage (cancelled between the
+/// doorway and the previous side's drain) that some process must still
+/// complete on the canceller's behalf.
+const ZOMBIE_NONE: u64 = 0;
+/// A helper claimed the abandoned passage and is completing it (a
+/// constant-length window: three stores).
+const ZOMBIE_BUSY: u64 = 3;
+
+/// Encodes "abandoned passage attempting from side `curr`".
+fn zombie_encode(curr: Side) -> u64 {
+    1 + curr.index() as u64
+}
+
+/// Inverse of [`zombie_encode`].
+fn zombie_side(encoded: u64) -> Side {
+    debug_assert!(encoded == 1 || encoded == 2);
+    Side::from_index(encoded as usize - 1)
+}
 
 /// Per-side shared variables: `Gate[d]`, `Permit[d]`, `C[d]`.
 struct SideVars<B: Backend> {
@@ -76,6 +107,33 @@ impl WriterAttempt {
     pub fn previous_side(&self) -> Side {
         self.prev
     }
+}
+
+/// A published, not-yet-granted write intent: the state of a write passage
+/// between the doorway (Fig. 1 lines 2–5 done) and the grant (line 13).
+///
+/// Returned by [`SwmrWriterPriority::start_write`], advanced by
+/// [`SwmrWriterPriority::poll_write`], revoked by
+/// [`SwmrWriterPriority::cancel_write`]. While a doorway is outstanding
+/// the reader admission path is closed exactly as for a blocking writer
+/// (WP1), which is what makes a parked asynchronous writer count like a
+/// queued process.
+#[derive(Debug)]
+#[must_use = "an abandoned doorway must be cancelled with cancel_write"]
+pub struct WriteDoorway {
+    curr: Side,
+    stage: DoorwayStage,
+}
+
+/// Which waiting-room wait the doorway is parked on.
+#[derive(Debug, Clone, Copy)]
+enum DoorwayStage {
+    /// Lines 4–5 done (announced on `C[prevD]`); awaiting `Permit[prevD]`
+    /// unless the announce observed `[0, 0]`.
+    DrainPrev { must_wait: bool },
+    /// Lines 7–10 done (side drained, `Gate[prevD]` closed, announced on
+    /// `EC`); awaiting `ExitPermit` unless the announce observed `[0, 0]`.
+    DrainExit { must_wait: bool },
 }
 
 /// Proof that the writer role holds the critical section; consumed by
@@ -157,6 +215,12 @@ pub struct SwmrWriterPriority<B: Backend = Native> {
     /// `ExitPermit`: the last reader to leave the exit section wakes the
     /// writer through this flag.
     exit_permit: CachePadded<B::Bool>,
+    /// `Zombie`: an abandoned write passage awaiting deferred completion
+    /// ([`ZOMBIE_NONE`] / [`zombie_encode`] / [`ZOMBIE_BUSY`]). Written by
+    /// [`Self::cancel_write`], claimed (CAS) and completed by the last
+    /// previous-side reader out or by the next [`Self::start_write`].
+    /// Not part of Figure 1; see DESIGN.md §15.
+    zombie: CachePadded<B::Word>,
     /// Debug-only discipline check: true between waiting-room completion
     /// and `writer_exit` (the "SWWP session" of Figure 4's commentary).
     /// Not part of the algorithm's shared state, so it stays a plain
@@ -181,6 +245,7 @@ impl<B: Backend> SwmrWriterPriority<B> {
             sides: [SideVars::new(true), SideVars::new(false)],
             exit_count: CachePadded::new(PackedFaa::new_in(backend)),
             exit_permit: CachePadded::new(B::Bool::new(false)),
+            zombie: CachePadded::new(B::Word::new(ZOMBIE_NONE)),
             session_active: AtomicBool::new(false),
         }
     }
@@ -215,11 +280,10 @@ impl<B: Backend> SwmrWriterPriority<B> {
         WriterAttempt { curr, prev }
     }
 
-    /// The writer's waiting room (lines 4–12): drains the previous side's
-    /// readers and the exit section, then grants the critical section.
-    pub fn writer_waiting_room(&self, attempt: WriterAttempt) -> WriteSession {
-        let prev = self.side(attempt.prev);
-
+    /// Lines 4–5: reset `Permit[prevD]` and announce on `C[prevD]`.
+    /// Returns whether the drain must be waited for (line 6's condition).
+    fn announce_on_prev(&self, curr: Side) -> bool {
+        let prev = self.side(!curr);
         // Relaxed reset: sequenced before the SeqCst F&A at line 5, and a
         // reader sets Permit[prevD] only after observing that F&A's writer
         // bit (line 22/28), so the RMW chain already orders reset-then-set.
@@ -230,11 +294,14 @@ impl<B: Backend> SwmrWriterPriority<B> {
                                                         // diverted at its line 18" exhaustive.
         let old = prev.count.add_writer(MemOrdering::SeqCst); // line 5: F&A(C[prevD], [1, 0])
         debug_assert!(!old.writer_waiting(), "writer-waiting flag already set on C[prevD]");
-        if old != Packed::ZERO {
-            // line 6: wait till Permit[prevD]. Acquire pairs with the last
-            // reader's Release store (line 28) so its exit is visible.
-            spin_until(|| prev.permit.load(MemOrdering::Acquire));
-        }
+        old != Packed::ZERO
+    }
+
+    /// Lines 7–10: retire the previous side's announce, close its gate,
+    /// and announce on the exit section. Returns whether the exit drain
+    /// must be waited for (line 11's condition).
+    fn close_prev_and_announce_exit(&self, curr: Side) -> bool {
+        let prev = self.side(!curr);
         // SeqCst: the release half of the RMW chain that hands the
         // writer's D announce to late registrants (see line 3).
         let old = prev.count.sub_writer(MemOrdering::SeqCst); // line 7: F&A(C[prevD], [-1, 0])
@@ -252,22 +319,240 @@ impl<B: Backend> SwmrWriterPriority<B> {
                                                              // SeqCst: announce-then-wait on the exit section, as at line 5.
         let old = self.exit_count.add_writer(MemOrdering::SeqCst); // line 10: F&A(EC, [1, 0])
         debug_assert!(!old.writer_waiting());
-        if old != Packed::ZERO {
-            // line 11: wait till ExitPermit. Acquire pairs with line 30.
-            spin_until(|| self.exit_permit.load(MemOrdering::Acquire));
-        }
+        old != Packed::ZERO
+    }
+
+    /// Line 12 and the session open: retire the exit-section announce and
+    /// grant the critical section.
+    fn grant(&self, curr: Side) -> WriteSession {
         let old = self.exit_count.sub_writer(MemOrdering::SeqCst); // line 12: F&A(EC, [-1, 0])
         debug_assert!(old.writer_waiting());
 
         let was = self.session_active.swap(true, Ordering::SeqCst);
         debug_assert!(!was, "two write sessions open at once");
-        WriteSession { curr: attempt.curr } // line 13: CRITICAL SECTION
+        WriteSession { curr } // line 13: CRITICAL SECTION
     }
 
-    /// The writer's whole try section: doorway + waiting room.
+    /// The writer's waiting room (lines 4–12): drains the previous side's
+    /// readers and the exit section, then grants the critical section.
+    pub fn writer_waiting_room(&self, attempt: WriterAttempt) -> WriteSession {
+        if self.announce_on_prev(attempt.curr) {
+            // line 6: wait till Permit[prevD]. Acquire pairs with the last
+            // reader's Release store (line 28) so its exit is visible.
+            spin_until(|| self.side(attempt.prev).permit.load(MemOrdering::Acquire));
+        }
+        if self.close_prev_and_announce_exit(attempt.curr) {
+            // line 11: wait till ExitPermit. Acquire pairs with line 30.
+            spin_until(|| self.exit_permit.load(MemOrdering::Acquire));
+        }
+        self.grant(attempt.curr)
+    }
+
+    /// The writer's whole try section: doorway + waiting room. Resolves an
+    /// abandoned asynchronous passage first (see [`Self::start_write`]).
     pub fn write_lock(&self) -> WriteSession {
-        let attempt = self.writer_doorway();
-        self.writer_waiting_room(attempt)
+        let doorway = self.start_write();
+        self.finish_write(doorway)
+    }
+
+    /// Spins a doorway through its waiting-room waits to the grant — the
+    /// blocking tail of `write_lock`, shared with doorway adoption.
+    fn finish_write(&self, doorway: WriteDoorway) -> WriteSession {
+        let curr = doorway.curr;
+        let exit_wait = match doorway.stage {
+            DoorwayStage::DrainPrev { must_wait } => {
+                if must_wait {
+                    // line 6, as in writer_waiting_room.
+                    spin_until(|| self.side(!curr).permit.load(MemOrdering::Acquire));
+                }
+                self.close_prev_and_announce_exit(curr)
+            }
+            DoorwayStage::DrainExit { must_wait } => must_wait,
+        };
+        if exit_wait {
+            // line 11, as in writer_waiting_room.
+            spin_until(|| self.exit_permit.load(MemOrdering::Acquire));
+        }
+        self.grant(curr)
+    }
+
+    // ------------------------------------------------------------------
+    // The revocable doorway (RawParkedWaiters): start / poll / cancel
+    // ------------------------------------------------------------------
+
+    /// Starts a write passage and returns without waiting: the doorway
+    /// (lines 2–3) plus the previous side's announce (lines 4–5), so the
+    /// caller is *counted* — WP1 applies from this moment, readers that
+    /// start their doorway afterwards wait behind the returned token.
+    ///
+    /// If the previous passage was cancelled and is still awaiting its
+    /// deferred completion, this call **adopts** it instead — resuming the
+    /// abandoned passage's queue position rather than opening a new one —
+    /// or, if a helper is mid-completion (a three-store window), waits it
+    /// out. Apart from that window the call is bounded.
+    pub fn start_write(&self) -> WriteDoorway {
+        // Resolve any abandoned predecessor before toggling `D` — its
+        // completion rewrites the gates this passage is about to reason
+        // about. Site F1-ZADOPT (SeqCst: the claim CAS must be totally
+        // ordered against the helper's claim, see `help_abandoned`).
+        loop {
+            let z = self.zombie.load(MemOrdering::SeqCst);
+            if z == ZOMBIE_NONE {
+                break;
+            }
+            if z == ZOMBIE_BUSY {
+                // A helper is completing the abandoned passage (three
+                // stores); wait it out, then start fresh.
+                spin_until(|| self.zombie.load(MemOrdering::SeqCst) != ZOMBIE_BUSY);
+                continue;
+            }
+            if self
+                .zombie
+                .compare_exchange(z, ZOMBIE_NONE, MemOrdering::SeqCst, MemOrdering::SeqCst)
+                .is_ok()
+            {
+                // Adopted: the abandoned doorway already toggled `D` and
+                // announced on `C[prevD]`; resume its waiting room. The
+                // permit may already be up (the side may even have drained
+                // while abandoned) — the first poll will observe that.
+                let curr = zombie_side(z);
+                debug_assert!(
+                    !self.session_active.load(Ordering::SeqCst),
+                    "adopting a doorway while a write session is still open"
+                );
+                debug_assert_eq!(self.d.load(MemOrdering::Relaxed), curr);
+                return WriteDoorway { curr, stage: DoorwayStage::DrainPrev { must_wait: true } };
+            }
+        }
+        let attempt = self.writer_doorway(); // lines 2–3
+        let must_wait = self.announce_on_prev(attempt.curr); // lines 4–5
+        WriteDoorway { curr: attempt.curr, stage: DoorwayStage::DrainPrev { must_wait } }
+    }
+
+    /// Advances the doorway by at most one waiting-room stage, testing
+    /// each wait condition **once** (bounded, never spins): `Ok` grants
+    /// the critical section, `Err` hands the doorway back to park on.
+    pub fn poll_write(&self, mut doorway: WriteDoorway) -> Result<WriteSession, WriteDoorway> {
+        let curr = doorway.curr;
+        if let DoorwayStage::DrainPrev { must_wait } = doorway.stage {
+            // line 6's condition, tested once. Acquire as in the spin.
+            if must_wait && !self.side(!curr).permit.load(MemOrdering::Acquire) {
+                return Err(doorway);
+            }
+            let must_wait = self.close_prev_and_announce_exit(curr); // lines 7–10
+            doorway.stage = DoorwayStage::DrainExit { must_wait };
+        }
+        let DoorwayStage::DrainExit { must_wait } = doorway.stage else { unreachable!() };
+        // line 11's condition, tested once. Acquire as in the spin.
+        if must_wait && !self.exit_permit.load(MemOrdering::Acquire) {
+            return Err(doorway);
+        }
+        Ok(self.grant(curr))
+    }
+
+    /// Revokes a not-yet-granted doorway in a bounded number of steps.
+    ///
+    /// Past the previous side's drain (`DrainExit`), the passage unwinds
+    /// inline: the exit-section announce is retired (the `EC` drain only
+    /// protects the critical section this passage will not enter; a stale
+    /// `ExitPermit` is reset by the next passage's line 9) and `Gate[currD]`
+    /// reopens, leaving exactly the configuration an empty write session
+    /// would have left.
+    ///
+    /// Before the drain (`DrainPrev`) the announce on `C[prevD]` cannot be
+    /// retired while readers still hold the side — the last one out must
+    /// observe `[1, 1]` and that observation is how the protocol elects a
+    /// unique completer. So the cancel *publishes* the abandoned passage in
+    /// `Zombie` (site F1-ZPUB) and re-checks the side's count (site
+    /// F1-ZSCAN): if the side has drained, it claims the passage back and
+    /// completes inline; otherwise the last reader out finds the zombie
+    /// (site F1-ZHELP in the exit section) and completes on our behalf.
+    /// Both checks are SeqCst, so in the total order either our scan sees
+    /// the last reader's decrement or that reader's zombie load sees our
+    /// publish — the classic store-buffer square, pinned exactly like the
+    /// permit handshake it shadows (DESIGN.md §13, §15).
+    pub fn cancel_write(&self, doorway: WriteDoorway) {
+        let curr = doorway.curr;
+        match doorway.stage {
+            DoorwayStage::DrainExit { .. } => {
+                let old = self.exit_count.sub_writer(MemOrdering::SeqCst); // undo line 10
+                debug_assert!(old.writer_waiting());
+                // Empty passage's line 14: reopen our side.
+                self.side(curr).gate.store(true, MemOrdering::Release);
+            }
+            DoorwayStage::DrainPrev { must_wait: false } => {
+                // The announce observed [0, 0]: the side was already
+                // drained and no reader can register on it anew (readers
+                // bind to `D = currD`; double-registrants retire without
+                // waiting). Complete inline.
+                self.complete_abandoned(curr);
+            }
+            DoorwayStage::DrainPrev { must_wait: true } => {
+                // Site F1-ZPUB: publish the abandoned passage...
+                self.zombie.store(zombie_encode(curr), MemOrdering::SeqCst);
+                // ...then re-check the drain (site F1-ZSCAN). A reader
+                // count of zero here proves every remaining reader's
+                // line-27 decrement precedes this load in the total order,
+                // so none of them can have seen the zombie — we must
+                // complete. A nonzero count proves the decrement to zero
+                // follows our publish, so that reader's zombie load (site
+                // F1-ZHELP) sees it — it will complete.
+                if self.side(!curr).count.load(MemOrdering::SeqCst).reader_count() == 0 {
+                    let z = zombie_encode(curr);
+                    if self
+                        .zombie
+                        .compare_exchange(z, ZOMBIE_NONE, MemOrdering::SeqCst, MemOrdering::SeqCst)
+                        .is_ok()
+                    {
+                        self.complete_abandoned(curr);
+                    }
+                    // CAS failure: a last-reader helper (or an adopting
+                    // writer, had the claim discipline allowed one) got
+                    // there first; the passage is theirs now.
+                }
+            }
+        }
+    }
+
+    /// Completes an abandoned write passage whose previous side has
+    /// drained: retire the announce (line 7), close the drained side's
+    /// gate (line 8), and reopen the current side's (line 14) — the
+    /// shared-memory effect of an empty write session, skipping the
+    /// exit-section handshake it never announced on.
+    fn complete_abandoned(&self, curr: Side) {
+        let prev = self.side(!curr);
+        let old = prev.count.sub_writer(MemOrdering::SeqCst); // line 7
+        debug_assert!(old.writer_waiting());
+        prev.gate.store(false, MemOrdering::Release); // line 8
+                                                      // Empty passage's line 14: readers parked on `Gate[currD]` during
+                                                      // the abandoned passage resume here. Release pairs with their
+                                                      // Acquire gate spin.
+        self.side(curr).gate.store(true, MemOrdering::Release);
+    }
+
+    /// The reader half of the deferred cancellation: called by the reader
+    /// whose decrement observed `[1, 1]` (it just retired the last reader
+    /// of `drained` while a writer-waiting flag was up). If that waiting
+    /// writer is an abandoned doorway, claim it (site F1-ZHELP /
+    /// F1-ZCLAIM) and complete it on the canceller's behalf. `ZOMBIE_BUSY`
+    /// parks concurrent `start_write` callers for the three-store window,
+    /// keeping a fresh doorway from interleaving with the gate rewrites.
+    fn help_abandoned(&self, drained: Side) {
+        // Site F1-ZHELP: SeqCst — the other half of cancel_write's square.
+        let z = self.zombie.load(MemOrdering::SeqCst);
+        if z == ZOMBIE_NONE || z == ZOMBIE_BUSY {
+            return;
+        }
+        let curr = zombie_side(z);
+        debug_assert_eq!(drained, !curr, "zombie announce is always on the previous side");
+        if self
+            .zombie
+            .compare_exchange(z, ZOMBIE_BUSY, MemOrdering::SeqCst, MemOrdering::SeqCst)
+            .is_ok()
+        {
+            self.complete_abandoned(curr);
+            self.zombie.store(ZOMBIE_NONE, MemOrdering::SeqCst);
+        }
     }
 
     /// The writer's exit section (line 14): opens the gate of the session's
@@ -318,6 +603,9 @@ impl<B: Backend> SwmrWriterPriority<B> {
                 // reader and the writer is waiting on that side. Release
                 // pairs with the writer's Acquire spin at line 6.
                 self.side(other).permit.store(true, MemOrdering::Release);
+                // If that waiting writer was cancelled, nobody is spinning
+                // on the permit: complete its passage on its behalf.
+                self.help_abandoned(other);
             }
         }
         d
@@ -382,6 +670,10 @@ impl<B: Backend> SwmrWriterPriority<B> {
         if old == Packed::ONE_ONE {
             // Release pairs with the writer's Acquire spin at line 6.
             self.side(d).permit.store(true, MemOrdering::Release); // line 28
+                                                                   // If the waiting writer was cancelled, nobody is spinning on
+                                                                   // the permit we just raised: complete its abandoned passage
+                                                                   // (site F1-ZHELP; see cancel_write).
+            self.help_abandoned(d);
         }
         let old = self.exit_count.sub_reader(MemOrdering::SeqCst); // line 29: F&A(EC, [0, -1])
         if old == Packed::ONE_ONE {
@@ -448,6 +740,8 @@ impl<B: Backend> SwmrWriterPriority<B> {
             && ec == Packed::ZERO
             && self.gate_is_open(d)
             && !self.gate_is_open(!d)
+            // No abandoned passage awaiting deferred completion.
+            && self.zombie.load(MemOrdering::Relaxed) == ZOMBIE_NONE
     }
 }
 
@@ -512,6 +806,31 @@ impl<B: Backend> RawRwLock for SwmrWriterPriority<B> {
 impl<B: Backend> RawTryReadLock for SwmrWriterPriority<B> {
     fn try_read_lock(&self, _pid: Pid) -> Option<ReadSession> {
         SwmrWriterPriority::try_read_lock(self)
+    }
+}
+
+// SAFETY: `poll_write` only returns `Ok` after the full waiting room
+// (lines 6–12) has been observed complete, so the token carries exactly
+// `write_lock`'s exclusion. The one-doorway-at-a-time contract is the
+// single-writer-role contract this lock already imposes.
+unsafe impl<B: Backend> RawParkedWaiters for SwmrWriterPriority<B> {
+    /// Queued: `start_write` runs the doorway (lines 2–5), so WP1 closes
+    /// the reader admission path while the token is parked — a reader that
+    /// starts its doorway after `start_write` returns waits behind it.
+    const QUEUED: bool = true;
+
+    type WriteDoorway = WriteDoorway;
+
+    fn start_write(&self, _pid: Pid) -> WriteDoorway {
+        SwmrWriterPriority::start_write(self)
+    }
+
+    fn poll_write(&self, _pid: Pid, doorway: WriteDoorway) -> Result<WriteSession, WriteDoorway> {
+        SwmrWriterPriority::poll_write(self, doorway)
+    }
+
+    fn cancel_write(&self, _pid: Pid, doorway: WriteDoorway) {
+        SwmrWriterPriority::cancel_write(self, doorway)
     }
 }
 
@@ -670,6 +989,113 @@ mod tests {
         for s in sessions {
             lock.read_unlock(s);
         }
+    }
+
+    #[test]
+    fn doorway_grants_uncontended_in_one_poll() {
+        let lock = SwmrWriterPriority::new();
+        let d = lock.start_write();
+        let w = lock.poll_write(d).expect("uncontended doorway grants on the first poll");
+        lock.write_unlock(w);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn doorway_closes_reader_admission_while_parked() {
+        // WP1 through the token: a reader arriving after start_write must
+        // not be admitted until the doorway is granted-and-released.
+        let lock = SwmrWriterPriority::new();
+        let d = lock.start_write();
+        assert!(lock.try_read_lock().is_none(), "reader overtook a parked doorway");
+        let w = lock.poll_write(d).expect("no readers to drain");
+        lock.write_unlock(w);
+        assert!(lock.try_read_lock().is_some());
+        let r = lock.read_lock();
+        lock.read_unlock(r);
+    }
+
+    #[test]
+    fn cancel_uncontended_doorway_restores_rest_state() {
+        let lock = SwmrWriterPriority::new();
+        for _ in 0..4 {
+            let d = lock.start_write();
+            lock.cancel_write(d);
+            assert!(lock.is_quiescent(), "cancel must leave an empty-passage configuration");
+            // Readers pass again immediately.
+            let r = lock.try_read_lock().expect("gate reopened after cancel");
+            lock.read_unlock(r);
+        }
+    }
+
+    #[test]
+    fn cancel_behind_live_reader_defers_to_helper() {
+        let lock = SwmrWriterPriority::new();
+        let r = lock.read_lock(); // reader holds side 0
+        let d = lock.start_write(); // doorway announces on C[0], waits
+        let d = lock.poll_write(d).expect_err("reader still registered");
+        lock.cancel_write(d);
+        // The zombie is pending: the lock is not yet quiescent, and the
+        // reader's exit must complete the abandoned passage.
+        assert!(!lock.is_quiescent());
+        lock.read_unlock(r);
+        assert!(lock.is_quiescent(), "last reader out must finish the cancelled passage");
+        let r = lock.try_read_lock().expect("admission reopened by the helper");
+        lock.read_unlock(r);
+    }
+
+    #[test]
+    fn cancel_after_prev_drain_unwinds_inline() {
+        let lock = SwmrWriterPriority::new();
+        let r = lock.read_lock();
+        let d = lock.start_write();
+        let d = lock.poll_write(d).expect_err("reader still registered");
+        lock.read_unlock(r); // permit raised; doorway advances next poll
+        let d = match lock.poll_write(d) {
+            // Depending on exit-section timing the second poll may already
+            // grant; either way the passage must unwind cleanly.
+            Ok(w) => {
+                lock.write_unlock(w);
+                assert!(lock.is_quiescent());
+                return;
+            }
+            Err(d) => d,
+        };
+        lock.cancel_write(d);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn start_write_adopts_an_abandoned_passage() {
+        let lock = SwmrWriterPriority::new();
+        let r = lock.read_lock(); // pin side 0 so the cancel must defer
+        let d = lock.start_write();
+        let expected_side = lock.direction();
+        let d = lock.poll_write(d).expect_err("reader still registered");
+        lock.cancel_write(d);
+        // Adopt the zombie before any reader completes it: the new doorway
+        // resumes the same side instead of toggling D again.
+        let d2 = lock.start_write();
+        assert_eq!(lock.direction(), expected_side, "adoption must not re-toggle D");
+        lock.read_unlock(r);
+        let w = lock.finish_write(d2);
+        assert_eq!(w.current_side(), expected_side);
+        lock.write_unlock(w);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn write_lock_after_deferred_cancel_settles() {
+        // The next blocking writer must not trip over a helper-completed
+        // passage: cancel deferred, reader completes it, write_lock runs.
+        let lock = SwmrWriterPriority::new();
+        let r = lock.read_lock();
+        let d = lock.start_write();
+        let d = lock.poll_write(d).expect_err("reader still registered");
+        lock.cancel_write(d);
+        lock.read_unlock(r); // helper completes the passage
+        let w = lock.write_lock();
+        lock.write_unlock(w);
+        assert!(lock.is_quiescent());
     }
 
     #[test]

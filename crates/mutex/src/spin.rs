@@ -7,9 +7,10 @@
 //! [`with_park_hint`] exploits that: while a hint is installed on the
 //! calling thread, every futile iteration invokes the hint instead of the
 //! default relax/yield policy. `rmr-async` uses it so a *blocking* writer
-//! acquisition running near an executor (`write_blocking`) yields its
-//! core from the first futile iteration rather than burning 64 hot spins
-//! per round.
+//! acquisition running near an executor (the deprecated `write_blocking`,
+//! still the writer endpoint for raw locks without a `RawParkedWaiters`
+//! doorway) yields its core from the first futile iteration rather than
+//! burning 64 hot spins per round.
 
 use std::cell::Cell;
 use std::fmt;

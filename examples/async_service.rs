@@ -3,15 +3,20 @@
 //!
 //! Each worker thread runs one executor (`block_on`) processing a stream
 //! of requests — mostly GETs (`read().await`), a few PUTs
-//! (`write().await`). The lock is the Bravo-wrapped ticket lock behind
-//! `AsyncRwLock`, so the composition stacks all three ideas: the raw
-//! lock's admission policy, BRAVO's zero-inner-op biased read path, and
-//! waker parking instead of busy-waiting. A shared `rmr-obs`
-//! `StatsRecorder` carries the service's bookkeeping — `UserHit`/
-//! `UserPut` replace the per-worker counter plumbing this example used
-//! to thread through join handles — and, because the same recorder is
-//! attached to the lock, the park/wake traffic and wake-to-grant tail
-//! come out of the identical object.
+//! (`write().await`). The lock is the paper's Figure 1
+//! (`SwmrWriterPriority`) behind `AsyncRwLock`: a core SWMR lock serving
+//! a cancellation-safe awaited writer, which is exactly what the
+//! `RawParkedWaiters` doorway redesign bought (DESIGN.md §15) — before
+//! it, these locks only offered `write_blocking` from a dedicated writer
+//! thread, and an awaiting writer had no queue presence for the
+//! writer-priority policy to protect. Any worker may PUT: the doorway
+//! claim word serializes the writer role across tasks, so the
+//! single-writer protocol sees one writer at a time even though no
+//! single thread owns the role. A shared `rmr-obs` `StatsRecorder`
+//! carries the service's bookkeeping — `UserHit`/`UserPut` replace
+//! per-worker counter plumbing — and, because the same recorder is
+//! attached to the lock, the park/wake traffic and the writer's
+//! wake-to-grant tail come out of the identical object.
 //!
 //! ```text
 //! cargo run --release --example async_service
@@ -19,8 +24,7 @@
 
 use rmrw::async_lock::exec::block_on;
 use rmrw::async_lock::AsyncRwLock;
-use rmrw::baselines::TicketRwLock;
-use rmrw::bravo::Bravo;
+use rmrw::core::swmr::SwmrWriterPriority;
 use rmrw::obs::{Event, Metric, Recorder, StatsRecorder};
 use rmrw::sim::rng::SplitMix64;
 use std::collections::HashMap;
@@ -37,7 +41,7 @@ fn main() {
     let rec = Arc::new(StatsRecorder::new(WORKERS));
     let table: HashMap<u64, u64> = (0..KEYS / 2).map(|k| (k, k * k)).collect();
     let service = Arc::new(
-        AsyncRwLock::with_raw_and_capacity(table, Bravo::new(TicketRwLock::new(WORKERS)), WORKERS)
+        AsyncRwLock::with_raw_and_capacity(table, SwmrWriterPriority::new(), WORKERS)
             .with_recorder(Arc::clone(&rec)),
     );
 
@@ -70,29 +74,30 @@ fn main() {
     let puts = rec.counter(Event::UserPut);
     let requests = (WORKERS * REQUESTS_PER_WORKER) as u64;
     let gets = requests - puts;
-    println!("async_service: {WORKERS} workers × {REQUESTS_PER_WORKER} requests");
+    println!("async_service: {WORKERS} workers × {REQUESTS_PER_WORKER} requests (Fig. 1 lock)");
     println!(
         "  throughput : {:.0} req/s ({requests} requests in {elapsed:.2?})",
         requests as f64 / elapsed.as_secs_f64()
     );
     println!("  mix        : {gets} GETs ({hits} hits), {puts} PUTs");
     println!(
-        "  parking    : {} parks, {} wake-ups delivered; wake-to-grant p99 ≤{} ns; \
-         {} readers / {} writers still parked",
+        "  writer     : acquire p99 ≤{} ns over {} awaited writes; wake-to-grant p99 ≤{} ns \
+         over {} parked grants",
+        rec.quantile(Metric::WriteAcquireNs, 0.99),
+        rec.samples(Metric::WriteAcquireNs),
+        rec.quantile(Metric::WakeToGrantNs, 0.99),
+        rec.samples(Metric::WakeToGrantNs),
+    );
+    println!(
+        "  parking    : {} parks, {} wake-ups delivered; {} readers / {} writers still parked",
         rec.counter(Event::AsyncPark),
         service.wakeups(),
-        rec.quantile(Metric::WakeToGrantNs, 0.99),
         service.parked_readers(),
         service.parked_writers()
     );
-    println!(
-        "  bravo      : bias {} after {} revocations",
-        if service.raw().bias() { "on" } else { "off" },
-        service.raw().revocations()
-    );
 
     assert!(service.is_quiescent(), "service must quiesce once the workers are gone");
-    assert!(service.raw().is_quiescent(), "visible-readers table must drain");
+    assert!(service.raw().is_quiescent(), "the Fig. 1 protocol must drain");
     assert_eq!(
         rec.counter(Event::WriteAcquire),
         puts,
